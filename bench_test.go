@@ -1,0 +1,356 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one testing.B benchmark per artifact), at reduced "quick" scale so that
+// `go test -bench=. -benchmem` completes in minutes. Full-scale runs:
+// `go run ./cmd/nambench -exp all`.
+//
+// Each benchmark reports the headline metric of its figure via
+// b.ReportMetric (virtual-time ops/s, GB/s, or ns latency); the paper's
+// qualitative result is asserted where it is the artifact's point.
+package rdmatree_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/analysis"
+	"github.com/namdb/rdmatree/internal/bench"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma/simnet"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// quick is the scale used by all benchmarks.
+var quick = bench.QuickScale
+
+func runPoint(b *testing.B, cfg bench.Config) bench.Result {
+	b.Helper()
+	res, err := bench.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func pointCfg(design nam.Design, clients int) bench.Config {
+	machines := (clients + 39) / 40
+	return bench.Config{
+		Design:    design,
+		Topology:  nam.PaperTopology(4, machines, (clients+machines-1)/machines),
+		DataSize:  quick.DataSize,
+		Mix:       workload.WorkloadA,
+		HeadEvery: 32,
+		MeasureNS: quick.MeasurePointNS,
+		Seed:      20190630,
+	}
+}
+
+func rangeCfg(design nam.Design, clients int, sel float64) bench.Config {
+	cfg := pointCfg(design, clients)
+	cfg.Mix = workload.WorkloadB
+	cfg.Selectivity = sel
+	cfg.MeasureNS = quick.MeasureRangeNS
+	return cfg
+}
+
+// BenchmarkTable1Model evaluates the Table 1 symbol derivations.
+func BenchmarkTable1Model(b *testing.B) {
+	p := analysis.Defaults()
+	for i := 0; i < b.N; i++ {
+		if p.Fanout() != 42 || p.HeightFG() != 4 {
+			b.Fatal("Table 1 example column diverged")
+		}
+	}
+}
+
+// BenchmarkTable2Model evaluates the Table 2 formulas.
+func BenchmarkTable2Model(b *testing.B) {
+	p := analysis.Defaults()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range []analysis.Scheme{analysis.FG, analysis.CGRange, analysis.CGHash} {
+			sink += analysis.MaxThroughput(p, s, analysis.Query{Range: true, Sel: 0.001, Skew: true, Z: 10})
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFig3Analytic regenerates the Figure 3 series and asserts its
+// headline: CG stagnates under skew while FG scales.
+func BenchmarkFig3Analytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := analysis.Fig3Series(analysis.Defaults(), 0.001, 10, []int{2, 4, 8, 16, 32, 64})
+		fg, cgSkew := series[0], series[3]
+		if fg.Y[5] < 10*cgSkew.Y[5] {
+			b.Fatal("figure 3 shape diverged")
+		}
+	}
+}
+
+// BenchmarkTable3Workloads exercises the four workload generators.
+func BenchmarkTable3Workloads(b *testing.B) {
+	gens := make([]*workload.Generator, 0, 4)
+	for _, m := range []workload.Mix{workload.WorkloadA, workload.WorkloadB, workload.WorkloadC, workload.WorkloadD} {
+		g, err := workload.NewGenerator(workload.Config{Mix: m, DataSize: 1 << 20, Selectivity: 0.01, Seed: 1}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens = append(gens, g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gens[i%4].Next()
+	}
+}
+
+// BenchmarkFig7ThroughputSkew reproduces Figure 7(a)'s headline: skewed data
+// collapses coarse-grained point throughput, fine-grained is unaffected.
+func BenchmarkFig7ThroughputSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cg := pointCfg(nam.CoarseGrained, 120)
+		cg.SkewedData = true
+		cgRes := runPoint(b, cg)
+		fg := pointCfg(nam.FineGrained, 120)
+		fg.SkewedData = true
+		fgRes := runPoint(b, fg)
+		cgU := runPoint(b, pointCfg(nam.CoarseGrained, 120))
+		if cgRes.Throughput >= cgU.Throughput*0.95 {
+			b.Fatal("coarse-grained unaffected by skew")
+		}
+		b.ReportMetric(cgRes.Throughput, "cg-skew-ops/s")
+		b.ReportMetric(fgRes.Throughput, "fg-skew-ops/s")
+	}
+}
+
+// BenchmarkFig8ThroughputUniform reproduces Figure 8(a)'s ordering at high
+// load: hybrid >= coarse-grained > fine-grained for point queries.
+func BenchmarkFig8ThroughputUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cg := runPoint(b, pointCfg(nam.CoarseGrained, 120))
+		fg := runPoint(b, pointCfg(nam.FineGrained, 120))
+		hy := runPoint(b, pointCfg(nam.Hybrid, 120))
+		if !(hy.Throughput > fg.Throughput && cg.Throughput > fg.Throughput) {
+			b.Fatalf("figure 8 ordering diverged: cg=%f fg=%f hy=%f",
+				cg.Throughput, fg.Throughput, hy.Throughput)
+		}
+		b.ReportMetric(hy.Throughput, "hybrid-ops/s")
+		b.ReportMetric(cg.Throughput, "cg-ops/s")
+		b.ReportMetric(fg.Throughput, "fg-ops/s")
+	}
+}
+
+// BenchmarkFig9NetworkUtilization reproduces Figure 9(a): the one-sided
+// design moves far more bytes per point query than the RPC design.
+func BenchmarkFig9NetworkUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cg := pointCfg(nam.CoarseGrained, 120)
+		cg.SkewedData = true
+		fg := pointCfg(nam.FineGrained, 120)
+		fg.SkewedData = true
+		cgRes, fgRes := runPoint(b, cg), runPoint(b, fg)
+		if fgRes.NetGBps <= cgRes.NetGBps {
+			b.Fatal("figure 9 shape diverged")
+		}
+		b.ReportMetric(cgRes.NetGBps, "cg-GB/s")
+		b.ReportMetric(fgRes.NetGBps, "fg-GB/s")
+	}
+}
+
+// BenchmarkFig10DataSize sweeps the data size (Figure 10, point queries).
+func BenchmarkFig10DataSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, d := range quick.DataSizes {
+			cfg := pointCfg(nam.Hybrid, 120)
+			cfg.DataSize = d
+			res := runPoint(b, cfg)
+			if d == quick.DataSizes[0] {
+				b.ReportMetric(res.Throughput, "smallest-D-ops/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11MemoryServers reproduces Figure 11(c)'s headline: the
+// fine-grained design benefits from more memory servers even under skew; the
+// coarse-grained design does not.
+func BenchmarkFig11MemoryServers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		get := func(d nam.Design, servers int) float64 {
+			cfg := pointCfg(d, 120)
+			cfg.Topology = nam.PaperTopology(servers, 3, 40)
+			cfg.SkewedData = true
+			return runPoint(b, cfg).Throughput
+		}
+		fg2, fg8 := get(nam.FineGrained, 2), get(nam.FineGrained, 8)
+		cg2, cg8 := get(nam.CoarseGrained, 2), get(nam.CoarseGrained, 8)
+		if fg8 <= fg2 {
+			b.Fatalf("fine-grained does not scale with servers under skew: %f -> %f", fg2, fg8)
+		}
+		if cg8 > cg2*1.5 {
+			b.Fatalf("coarse-grained scaled too well under skew: %f -> %f", cg2, cg8)
+		}
+		b.ReportMetric(fg8/fg2, "fg-scaling-x")
+		b.ReportMetric(cg8/cg2, "cg-scaling-x")
+	}
+}
+
+// BenchmarkFig12Inserts runs workloads C and D (Figure 12).
+func BenchmarkFig12Inserts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mix := range []workload.Mix{workload.WorkloadC, workload.WorkloadD} {
+			for _, d := range []nam.Design{nam.CoarseGrained, nam.FineGrained, nam.Hybrid} {
+				cfg := pointCfg(d, 120)
+				cfg.Mix = mix
+				res := runPoint(b, cfg)
+				if mix.Name == "D" && d == nam.FineGrained {
+					b.ReportMetric(res.Throughput, "fg-D-ops/s")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig13LatencySkew reproduces Figure 13(a): latency inflates under
+// load.
+func BenchmarkFig13LatencySkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lo := pointCfg(nam.CoarseGrained, 20)
+		lo.SkewedData = true
+		hi := pointCfg(nam.CoarseGrained, 120)
+		hi.SkewedData = true
+		loRes, hiRes := runPoint(b, lo), runPoint(b, hi)
+		if hiRes.Latency.Percentile(50) <= loRes.Latency.Percentile(50) {
+			b.Fatal("latency did not inflate under load")
+		}
+		b.ReportMetric(float64(hiRes.Latency.Percentile(50)), "p50-ns-high-load")
+	}
+}
+
+// BenchmarkFig14LatencyUniform reproduces Figure 14(a): at low load the
+// RPC-based design has lower point latency than the multi-round-trip
+// one-sided design.
+func BenchmarkFig14LatencyUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cg := runPoint(b, pointCfg(nam.CoarseGrained, 20))
+		fg := runPoint(b, pointCfg(nam.FineGrained, 20))
+		if fg.Latency.Percentile(50) <= cg.Latency.Percentile(50) {
+			b.Fatal("figure 14 low-load ordering diverged")
+		}
+		b.ReportMetric(float64(cg.Latency.Percentile(50)), "cg-p50-ns")
+		b.ReportMetric(float64(fg.Latency.Percentile(50)), "fg-p50-ns")
+	}
+}
+
+// BenchmarkFig15CoLocation reproduces Figure 15: co-location buys a constant
+// factor.
+func BenchmarkFig15CoLocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mk := func(co bool) bench.Config {
+			cfg := pointCfg(nam.CoarseGrained, 80)
+			cfg.Topology = nam.Topology{
+				MemServers: 4, MemServersPerMachine: 1,
+				ComputeMachines: 4, ClientsPerMachine: 20,
+				CoLocated: co,
+			}
+			return cfg
+		}
+		dist, co := runPoint(b, mk(false)), runPoint(b, mk(true))
+		if co.Throughput <= dist.Throughput {
+			b.Fatal("co-location not faster")
+		}
+		b.ReportMetric(co.Throughput/dist.Throughput, "colocation-gain-x")
+	}
+}
+
+// BenchmarkCacheA4 reproduces the Appendix A.4 extension: compute-side
+// caching lifts fine-grained read throughput.
+func BenchmarkCacheA4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plain := runPoint(b, pointCfg(nam.FineGrained, 120))
+		cached := pointCfg(nam.FineGrained, 120)
+		cached.CachePages = 1024
+		cRes := runPoint(b, cached)
+		if cRes.Throughput <= plain.Throughput {
+			b.Fatal("cache did not help read-only point queries")
+		}
+		b.ReportMetric(cRes.Throughput/plain.Throughput, "cache-gain-x")
+	}
+}
+
+// BenchmarkAblationHeadNodes measures the Section 4.3 prefetch optimization:
+// ranges with head nodes beat ranges without.
+func BenchmarkAblationHeadNodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := rangeCfg(nam.FineGrained, 120, 0.01)
+		without := rangeCfg(nam.FineGrained, 120, 0.01)
+		without.HeadEvery = 0
+		wRes, woRes := runPoint(b, with), runPoint(b, without)
+		if wRes.Throughput <= woRes.Throughput {
+			b.Fatalf("head nodes did not help: %f vs %f", wRes.Throughput, woRes.Throughput)
+		}
+		b.ReportMetric(wRes.Throughput/woRes.Throughput, "headnode-gain-x")
+	}
+}
+
+// BenchmarkAblationPageSize sweeps P for fine-grained point queries.
+func BenchmarkAblationPageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range []int{256, 1024, 4096} {
+			cfg := pointCfg(nam.FineGrained, 120)
+			cfg.PageBytes = p
+			runPoint(b, cfg)
+		}
+	}
+}
+
+// BenchmarkAblationInsertHotspot shows append-key inserts collapsing the
+// one-sided design through remote-spinlock contention.
+func BenchmarkAblationInsertHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		uni := pointCfg(nam.FineGrained, 120)
+		uni.Mix = workload.WorkloadD
+		app := pointCfg(nam.FineGrained, 120)
+		app.Mix = workload.WorkloadD
+		app.InsertAppend = true
+		uRes, aRes := runPoint(b, uni), runPoint(b, app)
+		if aRes.Throughput >= uRes.Throughput {
+			b.Fatal("append hotspot did not hurt")
+		}
+		b.ReportMetric(uRes.Throughput/aRes.Throughput, "hotspot-penalty-x")
+	}
+}
+
+// BenchmarkAblationSRQCores sweeps the handler core pool of the RPC design.
+func BenchmarkAblationSRQCores(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var last float64
+		for _, cores := range []int{4, 20} {
+			cores := cores
+			cfg := pointCfg(nam.CoarseGrained, 120)
+			cfg.Tune = func(sc *simnet.Config) {
+				sc.HandlerCoresPerMachine = cores
+				sc.HandlersPerServer = cores
+			}
+			last = runPoint(b, cfg).Throughput
+		}
+		b.ReportMetric(last, "20core-ops/s")
+	}
+}
+
+// BenchmarkExperimentRunners executes every registered experiment at quick
+// scale end-to-end (output discarded) — the full regeneration path.
+func BenchmarkExperimentRunners(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full experiment sweep")
+	}
+	for i := 0; i < b.N; i++ {
+		for _, e := range []string{"table1", "table2", "fig3", "table3"} {
+			exp, ok := bench.Lookup(e)
+			if !ok {
+				b.Fatalf("experiment %s missing", e)
+			}
+			if err := exp.Run(io.Discard, quick); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

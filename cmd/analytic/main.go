@@ -1,0 +1,37 @@
+// Command analytic prints the theoretical scalability study of Section 2.3:
+// the symbols of Table 1, the evaluated formulas of Table 2, and the
+// Figure 3 maximal-throughput curves.
+//
+// Usage:
+//
+//	analytic                       # paper defaults (Table 1's example column)
+//	analytic -servers 8 -bw 100 -data 1e9 -sel 0.01 -z 20
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/analysis"
+	"github.com/namdb/rdmatree/internal/stats"
+)
+
+func main() {
+	var (
+		servers = flag.Int("servers", 4, "number of memory servers S")
+		bwGB    = flag.Float64("bw", 50, "bandwidth per memory server in GB/s")
+		page    = flag.Int("page", 1024, "page size P in bytes")
+		data    = flag.Float64("data", 100e6, "data size D in tuples")
+		keySize = flag.Int("key", 8, "key size K in bytes")
+		sel     = flag.Float64("sel", 0.001, "range selectivity s")
+		z       = flag.Float64("z", 10, "skew read-amplification z")
+	)
+	flag.Parse()
+
+	p := analysis.Params{S: *servers, BW: *bwGB * 1e9, P: *page, D: *data, K: *keySize}
+	fmt.Println(analysis.Table1String(p))
+	fmt.Println(analysis.Table2String(p, *sel, *z))
+	fmt.Printf("Figure 3: Maximal Throughput, Range Queries (Sel=%g, z=%g)\n", *sel, *z)
+	series := analysis.Fig3Series(p, *sel, *z, []int{2, 4, 8, 16, 32, 64})
+	fmt.Println(stats.Table("memory servers", "max ops/s", series...))
+}

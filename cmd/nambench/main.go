@@ -1,0 +1,87 @@
+// Command nambench regenerates the tables and figures of the paper's
+// evaluation (Section 6 and Appendix A) on the simulated NAM cluster.
+//
+// Usage:
+//
+//	nambench -exp fig8              # one experiment
+//	nambench -exp all               # everything, in paper order
+//	nambench -exp fig7 -quick       # reduced scale
+//	nambench -list                  # available experiments
+//	nambench -exp fig8 -size 1000000 -clients 20,40,80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/namdb/rdmatree/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (table1,table2,table3,fig3,fig7..fig15) or 'all'")
+		list    = flag.Bool("list", false, "list experiments")
+		quick   = flag.Bool("quick", false, "reduced scale")
+		size    = flag.Int("size", 0, "override data size D")
+		clients = flag.String("clients", "", "override client sweep, e.g. 20,40,80")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range bench.AllExperiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+	}
+
+	sc := bench.FullScale
+	if *quick {
+		sc = bench.QuickScale
+	}
+	if *size > 0 {
+		sc.DataSize = *size
+	}
+	if *clients != "" {
+		sc.Clients = nil
+		for _, part := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "nambench: bad -clients value %q\n", part)
+				os.Exit(2)
+			}
+			sc.Clients = append(sc.Clients, n)
+		}
+	}
+
+	var todo []bench.Experiment
+	switch *exp {
+	case "all":
+		todo = bench.AllExperiments()
+	case "paper":
+		todo = bench.Experiments()
+	default:
+		e, ok := bench.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nambench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "nambench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

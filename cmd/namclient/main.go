@@ -1,0 +1,247 @@
+// Command namclient is a compute-server client for a NAM cluster of
+// namserver processes, using the fine-grained one-sided index design
+// (Section 4): all index logic runs here, the memory servers stay passive.
+//
+// Usage:
+//
+//	namclient -servers :7000,:7001 build -size 100000
+//	namclient -servers :7000,:7001 put 42 4200
+//	namclient -servers :7000,:7001 get 42
+//	namclient -servers :7000,:7001 del 42 4200
+//	namclient -servers :7000,:7001 scan 100 200
+//	namclient -servers :7000,:7001 bench -clients 8 -seconds 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/core/coarse"
+	"github.com/namdb/rdmatree/internal/core/fine"
+	"github.com/namdb/rdmatree/internal/core/hybrid"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/tcpnet"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+func main() {
+	var (
+		servers = flag.String("servers", ":7000", "comma-separated memory server addresses (order = server IDs)")
+		page    = flag.Int("page", 1024, "index page size in bytes (must match across all clients)")
+		design  = flag.String("design", "fine", "fine (one-sided), coarse, or hybrid (servers must run the matching -design)")
+		keyspce = flag.Int("keyspace", 100000, "key space of the coarse deployment (must match namserver -size)")
+	)
+	flag.Parse()
+	addrs := strings.Split(*servers, ",")
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	var cat *nam.Catalog
+	var client func(id int) (core.Index, *tcpnet.Endpoint)
+	switch *design {
+	case "fine":
+		cat = &nam.Catalog{
+			Design:    nam.FineGrained,
+			PageBytes: *page,
+			Servers:   len(addrs),
+			RootWords: []rdma.RemotePtr{nam.RootWordPtr(0)},
+		}
+		client = func(id int) (core.Index, *tcpnet.Endpoint) {
+			ep := tcpnet.Dial(addrs)
+			return fine.NewClient(ep, rdma.NopEnv{}, cat, id), ep
+		}
+	case "coarse":
+		// The coarse catalog is fetched from server 0's agent, which built
+		// it from its own flags (or reconstructed from ours as a fallback).
+		boot := tcpnet.Dial(addrs)
+		raw, err := boot.Call(0, (&nam.Request{Op: nam.OpCatalog}).Encode())
+		if err == nil {
+			if resp, derr := nam.DecodeResponse(raw); derr == nil && resp.AsError() == nil {
+				cat, _ = nam.DecodeCatalog(coarse.WordsToBytes(resp.Pairs))
+			}
+		}
+		boot.Close()
+		if cat == nil {
+			cat = &nam.Catalog{
+				Design:      nam.CoarseGrained,
+				PageBytes:   *page,
+				Servers:     len(addrs),
+				PartKind:    nam.PartRange,
+				RangeBounds: partition.NewRangeUniform(len(addrs), uint64(*keyspce)).Bounds(),
+			}
+		}
+		client = func(id int) (core.Index, *tcpnet.Endpoint) {
+			ep := tcpnet.Dial(addrs)
+			return coarse.NewClient(ep, rdma.NopEnv{}, cat), ep
+		}
+	case "hybrid":
+		cat = &nam.Catalog{
+			Design:      nam.Hybrid,
+			PageBytes:   *page,
+			Servers:     len(addrs),
+			PartKind:    nam.PartRange,
+			RangeBounds: partition.NewRangeUniform(len(addrs), uint64(*keyspce)).Bounds(),
+		}
+		for i := range addrs {
+			cat.RootWords = append(cat.RootWords, nam.RootWordPtr(i))
+		}
+		client = func(id int) (core.Index, *tcpnet.Endpoint) {
+			ep := tcpnet.Dial(addrs)
+			return hybrid.NewClient(ep, rdma.NopEnv{}, cat, id), ep
+		}
+	default:
+		log.Fatalf("namclient: unknown -design %q", *design)
+	}
+
+	switch args[0] {
+	case "build":
+		if *design != "fine" {
+			log.Fatal("namclient: build is for -design fine; coarse servers build their own partitions (namserver -size)")
+		}
+		fs := flag.NewFlagSet("build", flag.ExitOnError)
+		size := fs.Int("size", 100000, "initial keys (0..size-1, value = key)")
+		headEvery := fs.Int("headevery", 32, "head node spacing (0 = none)")
+		fs.Parse(args[1:])
+		ep := tcpnet.Dial(addrs)
+		defer ep.Close()
+		start := time.Now()
+		_, err := fine.Build(ep, fine.Options{Layout: layout.New(*page)}, core.BuildSpec{
+			N:         *size,
+			At:        workload.DataItem,
+			HeadEvery: *headEvery,
+		})
+		if err != nil {
+			log.Fatalf("namclient: build: %v", err)
+		}
+		fmt.Printf("built fine-grained index with %d keys across %d servers in %v\n",
+			*size, len(addrs), time.Since(start).Round(time.Millisecond))
+
+	case "get":
+		k := parseU64(args, 1)
+		c, ep := client(0)
+		defer ep.Close()
+		vals, err := c.Lookup(k)
+		check(err)
+		fmt.Printf("%d -> %v\n", k, vals)
+
+	case "put":
+		k, v := parseU64(args, 1), parseU64(args, 2)
+		c, ep := client(0)
+		defer ep.Close()
+		check(c.Insert(k, v))
+		fmt.Printf("inserted (%d, %d)\n", k, v)
+
+	case "del":
+		k, v := parseU64(args, 1), parseU64(args, 2)
+		c, ep := client(0)
+		defer ep.Close()
+		ok, err := c.Delete(k, v)
+		check(err)
+		fmt.Printf("deleted (%d, %d): %v\n", k, v, ok)
+
+	case "scan":
+		lo, hi := parseU64(args, 1), parseU64(args, 2)
+		c, ep := client(0)
+		defer ep.Close()
+		n := 0
+		check(c.Range(lo, hi, func(k, v uint64) bool {
+			fmt.Printf("%d -> %d\n", k, v)
+			n++
+			return n < 1000
+		}))
+		fmt.Printf("(%d entries)\n", n)
+
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		clients := fs.Int("clients", 4, "concurrent client goroutines")
+		seconds := fs.Int("seconds", 3, "duration")
+		size := fs.Int("size", 100000, "key space (must match build -size)")
+		fs.Parse(args[1:])
+		var ops atomic.Int64
+		stop := make(chan struct{})
+		for c := 0; c < *clients; c++ {
+			c := c
+			go func() {
+				idx, ep := client(c)
+				defer ep.Close()
+				gen, err := workload.NewGenerator(workload.Config{
+					Mix: workload.WorkloadA, DataSize: uint64(*size), Seed: 99, Clients: *clients,
+				}, c)
+				check(err)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					op := gen.Next()
+					if _, err := idx.Lookup(op.Key); err != nil {
+						log.Printf("client %d: %v", c, err)
+						return
+					}
+					ops.Add(1)
+				}
+			}()
+		}
+		time.Sleep(time.Duration(*seconds) * time.Second)
+		close(stop)
+		total := ops.Load()
+		fmt.Printf("%d lookups in %ds with %d clients: %.0f lookups/s (wall clock, TCP transport)\n",
+			total, *seconds, *clients, float64(total)/float64(*seconds))
+
+	case "check":
+		if *design != "fine" {
+			log.Fatal("namclient: check is for -design fine")
+		}
+		c, ep := client(0)
+		defer ep.Close()
+		live, err := c.(*fine.Client).Tree().CheckInvariants(rdma.NopEnv{})
+		check(err)
+		fmt.Printf("index invariants OK, %d live entries\n", live)
+
+	default:
+		usage()
+	}
+}
+
+func parseU64(args []string, i int) uint64 {
+	if i >= len(args) {
+		usage()
+	}
+	v, err := strconv.ParseUint(args[i], 10, 64)
+	if err != nil {
+		log.Fatalf("namclient: bad number %q", args[i])
+	}
+	return v
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("namclient: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: namclient -servers a,b,c <command>
+commands:
+  build  -size N -headevery K   bulk-load keys 0..N-1
+  get    <key>                  point lookup
+  put    <key> <value>          insert
+  del    <key> <value>          delete one entry
+  scan   <lo> <hi>              range scan (first 1000 entries)
+  bench  -clients N -seconds S  closed-loop point-query benchmark
+  check                         verify tree invariants`)
+	os.Exit(2)
+}

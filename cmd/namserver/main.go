@@ -1,0 +1,142 @@
+// Command namserver runs one NAM memory server: a passive, registered
+// memory region served over TCP with RDMA-style verbs (internal/rdma/tcpnet).
+//
+// Memory servers are deliberately dumb — with the fine-grained index design
+// (Section 4) every index operation is executed by the compute side with
+// one-sided verbs, so this process contains no index logic at all.
+//
+// Usage:
+//
+//	namserver -id 0 -listen :7000 -region 256
+//	namserver -id 1 -listen :7001 -region 256
+//	...
+//	namclient -servers :7000,:7001 build -size 1000000
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/core/coarse"
+	"github.com/namdb/rdmatree/internal/core/hybrid"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/tcpnet"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", 0, "memory server ID (position in the clients' -servers list)")
+		listen  = flag.String("listen", ":7000", "listen address")
+		region  = flag.Int("region", 256, "registered region size in MiB")
+		design  = flag.String("design", "memory", "memory (passive region, fine-grained clients), coarse (partitioned local tree + RPC handlers), or hybrid (local inner levels, leaves spread across peers)")
+		servers = flag.Int("servers", 1, "total memory servers in the cluster (coarse/hybrid)")
+		size    = flag.Int("size", 0, "bulk-load this server's partition of keys 0..size-1 (coarse/hybrid)")
+		page    = flag.Int("page", 1024, "index page size in bytes (coarse/hybrid)")
+		peers   = flag.String("peers", "", "comma-separated addresses of ALL memory servers in ID order, including this one (hybrid; leaves are written to peers at build time)")
+	)
+	flag.Parse()
+
+	if *id < 0 || *id >= rdma.MaxServers {
+		log.Fatalf("namserver: id %d out of range", *id)
+	}
+	srv := rdma.NewServer(*id, *region<<20, nam.SuperblockBytes)
+
+	var handler rdma.Handler
+	switch *design {
+	case "memory":
+		// Passive region: the fine-grained design needs no server logic.
+	case "coarse":
+		// This process owns one partition of a coarse-grained index; it
+		// builds its local tree and serves the RPC protocol. The spec and
+		// partitioning are derived deterministically from the flags, so all
+		// server processes and clients agree without coordination.
+		fab := &rdma.SingleServerFabric{Srv: srv, Total: *servers}
+		keyspace := uint64(*size)
+		if keyspace == 0 {
+			keyspace = 1
+		}
+		cs := coarse.NewServer(fab, coarse.Options{
+			Layout: layout.New(*page),
+			Part:   partition.NewRangeUniform(*servers, keyspace),
+		})
+		if *size > 0 {
+			if err := cs.BuildServer(*id, core.BuildSpec{N: *size, At: workload.DataItem}); err != nil {
+				log.Fatalf("namserver: %v", err)
+			}
+			log.Printf("namserver: built partition %d/%d of %d keys", *id, *servers, *size)
+		} else if err := cs.InitServer(*id); err != nil {
+			log.Fatalf("namserver: %v", err)
+		}
+		handler = cs.Handler()
+	case "hybrid":
+		if *peers == "" {
+			log.Fatal("namserver: -design hybrid requires -peers")
+		}
+		fab := &rdma.SingleServerFabric{Srv: srv, Total: *servers}
+		keyspace := uint64(*size)
+		if keyspace == 0 {
+			keyspace = 1
+		}
+		hs := hybrid.NewServer(fab, hybrid.Options{
+			Layout: layout.New(*page),
+			Part:   partition.NewRangeUniform(*servers, keyspace),
+		})
+		handler = hs.Handler()
+		// Build after the agent is up (the setup endpoint must reach every
+		// peer, including this process).
+		addrs := strings.Split(*peers, ",")
+		go func() {
+			ep := tcpnet.Dial(addrs)
+			defer ep.Close()
+			// Wait for all peers to come up.
+			for {
+				ready := true
+				for p := range addrs {
+					var w [1]uint64
+					if err := ep.Read(rdma.MakePtr(p, 8), w[:]); err != nil {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					break
+				}
+				time.Sleep(200 * time.Millisecond)
+			}
+			if err := hs.BuildServer(ep, *id, core.BuildSpec{N: *size, At: workload.DataItem, HeadEvery: 32}); err != nil {
+				log.Fatalf("namserver: hybrid build: %v", err)
+			}
+			log.Printf("namserver: built hybrid partition %d/%d of %d keys", *id, *servers, *size)
+		}()
+	default:
+		log.Fatalf("namserver: unknown -design %q", *design)
+	}
+	agent := tcpnet.NewAgent(srv, handler)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("namserver: %v", err)
+	}
+	log.Printf("namserver: memory server %d serving %d MiB on %s", *id, *region, l.Addr())
+
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		log.Printf("namserver: shutting down")
+		agent.Close()
+	}()
+	if err := agent.Serve(l); err != nil {
+		log.Fatalf("namserver: %v", err)
+	}
+}

@@ -1,0 +1,19 @@
+// Package rdmatree is a from-scratch Go reproduction of "Designing
+// Distributed Tree-based Index Structures for Fast RDMA-capable Networks"
+// (Ziegler, Tumkur Vani, Binnig, Fonseca, Kraska — SIGMOD 2019).
+//
+// The library implements the Network-Attached-Memory (NAM) architecture, a
+// verbs-level RDMA abstraction with three transports (in-process, simulated
+// fabric with a calibrated performance model, and TCP), and the paper's
+// three distributed B-link-tree index designs: coarse-grained/two-sided,
+// fine-grained/one-sided, and hybrid.
+//
+// Entry points:
+//
+//   - internal/core/{coarse,fine,hybrid}: the index designs
+//   - cmd/nambench: regenerate every table and figure of the paper
+//   - cmd/namserver, cmd/namclient: a real TCP NAM deployment
+//   - examples/: quickstart, YCSB driver, ordered KV store, analytic model
+//
+// See README.md, DESIGN.md and EXPERIMENTS.md.
+package rdmatree

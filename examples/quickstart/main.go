@@ -1,0 +1,112 @@
+// Quickstart: build a distributed tree index on an in-process NAM cluster
+// and query it through all three designs of the paper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/core/coarse"
+	"github.com/namdb/rdmatree/internal/core/fine"
+	"github.com/namdb/rdmatree/internal/core/hybrid"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+)
+
+func main() {
+	const (
+		servers  = 4
+		numKeys  = 100_000
+		pageSize = 1024
+	)
+	// The initial data set: monotonically increasing keys, value = key*10.
+	spec := core.BuildSpec{
+		N:         numKeys,
+		At:        func(i int) (uint64, uint64) { return uint64(i), uint64(i) * 10 },
+		HeadEvery: 32,
+	}
+	l := layout.New(pageSize)
+
+	fmt.Printf("NAM cluster: %d memory servers, %d keys, %dB pages (fanout %d, leaf capacity %d)\n\n",
+		servers, numKeys, pageSize, l.InnerCap, l.LeafCap)
+
+	// ---- Design 1: coarse-grained / two-sided ----
+	{
+		fab := direct.New(servers, 256<<20, nam.SuperblockBytes)
+		srv := coarse.NewServer(fab, coarse.Options{
+			Layout: l,
+			Part:   partition.NewRangeUniform(servers, numKeys),
+		})
+		cat, err := srv.Build(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fab.SetHandler(srv.Handler())
+		idx := coarse.NewClient(fab.Endpoint(), direct.Env{}, cat)
+		demo("coarse-grained (partitioned trees, RPC access)", idx)
+	}
+
+	// ---- Design 2: fine-grained / one-sided ----
+	{
+		fab := direct.New(servers, 256<<20, nam.SuperblockBytes)
+		cat, err := fine.Build(fab.Endpoint(), fine.Options{Layout: l}, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx := fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+		demo("fine-grained (global tree, one-sided verbs only)", idx)
+	}
+
+	// ---- Design 3: hybrid ----
+	{
+		fab := direct.New(servers, 256<<20, nam.SuperblockBytes)
+		srv := hybrid.NewServer(fab, hybrid.Options{
+			Layout: l,
+			Part:   partition.NewRangeUniform(servers, numKeys),
+		})
+		cat, err := srv.Build(fab.Endpoint(), spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fab.SetHandler(srv.Handler())
+		idx := hybrid.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+		demo("hybrid (RPC traversal, one-sided leaves)", idx)
+	}
+}
+
+// demo exercises the shared Index interface.
+func demo(name string, idx core.Index) {
+	fmt.Println("##", name)
+
+	vals, err := idx.Lookup(4242)
+	must(err)
+	fmt.Printf("  Lookup(4242)            = %v\n", vals)
+
+	must(idx.Insert(4242, 99999)) // non-unique: a second value under the same key
+	vals, err = idx.Lookup(4242)
+	must(err)
+	fmt.Printf("  after Insert(4242)      = %v\n", vals)
+
+	ok, err := idx.Delete(4242, 99999)
+	must(err)
+	fmt.Printf("  Delete(4242, 99999)     = %v\n", ok)
+
+	sum, count := uint64(0), 0
+	must(idx.Range(1000, 1009, func(k, v uint64) bool {
+		sum += v
+		count++
+		return true
+	}))
+	fmt.Printf("  Range[1000,1009]        = %d entries, value sum %d\n\n", count, sum)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

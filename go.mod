@@ -1,0 +1,3 @@
+module github.com/namdb/rdmatree
+
+go 1.22

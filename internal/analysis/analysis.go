@@ -1,0 +1,211 @@
+// Package analysis implements the theoretical scalability model of
+// Section 2.3: the symbols of Table 1, the bandwidth-requirement formulas of
+// Table 2, and the maximal-throughput curves of Figure 3.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/namdb/rdmatree/internal/stats"
+)
+
+// Params are the model symbols of Table 1.
+type Params struct {
+	// S is the number of memory servers.
+	S int
+	// BW is the per-server bandwidth in bytes/second.
+	BW float64
+	// P is the page size of index nodes in bytes.
+	P int
+	// D is the data size in tuples.
+	D float64
+	// K is the key size in bytes (same as value/pointer size).
+	K int
+}
+
+// Defaults returns the example column of Table 1.
+func Defaults() Params {
+	return Params{S: 4, BW: 50e9, P: 1024, D: 100e6, K: 8}
+}
+
+// Fanout is M = P/(3K).
+func (p Params) Fanout() int { return p.P / (3 * p.K) }
+
+// Leaves is L = D/M.
+func (p Params) Leaves() float64 { return p.D / float64(p.Fanout()) }
+
+func logM(m int, x float64) float64 { return math.Log(x) / math.Log(float64(m)) }
+
+// HeightFG is the fine-grained index height ceil(log_M(L)); identical for
+// uniform and skewed data.
+func (p Params) HeightFG() int {
+	return int(math.Ceil(logM(p.Fanout(), p.Leaves())))
+}
+
+// HeightCGUniform is the coarse-grained height under uniform data:
+// ceil(log_M(L/S)).
+func (p Params) HeightCGUniform() int {
+	return int(math.Ceil(logM(p.Fanout(), p.Leaves()/float64(p.S))))
+}
+
+// HeightCGSkew equals HeightFG: under attribute-value skew most leaves end
+// up on one server.
+func (p Params) HeightCGSkew() int { return p.HeightFG() }
+
+// Scheme enumerates the design columns of Table 2.
+type Scheme int
+
+// Schemes of the analysis.
+const (
+	FG Scheme = iota // fine-grained, one-sided
+	CGRange
+	CGHash
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case FG:
+		return "Fine-Grained"
+	case CGRange:
+		return "Coarse-Grained Range"
+	case CGHash:
+		return "Coarse-Grained Hash"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Query describes one query class of Table 2.
+type Query struct {
+	// Range selects range queries; false = point query.
+	Range bool
+	// Skew selects the skewed workload (attribute-value skew with
+	// read-amplification Z).
+	Skew bool
+	// Sel is the range selectivity s.
+	Sel float64
+	// Z is the skew read-amplification factor z.
+	Z float64
+}
+
+// AvailableBW is step (1) of Table 2: the effective aggregated bandwidth.
+func AvailableBW(p Params, scheme Scheme, q Query) float64 {
+	if q.Skew && scheme != FG {
+		// Under attribute-value skew one server holds most of the index.
+		return p.BW
+	}
+	return float64(p.S) * p.BW
+}
+
+// QueryBytes is step (2) of Table 2: the per-query bandwidth requirement.
+func QueryBytes(p Params, scheme Scheme, q Query) float64 {
+	P := float64(p.P)
+	L := p.Leaves()
+	var h float64
+	switch {
+	case scheme == FG:
+		h = float64(p.HeightFG())
+	case q.Skew:
+		h = float64(p.HeightCGSkew())
+	default:
+		h = float64(p.HeightCGUniform())
+	}
+	traversal := h * P
+	if scheme == CGHash && q.Range {
+		// Hash-partitioned range queries must be sent to all S servers.
+		traversal = h * P * float64(p.S)
+	}
+	switch {
+	case !q.Range && !q.Skew:
+		return traversal
+	case !q.Range && q.Skew:
+		return traversal + q.Z*P
+	case q.Range && !q.Skew:
+		return traversal + q.Sel*L*P
+	default:
+		return traversal + q.Sel*q.Z*L*P
+	}
+}
+
+// MaxThroughput is step (3) of Table 2: AvailableBW / QueryBytes, in
+// queries/second.
+func MaxThroughput(p Params, scheme Scheme, q Query) float64 {
+	return AvailableBW(p, scheme, q) / QueryBytes(p, scheme, q)
+}
+
+// Table1String renders Table 1 for the given parameters.
+func Table1String(p Params) string {
+	var b strings.Builder
+	row := func(desc, sym string, val any) {
+		fmt.Fprintf(&b, "%-42s %-8s %v\n", desc, sym, val)
+	}
+	b.WriteString("Table 1: Overview of Symbols\n")
+	row("# of Memory Servers", "S", p.S)
+	row("Bandwidth per Memory Server (GB/s)", "BW", p.BW/1e9)
+	row("Page Size of Index Nodes (in Bytes)", "P", p.P)
+	row("Data Size (# of tuples)", "D", stats.FormatQty(p.D))
+	row("Key Size (in Bytes)", "K", p.K)
+	row("Fanout (per index node)", "M", p.Fanout())
+	row("Leaves (# of nodes)", "L", stats.FormatQty(p.Leaves()))
+	row("Max. index height (FG, Unif./Skew)", "H_FG", p.HeightFG())
+	row("Max. index height (CG, Unif.)", "H_UCG", p.HeightCGUniform())
+	row("Max. index height (CG, Skew)", "H_SCG", p.HeightCGSkew())
+	return b.String()
+}
+
+// Table2String renders the evaluated Table 2 for given selectivity and skew
+// amplification.
+func Table2String(p Params, sel, z float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Scalability Analysis (S=%d, sel=%g, z=%g)\n", p.S, sel, z)
+	fmt.Fprintf(&b, "%-26s %22s %22s %22s\n", "", FG.String(), CGRange.String(), CGHash.String())
+	rows := []struct {
+		name string
+		q    Query
+	}{
+		{"Point (Unif.)", Query{}},
+		{"Point (Skew)", Query{Skew: true, Z: z}},
+		{"Range (Unif.)", Query{Range: true, Sel: sel}},
+		{"Range (Skew)", Query{Range: true, Skew: true, Sel: sel, Z: z}},
+	}
+	fmt.Fprintln(&b, "Step 2: bandwidth per query (bytes)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %22s %22s %22s\n", r.name,
+			stats.FormatQty(QueryBytes(p, FG, r.q)),
+			stats.FormatQty(QueryBytes(p, CGRange, r.q)),
+			stats.FormatQty(QueryBytes(p, CGHash, r.q)))
+	}
+	fmt.Fprintln(&b, "Step 3: max throughput (queries/s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %22s %22s %22s\n", r.name,
+			stats.FormatQty(MaxThroughput(p, FG, r.q)),
+			stats.FormatQty(MaxThroughput(p, CGRange, r.q)),
+			stats.FormatQty(MaxThroughput(p, CGHash, r.q)))
+	}
+	return b.String()
+}
+
+// Fig3Series computes the four curves of Figure 3 (theoretical maximal
+// throughput of range queries, sel and z as in the paper) for server counts
+// servers.
+func Fig3Series(base Params, sel, z float64, servers []int) []*stats.Series {
+	fgS := &stats.Series{Name: "FG (Unif./Skew)"}
+	cgrU := &stats.Series{Name: "CG Range (Unif.)"}
+	cghU := &stats.Series{Name: "CG Hash (Unif.)"}
+	cgSkew := &stats.Series{Name: "CG Range/Hash (Skew)"}
+	for _, s := range servers {
+		p := base
+		p.S = s
+		uq := Query{Range: true, Sel: sel}
+		sq := Query{Range: true, Skew: true, Sel: sel, Z: z}
+		x := float64(s)
+		fgS.Append(x, MaxThroughput(p, FG, uq)) // FG identical under skew
+		cgrU.Append(x, MaxThroughput(p, CGRange, uq))
+		cghU.Append(x, MaxThroughput(p, CGHash, uq))
+		cgSkew.Append(x, MaxThroughput(p, CGRange, sq))
+	}
+	return []*stats.Series{fgS, cgrU, cghU, cgSkew}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1ExampleColumn(t *testing.T) {
+	// The rightmost column of Table 1 in the paper.
+	p := Defaults()
+	if p.Fanout() != 42 {
+		t.Fatalf("Fanout = %d; want 42", p.Fanout())
+	}
+	l := p.Leaves()
+	if l < 2.3e6 || l > 2.4e6 {
+		t.Fatalf("Leaves = %f; want approx 2.3M", l)
+	}
+	if p.HeightFG() != 4 {
+		t.Fatalf("H_FG = %d; want 4", p.HeightFG())
+	}
+	if p.HeightCGUniform() != 4 {
+		t.Fatalf("H_UCG = %d; want 4", p.HeightCGUniform())
+	}
+	if p.HeightCGSkew() != 4 {
+		t.Fatalf("H_SCG = %d; want 4", p.HeightCGSkew())
+	}
+}
+
+func TestAvailableBWStep1(t *testing.T) {
+	p := Defaults()
+	uq := Query{}
+	sq := Query{Skew: true, Z: 10}
+	if got := AvailableBW(p, FG, uq); got != 4*50e9 {
+		t.Fatalf("FG uniform BW = %g", got)
+	}
+	if got := AvailableBW(p, FG, sq); got != 4*50e9 {
+		t.Fatalf("FG skew BW = %g; FG must keep aggregate BW under skew", got)
+	}
+	if got := AvailableBW(p, CGRange, sq); got != 50e9 {
+		t.Fatalf("CG skew BW = %g; want single-server BW", got)
+	}
+	if got := AvailableBW(p, CGHash, uq); got != 4*50e9 {
+		t.Fatalf("CG hash uniform BW = %g", got)
+	}
+}
+
+func TestQueryBytesStep2(t *testing.T) {
+	p := Defaults()
+	P := float64(p.P)
+	L := p.Leaves()
+	// Point uniform: H*P.
+	if got := QueryBytes(p, FG, Query{}); got != 4*P {
+		t.Fatalf("FG point bytes = %g; want %g", got, 4*P)
+	}
+	// Point skew: H*P + z*P.
+	if got := QueryBytes(p, FG, Query{Skew: true, Z: 10}); got != 4*P+10*P {
+		t.Fatalf("FG skew point bytes = %g", got)
+	}
+	// Range uniform: H*P + s*L*P.
+	want := 4*P + 0.001*L*P
+	if got := QueryBytes(p, CGRange, Query{Range: true, Sel: 0.001}); got != want {
+		t.Fatalf("CG range bytes = %g; want %g", got, want)
+	}
+	// Hash ranges traverse S indexes.
+	wantHash := 4*P*4 + 0.001*L*P
+	if got := QueryBytes(p, CGHash, Query{Range: true, Sel: 0.001}); got != wantHash {
+		t.Fatalf("CG hash range bytes = %g; want %g", got, wantHash)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	// The paper's headline findings from the model:
+	// (1) all schemes scale for uniform workloads;
+	// (2) under skew, CG stagnates (flat) while FG keeps scaling;
+	// (3) hash partitioning scales slightly worse than range for ranges.
+	servers := []int{2, 4, 8, 16, 32, 64}
+	series := Fig3Series(Defaults(), 0.001, 10, servers)
+	fg, cgr, cgh, cgSkew := series[0], series[1], series[2], series[3]
+
+	for i := 1; i < len(servers); i++ {
+		if fg.Y[i] <= fg.Y[i-1] {
+			t.Fatal("FG does not scale with servers")
+		}
+		if cgr.Y[i] <= cgr.Y[i-1] {
+			t.Fatal("CG range (uniform) does not scale")
+		}
+	}
+	// CG skew stagnates: last point barely above first.
+	if cgSkew.Y[len(servers)-1] > cgSkew.Y[0]*1.5 {
+		t.Fatalf("CG skew scales too well: %v", cgSkew.Y)
+	}
+	// FG under skew = FG uniform, far above CG skew at S=64.
+	if fg.Y[len(servers)-1] < cgSkew.Y[len(servers)-1]*10 {
+		t.Fatalf("FG does not dominate CG under skew at scale: %f vs %f",
+			fg.Y[len(servers)-1], cgSkew.Y[len(servers)-1])
+	}
+	// Hash <= range for uniform ranges at every S.
+	for i := range servers {
+		if cgh.Y[i] > cgr.Y[i] {
+			t.Fatalf("hash faster than range at S=%d", servers[i])
+		}
+	}
+	// Figure 3's S=64 FG value is around 1.4M ops/s with the example
+	// parameters; check the right order of magnitude.
+	if top := fg.Y[len(servers)-1]; top < 0.8e6 || top > 2.5e6 {
+		t.Fatalf("FG at S=64 = %f; want ~1.4M", top)
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	p := Defaults()
+	t1 := Table1String(p)
+	for _, want := range []string{"S", "Fanout", "42", "H_FG"} {
+		if !strings.Contains(t1, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2String(p, 0.001, 10)
+	for _, want := range []string{"Fine-Grained", "Coarse-Grained Hash", "Point (Skew)", "Range (Unif.)"} {
+		if !strings.Contains(t2, want) {
+			t.Fatalf("Table 2 missing %q:\n%s", want, t2)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma/simnet"
+	"github.com/namdb/rdmatree/internal/stats"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// extensions lists the experiments beyond the paper's figures: the Appendix
+// A.4 caching study and ablations of the design decisions called out in
+// DESIGN.md.
+func extensions() []Experiment {
+	return []Experiment{
+		{"cache", "Appendix A.4: Compute-Side Caching (Fine-Grained, Point Queries)", expCache},
+		{"ablation-heads", "Ablation: Head-Node Prefetching (Section 4.3)", expAblationHeads},
+		{"ablation-pagesize", "Ablation: Page Size P", expAblationPageSize},
+		{"ablation-hotspot", "Ablation: Insert Hotspot (Append vs Uniform Inserts, Workload D)", expAblationHotspot},
+		{"ablation-srq", "Ablation: SRQ Handler Cores (Coarse-Grained, Point Queries)", expAblationSRQ},
+		{"ablation-zipf", "Ablation: Zipfian Request Skew (Point Queries)", expAblationZipf},
+	}
+}
+
+// expCache sweeps the per-client cache size for read-only and insert-mixed
+// workloads (Appendix A.4: caching helps reads, writes complicate it).
+func expCache(w io.Writer, sc Scale) error {
+	sizes := []int{0, 64, 512, 4096}
+	for _, mix := range []workload.Mix{workload.WorkloadA, workload.WorkloadC} {
+		thr := &stats.Series{Name: "lookups/s"}
+		hit := &stats.Series{Name: "hit rate %"}
+		for _, pages := range sizes {
+			cfg := baseConfig(nam.FineGrained, sc, 120)
+			cfg.Mix = mix
+			cfg.CachePages = pages
+			res, err := Run(cfg)
+			if err != nil {
+				return fmt.Errorf("cache/%s/%d pages: %w", mix.Name, pages, err)
+			}
+			thr.Append(float64(pages), res.Throughput)
+			rate := 0.0
+			if t := res.CacheHits + res.CacheMisses; t > 0 {
+				rate = 100 * float64(res.CacheHits) / float64(t)
+			}
+			hit.Append(float64(pages), rate)
+		}
+		fmt.Fprintf(w, "Workload %s (cache pages per client)\n", mix.Name)
+		fmt.Fprintln(w, stats.Table("cache pages", "value", thr, hit))
+	}
+	return nil
+}
+
+// expAblationHeads measures range-scan throughput with and without head
+// nodes at several spacings — the value of the Section 4.3 optimization.
+func expAblationHeads(w io.Writer, sc Scale) error {
+	spacings := []int{0, 8, 32, 64}
+	for _, sel := range sc.Selectivities {
+		ser := &stats.Series{Name: "fine-grained"}
+		for _, he := range spacings {
+			cfg := baseConfig(nam.FineGrained, sc, 120)
+			cfg.Mix = workload.WorkloadB
+			cfg.Selectivity = sel
+			cfg.HeadEvery = he
+			cfg.MeasureNS = sc.MeasureRangeNS
+			res, err := Run(cfg)
+			if err != nil {
+				return fmt.Errorf("heads/sel=%g/every=%d: %w", sel, he, err)
+			}
+			ser.Append(float64(he), res.Throughput)
+		}
+		fmt.Fprintf(w, "Range Queries (Sel=%g); x = head-node spacing (0 = no head nodes)\n", sel)
+		fmt.Fprintln(w, stats.Table("head every", "lookups/s", ser))
+	}
+	return nil
+}
+
+// expAblationPageSize sweeps the page size P for point and range queries on
+// the fine-grained design: bigger pages mean shallower trees but larger
+// transfers.
+func expAblationPageSize(w io.Writer, sc Scale) error {
+	pageSizes := []int{256, 512, 1024, 4096}
+	panels := []wlPanel{
+		{"Point Queries", workload.WorkloadA, 0},
+		{"Range Queries (Sel=0.01)", workload.WorkloadB, 0.01},
+	}
+	for _, panel := range panels {
+		ser := &stats.Series{Name: "fine-grained"}
+		for _, pb := range pageSizes {
+			cfg := exp1Config(nam.FineGrained, sc, 120, panel, false)
+			cfg.PageBytes = pb
+			res, err := Run(cfg)
+			if err != nil {
+				return fmt.Errorf("pagesize/%s/P=%d: %w", panel.name, pb, err)
+			}
+			ser.Append(float64(pb), res.Throughput)
+		}
+		fmt.Fprintln(w, panel.name)
+		fmt.Fprintln(w, stats.Table("page bytes", "lookups/s", ser))
+	}
+	return nil
+}
+
+// expAblationHotspot contrasts uniform inserts with append-style inserts
+// (YCSB new records): the right-edge hotspot collapses designs that spin on
+// the hot leaf's lock — remotely (fine-grained clients flood the NIC) or on
+// the server's cores.
+func expAblationHotspot(w io.Writer, sc Scale) error {
+	var series []*stats.Series
+	for _, append_ := range []bool{false, true} {
+		label := "uniform"
+		if append_ {
+			label = "append"
+		}
+		for _, d := range allDesigns {
+			ser := &stats.Series{Name: fmt.Sprintf("%s %s", shortName(d), label)}
+			for _, clients := range sc.Clients {
+				cfg := baseConfig(d, sc, clients)
+				cfg.Mix = workload.WorkloadD
+				cfg.InsertAppend = append_
+				res, err := Run(cfg)
+				if err != nil {
+					return fmt.Errorf("hotspot/%v/%s/%d: %w", d, label, clients, err)
+				}
+				ser.Append(float64(clients), res.Throughput)
+			}
+			series = append(series, ser)
+		}
+	}
+	fmt.Fprintln(w, "Workload D (50% inserts), uniform vs append insert keys")
+	fmt.Fprintln(w, stats.Table("clients", "operations/s", series...))
+	return nil
+}
+
+// expAblationZipf applies YCSB's original request-skew knob (Zipfian key
+// popularity) instead of the paper's attribute-value skew: hot *requests*
+// concentrate on one partition owner (coarse-grained) or one hot leaf's NIC
+// (fine-grained) even though the data itself is placed uniformly.
+func expAblationZipf(w io.Writer, sc Scale) error {
+	var series []*stats.Series
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipfian} {
+		label := "uniform"
+		if dist == workload.Zipfian {
+			label = "zipfian"
+		}
+		for _, d := range allDesigns {
+			ser := &stats.Series{Name: fmt.Sprintf("%s %s", shortName(d), label)}
+			for _, clients := range sc.Clients {
+				cfg := baseConfig(d, sc, clients)
+				cfg.Dist = dist
+				res, err := Run(cfg)
+				if err != nil {
+					return fmt.Errorf("zipf/%v/%s/%d: %w", d, label, clients, err)
+				}
+				ser.Append(float64(clients), res.Throughput)
+			}
+			series = append(series, ser)
+		}
+	}
+	fmt.Fprintln(w, "Point queries, uniform vs Zipfian request distribution")
+	fmt.Fprintln(w, stats.Table("clients", "lookups/s", series...))
+	return nil
+}
+
+// expAblationSRQ sweeps the handler core pool of the coarse-grained design —
+// the resource its two-sided RPCs saturate (Section 6.1).
+func expAblationSRQ(w io.Writer, sc Scale) error {
+	cores := []int{4, 10, 20, 40}
+	ser := &stats.Series{Name: "coarse-grained"}
+	for _, c := range cores {
+		c := c
+		cfg := baseConfig(nam.CoarseGrained, sc, 240)
+		cfg.Tune = func(sc *simnet.Config) {
+			sc.HandlerCoresPerMachine = c
+			sc.HandlersPerServer = c
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("srq/cores=%d: %w", c, err)
+		}
+		ser.Append(float64(c), res.Throughput)
+	}
+	fmt.Fprintln(w, "Point Queries, 240 clients; x = handler cores per memory machine")
+	fmt.Fprintln(w, stats.Table("cores", "lookups/s", ser))
+	return nil
+}

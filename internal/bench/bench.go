@@ -1,0 +1,296 @@
+// Package bench is the experiment harness: it deploys one index design on a
+// simulated NAM cluster, drives it with closed-loop clients executing a
+// modified-YCSB workload (Section 6), and reports throughput, latency and
+// network utilization over a measured virtual-time window.
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/namdb/rdmatree/internal/cache"
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/core/coarse"
+	"github.com/namdb/rdmatree/internal/core/fine"
+	"github.com/namdb/rdmatree/internal/core/hybrid"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma/simnet"
+	"github.com/namdb/rdmatree/internal/sim"
+	"github.com/namdb/rdmatree/internal/stats"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// Config describes one experiment point.
+type Config struct {
+	// Design selects the index design under test.
+	Design nam.Design
+	// PartKind selects the coarse-grained partitioning (range or hash);
+	// ignored by the fine-grained design.
+	PartKind nam.PartitionKind
+	// SkewedData applies the paper's 80/12/5/3 attribute-value-skew
+	// assignment (Section 6.1) instead of uniform range partitioning. For
+	// the fine-grained design data placement is per-node round-robin and
+	// unaffected, as in the paper.
+	SkewedData bool
+	// Topology is the cluster layout.
+	Topology nam.Topology
+	// DataSize is the initial number of index entries D.
+	DataSize int
+	// PageBytes is the index page size P.
+	PageBytes int
+	// Mix is the workload (Table 3).
+	Mix workload.Mix
+	// Selectivity configures range queries.
+	Selectivity float64
+	// Dist is the request distribution.
+	Dist workload.Distribution
+	// HeadEvery enables head nodes for fine-grained leaves (fine/hybrid).
+	HeadEvery int
+	// InsertAppend switches inserts to monotonically increasing new keys
+	// (right-edge hotspot extension; see workload.Config.InsertAppend).
+	InsertAppend bool
+	// CachePages enables a compute-side page cache of this many pages per
+	// client on the fine-grained design (Appendix A.4).
+	CachePages int
+	// WarmupNS and MeasureNS are the virtual warm-up and measurement
+	// windows.
+	WarmupNS  int64
+	MeasureNS int64
+	// Seed seeds the workload generators.
+	Seed int64
+	// Tune, if non-nil, adjusts the fabric cost model before deployment.
+	Tune func(*simnet.Config)
+}
+
+// Validate fills defaults and sanity-checks.
+func (c *Config) Validate() error {
+	if c.DataSize <= 0 {
+		return fmt.Errorf("bench: DataSize must be positive")
+	}
+	if c.PageBytes == 0 {
+		c.PageBytes = 1024
+	}
+	if c.WarmupNS == 0 {
+		c.WarmupNS = 2_000_000 // 2ms virtual
+	}
+	if c.MeasureNS == 0 {
+		c.MeasureNS = 20_000_000 // 20ms virtual
+	}
+	return c.Topology.Validate()
+}
+
+// Result is one experiment point's measurement.
+type Result struct {
+	// Ops completed inside the measurement window.
+	Ops int64
+	// Throughput in operations/second.
+	Throughput float64
+	// Latency of operations completing inside the window, in nanoseconds.
+	Latency *stats.Histogram
+	// LatencyByKind splits latency per operation kind (point/range/insert),
+	// useful for the mixed workloads of Exp. 3.
+	LatencyByKind map[workload.OpKind]*stats.Histogram
+	// NetGBps is the aggregate server-NIC traffic (in+out) during the
+	// window, in GB/s (Figure 9's metric).
+	NetGBps float64
+	// PerServerGBps is the per-memory-server traffic.
+	PerServerGBps []float64
+	// CacheHits/CacheMisses aggregate compute-side cache statistics when
+	// CachePages is enabled.
+	CacheHits   int64
+	CacheMisses int64
+	// Util reports per-station utilization over the measurement window;
+	// Util.Max() names the saturated resource behind a plateau.
+	Util simnet.Utilization
+	// Err is the first client error, if any.
+	Err error
+}
+
+// Run executes one experiment point.
+func Run(cfg Config) (Result, error) {
+	if err := (&cfg).Validate(); err != nil {
+		return Result{}, err
+	}
+	s := sim.New()
+	simCfg := simnet.NewConfig(cfg.Topology)
+	if cfg.Tune != nil {
+		cfg.Tune(&simCfg)
+	}
+	fab := simnet.New(s, simCfg)
+	l := layout.New(cfg.PageBytes)
+
+	spec := core.BuildSpec{
+		N:         cfg.DataSize,
+		At:        workload.DataItem,
+		HeadEvery: cfg.HeadEvery,
+	}
+	keyspace := uint64(cfg.DataSize)
+
+	part := func() partition.Partitioner {
+		if cfg.PartKind == nam.PartHash {
+			return partition.NewHash(cfg.Topology.MemServers)
+		}
+		if cfg.SkewedData {
+			// 80/12/5/3 across the first four servers; further servers
+			// continue the tail geometrically.
+			weights := []float64{80, 12, 5, 3}
+			for len(weights) < cfg.Topology.MemServers {
+				weights = append(weights, weights[len(weights)-1]/2)
+			}
+			return partition.NewRangeWeighted(keyspace, weights[:cfg.Topology.MemServers]...)
+		}
+		return partition.NewRangeUniform(cfg.Topology.MemServers, keyspace)
+	}
+
+	// Deploy the design.
+	var caches []*cache.Mem
+	var mkClient func(clientID int, p *sim.Proc) core.Index
+	switch cfg.Design {
+	case nam.CoarseGrained:
+		srv := coarse.NewServer(fab, coarse.Options{Layout: l, Part: part(), VisitNS: simCfg.VisitNS})
+		cat, err := srv.Build(spec)
+		if err != nil {
+			return Result{}, err
+		}
+		fab.SetHandler(srv.Handler())
+		fab.Start()
+		mkClient = func(id int, p *sim.Proc) core.Index {
+			return coarse.NewClient(fab.Endpoint(id, p), fab.ClientEnv(p), cat)
+		}
+	case nam.FineGrained:
+		cat, err := fine.Build(fab.SetupEndpoint(), fine.Options{Layout: l}, spec)
+		if err != nil {
+			return Result{}, err
+		}
+		mkClient = func(id int, p *sim.Proc) core.Index {
+			if cfg.CachePages > 0 {
+				c, cm := fine.NewCachedClient(fab.Endpoint(id, p), fab.ClientEnv(p), cat, id, cfg.CachePages)
+				caches = append(caches, cm)
+				return c
+			}
+			return fine.NewClient(fab.Endpoint(id, p), fab.ClientEnv(p), cat, id)
+		}
+	case nam.Hybrid:
+		srv := hybrid.NewServer(fab, hybrid.Options{Layout: l, Part: part(), VisitNS: simCfg.VisitNS})
+		cat, err := srv.Build(fab.SetupEndpoint(), spec)
+		if err != nil {
+			return Result{}, err
+		}
+		fab.SetHandler(srv.Handler())
+		fab.Start()
+		mkClient = func(id int, p *sim.Proc) core.Index {
+			return hybrid.NewClient(fab.Endpoint(id, p), fab.ClientEnv(p), cat, id)
+		}
+	default:
+		return Result{}, fmt.Errorf("bench: unknown design %v", cfg.Design)
+	}
+
+	wlCfg := workload.Config{
+		Mix:          cfg.Mix,
+		DataSize:     keyspace,
+		Selectivity:  cfg.Selectivity,
+		Dist:         cfg.Dist,
+		Seed:         cfg.Seed,
+		Clients:      cfg.Topology.Clients(),
+		InsertAppend: cfg.InsertAppend,
+	}
+	if err := wlCfg.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Latency: &stats.Histogram{},
+		LatencyByKind: map[workload.OpKind]*stats.Histogram{
+			workload.PointQuery: {},
+			workload.RangeQuery: {},
+			workload.Insert:     {},
+		},
+	}
+	var ops atomic.Int64
+	var firstErr atomic.Value
+	measureStart := cfg.WarmupNS
+	measureEnd := cfg.WarmupNS + cfg.MeasureNS
+
+	// Byte counters snapshotted at the window edges.
+	var bytesAtStart, bytesAtEnd int64
+	var perStart, perEnd []int64
+	snapshot := func() int64 {
+		return fab.BytesIn.Total() + fab.BytesOut.Total()
+	}
+	perSnapshot := func() []int64 {
+		in, out := fab.BytesIn.Snapshot(), fab.BytesOut.Snapshot()
+		res := make([]int64, len(in))
+		for i := range in {
+			res[i] = in[i] + out[i]
+		}
+		return res
+	}
+	var busySnap []sim.Time
+	s.At(measureStart, func() { bytesAtStart = snapshot(); perStart = perSnapshot(); busySnap = fab.BusySnapshot() })
+	s.At(measureEnd, func() {
+		bytesAtEnd = snapshot()
+		perEnd = perSnapshot()
+		res.Util = fab.UtilizationSince(busySnap, measureStart)
+	})
+
+	for c := 0; c < cfg.Topology.Clients(); c++ {
+		c := c
+		s.Spawn(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+			gen, err := workload.NewGenerator(wlCfg, c)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			idx := mkClient(c, p)
+			for {
+				op := gen.Next()
+				start := p.Now()
+				var err error
+				switch op.Kind {
+				case workload.PointQuery:
+					_, err = idx.Lookup(op.Key)
+				case workload.RangeQuery:
+					err = idx.Range(op.Key, op.EndKey, func(uint64, uint64) bool { return true })
+				case workload.Insert:
+					err = idx.Insert(op.Key, op.Value)
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("client %d: %w", c, err))
+					return
+				}
+				end := p.Now()
+				if end > measureStart && end <= measureEnd {
+					ops.Add(1)
+					res.Latency.Record(end - start)
+					res.LatencyByKind[op.Kind].Record(end - start)
+				}
+				if end > measureEnd {
+					return
+				}
+			}
+		})
+	}
+	s.RunUntil(measureEnd)
+	s.Shutdown()
+
+	if e, ok := firstErr.Load().(error); ok && e != nil {
+		res.Err = e
+		return res, e
+	}
+	res.Ops = ops.Load()
+	for _, cm := range caches {
+		res.CacheHits += cm.Stats.Hits
+		res.CacheMisses += cm.Stats.Misses
+	}
+	secs := float64(cfg.MeasureNS) / 1e9
+	res.Throughput = float64(res.Ops) / secs
+	res.NetGBps = float64(bytesAtEnd-bytesAtStart) / secs / 1e9
+	if perEnd != nil && perStart != nil {
+		for i := range perEnd {
+			res.PerServerGBps = append(res.PerServerGBps, float64(perEnd[i]-perStart[i])/secs/1e9)
+		}
+	}
+	return res, nil
+}

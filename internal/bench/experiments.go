@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/namdb/rdmatree/internal/analysis"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/stats"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// Scale sizes an experiment run. The paper's testbed numbers (100M tuples,
+// 240 clients) are reproduced in shape at simulator scale; Full is the
+// default, Quick is for smoke runs and `go test -bench`.
+type Scale struct {
+	// DataSize is the initial tuple count D.
+	DataSize int
+	// Clients is the client sweep of Exp. 1 and 3.
+	Clients []int
+	// MeasurePointNS / MeasureRangeNS are virtual measurement windows.
+	MeasurePointNS int64
+	MeasureRangeNS int64
+	// Selectivities for workload B.
+	Selectivities []float64
+	// DataSizes is the sweep of Exp. 2a.
+	DataSizes []int
+	// Servers is the sweep of Exp. 2b.
+	Servers []int
+}
+
+// FullScale is the default experiment scale.
+var FullScale = Scale{
+	DataSize:       400_000,
+	Clients:        []int{10, 20, 40, 80, 160, 240},
+	MeasurePointNS: 20_000_000,
+	MeasureRangeNS: 60_000_000,
+	Selectivities:  []float64{0.001, 0.01, 0.1},
+	DataSizes:      []int{50_000, 200_000, 800_000},
+	Servers:        []int{2, 4, 6, 8},
+}
+
+// QuickScale is a reduced scale for smoke tests.
+var QuickScale = Scale{
+	DataSize:       100_000,
+	Clients:        []int{20, 120},
+	MeasurePointNS: 8_000_000,
+	MeasureRangeNS: 20_000_000,
+	Selectivities:  []float64{0.01},
+	DataSizes:      []int{50_000, 200_000},
+	Servers:        []int{2, 4},
+}
+
+var allDesigns = []nam.Design{nam.CoarseGrained, nam.FineGrained, nam.Hybrid}
+
+// topologyFor builds the paper's topology for a client count: 40 clients per
+// compute machine, 4 memory servers on 2 machines unless overridden.
+func topologyFor(memServers, clients int) nam.Topology {
+	machines := (clients + 39) / 40
+	if machines < 1 {
+		machines = 1
+	}
+	return nam.PaperTopology(memServers, machines, (clients+machines-1)/machines)
+}
+
+func baseConfig(design nam.Design, sc Scale, clients int) Config {
+	return Config{
+		Design:    design,
+		Topology:  topologyFor(4, clients),
+		DataSize:  sc.DataSize,
+		Mix:       workload.WorkloadA,
+		HeadEvery: 32,
+		MeasureNS: sc.MeasurePointNS,
+		Seed:      20190630,
+	}
+}
+
+// Experiment is one paper artifact with a runner that regenerates it.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, sc Scale) error
+}
+
+// Experiments lists every table and figure of the paper, in order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: Overview of Symbols", runTable1},
+		{"table2", "Table 2: Scalability Analysis (Theoretical)", runTable2},
+		{"fig3", "Figure 3: Maximal Throughput (Theoretical)", runFig3},
+		{"table3", "Table 3: Workloads of the Evaluation", runTable3},
+		{"fig7", "Figure 7: Throughput Workloads A & B (Skewed Data)", expThroughput(true)},
+		{"fig8", "Figure 8: Throughput Workloads A & B (Uniform Data)", expThroughput(false)},
+		{"fig9", "Figure 9: Network Utilization Workloads A & B (Skewed Data)", expNetwork},
+		{"fig10", "Figure 10: Varying Data Size (Uniform, 240 Clients)", expDataSize},
+		{"fig11", "Figure 11: Varying # of Memory Servers (120 Clients)", expServers},
+		{"fig12", "Figure 12: Workloads C & D with Inserts (Uniform Data)", expInserts},
+		{"fig13", "Figure 13: Latency Workloads A & B (Skewed Data)", expLatency(true)},
+		{"fig14", "Figure 14: Latency Workloads A & B (Uniform Data)", expLatency(false)},
+		{"fig15", "Figure 15: Effects of Co-location (Uniform, 80 Clients)", expCoLocation},
+	}
+}
+
+// AllExperiments returns the paper's artifacts followed by the extension
+// experiments (Appendix A.4 caching, ablations).
+func AllExperiments() []Experiment {
+	return append(Experiments(), extensions()...)
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range AllExperiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func runTable1(w io.Writer, sc Scale) error {
+	_, err := fmt.Fprintln(w, analysis.Table1String(analysis.Defaults()))
+	return err
+}
+
+func runTable2(w io.Writer, sc Scale) error {
+	_, err := fmt.Fprintln(w, analysis.Table2String(analysis.Defaults(), 0.001, 10))
+	return err
+}
+
+func runFig3(w io.Writer, sc Scale) error {
+	series := analysis.Fig3Series(analysis.Defaults(), 0.001, 10, []int{2, 4, 8, 16, 32, 64})
+	fmt.Fprintln(w, "Range Queries (Sel=0.001, z=10)")
+	_, err := fmt.Fprintln(w, stats.Table("memory servers", "max ops/s", series...))
+	return err
+}
+
+func runTable3(w io.Writer, sc Scale) error {
+	fmt.Fprintf(w, "%-10s %14s %14s %10s\n", "Workload", "Point Queries", "Range Queries", "Inserts")
+	for _, m := range []workload.Mix{workload.WorkloadA, workload.WorkloadB, workload.WorkloadC, workload.WorkloadD} {
+		fmt.Fprintf(w, "%-10s %13d%% %13d%% %9d%%\n", m.Name, m.PointPct, m.RangePct, m.InsertPct)
+	}
+	return nil
+}
+
+// workloadPoints enumerates the four workload panels of Exp. 1 (point
+// queries plus range queries at each selectivity).
+type wlPanel struct {
+	name string
+	mix  workload.Mix
+	sel  float64
+}
+
+func exp1Panels(sc Scale) []wlPanel {
+	panels := []wlPanel{{"Point Queries", workload.WorkloadA, 0}}
+	for _, s := range sc.Selectivities {
+		panels = append(panels, wlPanel{fmt.Sprintf("Range Queries (Sel=%g)", s), workload.WorkloadB, s})
+	}
+	return panels
+}
+
+func exp1Config(design nam.Design, sc Scale, clients int, p wlPanel, skew bool) Config {
+	cfg := baseConfig(design, sc, clients)
+	cfg.Mix = p.mix
+	cfg.Selectivity = p.sel
+	cfg.SkewedData = skew
+	if p.mix.RangePct > 0 {
+		cfg.MeasureNS = sc.MeasureRangeNS
+	}
+	return cfg
+}
+
+// expThroughput regenerates Figures 7 (skew) and 8 (uniform).
+func expThroughput(skew bool) func(io.Writer, Scale) error {
+	return func(w io.Writer, sc Scale) error {
+		return sweepExp1(w, sc, skew, "lookups/s", func(r Result) float64 { return r.Throughput })
+	}
+}
+
+// expLatency regenerates Figures 13 (skew) and 14 (uniform).
+func expLatency(skew bool) func(io.Writer, Scale) error {
+	return func(w io.Writer, sc Scale) error {
+		return sweepExp1(w, sc, skew, "median latency (ns)", func(r Result) float64 {
+			return float64(r.Latency.Percentile(50))
+		})
+	}
+}
+
+// expNetwork regenerates Figure 9 (server NIC GB/s, skewed data).
+func expNetwork(w io.Writer, sc Scale) error {
+	return sweepExp1(w, sc, true, "GB/s", func(r Result) float64 { return r.NetGBps })
+}
+
+func sweepExp1(w io.Writer, sc Scale, skew bool, yLabel string, metric func(Result) float64) error {
+	for _, panel := range exp1Panels(sc) {
+		var series []*stats.Series
+		for _, d := range allDesigns {
+			ser := &stats.Series{Name: d.String()}
+			for _, clients := range sc.Clients {
+				res, err := Run(exp1Config(d, sc, clients, panel, skew))
+				if err != nil {
+					return fmt.Errorf("%s/%v/%d clients: %w", panel.name, d, clients, err)
+				}
+				ser.Append(float64(clients), metric(res))
+			}
+			series = append(series, ser)
+		}
+		fmt.Fprintln(w, panel.name)
+		fmt.Fprintln(w, stats.Table("clients", yLabel, series...))
+	}
+	return nil
+}
+
+// expDataSize regenerates Figure 10: point queries and high-selectivity
+// ranges across data sizes at maximal load.
+func expDataSize(w io.Writer, sc Scale) error {
+	clients := sc.Clients[len(sc.Clients)-1]
+	panels := []wlPanel{
+		{"Point Queries", workload.WorkloadA, 0},
+		{"Range Queries (Sel=0.1)", workload.WorkloadB, 0.1},
+	}
+	for _, panel := range panels {
+		var series []*stats.Series
+		for _, d := range allDesigns {
+			ser := &stats.Series{Name: d.String()}
+			for _, ds := range sc.DataSizes {
+				cfg := exp1Config(d, sc, clients, panel, false)
+				cfg.DataSize = ds
+				res, err := Run(cfg)
+				if err != nil {
+					return fmt.Errorf("fig10/%v/D=%d: %w", d, ds, err)
+				}
+				ser.Append(float64(ds), res.Throughput)
+			}
+			series = append(series, ser)
+		}
+		fmt.Fprintln(w, panel.name)
+		fmt.Fprintln(w, stats.Table("data size", "lookups/s", series...))
+	}
+	return nil
+}
+
+// expServers regenerates Figure 11: varying memory servers, coarse- vs
+// fine-grained, point and range queries, uniform and skew.
+func expServers(w io.Writer, sc Scale) error {
+	designs := []nam.Design{nam.CoarseGrained, nam.FineGrained}
+	panels := []wlPanel{
+		{"Point Queries", workload.WorkloadA, 0},
+		{"Range Queries (Sel=0.01)", workload.WorkloadB, 0.01},
+	}
+	for _, skew := range []bool{false, true} {
+		label := "Uniform"
+		if skew {
+			label = "Skew"
+		}
+		for _, panel := range panels {
+			var series []*stats.Series
+			for _, d := range designs {
+				ser := &stats.Series{Name: d.String()}
+				for _, servers := range sc.Servers {
+					cfg := exp1Config(d, sc, 120, panel, skew)
+					cfg.Topology = topologyFor(servers, 120)
+					res, err := Run(cfg)
+					if err != nil {
+						return fmt.Errorf("fig11/%v/S=%d: %w", d, servers, err)
+					}
+					ser.Append(float64(servers), res.Throughput)
+				}
+				series = append(series, ser)
+			}
+			fmt.Fprintf(w, "%s, %s\n", panel.name, label)
+			fmt.Fprintln(w, stats.Table("memory servers", "lookups/s", series...))
+		}
+	}
+	return nil
+}
+
+// expInserts regenerates Figure 12: workloads C (5% inserts) and D (50%
+// inserts) under increasing load.
+func expInserts(w io.Writer, sc Scale) error {
+	var series []*stats.Series
+	for _, mixPair := range []struct {
+		mix  workload.Mix
+		name string
+	}{
+		{workload.WorkloadD, "50"},
+		{workload.WorkloadC, "5"},
+	} {
+		for _, d := range allDesigns {
+			ser := &stats.Series{Name: fmt.Sprintf("%s %s", shortName(d), mixPair.name)}
+			for _, clients := range sc.Clients {
+				cfg := baseConfig(d, sc, clients)
+				cfg.Mix = mixPair.mix
+				res, err := Run(cfg)
+				if err != nil {
+					return fmt.Errorf("fig12/%v/%s/%d: %w", d, mixPair.name, clients, err)
+				}
+				ser.Append(float64(clients), res.Throughput)
+			}
+			series = append(series, ser)
+		}
+	}
+	fmt.Fprintln(w, "Mixed Workloads (insert percentage in series name)")
+	fmt.Fprintln(w, stats.Table("clients", "operations/s", series...))
+	return nil
+}
+
+func shortName(d nam.Design) string {
+	switch d {
+	case nam.CoarseGrained:
+		return "CG"
+	case nam.FineGrained:
+		return "FG"
+	default:
+		return "Hybrid"
+	}
+}
+
+// expCoLocation regenerates Figure 15 (Appendix A.3): 4 co-located machines
+// vs dedicated machines, 80 clients, uniform data.
+func expCoLocation(w io.Writer, sc Scale) error {
+	panels := []wlPanel{{"Point Queries", workload.WorkloadA, 0}}
+	for _, s := range sc.Selectivities {
+		panels = append(panels, wlPanel{fmt.Sprintf("Range Queries (Sel=%g)", s), workload.WorkloadB, s})
+	}
+	designs := []nam.Design{nam.FineGrained, nam.CoarseGrained}
+	for _, panel := range panels {
+		var series []*stats.Series
+		for _, co := range []bool{false, true} {
+			name := "Distributed"
+			if co {
+				name = "Co-Located"
+			}
+			ser := &stats.Series{Name: name}
+			for i, d := range designs {
+				cfg := exp1Config(d, sc, 80, panel, false)
+				cfg.Topology = nam.Topology{
+					MemServers: 4, MemServersPerMachine: 1,
+					ComputeMachines: 4, ClientsPerMachine: 20,
+					CoLocated: co,
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					return fmt.Errorf("fig15/%v/co=%v: %w", d, co, err)
+				}
+				ser.Append(float64(i), res.Throughput)
+			}
+			series = append(series, ser)
+		}
+		fmt.Fprintln(w, panel.name, "(x: 0=Fine-Grained, 1=Coarse-Grained)")
+		fmt.Fprintln(w, stats.Table("index design", "lookups/s", series...))
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+func TestPaperScaleRangeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	for _, d := range []nam.Design{nam.CoarseGrained, nam.FineGrained} {
+		cfg := Config{
+			Design:      d,
+			Topology:    nam.PaperTopology(4, 6, 40),
+			DataSize:    4_000_000,
+			Mix:         workload.WorkloadB,
+			Selectivity: 0.01,
+			HeadEvery:   32,
+			MeasureNS:   80_000_000,
+			Seed:        1,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%v: %.0f ops/s net %.1f GB/s\n", d, res.Throughput, res.NetGBps)
+	}
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+func TestUtilizationIdentifiesBottleneck(t *testing.T) {
+	// The coarse-grained design at high point-query load is bound by its
+	// handler cores / server NICs, not client resources.
+	cfg := Config{
+		Design:    nam.CoarseGrained,
+		Topology:  nam.PaperTopology(4, 3, 40),
+		DataSize:  100_000,
+		Mix:       workload.WorkloadA,
+		HeadEvery: 32,
+		Seed:      1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, util := res.Util.Max()
+	fmt.Printf("bottleneck: %s at %.2f\n", name, util)
+	if util < 0.7 {
+		t.Fatalf("no saturated station at high load: %s %.2f", name, util)
+	}
+	if name != "handler-cores" && name != "server-nic" {
+		t.Fatalf("unexpected bottleneck %s for the RPC design", name)
+	}
+}

@@ -1,0 +1,543 @@
+package btree
+
+import (
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// BuildStats reports the shape of a bulk-loaded tree.
+type BuildStats struct {
+	Items  int
+	Leaves int
+	Inner  int
+	Heads  int
+	Height int
+}
+
+// BuildConfig controls bulk loading.
+type BuildConfig struct {
+	// Fill is the target fill factor of leaves and inner nodes (0 < Fill <=
+	// 1, default 0.9).
+	Fill float64
+	// HeadEvery inserts a head node (Section 4.3) into the leaf chain after
+	// every HeadEvery leaves; 0 disables head nodes. Head nodes hold the
+	// pointers of the leaves of the following group, so range scans can
+	// prefetch them in one batched READ.
+	HeadEvery int
+}
+
+func (c *BuildConfig) fillTarget(cap int) int {
+	f := c.Fill
+	if f <= 0 || f > 1 {
+		f = 0.9
+	}
+	n := int(f * float64(cap))
+	if n < 1 {
+		n = 1
+	}
+	if n > cap {
+		n = cap
+	}
+	return n
+}
+
+type levelEntry struct {
+	high layout.Key
+	ptr  rdma.RemotePtr
+}
+
+// Build bulk-loads a tree with n items; at(i) must return items in
+// non-decreasing key order. The tree is built bottom-up directly through Mem
+// (an untimed setup path on the simulated fabric) and published at
+// t.RootWord. Build must not race with other accessors.
+func (t *Tree) Build(env rdma.Env, cfg BuildConfig, n int, at func(i int) (k layout.Key, v uint64)) (BuildStats, error) {
+	var bs BuildStats
+	bs.Items = n
+	if n == 0 {
+		return bs, t.Init(env)
+	}
+	leafTarget := cfg.fillTarget(t.L.LeafCap)
+
+	var entries []levelEntry // (highKey, ptr) per leaf, for the parent level
+
+	// Streaming leaf construction with one buffered complete leaf, so each
+	// page is written exactly once with its final right-sibling pointer.
+	// The chain is L1..Ln, H1, L(n+1)..L(2n), H2, ... where head node Hi
+	// follows group i and announces the leaves of group i+1. A head is
+	// therefore *deferred*: allocated (and linked) at its group boundary,
+	// filled as the next group's leaves are allocated, and written only once
+	// that group has completed.
+	var pending layout.Node // complete leaf awaiting its right-sibling ptr
+	var pendingPtr rdma.RemotePtr
+
+	var head layout.Node // deferred head node
+	var headPtr rdma.RemotePtr
+	var headFirst rdma.RemotePtr // first leaf the deferred head announces
+	leavesInGroup := 0
+
+	flushPending := func(next rdma.RemotePtr) error {
+		if pendingPtr.IsNull() {
+			return nil
+		}
+		pending.SetRight(next)
+		if err := t.M.WriteWords(pendingPtr, pending.W); err != nil {
+			return err
+		}
+		pendingPtr = rdma.NullPtr
+		return nil
+	}
+	writeDeferredHead := func() error {
+		if headPtr.IsNull() {
+			return nil
+		}
+		head.SetRight(headFirst) // null if the head announces nothing
+		if err := t.M.WriteWords(headPtr, head.W); err != nil {
+			return err
+		}
+		headPtr = rdma.NullPtr
+		headFirst = rdma.NullPtr
+		return nil
+	}
+
+	cur := t.L.NewNode()
+	cur.InitLeaf()
+	curPtr, err := t.M.AllocPage(0, t.L.PageBytes)
+	if err != nil {
+		return bs, err
+	}
+	startLeaf := func() error {
+		var err error
+		curPtr, err = t.M.AllocPage(0, t.L.PageBytes)
+		if err != nil {
+			return err
+		}
+		cur = t.L.NewNode()
+		cur.InitLeaf()
+		// Announce the new leaf in the deferred head node.
+		if !headPtr.IsNull() {
+			if head.Count() == 0 {
+				headFirst = curPtr
+			}
+			head.HeadAppend(curPtr)
+		}
+		return nil
+	}
+	closeLeaf := func() error {
+		// cur is complete: fence = its last key; link chain.
+		cur.SetHighKey(cur.LeafKey(cur.Count() - 1))
+		entries = append(entries, levelEntry{cur.HighKey(), curPtr})
+		bs.Leaves++
+		if err := flushPending(curPtr); err != nil {
+			return err
+		}
+		pending, pendingPtr = cur, curPtr
+		leavesInGroup++
+		if cfg.HeadEvery > 0 && leavesInGroup >= cfg.HeadEvery {
+			leavesInGroup = 0
+			// The previous deferred head has seen its whole group; write it.
+			if err := writeDeferredHead(); err != nil {
+				return err
+			}
+			// Start a new deferred head following cur.
+			var err error
+			headPtr, err = t.M.AllocPage(0, t.L.PageBytes)
+			if err != nil {
+				return err
+			}
+			head = t.L.NewNode()
+			head.InitHead()
+			if err := flushPending(headPtr); err != nil {
+				return err
+			}
+			bs.Heads++
+		}
+		return nil
+	}
+
+	for i := 0; i < n; i++ {
+		k, v := at(i)
+		if k == layout.MaxKey {
+			return bs, ErrKeyReserved
+		}
+		if cur.Count() > 0 && k < cur.LeafKey(cur.Count()-1) {
+			return bs, fmt.Errorf("btree: Build input not sorted at item %d", i)
+		}
+		if cur.Count() >= leafTarget {
+			if err := closeLeaf(); err != nil {
+				return bs, err
+			}
+			if err := startLeaf(); err != nil {
+				return bs, err
+			}
+		}
+		cur.LeafAppend(k, v)
+	}
+	if err := closeLeaf(); err != nil {
+		return bs, err
+	}
+	// Rightmost leaf: +inf fence, end of chain. closeLeaf may have handed
+	// the chain tail to a fresh deferred head (group boundary at input end);
+	// otherwise the last leaf is still pending.
+	entries[len(entries)-1].high = layout.MaxKey
+	if !pendingPtr.IsNull() {
+		pending.SetHighKey(layout.MaxKey)
+		if err := flushPending(rdma.NullPtr); err != nil {
+			return bs, err
+		}
+	} else {
+		// The last leaf was already written pointing at the deferred head;
+		// rewrite it with the +inf fence preserved.
+		last := entries[len(entries)-1].ptr
+		buf := make([]uint64, t.L.Words)
+		if err := t.M.ReadWords(last, buf); err != nil {
+			return bs, err
+		}
+		ln := t.L.Wrap(buf)
+		ln.SetHighKey(layout.MaxKey)
+		if err := t.M.WriteWords(last, ln.W); err != nil {
+			return bs, err
+		}
+	}
+	// A dangling deferred head announces nothing and terminates the chain.
+	if err := writeDeferredHead(); err != nil {
+		return bs, err
+	}
+
+	// Inner levels, bottom-up.
+	innerTarget := cfg.fillTarget(t.L.InnerCap)
+	level := 1
+	for len(entries) > 1 {
+		if level > 0xff {
+			return bs, fmt.Errorf("btree: tree too tall")
+		}
+		var next []levelEntry
+		var prev layout.Node
+		var prevInnerPtr rdma.RemotePtr
+		for start := 0; start < len(entries); {
+			end := start + innerTarget
+			if end > len(entries) {
+				end = len(entries)
+			}
+			// Avoid a trailing 1-entry node: borrow from this chunk.
+			if rem := len(entries) - end; rem == 1 && end-start > 1 {
+				end--
+			}
+			node := t.L.NewNode()
+			node.InitInner(level)
+			for _, e := range entries[start:end] {
+				node.InnerAppend(e.high, e.ptr)
+			}
+			node.SetHighKey(node.InnerKey(node.Count() - 1))
+			ptr, err := t.M.AllocPage(level, t.L.PageBytes)
+			if err != nil {
+				return bs, err
+			}
+			if !prevInnerPtr.IsNull() {
+				prev.SetRight(ptr)
+				node.SetLeft(prevInnerPtr)
+				if err := t.M.WriteWords(prevInnerPtr, prev.W); err != nil {
+					return bs, err
+				}
+			}
+			prev, prevInnerPtr = node, ptr
+			next = append(next, levelEntry{node.HighKey(), ptr})
+			bs.Inner++
+			start = end
+		}
+		if err := t.M.WriteWords(prevInnerPtr, prev.W); err != nil {
+			return bs, err
+		}
+		entries = next
+		level++
+	}
+	rootPtr := entries[0].ptr
+	if err := t.M.WriteWords(t.RootWord, []uint64{uint64(rootPtr)}); err != nil {
+		return bs, err
+	}
+	t.cachedRoot = rootPtr
+	bs.Height = level
+	return bs, nil
+}
+
+// Compact walks the leaf chain and physically removes delete-bit entries —
+// the epoch garbage collector's per-epoch pass (Section 3.2/4.2). It returns
+// the number of entries removed. Node deallocation/rebalancing is out of
+// scope, as in the paper's implementation.
+func (t *Tree) Compact(env rdma.Env) (removed int, st Stats, err error) {
+	p, _, _, err := t.descendToLeaf(env, &st, 0)
+	if err != nil {
+		return 0, st, err
+	}
+	for !p.IsNull() {
+		n, _, err := t.readNode(env, &st, p, nil)
+		if err != nil {
+			return removed, st, err
+		}
+		if n.IsHead() {
+			p = n.Right()
+			continue
+		}
+		// Cheap pre-check on the consistent copy before taking the lock.
+		dirty := false
+		for i := 0; i < n.Count(); i++ {
+			if n.LeafDeleted(i) {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			p = n.Right()
+			continue
+		}
+		lp, ln, pre, err := t.lockNodeForKey(env, &st, p, 0)
+		if err != nil {
+			return removed, st, err
+		}
+		r := ln.LeafCompact()
+		removed += r
+		if r > 0 {
+			err = t.unlockBump(env, &st, lp, ln)
+		} else {
+			err = t.unlockNoChange(&st, lp, pre)
+		}
+		if err != nil {
+			return removed, st, err
+		}
+		p = ln.Right()
+	}
+	return removed, st, nil
+}
+
+// RebuildHeads rewrites the head nodes of the leaf chain so that each again
+// announces the every-th following leaves — the epoch-based head-node
+// maintenance of Section 4.3, run by a compute server. Old head nodes are
+// unlinked and returned for deferred freeing (after an epoch, when no reader
+// can still hold their pointers); new heads are linked in. It must not race
+// with other RebuildHeads/Compact calls (single maintenance thread, as in
+// the paper).
+func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, st Stats, err error) {
+	if every < 2 {
+		return nil, st, fmt.Errorf("btree: head group size must be >= 2")
+	}
+	p, _, _, err := t.descendToLeaf(env, &st, 0)
+	if err != nil {
+		return nil, st, err
+	}
+	// Pass 1: unlink all existing head nodes. For each head H between
+	// leaves A and B (A -> H -> B), lock A and repoint A.Right to B.
+	var prevLeaf rdma.RemotePtr
+	for !p.IsNull() {
+		n, _, err := t.readNode(env, &st, p, nil)
+		if err != nil {
+			return retired, st, err
+		}
+		if !n.IsHead() {
+			prevLeaf = p
+			p = n.Right()
+			continue
+		}
+		next := n.Right()
+		if prevLeaf.IsNull() {
+			return retired, st, fmt.Errorf("btree: head node at chain start")
+		}
+		lp, ln, _, err := t.lockNodeForKey(env, &st, prevLeaf, 0)
+		if err != nil {
+			return retired, st, err
+		}
+		if lp != prevLeaf {
+			return retired, st, fmt.Errorf("btree: predecessor moved during head unlink")
+		}
+		ln.SetRight(next)
+		if err := t.unlockBump(env, &st, lp, ln); err != nil {
+			return retired, st, err
+		}
+		retired = append(retired, p)
+		p = next
+	}
+	// Pass 2: walk the (now head-free) chain and install fresh heads.
+	p, _, _, err = t.descendToLeaf(env, &st, 0)
+	if err != nil {
+		return retired, st, err
+	}
+	var group []rdma.RemotePtr // leaves of the current group, in order
+	for !p.IsNull() {
+		n, _, err := t.readNode(env, &st, p, nil)
+		if err != nil {
+			return retired, st, err
+		}
+		next := n.Right()
+		group = append(group, p)
+		if len(group) == every+1 || next.IsNull() {
+			// group[0] is the leaf the head follows; group[1:] are announced.
+			if len(group) > 2 {
+				hp, err := t.M.AllocPage(0, t.L.PageBytes)
+				if err != nil {
+					return retired, st, err
+				}
+				h := t.L.NewNode()
+				h.InitHead()
+				for _, lp := range group[1:] {
+					h.HeadAppend(lp)
+				}
+				h.SetRight(group[1])
+				h.SetLeft(group[0])
+				if err := t.M.WriteWords(hp, h.W); err != nil {
+					return retired, st, err
+				}
+				st.PageWrites++
+				// Link group[0] -> head.
+				lp0, ln0, _, err := t.lockNodeForKey(env, &st, group[0], 0)
+				if err != nil {
+					return retired, st, err
+				}
+				if lp0 != group[0] {
+					return retired, st, fmt.Errorf("btree: leaf moved during head install")
+				}
+				ln0.SetRight(hp)
+				if err := t.unlockBump(env, &st, lp0, ln0); err != nil {
+					return retired, st, err
+				}
+			}
+			// The last leaf of this group starts the next one.
+			group = group[len(group)-1:]
+		}
+		p = next
+	}
+	return retired, st, nil
+}
+
+// FreeRetired returns retired pages (from RebuildHeads) to their allocators;
+// callers invoke it after an epoch has passed.
+func (t *Tree) FreeRetired(ptrs []rdma.RemotePtr) error {
+	for _, p := range ptrs {
+		if err := t.M.FreePage(p, t.L.PageBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies structural invariants of the whole tree. It must
+// run quiesced (no concurrent writers). Checked: key order within and across
+// leaves, fence keys, sibling chains per level, parent separator == child
+// fence, level consistency, head-node pointers targeting leaves, and that
+// every live entry is reachable. Returns the number of live entries.
+func (t *Tree) CheckInvariants(env rdma.Env) (liveEntries int, err error) {
+	var st Stats
+	rootPtr, err := t.refreshRoot(&st)
+	if err != nil {
+		return 0, err
+	}
+	root, _, err := t.readNode(env, &st, rootPtr, nil)
+	if err != nil {
+		return 0, err
+	}
+	// Walk each level left-to-right.
+	levelStart := rootPtr
+	for lvl := root.Level(); lvl >= 0; lvl-- {
+		p := levelStart
+		var prevHigh layout.Key
+		first := true
+		var lastHigh layout.Key
+		var nextLevelStart rdma.RemotePtr
+		for !p.IsNull() {
+			n, _, err := t.readNode(env, &st, p, nil)
+			if err != nil {
+				return 0, err
+			}
+			if n.IsHead() {
+				if lvl != 0 {
+					return 0, fmt.Errorf("head node on level %d", lvl)
+				}
+				for i := 0; i < n.Count(); i++ {
+					hn, _, err := t.readNode(env, &st, n.HeadPtr(i), nil)
+					if err != nil {
+						return 0, err
+					}
+					if !hn.IsLeaf() {
+						return 0, fmt.Errorf("head pointer %d targets non-leaf", i)
+					}
+				}
+				p = n.Right()
+				continue
+			}
+			if n.Level() != lvl {
+				return 0, fmt.Errorf("node %v on level %d has level %d", p, lvl, n.Level())
+			}
+			if n.IsLeaf() != (lvl == 0) {
+				return 0, fmt.Errorf("node %v leaf flag inconsistent with level %d", p, lvl)
+			}
+			// Inner nodes are never empty; leaves may be (the GC compacts
+			// in place and never merges, as in the paper).
+			if n.Count() == 0 && lvl > 0 {
+				return 0, fmt.Errorf("empty inner node %v on level %d", p, lvl)
+			}
+			for i := 0; i < n.Count(); i++ {
+				var k layout.Key
+				if lvl == 0 {
+					k = n.LeafKey(i)
+					if !n.LeafDeleted(i) {
+						liveEntries++
+					}
+				} else {
+					k = n.InnerKey(i)
+				}
+				if i > 0 {
+					prev := n.LeafKey(i - 1)
+					if lvl > 0 {
+						prev = n.InnerKey(i - 1)
+					}
+					if prev > k {
+						return 0, fmt.Errorf("node %v keys unsorted at %d", p, i)
+					}
+				}
+				if k > n.HighKey() {
+					return 0, fmt.Errorf("node %v key %d exceeds fence %d", p, k, n.HighKey())
+				}
+			}
+			if !first && n.Count() > 0 {
+				firstKey := n.InnerKey(0)
+				if lvl == 0 {
+					firstKey = n.LeafKey(0)
+				}
+				// Duplicate keys/separators may equal the previous fence.
+				if firstKey < prevHigh {
+					return 0, fmt.Errorf("node %v first key %d below previous fence %d", p, firstKey, prevHigh)
+				}
+			}
+			if lvl > 0 {
+				if n.Count() > 0 && n.InnerKey(n.Count()-1) != n.HighKey() {
+					return 0, fmt.Errorf("inner node %v last separator %d != fence %d", p, n.InnerKey(n.Count()-1), n.HighKey())
+				}
+				for i := 0; i < n.Count(); i++ {
+					child, _, err := t.readNode(env, &st, n.InnerChild(i), nil)
+					if err != nil {
+						return 0, err
+					}
+					if child.Level() != lvl-1 {
+						return 0, fmt.Errorf("child %d of %v has level %d; want %d", i, p, child.Level(), lvl-1)
+					}
+					if child.HighKey() > n.InnerKey(i) {
+						return 0, fmt.Errorf("child %d of %v fence %d exceeds separator %d", i, p, child.HighKey(), n.InnerKey(i))
+					}
+				}
+				if first {
+					nextLevelStart = n.InnerChild(0)
+				}
+			}
+			prevHigh = n.HighKey()
+			lastHigh = n.HighKey()
+			first = false
+			p = n.Right()
+		}
+		if lastHigh != layout.MaxKey {
+			return 0, fmt.Errorf("level %d rightmost fence %d != MaxKey", lvl, lastHigh)
+		}
+		if lvl > 0 {
+			levelStart = nextLevelStart
+		}
+	}
+	return liveEntries, nil
+}

@@ -1,0 +1,199 @@
+// Package btree implements the B-link tree engine shared by all three index
+// designs of the paper: a Lehman-Yao style B+-tree with sibling links and
+// high keys, synchronized by optimistic lock coupling (a version/lock word
+// per page, compare-and-swap to lock, fetch-and-add to unlock-and-bump, as
+// in Listings 1-4 of the paper).
+//
+// The engine is written against the Mem interface so exactly the same
+// protocol executes in two very different places:
+//
+//   - on a memory server's CPU over its local region (the coarse-grained
+//     design's RPC handlers, and the hybrid design's inner-level traversal),
+//   - on a compute server over one-sided RDMA verbs (the fine-grained
+//     design, and the hybrid design's leaf accesses).
+//
+// Readers never lock: a page is copied and the copy validated against the
+// version word (re-read after the copy), retrying while a writer holds the
+// lock. Writers CAS the lock bit, mutate a local copy, write the body back
+// and fetch-add the version word, which simultaneously releases the lock and
+// invalidates concurrent readers' copies. Splits follow the B-link
+// discipline: the left half is rewritten in place, the right half is
+// installed on a freshly allocated page, and the separator is then inserted
+// into the parent level without holding the child lock (sibling links keep
+// the tree searchable in between).
+package btree
+
+import (
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Mem abstracts the memory the tree lives in: either a server-local region
+// or the remote memory pool accessed through one-sided verbs.
+type Mem interface {
+	// ReadWords copies len(dst) words from p.
+	ReadWords(p rdma.RemotePtr, dst []uint64) error
+	// WriteWords copies src to p.
+	WriteWords(p rdma.RemotePtr, src []uint64) error
+	// LoadWord reads the single word at p.
+	LoadWord(p rdma.RemotePtr) (uint64, error)
+	// CAS compares-and-swaps the word at p, returning the prior value.
+	CAS(p rdma.RemotePtr, old, new uint64) (uint64, error)
+	// FetchAdd atomically adds delta to the word at p, returning the prior
+	// value.
+	FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error)
+	// AllocPage allocates an n-byte page for a node at the given level (0 =
+	// leaf). The level lets placement policies distribute nodes — the
+	// fine-grained design places pages round-robin across all memory
+	// servers, the coarse-grained design keeps them on one server.
+	AllocPage(level int, n int) (rdma.RemotePtr, error)
+	// FreePage returns a page to its allocator.
+	FreePage(p rdma.RemotePtr, n int) error
+	// ReadPages reads multiple pages; used by the head-node prefetch
+	// optimization (Section 4.3) which issues selectively signalled READs
+	// for a whole batch of leaves at once.
+	ReadPages(ps []rdma.RemotePtr, dst [][]uint64) error
+}
+
+// LocalMem is a Mem over the local region of a single memory server. All
+// pointers must target that server; this is the coarse-grained design's
+// server-side view.
+type LocalMem struct {
+	Srv *rdma.Server
+}
+
+var _ Mem = LocalMem{}
+
+func (m LocalMem) check(p rdma.RemotePtr) uint64 {
+	if p.IsNull() {
+		panic("btree: null pointer dereference")
+	}
+	if p.Server() != m.Srv.ID {
+		panic("btree: LocalMem access to foreign server")
+	}
+	return p.Offset()
+}
+
+// ReadWords implements Mem.
+func (m LocalMem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
+	m.Srv.Region.Read(m.check(p), dst)
+	return nil
+}
+
+// WriteWords implements Mem.
+func (m LocalMem) WriteWords(p rdma.RemotePtr, src []uint64) error {
+	m.Srv.Region.Write(m.check(p), src)
+	return nil
+}
+
+// LoadWord implements Mem.
+func (m LocalMem) LoadWord(p rdma.RemotePtr) (uint64, error) {
+	return m.Srv.Region.Load(m.check(p)), nil
+}
+
+// CAS implements Mem.
+func (m LocalMem) CAS(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	return m.Srv.Region.CompareAndSwap(m.check(p), old, new), nil
+}
+
+// FetchAdd implements Mem.
+func (m LocalMem) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
+	return m.Srv.Region.FetchAdd(m.check(p), delta), nil
+}
+
+// AllocPage implements Mem; pages are always placed on the local server.
+func (m LocalMem) AllocPage(level int, n int) (rdma.RemotePtr, error) {
+	off, err := m.Srv.Alloc.Alloc(n)
+	if err != nil {
+		return rdma.NullPtr, err
+	}
+	return rdma.MakePtr(m.Srv.ID, off), nil
+}
+
+// FreePage implements Mem.
+func (m LocalMem) FreePage(p rdma.RemotePtr, n int) error {
+	m.Srv.Alloc.Free(m.check(p), n)
+	return nil
+}
+
+// ReadPages implements Mem.
+func (m LocalMem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64) error {
+	for i, p := range ps {
+		m.Srv.Region.Read(m.check(p), dst[i])
+	}
+	return nil
+}
+
+// Placement chooses the memory server for a newly allocated page of a given
+// level.
+type Placement func(level int) int
+
+// RoundRobin returns a placement that cycles over numServers servers
+// starting at a per-client offset, implementing the paper's fine-grained
+// round-robin node distribution for pages allocated at runtime (splits).
+func RoundRobin(numServers, start int) Placement {
+	next := start % numServers
+	return func(level int) int {
+		s := next
+		next = (next + 1) % numServers
+		return s
+	}
+}
+
+// Fixed returns a placement that always allocates on one server.
+func Fixed(server int) Placement {
+	return func(level int) int { return server }
+}
+
+// EndpointMem is a Mem over the one-sided verbs of a compute server's
+// endpoint: the fine-grained design's client-side view.
+type EndpointMem struct {
+	Ep    rdma.Endpoint
+	Place Placement
+}
+
+var _ Mem = EndpointMem{}
+
+// ReadWords implements Mem.
+func (m EndpointMem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
+	return m.Ep.Read(p, dst)
+}
+
+// WriteWords implements Mem.
+func (m EndpointMem) WriteWords(p rdma.RemotePtr, src []uint64) error {
+	return m.Ep.Write(p, src)
+}
+
+// LoadWord implements Mem.
+func (m EndpointMem) LoadWord(p rdma.RemotePtr) (uint64, error) {
+	var w [1]uint64
+	if err := m.Ep.Read(p, w[:]); err != nil {
+		return 0, err
+	}
+	return w[0], nil
+}
+
+// CAS implements Mem.
+func (m EndpointMem) CAS(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	return m.Ep.CompareAndSwap(p, old, new)
+}
+
+// FetchAdd implements Mem.
+func (m EndpointMem) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
+	return m.Ep.FetchAdd(p, delta)
+}
+
+// AllocPage implements Mem using the RDMA_ALLOC verb on the server chosen by
+// the placement policy.
+func (m EndpointMem) AllocPage(level int, n int) (rdma.RemotePtr, error) {
+	return m.Ep.Alloc(m.Place(level), n)
+}
+
+// FreePage implements Mem.
+func (m EndpointMem) FreePage(p rdma.RemotePtr, n int) error {
+	return m.Ep.Free(p, n)
+}
+
+// ReadPages implements Mem.
+func (m EndpointMem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64) error {
+	return m.Ep.ReadMulti(ps, dst)
+}

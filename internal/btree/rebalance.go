@@ -1,0 +1,317 @@
+package btree
+
+import (
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// This file implements the re-balancing half of the epoch garbage collector
+// (Sections 3.2/4.2: the GC is "responsible for removing and re-balancing
+// the index in regular intervals"): underfull leaves are merged into their
+// right sibling, unlinked from the chain and their parent separator removed,
+// so that space deleted away is actually reclaimed.
+//
+// Merging is concurrency-safe under the B-link discipline. The merged-away
+// leaf A becomes a *tombstone*: empty, with its fence collapsed to its left
+// neighbour's fence and its right pointer intact — any reader still routed
+// to A by a stale parent copy or cached pointer finds key > fence and chases
+// right into the merge target, which holds A's old entries. The tombstone
+// page is only freed an epoch later, when no reader can still hold its
+// pointer.
+
+// lockPtr locks exactly the node at p (no move-right), returning a
+// consistent locked copy and the pre-lock version.
+func (t *Tree) lockPtr(env rdma.Env, st *Stats, p rdma.RemotePtr) (layout.Node, uint64, error) {
+	var buf []uint64
+	for {
+		n, v, err := t.readNode(env, st, p, buf)
+		if err != nil {
+			return layout.Node{}, 0, err
+		}
+		buf = n.W
+		prev, err := t.M.CAS(p, v, layout.WithLock(v))
+		if err != nil {
+			return layout.Node{}, 0, err
+		}
+		st.Atomics++
+		if prev == v {
+			return n, v, nil
+		}
+		st.Restarts++
+		env.Pause()
+	}
+}
+
+// liveCount counts non-deleted entries of a leaf copy.
+func liveCount(n layout.Node) int {
+	live := 0
+	for i := 0; i < n.Count(); i++ {
+		if !n.LeafDeleted(i) {
+			live++
+		}
+	}
+	return live
+}
+
+// Rebalance walks the leaf chain and merges each leaf with at most minLive
+// live entries into its right sibling when the combined live entries fit in
+// one page. It returns the number of merges and the tombstone pages to free
+// after an epoch. Like the other GC passes it must run on a single
+// maintenance thread (but tolerates concurrent readers and writers).
+func (t *Tree) Rebalance(env rdma.Env, minLive int) (merged int, retired []rdma.RemotePtr, st Stats, err error) {
+	if minLive < 0 {
+		minLive = t.L.LeafCap / 4
+	}
+	pPtr, pNode, _, err := t.descendToLeaf(env, &st, 0)
+	if err != nil {
+		return 0, nil, st, err
+	}
+	for {
+		aPtr := pNode.Right()
+		if aPtr.IsNull() {
+			return merged, retired, st, nil
+		}
+		aNode, _, err := t.readNode(env, &st, aPtr, nil)
+		if err != nil {
+			return merged, retired, st, err
+		}
+		if aNode.IsHead() || pNode.IsHead() {
+			// Cannot splice across head nodes; advance.
+			pPtr, pNode = aPtr, aNode
+			continue
+		}
+		bPtr := aNode.Right()
+		if bPtr.IsNull() {
+			return merged, retired, st, nil
+		}
+		bNode, _, err := t.readNode(env, &st, bPtr, nil)
+		if err != nil {
+			return merged, retired, st, err
+		}
+		if bNode.IsHead() {
+			pPtr, pNode = aPtr, aNode
+			continue
+		}
+		// Cheap pre-check on the consistent copies.
+		if liveCount(aNode) > minLive || liveCount(aNode)+liveCount(bNode) > t.L.LeafCap {
+			pPtr, pNode = aPtr, aNode
+			continue
+		}
+		ok, err := t.tryMerge(env, &st, pPtr, aPtr, bPtr, minLive, &retired)
+		if err != nil {
+			return merged, retired, st, err
+		}
+		if ok {
+			merged++
+		}
+		// Re-read P (its right pointer changed on success, or the race made
+		// our copies stale) and continue from it.
+		if pNode, _, err = t.readNode(env, &st, pPtr, pNode.W); err != nil {
+			return merged, retired, st, err
+		}
+	}
+}
+
+// tryMerge locks P -> A -> B (left-to-right; safe against single-node
+// lockers), revalidates the topology, and merges A into B.
+func (t *Tree) tryMerge(env rdma.Env, st *Stats, pPtr, aPtr, bPtr rdma.RemotePtr, minLive int, retired *[]rdma.RemotePtr) (bool, error) {
+	p, pv, err := t.lockPtr(env, st, pPtr)
+	if err != nil {
+		return false, err
+	}
+	abort := func(locked ...func() error) (bool, error) {
+		for i := len(locked) - 1; i >= 0; i-- {
+			if err := locked[i](); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
+	unlockP := func() error { return t.unlockNoChange(st, pPtr, pv) }
+	if p.IsHead() || p.Right() != aPtr {
+		return abort(unlockP)
+	}
+	a, av, err := t.lockPtr(env, st, aPtr)
+	if err != nil {
+		return false, err
+	}
+	unlockA := func() error { return t.unlockNoChange(st, aPtr, av) }
+	if !a.IsLeaf() || a.Right() != bPtr {
+		return abort(unlockP, unlockA)
+	}
+	b, bv, err := t.lockPtr(env, st, bPtr)
+	if err != nil {
+		return false, err
+	}
+	unlockB := func() error { return t.unlockNoChange(st, bPtr, bv) }
+	liveA := liveCount(a)
+	if !b.IsLeaf() || liveA > minLive || liveA+liveCount(b) > t.L.LeafCap {
+		return abort(unlockP, unlockA, unlockB)
+	}
+	oldHighA := a.HighKey()
+
+	// Build B's merged content: A's live entries then B's live entries.
+	mergedNode := t.L.NewNode()
+	mergedNode.InitLeaf()
+	for i := 0; i < a.Count(); i++ {
+		if !a.LeafDeleted(i) {
+			mergedNode.LeafAppend(a.LeafKey(i), a.LeafValue(i))
+		}
+	}
+	for i := 0; i < b.Count(); i++ {
+		if !b.LeafDeleted(i) {
+			mergedNode.LeafAppend(b.LeafKey(i), b.LeafValue(i))
+		}
+	}
+	mergedNode.SetHighKey(b.HighKey())
+	mergedNode.SetRight(b.Right())
+	mergedNode.SetLeft(pPtr)
+	copy(b.W[1:], mergedNode.W[1:])
+
+	// A becomes a tombstone: empty, fence collapsed to P's fence so stale
+	// readers chase right into B, chain pointer intact.
+	for i := 0; i < a.Count(); i++ {
+		a.SetLeafDeleted(i, false)
+	}
+	a.SetCount(0)
+	a.SetHighKey(p.HighKey())
+
+	// Splice A out of the chain.
+	p.SetRight(bPtr)
+
+	if err := t.unlockBump(env, st, bPtr, b); err != nil {
+		return false, err
+	}
+	if err := t.unlockBump(env, st, aPtr, a); err != nil {
+		return false, err
+	}
+	if err := t.unlockBump(env, st, pPtr, p); err != nil {
+		return false, err
+	}
+	// Remove A's separator from the parent level. Only if the parent entry
+	// is gone may the tombstone page ever be freed.
+	removedPair, err := t.removeSeparator(env, st, 1, oldHighA, aPtr)
+	if err != nil {
+		return false, err
+	}
+	if removedPair {
+		*retired = append(*retired, aPtr)
+	}
+	return true, nil
+}
+
+// removeSeparator deletes the parent pair pointing at child on the given
+// level, located by routing routeKey and walking right. It declines (returns
+// false) when the pair's node would become empty — the child then stays
+// referenced as a reachable tombstone.
+func (t *Tree) removeSeparator(env rdma.Env, st *Stats, level int, routeKey layout.Key, child rdma.RemotePtr) (bool, error) {
+	rootPtr, err := t.refreshRoot(st)
+	if err != nil {
+		return false, err
+	}
+	n, _, err := t.readNode(env, st, rootPtr, nil)
+	if err != nil {
+		return false, err
+	}
+	if n.Level() < level {
+		return false, nil
+	}
+	p := rootPtr
+	for n.Level() > level {
+		if n.IsHead() || routeKey > n.HighKey() {
+			p = n.Right()
+		} else if c, ok := n.InnerRoute(routeKey); ok {
+			p = c
+		} else {
+			p = n.Right()
+		}
+		if p.IsNull() {
+			return false, nil
+		}
+		if n, _, err = t.readNode(env, st, p, n.W); err != nil {
+			return false, err
+		}
+	}
+	// Walk right locating the pair with the target child.
+	for {
+		var pre uint64
+		n, pre, err = t.lockPtr(env, st, p)
+		if err != nil {
+			return false, err
+		}
+		for i := 0; i < n.Count(); i++ {
+			if n.InnerChild(i) == child {
+				if n.Count() < 2 {
+					return false, t.unlockNoChange(st, p, pre)
+				}
+				n.InnerRemovePair(i)
+				// Removing the last pair shrinks the node's coverage; lower
+				// the fence so lastSep == fence stays invariant (searches
+				// for the vacated range chase right).
+				if last := n.InnerKey(n.Count() - 1); last < n.HighKey() {
+					n.SetHighKey(last)
+				}
+				return true, t.unlockBump(env, st, p, n)
+			}
+		}
+		next := n.Right()
+		if err := t.unlockNoChange(st, p, pre); err != nil {
+			return false, err
+		}
+		if next.IsNull() {
+			return false, nil
+		}
+		p = next
+	}
+}
+
+// CompactFrom runs the delete-bit compaction pass over the leaf chain
+// starting at leafPtr — the entry point the hybrid design's global GC uses
+// after obtaining a partition's leftmost leaf via the traversal RPC.
+func (t *Tree) CompactFrom(env rdma.Env, leafPtr rdma.RemotePtr) (removed int, st Stats, err error) {
+	p := leafPtr
+	for !p.IsNull() {
+		n, _, err := t.readNode(env, &st, p, nil)
+		if err != nil {
+			return removed, st, err
+		}
+		if n.IsHead() {
+			p = n.Right()
+			continue
+		}
+		dirty := false
+		for i := 0; i < n.Count(); i++ {
+			if n.LeafDeleted(i) {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			p = n.Right()
+			continue
+		}
+		ln, pre, err := t.lockPtr(env, &st, p)
+		if err != nil {
+			return removed, st, err
+		}
+		if !ln.IsLeaf() {
+			if err := t.unlockNoChange(&st, p, pre); err != nil {
+				return removed, st, err
+			}
+			p = ln.Right()
+			continue
+		}
+		r := ln.LeafCompact()
+		removed += r
+		if r > 0 {
+			err = t.unlockBump(env, &st, p, ln)
+		} else {
+			err = t.unlockNoChange(&st, p, pre)
+		}
+		if err != nil {
+			return removed, st, err
+		}
+		p = ln.Right()
+	}
+	return removed, st, nil
+}

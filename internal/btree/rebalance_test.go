@@ -1,0 +1,249 @@
+package btree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+)
+
+func TestRebalanceMergesUnderfullLeaves(t *testing.T) {
+	tr, _ := newRemoteTree(t, 512, 4)
+	const n = 20000
+	if _, err := tr.Build(env, BuildConfig{}, n,
+		func(i int) (uint64, uint64) { return uint64(i), uint64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	// Delete 90% of the entries, then compact: most leaves become underfull.
+	for i := 0; i < n; i++ {
+		if i%10 == 0 {
+			continue
+		}
+		if ok, _, err := tr.Delete(env, uint64(i), uint64(i)); err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if _, _, err := tr.Compact(env); err != nil {
+		t.Fatal(err)
+	}
+	merged, retired, _, err := tr.Rebalance(env, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged < 100 {
+		t.Fatalf("merged only %d leaves", merged)
+	}
+	if len(retired) == 0 {
+		t.Fatal("no tombstones retired")
+	}
+	live, err := tr.CheckInvariants(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != n/10 {
+		t.Fatalf("live = %d; want %d", live, n/10)
+	}
+	// Every surviving key still found; every deleted key absent.
+	for i := 0; i < n; i += 7 {
+		vals, _, err := tr.Lookup(env, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if i%10 == 0 {
+			want = 1
+		}
+		if len(vals) != want {
+			t.Fatalf("Lookup(%d) = %v; want %d values", i, vals, want)
+		}
+	}
+	// Scans see exactly the survivors, in order.
+	count, prev := 0, uint64(0)
+	if _, err := tr.Scan(env, 0, layout.MaxKey-1, func(k layout.Key, v uint64) bool {
+		if count > 0 && k <= prev {
+			t.Fatalf("scan order broken: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n/10 {
+		t.Fatalf("scan saw %d; want %d", count, n/10)
+	}
+	// Freeing the tombstones an epoch later is safe.
+	if err := tr.FreeRetired(retired); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalanceIdempotentWhenFull(t *testing.T) {
+	tr := newLocalTree(t, 512)
+	const n = 5000
+	if _, err := tr.Build(env, BuildConfig{Fill: 0.9}, n,
+		func(i int) (uint64, uint64) { return uint64(i), uint64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	merged, _, _, err := tr.Rebalance(env, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 0 {
+		t.Fatalf("merged %d well-filled leaves", merged)
+	}
+}
+
+func TestRebalanceWithHeadNodesSkipsAcrossThem(t *testing.T) {
+	tr2, _ := newRemoteTree(t, 512, 4)
+	const n = 8000
+	if _, err := tr2.Build(env, BuildConfig{HeadEvery: 8}, n,
+		func(i int) (uint64, uint64) { return uint64(i), uint64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if i%8 != 0 {
+			if _, _, err := tr2.Delete(env, uint64(i), uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, _, err := tr2.Compact(env); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tr2.Rebalance(env, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.CheckInvariants(env); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if _, err := tr2.Scan(env, 0, layout.MaxKey-1, func(layout.Key, uint64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n/8 {
+		t.Fatalf("scan saw %d; want %d", count, n/8)
+	}
+}
+
+// TestRebalanceConcurrentWithClients runs the GC pass while clients keep
+// reading and writing.
+func TestRebalanceConcurrentWithClients(t *testing.T) {
+	f := direct.New(4, testRegion, 64)
+	l := layout.New(256)
+	root := rdma.MakePtr(0, 0)
+	boot := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
+	const n = 10000
+	if _, err := boot.Build(env, BuildConfig{}, n,
+		func(i int) (uint64, uint64) { return uint64(i * 2), uint64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	// Punch holes so there is something to merge.
+	for i := 0; i < n; i++ {
+		if i%5 != 0 {
+			if _, _, err := boot.Delete(env, uint64(i*2), uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, _, err := boot.Compact(env); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	inserted := make([]int, 4)
+	for c := 0; c < 4; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, c)}, root)
+			e := direct.Env{}
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch rng.Intn(3) {
+				case 0:
+					k := uint64(n*4 + c*1000000 + i) // fresh keys on the right
+					if _, err := tr.Insert(e, k, k); err != nil {
+						t.Error(err)
+						return
+					}
+					inserted[c]++
+				default:
+					k := uint64(rng.Intn(n) * 2)
+					if _, _, err := tr.Lookup(e, k); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// GC thread: several rebalance passes concurrent with the clients.
+	var allRetired []rdma.RemotePtr
+	for round := 0; round < 3; round++ {
+		_, retired, _, err := boot.Rebalance(env, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allRetired = append(allRetired, retired...)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	total := n / 5
+	for _, x := range inserted {
+		total += x
+	}
+	live, err := boot.CheckInvariants(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != total {
+		t.Fatalf("live = %d; want %d", live, total)
+	}
+	// Tombstones freed only after the epoch (i.e. now, when clients are done).
+	if err := boot.FreeRetired(allRetired); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactFromMatchesCompact(t *testing.T) {
+	tr := newLocalTree(t, 512)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if _, err := tr.Insert(env, uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if _, _, err := tr.Delete(env, uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaf, _, err := tr.FindLeaf(env, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, _, err := tr.CompactFrom(env, leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != n/2 {
+		t.Fatalf("removed = %d; want %d", removed, n/2)
+	}
+	if _, err := tr.CheckInvariants(env); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,680 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// ErrKeyReserved is returned when inserting the MaxKey sentinel.
+var ErrKeyReserved = errors.New("btree: MaxKey is reserved as the +inf sentinel")
+
+// Stats counts the memory traffic of one operation; on the fine-grained
+// design every unit here is a one-sided RDMA verb.
+type Stats struct {
+	PageReads  int // full-page READs
+	WordReads  int // 8-byte validation/root READs
+	PageWrites int // page/body WRITEs
+	Atomics    int // CAS + FETCH_AND_ADD
+	Restarts   int // consistency retries (torn read or locked page)
+	Prefetches int // pages fetched through head-node batches
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.PageReads += other.PageReads
+	s.WordReads += other.WordReads
+	s.PageWrites += other.PageWrites
+	s.Atomics += other.Atomics
+	s.Restarts += other.Restarts
+	s.Prefetches += other.Prefetches
+}
+
+// Ops returns the total number of memory/network operations.
+func (s *Stats) Ops() int {
+	return s.PageReads + s.WordReads + s.PageWrites + s.Atomics
+}
+
+// Tree is a B-link tree living in Mem. It is a *client handle*: any number
+// of Tree handles (one per compute thread / RPC handler) may operate on the
+// same underlying tree concurrently; shared state lives entirely in Mem.
+//
+// The root pointer is stored at RootWord (installed in the catalog service);
+// handles cache it and refresh on miss. A stale cached root stays correct —
+// descents recover through sibling links — it only costs extra hops.
+type Tree struct {
+	L layout.Layout
+	M Mem
+	// RootWord is the location of the 8-byte word holding the root pointer.
+	RootWord rdma.RemotePtr
+	// VisitNS is the CPU time charged to the Env per page visited; used by
+	// the coarse-grained design's handlers on the simulated fabric.
+	VisitNS int64
+
+	cachedRoot rdma.RemotePtr
+}
+
+// New returns a handle onto the tree whose root pointer lives at rootWord.
+func New(l layout.Layout, m Mem, rootWord rdma.RemotePtr) *Tree {
+	return &Tree{L: l, M: m, RootWord: rootWord}
+}
+
+// Init creates an empty tree: a single empty root leaf, and publishes it at
+// RootWord. It must be called exactly once per tree, before any other
+// operation and before concurrent access begins.
+func (t *Tree) Init(env rdma.Env) error {
+	p, err := t.M.AllocPage(0, t.L.PageBytes)
+	if err != nil {
+		return err
+	}
+	n := t.L.NewNode()
+	n.InitLeaf()
+	if err := t.M.WriteWords(p, n.W); err != nil {
+		return err
+	}
+	if err := t.M.WriteWords(t.RootWord, []uint64{uint64(p)}); err != nil {
+		return err
+	}
+	t.cachedRoot = p
+	return nil
+}
+
+// root returns the (possibly cached) root pointer.
+func (t *Tree) root(st *Stats) (rdma.RemotePtr, error) {
+	if !t.cachedRoot.IsNull() {
+		return t.cachedRoot, nil
+	}
+	return t.refreshRoot(st)
+}
+
+func (t *Tree) refreshRoot(st *Stats) (rdma.RemotePtr, error) {
+	w, err := t.M.LoadWord(t.RootWord)
+	if err != nil {
+		return rdma.NullPtr, err
+	}
+	st.WordReads++
+	p := rdma.RemotePtr(w)
+	if p.IsNull() {
+		return rdma.NullPtr, errors.New("btree: tree not initialized")
+	}
+	t.cachedRoot = p
+	return p, nil
+}
+
+// readNode fetches a consistent unlocked copy of the page at p: the page is
+// copied, then the version word re-read; a mismatch (writer activity during
+// the copy) retries. Returns the node and its validated version.
+func (t *Tree) readNode(env rdma.Env, st *Stats, p rdma.RemotePtr, buf []uint64) (layout.Node, uint64, error) {
+	if buf == nil {
+		buf = make([]uint64, t.L.Words)
+	}
+	for {
+		st.PageReads++
+		env.Charge(t.VisitNS)
+		if err := t.M.ReadWords(p, buf); err != nil {
+			return layout.Node{}, 0, err
+		}
+		v := buf[0]
+		if layout.IsLocked(v) {
+			st.Restarts++
+			env.Pause()
+			continue
+		}
+		v2, err := t.M.LoadWord(p)
+		if err != nil {
+			return layout.Node{}, 0, err
+		}
+		st.WordReads++
+		if v2 != v {
+			st.Restarts++
+			env.Pause()
+			continue
+		}
+		return t.L.Wrap(buf), v, nil
+	}
+}
+
+// lockNodeForKey locks the node on the chain starting at p that is
+// responsible for key: it reads, moves right past head nodes and outgrown
+// fences, and CASes the lock bit. On return the copy is consistent, current
+// and locked. Returns the final pointer, node copy and the pre-lock version.
+func (t *Tree) lockNodeForKey(env rdma.Env, st *Stats, p rdma.RemotePtr, key layout.Key) (rdma.RemotePtr, layout.Node, uint64, error) {
+	var buf []uint64
+	for {
+		n, v, err := t.readNode(env, st, p, buf)
+		if err != nil {
+			return rdma.NullPtr, layout.Node{}, 0, err
+		}
+		buf = n.W
+		if n.IsHead() || key > n.HighKey() {
+			p = n.Right()
+			if p.IsNull() {
+				return rdma.NullPtr, layout.Node{}, 0, fmt.Errorf("btree: fell off chain for key %d", key)
+			}
+			continue
+		}
+		prev, err := t.M.CAS(p, v, layout.WithLock(v))
+		if err != nil {
+			return rdma.NullPtr, layout.Node{}, 0, err
+		}
+		st.Atomics++
+		if prev != v {
+			st.Restarts++
+			env.Pause()
+			continue
+		}
+		return p, n, v, nil
+	}
+}
+
+// unlockBump writes the node body back and releases the lock with a
+// FETCH_AND_ADD, bumping the version (Listing 4's remote_writeUnlock, with
+// the body write excluding the version word so the FAA both publishes and
+// unlocks).
+func (t *Tree) unlockBump(env rdma.Env, st *Stats, p rdma.RemotePtr, n layout.Node) error {
+	if err := t.M.WriteWords(p.Add(8), n.W[1:]); err != nil {
+		return err
+	}
+	st.PageWrites++
+	env.Charge(t.VisitNS)
+	if _, err := t.M.FetchAdd(p, 1); err != nil {
+		return err
+	}
+	st.Atomics++
+	return nil
+}
+
+// unlockNoChange releases the lock restoring the pre-lock version (the node
+// was not modified, readers need not be invalidated).
+func (t *Tree) unlockNoChange(st *Stats, p rdma.RemotePtr, preLock uint64) error {
+	prev, err := t.M.CAS(p, layout.WithLock(preLock), preLock)
+	if err != nil {
+		return err
+	}
+	st.Atomics++
+	if prev != layout.WithLock(preLock) {
+		panic("btree: lock word changed while held")
+	}
+	return nil
+}
+
+// descendToLeaf walks from the root to the leaf responsible for key,
+// chasing right-sibling links where concurrent splits have outgrown a fence.
+// It returns a consistent copy of the leaf and its pointer.
+func (t *Tree) descendToLeaf(env rdma.Env, st *Stats, key layout.Key) (rdma.RemotePtr, layout.Node, uint64, error) {
+	p, err := t.root(st)
+	if err != nil {
+		return rdma.NullPtr, layout.Node{}, 0, err
+	}
+	var buf []uint64
+	for {
+		n, v, err := t.readNode(env, st, p, buf)
+		if err != nil {
+			return rdma.NullPtr, layout.Node{}, 0, err
+		}
+		buf = n.W
+		if n.IsHead() || key > n.HighKey() {
+			p = n.Right()
+			if p.IsNull() {
+				return rdma.NullPtr, layout.Node{}, 0, fmt.Errorf("btree: fell off chain for key %d", key)
+			}
+			continue
+		}
+		if n.IsLeaf() {
+			return p, n, v, nil
+		}
+		child, ok := n.InnerRoute(key)
+		if !ok {
+			// Raced with a split between the fence check and routing on the
+			// same copy: cannot happen on a consistent copy.
+			panic("btree: routing failed within fence")
+		}
+		p = child
+	}
+}
+
+// Lookup returns all values stored under key (non-unique index), excluding
+// delete-bit entries. found is false when no live entry exists.
+func (t *Tree) Lookup(env rdma.Env, key layout.Key) (values []uint64, st Stats, err error) {
+	p, n, _, err := t.descendToLeaf(env, &st, key)
+	if err != nil {
+		return nil, st, err
+	}
+	for {
+		for i := n.LeafLowerBound(key); i < n.Count() && n.LeafKey(i) == key; i++ {
+			if !n.LeafDeleted(i) {
+				values = append(values, n.LeafValue(i))
+			}
+		}
+		// Duplicates may spill over the fence into right siblings.
+		if n.HighKey() != key {
+			return values, st, nil
+		}
+		p = n.Right()
+		for {
+			if p.IsNull() {
+				return values, st, nil
+			}
+			n, _, err = t.readNode(env, &st, p, nil)
+			if err != nil {
+				return nil, st, err
+			}
+			if !n.IsHead() {
+				break
+			}
+			p = n.Right()
+		}
+	}
+}
+
+// Scan visits all live entries with lo <= key <= hi in key order, calling
+// emit for each; emit returning false stops the scan. Head nodes on the leaf
+// chain trigger batched prefetch of the leaves they announce (Section 4.3).
+func (t *Tree) Scan(env rdma.Env, lo, hi layout.Key, emit func(k layout.Key, v uint64) bool) (st Stats, err error) {
+	p, n, _, err := t.descendToLeaf(env, &st, lo)
+	if err != nil {
+		return st, err
+	}
+	return t.scanChain(env, &st, p, n, lo, hi, emit)
+}
+
+// scanChain runs the leaf-level part of a range scan starting from a
+// consistent copy n of the node at p.
+func (t *Tree) scanChain(env rdma.Env, st *Stats, p rdma.RemotePtr, n layout.Node, lo, hi layout.Key, emit func(k layout.Key, v uint64) bool) (Stats, error) {
+	prefetched := make(map[rdma.RemotePtr][]uint64)
+	for {
+		if n.IsHead() {
+			// Prefetch the announced leaves with selectively signalled READs.
+			ptrs := make([]rdma.RemotePtr, 0, n.Count())
+			bufs := make([][]uint64, 0, n.Count())
+			for i := 0; i < n.Count(); i++ {
+				hp := n.HeadPtr(i)
+				if hp.IsNull() {
+					continue
+				}
+				ptrs = append(ptrs, hp)
+				bufs = append(bufs, make([]uint64, t.L.Words))
+			}
+			if len(ptrs) > 0 {
+				if err := t.M.ReadPages(ptrs, bufs); err != nil {
+					return *st, err
+				}
+				st.Prefetches += len(ptrs)
+				env.Charge(t.VisitNS * int64(len(ptrs)))
+				// Batch-validate the prefetched copies with one more
+				// selectively signalled batch reading just the version
+				// words. A copy whose version is unchanged and unlocked is
+				// a consistent snapshot; invalidated copies are dropped and
+				// re-read on use (the paper's extra remote read for
+				// outdated hints).
+				vbufs := make([][]uint64, len(ptrs))
+				for i := range vbufs {
+					vbufs[i] = make([]uint64, 1)
+				}
+				if err := t.M.ReadPages(ptrs, vbufs); err != nil {
+					return *st, err
+				}
+				st.WordReads += len(ptrs)
+				for i, hp := range ptrs {
+					v := bufs[i][0]
+					if layout.IsLocked(v) || vbufs[i][0] != v {
+						continue
+					}
+					prefetched[hp] = bufs[i]
+				}
+			}
+		} else {
+			for i := n.LeafLowerBound(lo); i < n.Count(); i++ {
+				k := n.LeafKey(i)
+				if k > hi {
+					return *st, nil
+				}
+				if n.LeafDeleted(i) {
+					continue
+				}
+				if !emit(k, n.LeafValue(i)) {
+					return *st, nil
+				}
+			}
+			if n.HighKey() >= hi {
+				return *st, nil
+			}
+		}
+		p = n.Right()
+		if p.IsNull() {
+			return *st, nil
+		}
+		if buf, ok := prefetched[p]; ok {
+			// Already validated at prefetch time: a consistent snapshot.
+			delete(prefetched, p)
+			n = t.L.Wrap(buf)
+			continue
+		}
+		var err error
+		n, _, err = t.readNode(env, st, p, nil)
+		if err != nil {
+			return *st, err
+		}
+	}
+}
+
+// Insert adds (key, value) to the index. Duplicate keys are allowed.
+func (t *Tree) Insert(env rdma.Env, key layout.Key, value uint64) (st Stats, err error) {
+	if key == layout.MaxKey {
+		return st, ErrKeyReserved
+	}
+	leafPtr, _, _, err := t.descendToLeaf(env, &st, key)
+	if err != nil {
+		return st, err
+	}
+	sp, err := t.leafInsert(env, &st, leafPtr, key, value)
+	if err != nil || sp == nil {
+		return st, err
+	}
+	err = t.installSeparator(env, &st, 1, sp.Sep, sp.Left, sp.Right)
+	return st, err
+}
+
+// leafInsert performs the leaf-level half of an insert: lock the responsible
+// leaf (moving right past outgrown fences), insert, and split if full. The
+// returned *Split (nil if no split) still needs its separator installed
+// upstairs.
+func (t *Tree) leafInsert(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key layout.Key, value uint64) (*Split, error) {
+	p, n, _, err := t.lockNodeForKey(env, st, leafPtr, key)
+	if err != nil {
+		return nil, err
+	}
+	if n.LeafInsert(key, value) {
+		return nil, t.unlockBump(env, st, p, n)
+	}
+	// Leaf full: B-link split. The right half goes to a fresh page (placed
+	// by the Mem's policy: round-robin for the fine-grained design), the
+	// left half is rewritten in place, then the separator is installed
+	// upstairs without holding the leaf lock.
+	rightPtr, err := t.M.AllocPage(0, t.L.PageBytes)
+	if err != nil {
+		return nil, err
+	}
+	right := t.L.NewNode()
+	right.InitLeaf()
+	sep := n.LeafSplit(right)
+	right.SetRight(n.Right())
+	right.SetLeft(p)
+	n.SetRight(rightPtr)
+	if key <= sep {
+		if !n.LeafInsert(key, value) {
+			panic("btree: no space in left half after split")
+		}
+	} else {
+		if !right.LeafInsert(key, value) {
+			panic("btree: no space in right half after split")
+		}
+	}
+	if err := t.M.WriteWords(rightPtr, right.W); err != nil {
+		return nil, err
+	}
+	st.PageWrites++
+	env.Charge(t.VisitNS)
+	if err := t.unlockBump(env, st, p, n); err != nil {
+		return nil, err
+	}
+	return &Split{Sep: sep, Left: p, Right: rightPtr}, nil
+}
+
+// installSeparator inserts the boundary sep at the given level after a split
+// of the in-place (left) node at level-1, repointing the displaced range at
+// right. It grows a new root when the tree height increases.
+//
+// With duplicate keys the separator value alone cannot identify the pair to
+// cut (several children may carry equal separators), so the target pair is
+// located by *child pointer*: find the pair whose child is left, then
+// advance to the first pair of that group whose separator is >= sep — that
+// pair's range contains the cut.
+func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.Key, left, right rdma.RemotePtr) error {
+	routeKey := sep
+	for {
+		rootPtr, err := t.refreshRoot(st)
+		if err != nil {
+			return err
+		}
+		rootNode, _, err := t.readNode(env, st, rootPtr, nil)
+		if err != nil {
+			return err
+		}
+		if rootNode.Level() < level {
+			if rootPtr == left {
+				grown, err := t.tryGrowRoot(env, st, level, sep, left, right)
+				if err != nil {
+					return err
+				}
+				if grown {
+					return nil
+				}
+			}
+			// A concurrent writer is growing the root; wait for it.
+			env.Pause()
+			continue
+		}
+		// Descend to the target level guided by routeKey.
+		p, n := rootPtr, rootNode
+		for n.Level() > level {
+			if n.IsHead() || routeKey > n.HighKey() {
+				p = n.Right()
+			} else {
+				child, ok := n.InnerRoute(routeKey)
+				if !ok {
+					panic("btree: routing failed within fence")
+				}
+				p = child
+			}
+			if p.IsNull() {
+				return fmt.Errorf("btree: fell off chain installing sep %d", sep)
+			}
+			if n, _, err = t.readNode(env, st, p, n.W); err != nil {
+				return err
+			}
+		}
+		// Walk right from p looking for the pair whose child is left.
+		var pre uint64
+		p, n, pre, err = t.lockNodeForKey(env, st, p, routeKey)
+		if err != nil {
+			return err
+		}
+		idx := -1
+		for {
+			for i := 0; i < n.Count(); i++ {
+				if n.InnerChild(i) == left {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				break
+			}
+			next := n.Right()
+			if err := t.unlockNoChange(st, p, pre); err != nil {
+				return err
+			}
+			if next.IsNull() {
+				break
+			}
+			p = next
+			if p, n, pre, err = t.lockNodeForKey(env, st, p, 0); err != nil {
+				return err
+			}
+		}
+		if idx < 0 {
+			// Two benign races end up here: (a) left is itself the right
+			// half of an earlier split whose separator install has not
+			// completed yet, so no pair points at it; (b) a racing second
+			// split of left already installed a smaller separator for it,
+			// left of where routeKey landed us. Rescan from the level's left
+			// end, then wait for the pending install and retry.
+			if routeKey != 0 {
+				routeKey = 0
+			} else {
+				routeKey = sep
+				env.Pause()
+			}
+			continue
+		}
+		// Advance to the cut pair: the first pair of left's group with
+		// separator >= sep (the group's pairs are contiguous, ascending, and
+		// may spill into right siblings if this inner node split).
+		for {
+			for idx < n.Count() && n.InnerKey(idx) < sep {
+				idx++
+			}
+			if idx < n.Count() {
+				break
+			}
+			next := n.Right()
+			if err := t.unlockNoChange(st, p, pre); err != nil {
+				return err
+			}
+			if next.IsNull() {
+				// Transient chain state; retry from routing.
+				idx = -1
+				break
+			}
+			p = next
+			if p, n, pre, err = t.lockNodeForKey(env, st, p, 0); err != nil {
+				return err
+			}
+			idx = 0
+		}
+		if idx < 0 {
+			env.Pause()
+			continue
+		}
+		if n.Count() < t.L.InnerCap {
+			n.InnerCutAt(idx, sep, right)
+			return t.unlockBump(env, st, p, n)
+		}
+		// Target inner node full: split it (same B-link discipline), cut in
+		// the correct half, then recurse upstairs.
+		right2Ptr, err := t.M.AllocPage(level, t.L.PageBytes)
+		if err != nil {
+			return err
+		}
+		right2 := t.L.NewNode()
+		right2.InitInner(level)
+		sep2 := n.InnerSplit(right2)
+		right2.SetRight(n.Right())
+		right2.SetLeft(p)
+		n.SetRight(right2Ptr)
+		if idx < n.Count() {
+			n.InnerCutAt(idx, sep, right)
+		} else {
+			right2.InnerCutAt(idx-n.Count(), sep, right)
+		}
+		if err := t.M.WriteWords(right2Ptr, right2.W); err != nil {
+			return err
+		}
+		st.PageWrites++
+		env.Charge(t.VisitNS)
+		if err := t.unlockBump(env, st, p, n); err != nil {
+			return err
+		}
+		return t.installSeparator(env, st, level+1, sep2, p, right2Ptr)
+	}
+}
+
+// tryGrowRoot installs a new root above left/right. Returns false if another
+// writer grew the root first (the caller re-descends).
+func (t *Tree) tryGrowRoot(env rdma.Env, st *Stats, level int, sep layout.Key, left, right rdma.RemotePtr) (bool, error) {
+	newRootPtr, err := t.M.AllocPage(level, t.L.PageBytes)
+	if err != nil {
+		return false, err
+	}
+	nr := t.L.NewNode()
+	nr.InitInner(level)
+	nr.InnerAppend(sep, left)
+	nr.InnerAppend(layout.MaxKey, right)
+	if err := t.M.WriteWords(newRootPtr, nr.W); err != nil {
+		return false, err
+	}
+	st.PageWrites++
+	env.Charge(t.VisitNS)
+	prev, err := t.M.CAS(t.RootWord, uint64(left), uint64(newRootPtr))
+	if err != nil {
+		return false, err
+	}
+	st.Atomics++
+	if prev != uint64(left) {
+		// Lost the race; the page was never published, safe to free.
+		if err := t.M.FreePage(newRootPtr, t.L.PageBytes); err != nil {
+			return false, err
+		}
+		t.cachedRoot = rdma.NullPtr
+		return false, nil
+	}
+	t.cachedRoot = newRootPtr
+	return true, nil
+}
+
+// Delete marks the first live entry matching (key, value) with the delete
+// bit (Section 3.2: deletes set a bit; physical removal is the epoch garbage
+// collector's job). It reports whether an entry was marked.
+func (t *Tree) Delete(env rdma.Env, key layout.Key, value uint64) (bool, Stats, error) {
+	var st Stats
+	leafPtr, _, _, err := t.descendToLeaf(env, &st, key)
+	if err != nil {
+		return false, st, err
+	}
+	ok, err := t.leafDelete(env, &st, leafPtr, key, value)
+	return ok, st, err
+}
+
+// leafDelete performs the leaf-level half of a delete starting from the
+// chain at leafPtr.
+func (t *Tree) leafDelete(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key layout.Key, value uint64) (bool, error) {
+	p := leafPtr
+	for {
+		var n layout.Node
+		var pre uint64
+		var err error
+		p, n, pre, err = t.lockNodeForKey(env, st, p, key)
+		if err != nil {
+			return false, err
+		}
+		for i := n.LeafLowerBound(key); i < n.Count() && n.LeafKey(i) == key; i++ {
+			if n.LeafDeleted(i) {
+				continue
+			}
+			if n.LeafValue(i) != value {
+				continue
+			}
+			n.SetLeafDeleted(i, true)
+			return true, t.unlockBump(env, st, p, n)
+		}
+		// Not in this leaf; duplicates may continue right.
+		if n.HighKey() != key {
+			return false, t.unlockNoChange(st, p, pre)
+		}
+		next := n.Right()
+		if err := t.unlockNoChange(st, p, pre); err != nil {
+			return false, err
+		}
+		if next.IsNull() {
+			return false, nil
+		}
+		p = next
+	}
+}
+
+// Height returns the current tree height in levels (1 = a single leaf).
+func (t *Tree) Height(env rdma.Env) (int, error) {
+	var st Stats
+	p, err := t.refreshRoot(&st)
+	if err != nil {
+		return 0, err
+	}
+	n, _, err := t.readNode(env, &st, p, nil)
+	if err != nil {
+		return 0, err
+	}
+	return n.Level() + 1, nil
+}

@@ -1,0 +1,217 @@
+// Package cache implements compute-server-side caching of index pages — the
+// Appendix A.4 extension of the paper.
+//
+// The cache is a btree.Mem decorator with an LRU of validated page copies
+// and a consistency policy derived from the B-link structure:
+//
+// Every cache hit is revalidated with a single 8-byte version read; on a
+// mismatch the page is re-fetched and the entry refreshed. A hit therefore
+// trades the full page transfer for a tiny read — the bandwidth saving A.4
+// anticipates for read-heavy workloads — while remote writes invalidate
+// cached copies naturally through the version bump, and the caching layer
+// composes transparently with the optimistic protocol above it (which
+// re-reads until the version is stable).
+//
+// Only consistent (unlocked, version-stable) copies are inserted. The cache
+// belongs to a single client thread, like the endpoint it wraps.
+package cache
+
+import (
+	"container/list"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits        int64 // served from cache (inner: free; leaf: validated)
+	Misses      int64 // full page fetches
+	Stale       int64 // leaf revalidations that failed
+	Validations int64 // 8-byte version reads for leaf hits
+	Evictions   int64
+}
+
+// Mem decorates a btree.Mem with a page cache.
+type Mem struct {
+	inner    btree.Mem
+	l        layout.Layout
+	maxPages int
+
+	lru     *list.List // front = most recent; values are *entry
+	entries map[rdma.RemotePtr]*list.Element
+
+	// CacheLeaves enables caching of leaf pages (with revalidation); inner
+	// pages are always cached.
+	CacheLeaves bool
+
+	Stats Stats
+}
+
+type entry struct {
+	ptr   rdma.RemotePtr
+	words []uint64
+	leaf  bool
+}
+
+var _ btree.Mem = (*Mem)(nil)
+
+// New wraps m with a cache of at most maxPages pages.
+func New(m btree.Mem, l layout.Layout, maxPages int) *Mem {
+	return &Mem{
+		inner:       m,
+		l:           l,
+		maxPages:    maxPages,
+		lru:         list.New(),
+		entries:     make(map[rdma.RemotePtr]*list.Element),
+		CacheLeaves: true,
+	}
+}
+
+func (m *Mem) lookup(p rdma.RemotePtr) *entry {
+	el, ok := m.entries[p]
+	if !ok {
+		return nil
+	}
+	m.lru.MoveToFront(el)
+	return el.Value.(*entry)
+}
+
+func (m *Mem) invalidate(p rdma.RemotePtr) {
+	if el, ok := m.entries[p]; ok {
+		m.lru.Remove(el)
+		delete(m.entries, p)
+	}
+}
+
+func (m *Mem) insert(p rdma.RemotePtr, words []uint64, leaf bool) {
+	if m.maxPages <= 0 {
+		return
+	}
+	if el, ok := m.entries[p]; ok {
+		e := el.Value.(*entry)
+		copy(e.words, words)
+		e.leaf = leaf
+		m.lru.MoveToFront(el)
+		return
+	}
+	for m.lru.Len() >= m.maxPages {
+		back := m.lru.Back()
+		m.lru.Remove(back)
+		delete(m.entries, back.Value.(*entry).ptr)
+		m.Stats.Evictions++
+	}
+	e := &entry{ptr: p, words: append([]uint64(nil), words...), leaf: leaf}
+	m.entries[p] = m.lru.PushFront(e)
+}
+
+// ReadWords implements btree.Mem. Full-page reads go through the cache;
+// other sizes pass through.
+func (m *Mem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
+	if len(dst) != m.l.Words {
+		return m.inner.ReadWords(p, dst)
+	}
+	if e := m.lookup(p); e != nil {
+		// Revalidate the copy with one 8-byte read.
+		v, err := m.inner.LoadWord(p)
+		if err != nil {
+			return err
+		}
+		m.Stats.Validations++
+		if v == e.words[0] && !layout.IsLocked(v) {
+			copy(dst, e.words)
+			m.Stats.Hits++
+			return nil
+		}
+		m.Stats.Stale++
+		m.invalidate(p)
+	}
+	// Miss: fetch and insert only a consistent copy (unlocked, version
+	// stable across the transfer).
+	if err := m.inner.ReadWords(p, dst); err != nil {
+		return err
+	}
+	m.Stats.Misses++
+	v := dst[0]
+	if layout.IsLocked(v) {
+		return nil
+	}
+	v2, err := m.inner.LoadWord(p)
+	if err != nil {
+		return err
+	}
+	if v2 != v {
+		return nil
+	}
+	n := m.l.Wrap(dst)
+	if n.IsHead() {
+		// Head nodes are maintenance-rebuilt and retired; don't cache.
+		return nil
+	}
+	if n.IsLeaf() && !m.CacheLeaves {
+		return nil
+	}
+	m.insert(p, dst, n.IsLeaf())
+	return nil
+}
+
+// WriteWords implements btree.Mem; writes invalidate the covering page.
+func (m *Mem) WriteWords(p rdma.RemotePtr, src []uint64) error {
+	m.invalidateCovering(p)
+	return m.inner.WriteWords(p, src)
+}
+
+// LoadWord implements btree.Mem.
+func (m *Mem) LoadWord(p rdma.RemotePtr) (uint64, error) { return m.inner.LoadWord(p) }
+
+// CAS implements btree.Mem; lock-word CAS invalidates the page (it is about
+// to change or just changed).
+func (m *Mem) CAS(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	m.invalidateCovering(p)
+	return m.inner.CAS(p, old, new)
+}
+
+// FetchAdd implements btree.Mem.
+func (m *Mem) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
+	m.invalidateCovering(p)
+	return m.inner.FetchAdd(p, delta)
+}
+
+// invalidateCovering drops the cached page containing p: mutating verbs
+// target either the page base (version word) or base+8 (body).
+func (m *Mem) invalidateCovering(p rdma.RemotePtr) {
+	m.invalidate(p)
+	if p.Offset() >= 8 {
+		m.invalidate(rdma.MakePtr(p.Server(), p.Offset()-8))
+	}
+}
+
+// AllocPage implements btree.Mem.
+func (m *Mem) AllocPage(level int, n int) (rdma.RemotePtr, error) {
+	return m.inner.AllocPage(level, n)
+}
+
+// FreePage implements btree.Mem.
+func (m *Mem) FreePage(p rdma.RemotePtr, n int) error {
+	m.invalidate(p)
+	return m.inner.FreePage(p, n)
+}
+
+// ReadPages implements btree.Mem; prefetch batches bypass the cache (they
+// are already bandwidth-optimal) but refresh it.
+func (m *Mem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64) error {
+	return m.inner.ReadPages(ps, dst)
+}
+
+// Len returns the number of cached pages.
+func (m *Mem) Len() int { return m.lru.Len() }
+
+// HitRate returns hits / (hits + misses), or 0 when empty.
+func (m *Mem) HitRate() float64 {
+	t := m.Stats.Hits + m.Stats.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(m.Stats.Hits) / float64(t)
+}

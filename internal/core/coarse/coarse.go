@@ -1,0 +1,333 @@
+// Package coarse implements Design 1 of the paper (Section 3): the
+// coarse-grained / two-sided index.
+//
+// The key space is partitioned (range- or hash-based) across the memory
+// servers; each server holds a complete local B-link tree for its partition.
+// Compute servers access the index exclusively through an RPC protocol over
+// two-sided verbs (SEND/RECEIVE on reliable connections, dispatched from
+// shared receive queues); the server-side handlers traverse their local tree
+// with optimistic lock coupling (Listing 1).
+package coarse
+
+import (
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Options configures the coarse-grained design.
+type Options struct {
+	// Layout is the page layout (page size P).
+	Layout layout.Layout
+	// Part partitions keys across memory servers.
+	Part partition.Partitioner
+	// VisitNS is the CPU time an RPC handler charges per page visited
+	// (performance model of the simulated fabric; 0 elsewhere).
+	VisitNS int64
+}
+
+// Server is the server-side state: one local tree per memory server.
+type Server struct {
+	opts    Options
+	fab     rdma.Fabric
+	catalog *nam.Catalog
+}
+
+// NewServer wires the design's server side onto a fabric. Call Build (or
+// Init) before installing the handler.
+func NewServer(fab rdma.Fabric, opts Options) *Server {
+	if opts.Part.Servers() != fab.NumServers() {
+		panic("coarse: partitioner/fabric server count mismatch")
+	}
+	return &Server{opts: opts, fab: fab}
+}
+
+// tree returns a fresh tree handle for one server (handles are cheap and
+// per-goroutine; the shared state lives in the region).
+func (s *Server) tree(server int) *btree.Tree {
+	t := btree.New(s.opts.Layout, btree.LocalMem{Srv: s.fab.Server(server)}, nam.RootWordPtr(server))
+	t.VisitNS = s.opts.VisitNS
+	return t
+}
+
+// Init creates empty trees on every server and returns the catalog.
+func (s *Server) Init() (*nam.Catalog, error) {
+	for i := 0; i < s.fab.NumServers(); i++ {
+		if err := s.InitServer(i); err != nil {
+			return nil, err
+		}
+	}
+	return s.makeCatalog(), nil
+}
+
+// InitServer creates one server's empty tree (distributed deployments).
+func (s *Server) InitServer(srv int) error {
+	return s.tree(srv).Init(rdma.NopEnv{})
+}
+
+// Build bulk-loads the partitioned trees and returns the catalog. spec.At is
+// consumed sequentially once per server (filtered streaming), so hash
+// partitioning needs no materialization.
+func (s *Server) Build(spec core.BuildSpec) (*nam.Catalog, error) {
+	for srv := 0; srv < s.fab.NumServers(); srv++ {
+		if err := s.BuildServer(srv, spec); err != nil {
+			return nil, err
+		}
+	}
+	return s.makeCatalog(), nil
+}
+
+// BuildServer bulk-loads one server's partition only. Distributed
+// deployments (one process per memory server, e.g. cmd/namserver over a
+// SingleServerFabric) call this with their own server ID; the spec must be
+// identical on every process.
+func (s *Server) BuildServer(srv int, spec core.BuildSpec) error {
+	count := 0
+	for i := 0; i < spec.N; i++ {
+		k, _ := spec.At(i)
+		if s.opts.Part.Server(k) == srv {
+			count++
+		}
+	}
+	cursor := 0
+	at := func(int) (uint64, uint64) {
+		for {
+			k, v := spec.At(cursor)
+			cursor++
+			if s.opts.Part.Server(k) == srv {
+				return k, v
+			}
+		}
+	}
+	cfg := btree.BuildConfig{Fill: spec.Fill}
+	if _, err := s.tree(srv).Build(rdma.NopEnv{}, cfg, count, at); err != nil {
+		return fmt.Errorf("coarse: building server %d: %w", srv, err)
+	}
+	return nil
+}
+
+// Catalog returns the catalog describing this deployment (building it on
+// demand for distributed deployments that never call Build).
+func (s *Server) Catalog() *nam.Catalog {
+	if s.catalog == nil {
+		s.makeCatalog()
+	}
+	return s.catalog
+}
+
+func (s *Server) makeCatalog() *nam.Catalog {
+	c := &nam.Catalog{
+		Design:    nam.CoarseGrained,
+		PageBytes: s.opts.Layout.PageBytes,
+		Servers:   s.fab.NumServers(),
+	}
+	for i := 0; i < s.fab.NumServers(); i++ {
+		c.RootWords = append(c.RootWords, nam.RootWordPtr(i))
+	}
+	switch p := s.opts.Part.(type) {
+	case *partition.Range:
+		c.PartKind = nam.PartRange
+		c.RangeBounds = p.Bounds()
+	case *partition.Hash:
+		c.PartKind = nam.PartHash
+	default:
+		panic(fmt.Sprintf("coarse: unsupported partitioner %T", s.opts.Part))
+	}
+	s.catalog = c
+	return c
+}
+
+// Handler returns the RPC handler executing index operations on the local
+// trees; install it with fabric.SetHandler.
+func (s *Server) Handler() rdma.Handler {
+	return func(env rdma.Env, server int, reqBytes []byte) ([]byte, rdma.Work) {
+		req, err := nam.DecodeRequest(reqBytes)
+		if err != nil {
+			return nam.ErrResponse(err).Encode(), rdma.Work{}
+		}
+		t := s.tree(server)
+		var resp *nam.Response
+		var st btree.Stats
+		switch req.Op {
+		case nam.OpLookup:
+			vals, stats, err := t.Lookup(env, req.Key)
+			st = stats
+			switch {
+			case err != nil:
+				resp = nam.ErrResponse(err)
+			case len(vals) == 0:
+				resp = &nam.Response{Status: nam.StatusNotFound}
+			default:
+				resp = &nam.Response{Status: nam.StatusOK, Values: vals}
+			}
+		case nam.OpRange:
+			var pairs []uint64
+			stats, err := t.Scan(env, req.Key, req.End, func(k layout.Key, v uint64) bool {
+				pairs = append(pairs, k, v)
+				return true
+			})
+			st = stats
+			if err != nil {
+				resp = nam.ErrResponse(err)
+			} else {
+				resp = &nam.Response{Status: nam.StatusOK, Pairs: pairs}
+			}
+		case nam.OpInsert:
+			stats, err := t.Insert(env, req.Key, req.Value)
+			st = stats
+			if err != nil {
+				resp = nam.ErrResponse(err)
+			} else {
+				resp = &nam.Response{Status: nam.StatusOK}
+			}
+		case nam.OpDelete:
+			ok, stats, err := t.Delete(env, req.Key, req.Value)
+			st = stats
+			switch {
+			case err != nil:
+				resp = nam.ErrResponse(err)
+			case ok:
+				resp = &nam.Response{Status: nam.StatusOK}
+			default:
+				resp = &nam.Response{Status: nam.StatusNotFound}
+			}
+		case nam.OpCatalog:
+			if s.catalog == nil {
+				resp = nam.ErrResponse(fmt.Errorf("coarse: no catalog yet"))
+			} else {
+				resp = &nam.Response{Status: nam.StatusOK, Pairs: bytesToWords(s.catalog.Encode())}
+			}
+		default:
+			resp = nam.ErrResponse(fmt.Errorf("coarse: bad op %d", req.Op))
+		}
+		return resp.Encode(), rdma.Work{PagesTouched: st.PageReads + st.PageWrites}
+	}
+}
+
+// bytesToWords packs a byte payload into the Pairs field (length-prefixed).
+func bytesToWords(b []byte) []uint64 {
+	out := make([]uint64, 1+(len(b)+7)/8)
+	out[0] = uint64(len(b))
+	for i, c := range b {
+		out[1+i/8] |= uint64(c) << uint(8*(i%8))
+	}
+	return out
+}
+
+// WordsToBytes unpacks a payload packed by bytesToWords.
+func WordsToBytes(w []uint64) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	n := int(w[0])
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(w[1+i/8] >> uint(8*(i%8)))
+	}
+	return out
+}
+
+// CheckInvariants verifies every server-local tree (tests only) and returns
+// the total number of live entries.
+func (s *Server) CheckInvariants() (int, error) {
+	total := 0
+	for i := 0; i < s.fab.NumServers(); i++ {
+		n, err := s.tree(i).CheckInvariants(rdma.NopEnv{})
+		if err != nil {
+			return 0, fmt.Errorf("server %d: %w", i, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Compact runs the per-server epoch GC pass (Section 3.2), executed locally
+// on each memory server.
+func (s *Server) Compact() (removed int, err error) {
+	for i := 0; i < s.fab.NumServers(); i++ {
+		r, _, err := s.tree(i).Compact(rdma.NopEnv{})
+		if err != nil {
+			return removed, err
+		}
+		removed += r
+	}
+	return removed, nil
+}
+
+// Client is one compute thread's handle onto a coarse-grained index.
+type Client struct {
+	ep   rdma.Endpoint
+	env  rdma.Env
+	cat  *nam.Catalog
+	part partition.Partitioner
+}
+
+var _ core.Index = (*Client)(nil)
+
+// NewClient binds a client to an endpoint. env is the client's execution
+// environment (rdma.NopEnv on real transports).
+func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog) *Client {
+	return &Client{ep: ep, env: env, cat: cat, part: cat.Partitioner()}
+}
+
+func (c *Client) call(server int, req *nam.Request) (*nam.Response, error) {
+	raw, err := c.ep.Call(server, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := nam.DecodeResponse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.AsError(); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Lookup implements core.Index: one RPC to the partition owner.
+func (c *Client) Lookup(key uint64) ([]uint64, error) {
+	resp, err := c.call(c.part.Server(key), &nam.Request{Op: nam.OpLookup, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Values, nil
+}
+
+// Range implements core.Index: one RPC per partition intersecting [lo, hi].
+// With hash partitioning every server must be queried (Table 2) and results
+// arrive in per-server runs rather than globally sorted.
+func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
+	for _, srv := range c.part.CoversRange(lo, hi) {
+		resp, err := c.call(srv, &nam.Request{Op: nam.OpRange, Key: lo, End: hi})
+		if err != nil {
+			return err
+		}
+		for i := 0; i+1 < len(resp.Pairs); i += 2 {
+			if !emit(resp.Pairs[i], resp.Pairs[i+1]) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Insert implements core.Index.
+func (c *Client) Insert(key, value uint64) error {
+	_, err := c.call(c.part.Server(key), &nam.Request{Op: nam.OpInsert, Key: key, Value: value})
+	return err
+}
+
+// Delete implements core.Index.
+func (c *Client) Delete(key, value uint64) (bool, error) {
+	resp, err := c.call(c.part.Server(key), &nam.Request{Op: nam.OpDelete, Key: key, Value: value})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status == nam.StatusOK, nil
+}

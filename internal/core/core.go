@@ -1,0 +1,132 @@
+// Package core defines the distributed-index abstraction shared by the three
+// designs of the paper (coarse-grained/two-sided, fine-grained/one-sided,
+// hybrid) and a sequential reference implementation used as a correctness
+// oracle by integration tests.
+//
+// The concrete designs live in the subpackages core/coarse, core/fine and
+// core/hybrid. Each provides:
+//
+//   - a Build function that bulk-loads the index onto a cluster's memory
+//     servers and returns the catalog compute servers need,
+//   - a server-side RPC handler (where the design uses two-sided verbs),
+//   - a Client implementing Index, bound to one compute thread's endpoint.
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// Index is the operation surface of a distributed secondary index: keys are
+// non-unique, values are the payload (e.g. primary keys).
+type Index interface {
+	// Lookup returns all values stored under key.
+	Lookup(key uint64) ([]uint64, error)
+	// Range visits all entries with lo <= key <= hi in key order (per
+	// partition; hash-partitioned coarse-grained indexes emit per-server
+	// runs). emit returning false stops the scan.
+	Range(lo, hi uint64, emit func(k, v uint64) bool) error
+	// Insert adds (key, value).
+	Insert(key, value uint64) error
+	// Delete removes one entry matching (key, value); it reports whether an
+	// entry was found.
+	Delete(key, value uint64) (bool, error)
+}
+
+// BuildSpec parameterizes index construction, shared by all designs.
+type BuildSpec struct {
+	// N is the number of items; At(i) must return them in non-decreasing
+	// key order and is called sequentially.
+	N  int
+	At func(i int) (key, value uint64)
+	// Fill is the node fill factor (default 0.9).
+	Fill float64
+	// HeadEvery enables head nodes every n leaves for the designs with
+	// fine-grained leaves (fine, hybrid); 0 disables.
+	HeadEvery int
+}
+
+// Reference is an in-memory single-node ordered index used as the
+// correctness oracle. It is safe for concurrent use.
+type Reference struct {
+	mu   sync.RWMutex
+	keys []uint64            // sorted distinct keys
+	vals map[uint64][]uint64 // key -> values (insertion order)
+}
+
+// NewReference returns an empty oracle.
+func NewReference() *Reference {
+	return &Reference{vals: make(map[uint64][]uint64)}
+}
+
+var _ Index = (*Reference)(nil)
+
+// Lookup implements Index.
+func (r *Reference) Lookup(key uint64) ([]uint64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]uint64(nil), r.vals[key]...), nil
+}
+
+// Range implements Index.
+func (r *Reference) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= lo })
+	for ; i < len(r.keys) && r.keys[i] <= hi; i++ {
+		k := r.keys[i]
+		for _, v := range r.vals[k] {
+			if !emit(k, v) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Insert implements Index.
+func (r *Reference) Insert(key, value uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vals[key]; !ok {
+		i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+		r.keys = append(r.keys, 0)
+		copy(r.keys[i+1:], r.keys[i:])
+		r.keys[i] = key
+	}
+	r.vals[key] = append(r.vals[key], value)
+	return nil
+}
+
+// Delete implements Index.
+func (r *Reference) Delete(key, value uint64) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs, ok := r.vals[key]
+	if !ok {
+		return false, nil
+	}
+	for i, v := range vs {
+		if v == value {
+			r.vals[key] = append(vs[:i:i], vs[i+1:]...)
+			if len(r.vals[key]) == 0 {
+				delete(r.vals, key)
+				j := sort.Search(len(r.keys), func(j int) bool { return r.keys[j] >= key })
+				r.keys = append(r.keys[:j], r.keys[j+1:]...)
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Count returns the number of live entries (for tests).
+func (r *Reference) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, vs := range r.vals {
+		n += len(vs)
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+// Package fine implements Design 2 of the paper (Section 4): the
+// fine-grained / one-sided index.
+//
+// A single global B-link tree spans the whole key space; its pages (inner
+// nodes, leaves, and the head nodes of the Section 4.3 prefetch
+// optimization) are distributed round-robin across all memory servers and
+// connected by remote pointers. Compute servers execute every operation
+// themselves with one-sided verbs only (READ, WRITE, CAS, FETCH_AND_ADD,
+// RDMA_ALLOC) — the memory servers' CPUs are never involved (Listing 2/4).
+package fine
+
+import (
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/cache"
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Options configures the fine-grained design.
+type Options struct {
+	// Layout is the page layout (page size P).
+	Layout layout.Layout
+}
+
+// Build bulk-loads the global tree through setupEp (an untimed endpoint on
+// the simulated fabric) with round-robin page placement, and returns the
+// catalog. The root-pointer word lives in server 0's superblock.
+func Build(setupEp rdma.Endpoint, opts Options, spec core.BuildSpec) (*nam.Catalog, error) {
+	servers := setupEp.NumServers()
+	t := btree.New(opts.Layout, btree.EndpointMem{
+		Ep:    setupEp,
+		Place: btree.RoundRobin(servers, 0),
+	}, nam.RootWordPtr(0))
+	cfg := btree.BuildConfig{Fill: spec.Fill, HeadEvery: spec.HeadEvery}
+	if spec.N == 0 {
+		if err := t.Init(rdma.NopEnv{}); err != nil {
+			return nil, err
+		}
+	} else if _, err := t.Build(rdma.NopEnv{}, cfg, spec.N, spec.At); err != nil {
+		return nil, err
+	}
+	return &nam.Catalog{
+		Design:    nam.FineGrained,
+		PageBytes: opts.Layout.PageBytes,
+		Servers:   servers,
+		RootWords: []rdma.RemotePtr{nam.RootWordPtr(0)},
+	}, nil
+}
+
+// Client is one compute thread's handle onto the fine-grained index. All
+// operations run on the client over one-sided verbs.
+type Client struct {
+	tree *btree.Tree
+	env  rdma.Env
+}
+
+var _ core.Index = (*Client)(nil)
+
+// NewClient binds a client to an endpoint. rrStart staggers the round-robin
+// placement of pages the client allocates on splits (pass the client ID).
+func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart int) *Client {
+	l := layout.New(cat.PageBytes)
+	t := btree.New(l, btree.EndpointMem{
+		Ep:    ep,
+		Place: btree.RoundRobin(cat.Servers, rrStart),
+	}, cat.RootWords[0])
+	return &Client{tree: t, env: env}
+}
+
+// Lookup implements core.Index (Listing 2's remoteLookup).
+func (c *Client) Lookup(key uint64) ([]uint64, error) {
+	vals, _, err := c.tree.Lookup(c.env, key)
+	return vals, err
+}
+
+// Range implements core.Index: a one-sided leaf-level scan with head-node
+// prefetching.
+func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
+	_, err := c.tree.Scan(c.env, lo, hi, emit)
+	return err
+}
+
+// Insert implements core.Index (Listing 2's remoteInsert; splits install new
+// pages with RDMA_ALLOC + WRITE and propagate separators with the same
+// one-sided protocol).
+func (c *Client) Insert(key, value uint64) error {
+	_, err := c.tree.Insert(c.env, key, value)
+	return err
+}
+
+// Delete implements core.Index: the delete bit is set through the one-sided
+// write protocol; physical removal is the global garbage collector's job.
+func (c *Client) Delete(key, value uint64) (bool, error) {
+	ok, _, err := c.tree.Delete(c.env, key, value)
+	return ok, err
+}
+
+// Tree exposes the underlying engine (stats, invariant checks).
+func (c *Client) Tree() *btree.Tree { return c.tree }
+
+// NewCachedClient is NewClient with a compute-side page cache of maxPages
+// pages in front of the one-sided reads (the Appendix A.4 extension). The
+// returned cache exposes hit/miss statistics.
+func NewCachedClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart, maxPages int) (*Client, *cache.Mem) {
+	l := layout.New(cat.PageBytes)
+	base := btree.EndpointMem{
+		Ep:    ep,
+		Place: btree.RoundRobin(cat.Servers, rrStart),
+	}
+	cm := cache.New(base, l, maxPages)
+	t := btree.New(l, cm, cat.RootWords[0])
+	return &Client{tree: t, env: env}, cm
+}
+
+// GC is the global epoch garbage collector of the fine-grained design: it
+// runs on a compute server (Section 4.2 — it must use the same one-sided
+// protocol as writers, since mixing remote atomics with server-local atomics
+// would break atomicity) and periodically compacts delete-bit entries and
+// refreshes head nodes.
+type GC struct {
+	c *Client
+	// HeadEvery is the head-node spacing to maintain; 0 disables head
+	// maintenance.
+	HeadEvery int
+	retired   []rdma.RemotePtr
+}
+
+// NewGC creates a garbage collector driving the index through client c.
+func NewGC(c *Client, headEvery int) *GC {
+	return &GC{c: c, HeadEvery: headEvery}
+}
+
+// RunEpoch performs one epoch: frees pages retired in the previous epoch (no
+// reader can still hold them), compacts deleted entries, merges underfull
+// leaves, and rebuilds head nodes. It returns the number of entries
+// physically removed.
+func (g *GC) RunEpoch() (removed int, err error) {
+	// Pages retired an epoch ago are now unreachable by any reader.
+	if err := g.c.tree.FreeRetired(g.retired); err != nil {
+		return 0, err
+	}
+	g.retired = nil
+	removed, _, err = g.c.tree.Compact(g.c.env)
+	if err != nil {
+		return removed, err
+	}
+	_, tombstones, _, err := g.c.tree.Rebalance(g.c.env, -1)
+	if err != nil {
+		return removed, err
+	}
+	g.retired = append(g.retired, tombstones...)
+	if g.HeadEvery > 1 {
+		heads, _, err := g.c.tree.RebuildHeads(g.c.env, g.HeadEvery)
+		if err != nil {
+			return removed, err
+		}
+		g.retired = append(g.retired, heads...)
+	}
+	return removed, nil
+}

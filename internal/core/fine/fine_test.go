@@ -1,0 +1,151 @@
+package fine
+
+import (
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+)
+
+func deploy(t *testing.T, servers, n, headEvery int) (*direct.Fabric, *nam.Catalog) {
+	t.Helper()
+	fab := direct.New(servers, 64<<20, nam.SuperblockBytes)
+	cat, err := Build(fab.Endpoint(), Options{Layout: layout.New(512)}, core.BuildSpec{
+		N:         n,
+		At:        func(i int) (uint64, uint64) { return uint64(i), uint64(i) },
+		HeadEvery: headEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fab, cat
+}
+
+func TestBuildSpreadsPagesAcrossServers(t *testing.T) {
+	fab, _ := deploy(t, 4, 50_000, 0)
+	// Round-robin placement must consume memory on every server.
+	for s := 0; s < 4; s++ {
+		if used := fab.Server(s).Alloc.Used(); used == 0 {
+			t.Fatalf("server %d holds no index pages", s)
+		}
+	}
+	// Rough balance: no server holds more than 2x the minimum.
+	min, max := ^uint64(0), uint64(0)
+	for s := 0; s < 4; s++ {
+		u := fab.Server(s).Alloc.Used()
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	if max > 2*min {
+		t.Fatalf("page distribution imbalanced: min=%d max=%d", min, max)
+	}
+}
+
+func TestClientOperations(t *testing.T) {
+	fab, cat := deploy(t, 4, 10_000, 16)
+	c := NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+
+	vals, err := c.Lookup(1234)
+	if err != nil || len(vals) != 1 || vals[0] != 1234 {
+		t.Fatalf("lookup: %v %v", vals, err)
+	}
+	if err := c.Insert(1234, 9999); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = c.Lookup(1234)
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("after insert: %v %v", vals, err)
+	}
+	ok, err := c.Delete(1234, 9999)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	count := 0
+	if err := c.Range(100, 199, func(k, v uint64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("range count = %d", count)
+	}
+}
+
+func TestGCReclaimsAndKeepsHeads(t *testing.T) {
+	fab, cat := deploy(t, 2, 5000, 8)
+	c := NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+	for i := 0; i < 1000; i++ {
+		if _, err := c.Delete(uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gc := NewGC(c, 8)
+	removed, err := gc.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1000 {
+		t.Fatalf("removed = %d", removed)
+	}
+	// A second epoch frees the previous epoch's retired pages and finds
+	// nothing new.
+	removed, err = gc.RunEpoch()
+	if err != nil || removed != 0 {
+		t.Fatalf("second epoch: %d %v", removed, err)
+	}
+	live, err := c.Tree().CheckInvariants(rdma.NopEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != 4000 {
+		t.Fatalf("live = %d", live)
+	}
+}
+
+func TestCachedClientAgrees(t *testing.T) {
+	fab, cat := deploy(t, 4, 20_000, 16)
+	plain := NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+	cached, cm := NewCachedClient(fab.Endpoint(), direct.Env{}, cat, 1, 512)
+	for rep := 0; rep < 2; rep++ {
+		for i := 0; i < 500; i++ {
+			k := uint64(i * 31 % 20000)
+			a, err := plain.Lookup(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := cached.Lookup(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("cached/plain diverge on %d: %v vs %v", k, a, b)
+			}
+		}
+	}
+	if cm.Stats.Hits == 0 {
+		t.Fatal("cache unused")
+	}
+	// Writes through the cached client stay visible.
+	if err := cached.Insert(7, 70707); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cached.Lookup(7)
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("cached write invisible: %v %v", vals, err)
+	}
+}
+
+func TestCatalogHasSingleGlobalRoot(t *testing.T) {
+	_, cat := deploy(t, 4, 100, 0)
+	if cat.Design != nam.FineGrained {
+		t.Fatalf("design = %v", cat.Design)
+	}
+	if len(cat.RootWords) != 1 || cat.RootWords[0] != nam.RootWordPtr(0) {
+		t.Fatalf("root words = %v", cat.RootWords)
+	}
+}

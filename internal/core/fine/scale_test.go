@@ -1,0 +1,63 @@
+package fine
+
+import (
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// TestTenMillionKeyBuild exercises the bulk loader and query paths at 10M
+// keys (one tenth of paper scale) — the memory-budget and depth regime the
+// sim-scale tests never reach (tree height 5 at 512 B pages).
+func TestTenMillionKeyBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-key build")
+	}
+	const n = 10_000_000
+	fab := direct.New(4, 192<<20, nam.SuperblockBytes)
+	cat, err := Build(fab.Endpoint(), Options{Layout: layout.New(512)}, core.BuildSpec{
+		N:         n,
+		At:        workload.DataItem,
+		HeadEvery: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+	h, err := c.Tree().Height(rdma.NopEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 5 {
+		t.Fatalf("height = %d; want >= 5 at 10M keys and 512B pages", h)
+	}
+	for _, k := range []uint64{0, 1, 999_999, n / 2, n - 1} {
+		vals, err := c.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[0] != k {
+			t.Fatalf("Lookup(%d) = %v", k, vals)
+		}
+	}
+	count := 0
+	if err := c.Range(5_000_000, 5_000_999, func(k, v uint64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1000 {
+		t.Fatalf("range count = %d", count)
+	}
+	// Inserts and splits still work at depth.
+	if err := c.Insert(5_000_000, 42); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.Lookup(5_000_000)
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("after insert: %v %v", vals, err)
+	}
+}

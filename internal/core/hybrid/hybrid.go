@@ -1,0 +1,380 @@
+// Package hybrid implements Design 3 of the paper (Section 5): the hybrid
+// index.
+//
+// The upper levels (root and inner nodes) are partitioned coarse-grained:
+// each memory server owns the inner levels for its key range and traverses
+// them on behalf of clients via an RPC that returns a *remote pointer to the
+// responsible leaf*. The leaf level is distributed fine-grained: leaves are
+// placed round-robin across all memory servers and accessed by compute
+// servers with the one-sided protocol, including head-node prefetching for
+// range scans. A leaf split is performed one-sided by the compute server,
+// which then reports the new separator upstairs with a second RPC; the
+// owning memory server installs it into its local inner levels (Listing 1's
+// second phase).
+package hybrid
+
+import (
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Options configures the hybrid design.
+type Options struct {
+	// Layout is the page layout (page size P).
+	Layout layout.Layout
+	// Part partitions the key space across the servers owning upper levels.
+	Part partition.Partitioner
+	// VisitNS is the CPU time an RPC handler charges per page visited
+	// (performance model of the simulated fabric).
+	VisitNS int64
+}
+
+// Server is the server side: per-server upper-level trees.
+type Server struct {
+	opts    Options
+	fab     rdma.Fabric
+	catalog *nam.Catalog
+}
+
+// NewServer wires the design's server side onto a fabric.
+func NewServer(fab rdma.Fabric, opts Options) *Server {
+	if opts.Part.Servers() != fab.NumServers() {
+		panic("hybrid: partitioner/fabric server count mismatch")
+	}
+	return &Server{opts: opts, fab: fab}
+}
+
+// tree returns a fresh server-side handle for one server's upper levels.
+// Handlers only ever touch inner nodes, which are all local.
+func (s *Server) tree(server int) *btree.Tree {
+	t := btree.New(s.opts.Layout, btree.LocalMem{Srv: s.fab.Server(server)}, nam.RootWordPtr(server))
+	t.VisitNS = s.opts.VisitNS
+	return t
+}
+
+// Build bulk-loads the index: for every server's partition, the leaf level
+// (with head nodes) is placed round-robin across *all* servers through
+// setupEp, while the inner levels stay on the owning server. Partitions are
+// guaranteed an inner root even when tiny, so server-side traversal never
+// touches a foreign leaf.
+func (s *Server) Build(setupEp rdma.Endpoint, spec core.BuildSpec) (*nam.Catalog, error) {
+	for srv := 0; srv < s.fab.NumServers(); srv++ {
+		if err := s.BuildServer(setupEp, srv, spec); err != nil {
+			return nil, err
+		}
+	}
+	return s.makeCatalog(), nil
+}
+
+// BuildServer bulk-loads one partition only: its leaves are spread over all
+// servers (written through setupEp, which must reach the whole cluster — on
+// a distributed deployment this is a TCP endpoint to the peers), its inner
+// levels stay on the owning server. Distributed deployments (cmd/namserver
+// -design hybrid) call this with their own server ID after all peers are
+// listening; the spec must be identical on every process.
+func (s *Server) BuildServer(setupEp rdma.Endpoint, srv int, spec core.BuildSpec) error {
+	servers := s.fab.NumServers()
+	rr := srv // stagger leaf placement across independently-built partitions
+	place := func(level int) int {
+		if level == 0 {
+			p := rr
+			rr = (rr + 1) % servers
+			return p
+		}
+		return srv
+	}
+	t := btree.New(s.opts.Layout, btree.EndpointMem{Ep: setupEp, Place: place}, nam.RootWordPtr(srv))
+	count := 0
+	for i := 0; i < spec.N; i++ {
+		k, _ := spec.At(i)
+		if s.opts.Part.Server(k) == srv {
+			count++
+		}
+	}
+	cursor := 0
+	at := func(int) (uint64, uint64) {
+		for {
+			k, v := spec.At(cursor)
+			cursor++
+			if s.opts.Part.Server(k) == srv {
+				return k, v
+			}
+		}
+	}
+	cfg := btree.BuildConfig{Fill: spec.Fill, HeadEvery: spec.HeadEvery}
+	if count == 0 {
+		if err := t.Init(rdma.NopEnv{}); err != nil {
+			return err
+		}
+	} else if _, err := t.Build(rdma.NopEnv{}, cfg, count, at); err != nil {
+		return fmt.Errorf("hybrid: building server %d: %w", srv, err)
+	}
+	// Guarantee the root is an inner node on the owning server: wrap a
+	// single-leaf tree in a one-entry inner root.
+	return ensureInnerRoot(setupEp, s.opts.Layout, srv)
+}
+
+// Catalog returns the catalog describing this deployment (building it on
+// demand for distributed deployments that never call Build).
+func (s *Server) Catalog() *nam.Catalog {
+	if s.catalog == nil {
+		s.makeCatalog()
+	}
+	return s.catalog
+}
+
+// ensureInnerRoot wraps a leaf root in a local inner root (the hybrid
+// invariant: server-side traversal only touches local inner nodes).
+func ensureInnerRoot(ep rdma.Endpoint, l layout.Layout, srv int) error {
+	rootWord := nam.RootWordPtr(srv)
+	var w [1]uint64
+	if err := ep.Read(rootWord, w[:]); err != nil {
+		return err
+	}
+	rootPtr := rdma.RemotePtr(w[0])
+	buf := make([]uint64, l.Words)
+	if err := ep.Read(rootPtr, buf); err != nil {
+		return err
+	}
+	n := l.Wrap(buf)
+	if !n.IsLeaf() {
+		if rootPtr.Server() != srv {
+			return fmt.Errorf("hybrid: inner root of server %d placed on server %d", srv, rootPtr.Server())
+		}
+		return nil
+	}
+	innerPtr, err := ep.Alloc(srv, l.PageBytes)
+	if err != nil {
+		return err
+	}
+	inner := l.NewNode()
+	inner.InitInner(1)
+	inner.InnerAppend(layout.MaxKey, rootPtr)
+	if err := ep.Write(innerPtr, inner.W); err != nil {
+		return err
+	}
+	return ep.Write(rootWord, []uint64{uint64(innerPtr)})
+}
+
+func (s *Server) makeCatalog() *nam.Catalog {
+	c := &nam.Catalog{
+		Design:    nam.Hybrid,
+		PageBytes: s.opts.Layout.PageBytes,
+		Servers:   s.fab.NumServers(),
+	}
+	for i := 0; i < s.fab.NumServers(); i++ {
+		c.RootWords = append(c.RootWords, nam.RootWordPtr(i))
+	}
+	switch p := s.opts.Part.(type) {
+	case *partition.Range:
+		c.PartKind = nam.PartRange
+		c.RangeBounds = p.Bounds()
+	case *partition.Hash:
+		c.PartKind = nam.PartHash
+	default:
+		panic(fmt.Sprintf("hybrid: unsupported partitioner %T", s.opts.Part))
+	}
+	s.catalog = c
+	return c
+}
+
+// Handler returns the RPC handler serving OpTraverse and OpInstall.
+func (s *Server) Handler() rdma.Handler {
+	return func(env rdma.Env, server int, reqBytes []byte) ([]byte, rdma.Work) {
+		req, err := nam.DecodeRequest(reqBytes)
+		if err != nil {
+			return nam.ErrResponse(err).Encode(), rdma.Work{}
+		}
+		t := s.tree(server)
+		var resp *nam.Response
+		var st btree.Stats
+		switch req.Op {
+		case nam.OpTraverse:
+			leaf, stats, err := t.FindLeaf(env, req.Key)
+			st = stats
+			if err != nil {
+				resp = nam.ErrResponse(err)
+			} else {
+				resp = &nam.Response{Status: nam.StatusOK, Ptr: leaf}
+			}
+		case nam.OpInstall:
+			stats, err := t.Install(env, 1, req.End, req.Left, req.Right)
+			st = stats
+			if err != nil {
+				resp = nam.ErrResponse(err)
+			} else {
+				resp = &nam.Response{Status: nam.StatusOK}
+			}
+		default:
+			resp = nam.ErrResponse(fmt.Errorf("hybrid: bad op %d", req.Op))
+		}
+		return resp.Encode(), rdma.Work{PagesTouched: st.PageReads + st.PageWrites}
+	}
+}
+
+// CheckInvariants verifies every partition's tree through a global view
+// (tests only) and returns total live entries.
+func (s *Server) CheckInvariants(ep rdma.Endpoint) (int, error) {
+	total := 0
+	for i := 0; i < s.fab.NumServers(); i++ {
+		t := btree.New(s.opts.Layout, btree.EndpointMem{Ep: ep, Place: btree.Fixed(i)}, nam.RootWordPtr(i))
+		n, err := t.CheckInvariants(rdma.NopEnv{})
+		if err != nil {
+			return 0, fmt.Errorf("server %d: %w", i, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// GC is the hybrid design's split garbage collection (Section 5): a global
+// thread on a compute server compacts the fine-grained leaf level through
+// the one-sided protocol, while each memory server compacts nothing locally
+// (upper levels hold no delete bits; separator removal is not needed because
+// merges are left to the global thread too, which reports them upstairs just
+// like splits). This implementation performs leaf compaction per partition.
+type GC struct {
+	c *Client
+}
+
+// NewGC creates the global garbage collector driving the index through
+// client c.
+func NewGC(c *Client) *GC { return &GC{c: c} }
+
+// RunEpoch compacts delete-bit entries in every partition's leaf chain and
+// returns the number of entries removed.
+func (g *GC) RunEpoch() (removed int, err error) {
+	for srv := 0; srv < g.c.cat.Servers; srv++ {
+		leaf, err := g.c.traverse(srv, 0)
+		if err != nil {
+			return removed, err
+		}
+		r, _, err := g.c.leaf.CompactFrom(g.c.env, leaf)
+		if err != nil {
+			return removed, err
+		}
+		removed += r
+	}
+	return removed, nil
+}
+
+// Client is one compute thread's handle onto a hybrid index.
+type Client struct {
+	ep   rdma.Endpoint
+	env  rdma.Env
+	cat  *nam.Catalog
+	part partition.Partitioner
+	// leaf drives the one-sided leaf-level protocol; its placement policy
+	// spreads split pages round-robin (leaves stay fine-grained).
+	leaf *btree.Tree
+}
+
+var _ core.Index = (*Client)(nil)
+
+// NewClient binds a client to an endpoint; rrStart staggers split placement.
+func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart int) *Client {
+	l := layout.New(cat.PageBytes)
+	leaf := btree.New(l, btree.EndpointMem{
+		Ep:    ep,
+		Place: btree.RoundRobin(cat.Servers, rrStart),
+	}, rdma.NullPtr)
+	return &Client{ep: ep, env: env, cat: cat, part: cat.Partitioner(), leaf: leaf}
+}
+
+func (c *Client) call(server int, req *nam.Request) (*nam.Response, error) {
+	raw, err := c.ep.Call(server, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := nam.DecodeResponse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.AsError(); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// traverse asks the partition owner for the leaf responsible for key.
+func (c *Client) traverse(server int, key uint64) (rdma.RemotePtr, error) {
+	resp, err := c.call(server, &nam.Request{Op: nam.OpTraverse, Key: key})
+	if err != nil {
+		return rdma.NullPtr, err
+	}
+	if resp.Ptr.IsNull() {
+		return rdma.NullPtr, fmt.Errorf("hybrid: traverse returned null leaf")
+	}
+	return resp.Ptr, nil
+}
+
+// Lookup implements core.Index: RPC traversal + one-sided leaf read.
+func (c *Client) Lookup(key uint64) ([]uint64, error) {
+	leaf, err := c.traverse(c.part.Server(key), key)
+	if err != nil {
+		return nil, err
+	}
+	vals, _, err := c.leaf.LeafLookup(c.env, leaf, key)
+	return vals, err
+}
+
+// Range implements core.Index: per intersecting partition, RPC traversal to
+// the start leaf, then a one-sided leaf-level scan with head-node prefetch.
+func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
+	stopped := false
+	wrapped := func(k, v uint64) bool {
+		if !emit(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, srv := range c.part.CoversRange(lo, hi) {
+		leaf, err := c.traverse(srv, lo)
+		if err != nil {
+			return err
+		}
+		if _, err := c.leaf.LeafScan(c.env, leaf, lo, hi, wrapped); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Insert implements core.Index: RPC traversal, one-sided leaf insert/split,
+// and — on split — a second RPC installing the separator upstairs.
+func (c *Client) Insert(key, value uint64) error {
+	srv := c.part.Server(key)
+	leaf, err := c.traverse(srv, key)
+	if err != nil {
+		return err
+	}
+	sp, _, err := c.leaf.LeafInsertAt(c.env, leaf, key, value)
+	if err != nil {
+		return err
+	}
+	if sp == nil {
+		return nil
+	}
+	_, err = c.call(srv, &nam.Request{Op: nam.OpInstall, End: sp.Sep, Left: sp.Left, Right: sp.Right})
+	return err
+}
+
+// Delete implements core.Index.
+func (c *Client) Delete(key, value uint64) (bool, error) {
+	leaf, err := c.traverse(c.part.Server(key), key)
+	if err != nil {
+		return false, err
+	}
+	ok, _, err := c.leaf.LeafDeleteAt(c.env, leaf, key, value)
+	return ok, err
+}

@@ -1,0 +1,188 @@
+package hybrid
+
+import (
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+)
+
+func deploy(t *testing.T, servers, n int) (*direct.Fabric, *Server, *Client) {
+	t.Helper()
+	fab := direct.New(servers, 64<<20, nam.SuperblockBytes)
+	srv := NewServer(fab, Options{
+		Layout: layout.New(512),
+		Part:   partition.NewRangeUniform(servers, uint64(max(n, 1))),
+	})
+	cat, err := srv.Build(fab.Endpoint(), core.BuildSpec{
+		N:         n,
+		At:        func(i int) (uint64, uint64) { return uint64(i), uint64(i) },
+		HeadEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab.SetHandler(srv.Handler())
+	return fab, srv, NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestInnerNodesLocalLeavesSpread verifies the hybrid placement invariant:
+// every server's inner levels live on that server while leaves are spread.
+func TestInnerNodesLocalLeavesSpread(t *testing.T) {
+	fab, srv, _ := deploy(t, 4, 40_000)
+	_ = srv
+	// Walk each partition's tree from its root word and check inner pages.
+	l := layout.New(512)
+	ep := fab.Endpoint()
+	for s := 0; s < 4; s++ {
+		var w [1]uint64
+		if err := ep.Read(nam.RootWordPtr(s), w[:]); err != nil {
+			t.Fatal(err)
+		}
+		root := rdma.RemotePtr(w[0])
+		if root.Server() != s {
+			t.Fatalf("server %d root on server %d", s, root.Server())
+		}
+		// BFS over inner levels.
+		leafServers := map[int]bool{}
+		queue := []rdma.RemotePtr{root}
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			buf := make([]uint64, l.Words)
+			if err := ep.Read(p, buf); err != nil {
+				t.Fatal(err)
+			}
+			n := l.Wrap(buf)
+			if n.IsLeaf() {
+				leafServers[p.Server()] = true
+				continue
+			}
+			if p.Server() != s {
+				t.Fatalf("inner node of partition %d on server %d", s, p.Server())
+			}
+			for i := 0; i < n.Count(); i++ {
+				queue = append(queue, n.InnerChild(i))
+			}
+		}
+		if len(leafServers) < 2 {
+			t.Fatalf("partition %d leaves not spread: %v", s, leafServers)
+		}
+	}
+}
+
+func TestClientOperations(t *testing.T) {
+	fab, srv, c := deploy(t, 4, 20_000)
+	vals, err := c.Lookup(777)
+	if err != nil || len(vals) != 1 || vals[0] != 777 {
+		t.Fatalf("lookup: %v %v", vals, err)
+	}
+	if err := c.Insert(777, 42); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = c.Lookup(777)
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("after insert: %v %v", vals, err)
+	}
+	ok, err := c.Delete(777, 42)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	count := 0
+	// Cross-partition range (partitions split at 5000, 10000, 15000).
+	if err := c.Range(4990, 5009, func(k, v uint64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 20 {
+		t.Fatalf("cross-partition range = %d entries; want 20", count)
+	}
+	live, err := srv.CheckInvariants(fab.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != 20_000 {
+		t.Fatalf("live = %d", live)
+	}
+}
+
+// TestSplitInstallsThroughRPC drives enough inserts into one partition to
+// force leaf splits (client-side) and separator installs (server-side),
+// including inner-node splits and root growth.
+func TestSplitInstallsThroughRPC(t *testing.T) {
+	fab, srv, c := deploy(t, 2, 100)
+	for i := 0; i < 20_000; i++ {
+		if err := c.Insert(uint64(i%50), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live, err := srv.CheckInvariants(fab.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != 20_100 {
+		t.Fatalf("live = %d", live)
+	}
+	vals, err := c.Lookup(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 401 { // 400 duplicates + initial
+		t.Fatalf("Lookup(7) = %d values; want 401", len(vals))
+	}
+}
+
+func TestGlobalGCCompactsAllPartitions(t *testing.T) {
+	fab, srv, c := deploy(t, 4, 8000)
+	for i := 0; i < 8000; i += 2 {
+		ok, err := c.Delete(uint64(i), uint64(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	gc := NewGC(c)
+	removed, err := gc.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 4000 {
+		t.Fatalf("removed = %d; want 4000", removed)
+	}
+	live, err := srv.CheckInvariants(fab.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != 4000 {
+		t.Fatalf("live = %d", live)
+	}
+	// Second epoch is a no-op.
+	removed, err = gc.RunEpoch()
+	if err != nil || removed != 0 {
+		t.Fatalf("second epoch: %d %v", removed, err)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	_, _, c := deploy(t, 4, 0)
+	vals, err := c.Lookup(5)
+	if err != nil || len(vals) != 0 {
+		t.Fatalf("empty lookup: %v %v", vals, err)
+	}
+	if err := c.Insert(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = c.Lookup(5)
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("after insert: %v %v", vals, err)
+	}
+}

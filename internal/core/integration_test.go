@@ -1,0 +1,424 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/core/coarse"
+	"github.com/namdb/rdmatree/internal/core/fine"
+	"github.com/namdb/rdmatree/internal/core/hybrid"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+)
+
+const (
+	testServers = 4
+	testRegion  = 64 << 20
+	testPage    = 512
+)
+
+// cluster bundles one design deployed on a direct fabric.
+type cluster struct {
+	name    string
+	fab     *direct.Fabric
+	cat     *nam.Catalog
+	mk      func(clientID int) core.Index
+	check   func() (int, error) // invariant check, -1 if unsupported
+	ordered bool                // Range emits globally sorted results
+}
+
+func deployAll(t *testing.T, spec core.BuildSpec, keyspace uint64) []*cluster {
+	t.Helper()
+	var out []*cluster
+
+	// Coarse-grained, range partitioned.
+	{
+		fab := direct.New(testServers, testRegion, nam.SuperblockBytes)
+		opts := coarse.Options{
+			Layout: layout.New(testPage),
+			Part:   partition.NewRangeUniform(testServers, keyspace),
+		}
+		srv := coarse.NewServer(fab, opts)
+		cat, err := srv.Build(spec)
+		if err != nil {
+			t.Fatalf("coarse build: %v", err)
+		}
+		fab.SetHandler(srv.Handler())
+		out = append(out, &cluster{
+			name: "coarse-range", fab: fab, cat: cat,
+			mk: func(id int) core.Index {
+				return coarse.NewClient(fab.Endpoint(), direct.Env{}, cat)
+			},
+			check:   srv.CheckInvariants,
+			ordered: true,
+		})
+	}
+	// Coarse-grained, hash partitioned.
+	{
+		fab := direct.New(testServers, testRegion, nam.SuperblockBytes)
+		opts := coarse.Options{
+			Layout: layout.New(testPage),
+			Part:   partition.NewHash(testServers),
+		}
+		srv := coarse.NewServer(fab, opts)
+		cat, err := srv.Build(spec)
+		if err != nil {
+			t.Fatalf("coarse-hash build: %v", err)
+		}
+		fab.SetHandler(srv.Handler())
+		out = append(out, &cluster{
+			name: "coarse-hash", fab: fab, cat: cat,
+			mk: func(id int) core.Index {
+				return coarse.NewClient(fab.Endpoint(), direct.Env{}, cat)
+			},
+			check:   srv.CheckInvariants,
+			ordered: false,
+		})
+	}
+	// Fine-grained.
+	{
+		fab := direct.New(testServers, testRegion, nam.SuperblockBytes)
+		cat, err := fine.Build(fab.Endpoint(), fine.Options{Layout: layout.New(testPage)}, spec)
+		if err != nil {
+			t.Fatalf("fine build: %v", err)
+		}
+		out = append(out, &cluster{
+			name: "fine", fab: fab, cat: cat,
+			mk: func(id int) core.Index {
+				return fine.NewClient(fab.Endpoint(), direct.Env{}, cat, id)
+			},
+			check: func() (int, error) {
+				c := fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+				return c.Tree().CheckInvariants(rdma.NopEnv{})
+			},
+			ordered: true,
+		})
+	}
+	// Hybrid.
+	{
+		fab := direct.New(testServers, testRegion, nam.SuperblockBytes)
+		opts := hybrid.Options{
+			Layout: layout.New(testPage),
+			Part:   partition.NewRangeUniform(testServers, keyspace),
+		}
+		srv := hybrid.NewServer(fab, opts)
+		cat, err := srv.Build(fab.Endpoint(), spec)
+		if err != nil {
+			t.Fatalf("hybrid build: %v", err)
+		}
+		fab.SetHandler(srv.Handler())
+		out = append(out, &cluster{
+			name: "hybrid", fab: fab, cat: cat,
+			mk: func(id int) core.Index {
+				return hybrid.NewClient(fab.Endpoint(), direct.Env{}, cat, id)
+			},
+			check:   func() (int, error) { return srv.CheckInvariants(fab.Endpoint()) },
+			ordered: true,
+		})
+	}
+	return out
+}
+
+func sortedCopy(v []uint64) []uint64 {
+	out := append([]uint64(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalVals(a, b []uint64) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllDesignsAgainstOracle runs an identical randomized operation stream
+// on all designs and the reference oracle and compares every result.
+func TestAllDesignsAgainstOracle(t *testing.T) {
+	const preload = 5000
+	const keyspace = 10000
+	spec := core.BuildSpec{
+		N:         preload,
+		At:        func(i int) (uint64, uint64) { return uint64(i * 2), uint64(i) },
+		HeadEvery: 6,
+	}
+	clusters := deployAll(t, spec, keyspace)
+	oracle := core.NewReference()
+	for i := 0; i < preload; i++ {
+		k, v := spec.At(i)
+		if err := oracle.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, cl := range clusters {
+		cl := cl
+		t.Run(cl.name, func(t *testing.T) {
+			idx := cl.mk(0)
+			rng := rand.New(rand.NewSource(1234))
+			mirror := core.NewReference()
+			// Mirror starts as a copy of the oracle.
+			if err := oracle.Range(0, keyspace*2, func(k, v uint64) bool {
+				mirror.Insert(k, v)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var nextVal uint64 = 1 << 50
+			for op := 0; op < 4000; op++ {
+				k := uint64(rng.Intn(keyspace))
+				switch rng.Intn(10) {
+				case 0, 1, 2: // insert
+					nextVal++
+					if err := idx.Insert(k, nextVal); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					mirror.Insert(k, nextVal)
+				case 3: // delete
+					vs, _ := mirror.Lookup(k)
+					if len(vs) > 0 {
+						victim := vs[rng.Intn(len(vs))]
+						ok, err := idx.Delete(k, victim)
+						if err != nil {
+							t.Fatalf("op %d delete: %v", op, err)
+						}
+						if !ok {
+							t.Fatalf("op %d: delete(%d,%d) not found", op, k, victim)
+						}
+						mirror.Delete(k, victim)
+					}
+				case 4, 5, 6, 7: // lookup
+					got, err := idx.Lookup(k)
+					if err != nil {
+						t.Fatalf("op %d lookup: %v", op, err)
+					}
+					want, _ := mirror.Lookup(k)
+					if !equalVals(got, want) {
+						t.Fatalf("op %d: Lookup(%d) = %v; want %v", op, k, got, want)
+					}
+				default: // range
+					lo := uint64(rng.Intn(keyspace))
+					hi := lo + uint64(rng.Intn(200))
+					var got [][2]uint64
+					if err := idx.Range(lo, hi, func(k, v uint64) bool {
+						got = append(got, [2]uint64{k, v})
+						return true
+					}); err != nil {
+						t.Fatalf("op %d range: %v", op, err)
+					}
+					var want [][2]uint64
+					mirror.Range(lo, hi, func(k, v uint64) bool {
+						want = append(want, [2]uint64{k, v})
+						return true
+					})
+					if len(got) != len(want) {
+						t.Fatalf("op %d: Range(%d,%d) returned %d entries; want %d",
+							op, lo, hi, len(got), len(want))
+					}
+					if !cl.ordered {
+						sort.Slice(got, func(i, j int) bool {
+							return got[i][0] < got[j][0] || (got[i][0] == got[j][0] && got[i][1] < got[j][1])
+						})
+						sort.Slice(want, func(i, j int) bool {
+							return want[i][0] < want[j][0] || (want[i][0] == want[j][0] && want[i][1] < want[j][1])
+						})
+					}
+					for i := range got {
+						if cl.ordered && got[i][0] != want[i][0] {
+							t.Fatalf("op %d: range key order diverges at %d: %v vs %v", op, i, got[i], want[i])
+						}
+					}
+				}
+			}
+			live, err := cl.check()
+			if err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			if live != mirror.Count() {
+				t.Fatalf("live entries %d; oracle has %d", live, mirror.Count())
+			}
+		})
+	}
+}
+
+// TestAllDesignsConcurrentClients hammers each design with concurrent
+// clients and validates the final entry count and invariants.
+func TestAllDesignsConcurrentClients(t *testing.T) {
+	const preload = 2000
+	const keyspace = 8000
+	spec := core.BuildSpec{
+		N:         preload,
+		At:        func(i int) (uint64, uint64) { return uint64(i * 4), uint64(i) },
+		HeadEvery: 5,
+	}
+	clusters := deployAll(t, spec, keyspace)
+	for _, cl := range clusters {
+		cl := cl
+		t.Run(cl.name, func(t *testing.T) {
+			const clients = 6
+			const opsPer = 500
+			var insertCount, deleteCount sync.Map
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				c := c
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					idx := cl.mk(c)
+					rng := rand.New(rand.NewSource(int64(c) * 77))
+					ins, del := 0, 0
+					for i := 0; i < opsPer; i++ {
+						k := uint64(rng.Intn(keyspace))
+						v := uint64(c)<<40 | uint64(i)
+						switch rng.Intn(4) {
+						case 0, 1:
+							if err := idx.Insert(k, v); err != nil {
+								t.Errorf("insert: %v", err)
+								return
+							}
+							ins++
+							// Delete own insert half the time.
+							if rng.Intn(2) == 0 {
+								ok, err := idx.Delete(k, v)
+								if err != nil {
+									t.Errorf("delete: %v", err)
+									return
+								}
+								if !ok {
+									t.Errorf("own insert (%d,%d) not found", k, v)
+									return
+								}
+								del++
+							}
+						case 2:
+							if _, err := idx.Lookup(k); err != nil {
+								t.Errorf("lookup: %v", err)
+								return
+							}
+						case 3:
+							if err := idx.Range(k, k+50, func(uint64, uint64) bool { return true }); err != nil {
+								t.Errorf("range: %v", err)
+								return
+							}
+						}
+					}
+					insertCount.Store(c, ins)
+					deleteCount.Store(c, del)
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			expected := preload
+			insertCount.Range(func(_, v any) bool { expected += v.(int); return true })
+			deleteCount.Range(func(_, v any) bool { expected -= v.(int); return true })
+			live, err := cl.check()
+			if err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			if live != expected {
+				t.Fatalf("live = %d; want %d", live, expected)
+			}
+		})
+	}
+}
+
+// TestFineGCUnderUse runs the fine-grained global GC between operation
+// bursts and checks nothing is lost.
+func TestFineGCUnderUse(t *testing.T) {
+	fab := direct.New(testServers, testRegion, nam.SuperblockBytes)
+	spec := core.BuildSpec{
+		N:         3000,
+		At:        func(i int) (uint64, uint64) { return uint64(i), uint64(i) },
+		HeadEvery: 8,
+	}
+	cat, err := fine.Build(fab.Endpoint(), fine.Options{Layout: layout.New(testPage)}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+	gc := fine.NewGC(c, 8)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 500; i++ {
+			k := uint64(round*500 + i)
+			if _, err := c.Delete(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		removed, err := gc.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if removed != 500 {
+			t.Fatalf("round %d: removed %d; want 500", round, removed)
+		}
+	}
+	live, err := c.Tree().CheckInvariants(rdma.NopEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != 1500 {
+		t.Fatalf("live = %d; want 1500", live)
+	}
+}
+
+// TestReferenceOracle sanity-checks the oracle itself.
+func TestReferenceOracle(t *testing.T) {
+	r := core.NewReference()
+	r.Insert(5, 50)
+	r.Insert(5, 51)
+	r.Insert(3, 30)
+	vs, _ := r.Lookup(5)
+	if len(vs) != 2 {
+		t.Fatalf("lookup: %v", vs)
+	}
+	ok, _ := r.Delete(5, 50)
+	if !ok {
+		t.Fatal("delete failed")
+	}
+	ok, _ = r.Delete(5, 50)
+	if ok {
+		t.Fatal("double delete succeeded")
+	}
+	var keys []uint64
+	r.Range(0, 100, func(k, v uint64) bool { keys = append(keys, k); return true })
+	if fmt.Sprint(keys) != "[3 5]" {
+		t.Fatalf("range keys: %v", keys)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("count = %d", r.Count())
+	}
+}
+
+// TestEmptyBuilds verifies every design handles an empty initial load.
+func TestEmptyBuilds(t *testing.T) {
+	spec := core.BuildSpec{N: 0}
+	clusters := deployAll(t, spec, 1000)
+	for _, cl := range clusters {
+		idx := cl.mk(0)
+		if vs, err := idx.Lookup(5); err != nil || len(vs) != 0 {
+			t.Fatalf("%s: lookup on empty: %v %v", cl.name, vs, err)
+		}
+		if err := idx.Insert(5, 50); err != nil {
+			t.Fatalf("%s: insert on empty: %v", cl.name, err)
+		}
+		vs, err := idx.Lookup(5)
+		if err != nil || len(vs) != 1 {
+			t.Fatalf("%s: lookup after insert: %v %v", cl.name, vs, err)
+		}
+	}
+}

@@ -1,0 +1,507 @@
+// Package layout defines the on-"wire"/in-region binary format of B-link
+// tree pages and implements a codec over raw 64-bit word buffers.
+//
+// Every page — inner node, leaf node, or head node (the Section 4.3 prefetch
+// optimization) — occupies a fixed-size block of a memory server's region
+// and has this word layout:
+//
+//	word 0   version/lock word: bit 0 is the lock bit, bits 1..63 the
+//	         version (even word value = unlocked, odd = locked)
+//	word 1   meta: count (bits 0..15), isLeaf (bit 16), isHead (bit 17),
+//	         level (bits 24..31)
+//	word 2   high key: inclusive upper bound of the key range this node is
+//	         responsible for (B-link fence key; MaxKey in the rightmost
+//	         node of a level)
+//	word 3   right sibling RemotePtr
+//	word 4   left sibling RemotePtr
+//	word 5+  payload
+//
+// Payloads:
+//
+//	inner:  count pairs (separatorKey_i, childPtr_i), keys ascending; child
+//	        i is responsible for keys in (separatorKey_{i-1}, separatorKey_i],
+//	        and separatorKey_{count-1} == high key.
+//	leaf:   a delete bitmap of DelWords words (one bit per slot, the
+//	        delete-bit of Section 3.2), then count pairs (key_i, value_i),
+//	        keys ascending, duplicates allowed (non-unique index).
+//	head:   count remote pointers to the leaves following this head node.
+//
+// All multi-word access goes through copies of pages; concurrency is the
+// responsibility of the optimistic-lock-coupling protocols built on top
+// (internal/btree for local access, internal/core/fine for one-sided remote
+// access).
+package layout
+
+import (
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Key is an index key (the paper indexes 64-bit integer keys; values are the
+// payload, e.g. primary keys).
+type Key = uint64
+
+// MaxKey is the +infinity sentinel used as the high key of the rightmost
+// node on each level. It is not a legal key.
+const MaxKey Key = ^uint64(0)
+
+const (
+	wordVersion = 0
+	wordMeta    = 1
+	wordHighKey = 2
+	wordRight   = 3
+	wordLeft    = 4
+	// HeaderWords is the number of header words before the payload.
+	HeaderWords = 5
+)
+
+const (
+	metaCountMask  = 0xffff
+	metaLeafBit    = 1 << 16
+	metaHeadBit    = 1 << 17
+	metaLevelShift = 24
+	metaLevelMask  = 0xff
+)
+
+// LockBit is bit 0 of the version word.
+const LockBit uint64 = 1
+
+// IsLocked reports whether a version word has the lock bit set.
+func IsLocked(v uint64) bool { return v&LockBit != 0 }
+
+// WithLock returns the version word with the lock bit set.
+func WithLock(v uint64) uint64 { return v | LockBit }
+
+// Layout captures the derived capacities of a page format for a given page
+// size.
+type Layout struct {
+	// PageBytes is the page size P (Table 1); pages are allocated in blocks
+	// of exactly this many bytes.
+	PageBytes int
+	// Words is PageBytes/8.
+	Words int
+	// InnerCap is the maximum number of (separator, child) pairs of an
+	// inner node — the paper's fanout M.
+	InnerCap int
+	// LeafCap is the maximum number of (key, value) pairs of a leaf.
+	LeafCap int
+	// DelWords is the size of the leaf delete bitmap in words.
+	DelWords int
+	// HeadCap is the number of leaf pointers a head node holds.
+	HeadCap int
+}
+
+// New computes the layout for the given page size in bytes. Page sizes must
+// be multiples of 8 and large enough for at least two entries per node.
+func New(pageBytes int) Layout {
+	if pageBytes%8 != 0 {
+		panic(fmt.Sprintf("layout: page size %d not a multiple of 8", pageBytes))
+	}
+	w := pageBytes / 8
+	l := Layout{PageBytes: pageBytes, Words: w}
+	l.InnerCap = (w - HeaderWords) / 2
+	// Largest c such that HeaderWords + ceil(c/64) + 2c <= w.
+	for c := (w - HeaderWords) / 2; c > 0; c-- {
+		if HeaderWords+(c+63)/64+2*c <= w {
+			l.LeafCap = c
+			break
+		}
+	}
+	l.DelWords = (l.LeafCap + 63) / 64
+	l.HeadCap = w - HeaderWords
+	if l.InnerCap < 2 || l.LeafCap < 2 {
+		panic(fmt.Sprintf("layout: page size %d too small", pageBytes))
+	}
+	if l.InnerCap > metaCountMask || l.LeafCap > metaCountMask {
+		panic(fmt.Sprintf("layout: page size %d exceeds 16-bit count field", pageBytes))
+	}
+	return l
+}
+
+// NewNode returns a zeroed page buffer wrapped as a Node.
+func (l Layout) NewNode() Node { return Node{L: l, W: make([]uint64, l.Words)} }
+
+// Wrap views an existing buffer (len >= l.Words) as a Node.
+func (l Layout) Wrap(w []uint64) Node {
+	if len(w) < l.Words {
+		panic(fmt.Sprintf("layout: buffer of %d words too small for page of %d", len(w), l.Words))
+	}
+	return Node{L: l, W: w[:l.Words]}
+}
+
+// Node is a decoded view over one page buffer.
+type Node struct {
+	L Layout
+	W []uint64
+}
+
+// Reset zeroes the page.
+func (n Node) Reset() {
+	for i := range n.W {
+		n.W[i] = 0
+	}
+}
+
+// Version returns the raw version/lock word.
+func (n Node) Version() uint64 { return n.W[wordVersion] }
+
+// SetVersion stores the raw version/lock word.
+func (n Node) SetVersion(v uint64) { n.W[wordVersion] = v }
+
+// Count returns the number of entries (pairs or head pointers).
+func (n Node) Count() int { return int(n.W[wordMeta] & metaCountMask) }
+
+// SetCount stores the entry count.
+func (n Node) SetCount(c int) {
+	n.W[wordMeta] = n.W[wordMeta]&^uint64(metaCountMask) | uint64(c)
+}
+
+// IsLeaf reports whether the page is a leaf.
+func (n Node) IsLeaf() bool { return n.W[wordMeta]&metaLeafBit != 0 }
+
+// IsHead reports whether the page is a head node (Section 4.3).
+func (n Node) IsHead() bool { return n.W[wordMeta]&metaHeadBit != 0 }
+
+// Level returns the node's level: 0 for leaves, increasing towards the root.
+func (n Node) Level() int { return int(n.W[wordMeta] >> metaLevelShift & metaLevelMask) }
+
+// InitLeaf initializes the page as an empty leaf.
+func (n Node) InitLeaf() {
+	n.Reset()
+	n.W[wordMeta] = metaLeafBit
+	n.SetHighKey(MaxKey)
+}
+
+// InitInner initializes the page as an empty inner node at the given level.
+func (n Node) InitInner(level int) {
+	if level < 1 || level > metaLevelMask {
+		panic(fmt.Sprintf("layout: bad inner level %d", level))
+	}
+	n.Reset()
+	n.W[wordMeta] = uint64(level) << metaLevelShift
+	n.SetHighKey(MaxKey)
+}
+
+// InitHead initializes the page as an empty head node.
+func (n Node) InitHead() {
+	n.Reset()
+	n.W[wordMeta] = metaHeadBit
+	n.SetHighKey(MaxKey)
+}
+
+// HighKey returns the node's inclusive upper fence key.
+func (n Node) HighKey() Key { return n.W[wordHighKey] }
+
+// SetHighKey stores the fence key.
+func (n Node) SetHighKey(k Key) { n.W[wordHighKey] = k }
+
+// Right returns the right sibling pointer.
+func (n Node) Right() rdma.RemotePtr { return rdma.RemotePtr(n.W[wordRight]) }
+
+// SetRight stores the right sibling pointer.
+func (n Node) SetRight(p rdma.RemotePtr) { n.W[wordRight] = uint64(p) }
+
+// Left returns the left sibling pointer.
+func (n Node) Left() rdma.RemotePtr { return rdma.RemotePtr(n.W[wordLeft]) }
+
+// SetLeft stores the left sibling pointer.
+func (n Node) SetLeft(p rdma.RemotePtr) { n.W[wordLeft] = uint64(p) }
+
+// ---------- Leaf accessors ----------
+
+func (n Node) leafEntry(i int) int { return HeaderWords + n.L.DelWords + 2*i }
+
+// LeafKey returns the key of leaf entry i.
+func (n Node) LeafKey(i int) Key { return n.W[n.leafEntry(i)] }
+
+// LeafValue returns the value of leaf entry i.
+func (n Node) LeafValue(i int) uint64 { return n.W[n.leafEntry(i)+1] }
+
+// SetLeafEntry stores entry i.
+func (n Node) SetLeafEntry(i int, k Key, v uint64) {
+	e := n.leafEntry(i)
+	n.W[e] = k
+	n.W[e+1] = v
+}
+
+// LeafDeleted reports whether entry i carries the delete bit.
+func (n Node) LeafDeleted(i int) bool {
+	return n.W[HeaderWords+i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// SetLeafDeleted sets or clears the delete bit of entry i.
+func (n Node) SetLeafDeleted(i int, del bool) {
+	w := HeaderWords + i/64
+	bit := uint64(1) << (uint(i) % 64)
+	if del {
+		n.W[w] |= bit
+	} else {
+		n.W[w] &^= bit
+	}
+}
+
+// LeafLowerBound returns the first index i with LeafKey(i) >= k, or Count()
+// if none.
+func (n Node) LeafLowerBound(k Key) int {
+	lo, hi := 0, n.Count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.LeafKey(mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LeafInsert inserts (k, v) keeping keys sorted. Duplicate keys are allowed;
+// the new entry is placed after existing equal keys. It returns false if the
+// leaf is full.
+func (n Node) LeafInsert(k Key, v uint64) bool {
+	c := n.Count()
+	if c >= n.L.LeafCap {
+		return false
+	}
+	// Insert after equal keys: first index with key > k.
+	i := n.LeafLowerBound(k + 1)
+	if k == MaxKey {
+		i = c
+	}
+	// Shift entries and delete bits up by one.
+	for j := c; j > i; j-- {
+		e := n.leafEntry(j)
+		n.W[e] = n.W[e-2]
+		n.W[e+1] = n.W[e-1]
+		n.SetLeafDeleted(j, n.LeafDeleted(j-1))
+	}
+	n.SetLeafEntry(i, k, v)
+	n.SetLeafDeleted(i, false)
+	n.SetCount(c + 1)
+	return true
+}
+
+// LeafRemoveAt physically removes entry i (used by compaction/GC).
+func (n Node) LeafRemoveAt(i int) {
+	c := n.Count()
+	for j := i; j < c-1; j++ {
+		e := n.leafEntry(j)
+		n.W[e] = n.W[e+2]
+		n.W[e+1] = n.W[e+3]
+		n.SetLeafDeleted(j, n.LeafDeleted(j+1))
+	}
+	n.SetLeafDeleted(c-1, false)
+	n.SetCount(c - 1)
+}
+
+// LeafCompact physically removes all entries with the delete bit set and
+// returns how many were removed.
+func (n Node) LeafCompact() int {
+	c := n.Count()
+	out := 0
+	for i := 0; i < c; i++ {
+		if n.LeafDeleted(i) {
+			continue
+		}
+		if out != i {
+			k, v := n.LeafKey(i), n.LeafValue(i)
+			n.SetLeafEntry(out, k, v)
+		}
+		out++
+	}
+	for i := out; i < c; i++ {
+		n.SetLeafDeleted(i, false)
+	}
+	for i := 0; i < out; i++ {
+		n.SetLeafDeleted(i, false)
+	}
+	n.SetCount(out)
+	return c - out
+}
+
+// LeafAppend appends (k, v) without searching; the caller guarantees
+// ascending key order (bulk build). Returns false if full.
+func (n Node) LeafAppend(k Key, v uint64) bool {
+	c := n.Count()
+	if c >= n.L.LeafCap {
+		return false
+	}
+	n.SetLeafEntry(c, k, v)
+	n.SetCount(c + 1)
+	return true
+}
+
+// LeafSplit moves the upper half of n's entries into right (which must be an
+// initialized empty leaf) and returns the separator key: the new high key of
+// n. Sibling pointers are the caller's responsibility.
+func (n Node) LeafSplit(right Node) Key {
+	c := n.Count()
+	h := c / 2
+	for i := h; i < c; i++ {
+		right.SetLeafEntry(i-h, n.LeafKey(i), n.LeafValue(i))
+		right.SetLeafDeleted(i-h, n.LeafDeleted(i))
+		n.SetLeafDeleted(i, false)
+	}
+	right.SetCount(c - h)
+	right.SetHighKey(n.HighKey())
+	n.SetCount(h)
+	sep := n.LeafKey(h - 1)
+	n.SetHighKey(sep)
+	return sep
+}
+
+// ---------- Inner accessors ----------
+
+func (n Node) innerEntry(i int) int { return HeaderWords + 2*i }
+
+// InnerKey returns separator key i.
+func (n Node) InnerKey(i int) Key { return n.W[n.innerEntry(i)] }
+
+// InnerChild returns child pointer i.
+func (n Node) InnerChild(i int) rdma.RemotePtr { return rdma.RemotePtr(n.W[n.innerEntry(i)+1]) }
+
+// SetInnerEntry stores pair i.
+func (n Node) SetInnerEntry(i int, k Key, child rdma.RemotePtr) {
+	e := n.innerEntry(i)
+	n.W[e] = k
+	n.W[e+1] = uint64(child)
+}
+
+// InnerRouteIndex returns the first index i with InnerKey(i) >= k, or
+// Count() if k is beyond the high key (the caller must then follow the right
+// sibling link).
+func (n Node) InnerRouteIndex(k Key) int {
+	lo, hi := 0, n.Count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.InnerKey(mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// InnerRoute returns the child responsible for k, or (NullPtr, false) if k
+// lies beyond this node's high key and the search must follow the right
+// sibling link (the B-link "link" move).
+func (n Node) InnerRoute(k Key) (rdma.RemotePtr, bool) {
+	i := n.InnerRouteIndex(k)
+	if i >= n.Count() {
+		return rdma.NullPtr, false
+	}
+	return n.InnerChild(i), true
+}
+
+// InnerAppend appends a (separator, child) pair without searching (bulk
+// build; ascending separators). Returns false if full.
+func (n Node) InnerAppend(k Key, child rdma.RemotePtr) bool {
+	c := n.Count()
+	if c >= n.L.InnerCap {
+		return false
+	}
+	n.SetInnerEntry(c, k, child)
+	n.SetCount(c + 1)
+	return true
+}
+
+// InnerInstallSplit installs a child split into this inner node: the child
+// that covered the range containing sep was split in place at sep, with the
+// upper part moved to the new node right. The range of the pair at the route
+// index is cut at sep — a pair (sep, existing child) is inserted and the
+// displaced pair's child is repointed at right. Using the *existing* child
+// pointer (rather than one remembered by the caller) keeps installs correct
+// when the same node split repeatedly and the installs arrive out of order.
+// Returns false if the node is full (the caller must split it and retry).
+func (n Node) InnerInstallSplit(sep Key, right rdma.RemotePtr) bool {
+	c := n.Count()
+	if c >= n.L.InnerCap {
+		return false
+	}
+	i := n.InnerRouteIndex(sep)
+	if i >= c {
+		panic("layout: InnerInstallSplit beyond high key")
+	}
+	n.InnerCutAt(i, sep, right)
+	return true
+}
+
+// InnerCutAt cuts the range of pair i at sep: a pair (sep, child_i) is
+// inserted at i and the displaced pair (now i+1) is repointed at right. The
+// caller must have verified i is the correct pair and that the node has
+// space.
+func (n Node) InnerCutAt(i int, sep Key, right rdma.RemotePtr) {
+	c := n.Count()
+	if c >= n.L.InnerCap {
+		panic("layout: InnerCutAt on full node")
+	}
+	if i >= c {
+		panic("layout: InnerCutAt index out of range")
+	}
+	cur := n.InnerChild(i)
+	for j := c; j > i; j-- {
+		e := n.innerEntry(j)
+		n.W[e] = n.W[e-2]
+		n.W[e+1] = n.W[e-1]
+	}
+	n.SetInnerEntry(i, sep, cur)
+	// The displaced pair (now at i+1) keeps its old separator but must point
+	// at the new right node.
+	e := n.innerEntry(i + 1)
+	n.W[e+1] = uint64(right)
+	n.SetCount(c + 1)
+}
+
+// InnerRemovePair removes pair i (used when the garbage collector merges a
+// child away). Removing the last pair lowers the node's effective coverage;
+// searches for the vacated range recover through the right-sibling chase.
+func (n Node) InnerRemovePair(i int) {
+	c := n.Count()
+	if i < 0 || i >= c {
+		panic("layout: InnerRemovePair index out of range")
+	}
+	for j := i; j < c-1; j++ {
+		e := n.innerEntry(j)
+		n.W[e] = n.W[e+2]
+		n.W[e+1] = n.W[e+3]
+	}
+	n.SetCount(c - 1)
+}
+
+// InnerSplit moves the upper half of n's pairs into right (an initialized
+// empty inner node of the same level) and returns the separator: the new
+// high key of n. Sibling pointers are the caller's responsibility.
+func (n Node) InnerSplit(right Node) Key {
+	c := n.Count()
+	h := c / 2
+	for i := h; i < c; i++ {
+		right.SetInnerEntry(i-h, n.InnerKey(i), n.InnerChild(i))
+	}
+	right.SetCount(c - h)
+	right.SetHighKey(n.HighKey())
+	n.SetCount(h)
+	sep := n.InnerKey(h - 1)
+	n.SetHighKey(sep)
+	return sep
+}
+
+// ---------- Head node accessors ----------
+
+// HeadPtr returns leaf pointer i of a head node.
+func (n Node) HeadPtr(i int) rdma.RemotePtr { return rdma.RemotePtr(n.W[HeaderWords+i]) }
+
+// SetHeadPtr stores leaf pointer i.
+func (n Node) SetHeadPtr(i int, p rdma.RemotePtr) { n.W[HeaderWords+i] = uint64(p) }
+
+// HeadAppend appends a leaf pointer; returns false if full.
+func (n Node) HeadAppend(p rdma.RemotePtr) bool {
+	c := n.Count()
+	if c >= n.L.HeadCap {
+		return false
+	}
+	n.SetHeadPtr(c, p)
+	n.SetCount(c + 1)
+	return true
+}

@@ -1,0 +1,450 @@
+package layout
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+func TestLayoutCapacities(t *testing.T) {
+	l := New(1024)
+	if l.Words != 128 {
+		t.Fatalf("Words = %d", l.Words)
+	}
+	if l.InnerCap != (128-HeaderWords)/2 {
+		t.Fatalf("InnerCap = %d", l.InnerCap)
+	}
+	// Leaf capacity must satisfy header + bitmap + 2*cap <= words, maximally.
+	if HeaderWords+l.DelWords+2*l.LeafCap > l.Words {
+		t.Fatalf("leaf layout overflows page: cap=%d del=%d", l.LeafCap, l.DelWords)
+	}
+	if HeaderWords+(l.LeafCap+1+63)/64+2*(l.LeafCap+1) <= l.Words {
+		t.Fatalf("leaf capacity %d not maximal", l.LeafCap)
+	}
+	if l.HeadCap != l.Words-HeaderWords {
+		t.Fatalf("HeadCap = %d", l.HeadCap)
+	}
+}
+
+func TestLayoutCapacitiesProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		pageBytes := (int(raw)%4096 + 256) &^ 7
+		l := New(pageBytes)
+		fits := HeaderWords+l.DelWords+2*l.LeafCap <= l.Words
+		innerFits := HeaderWords+2*l.InnerCap <= l.Words
+		return fits && innerFits && l.LeafCap >= 2 && l.InnerCap >= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionLockWord(t *testing.T) {
+	if IsLocked(0) || IsLocked(4) {
+		t.Fatal("even versions must be unlocked")
+	}
+	if !IsLocked(WithLock(4)) {
+		t.Fatal("WithLock did not set the lock bit")
+	}
+	n := New(512).NewNode()
+	n.SetVersion(42)
+	if n.Version() != 42 {
+		t.Fatalf("Version = %d", n.Version())
+	}
+}
+
+func TestNodeHeaders(t *testing.T) {
+	l := New(512)
+	n := l.NewNode()
+	n.InitInner(3)
+	if n.IsLeaf() || n.IsHead() {
+		t.Fatal("inner node misclassified")
+	}
+	if n.Level() != 3 {
+		t.Fatalf("Level = %d", n.Level())
+	}
+	if n.HighKey() != MaxKey {
+		t.Fatalf("fresh high key = %d", n.HighKey())
+	}
+	r := rdma.MakePtr(2, 512)
+	le := rdma.MakePtr(1, 1024)
+	n.SetRight(r)
+	n.SetLeft(le)
+	if n.Right() != r || n.Left() != le {
+		t.Fatal("sibling pointers corrupted")
+	}
+
+	n.InitLeaf()
+	if !n.IsLeaf() || n.IsHead() || n.Level() != 0 {
+		t.Fatal("leaf misclassified")
+	}
+	if !n.Right().IsNull() {
+		t.Fatal("InitLeaf did not reset siblings")
+	}
+
+	n.InitHead()
+	if !n.IsHead() || n.IsLeaf() {
+		t.Fatal("head misclassified")
+	}
+}
+
+func TestLeafInsertSorted(t *testing.T) {
+	l := New(1024)
+	n := l.NewNode()
+	n.InitLeaf()
+	keys := []Key{5, 1, 9, 3, 7, 2, 8}
+	for i, k := range keys {
+		if !n.LeafInsert(k, uint64(100+i)) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if n.Count() != len(keys) {
+		t.Fatalf("Count = %d", n.Count())
+	}
+	for i := 1; i < n.Count(); i++ {
+		if n.LeafKey(i-1) > n.LeafKey(i) {
+			t.Fatalf("keys unsorted at %d", i)
+		}
+	}
+	// Values travel with keys.
+	i := n.LeafLowerBound(9)
+	if n.LeafKey(i) != 9 || n.LeafValue(i) != 102 {
+		t.Fatalf("entry for 9: key=%d value=%d", n.LeafKey(i), n.LeafValue(i))
+	}
+}
+
+func TestLeafInsertDuplicatesAfterEqual(t *testing.T) {
+	l := New(1024)
+	n := l.NewNode()
+	n.InitLeaf()
+	n.LeafInsert(5, 1)
+	n.LeafInsert(5, 2)
+	n.LeafInsert(5, 3)
+	if n.Count() != 3 {
+		t.Fatalf("Count = %d", n.Count())
+	}
+	// Non-unique index: all three present, insertion order preserved.
+	for i := 0; i < 3; i++ {
+		if n.LeafKey(i) != 5 || n.LeafValue(i) != uint64(i+1) {
+			t.Fatalf("entry %d = (%d,%d)", i, n.LeafKey(i), n.LeafValue(i))
+		}
+	}
+}
+
+func TestLeafInsertFull(t *testing.T) {
+	l := New(256)
+	n := l.NewNode()
+	n.InitLeaf()
+	for i := 0; i < l.LeafCap; i++ {
+		if !n.LeafInsert(Key(i), uint64(i)) {
+			t.Fatalf("insert %d failed before capacity %d", i, l.LeafCap)
+		}
+	}
+	if n.LeafInsert(999, 999) {
+		t.Fatal("insert into full leaf succeeded")
+	}
+}
+
+func TestLeafDeleteBits(t *testing.T) {
+	l := New(1024)
+	n := l.NewNode()
+	n.InitLeaf()
+	for i := 0; i < 10; i++ {
+		n.LeafInsert(Key(i), uint64(i))
+	}
+	n.SetLeafDeleted(3, true)
+	n.SetLeafDeleted(7, true)
+	if !n.LeafDeleted(3) || !n.LeafDeleted(7) || n.LeafDeleted(4) {
+		t.Fatal("delete bits wrong")
+	}
+	// Insert shifting moves delete bits with their entries.
+	n.LeafInsert(2, 99) // shifts entries at index >= 3 up by one
+	if n.LeafDeleted(3) {
+		t.Fatal("new slot inherited a stale delete bit")
+	}
+	if !n.LeafDeleted(4) || !n.LeafDeleted(8) {
+		t.Fatal("delete bits did not shift with entries")
+	}
+	removed := n.LeafCompact()
+	if removed != 2 {
+		t.Fatalf("compact removed %d; want 2", removed)
+	}
+	if n.Count() != 9 {
+		t.Fatalf("Count after compact = %d", n.Count())
+	}
+	for i := 0; i < n.Count(); i++ {
+		if n.LeafDeleted(i) {
+			t.Fatalf("entry %d still deleted after compact", i)
+		}
+		if n.LeafKey(i) == 3 || n.LeafKey(i) == 7 {
+			t.Fatalf("deleted key %d survived compact", n.LeafKey(i))
+		}
+	}
+}
+
+func TestLeafRemoveAt(t *testing.T) {
+	l := New(1024)
+	n := l.NewNode()
+	n.InitLeaf()
+	for i := 0; i < 5; i++ {
+		n.LeafInsert(Key(i*10), uint64(i))
+	}
+	n.LeafRemoveAt(2)
+	if n.Count() != 4 {
+		t.Fatalf("Count = %d", n.Count())
+	}
+	want := []Key{0, 10, 30, 40}
+	for i, k := range want {
+		if n.LeafKey(i) != k {
+			t.Fatalf("keys after remove: got %d at %d; want %d", n.LeafKey(i), i, k)
+		}
+	}
+}
+
+func TestLeafSplit(t *testing.T) {
+	l := New(512)
+	left := l.NewNode()
+	left.InitLeaf()
+	for i := 0; i < l.LeafCap; i++ {
+		left.LeafInsert(Key(i*2), uint64(i))
+	}
+	left.SetHighKey(1000)
+	right := l.NewNode()
+	right.InitLeaf()
+	sep := left.LeafSplit(right)
+
+	if left.Count()+right.Count() != l.LeafCap {
+		t.Fatalf("entries lost: %d + %d != %d", left.Count(), right.Count(), l.LeafCap)
+	}
+	if left.HighKey() != sep {
+		t.Fatalf("left high key %d != sep %d", left.HighKey(), sep)
+	}
+	if right.HighKey() != 1000 {
+		t.Fatalf("right high key %d; want 1000", right.HighKey())
+	}
+	if left.LeafKey(left.Count()-1) != sep {
+		t.Fatal("sep is not the max key of left")
+	}
+	if right.LeafKey(0) <= sep {
+		t.Fatal("right's min key <= sep")
+	}
+	// Order preserved across the split.
+	prev := Key(0)
+	for i := 0; i < left.Count(); i++ {
+		if k := left.LeafKey(i); k < prev {
+			t.Fatal("left unsorted")
+		} else {
+			prev = k
+		}
+	}
+	for i := 0; i < right.Count(); i++ {
+		if k := right.LeafKey(i); k < prev {
+			t.Fatal("right unsorted or overlapping left")
+		} else {
+			prev = k
+		}
+	}
+}
+
+func TestLeafInsertProperty(t *testing.T) {
+	l := New(1024)
+	f := func(keys []uint16) bool {
+		n := l.NewNode()
+		n.InitLeaf()
+		if len(keys) > l.LeafCap {
+			keys = keys[:l.LeafCap]
+		}
+		for i, k := range keys {
+			if !n.LeafInsert(Key(k), uint64(i)) {
+				return false
+			}
+		}
+		if n.Count() != len(keys) {
+			return false
+		}
+		sorted := append([]uint16(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range sorted {
+			if n.LeafKey(i) != Key(sorted[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInnerRoute(t *testing.T) {
+	l := New(512)
+	n := l.NewNode()
+	n.InitInner(1)
+	// Children: c0 covers <=10, c1 covers (10,20], c2 covers (20,30].
+	c := []rdma.RemotePtr{rdma.MakePtr(0, 8), rdma.MakePtr(1, 8), rdma.MakePtr(2, 8)}
+	n.InnerAppend(10, c[0])
+	n.InnerAppend(20, c[1])
+	n.InnerAppend(30, c[2])
+	n.SetHighKey(30)
+
+	cases := []struct {
+		k    Key
+		want rdma.RemotePtr
+		ok   bool
+	}{
+		{0, c[0], true}, {10, c[0], true}, {11, c[1], true},
+		{20, c[1], true}, {21, c[2], true}, {30, c[2], true},
+		{31, rdma.NullPtr, false},
+	}
+	for _, tc := range cases {
+		got, ok := n.InnerRoute(tc.k)
+		if got != tc.want || ok != tc.ok {
+			t.Fatalf("Route(%d) = (%v,%v); want (%v,%v)", tc.k, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestInnerInstallSplit(t *testing.T) {
+	l := New(512)
+	n := l.NewNode()
+	n.InitInner(1)
+	c0 := rdma.MakePtr(0, 8)
+	c1 := rdma.MakePtr(1, 8)
+	n.InnerAppend(10, c0)
+	n.InnerAppend(MaxKey, c1)
+	// c1 (covering (10, MaxKey]) split at 50: left stays c1, right is new.
+	right := rdma.MakePtr(2, 8)
+	if !n.InnerInstallSplit(50, right) {
+		t.Fatal("install failed")
+	}
+	if n.Count() != 3 {
+		t.Fatalf("Count = %d", n.Count())
+	}
+	// Now: (10,c0) (50,c1) (MaxKey,right).
+	if got, _ := n.InnerRoute(30); got != c1 {
+		t.Fatalf("Route(30) = %v; want c1", got)
+	}
+	if got, _ := n.InnerRoute(50); got != c1 {
+		t.Fatalf("Route(50) = %v; want c1", got)
+	}
+	if got, _ := n.InnerRoute(51); got != right {
+		t.Fatalf("Route(51) = %v; want right", got)
+	}
+	if got, _ := n.InnerRoute(5); got != c0 {
+		t.Fatalf("Route(5) = %v; want c0", got)
+	}
+}
+
+func TestInnerInstallSplitFull(t *testing.T) {
+	l := New(256)
+	n := l.NewNode()
+	n.InitInner(1)
+	for i := 0; i < l.InnerCap; i++ {
+		n.InnerAppend(Key((i+1)*10), rdma.MakePtr(0, uint64(i+1)*8))
+	}
+	if n.InnerInstallSplit(5, rdma.MakePtr(1, 8)) {
+		t.Fatal("install into full node succeeded")
+	}
+}
+
+func TestInnerSplit(t *testing.T) {
+	l := New(512)
+	left := l.NewNode()
+	left.InitInner(2)
+	for i := 0; i < l.InnerCap; i++ {
+		left.InnerAppend(Key((i+1)*10), rdma.MakePtr(0, uint64(i+1)*8))
+	}
+	oldHigh := Key(l.InnerCap * 10)
+	left.SetHighKey(oldHigh)
+	right := l.NewNode()
+	right.InitInner(2)
+	sep := left.InnerSplit(right)
+	if left.Count()+right.Count() != l.InnerCap {
+		t.Fatal("pairs lost in split")
+	}
+	if left.HighKey() != sep || left.InnerKey(left.Count()-1) != sep {
+		t.Fatal("left fence wrong")
+	}
+	if right.HighKey() != oldHigh {
+		t.Fatal("right fence wrong")
+	}
+	if right.Level() != 2 {
+		t.Fatalf("right level = %d", right.Level())
+	}
+}
+
+func TestHeadNode(t *testing.T) {
+	l := New(256)
+	n := l.NewNode()
+	n.InitHead()
+	var ptrs []rdma.RemotePtr
+	for i := 0; i < l.HeadCap; i++ {
+		p := rdma.MakePtr(i%4, uint64(i+1)*8)
+		ptrs = append(ptrs, p)
+		if !n.HeadAppend(p) {
+			t.Fatalf("append %d failed", i)
+		}
+	}
+	if n.HeadAppend(rdma.MakePtr(0, 8)) {
+		t.Fatal("append into full head succeeded")
+	}
+	for i, p := range ptrs {
+		if n.HeadPtr(i) != p {
+			t.Fatalf("HeadPtr(%d) = %v; want %v", i, n.HeadPtr(i), p)
+		}
+	}
+}
+
+func TestWrapChecksSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(512).Wrap(make([]uint64, 10))
+}
+
+func TestLeafSplitRandomizedInvariant(t *testing.T) {
+	l := New(1024)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := l.NewNode()
+		n.InitLeaf()
+		// Distinct keys: duplicates may legally span a split (non-unique
+		// index), which is covered by the sibling-chase logic, not here.
+		perm := rng.Perm(1 << 12)
+		var keys []Key
+		for i := 0; i < l.LeafCap; i++ {
+			k := Key(perm[i])
+			keys = append(keys, k)
+			n.LeafInsert(k, uint64(i))
+		}
+		n.SetHighKey(MaxKey)
+		right := l.NewNode()
+		right.InitLeaf()
+		sep := n.LeafSplit(right)
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		idx := 0
+		for i := 0; i < n.Count(); i++ {
+			if n.LeafKey(i) != keys[idx] {
+				t.Fatal("left keys diverge from sorted input")
+			}
+			if n.LeafKey(i) > sep {
+				t.Fatal("left contains key > sep")
+			}
+			idx++
+		}
+		for i := 0; i < right.Count(); i++ {
+			if right.LeafKey(i) != keys[idx] {
+				t.Fatal("right keys diverge from sorted input")
+			}
+			if right.LeafKey(i) <= sep {
+				t.Fatal("right contains key <= sep")
+			}
+			idx++
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package nam
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Design enumerates the three index designs of the paper.
+type Design int
+
+// The three designs.
+const (
+	// CoarseGrained is Design 1 (Section 3): per-server partitioned trees,
+	// two-sided RPC access.
+	CoarseGrained Design = iota
+	// FineGrained is Design 2 (Section 4): one global tree with nodes
+	// round-robin across servers, one-sided access.
+	FineGrained
+	// Hybrid is Design 3 (Section 5): partitioned upper levels accessed by
+	// RPC, fine-grained leaves accessed one-sided.
+	Hybrid
+)
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	switch d {
+	case CoarseGrained:
+		return "coarse-grained"
+	case FineGrained:
+		return "fine-grained"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// PartitionKind names the coarse-grained partitioning function.
+type PartitionKind int
+
+// Partitioning schemes (Section 2.2).
+const (
+	PartRange PartitionKind = iota
+	PartHash
+)
+
+// Catalog is the metadata a compute server needs to access one distributed
+// index — in the paper this is served by the catalog service consulted
+// during query compilation. Root pointers are per memory server for the
+// coarse-grained and hybrid designs (one tree per server) and a single
+// global entry for the fine-grained design.
+type Catalog struct {
+	Design    Design
+	PageBytes int
+	// RootWords holds the location of each tree's root-pointer word:
+	// indexed by server for CoarseGrained/Hybrid, a single entry for
+	// FineGrained.
+	RootWords []rdma.RemotePtr
+	// Partition describes the coarse-grained key partitioning; nil for
+	// FineGrained.
+	PartKind PartitionKind
+	// RangeBounds are the split points of range partitioning (PartRange).
+	RangeBounds []uint64
+	// Servers is the number of memory servers.
+	Servers int
+}
+
+// Partitioner materializes the catalog's partitioning function.
+func (c *Catalog) Partitioner() partition.Partitioner {
+	switch c.PartKind {
+	case PartHash:
+		return partition.NewHash(c.Servers)
+	default:
+		return rangeFromBounds(c.RangeBounds)
+	}
+}
+
+// rangeFromBounds rebuilds a range partitioner from serialized bounds.
+func rangeFromBounds(bounds []uint64) partition.Partitioner {
+	// partition.Range has no exported constructor from raw bounds; rebuild
+	// via weighted construction on the bounds themselves.
+	return partition.NewRangeFromBounds(bounds)
+}
+
+// Encode serializes the catalog (for the OpCatalog RPC of the TCP transport).
+func (c *Catalog) Encode() []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(c.Design), byte(c.PartKind))
+	buf = order.AppendUint32(buf, uint32(c.PageBytes))
+	buf = order.AppendUint32(buf, uint32(c.Servers))
+	buf = order.AppendUint32(buf, uint32(len(c.RootWords)))
+	for _, p := range c.RootWords {
+		buf = order.AppendUint64(buf, uint64(p))
+	}
+	buf = order.AppendUint32(buf, uint32(len(c.RangeBounds)))
+	for _, b := range c.RangeBounds {
+		buf = order.AppendUint64(buf, b)
+	}
+	return buf
+}
+
+// DecodeCatalog parses a serialized catalog.
+func DecodeCatalog(b []byte) (*Catalog, error) {
+	if len(b) < 2+4+4+4 {
+		return nil, fmt.Errorf("nam: short catalog")
+	}
+	c := &Catalog{Design: Design(b[0]), PartKind: PartitionKind(b[1])}
+	c.PageBytes = int(order.Uint32(b[2:]))
+	c.Servers = int(order.Uint32(b[6:]))
+	off := 10
+	nr := int(order.Uint32(b[off:]))
+	off += 4
+	if len(b) < off+8*nr+4 {
+		return nil, fmt.Errorf("nam: truncated catalog roots")
+	}
+	for i := 0; i < nr; i++ {
+		c.RootWords = append(c.RootWords, rdma.RemotePtr(binary.LittleEndian.Uint64(b[off:])))
+		off += 8
+	}
+	nb := int(order.Uint32(b[off:]))
+	off += 4
+	if len(b) < off+8*nb {
+		return nil, fmt.Errorf("nam: truncated catalog bounds")
+	}
+	for i := 0; i < nb; i++ {
+		c.RangeBounds = append(c.RangeBounds, binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return c, nil
+}
+
+// SuperblockBytes is the reserved region at the start of every memory
+// server: word 0 holds the root-pointer word of the server's tree (or of the
+// global tree on server 0 for the fine-grained design).
+const SuperblockBytes = 64
+
+// RootWordPtr returns the conventional root-word location on a server.
+func RootWordPtr(server int) rdma.RemotePtr { return rdma.MakePtr(server, 0) }

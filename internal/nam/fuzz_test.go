@@ -1,0 +1,61 @@
+package nam
+
+import (
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// FuzzDecodeRequest ensures arbitrary bytes never panic the request decoder
+// and that valid encodings round-trip.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Request{Op: OpLookup, Key: 42}).Encode())
+	f.Add((&Request{Op: OpInstall, End: 7, Left: rdma.MakePtr(1, 8), Right: rdma.MakePtr(2, 16)}).Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := DecodeRequest(b)
+		if err != nil {
+			return
+		}
+		// Decoded requests re-encode to a decodable form.
+		if _, err := DecodeRequest(req.Encode()); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeResponse ensures arbitrary bytes never panic the response
+// decoder.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Response{Status: StatusOK, Values: []uint64{1, 2}}).Encode())
+	f.Add((&Response{Status: StatusErr, Err: "x"}).Encode())
+	f.Add((&Response{Status: StatusOK, Pairs: []uint64{1, 2, 3, 4}}).Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		resp, err := DecodeResponse(b)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeResponse(resp.Encode()); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeCatalog ensures arbitrary bytes never panic the catalog decoder.
+func FuzzDecodeCatalog(f *testing.F) {
+	f.Add([]byte{})
+	c := &Catalog{Design: Hybrid, PageBytes: 1024, Servers: 4,
+		RootWords:   []rdma.RemotePtr{RootWordPtr(0)},
+		RangeBounds: []uint64{10, 20}}
+	f.Add(c.Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		cat, err := DecodeCatalog(b)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeCatalog(cat.Encode()); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+// Package nam implements the Network-Attached-Memory runtime pieces shared
+// by the index designs: the binary RPC wire protocol spoken over two-sided
+// verbs, the catalog service that hands compute servers the metadata they
+// need to reach an index (root pointers, partitioning scheme, page layout),
+// and the cluster topology description (machines, co-location) used by the
+// simulated fabric and the benchmark harness.
+package nam
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Op codes of the RPC protocol.
+const (
+	// OpLookup is a point query against a server-local tree (coarse-grained).
+	OpLookup = iota + 1
+	// OpRange is a range query against a server-local tree (coarse-grained);
+	// the response carries the qualifying entries.
+	OpRange
+	// OpInsert inserts into a server-local tree (coarse-grained).
+	OpInsert
+	// OpDelete marks an entry deleted in a server-local tree (coarse-grained).
+	OpDelete
+	// OpTraverse walks the server-resident upper levels and returns the
+	// pointer of the leaf responsible for a key (hybrid).
+	OpTraverse
+	// OpInstall installs a separator for a leaf split a compute server
+	// performed one-sided (hybrid).
+	OpInstall
+	// OpCatalog fetches the serialized catalog (used by the TCP transport).
+	OpCatalog
+)
+
+// Response status codes.
+const (
+	StatusOK = iota
+	StatusNotFound
+	StatusErr
+)
+
+var order = binary.LittleEndian
+
+// Request is the decoded form of an RPC request.
+type Request struct {
+	Op    uint8
+	Key   uint64
+	End   uint64         // OpRange: inclusive end; OpInstall: separator
+	Value uint64         // OpInsert/OpDelete payload
+	Left  rdma.RemotePtr // OpInstall
+	Right rdma.RemotePtr // OpInstall
+}
+
+// Encode serializes r.
+func (r *Request) Encode() []byte {
+	buf := make([]byte, 1+5*8)
+	buf[0] = r.Op
+	order.PutUint64(buf[1:], r.Key)
+	order.PutUint64(buf[9:], r.End)
+	order.PutUint64(buf[17:], r.Value)
+	order.PutUint64(buf[25:], uint64(r.Left))
+	order.PutUint64(buf[33:], uint64(r.Right))
+	return buf
+}
+
+// DecodeRequest parses a request.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) < 1+5*8 {
+		return Request{}, fmt.Errorf("nam: short request (%d bytes)", len(b))
+	}
+	return Request{
+		Op:    b[0],
+		Key:   order.Uint64(b[1:]),
+		End:   order.Uint64(b[9:]),
+		Value: order.Uint64(b[17:]),
+		Left:  rdma.RemotePtr(order.Uint64(b[25:])),
+		Right: rdma.RemotePtr(order.Uint64(b[33:])),
+	}, nil
+}
+
+// Response is the decoded form of an RPC response.
+type Response struct {
+	Status uint8
+	// Ptr carries the leaf pointer for OpTraverse.
+	Ptr rdma.RemotePtr
+	// Values carries point-lookup results.
+	Values []uint64
+	// Pairs carries (key, value) pairs for OpRange, flattened.
+	Pairs []uint64
+	// Err carries a message when Status == StatusErr.
+	Err string
+}
+
+// Encode serializes the response.
+func (r *Response) Encode() []byte {
+	n := 1 + 8 + 4 + 8*len(r.Values) + 4 + 8*len(r.Pairs) + 2 + len(r.Err)
+	buf := make([]byte, 0, n)
+	buf = append(buf, r.Status)
+	buf = order.AppendUint64(buf, uint64(r.Ptr))
+	buf = order.AppendUint32(buf, uint32(len(r.Values)))
+	for _, v := range r.Values {
+		buf = order.AppendUint64(buf, v)
+	}
+	buf = order.AppendUint32(buf, uint32(len(r.Pairs)))
+	for _, v := range r.Pairs {
+		buf = order.AppendUint64(buf, v)
+	}
+	buf = order.AppendUint16(buf, uint16(len(r.Err)))
+	buf = append(buf, r.Err...)
+	return buf
+}
+
+// DecodeResponse parses a response.
+func DecodeResponse(b []byte) (Response, error) {
+	var r Response
+	if len(b) < 1+8+4 {
+		return r, fmt.Errorf("nam: short response (%d bytes)", len(b))
+	}
+	r.Status = b[0]
+	r.Ptr = rdma.RemotePtr(order.Uint64(b[1:]))
+	off := 9
+	nv := int(order.Uint32(b[off:]))
+	off += 4
+	if len(b) < off+8*nv+4 {
+		return r, fmt.Errorf("nam: truncated values")
+	}
+	if nv > 0 {
+		r.Values = make([]uint64, nv)
+		for i := range r.Values {
+			r.Values[i] = order.Uint64(b[off:])
+			off += 8
+		}
+	} else {
+		off += 0
+	}
+	np := int(order.Uint32(b[off:]))
+	off += 4
+	if len(b) < off+8*np+2 {
+		return r, fmt.Errorf("nam: truncated pairs")
+	}
+	if np > 0 {
+		r.Pairs = make([]uint64, np)
+		for i := range r.Pairs {
+			r.Pairs[i] = order.Uint64(b[off:])
+			off += 8
+		}
+	}
+	ne := int(order.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+ne {
+		return r, fmt.Errorf("nam: truncated error string")
+	}
+	r.Err = string(b[off : off+ne])
+	return r, nil
+}
+
+// ErrResponse builds an error response.
+func ErrResponse(err error) *Response {
+	return &Response{Status: StatusErr, Err: err.Error()}
+}
+
+// AsError converts an error response to a Go error (nil for OK/NotFound).
+func (r *Response) AsError() error {
+	if r.Status == StatusErr {
+		return fmt.Errorf("nam: remote error: %s", r.Err)
+	}
+	return nil
+}

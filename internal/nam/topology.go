@@ -1,0 +1,94 @@
+package nam
+
+import "fmt"
+
+// Topology describes the physical cluster layout of a NAM deployment: how
+// memory servers map onto physical machines and where compute servers run.
+// The paper's setup (Section 6): 8 machines, 4 memory servers on 2 physical
+// machines (2 per machine, one per NIC port, the second crossing the QPI
+// link), and up to 6 compute machines with 40 client threads each.
+type Topology struct {
+	// MemServers is the number of memory servers S.
+	MemServers int
+	// MemServersPerMachine is how many memory servers share one physical
+	// machine (the paper uses 2, one per NIC port; the second pays the QPI
+	// crossing on every RPC because the NIC is attached to one socket).
+	MemServersPerMachine int
+	// ComputeMachines is the number of physical machines running clients.
+	ComputeMachines int
+	// ClientsPerMachine is the number of client threads per compute machine
+	// (the paper uses 40).
+	ClientsPerMachine int
+	// CoLocated places compute and memory servers on the same physical
+	// machines (Appendix A.3): compute machine i shares machine i's NIC
+	// with its memory server(s), and accesses to the local memory server
+	// bypass the network entirely.
+	CoLocated bool
+}
+
+// Validate checks the topology.
+func (t *Topology) Validate() error {
+	if t.MemServers < 1 {
+		return fmt.Errorf("nam: need at least one memory server")
+	}
+	if t.MemServersPerMachine < 1 {
+		return fmt.Errorf("nam: need at least one memory server per machine")
+	}
+	if t.ComputeMachines < 1 || t.ClientsPerMachine < 1 {
+		return fmt.Errorf("nam: need at least one compute machine and client")
+	}
+	if t.CoLocated && t.ComputeMachines != t.MemMachines() {
+		return fmt.Errorf("nam: co-location requires compute machines (%d) == memory machines (%d)",
+			t.ComputeMachines, t.MemMachines())
+	}
+	return nil
+}
+
+// MemMachines returns the number of physical machines hosting memory
+// servers.
+func (t *Topology) MemMachines() int {
+	return (t.MemServers + t.MemServersPerMachine - 1) / t.MemServersPerMachine
+}
+
+// MachineOfServer returns the physical machine hosting memory server s.
+func (t *Topology) MachineOfServer(s int) int { return s / t.MemServersPerMachine }
+
+// ServerCrossesQPI reports whether memory server s is the second (or later)
+// server on its machine and therefore reaches the NIC over the inter-socket
+// link (Section 6.1's explanation for coarse-grained saturating at 20
+// clients per machine).
+func (t *Topology) ServerCrossesQPI(s int) bool { return s%t.MemServersPerMachine != 0 }
+
+// MachineOfClient returns the physical compute machine of client c.
+func (t *Topology) MachineOfClient(c int) int {
+	return c % t.ComputeMachines
+}
+
+// Clients returns the total number of client threads.
+func (t *Topology) Clients() int { return t.ComputeMachines * t.ClientsPerMachine }
+
+// LocalServer returns the memory server co-located with client c's machine,
+// or -1 when the deployment is not co-located. With multiple memory servers
+// per machine the first one (the non-QPI one) is considered local.
+func (t *Topology) LocalServer(c int) int {
+	if !t.CoLocated {
+		return -1
+	}
+	m := t.MachineOfClient(c)
+	s := m * t.MemServersPerMachine
+	if s >= t.MemServers {
+		return -1
+	}
+	return s
+}
+
+// PaperTopology returns the evaluation setup of Section 6: S memory servers
+// packed two per machine, computeMachines client machines with 40 threads.
+func PaperTopology(memServers, computeMachines, clientsPerMachine int) Topology {
+	return Topology{
+		MemServers:           memServers,
+		MemServersPerMachine: 2,
+		ComputeMachines:      computeMachines,
+		ClientsPerMachine:    clientsPerMachine,
+	}
+}

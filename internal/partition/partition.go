@@ -1,0 +1,178 @@
+// Package partition implements the key-partitioning schemes of the
+// coarse-grained index distribution (Section 2.2): range-based, hash-based
+// and round-robin assignment of keys to memory servers, plus the paper's
+// skewed range assignment used to model attribute-value skew in the
+// evaluation (80/12/5/3 across four servers, Section 6.1).
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partitioner maps a key to the memory server storing it.
+type Partitioner interface {
+	// Server returns the memory server responsible for key.
+	Server(key uint64) int
+	// Servers returns the number of partitions.
+	Servers() int
+	// CoversRange returns the servers whose partitions intersect [lo, hi].
+	// For hash partitioning this is all servers (range queries must be
+	// broadcast — the S-fold traversal cost of Table 2).
+	CoversRange(lo, hi uint64) []int
+}
+
+// Range partitions the key space by explicit split points: server i covers
+// keys in [bounds[i-1], bounds[i]) with bounds[-1] = 0 and the last server
+// covering everything from bounds[len-1] on.
+type Range struct {
+	// bounds[i] is the first key NOT covered by server i; len = servers-1.
+	bounds []uint64
+}
+
+// NewRangeUniform builds a range partitioner splitting [0, keyspace) evenly
+// across servers.
+func NewRangeUniform(servers int, keyspace uint64) *Range {
+	if servers < 1 {
+		panic("partition: need at least one server")
+	}
+	bounds := make([]uint64, servers-1)
+	for i := range bounds {
+		bounds[i] = keyspace / uint64(servers) * uint64(i+1)
+	}
+	return &Range{bounds: bounds}
+}
+
+// NewRangeWeighted builds a range partitioner assigning fractions of
+// [0, keyspace) to servers proportionally to weights. The paper's skewed
+// assignment is NewRangeWeighted(keyspace, 80, 12, 5, 3).
+func NewRangeWeighted(keyspace uint64, weights ...float64) *Range {
+	if len(weights) < 1 {
+		panic("partition: need at least one weight")
+	}
+	var total float64
+	for _, w := range weights {
+		if w <= 0 {
+			panic("partition: weights must be positive")
+		}
+		total += w
+	}
+	bounds := make([]uint64, len(weights)-1)
+	var acc float64
+	for i := 0; i < len(weights)-1; i++ {
+		acc += weights[i]
+		bounds[i] = uint64(acc / total * float64(keyspace))
+	}
+	return &Range{bounds: bounds}
+}
+
+// NewRangeFromBounds rebuilds a range partitioner from split points
+// previously obtained via Bounds (catalog deserialization).
+func NewRangeFromBounds(bounds []uint64) *Range {
+	return &Range{bounds: append([]uint64(nil), bounds...)}
+}
+
+// Server implements Partitioner.
+func (r *Range) Server(key uint64) int {
+	return sort.Search(len(r.bounds), func(i int) bool { return key < r.bounds[i] })
+}
+
+// Servers implements Partitioner.
+func (r *Range) Servers() int { return len(r.bounds) + 1 }
+
+// CoversRange implements Partitioner: the contiguous run of partitions
+// intersecting [lo, hi].
+func (r *Range) CoversRange(lo, hi uint64) []int {
+	if hi < lo {
+		return nil
+	}
+	first, last := r.Server(lo), r.Server(hi)
+	out := make([]int, 0, last-first+1)
+	for s := first; s <= last; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Bounds returns the split points (for catalog metadata).
+func (r *Range) Bounds() []uint64 { return append([]uint64(nil), r.bounds...) }
+
+// Hash partitions keys by a 64-bit mix hash modulo the server count.
+type Hash struct {
+	servers int
+}
+
+// NewHash builds a hash partitioner over the given number of servers.
+func NewHash(servers int) *Hash {
+	if servers < 1 {
+		panic("partition: need at least one server")
+	}
+	return &Hash{servers: servers}
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Server implements Partitioner.
+func (h *Hash) Server(key uint64) int { return int(mix64(key) % uint64(h.servers)) }
+
+// Servers implements Partitioner.
+func (h *Hash) Servers() int { return h.servers }
+
+// CoversRange implements Partitioner: hash partitioning scatters every range
+// over all servers.
+func (h *Hash) CoversRange(lo, hi uint64) []int {
+	out := make([]int, h.servers)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RoundRobin assigns key k to server k mod servers — the per-key analogue of
+// the fine-grained scheme's per-node distribution; useful as a baseline.
+type RoundRobin struct {
+	servers int
+}
+
+// NewRoundRobin builds a round-robin partitioner.
+func NewRoundRobin(servers int) *RoundRobin {
+	if servers < 1 {
+		panic("partition: need at least one server")
+	}
+	return &RoundRobin{servers: servers}
+}
+
+// Server implements Partitioner.
+func (r *RoundRobin) Server(key uint64) int { return int(key % uint64(r.servers)) }
+
+// Servers implements Partitioner.
+func (r *RoundRobin) Servers() int { return r.servers }
+
+// CoversRange implements Partitioner.
+func (r *RoundRobin) CoversRange(lo, hi uint64) []int {
+	if hi < lo {
+		return nil
+	}
+	n := r.servers
+	if hi-lo+1 < uint64(n) {
+		n = int(hi - lo + 1)
+	}
+	out := make([]int, 0, n)
+	for s := 0; s < r.servers && uint64(len(out)) < hi-lo+1; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// String names for diagnostics.
+func (r *Range) String() string      { return fmt.Sprintf("range(%d)", r.Servers()) }
+func (h *Hash) String() string       { return fmt.Sprintf("hash(%d)", h.servers) }
+func (r *RoundRobin) String() string { return fmt.Sprintf("rr(%d)", r.servers) }

@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeUniformBalance(t *testing.T) {
+	p := NewRangeUniform(4, 1000)
+	counts := make([]int, 4)
+	for k := uint64(0); k < 1000; k++ {
+		counts[p.Server(k)]++
+	}
+	for s, c := range counts {
+		if c != 250 {
+			t.Fatalf("server %d got %d keys; want 250 (%v)", s, c, counts)
+		}
+	}
+	// Ordering: servers cover contiguous ascending ranges.
+	prev := 0
+	for k := uint64(0); k < 1000; k++ {
+		s := p.Server(k)
+		if s < prev {
+			t.Fatalf("range partitioning not monotone at key %d", k)
+		}
+		prev = s
+	}
+}
+
+func TestRangeWeightedSkew(t *testing.T) {
+	// The paper's 80/12/5/3 attribute-value-skew assignment (Section 6.1).
+	p := NewRangeWeighted(100000, 80, 12, 5, 3)
+	counts := make([]int, 4)
+	for k := uint64(0); k < 100000; k++ {
+		counts[p.Server(k)]++
+	}
+	want := []int{80000, 12000, 5000, 3000}
+	for s := range want {
+		diff := counts[s] - want[s]
+		if diff < -2 || diff > 2 {
+			t.Fatalf("server %d got %d keys; want ~%d", s, counts[s], want[s])
+		}
+	}
+}
+
+func TestRangeCoversRange(t *testing.T) {
+	p := NewRangeUniform(4, 1000)
+	cases := []struct {
+		lo, hi uint64
+		want   []int
+	}{
+		{0, 100, []int{0}},
+		{0, 250, []int{0, 1}},
+		{200, 800, []int{0, 1, 2, 3}},
+		{600, 700, []int{2}},
+		{900, 2000, []int{3}},
+		{5, 4, nil},
+	}
+	for _, c := range cases {
+		got := p.CoversRange(c.lo, c.hi)
+		if len(got) != len(c.want) {
+			t.Fatalf("CoversRange(%d,%d) = %v; want %v", c.lo, c.hi, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("CoversRange(%d,%d) = %v; want %v", c.lo, c.hi, got, c.want)
+			}
+		}
+	}
+}
+
+func TestHashCoversAllAndBalance(t *testing.T) {
+	p := NewHash(4)
+	if got := p.CoversRange(10, 20); len(got) != 4 {
+		t.Fatalf("hash CoversRange = %v; want all 4", got)
+	}
+	counts := make([]int, 4)
+	for k := uint64(0); k < 100000; k++ {
+		counts[p.Server(k)]++
+	}
+	for s, c := range counts {
+		if c < 23000 || c > 27000 {
+			t.Fatalf("hash server %d got %d of 100000; poor balance %v", s, c, counts)
+		}
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	p := NewRoundRobin(3)
+	for k := uint64(0); k < 30; k++ {
+		if p.Server(k) != int(k%3) {
+			t.Fatalf("Server(%d) = %d", k, p.Server(k))
+		}
+	}
+	if got := p.CoversRange(0, 1); len(got) != 2 {
+		t.Fatalf("rr CoversRange(0,1) = %v; want 2 servers", got)
+	}
+	if got := p.CoversRange(0, 100); len(got) != 3 {
+		t.Fatalf("rr CoversRange(0,100) = %v; want 3 servers", got)
+	}
+}
+
+func TestPartitionerInRangeProperty(t *testing.T) {
+	parts := []Partitioner{
+		NewRangeUniform(5, 1<<40),
+		NewRangeWeighted(1<<40, 80, 12, 5, 3),
+		NewHash(7),
+		NewRoundRobin(6),
+	}
+	f := func(key uint64) bool {
+		for _, p := range parts {
+			s := p.Server(key)
+			if s < 0 || s >= p.Servers() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeCoversContainsServerProperty(t *testing.T) {
+	p := NewRangeWeighted(1<<30, 80, 12, 5, 3)
+	f := func(a, b uint64) bool {
+		a %= 1 << 30
+		b %= 1 << 30
+		if a > b {
+			a, b = b, a
+		}
+		covered := p.CoversRange(a, b)
+		has := func(s int) bool {
+			for _, c := range covered {
+				if c == s {
+					return true
+				}
+			}
+			return false
+		}
+		// The servers of both endpoints and the midpoint must be covered.
+		return has(p.Server(a)) && has(p.Server(b)) && has(p.Server((a+b)/2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package rdma
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Region is a registered memory region of one memory server: the target of
+// all one-sided verbs.
+//
+// Memory is word-addressed internally ([]uint64) and byte-addressed at the
+// API (offsets must be 8-byte aligned), mirroring the constraint that RDMA
+// atomics operate on aligned 8-byte words. Every word access is atomic, so
+// the region provides exactly the consistency a real RDMA NIC provides:
+// CAS/FETCH_AND_ADD are atomic, individual 8-byte words never tear, but
+// multi-word READs and WRITEs are *not* atomic with respect to concurrent
+// writers — the index protocols must (and do) handle that with version
+// checks, as in the paper.
+type Region struct {
+	words []uint64
+}
+
+// NewRegion allocates a zeroed region of the given size in bytes (rounded up
+// to a multiple of 8).
+func NewRegion(sizeBytes int) *Region {
+	if sizeBytes < 0 {
+		panic("rdma: negative region size")
+	}
+	return &Region{words: make([]uint64, (sizeBytes+7)/8)}
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() uint64 { return uint64(len(r.words)) * 8 }
+
+func (r *Region) wordIndex(off uint64) int {
+	if off%8 != 0 {
+		panic(fmt.Sprintf("rdma: unaligned offset %#x", off))
+	}
+	w := off / 8
+	if w >= uint64(len(r.words)) {
+		panic(fmt.Sprintf("rdma: offset %#x beyond region of %d bytes", off, r.Size()))
+	}
+	return int(w)
+}
+
+// checkRange panics if [off, off+n*8) is not inside the region.
+func (r *Region) checkRange(off uint64, n int) int {
+	w := r.wordIndex(off)
+	if w+n > len(r.words) {
+		panic(fmt.Sprintf("rdma: range [%#x,+%d words) beyond region of %d bytes", off, n, r.Size()))
+	}
+	return w
+}
+
+// Read copies len(dst) words starting at byte offset off into dst.
+func (r *Region) Read(off uint64, dst []uint64) {
+	w := r.checkRange(off, len(dst))
+	for i := range dst {
+		dst[i] = atomic.LoadUint64(&r.words[w+i])
+	}
+}
+
+// Write copies src into the region starting at byte offset off.
+func (r *Region) Write(off uint64, src []uint64) {
+	w := r.checkRange(off, len(src))
+	for i, v := range src {
+		atomic.StoreUint64(&r.words[w+i], v)
+	}
+}
+
+// Load atomically reads the word at byte offset off.
+func (r *Region) Load(off uint64) uint64 {
+	return atomic.LoadUint64(&r.words[r.wordIndex(off)])
+}
+
+// Store atomically writes the word at byte offset off.
+func (r *Region) Store(off uint64, v uint64) {
+	atomic.StoreUint64(&r.words[r.wordIndex(off)], v)
+}
+
+// CompareAndSwap executes an atomic compare-and-swap on the word at off. It
+// returns the value observed before the operation; the swap succeeded iff
+// the returned value equals old (matching ibverbs atomic CAS semantics,
+// which always return the prior value).
+func (r *Region) CompareAndSwap(off uint64, old, new uint64) uint64 {
+	w := r.wordIndex(off)
+	for {
+		cur := atomic.LoadUint64(&r.words[w])
+		if cur != old {
+			return cur
+		}
+		if atomic.CompareAndSwapUint64(&r.words[w], old, new) {
+			return old
+		}
+	}
+}
+
+// FetchAdd atomically adds delta to the word at off and returns the value
+// before the addition.
+func (r *Region) FetchAdd(off uint64, delta uint64) uint64 {
+	w := r.wordIndex(off)
+	return atomic.AddUint64(&r.words[w], delta) - delta
+}

@@ -1,0 +1,82 @@
+// Package rdma defines the verbs-level abstraction the distributed index
+// designs are written against: registered memory regions with RDMA-style
+// atomicity, remote pointers, one-sided verbs (READ, WRITE, CAS,
+// FETCH_AND_ADD), two-sided RPC (SEND/RECEIVE over reliable connections with
+// shared receive queues), and remote allocation (RDMA_ALLOC).
+//
+// Three interchangeable transports implement the API:
+//
+//   - direct: in-process, immediate execution with real atomics (functional
+//     and race testing),
+//   - simnet: a discrete-event-simulated InfiniBand-style fabric with a
+//     calibrated performance model (all experiments),
+//   - tcpnet: real TCP sockets with a per-server verbs agent (multi-process
+//     deployment).
+package rdma
+
+import "fmt"
+
+// RemotePtr is an 8-byte global pointer into the memory pool of a NAM
+// cluster, following the encoding of Section 4.1 of the paper: a null bit, a
+// 7-bit memory-server ID, and a 7-byte byte offset into that server's
+// registered region.
+//
+// The zero value is the null pointer. Valid (non-null) pointers have the
+// presence bit set, so a pointer to offset 0 of server 0 is distinguishable
+// from null.
+type RemotePtr uint64
+
+const (
+	ptrPresentBit         = 1 << 63
+	ptrServerShift        = 56
+	ptrServerMask  uint64 = 0x7f << ptrServerShift
+	ptrOffsetMask  uint64 = (1 << ptrServerShift) - 1
+
+	// MaxServers is the largest number of memory servers addressable by a
+	// RemotePtr (7-bit server ID).
+	MaxServers = 128
+	// MaxOffset is the largest encodable byte offset (7 bytes).
+	MaxOffset = 1<<ptrServerShift - 1
+)
+
+// NullPtr is the null remote pointer.
+const NullPtr RemotePtr = 0
+
+// MakePtr builds a remote pointer to the given byte offset in the region of
+// the given memory server. It panics if server or offset are out of range;
+// those are programming errors, not runtime conditions.
+func MakePtr(server int, offset uint64) RemotePtr {
+	if server < 0 || server >= MaxServers {
+		panic(fmt.Sprintf("rdma: server id %d out of range [0,%d)", server, MaxServers))
+	}
+	if offset > MaxOffset {
+		panic(fmt.Sprintf("rdma: offset %#x exceeds 7-byte range", offset))
+	}
+	return RemotePtr(ptrPresentBit | uint64(server)<<ptrServerShift | offset)
+}
+
+// IsNull reports whether p is the null pointer.
+func (p RemotePtr) IsNull() bool { return uint64(p)&ptrPresentBit == 0 }
+
+// Server returns the memory-server ID encoded in p. Calling Server on a null
+// pointer returns 0; callers should check IsNull first.
+func (p RemotePtr) Server() int { return int(uint64(p) & ptrServerMask >> ptrServerShift) }
+
+// Offset returns the byte offset encoded in p.
+func (p RemotePtr) Offset() uint64 { return uint64(p) & ptrOffsetMask }
+
+// Add returns a pointer displaced by delta bytes within the same server.
+func (p RemotePtr) Add(delta uint64) RemotePtr {
+	if p.IsNull() {
+		panic("rdma: Add on null pointer")
+	}
+	return MakePtr(p.Server(), p.Offset()+delta)
+}
+
+// String formats p for diagnostics.
+func (p RemotePtr) String() string {
+	if p.IsNull() {
+		return "null"
+	}
+	return fmt.Sprintf("srv%d+%#x", p.Server(), p.Offset())
+}

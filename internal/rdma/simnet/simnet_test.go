@@ -1,0 +1,361 @@
+package simnet
+
+import (
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/sim"
+)
+
+func testTopology() nam.Topology {
+	return nam.Topology{
+		MemServers:           4,
+		MemServersPerMachine: 2,
+		ComputeMachines:      2,
+		ClientsPerMachine:    4,
+	}
+}
+
+func TestOneSidedReadTiming(t *testing.T) {
+	s := sim.New()
+	cfg := NewConfig(testTopology())
+	f := New(s, cfg)
+	// Expected: clientNIC(op + 32B/bw) + lat + serverNIC(op + (1024+32+16)/bw) + lat + clientNIC(1040/bw).
+	var elapsed sim.Time
+	s.Spawn("c", func(p *sim.Proc) {
+		ep := f.Endpoint(0, p)
+		dst := make([]uint64, 128)
+		start := p.Now()
+		if err := ep.Read(rdma.MakePtr(0, 64), dst); err != nil {
+			t.Error(err)
+		}
+		elapsed = p.Now() - start
+	})
+	s.Run()
+	want := cfg.OneSidedClientNS + bwNS(32, cfg.ClientBW) +
+		cfg.LinkLatencyNS +
+		cfg.OneSidedServerNS + bwNS(32+1024+16, cfg.ServerBW) +
+		cfg.LinkLatencyNS +
+		bwNS(1024+16, cfg.ClientBW)
+	if elapsed != want {
+		t.Fatalf("read latency = %d; want %d", elapsed, want)
+	}
+}
+
+func TestOneSidedDataFidelity(t *testing.T) {
+	s := sim.New()
+	f := New(s, NewConfig(testTopology()))
+	s.Spawn("c", func(p *sim.Proc) {
+		ep := f.Endpoint(0, p)
+		ptr := rdma.MakePtr(2, 128)
+		if err := ep.Write(ptr, []uint64{7, 8, 9}); err != nil {
+			t.Error(err)
+			return
+		}
+		dst := make([]uint64, 3)
+		if err := ep.Read(ptr, dst); err != nil {
+			t.Error(err)
+			return
+		}
+		if dst[0] != 7 || dst[2] != 9 {
+			t.Errorf("read back %v", dst)
+		}
+		if old, err := ep.CompareAndSwap(ptr, 7, 70); err != nil || old != 7 {
+			t.Errorf("CAS old=%d err=%v", old, err)
+		}
+		if old, err := ep.FetchAdd(ptr, 5); err != nil || old != 70 {
+			t.Errorf("FAA old=%d err=%v", old, err)
+		}
+	})
+	s.Run()
+}
+
+func TestNICSerializationQueues(t *testing.T) {
+	// Two clients on the SAME compute machine issuing simultaneously must
+	// serialize on the shared client NIC.
+	s := sim.New()
+	cfg := NewConfig(testTopology())
+	f := New(s, cfg)
+	done := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn("c", func(p *sim.Proc) {
+			ep := f.Endpoint(i*2, p) // clients 0 and 2 are both on machine 0
+			dst := make([]uint64, 128)
+			if err := ep.Read(rdma.MakePtr(i, 0), dst); err != nil {
+				t.Error(err)
+			}
+			done[i] = p.Now()
+		})
+	}
+	s.Run()
+	if done[0] == done[1] {
+		t.Fatalf("reads did not serialize on shared client NIC: %v", done)
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	s := sim.New()
+	cfg := NewConfig(testTopology())
+	f := New(s, cfg)
+	f.SetHandler(func(env rdma.Env, server int, req []byte) ([]byte, rdma.Work) {
+		env.Charge(1000)
+		return append([]byte{byte(server)}, req...), rdma.Work{PagesTouched: 1}
+	})
+	f.Start()
+	var elapsed sim.Time
+	s.Spawn("c", func(p *sim.Proc) {
+		ep := f.Endpoint(0, p)
+		start := p.Now()
+		resp, err := ep.Call(1, []byte("ping"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if resp[0] != 1 || string(resp[1:]) != "ping" {
+			t.Errorf("resp %q", resp)
+		}
+		elapsed = p.Now() - start
+	})
+	s.RunUntil(1_000_000)
+	s.Shutdown()
+	// Must include base CPU (6000 * 1.4 QPI for server 1) + charged work.
+	min := cfg.RPCBaseNS + 1000 + 2*cfg.LinkLatencyNS
+	if elapsed < min {
+		t.Fatalf("RPC latency %d below floor %d", elapsed, min)
+	}
+}
+
+func TestRPCQPIFactorSlowsSecondServer(t *testing.T) {
+	s := sim.New()
+	cfg := NewConfig(testTopology())
+	f := New(s, cfg)
+	f.SetHandler(func(env rdma.Env, server int, req []byte) ([]byte, rdma.Work) {
+		env.Charge(10000)
+		return []byte{1}, rdma.Work{}
+	})
+	f.Start()
+	var lat [2]sim.Time
+	s.Spawn("c", func(p *sim.Proc) {
+		ep := f.Endpoint(0, p)
+		for srv := 0; srv < 2; srv++ {
+			start := p.Now()
+			if _, err := ep.Call(srv, []byte("x")); err != nil {
+				t.Error(err)
+				return
+			}
+			lat[srv] = p.Now() - start
+		}
+	})
+	s.RunUntil(10_000_000)
+	s.Shutdown()
+	if lat[1] <= lat[0] {
+		t.Fatalf("QPI server not slower: srv0=%d srv1=%d", lat[0], lat[1])
+	}
+}
+
+func TestHandlerCoreSaturation(t *testing.T) {
+	// More concurrent RPCs than cores: throughput must be bounded by the
+	// core pool, and latency must inflate.
+	s := sim.New()
+	top := testTopology()
+	top.ClientsPerMachine = 40
+	cfg := NewConfig(top)
+	cfg.HandlerCoresPerMachine = 4
+	cfg.HandlersPerServer = 8
+	f := New(s, cfg)
+	const cpuNS = 10000
+	f.SetHandler(func(env rdma.Env, server int, req []byte) ([]byte, rdma.Work) {
+		env.Charge(cpuNS)
+		return []byte{1}, rdma.Work{}
+	})
+	f.Start()
+	completed := 0
+	for c := 0; c < 40; c++ {
+		c := c
+		s.Spawn("c", func(p *sim.Proc) {
+			ep := f.Endpoint(c, p)
+			for {
+				if _, err := ep.Call(0, []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+				completed++
+			}
+		})
+	}
+	const horizon = 10_000_000 // 10ms virtual
+	s.RunUntil(horizon)
+	s.Shutdown()
+	// Server 0's machine has 4 cores at 10us+6us base => max ~4/16us = 250k/s
+	// => 2500 ops in 10ms. Allow slack.
+	if completed > 2800 {
+		t.Fatalf("completed %d ops; core pool not limiting", completed)
+	}
+	if completed < 1500 {
+		t.Fatalf("completed only %d ops; implausibly slow", completed)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	s := sim.New()
+	cfg := NewConfig(testTopology())
+	f := New(s, cfg)
+	s.Spawn("c", func(p *sim.Proc) {
+		ep := f.Endpoint(0, p)
+		dst := make([]uint64, 128)
+		if err := ep.Read(rdma.MakePtr(3, 0), dst); err != nil {
+			t.Error(err)
+		}
+	})
+	s.Run()
+	if f.BytesOut.Get(3) != 1024+16 {
+		t.Fatalf("server 3 out bytes = %d; want %d", f.BytesOut.Get(3), 1024+16)
+	}
+	if f.BytesIn.Get(3) != 32 {
+		t.Fatalf("server 3 in bytes = %d; want 32", f.BytesIn.Get(3))
+	}
+	if f.BytesOut.Get(0) != 0 {
+		t.Fatal("wrong server accounted")
+	}
+}
+
+func TestReadMultiMasksLatency(t *testing.T) {
+	s := sim.New()
+	cfg := NewConfig(testTopology())
+	f := New(s, cfg)
+	const n = 8
+	var batched, serial sim.Time
+	s.Spawn("batch", func(p *sim.Proc) {
+		ep := f.Endpoint(0, p)
+		ptrs := make([]rdma.RemotePtr, n)
+		bufs := make([][]uint64, n)
+		for i := range ptrs {
+			ptrs[i] = rdma.MakePtr(i%4, uint64(i)*1024)
+			bufs[i] = make([]uint64, 128)
+		}
+		start := p.Now()
+		if err := ep.ReadMulti(ptrs, bufs); err != nil {
+			t.Error(err)
+		}
+		batched = p.Now() - start
+	})
+	s.Run()
+	s2 := sim.New()
+	f2 := New(s2, cfg)
+	s2.Spawn("serial", func(p *sim.Proc) {
+		ep := f2.Endpoint(0, p)
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			dst := make([]uint64, 128)
+			if err := ep.Read(rdma.MakePtr(i%4, uint64(i)*1024), dst); err != nil {
+				t.Error(err)
+			}
+		}
+		serial = p.Now() - start
+	})
+	s2.Run()
+	if batched >= serial {
+		t.Fatalf("batched read (%d) not faster than serial (%d)", batched, serial)
+	}
+}
+
+func TestCoLocationLocalAccessFaster(t *testing.T) {
+	top := nam.Topology{
+		MemServers: 2, MemServersPerMachine: 1,
+		ComputeMachines: 2, ClientsPerMachine: 2,
+		CoLocated: true,
+	}
+	s := sim.New()
+	cfg := NewConfig(top)
+	f := New(s, cfg)
+	var localT, remoteT sim.Time
+	s.Spawn("c", func(p *sim.Proc) {
+		ep := f.Endpoint(0, p) // machine 0, local server 0
+		dst := make([]uint64, 128)
+		start := p.Now()
+		if err := ep.Read(rdma.MakePtr(0, 0), dst); err != nil {
+			t.Error(err)
+		}
+		localT = p.Now() - start
+		start = p.Now()
+		if err := ep.Read(rdma.MakePtr(1, 0), dst); err != nil {
+			t.Error(err)
+		}
+		remoteT = p.Now() - start
+	})
+	s.Run()
+	if localT*3 > remoteT {
+		t.Fatalf("local access (%d) not much faster than remote (%d)", localT, remoteT)
+	}
+	// Local accesses do not appear in network byte counters.
+	if f.BytesOut.Get(0) != 0 {
+		t.Fatal("local access counted as network traffic")
+	}
+	if f.BytesOut.Get(1) == 0 {
+		t.Fatal("remote access not counted")
+	}
+}
+
+func TestSetupEndpointConsumesNoTime(t *testing.T) {
+	s := sim.New()
+	f := New(s, NewConfig(testTopology()))
+	ep := f.SetupEndpoint()
+	if err := ep.Write(rdma.MakePtr(0, 0), []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 3)
+	if err := ep.Read(rdma.MakePtr(0, 0), dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[1] != 2 {
+		t.Fatalf("read back %v", dst)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("setup endpoint advanced virtual time to %d", s.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Time, int64) {
+		s := sim.New()
+		cfg := NewConfig(testTopology())
+		f := New(s, cfg)
+		f.SetHandler(func(env rdma.Env, server int, req []byte) ([]byte, rdma.Work) {
+			env.Charge(2000)
+			return req, rdma.Work{}
+		})
+		f.Start()
+		for c := 0; c < 8; c++ {
+			c := c
+			s.Spawn("c", func(p *sim.Proc) {
+				ep := f.Endpoint(c, p)
+				for i := 0; i < 50; i++ {
+					if c%2 == 0 {
+						if _, err := ep.Call(c%4, []byte{byte(i)}); err != nil {
+							t.Error(err)
+							return
+						}
+					} else {
+						dst := make([]uint64, 16)
+						if err := ep.Read(rdma.MakePtr(c%4, uint64(i*128)), dst); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			})
+		}
+		s.RunUntil(50_000_000)
+		now := s.Now()
+		bytes := f.BytesOut.Total()
+		s.Shutdown()
+		return now, bytes
+	}
+	t1, b1 := run()
+	t2, b2 := run()
+	if t1 != t2 || b1 != b2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", t1, b1, t2, b2)
+	}
+}

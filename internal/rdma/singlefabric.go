@@ -1,0 +1,34 @@
+package rdma
+
+import "fmt"
+
+// SingleServerFabric adapts one memory server process to the Fabric
+// interface for server-side design code (coarse-grained handlers, hybrid
+// upper levels) that only ever touches its own server. It reports the full
+// cluster size but can hand out only the local server — exactly the view a
+// real memory-server process has.
+type SingleServerFabric struct {
+	Srv   *Server
+	Total int
+	h     Handler
+}
+
+var _ Fabric = (*SingleServerFabric)(nil)
+
+// NumServers implements Fabric.
+func (f *SingleServerFabric) NumServers() int { return f.Total }
+
+// Server implements Fabric; requesting any server but the local one is a
+// programming error in this deployment model.
+func (f *SingleServerFabric) Server(i int) *Server {
+	if i != f.Srv.ID {
+		panic(fmt.Sprintf("rdma: single-server fabric for %d asked for server %d", f.Srv.ID, i))
+	}
+	return f.Srv
+}
+
+// SetHandler implements Fabric.
+func (f *SingleServerFabric) SetHandler(h Handler) { f.h = h }
+
+// Handler returns the installed handler (for wiring into a transport agent).
+func (f *SingleServerFabric) Handler() Handler { return f.h }

@@ -1,0 +1,108 @@
+package tcpnet
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/core/coarse"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// TestCoarseDesignOverTCP deploys the coarse-grained design the way
+// cmd/namserver does: one process-like agent per memory server, each owning
+// a SingleServerFabric, building only its own partition, and serving the
+// RPC protocol; clients drive it through coarse.Client over TCP endpoints.
+func TestCoarseDesignOverTCP(t *testing.T) {
+	const (
+		servers  = 3
+		keyspace = 9_000
+	)
+	spec := core.BuildSpec{
+		N:  keyspace,
+		At: func(i int) (uint64, uint64) { return uint64(i), uint64(i) * 3 },
+	}
+	var addrs []string
+	var cat *nam.Catalog
+	for id := 0; id < servers; id++ {
+		srv := rdma.NewServer(id, 32<<20, nam.SuperblockBytes)
+		fab := &rdma.SingleServerFabric{Srv: srv, Total: servers}
+		cs := coarse.NewServer(fab, coarse.Options{
+			Layout: layout.New(512),
+			Part:   partition.NewRangeUniform(servers, keyspace),
+		})
+		if err := cs.BuildServer(id, spec); err != nil {
+			t.Fatal(err)
+		}
+		cat = cs.Catalog()
+		agent := NewAgent(srv, cs.Handler())
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, l.Addr().String())
+		go agent.Serve(l)
+		t.Cleanup(agent.Close)
+	}
+
+	ep := Dial(addrs)
+	defer ep.Close()
+	idx := coarse.NewClient(ep, rdma.NopEnv{}, cat)
+
+	// Point lookups from every partition.
+	for _, k := range []uint64{0, 2999, 3000, 5999, 6000, 8999} {
+		vals, err := idx.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[0] != k*3 {
+			t.Fatalf("Lookup(%d) = %v", k, vals)
+		}
+	}
+	// A range spanning all three partitions, in order.
+	var got []uint64
+	if err := idx.Range(2990, 6010, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3021 {
+		t.Fatalf("cross-partition range returned %d entries; want 3021", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("range out of order at %d", i)
+		}
+	}
+	// Concurrent clients mutate through RPC.
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := Dial(addrs)
+			defer ep.Close()
+			idx := coarse.NewClient(ep, rdma.NopEnv{}, cat)
+			for i := 0; i < 200; i++ {
+				k := uint64((c*200 + i) * 45 % keyspace)
+				v := uint64(c)<<32 | uint64(i)
+				if err := idx.Insert(k, v); err != nil {
+					t.Error(err)
+					return
+				}
+				ok, err := idx.Delete(k, v)
+				if err != nil || !ok {
+					t.Errorf("delete (%d,%d): %v %v", k, v, ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,547 @@
+// Package tcpnet implements the rdma verbs API over TCP sockets, so a NAM
+// cluster can actually be deployed as separate memory-server and
+// compute-client processes (cmd/namserver, cmd/namclient).
+//
+// Each memory server runs an Agent: a TCP listener whose per-connection
+// loops service one-sided verbs against the server's region (the software
+// analogue of the NIC's DMA engine, like soft-RoCE) and dispatch two-sided
+// RPCs to the registered handler. A client endpoint holds one connection per
+// memory server — its "queue pair" — and issues synchronous verbs over it.
+//
+// The wire format is length-prefixed little-endian frames:
+//
+//	request:  [u32 length][u8 verb][payload...]
+//	response: [u32 length][u8 status][payload...]
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Verb opcodes.
+const (
+	opRead = iota + 1
+	opWrite
+	opCAS
+	opFetchAdd
+	opAlloc
+	opFree
+	opCall
+	opReadMulti
+	opCatalog
+)
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxFrame bounds a single frame (16 MiB), protecting the agent from
+// malformed lengths.
+const maxFrame = 16 << 20
+
+var order = binary.LittleEndian
+
+// Agent serves one memory server's region over TCP.
+type Agent struct {
+	srv     *rdma.Server
+	handler rdma.Handler
+	catalog []byte
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewAgent creates an agent for a server. handler may be nil if the
+// deployment uses only one-sided verbs.
+func NewAgent(srv *rdma.Server, handler rdma.Handler) *Agent {
+	return &Agent{srv: srv, handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// SetCatalog installs the serialized catalog served to clients (opCatalog).
+func (a *Agent) SetCatalog(c []byte) { a.catalog = c }
+
+// Serve accepts connections on l until Close. It returns after the listener
+// is closed.
+func (a *Agent) Serve(l net.Listener) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("tcpnet: agent closed")
+	}
+	a.listener = l
+	a.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			a.mu.Lock()
+			closed := a.closed
+			a.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		a.conns[conn] = struct{}{}
+		a.wg.Add(1)
+		a.mu.Unlock()
+		go func() {
+			defer a.wg.Done()
+			a.serveConn(conn)
+			a.mu.Lock()
+			delete(a.conns, conn)
+			a.mu.Unlock()
+		}()
+	}
+}
+
+// Close shuts the agent down: stops accepting, closes connections, waits for
+// per-connection loops.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	if a.listener != nil {
+		a.listener.Close()
+	}
+	for c := range a.conns {
+		c.Close()
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+}
+
+type agentEnv struct{}
+
+func (agentEnv) Charge(int64) {}
+func (agentEnv) Pause()       { runtime.Gosched() }
+
+func (a *Agent) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			return // client disconnected or protocol error
+		}
+		resp, err := a.handle(frame)
+		if err != nil {
+			resp = append([]byte{statusErr}, []byte(err.Error())...)
+		}
+		if err := writeFrame(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one verb frame and returns the response frame body.
+func (a *Agent) handle(frame []byte) ([]byte, error) {
+	if len(frame) < 1 {
+		return nil, fmt.Errorf("empty frame")
+	}
+	op, body := frame[0], frame[1:]
+	switch op {
+	case opRead:
+		if len(body) < 12 {
+			return nil, fmt.Errorf("short read request")
+		}
+		off := order.Uint64(body)
+		words := int(order.Uint32(body[8:]))
+		if words < 0 || words*8 > maxFrame {
+			return nil, fmt.Errorf("read too large")
+		}
+		out := make([]byte, 1+8*words)
+		out[0] = statusOK
+		buf := make([]uint64, words)
+		a.srv.Region.Read(off, buf)
+		for i, v := range buf {
+			order.PutUint64(out[1+8*i:], v)
+		}
+		return out, nil
+	case opWrite:
+		if len(body) < 8 || (len(body)-8)%8 != 0 {
+			return nil, fmt.Errorf("bad write request")
+		}
+		off := order.Uint64(body)
+		words := (len(body) - 8) / 8
+		buf := make([]uint64, words)
+		for i := range buf {
+			buf[i] = order.Uint64(body[8+8*i:])
+		}
+		a.srv.Region.Write(off, buf)
+		return []byte{statusOK}, nil
+	case opCAS:
+		if len(body) != 24 {
+			return nil, fmt.Errorf("bad CAS request")
+		}
+		prior := a.srv.Region.CompareAndSwap(order.Uint64(body), order.Uint64(body[8:]), order.Uint64(body[16:]))
+		out := make([]byte, 9)
+		out[0] = statusOK
+		order.PutUint64(out[1:], prior)
+		return out, nil
+	case opFetchAdd:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("bad FAA request")
+		}
+		prior := a.srv.Region.FetchAdd(order.Uint64(body), order.Uint64(body[8:]))
+		out := make([]byte, 9)
+		out[0] = statusOK
+		order.PutUint64(out[1:], prior)
+		return out, nil
+	case opAlloc:
+		if len(body) != 4 {
+			return nil, fmt.Errorf("bad alloc request")
+		}
+		off, err := a.srv.Alloc.Alloc(int(order.Uint32(body)))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 9)
+		out[0] = statusOK
+		order.PutUint64(out[1:], off)
+		return out, nil
+	case opFree:
+		if len(body) != 12 {
+			return nil, fmt.Errorf("bad free request")
+		}
+		a.srv.Alloc.Free(order.Uint64(body), int(order.Uint32(body[8:])))
+		return []byte{statusOK}, nil
+	case opCall:
+		if a.handler == nil {
+			return nil, fmt.Errorf("no RPC handler")
+		}
+		resp, _ := a.handler(agentEnv{}, a.srv.ID, body)
+		return append([]byte{statusOK}, resp...), nil
+	case opReadMulti:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("bad readmulti request")
+		}
+		n := int(order.Uint32(body))
+		if len(body) != 4+12*n {
+			return nil, fmt.Errorf("bad readmulti request body")
+		}
+		total := 0
+		for i := 0; i < n; i++ {
+			total += int(order.Uint32(body[4+12*i+8:]))
+		}
+		if total*8 > maxFrame {
+			return nil, fmt.Errorf("readmulti too large")
+		}
+		out := make([]byte, 1, 1+8*total)
+		out[0] = statusOK
+		for i := 0; i < n; i++ {
+			off := order.Uint64(body[4+12*i:])
+			words := int(order.Uint32(body[4+12*i+8:]))
+			buf := make([]uint64, words)
+			a.srv.Region.Read(off, buf)
+			for _, v := range buf {
+				out = order.AppendUint64(out, v)
+			}
+		}
+		return out, nil
+	case opCatalog:
+		if a.catalog == nil {
+			return nil, fmt.Errorf("no catalog installed")
+		}
+		return append([]byte{statusOK}, a.catalog...), nil
+	default:
+		return nil, fmt.Errorf("unknown verb %d", op)
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := order.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w *bufio.Writer, body []byte) error {
+	var hdr [4]byte
+	order.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// Endpoint is a client-side verbs endpoint over TCP: one connection ("queue
+// pair") per memory server. It is not safe for concurrent use — create one
+// per client thread, as with the other transports.
+type Endpoint struct {
+	addrs []string
+	conns []net.Conn
+	rds   []*bufio.Reader
+	wrs   []*bufio.Writer
+}
+
+var _ rdma.Endpoint = (*Endpoint)(nil)
+
+// Dial creates an endpoint for the given ordered memory-server addresses.
+// Connections are opened lazily.
+func Dial(addrs []string) *Endpoint {
+	return &Endpoint{
+		addrs: addrs,
+		conns: make([]net.Conn, len(addrs)),
+		rds:   make([]*bufio.Reader, len(addrs)),
+		wrs:   make([]*bufio.Writer, len(addrs)),
+	}
+}
+
+// Close closes all connections.
+func (e *Endpoint) Close() {
+	for i, c := range e.conns {
+		if c != nil {
+			c.Close()
+			e.conns[i] = nil
+		}
+	}
+}
+
+// NumServers implements rdma.Endpoint.
+func (e *Endpoint) NumServers() int { return len(e.addrs) }
+
+func (e *Endpoint) conn(server int) (*bufio.Reader, *bufio.Writer, error) {
+	if server < 0 || server >= len(e.addrs) {
+		return nil, nil, fmt.Errorf("tcpnet: unknown server %d", server)
+	}
+	if e.conns[server] == nil {
+		c, err := net.Dial("tcp", e.addrs[server])
+		if err != nil {
+			return nil, nil, fmt.Errorf("tcpnet: dialing server %d: %w", server, err)
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		e.conns[server] = c
+		e.rds[server] = bufio.NewReaderSize(c, 64<<10)
+		e.wrs[server] = bufio.NewWriterSize(c, 64<<10)
+	}
+	return e.rds[server], e.wrs[server], nil
+}
+
+// roundTrip sends one verb frame and returns the response payload.
+func (e *Endpoint) roundTrip(server int, frame []byte) ([]byte, error) {
+	r, w, err := e.conn(server)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(w, frame); err != nil {
+		return nil, e.fail(server, err)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, e.fail(server, err)
+	}
+	resp, err := readFrame(r)
+	if err != nil {
+		return nil, e.fail(server, err)
+	}
+	if len(resp) < 1 {
+		return nil, e.fail(server, fmt.Errorf("tcpnet: empty response"))
+	}
+	if resp[0] != statusOK {
+		return nil, fmt.Errorf("tcpnet: server %d: %s", server, resp[1:])
+	}
+	return resp[1:], nil
+}
+
+// fail tears down the connection so the next verb re-dials.
+func (e *Endpoint) fail(server int, err error) error {
+	if e.conns[server] != nil {
+		e.conns[server].Close()
+		e.conns[server] = nil
+	}
+	return err
+}
+
+// Read implements rdma.Endpoint.
+func (e *Endpoint) Read(p rdma.RemotePtr, dst []uint64) error {
+	if p.IsNull() {
+		return fmt.Errorf("tcpnet: null pointer")
+	}
+	frame := make([]byte, 13)
+	frame[0] = opRead
+	order.PutUint64(frame[1:], p.Offset())
+	order.PutUint32(frame[9:], uint32(len(dst)))
+	body, err := e.roundTrip(p.Server(), frame)
+	if err != nil {
+		return err
+	}
+	if len(body) != 8*len(dst) {
+		return fmt.Errorf("tcpnet: short read response")
+	}
+	for i := range dst {
+		dst[i] = order.Uint64(body[8*i:])
+	}
+	return nil
+}
+
+// ReadMulti implements rdma.Endpoint: pointers are grouped per server and
+// each group fetched in one round trip.
+func (e *Endpoint) ReadMulti(ps []rdma.RemotePtr, dst [][]uint64) error {
+	type item struct{ idx int }
+	groups := make(map[int][]int)
+	for i, p := range ps {
+		if p.IsNull() {
+			return fmt.Errorf("tcpnet: null pointer in batch")
+		}
+		groups[p.Server()] = append(groups[p.Server()], i)
+	}
+	for server := 0; server < len(e.addrs); server++ {
+		idxs := groups[server]
+		if len(idxs) == 0 {
+			continue
+		}
+		frame := make([]byte, 5+12*len(idxs))
+		frame[0] = opReadMulti
+		order.PutUint32(frame[1:], uint32(len(idxs)))
+		for j, i := range idxs {
+			order.PutUint64(frame[5+12*j:], ps[i].Offset())
+			order.PutUint32(frame[5+12*j+8:], uint32(len(dst[i])))
+		}
+		body, err := e.roundTrip(server, frame)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for _, i := range idxs {
+			if off+8*len(dst[i]) > len(body) {
+				return fmt.Errorf("tcpnet: short readmulti response")
+			}
+			for k := range dst[i] {
+				dst[i][k] = order.Uint64(body[off:])
+				off += 8
+			}
+		}
+	}
+	return nil
+}
+
+// Write implements rdma.Endpoint.
+func (e *Endpoint) Write(p rdma.RemotePtr, src []uint64) error {
+	if p.IsNull() {
+		return fmt.Errorf("tcpnet: null pointer")
+	}
+	frame := make([]byte, 9+8*len(src))
+	frame[0] = opWrite
+	order.PutUint64(frame[1:], p.Offset())
+	for i, v := range src {
+		order.PutUint64(frame[9+8*i:], v)
+	}
+	_, err := e.roundTrip(p.Server(), frame)
+	return err
+}
+
+// CompareAndSwap implements rdma.Endpoint.
+func (e *Endpoint) CompareAndSwap(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	if p.IsNull() {
+		return 0, fmt.Errorf("tcpnet: null pointer")
+	}
+	frame := make([]byte, 25)
+	frame[0] = opCAS
+	order.PutUint64(frame[1:], p.Offset())
+	order.PutUint64(frame[9:], old)
+	order.PutUint64(frame[17:], new)
+	body, err := e.roundTrip(p.Server(), frame)
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 8 {
+		return 0, fmt.Errorf("tcpnet: bad CAS response")
+	}
+	return order.Uint64(body), nil
+}
+
+// FetchAdd implements rdma.Endpoint.
+func (e *Endpoint) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
+	if p.IsNull() {
+		return 0, fmt.Errorf("tcpnet: null pointer")
+	}
+	frame := make([]byte, 17)
+	frame[0] = opFetchAdd
+	order.PutUint64(frame[1:], p.Offset())
+	order.PutUint64(frame[9:], delta)
+	body, err := e.roundTrip(p.Server(), frame)
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 8 {
+		return 0, fmt.Errorf("tcpnet: bad FAA response")
+	}
+	return order.Uint64(body), nil
+}
+
+// Alloc implements rdma.Endpoint.
+func (e *Endpoint) Alloc(server int, n int) (rdma.RemotePtr, error) {
+	frame := make([]byte, 5)
+	frame[0] = opAlloc
+	order.PutUint32(frame[1:], uint32(n))
+	body, err := e.roundTrip(server, frame)
+	if err != nil {
+		return rdma.NullPtr, err
+	}
+	if len(body) != 8 {
+		return rdma.NullPtr, fmt.Errorf("tcpnet: bad alloc response")
+	}
+	return rdma.MakePtr(server, order.Uint64(body)), nil
+}
+
+// Free implements rdma.Endpoint.
+func (e *Endpoint) Free(p rdma.RemotePtr, n int) error {
+	if p.IsNull() {
+		return fmt.Errorf("tcpnet: null pointer")
+	}
+	frame := make([]byte, 13)
+	frame[0] = opFree
+	order.PutUint64(frame[1:], p.Offset())
+	order.PutUint32(frame[9:], uint32(n))
+	_, err := e.roundTrip(p.Server(), frame)
+	return err
+}
+
+// Call implements rdma.Endpoint.
+func (e *Endpoint) Call(server int, req []byte) ([]byte, error) {
+	frame := make([]byte, 1+len(req))
+	frame[0] = opCall
+	copy(frame[1:], req)
+	return e.roundTrip(server, frame)
+}
+
+// Catalog fetches the serialized catalog from a server.
+func (e *Endpoint) Catalog(server int) ([]byte, error) {
+	return e.roundTrip(server, []byte{opCatalog})
+}

@@ -1,0 +1,411 @@
+// Package sim implements a small deterministic discrete-event simulation
+// kernel with cooperative processes, counted resources and FIFO queues.
+//
+// The kernel is the substrate for the simulated RDMA fabric
+// (internal/rdma/simnet): simulated compute clients and memory-server RPC
+// handlers run as processes, NICs and CPU cores are resources, and virtual
+// time advances only when every runnable process has blocked.
+//
+// Processes are real goroutines, but exactly one process executes at any
+// moment: the scheduler hands control to a process and waits until it parks
+// again (on Sleep, Resource.Acquire, Queue.Get, ...). This gives sequential
+// consistency for all data touched by processes and makes runs fully
+// deterministic: events at equal virtual times fire in FIFO schedule order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual time in nanoseconds.
+type Time = int64
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+type resumeSignal int
+
+const (
+	resumeRun resumeSignal = iota
+	resumeStop
+)
+
+// errStopped is panicked inside process goroutines when the simulation shuts
+// down; the process wrapper recovers it and unwinds cleanly.
+type stoppedError struct{}
+
+func (stoppedError) Error() string { return "sim: simulation stopped" }
+
+// Sim is a discrete-event simulation instance. Create with New. A Sim must
+// only be driven from a single goroutine (the one calling Run/RunUntil), and
+// process code must only interact with the Sim through its own *Proc.
+type Sim struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	yield  chan struct{} // signalled by a process when it parks or exits
+	procs  map[*Proc]struct{}
+	closed bool
+}
+
+// New returns an empty simulation at virtual time zero.
+func New() *Sim {
+	return &Sim{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+func (s *Sim) schedule(at Time, p *Proc, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: at, seq: s.seq, proc: p, fn: fn})
+}
+
+// At schedules fn to run at virtual time t (or now, if t is in the past).
+// fn runs in scheduler context and must not block.
+func (s *Sim) At(t Time, fn func()) { s.schedule(t, nil, fn) }
+
+// Proc is the handle a process uses to interact with the simulation. All
+// methods must be called from the process's own goroutine.
+type Proc struct {
+	s      *Sim
+	name   string
+	resume chan resumeSignal
+	done   bool
+}
+
+// Spawn starts a new process executing fn. The process becomes runnable at
+// the current virtual time. Spawn may be called before Run or from within
+// another process.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	if s.closed {
+		panic("sim: Spawn after Shutdown")
+	}
+	p := &Proc{s: s, name: name, resume: make(chan resumeSignal)}
+	s.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			p.done = true
+			delete(s.procs, p)
+			r := recover()
+			if _, ok := r.(stoppedError); ok || r == nil {
+				s.yield <- struct{}{}
+				return
+			}
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+		}()
+		if sig := <-p.resume; sig == resumeStop {
+			panic(stoppedError{})
+		}
+		fn(p)
+	}()
+	s.schedule(s.now, p, nil)
+	return p
+}
+
+// runProc transfers control to p and waits until it parks or exits.
+func (s *Sim) runProc(p *Proc) {
+	p.resume <- resumeRun
+	<-s.yield
+}
+
+// step executes the earliest pending event. It reports whether an event was
+// executed.
+func (s *Sim) step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(event)
+	s.now = ev.at
+	switch {
+	case ev.proc != nil:
+		if !ev.proc.done {
+			s.runProc(ev.proc)
+		}
+	case ev.fn != nil:
+		ev.fn()
+	}
+	return true
+}
+
+// Run executes events until the event queue is empty.
+func (s *Sim) Run() {
+	for s.step() {
+	}
+}
+
+// RunUntil executes events with time <= t. The clock is left at min(t, time
+// of last event executed); if events remain they stay queued.
+func (s *Sim) RunUntil(t Time) {
+	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Shutdown terminates every parked process and marks the simulation closed.
+// It must be called from scheduler context (not from inside a process).
+// Blocking primitives inside processes unwind via an internal panic that the
+// process wrapper recovers.
+func (s *Sim) Shutdown() {
+	s.closed = true
+	for len(s.procs) > 0 {
+		var p *Proc
+		for q := range s.procs {
+			p = q
+			break
+		}
+		delete(s.procs, p)
+		p.resume <- resumeStop
+		<-s.yield
+	}
+	s.queue = s.queue[:0]
+}
+
+// park returns control to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	p.s.yield <- struct{}{}
+	if sig := <-p.resume; sig == resumeStop {
+		panic(stoppedError{})
+	}
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.s }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sleep suspends the process for d nanoseconds of virtual time. Negative
+// durations are treated as zero.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.s.schedule(p.s.now+d, p, nil)
+	p.park()
+}
+
+// Yield suspends the process until the scheduler has drained all events at
+// the current instant, preserving FIFO order with respect to other runnable
+// processes.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Resource is a counted resource (semaphore) with FIFO granting, e.g. a pool
+// of CPU cores or a NIC processing unit. It tracks aggregate busy time so
+// runs can report utilization.
+type Resource struct {
+	s        *Sim
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	// busy accumulates unit-nanoseconds of held capacity; lastChange is the
+	// last time inUse changed.
+	busy       Time
+	lastChange Time
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(s *Sim, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{s: s, capacity: capacity}
+}
+
+// account folds the elapsed busy time up to now into the running total.
+func (r *Resource) account() {
+	now := r.s.now
+	r.busy += Time(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Acquire obtains one unit, blocking in virtual time until available.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park() // resumed by Release via scheduled wake
+	// Unit was transferred to us by Release; inUse already accounts for it.
+}
+
+// TryAcquire obtains one unit if immediately available.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without Acquire")
+	}
+	if len(r.waiters) > 0 {
+		// Transfer the unit directly to the oldest waiter; wake it at the
+		// current instant in FIFO order.
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.s.schedule(r.s.now, w, nil)
+		return
+	}
+	r.account()
+	r.inUse--
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity returns the resource capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// BusyTime returns the accumulated unit-nanoseconds of held capacity up to
+// the current virtual time.
+func (r *Resource) BusyTime() Time {
+	return r.busy + Time(r.inUse)*(r.s.now-r.lastChange)
+}
+
+// Utilization returns BusyTime divided by capacity over the window
+// [since, now], in [0, 1+]. Callers snapshot BusyTime at the window start.
+func (r *Resource) Utilization(busyAtStart, since Time) float64 {
+	window := r.s.now - since
+	if window <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime()-busyAtStart) / float64(window) / float64(r.capacity)
+}
+
+// Use acquires the resource, sleeps for the given service time, and
+// releases. It models a visit to a FIFO service station.
+func (r *Resource) Use(p *Proc, service Time) {
+	r.Acquire(p)
+	p.Sleep(service)
+	r.Release()
+}
+
+// Queue is an unbounded FIFO message queue (a simpy-style store). Put never
+// blocks; Get blocks in virtual time until an item is available.
+type Queue struct {
+	s       *Sim
+	items   []any
+	getters []*Proc
+	// maxLen tracks the high-water mark, for instrumentation.
+	maxLen int
+}
+
+// NewQueue creates an empty queue.
+func NewQueue(s *Sim) *Queue { return &Queue{s: s} }
+
+// Put appends v and wakes the oldest blocked getter, if any. It may be
+// called from process or scheduler context.
+func (q *Queue) Put(v any) {
+	q.items = append(q.items, v)
+	if len(q.items) > q.maxLen {
+		q.maxLen = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		q.s.schedule(q.s.now, g, nil)
+	}
+}
+
+// Get removes and returns the oldest item, blocking in virtual time while
+// the queue is empty.
+func (q *Queue) Get(p *Proc) any {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// Len returns the current queue length.
+func (q *Queue) Len() int { return len(q.items) }
+
+// MaxLen returns the high-water mark of the queue length.
+func (q *Queue) MaxLen() int { return q.maxLen }
+
+// Event is a one-shot level-triggered signal processes can wait on.
+type Event struct {
+	s       *Sim
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(s *Sim) *Event { return &Event{s: s} }
+
+// Fire marks the event fired and wakes all waiters. Firing twice is a no-op.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, w := range e.waiters {
+		e.s.schedule(e.s.now, w, nil)
+	}
+	e.waiters = nil
+}
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Wait blocks the process in virtual time until the event fires.
+func (e *Event) Wait(p *Proc) {
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.park()
+}

@@ -1,0 +1,406 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	s := New()
+	var at1, at2 Time
+	s.Spawn("p", func(p *Proc) {
+		p.Sleep(100)
+		at1 = p.Now()
+		p.Sleep(250)
+		at2 = p.Now()
+	})
+	s.Run()
+	if at1 != 100 || at2 != 350 {
+		t.Fatalf("got times %d, %d; want 100, 350", at1, at2)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	s := New()
+	var at Time = -1
+	s.Spawn("p", func(p *Proc) {
+		p.Sleep(-5)
+		at = p.Now()
+	})
+	s.Run()
+	if at != 0 {
+		t.Fatalf("time after negative sleep = %d; want 0", at)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var order []string
+		s.Spawn("a", func(p *Proc) {
+			p.Sleep(10)
+			order = append(order, "a10")
+			p.Sleep(20)
+			order = append(order, "a30")
+		})
+		s.Spawn("b", func(p *Proc) {
+			p.Sleep(20)
+			order = append(order, "b20")
+			p.Sleep(20)
+			order = append(order, "b40")
+		})
+		s.Run()
+		return order
+	}
+	want := []string{"a10", "b20", "a30", "b40"}
+	for trial := 0; trial < 10; trial++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v; want %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v; want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEqualTimeFIFOOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Spawn("p", func(p *Proc) {
+			p.Sleep(100)
+			order = append(order, i)
+		})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v; want ascending spawn order", order)
+		}
+	}
+}
+
+func TestAtCallback(t *testing.T) {
+	s := New()
+	fired := Time(-1)
+	s.At(500, func() { fired = s.Now() })
+	s.Run()
+	if fired != 500 {
+		t.Fatalf("callback at %d; want 500", fired)
+	}
+}
+
+func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
+	s := New()
+	count := 0
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(10)
+			count++
+		}
+	})
+	s.RunUntil(55)
+	if count != 5 {
+		t.Fatalf("count after RunUntil(55) = %d; want 5", count)
+	}
+	if s.Now() != 55 {
+		t.Fatalf("Now() = %d; want 55", s.Now())
+	}
+	s.Shutdown()
+}
+
+func TestResourceSerializesUse(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		s.Spawn("p", func(p *Proc) {
+			r.Use(p, 100)
+			ends = append(ends, p.Now())
+		})
+	}
+	s.Run()
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v; want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceCapacityTwoRunsPairsConcurrently(t *testing.T) {
+	s := New()
+	r := NewResource(s, 2)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		s.Spawn("p", func(p *Proc) {
+			r.Use(p, 100)
+			ends = append(ends, p.Now())
+		})
+	}
+	s.Run()
+	want := []Time{100, 100, 200, 200}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v; want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceFIFOGranting(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Spawn("p", func(p *Proc) {
+			p.Sleep(Time(i)) // arrive in index order
+			r.Acquire(p)
+			p.Sleep(50)
+			order = append(order, i)
+			r.Release()
+		})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order = %v; want FIFO", order)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	if !r.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded on full resource")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after Release failed")
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := New()
+	r := NewResource(s, 1)
+	r.Release()
+}
+
+func TestQueueBlockingGet(t *testing.T) {
+	s := New()
+	q := NewQueue(s)
+	var got any
+	var at Time
+	s.Spawn("consumer", func(p *Proc) {
+		got = q.Get(p)
+		at = p.Now()
+	})
+	s.Spawn("producer", func(p *Proc) {
+		p.Sleep(300)
+		q.Put(42)
+	})
+	s.Run()
+	if got != 42 || at != 300 {
+		t.Fatalf("got %v at %d; want 42 at 300", got, at)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	s := New()
+	q := NewQueue(s)
+	q.Put(1)
+	q.Put(2)
+	q.Put(3)
+	var got []int
+	s.Spawn("c", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	s.Run()
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got %v; want [1 2 3]", got)
+		}
+	}
+	if q.MaxLen() != 3 {
+		t.Fatalf("MaxLen = %d; want 3", q.MaxLen())
+	}
+}
+
+func TestQueueMultipleGetters(t *testing.T) {
+	s := New()
+	q := NewQueue(s)
+	var got []int
+	for i := 0; i < 3; i++ {
+		s.Spawn("c", func(p *Proc) {
+			got = append(got, q.Get(p).(int))
+		})
+	}
+	s.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10)
+			q.Put(i)
+		}
+	})
+	s.Run()
+	if len(got) != 3 {
+		t.Fatalf("got %v; want 3 items", got)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got %v; want FIFO delivery [1 2 3]", got)
+		}
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	s := New()
+	e := NewEvent(s)
+	woke := 0
+	for i := 0; i < 4; i++ {
+		s.Spawn("w", func(p *Proc) {
+			e.Wait(p)
+			woke++
+		})
+	}
+	s.Spawn("firer", func(p *Proc) {
+		p.Sleep(100)
+		e.Fire()
+		e.Fire() // idempotent
+	})
+	s.Run()
+	if woke != 4 {
+		t.Fatalf("woke = %d; want 4", woke)
+	}
+	if !e.Fired() {
+		t.Fatal("event not marked fired")
+	}
+	// Waiting on a fired event returns immediately.
+	returned := false
+	s.Spawn("late", func(p *Proc) {
+		e.Wait(p)
+		returned = true
+	})
+	s.Run()
+	if !returned {
+		t.Fatal("late waiter did not return")
+	}
+}
+
+func TestShutdownUnwindsParkedProcesses(t *testing.T) {
+	s := New()
+	q := NewQueue(s)
+	started := 0
+	for i := 0; i < 8; i++ {
+		s.Spawn("blocked", func(p *Proc) {
+			started++
+			q.Get(p) // blocks forever
+			t.Error("process resumed past Get after shutdown")
+		})
+	}
+	s.RunUntil(10)
+	if started != 8 {
+		t.Fatalf("started = %d; want 8", started)
+	}
+	s.Shutdown()
+	// All goroutines must have exited; a second shutdown is a no-op.
+	s.Shutdown()
+}
+
+func TestSpawnFromWithinProcess(t *testing.T) {
+	s := New()
+	var childAt Time = -1
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(100)
+		p.Sim().Spawn("child", func(c *Proc) {
+			c.Sleep(50)
+			childAt = c.Now()
+		})
+		p.Sleep(500)
+	})
+	s.Run()
+	if childAt != 150 {
+		t.Fatalf("child finished at %d; want 150", childAt)
+	}
+}
+
+func TestYieldPreservesFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn("p", func(p *Proc) {
+			p.Yield()
+			order = append(order, i)
+		})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v; want FIFO", order)
+		}
+	}
+}
+
+func BenchmarkSleepWakeup(b *testing.B) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkResourceHandoff(b *testing.B) {
+	s := New()
+	r := NewResource(s, 1)
+	for w := 0; w < 4; w++ {
+		s.Spawn("p", func(p *Proc) {
+			for i := 0; i < b.N/4; i++ {
+				r.Use(p, 1)
+			}
+		})
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+func TestResourceBusyTimeAndUtilization(t *testing.T) {
+	s := New()
+	r := NewResource(s, 2)
+	for i := 0; i < 2; i++ {
+		s.Spawn("p", func(p *Proc) {
+			r.Use(p, 100)
+		})
+	}
+	s.Run()
+	if got := r.BusyTime(); got != 200 {
+		t.Fatalf("BusyTime = %d; want 200", got)
+	}
+	// Both units busy for the whole [0,100] window: utilization 1.
+	s2 := New()
+	r2 := NewResource(s2, 1)
+	s2.Spawn("p", func(p *Proc) {
+		r2.Use(p, 50)
+		p.Sleep(50)
+	})
+	s2.Run()
+	if u := r2.Utilization(0, 0); u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization = %f; want 0.5", u)
+	}
+}

@@ -1,0 +1,236 @@
+// Package stats provides the metric primitives of the benchmark harness:
+// throughput counters, log-bucketed latency histograms with percentile
+// estimation, and per-server byte counters for the network-utilization
+// experiments (Figure 9).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a log-bucketed latency histogram: values are binned into
+// buckets of geometrically increasing width (each power of two split into 8
+// sub-buckets, ~9% relative error). The zero value is ready to use. It is
+// safe for concurrent Record calls.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+const (
+	subBuckets = 8
+	numBuckets = 64 * subBuckets
+)
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	// Sub-bucket within [2^exp, 2^(exp+1)).
+	sub := int((uint64(v) - 1<<uint(exp)) >> uint(exp-3))
+	idx := exp*subBuckets + sub
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+func bucketLow(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	exp := idx / subBuckets
+	sub := idx % subBuckets
+	return int64(1)<<uint(exp) + int64(sub)<<uint(exp-3)
+}
+
+// Record adds one observation (e.g. latency in nanoseconds).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observation, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Percentile returns an estimate of the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) int64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(c)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Summary formats count/mean/p50/p95/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p95=%d p99=%d max=%d",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}
+
+// Counter is an atomic event counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments by 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// PerServer tracks a counter per memory server (e.g. NIC bytes).
+type PerServer struct {
+	vals []atomic.Int64
+}
+
+// NewPerServer creates counters for n servers.
+func NewPerServer(n int) *PerServer { return &PerServer{vals: make([]atomic.Int64, n)} }
+
+// Add adds v to server s's counter.
+func (p *PerServer) Add(s int, v int64) { p.vals[s].Add(v) }
+
+// Get returns server s's counter.
+func (p *PerServer) Get(s int) int64 { return p.vals[s].Load() }
+
+// Total returns the sum over all servers.
+func (p *PerServer) Total() int64 {
+	var t int64
+	for i := range p.vals {
+		t += p.vals[i].Load()
+	}
+	return t
+}
+
+// Snapshot returns all per-server values.
+func (p *PerServer) Snapshot() []int64 {
+	out := make([]int64, len(p.vals))
+	for i := range p.vals {
+		out[i] = p.vals[i].Load()
+	}
+	return out
+}
+
+// Series is an ordered set of (x, y) points — one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders series as an aligned text table with one row per distinct x
+// value and one column per series — the format the benchmark harness prints
+// for every reproduced figure.
+func Table(xLabel, yLabel string, series ...*Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%22s", s.Name)
+	}
+	fmt.Fprintf(&b, "    (%s)\n", yLabel)
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-14s", FormatQty(x))
+		for _, s := range series {
+			y, ok := lookup(s, x)
+			if !ok {
+				fmt.Fprintf(&b, "%22s", "-")
+			} else {
+				fmt.Fprintf(&b, "%22s", FormatQty(y))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(s *Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// FormatQty renders a quantity with K/M/G suffixes, matching the axis labels
+// of the paper's plots.
+func FormatQty(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

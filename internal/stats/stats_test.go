@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if m := h.Mean(); m < 50 || m > 51 {
+		t.Fatalf("Mean = %f", m)
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 40 || p50 > 60 {
+		t.Fatalf("p50 = %d", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 90 || p99 > 100 {
+		t.Fatalf("p99 = %d", p99)
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	var vals []int64
+	for i := 0; i < 50000; i++ {
+		v := int64(rng.ExpFloat64() * 100000)
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	// Compare p95 against the exact value within bucket resolution.
+	exact := exactPercentile(vals, 95)
+	got := h.Percentile(95)
+	lo, hi := float64(exact)*0.8, float64(exact)*1.2
+	if float64(got) < lo || float64(got) > hi {
+		t.Fatalf("p95 = %d; exact %d (outside 20%%)", got, exact)
+	}
+}
+
+func exactPercentile(vals []int64, p float64) int64 {
+	s := append([]int64(nil), vals...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	idx := int(p/100*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-5)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Percentile(50) != 0 {
+		t.Fatalf("p50 = %d", h.Percentile(50))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 10000; i++ {
+				h.Record(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestBucketMonotoneProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return bucketIndex(a) <= bucketIndex(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketLowWithinBucketProperty(t *testing.T) {
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		idx := bucketIndex(v)
+		low := bucketLow(idx)
+		// bucketLow must not exceed the value it represents.
+		return low <= v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterAndPerServer(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	ps := NewPerServer(3)
+	ps.Add(0, 10)
+	ps.Add(2, 20)
+	if ps.Total() != 30 || ps.Get(2) != 20 || ps.Get(1) != 0 {
+		t.Fatalf("per-server: %v", ps.Snapshot())
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	a := &Series{Name: "fine"}
+	a.Append(20, 1e6)
+	a.Append(40, 2e6)
+	b := &Series{Name: "coarse"}
+	b.Append(20, 1.5e6)
+	out := Table("clients", "lookups/s", a, b)
+	if !strings.Contains(out, "fine") || !strings.Contains(out, "coarse") {
+		t.Fatalf("table missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00M") || !strings.Contains(out, "1.50M") {
+		t.Fatalf("table missing values:\n%s", out)
+	}
+	// Missing point renders as '-'.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing point not rendered:\n%s", out)
+	}
+}
+
+func TestFormatQty(t *testing.T) {
+	cases := map[float64]string{
+		5:       "5",
+		1500:    "1.5K",
+		2500000: "2.50M",
+		3e9:     "3.00G",
+	}
+	for v, want := range cases {
+		if got := FormatQty(v); got != want {
+			t.Fatalf("FormatQty(%v) = %q; want %q", v, got, want)
+		}
+	}
+}

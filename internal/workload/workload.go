@@ -1,0 +1,215 @@
+// Package workload implements the paper's modified YCSB benchmark
+// (Section 6, Table 3): point queries, range queries with configurable
+// selectivity, and inserts, over data sets of monotonically increasing
+// integer keys, with uniform or Zipfian request distributions.
+//
+// Attribute-value skew (one part of the key space dominating) is a property
+// of the *data placement*, not of this generator: the evaluation models it
+// by assigning 80/12/5/3% of the key range to the four memory servers
+// (internal/partition.NewRangeWeighted), while requests remain uniform over
+// the key space, exactly as in Section 6.1.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is the type of one index operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	PointQuery OpKind = iota
+	RangeQuery
+	Insert
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case PointQuery:
+		return "point"
+	case RangeQuery:
+		return "range"
+	case Insert:
+		return "insert"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one generated index operation.
+type Op struct {
+	Kind OpKind
+	// Key is the lookup key, range start, or insert key.
+	Key uint64
+	// EndKey is the inclusive range end (RangeQuery only).
+	EndKey uint64
+	// Value is the payload (Insert only).
+	Value uint64
+}
+
+// Mix is a workload mix in percent (Table 3).
+type Mix struct {
+	Name      string
+	PointPct  int
+	RangePct  int
+	InsertPct int
+}
+
+// The four workloads of Table 3.
+var (
+	// WorkloadA is 100% point queries.
+	WorkloadA = Mix{Name: "A", PointPct: 100}
+	// WorkloadB is 100% range queries (selectivity configured separately).
+	WorkloadB = Mix{Name: "B", RangePct: 100}
+	// WorkloadC is 95% point queries, 5% inserts.
+	WorkloadC = Mix{Name: "C", PointPct: 95, InsertPct: 5}
+	// WorkloadD is 50% point queries, 50% inserts.
+	WorkloadD = Mix{Name: "D", PointPct: 50, InsertPct: 50}
+)
+
+// Distribution selects how request keys are drawn.
+type Distribution int
+
+// Request distributions.
+const (
+	// Uniform draws keys uniformly at random over the key space (the
+	// paper's evaluation setting).
+	Uniform Distribution = iota
+	// Zipfian draws keys from a Zipf distribution (the original YCSB
+	// request-skew knob, kept as an extension).
+	Zipfian
+)
+
+// Config parameterizes a Generator.
+type Config struct {
+	Mix Mix
+	// DataSize is D: keys 0..D-1 exist after the initial load.
+	DataSize uint64
+	// Selectivity is the fraction s of the key space a range query covers.
+	Selectivity float64
+	// Dist is the request key distribution.
+	Dist Distribution
+	// ZipfS is the Zipf exponent (> 1); defaults to 1.1.
+	ZipfS float64
+	// Seed seeds the generator; combined with the client ID so each client
+	// draws an independent deterministic stream.
+	Seed int64
+	// InsertAppend gives inserts monotonically increasing keys beyond
+	// DataSize (new records, YCSB-style), concentrating them at the index's
+	// right edge and — under range partitioning — on the last server. The
+	// default (false) scatters inserts uniformly over the existing key
+	// space as duplicates, which matches the paper's Exp. 3 behaviour (the
+	// fine-grained design stays robust at high insert load). Append mode is
+	// an extension exposing remote-spinlock hotspot collapse.
+	InsertAppend bool
+	// Clients is the total number of client threads; used to stride
+	// append-style insert keys so they are globally unique. Defaults to 1.
+	Clients int
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Mix.PointPct+c.Mix.RangePct+c.Mix.InsertPct != 100 {
+		return fmt.Errorf("workload: mix %q percentages sum to %d, want 100",
+			c.Mix.Name, c.Mix.PointPct+c.Mix.RangePct+c.Mix.InsertPct)
+	}
+	if c.DataSize == 0 {
+		return fmt.Errorf("workload: DataSize must be > 0")
+	}
+	if c.Mix.RangePct > 0 && (c.Selectivity <= 0 || c.Selectivity > 1) {
+		return fmt.Errorf("workload: range queries need 0 < Selectivity <= 1, got %g", c.Selectivity)
+	}
+	return nil
+}
+
+// Generator produces the deterministic operation stream of one client.
+// Generators are not safe for concurrent use; create one per client.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	clientID int
+	inserts  uint64
+}
+
+// NewGenerator creates the generator for one client.
+func NewGenerator(cfg Config, clientID int) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(clientID)*0x9e3779b97f4a7c15)))
+	g := &Generator{cfg: cfg, rng: rng, clientID: clientID}
+	if cfg.Dist == Zipfian {
+		s := cfg.ZipfS
+		if s <= 1 {
+			s = 1.1
+		}
+		g.zipf = rand.NewZipf(rng, s, 1, cfg.DataSize-1)
+	}
+	return g, nil
+}
+
+// key draws a request key.
+func (g *Generator) key() uint64 {
+	if g.zipf != nil {
+		return g.zipf.Uint64()
+	}
+	return uint64(g.rng.Int63n(int64(g.cfg.DataSize)))
+}
+
+// Next returns the client's next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Intn(100)
+	switch {
+	case r < g.cfg.Mix.PointPct:
+		return Op{Kind: PointQuery, Key: g.key()}
+	case r < g.cfg.Mix.PointPct+g.cfg.Mix.RangePct:
+		start := g.key()
+		span := uint64(g.cfg.Selectivity * float64(g.cfg.DataSize))
+		if span < 1 {
+			span = 1
+		}
+		end := start + span - 1
+		if end >= g.cfg.DataSize {
+			end = g.cfg.DataSize - 1
+		}
+		return Op{Kind: RangeQuery, Key: start, EndKey: end}
+	default:
+		g.inserts++
+		// The value is unique per client so correctness checks can
+		// attribute every entry.
+		v := uint64(g.clientID)<<40 | g.inserts
+		if g.cfg.InsertAppend {
+			// New records: monotonically increasing keys beyond the loaded
+			// data, interleaved across clients (right-edge hotspot).
+			stride := uint64(g.cfg.Clients)
+			if stride == 0 {
+				stride = 1
+			}
+			key := g.cfg.DataSize + (g.inserts-1)*stride + uint64(g.clientID)%stride
+			return Op{Kind: Insert, Key: key, Value: v}
+		}
+		// Duplicates scattered uniformly over the existing key space.
+		return Op{Kind: Insert, Key: g.key(), Value: v}
+	}
+}
+
+// RangeSpan returns the number of keys a range query covers under this
+// configuration — the paper's sel*D leaf-volume driver.
+func (c *Config) RangeSpan() uint64 {
+	span := uint64(c.Selectivity * float64(c.DataSize))
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// DataItem returns the i-th item of the initial data set: monotonically
+// increasing integer keys with value = key, as in Section 6 ("data sets with
+// monotonically increasing integer keys and values").
+func DataItem(i int) (key, value uint64) {
+	return uint64(i), uint64(i)
+}

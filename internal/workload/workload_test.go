@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestMixesSumTo100(t *testing.T) {
+	for _, m := range []Mix{WorkloadA, WorkloadB, WorkloadC, WorkloadD} {
+		if m.PointPct+m.RangePct+m.InsertPct != 100 {
+			t.Fatalf("workload %s mix sums to %d", m.Name, m.PointPct+m.RangePct+m.InsertPct)
+		}
+	}
+}
+
+func TestTable3Definitions(t *testing.T) {
+	if WorkloadA.PointPct != 100 || WorkloadB.RangePct != 100 {
+		t.Fatal("workloads A/B wrong")
+	}
+	if WorkloadC.PointPct != 95 || WorkloadC.InsertPct != 5 {
+		t.Fatal("workload C wrong")
+	}
+	if WorkloadD.PointPct != 50 || WorkloadD.InsertPct != 50 {
+		t.Fatal("workload D wrong")
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	g, err := NewGenerator(Config{Mix: WorkloadC, DataSize: 1000, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	counts := map[OpKind]int{}
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	if p := float64(counts[PointQuery]) / n; p < 0.94 || p > 0.96 {
+		t.Fatalf("point fraction %f; want ~0.95", p)
+	}
+	if p := float64(counts[Insert]) / n; p < 0.04 || p > 0.06 {
+		t.Fatalf("insert fraction %f; want ~0.05", p)
+	}
+	if counts[RangeQuery] != 0 {
+		t.Fatalf("workload C produced range queries")
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	g, err := NewGenerator(Config{Mix: WorkloadA, DataSize: 500, Seed: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Key >= 500 {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+	}
+}
+
+func TestRangeSelectivity(t *testing.T) {
+	cfg := Config{Mix: WorkloadB, DataSize: 100000, Selectivity: 0.01, Seed: 3}
+	g, err := NewGenerator(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := cfg.RangeSpan()
+	if span != 1000 {
+		t.Fatalf("RangeSpan = %d; want 1000", span)
+	}
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind != RangeQuery {
+			t.Fatalf("workload B produced %v", op.Kind)
+		}
+		if op.EndKey < op.Key {
+			t.Fatalf("inverted range [%d,%d]", op.Key, op.EndKey)
+		}
+		if op.EndKey >= cfg.DataSize {
+			t.Fatalf("range end %d beyond data size", op.EndKey)
+		}
+		if got := op.EndKey - op.Key + 1; got > span {
+			t.Fatalf("range covers %d keys; want <= %d", got, span)
+		}
+	}
+}
+
+func TestDeterministicPerClient(t *testing.T) {
+	mk := func(client int) []Op {
+		g, err := NewGenerator(Config{Mix: WorkloadD, DataSize: 1000, Seed: 7}, client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := make([]Op, 100)
+		for i := range ops {
+			ops[i] = g.Next()
+		}
+		return ops
+	}
+	a1, a2 := mk(1), mk(1)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("client 1 stream not deterministic at %d", i)
+		}
+	}
+	b := mk(2)
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("clients 1 and 2 produced identical streams")
+	}
+}
+
+func TestInsertValuesUniquePerClient(t *testing.T) {
+	g1, _ := NewGenerator(Config{Mix: WorkloadD, DataSize: 100, Seed: 5}, 1)
+	g2, _ := NewGenerator(Config{Mix: WorkloadD, DataSize: 100, Seed: 5}, 2)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		for _, g := range []*Generator{g1, g2} {
+			op := g.Next()
+			if op.Kind != Insert {
+				continue
+			}
+			if seen[op.Value] {
+				t.Fatalf("duplicate insert value %d", op.Value)
+			}
+			seen[op.Value] = true
+		}
+	}
+}
+
+func TestZipfianSkewsRequests(t *testing.T) {
+	g, err := NewGenerator(Config{Mix: WorkloadA, DataSize: 100000, Dist: Zipfian, Seed: 11}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Key < 100 {
+			hot++
+		}
+	}
+	// Under Zipf the first 0.1% of keys should draw far more than 0.1% of
+	// requests.
+	if float64(hot)/n < 0.2 {
+		t.Fatalf("zipfian hot fraction %f; want > 0.2", float64(hot)/n)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Mix: Mix{PointPct: 50}, DataSize: 10},
+		{Mix: WorkloadA, DataSize: 0},
+		{Mix: WorkloadB, DataSize: 10, Selectivity: 0},
+		{Mix: WorkloadB, DataSize: 10, Selectivity: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestDataItemMonotonic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		k, v := DataItem(i)
+		if k != uint64(i) || v != uint64(i) {
+			t.Fatalf("DataItem(%d) = (%d,%d)", i, k, v)
+		}
+	}
+}
