@@ -19,17 +19,50 @@ import (
 	"time"
 
 	"github.com/namdb/rdmatree/internal/bench"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (table1,table2,table3,fig3,fig7..fig15) or 'all'")
-		list    = flag.Bool("list", false, "list experiments")
-		quick   = flag.Bool("quick", false, "reduced scale")
-		size    = flag.Int("size", 0, "override data size D")
-		clients = flag.String("clients", "", "override client sweep, e.g. 20,40,80")
+		exp      = flag.String("exp", "", "experiment id (table1,table2,table3,fig3,fig7..fig15) or 'all'")
+		list     = flag.Bool("list", false, "list experiments")
+		quick    = flag.Bool("quick", false, "reduced scale")
+		size     = flag.Int("size", 0, "override data size D")
+		clients  = flag.String("clients", "", "override client sweep, e.g. 20,40,80")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in Perfetto or chrome://tracing)")
+		metrics  = flag.String("metrics", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address while experiments run")
+		noverbs  = flag.Bool("noverbs", false, "omit the per-verb breakdown tables from experiment reports")
 	)
 	flag.Parse()
+
+	if *noverbs {
+		bench.Verbs = false
+	}
+	var tracer *telemetry.Tracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		// Create the file up front so a bad path fails before hours of
+		// experiments, not after.
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nambench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		tracer = telemetry.NewTracer()
+		bench.LiveTracer = tracer
+	}
+	if *metrics != "" {
+		bench.LiveRecorder = telemetry.NewRecorder(rdma.MaxServers)
+		telemetry.Publish("nambench", bench.LiveRecorder)
+		addr, err := telemetry.ServeMetrics(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nambench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nambench: metrics on http://%s/debug/vars\n", addr)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Available experiments:")
@@ -83,5 +116,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if tracer != nil {
+		werr := tracer.WriteJSON(traceFile)
+		if cerr := traceFile.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "nambench: -trace: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s", tracer.Len(), *traceOut)
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf(" (%d dropped past the %d-event buffer)", d, telemetry.DefaultMaxEvents)
+		}
+		fmt.Println()
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +32,7 @@ import (
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/tcpnet"
+	"github.com/namdb/rdmatree/internal/telemetry"
 	"github.com/namdb/rdmatree/internal/workload"
 )
 
@@ -201,6 +203,28 @@ func main() {
 		fmt.Printf("%d lookups in %ds with %d clients: %.0f lookups/s (wall clock, TCP transport)\n",
 			total, *seconds, *clients, float64(total)/float64(*seconds))
 
+	case "stats":
+		// Fetch each server's live telemetry over the existing verb
+		// connection (the nam.OpStats RPC) and pretty-print it. Works
+		// against any -design: even passive memory servers answer it via
+		// the telemetry handler decorator.
+		ep := tcpnet.Dial(addrs)
+		defer ep.Close()
+		for s := range addrs {
+			fmt.Printf("server %d (%s):\n", s, addrs[s])
+			m, err := telemetry.FetchStats(ep, s)
+			if err != nil {
+				fmt.Printf("  stats unavailable: %v\n", err)
+				continue
+			}
+			blob, err := json.MarshalIndent(m, "  ", "  ")
+			if err != nil {
+				fmt.Printf("  stats unavailable: %v\n", err)
+				continue
+			}
+			fmt.Printf("  %s\n", blob)
+		}
+
 	case "check":
 		if *design != "fine" {
 			log.Fatal("namclient: check is for -design fine")
@@ -242,6 +266,7 @@ commands:
   del    <key> <value>          delete one entry
   scan   <lo> <hi>              range scan (first 1000 entries)
   bench  -clients N -seconds S  closed-loop point-query benchmark
+  stats                         fetch each server's live telemetry counters
   check                         verify tree invariants`)
 	os.Exit(2)
 }

@@ -30,6 +30,7 @@ import (
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/tcpnet"
+	"github.com/namdb/rdmatree/internal/telemetry"
 	"github.com/namdb/rdmatree/internal/workload"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		size    = flag.Int("size", 0, "bulk-load this server's partition of keys 0..size-1 (coarse/hybrid)")
 		page    = flag.Int("page", 1024, "index page size in bytes (coarse/hybrid)")
 		peers   = flag.String("peers", "", "comma-separated addresses of ALL memory servers in ID order, including this one (hybrid; leaves are written to peers at build time)")
+		metrics = flag.String("metrics", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -50,6 +52,7 @@ func main() {
 		log.Fatalf("namserver: id %d out of range", *id)
 	}
 	srv := rdma.NewServer(*id, *region<<20, nam.SuperblockBytes)
+	rec := telemetry.NewRecorder(*servers)
 
 	var handler rdma.Handler
 	switch *design {
@@ -66,8 +69,9 @@ func main() {
 			keyspace = 1
 		}
 		cs := coarse.NewServer(fab, coarse.Options{
-			Layout: layout.New(*page),
-			Part:   partition.NewRangeUniform(*servers, keyspace),
+			Layout:    layout.New(*page),
+			Part:      partition.NewRangeUniform(*servers, keyspace),
+			Telemetry: rec,
 		})
 		if *size > 0 {
 			if err := cs.BuildServer(*id, core.BuildSpec{N: *size, At: workload.DataItem}); err != nil {
@@ -88,8 +92,9 @@ func main() {
 			keyspace = 1
 		}
 		hs := hybrid.NewServer(fab, hybrid.Options{
-			Layout: layout.New(*page),
-			Part:   partition.NewRangeUniform(*servers, keyspace),
+			Layout:    layout.New(*page),
+			Part:      partition.NewRangeUniform(*servers, keyspace),
+			Telemetry: rec,
 		})
 		handler = hs.Handler()
 		// Build after the agent is up (the setup endpoint must reach every
@@ -120,6 +125,18 @@ func main() {
 		}()
 	default:
 		log.Fatalf("namserver: unknown -design %q", *design)
+	}
+	// Instrumenting the RPC handler lets every design — including a passive
+	// memory server with no handler of its own — answer the OpStats
+	// introspection RPC (namclient stats) over the existing connection.
+	handler = telemetry.Instrument(handler, rec, nil)
+	if *metrics != "" {
+		telemetry.Publish("namserver", rec)
+		addr, err := telemetry.ServeMetrics(*metrics)
+		if err != nil {
+			log.Fatalf("namserver: -metrics: %v", err)
+		}
+		log.Printf("namserver: metrics on http://%s/debug/vars", addr)
 	}
 	agent := tcpnet.NewAgent(srv, handler)
 

@@ -31,10 +31,12 @@ func expCache(w io.Writer, sc Scale) error {
 	for _, mix := range []workload.Mix{workload.WorkloadA, workload.WorkloadC} {
 		thr := &stats.Series{Name: "lookups/s"}
 		hit := &stats.Series{Name: "hit rate %"}
+		var verbs verbReports
 		for _, pages := range sizes {
 			cfg := baseConfig(nam.FineGrained, sc, 120)
 			cfg.Mix = mix
 			cfg.CachePages = pages
+			cfg.Telemetry = Verbs && pages == sizes[len(sizes)-1]
 			res, err := Run(cfg)
 			if err != nil {
 				return fmt.Errorf("cache/%s/%d pages: %w", mix.Name, pages, err)
@@ -45,9 +47,11 @@ func expCache(w io.Writer, sc Scale) error {
 				rate = 100 * float64(res.CacheHits) / float64(t)
 			}
 			hit.Append(float64(pages), rate)
+			verbs.add(fmt.Sprintf("%d cache pages", pages), res.Telemetry)
 		}
 		fmt.Fprintf(w, "Workload %s (cache pages per client)\n", mix.Name)
 		fmt.Fprintln(w, stats.Table("cache pages", "value", thr, hit))
+		verbs.write(w)
 	}
 	return nil
 }
@@ -58,20 +62,24 @@ func expAblationHeads(w io.Writer, sc Scale) error {
 	spacings := []int{0, 8, 32, 64}
 	for _, sel := range sc.Selectivities {
 		ser := &stats.Series{Name: "fine-grained"}
+		var verbs verbReports
 		for _, he := range spacings {
 			cfg := baseConfig(nam.FineGrained, sc, 120)
 			cfg.Mix = workload.WorkloadB
 			cfg.Selectivity = sel
 			cfg.HeadEvery = he
 			cfg.MeasureNS = sc.MeasureRangeNS
+			cfg.Telemetry = Verbs && (he == 0 || he == spacings[len(spacings)-1])
 			res, err := Run(cfg)
 			if err != nil {
 				return fmt.Errorf("heads/sel=%g/every=%d: %w", sel, he, err)
 			}
 			ser.Append(float64(he), res.Throughput)
+			verbs.add(fmt.Sprintf("head spacing %d", he), res.Telemetry)
 		}
 		fmt.Fprintf(w, "Range Queries (Sel=%g); x = head-node spacing (0 = no head nodes)\n", sel)
 		fmt.Fprintln(w, stats.Table("head every", "lookups/s", ser))
+		verbs.write(w)
 	}
 	return nil
 }
@@ -87,17 +95,21 @@ func expAblationPageSize(w io.Writer, sc Scale) error {
 	}
 	for _, panel := range panels {
 		ser := &stats.Series{Name: "fine-grained"}
+		var verbs verbReports
 		for _, pb := range pageSizes {
 			cfg := exp1Config(nam.FineGrained, sc, 120, panel, false)
 			cfg.PageBytes = pb
+			cfg.Telemetry = Verbs && (pb == pageSizes[0] || pb == pageSizes[len(pageSizes)-1])
 			res, err := Run(cfg)
 			if err != nil {
 				return fmt.Errorf("pagesize/%s/P=%d: %w", panel.name, pb, err)
 			}
 			ser.Append(float64(pb), res.Throughput)
+			verbs.add(fmt.Sprintf("P=%d", pb), res.Telemetry)
 		}
 		fmt.Fprintln(w, panel.name)
 		fmt.Fprintln(w, stats.Table("page bytes", "lookups/s", ser))
+		verbs.write(w)
 	}
 	return nil
 }
@@ -108,28 +120,33 @@ func expAblationPageSize(w io.Writer, sc Scale) error {
 // the server's cores.
 func expAblationHotspot(w io.Writer, sc Scale) error {
 	var series []*stats.Series
+	var verbs verbReports
 	for _, append_ := range []bool{false, true} {
 		label := "uniform"
 		if append_ {
 			label = "append"
 		}
 		for _, d := range allDesigns {
-			ser := &stats.Series{Name: fmt.Sprintf("%s %s", shortName(d), label)}
+			name := fmt.Sprintf("%s %s", shortName(d), label)
+			ser := &stats.Series{Name: name}
 			for _, clients := range sc.Clients {
 				cfg := baseConfig(d, sc, clients)
 				cfg.Mix = workload.WorkloadD
 				cfg.InsertAppend = append_
+				cfg.Telemetry = Verbs && clients == sc.Clients[len(sc.Clients)-1]
 				res, err := Run(cfg)
 				if err != nil {
 					return fmt.Errorf("hotspot/%v/%s/%d: %w", d, label, clients, err)
 				}
 				ser.Append(float64(clients), res.Throughput)
+				verbs.add(name, res.Telemetry)
 			}
 			series = append(series, ser)
 		}
 	}
 	fmt.Fprintln(w, "Workload D (50% inserts), uniform vs append insert keys")
 	fmt.Fprintln(w, stats.Table("clients", "operations/s", series...))
+	verbs.write(w)
 	return nil
 }
 
@@ -139,27 +156,32 @@ func expAblationHotspot(w io.Writer, sc Scale) error {
 // (fine-grained) even though the data itself is placed uniformly.
 func expAblationZipf(w io.Writer, sc Scale) error {
 	var series []*stats.Series
+	var verbs verbReports
 	for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipfian} {
 		label := "uniform"
 		if dist == workload.Zipfian {
 			label = "zipfian"
 		}
 		for _, d := range allDesigns {
-			ser := &stats.Series{Name: fmt.Sprintf("%s %s", shortName(d), label)}
+			name := fmt.Sprintf("%s %s", shortName(d), label)
+			ser := &stats.Series{Name: name}
 			for _, clients := range sc.Clients {
 				cfg := baseConfig(d, sc, clients)
 				cfg.Dist = dist
+				cfg.Telemetry = Verbs && clients == sc.Clients[len(sc.Clients)-1]
 				res, err := Run(cfg)
 				if err != nil {
 					return fmt.Errorf("zipf/%v/%s/%d: %w", d, label, clients, err)
 				}
 				ser.Append(float64(clients), res.Throughput)
+				verbs.add(name, res.Telemetry)
 			}
 			series = append(series, ser)
 		}
 	}
 	fmt.Fprintln(w, "Point queries, uniform vs Zipfian request distribution")
 	fmt.Fprintln(w, stats.Table("clients", "lookups/s", series...))
+	verbs.write(w)
 	return nil
 }
 
@@ -168,6 +190,7 @@ func expAblationZipf(w io.Writer, sc Scale) error {
 func expAblationSRQ(w io.Writer, sc Scale) error {
 	cores := []int{4, 10, 20, 40}
 	ser := &stats.Series{Name: "coarse-grained"}
+	var verbs verbReports
 	for _, c := range cores {
 		c := c
 		cfg := baseConfig(nam.CoarseGrained, sc, 240)
@@ -175,13 +198,16 @@ func expAblationSRQ(w io.Writer, sc Scale) error {
 			sc.HandlerCoresPerMachine = c
 			sc.HandlersPerServer = c
 		}
+		cfg.Telemetry = Verbs && c == cores[len(cores)-1]
 		res, err := Run(cfg)
 		if err != nil {
 			return fmt.Errorf("srq/cores=%d: %w", c, err)
 		}
 		ser.Append(float64(c), res.Throughput)
+		verbs.add(fmt.Sprintf("%d cores", c), res.Telemetry)
 	}
 	fmt.Fprintln(w, "Point Queries, 240 clients; x = handler cores per memory machine")
 	fmt.Fprintln(w, stats.Table("cores", "lookups/s", ser))
+	verbs.write(w)
 	return nil
 }

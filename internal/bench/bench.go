@@ -16,11 +16,22 @@ import (
 	"github.com/namdb/rdmatree/internal/layout"
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/simnet"
 	"github.com/namdb/rdmatree/internal/sim"
 	"github.com/namdb/rdmatree/internal/stats"
+	"github.com/namdb/rdmatree/internal/telemetry"
 	"github.com/namdb/rdmatree/internal/workload"
 )
+
+// LiveRecorder, when non-nil, additionally accumulates the telemetry of
+// every Run in this process — cmd/nambench sets it (with -metrics) so the
+// expvar endpoint shows live counters across whole experiment sweeps.
+var LiveRecorder *telemetry.Recorder
+
+// LiveTracer, when non-nil, receives the trace spans of every Run —
+// cmd/nambench sets it with -trace.
+var LiveTracer *telemetry.Tracer
 
 // Config describes one experiment point.
 type Config struct {
@@ -62,6 +73,15 @@ type Config struct {
 	Seed int64
 	// Tune, if non-nil, adjusts the fabric cost model before deployment.
 	Tune func(*simnet.Config)
+	// Telemetry enables verbs-level recording: every client endpoint is
+	// wrapped in a telemetry decorator (virtual-time latencies) and the
+	// designs' protocol counters are collected; the merged recorder lands in
+	// Result.Telemetry. Off by default — the decorators are never installed,
+	// so the measured run is byte-identical to an uninstrumented one.
+	Telemetry bool
+	// Trace, if non-nil, receives per-op and per-verb trace spans in the
+	// simulation's virtual time (implies Telemetry).
+	Trace *telemetry.Tracer
 }
 
 // Validate fills defaults and sanity-checks.
@@ -104,8 +124,20 @@ type Result struct {
 	// Util reports per-station utilization over the measurement window;
 	// Util.Max() names the saturated resource behind a plateau.
 	Util simnet.Utilization
+	// Telemetry holds the run's verbs-level counters when Config.Telemetry
+	// (or tracing) was enabled; nil otherwise.
+	Telemetry *telemetry.Recorder
 	// Err is the first client error, if any.
 	Err error
+}
+
+// telemetryOrNil converts a possibly-nil *Recorder to the cache's hook
+// interface without producing a typed-nil interface value.
+func telemetryOrNil(rec *telemetry.Recorder) cache.Telemetry {
+	if rec == nil {
+		return nil
+	}
+	return rec
 }
 
 // Run executes one experiment point.
@@ -120,6 +152,44 @@ func Run(cfg Config) (Result, error) {
 	}
 	fab := simnet.New(s, simCfg)
 	l := layout.New(cfg.PageBytes)
+
+	// Telemetry wiring: one shared recorder (atomic counters) fed by every
+	// client endpoint and server handler; nil when disabled, so the hot path
+	// keeps its uninstrumented shape.
+	tracer := cfg.Trace
+	if tracer == nil {
+		tracer = LiveTracer
+	}
+	var rec *telemetry.Recorder
+	if cfg.Telemetry || tracer != nil || LiveRecorder != nil {
+		rec = telemetry.NewRecorder(cfg.Topology.MemServers)
+	}
+	clientEp := func(id int, p *sim.Proc) rdma.Endpoint {
+		base := fab.Endpoint(id, p)
+		if rec == nil {
+			return base
+		}
+		e := telemetry.Wrap(base, rec, p)
+		if tracer != nil {
+			e.WithTrace(tracer, 0, id)
+		}
+		return e
+	}
+	wrapHandler := func(h rdma.Handler) rdma.Handler {
+		if rec == nil {
+			return h
+		}
+		return telemetry.Instrument(h, rec, tracer)
+	}
+	if tracer != nil {
+		tracer.NameProcess(0, "clients")
+		for c := 0; c < cfg.Topology.Clients(); c++ {
+			tracer.NameThread(0, c, fmt.Sprintf("client %d", c))
+		}
+		for srv := 0; srv < cfg.Topology.MemServers; srv++ {
+			tracer.NameProcess(telemetry.ServerPid(srv), fmt.Sprintf("server %d handlers", srv))
+		}
+	}
 
 	spec := core.BuildSpec{
 		N:         cfg.DataSize,
@@ -149,15 +219,15 @@ func Run(cfg Config) (Result, error) {
 	var mkClient func(clientID int, p *sim.Proc) core.Index
 	switch cfg.Design {
 	case nam.CoarseGrained:
-		srv := coarse.NewServer(fab, coarse.Options{Layout: l, Part: part(), VisitNS: simCfg.VisitNS})
+		srv := coarse.NewServer(fab, coarse.Options{Layout: l, Part: part(), VisitNS: simCfg.VisitNS, Telemetry: rec})
 		cat, err := srv.Build(spec)
 		if err != nil {
 			return Result{}, err
 		}
-		fab.SetHandler(srv.Handler())
+		fab.SetHandler(wrapHandler(srv.Handler()))
 		fab.Start()
 		mkClient = func(id int, p *sim.Proc) core.Index {
-			return coarse.NewClient(fab.Endpoint(id, p), fab.ClientEnv(p), cat)
+			return coarse.NewClient(clientEp(id, p), fab.ClientEnv(p), cat)
 		}
 	case nam.FineGrained:
 		cat, err := fine.Build(fab.SetupEndpoint(), fine.Options{Layout: l}, spec)
@@ -166,22 +236,28 @@ func Run(cfg Config) (Result, error) {
 		}
 		mkClient = func(id int, p *sim.Proc) core.Index {
 			if cfg.CachePages > 0 {
-				c, cm := fine.NewCachedClient(fab.Endpoint(id, p), fab.ClientEnv(p), cat, id, cfg.CachePages)
+				c, cm := fine.NewCachedClient(clientEp(id, p), fab.ClientEnv(p), cat, id, cfg.CachePages)
+				cm.Tel = telemetryOrNil(rec)
 				caches = append(caches, cm)
+				c.SetRecorder(rec)
 				return c
 			}
-			return fine.NewClient(fab.Endpoint(id, p), fab.ClientEnv(p), cat, id)
+			c := fine.NewClient(clientEp(id, p), fab.ClientEnv(p), cat, id)
+			c.SetRecorder(rec)
+			return c
 		}
 	case nam.Hybrid:
-		srv := hybrid.NewServer(fab, hybrid.Options{Layout: l, Part: part(), VisitNS: simCfg.VisitNS})
+		srv := hybrid.NewServer(fab, hybrid.Options{Layout: l, Part: part(), VisitNS: simCfg.VisitNS, Telemetry: rec})
 		cat, err := srv.Build(fab.SetupEndpoint(), spec)
 		if err != nil {
 			return Result{}, err
 		}
-		fab.SetHandler(srv.Handler())
+		fab.SetHandler(wrapHandler(srv.Handler()))
 		fab.Start()
 		mkClient = func(id int, p *sim.Proc) core.Index {
-			return hybrid.NewClient(fab.Endpoint(id, p), fab.ClientEnv(p), cat, id)
+			c := hybrid.NewClient(clientEp(id, p), fab.ClientEnv(p), cat, id)
+			c.SetRecorder(rec)
+			return c
 		}
 	default:
 		return Result{}, fmt.Errorf("bench: unknown design %v", cfg.Design)
@@ -261,6 +337,9 @@ func Run(cfg Config) (Result, error) {
 					return
 				}
 				end := p.Now()
+				if tracer != nil {
+					tracer.Span(0, c, op.Kind.String(), "op", start, end)
+				}
 				if end > measureStart && end <= measureEnd {
 					ops.Add(1)
 					res.Latency.Record(end - start)
@@ -283,6 +362,12 @@ func Run(cfg Config) (Result, error) {
 	for _, cm := range caches {
 		res.CacheHits += cm.Stats.Hits
 		res.CacheMisses += cm.Stats.Misses
+	}
+	if rec != nil {
+		res.Telemetry = rec
+		if LiveRecorder != nil {
+			LiveRecorder.Merge(rec)
+		}
 	}
 	secs := float64(cfg.MeasureNS) / 1e9
 	res.Throughput = float64(res.Ops) / secs

@@ -7,8 +7,47 @@ import (
 	"github.com/namdb/rdmatree/internal/analysis"
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/stats"
+	"github.com/namdb/rdmatree/internal/telemetry"
 	"github.com/namdb/rdmatree/internal/workload"
 )
+
+// Verbs controls whether experiment reports append the per-verb telemetry
+// breakdown of each design's largest run — the verb-count explanation behind
+// every figure (cf. the paper's Figures 6-9 analysis). On by default;
+// cmd/nambench -noverbs disables it.
+var Verbs = true
+
+// verbReports collects the telemetry of the largest run per series and
+// renders the breakdowns after a panel's table.
+type verbReports struct {
+	order []string
+	recs  map[string]*telemetry.Recorder
+}
+
+func (v *verbReports) add(label string, rec *telemetry.Recorder) {
+	// Verbs can be false while recorders still exist (tracing or live
+	// metrics force one); the -noverbs contract is about the report text.
+	if rec == nil || !Verbs {
+		return
+	}
+	if v.recs == nil {
+		v.recs = map[string]*telemetry.Recorder{}
+	}
+	if _, ok := v.recs[label]; !ok {
+		v.order = append(v.order, label)
+	}
+	v.recs[label] = rec
+}
+
+func (v *verbReports) write(w io.Writer) {
+	for _, label := range v.order {
+		rec := v.recs[label]
+		fmt.Fprintf(w, "verb breakdown — %s (largest run):\n", label)
+		fmt.Fprint(w, rec.VerbTable())
+		fmt.Fprint(w, rec.ProtoSummary())
+		fmt.Fprintln(w)
+	}
+}
 
 // Scale sizes an experiment run. The paper's testbed numbers (100M tuples,
 // 240 clients) are reproduced in shape at simulator scale; Full is the
@@ -193,19 +232,24 @@ func expNetwork(w io.Writer, sc Scale) error {
 func sweepExp1(w io.Writer, sc Scale, skew bool, yLabel string, metric func(Result) float64) error {
 	for _, panel := range exp1Panels(sc) {
 		var series []*stats.Series
+		var verbs verbReports
 		for _, d := range allDesigns {
 			ser := &stats.Series{Name: d.String()}
 			for _, clients := range sc.Clients {
-				res, err := Run(exp1Config(d, sc, clients, panel, skew))
+				cfg := exp1Config(d, sc, clients, panel, skew)
+				cfg.Telemetry = Verbs && clients == sc.Clients[len(sc.Clients)-1]
+				res, err := Run(cfg)
 				if err != nil {
 					return fmt.Errorf("%s/%v/%d clients: %w", panel.name, d, clients, err)
 				}
 				ser.Append(float64(clients), metric(res))
+				verbs.add(d.String(), res.Telemetry)
 			}
 			series = append(series, ser)
 		}
 		fmt.Fprintln(w, panel.name)
 		fmt.Fprintln(w, stats.Table("clients", yLabel, series...))
+		verbs.write(w)
 	}
 	return nil
 }
@@ -220,21 +264,25 @@ func expDataSize(w io.Writer, sc Scale) error {
 	}
 	for _, panel := range panels {
 		var series []*stats.Series
+		var verbs verbReports
 		for _, d := range allDesigns {
 			ser := &stats.Series{Name: d.String()}
 			for _, ds := range sc.DataSizes {
 				cfg := exp1Config(d, sc, clients, panel, false)
 				cfg.DataSize = ds
+				cfg.Telemetry = Verbs && ds == sc.DataSizes[len(sc.DataSizes)-1]
 				res, err := Run(cfg)
 				if err != nil {
 					return fmt.Errorf("fig10/%v/D=%d: %w", d, ds, err)
 				}
 				ser.Append(float64(ds), res.Throughput)
+				verbs.add(d.String(), res.Telemetry)
 			}
 			series = append(series, ser)
 		}
 		fmt.Fprintln(w, panel.name)
 		fmt.Fprintln(w, stats.Table("data size", "lookups/s", series...))
+		verbs.write(w)
 	}
 	return nil
 }
@@ -254,21 +302,25 @@ func expServers(w io.Writer, sc Scale) error {
 		}
 		for _, panel := range panels {
 			var series []*stats.Series
+			var verbs verbReports
 			for _, d := range designs {
 				ser := &stats.Series{Name: d.String()}
 				for _, servers := range sc.Servers {
 					cfg := exp1Config(d, sc, 120, panel, skew)
 					cfg.Topology = topologyFor(servers, 120)
+					cfg.Telemetry = Verbs && servers == sc.Servers[len(sc.Servers)-1]
 					res, err := Run(cfg)
 					if err != nil {
 						return fmt.Errorf("fig11/%v/S=%d: %w", d, servers, err)
 					}
 					ser.Append(float64(servers), res.Throughput)
+					verbs.add(d.String(), res.Telemetry)
 				}
 				series = append(series, ser)
 			}
 			fmt.Fprintf(w, "%s, %s\n", panel.name, label)
 			fmt.Fprintln(w, stats.Table("memory servers", "lookups/s", series...))
+			verbs.write(w)
 		}
 	}
 	return nil
@@ -278,6 +330,7 @@ func expServers(w io.Writer, sc Scale) error {
 // inserts) under increasing load.
 func expInserts(w io.Writer, sc Scale) error {
 	var series []*stats.Series
+	var verbs verbReports
 	for _, mixPair := range []struct {
 		mix  workload.Mix
 		name string
@@ -286,21 +339,25 @@ func expInserts(w io.Writer, sc Scale) error {
 		{workload.WorkloadC, "5"},
 	} {
 		for _, d := range allDesigns {
-			ser := &stats.Series{Name: fmt.Sprintf("%s %s", shortName(d), mixPair.name)}
+			name := fmt.Sprintf("%s %s", shortName(d), mixPair.name)
+			ser := &stats.Series{Name: name}
 			for _, clients := range sc.Clients {
 				cfg := baseConfig(d, sc, clients)
 				cfg.Mix = mixPair.mix
+				cfg.Telemetry = Verbs && clients == sc.Clients[len(sc.Clients)-1]
 				res, err := Run(cfg)
 				if err != nil {
 					return fmt.Errorf("fig12/%v/%s/%d: %w", d, mixPair.name, clients, err)
 				}
 				ser.Append(float64(clients), res.Throughput)
+				verbs.add(name+"% inserts", res.Telemetry)
 			}
 			series = append(series, ser)
 		}
 	}
 	fmt.Fprintln(w, "Mixed Workloads (insert percentage in series name)")
 	fmt.Fprintln(w, stats.Table("clients", "operations/s", series...))
+	verbs.write(w)
 	return nil
 }
 
@@ -325,6 +382,7 @@ func expCoLocation(w io.Writer, sc Scale) error {
 	designs := []nam.Design{nam.FineGrained, nam.CoarseGrained}
 	for _, panel := range panels {
 		var series []*stats.Series
+		var verbs verbReports
 		for _, co := range []bool{false, true} {
 			name := "Distributed"
 			if co {
@@ -338,16 +396,19 @@ func expCoLocation(w io.Writer, sc Scale) error {
 					ComputeMachines: 4, ClientsPerMachine: 20,
 					CoLocated: co,
 				}
+				cfg.Telemetry = Verbs
 				res, err := Run(cfg)
 				if err != nil {
 					return fmt.Errorf("fig15/%v/co=%v: %w", d, co, err)
 				}
 				ser.Append(float64(i), res.Throughput)
+				verbs.add(fmt.Sprintf("%s, %s", d, name), res.Telemetry)
 			}
 			series = append(series, ser)
 		}
 		fmt.Fprintln(w, panel.name, "(x: 0=Fine-Grained, 1=Coarse-Grained)")
 		fmt.Fprintln(w, stats.Table("index design", "lookups/s", series...))
+		verbs.write(w)
 	}
 	return nil
 }

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbSimulation is the simnet leg of the decorator
+// conformance check: the discrete-event simulation is deterministic, so a run
+// with instrumentation enabled must complete exactly the same operations and
+// move exactly the same bytes as a run without it.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	for _, d := range []nam.Design{nam.CoarseGrained, nam.FineGrained} {
+		t.Run(d.String(), func(t *testing.T) {
+			plain := run(t, pointCfg(d, 40))
+			cfg := pointCfg(d, 40)
+			cfg.Telemetry = true
+			instr := run(t, cfg)
+			if plain.Ops != instr.Ops || plain.NetGBps != instr.NetGBps {
+				t.Fatalf("instrumented run diverged: %d/%f vs %d/%f",
+					plain.Ops, plain.NetGBps, instr.Ops, instr.NetGBps)
+			}
+			if instr.Telemetry == nil {
+				t.Fatal("telemetry requested but Result.Telemetry is nil")
+			}
+			if plain.Telemetry != nil {
+				t.Fatal("telemetry not requested but Result.Telemetry is set")
+			}
+		})
+	}
+}
+
+// TestRunTelemetryVerbProfile checks the recorded profile against what each
+// design must issue by construction: coarse-grained is pure RPC (Table 1),
+// fine-grained is purely one-sided.
+func TestRunTelemetryVerbProfile(t *testing.T) {
+	cfg := pointCfg(nam.CoarseGrained, 40)
+	cfg.Telemetry = true
+	res := run(t, cfg)
+	rec := res.Telemetry
+	if rec.VerbOps(telemetry.VerbCall) == 0 {
+		t.Fatal("coarse-grained recorded no CALLs")
+	}
+	if rec.VerbOps(telemetry.VerbRead) != 0 {
+		t.Fatal("coarse-grained point queries recorded one-sided READs")
+	}
+
+	cfg = pointCfg(nam.FineGrained, 40)
+	cfg.Telemetry = true
+	res = run(t, cfg)
+	rec = res.Telemetry
+	if rec.VerbOps(telemetry.VerbRead) == 0 {
+		t.Fatal("fine-grained recorded no READs")
+	}
+	if rec.VerbOps(telemetry.VerbCall) != 0 {
+		t.Fatal("fine-grained point queries recorded CALLs")
+	}
+	// Latencies are virtual-time on the simulated fabric.
+	if rec.VerbLatency(telemetry.VerbRead).Percentile(50) <= 0 {
+		t.Fatal("no virtual-time READ latency recorded")
+	}
+	table := rec.VerbTable()
+	if !strings.Contains(table, "READ") || !strings.Contains(table, "p99(ns)") {
+		t.Fatalf("verb table missing expected columns:\n%s", table)
+	}
+	if avg := rec.StatsMap()["index"].(map[string]any)["avg_depth"].(float64); avg < 1 {
+		t.Fatalf("average traversal depth %v, want >= 1", avg)
+	}
+}
+
+// TestRunEmitsTrace checks that a traced run produces a loadable Chrome
+// trace: client tracks, server tracks for RPC designs, valid JSON.
+func TestRunEmitsTrace(t *testing.T) {
+	cfg := pointCfg(nam.Hybrid, 8)
+	cfg.Trace = telemetry.NewTracer()
+	run(t, cfg)
+	if cfg.Trace.Len() == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("trace is not valid JSON")
+	}
+	var doc struct {
+		TraceEvents []telemetry.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var clientSpans, serverSpans, meta int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M":
+			meta++
+		case ev.Ph == "X" && ev.Pid < telemetry.ServerPid(0):
+			clientSpans++
+		case ev.Ph == "X":
+			serverSpans++
+		}
+	}
+	if clientSpans == 0 {
+		t.Fatal("no client-track spans")
+	}
+	if serverSpans == 0 {
+		t.Fatal("no server handler spans (hybrid issues RPCs)")
+	}
+	if meta == 0 {
+		t.Fatal("no track-naming metadata events")
+	}
+}
+
+// TestCacheTelemetry checks that the compute-side page cache reports hits
+// and misses through the recorder.
+func TestCacheTelemetry(t *testing.T) {
+	cfg := pointCfg(nam.FineGrained, 20)
+	cfg.CachePages = 256
+	cfg.Telemetry = true
+	res := run(t, cfg)
+	m := res.Telemetry.StatsMap()
+	cacheStats, ok := m["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("no cache section in stats: %v", m)
+	}
+	if cacheStats["hits"].(int64) == 0 {
+		t.Fatal("cached run recorded no cache hits")
+	}
+	if res.CacheHits != cacheStats["hits"].(int64) {
+		t.Fatalf("recorder hits %v != bench hits %d", cacheStats["hits"], res.CacheHits)
+	}
+}

@@ -20,6 +20,7 @@ func (t *Tree) FindLeaf(env rdma.Env, key layout.Key) (rdma.RemotePtr, Stats, er
 		return rdma.NullPtr, st, err
 	}
 	var buf []uint64
+	depth := 1
 	for {
 		n, _, err := t.readNode(env, &st, p, buf)
 		if err != nil {
@@ -35,6 +36,7 @@ func (t *Tree) FindLeaf(env rdma.Env, key layout.Key) (rdma.RemotePtr, Stats, er
 		}
 		if n.IsLeaf() {
 			// Height-1 tree: the root is the leaf.
+			st.Depth = depth
 			return p, st, nil
 		}
 		child, ok := n.InnerRoute(key)
@@ -42,9 +44,11 @@ func (t *Tree) FindLeaf(env rdma.Env, key layout.Key) (rdma.RemotePtr, Stats, er
 			panic("btree: routing failed within fence")
 		}
 		if n.Level() == 1 {
+			st.Depth = depth + 1
 			return child, st, nil
 		}
 		p = child
+		depth++
 	}
 }
 

@@ -38,6 +38,7 @@ func (t *Tree) lockPtr(env rdma.Env, st *Stats, p rdma.RemotePtr) (layout.Node, 
 			return n, v, nil
 		}
 		st.Restarts++
+		st.LockRetries++
 		env.Pause()
 	}
 }

@@ -11,18 +11,28 @@ import (
 // ErrKeyReserved is returned when inserting the MaxKey sentinel.
 var ErrKeyReserved = errors.New("btree: MaxKey is reserved as the +inf sentinel")
 
-// Stats counts the memory traffic of one operation; on the fine-grained
-// design every unit here is a one-sided RDMA verb.
+// Stats counts the memory traffic and synchronization events of one
+// operation; on the fine-grained design every traffic unit here is a
+// one-sided RDMA verb.
 type Stats struct {
 	PageReads  int // full-page READs
 	WordReads  int // 8-byte validation/root READs
 	PageWrites int // page/body WRITEs
 	Atomics    int // CAS + FETCH_AND_ADD
-	Restarts   int // consistency retries (torn read or locked page)
+	Restarts   int // consistency retries (sum of the three causes below)
 	Prefetches int // pages fetched through head-node batches
+
+	// Synchronization breakdown of Restarts, plus structural events — the
+	// index-protocol counters surfaced by internal/telemetry.
+	LockSpins     int // page copy observed a held lock bit (reader waited)
+	VersionAborts int // version word changed during a page copy (torn read)
+	LockRetries   int // lock-acquisition CAS lost to a concurrent writer
+	Splits        int // node splits performed (leaf and inner)
+	Depth         int // levels visited by the last root-to-leaf descent
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. Depth is taken from other when set (it is a
+// per-descent measurement, not a running total).
 func (s *Stats) Add(other Stats) {
 	s.PageReads += other.PageReads
 	s.WordReads += other.WordReads
@@ -30,6 +40,13 @@ func (s *Stats) Add(other Stats) {
 	s.Atomics += other.Atomics
 	s.Restarts += other.Restarts
 	s.Prefetches += other.Prefetches
+	s.LockSpins += other.LockSpins
+	s.VersionAborts += other.VersionAborts
+	s.LockRetries += other.LockRetries
+	s.Splits += other.Splits
+	if other.Depth > 0 {
+		s.Depth = other.Depth
+	}
 }
 
 // Ops returns the total number of memory/network operations.
@@ -119,6 +136,7 @@ func (t *Tree) readNode(env rdma.Env, st *Stats, p rdma.RemotePtr, buf []uint64)
 		v := buf[0]
 		if layout.IsLocked(v) {
 			st.Restarts++
+			st.LockSpins++
 			env.Pause()
 			continue
 		}
@@ -129,6 +147,7 @@ func (t *Tree) readNode(env rdma.Env, st *Stats, p rdma.RemotePtr, buf []uint64)
 		st.WordReads++
 		if v2 != v {
 			st.Restarts++
+			st.VersionAborts++
 			env.Pause()
 			continue
 		}
@@ -162,6 +181,7 @@ func (t *Tree) lockNodeForKey(env rdma.Env, st *Stats, p rdma.RemotePtr, key lay
 		st.Atomics++
 		if prev != v {
 			st.Restarts++
+			st.LockRetries++
 			env.Pause()
 			continue
 		}
@@ -209,6 +229,7 @@ func (t *Tree) descendToLeaf(env rdma.Env, st *Stats, key layout.Key) (rdma.Remo
 		return rdma.NullPtr, layout.Node{}, 0, err
 	}
 	var buf []uint64
+	depth := 1
 	for {
 		n, v, err := t.readNode(env, st, p, buf)
 		if err != nil {
@@ -216,6 +237,7 @@ func (t *Tree) descendToLeaf(env rdma.Env, st *Stats, key layout.Key) (rdma.Remo
 		}
 		buf = n.W
 		if n.IsHead() || key > n.HighKey() {
+			// Right-moves stay on the same level and do not deepen the path.
 			p = n.Right()
 			if p.IsNull() {
 				return rdma.NullPtr, layout.Node{}, 0, fmt.Errorf("btree: fell off chain for key %d", key)
@@ -223,6 +245,7 @@ func (t *Tree) descendToLeaf(env rdma.Env, st *Stats, key layout.Key) (rdma.Remo
 			continue
 		}
 		if n.IsLeaf() {
+			st.Depth = depth
 			return p, n, v, nil
 		}
 		child, ok := n.InnerRoute(key)
@@ -232,6 +255,7 @@ func (t *Tree) descendToLeaf(env rdma.Env, st *Stats, key layout.Key) (rdma.Remo
 			panic("btree: routing failed within fence")
 		}
 		p = child
+		depth++
 	}
 }
 
@@ -416,6 +440,7 @@ func (t *Tree) leafInsert(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key l
 		return nil, err
 	}
 	st.PageWrites++
+	st.Splits++
 	env.Charge(t.VisitNS)
 	if err := t.unlockBump(env, st, p, n); err != nil {
 		return nil, err
@@ -574,6 +599,7 @@ func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.K
 			return err
 		}
 		st.PageWrites++
+		st.Splits++
 		env.Charge(t.VisitNS)
 		if err := t.unlockBump(env, st, p, n); err != nil {
 			return err
@@ -611,6 +637,7 @@ func (t *Tree) tryGrowRoot(env rdma.Env, st *Stats, level int, sep layout.Key, l
 		t.cachedRoot = rdma.NullPtr
 		return false, nil
 	}
+	st.Splits++
 	t.cachedRoot = newRootPtr
 	return true, nil
 }

@@ -26,11 +26,21 @@ import (
 
 // Stats counts cache activity.
 type Stats struct {
-	Hits        int64 // served from cache (inner: free; leaf: validated)
-	Misses      int64 // full page fetches
-	Stale       int64 // leaf revalidations that failed
-	Validations int64 // 8-byte version reads for leaf hits
-	Evictions   int64
+	Hits          int64 // served from cache (inner: free; leaf: validated)
+	Misses        int64 // full page fetches
+	Stale         int64 // leaf revalidations that failed
+	Validations   int64 // 8-byte version reads for leaf hits
+	Evictions     int64
+	Invalidations int64 // cached copies dropped (stale or locally mutated)
+}
+
+// Telemetry receives cache events; *telemetry.Recorder satisfies it. The
+// interface lives here (not in internal/telemetry) so the dependency points
+// from cache to nothing.
+type Telemetry interface {
+	CacheHit()
+	CacheMiss()
+	CacheInvalidation()
 }
 
 // Mem decorates a btree.Mem with a page cache.
@@ -45,6 +55,9 @@ type Mem struct {
 	// CacheLeaves enables caching of leaf pages (with revalidation); inner
 	// pages are always cached.
 	CacheLeaves bool
+
+	// Tel, when non-nil, additionally receives each hit/miss/invalidation.
+	Tel Telemetry
 
 	Stats Stats
 }
@@ -82,6 +95,10 @@ func (m *Mem) invalidate(p rdma.RemotePtr) {
 	if el, ok := m.entries[p]; ok {
 		m.lru.Remove(el)
 		delete(m.entries, p)
+		m.Stats.Invalidations++
+		if m.Tel != nil {
+			m.Tel.CacheInvalidation()
+		}
 	}
 }
 
@@ -122,6 +139,9 @@ func (m *Mem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
 		if v == e.words[0] && !layout.IsLocked(v) {
 			copy(dst, e.words)
 			m.Stats.Hits++
+			if m.Tel != nil {
+				m.Tel.CacheHit()
+			}
 			return nil
 		}
 		m.Stats.Stale++
@@ -133,6 +153,9 @@ func (m *Mem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
 		return err
 	}
 	m.Stats.Misses++
+	if m.Tel != nil {
+		m.Tel.CacheMiss()
+	}
 	v := dst[0]
 	if layout.IsLocked(v) {
 		return nil

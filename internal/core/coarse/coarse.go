@@ -18,6 +18,7 @@ import (
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/telemetry"
 )
 
 // Options configures the coarse-grained design.
@@ -29,6 +30,9 @@ type Options struct {
 	// VisitNS is the CPU time an RPC handler charges per page visited
 	// (performance model of the simulated fabric; 0 elsewhere).
 	VisitNS int64
+	// Telemetry, when non-nil, receives the per-operation protocol counters
+	// of every handler-executed index operation.
+	Telemetry *telemetry.Recorder
 }
 
 // Server is the server-side state: one local tree per memory server.
@@ -205,32 +209,18 @@ func (s *Server) Handler() rdma.Handler {
 		default:
 			resp = nam.ErrResponse(fmt.Errorf("coarse: bad op %d", req.Op))
 		}
+		if s.opts.Telemetry != nil && st.Ops() > 0 {
+			s.opts.Telemetry.RecordIndexOp(st)
+		}
 		return resp.Encode(), rdma.Work{PagesTouched: st.PageReads + st.PageWrites}
 	}
 }
 
 // bytesToWords packs a byte payload into the Pairs field (length-prefixed).
-func bytesToWords(b []byte) []uint64 {
-	out := make([]uint64, 1+(len(b)+7)/8)
-	out[0] = uint64(len(b))
-	for i, c := range b {
-		out[1+i/8] |= uint64(c) << uint(8*(i%8))
-	}
-	return out
-}
+func bytesToWords(b []byte) []uint64 { return nam.PackBytes(b) }
 
 // WordsToBytes unpacks a payload packed by bytesToWords.
-func WordsToBytes(w []uint64) []byte {
-	if len(w) == 0 {
-		return nil
-	}
-	n := int(w[0])
-	out := make([]byte, n)
-	for i := range out {
-		out[i] = byte(w[1+i/8] >> uint(8*(i%8)))
-	}
-	return out
-}
+func WordsToBytes(w []uint64) []byte { return nam.UnpackBytes(w) }
 
 // CheckInvariants verifies every server-local tree (tests only) and returns
 // the total number of live entries.

@@ -16,6 +16,7 @@ import (
 	"github.com/namdb/rdmatree/internal/layout"
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/telemetry"
 )
 
 // Options configures the fine-grained design.
@@ -54,6 +55,7 @@ func Build(setupEp rdma.Endpoint, opts Options, spec core.BuildSpec) (*nam.Catal
 type Client struct {
 	tree *btree.Tree
 	env  rdma.Env
+	rec  *telemetry.Recorder
 }
 
 var _ core.Index = (*Client)(nil)
@@ -69,16 +71,29 @@ func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart int) *C
 	return &Client{tree: t, env: env}
 }
 
+// SetRecorder directs the client's per-operation protocol counters
+// (traversal depth, restarts, splits, ...) into rec. A nil rec disables
+// recording.
+func (c *Client) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
+
+func (c *Client) record(st btree.Stats) {
+	if c.rec != nil {
+		c.rec.RecordIndexOp(st)
+	}
+}
+
 // Lookup implements core.Index (Listing 2's remoteLookup).
 func (c *Client) Lookup(key uint64) ([]uint64, error) {
-	vals, _, err := c.tree.Lookup(c.env, key)
+	vals, st, err := c.tree.Lookup(c.env, key)
+	c.record(st)
 	return vals, err
 }
 
 // Range implements core.Index: a one-sided leaf-level scan with head-node
 // prefetching.
 func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
-	_, err := c.tree.Scan(c.env, lo, hi, emit)
+	st, err := c.tree.Scan(c.env, lo, hi, emit)
+	c.record(st)
 	return err
 }
 
@@ -86,14 +101,16 @@ func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
 // pages with RDMA_ALLOC + WRITE and propagate separators with the same
 // one-sided protocol).
 func (c *Client) Insert(key, value uint64) error {
-	_, err := c.tree.Insert(c.env, key, value)
+	st, err := c.tree.Insert(c.env, key, value)
+	c.record(st)
 	return err
 }
 
 // Delete implements core.Index: the delete bit is set through the one-sided
 // write protocol; physical removal is the global garbage collector's job.
 func (c *Client) Delete(key, value uint64) (bool, error) {
-	ok, _, err := c.tree.Delete(c.env, key, value)
+	ok, st, err := c.tree.Delete(c.env, key, value)
+	c.record(st)
 	return ok, err
 }
 

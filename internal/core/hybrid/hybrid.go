@@ -22,6 +22,7 @@ import (
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/telemetry"
 )
 
 // Options configures the hybrid design.
@@ -33,6 +34,9 @@ type Options struct {
 	// VisitNS is the CPU time an RPC handler charges per page visited
 	// (performance model of the simulated fabric).
 	VisitNS int64
+	// Telemetry, when non-nil, receives the per-operation protocol counters
+	// of the handler-executed traversals and installs.
+	Telemetry *telemetry.Recorder
 }
 
 // Server is the server side: per-server upper-level trees.
@@ -214,6 +218,9 @@ func (s *Server) Handler() rdma.Handler {
 		default:
 			resp = nam.ErrResponse(fmt.Errorf("hybrid: bad op %d", req.Op))
 		}
+		if s.opts.Telemetry != nil && st.Ops() > 0 {
+			s.opts.Telemetry.RecordIndexOp(st)
+		}
 		return resp.Encode(), rdma.Work{PagesTouched: st.PageReads + st.PageWrites}
 	}
 }
@@ -273,6 +280,7 @@ type Client struct {
 	// leaf drives the one-sided leaf-level protocol; its placement policy
 	// spreads split pages round-robin (leaves stay fine-grained).
 	leaf *btree.Tree
+	rec  *telemetry.Recorder
 }
 
 var _ core.Index = (*Client)(nil)
@@ -285,6 +293,17 @@ func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart int) *C
 		Place: btree.RoundRobin(cat.Servers, rrStart),
 	}, rdma.NullPtr)
 	return &Client{ep: ep, env: env, cat: cat, part: cat.Partitioner(), leaf: leaf}
+}
+
+// SetRecorder directs the client-side (one-sided leaf level) protocol
+// counters into rec. The server-side traversal counters are recorded by the
+// handler through Options.Telemetry.
+func (c *Client) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
+
+func (c *Client) record(st btree.Stats) {
+	if c.rec != nil {
+		c.rec.RecordIndexOp(st)
+	}
 }
 
 func (c *Client) call(server int, req *nam.Request) (*nam.Response, error) {
@@ -320,7 +339,8 @@ func (c *Client) Lookup(key uint64) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	vals, _, err := c.leaf.LeafLookup(c.env, leaf, key)
+	vals, st, err := c.leaf.LeafLookup(c.env, leaf, key)
+	c.record(st)
 	return vals, err
 }
 
@@ -340,7 +360,9 @@ func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
 		if err != nil {
 			return err
 		}
-		if _, err := c.leaf.LeafScan(c.env, leaf, lo, hi, wrapped); err != nil {
+		st, err := c.leaf.LeafScan(c.env, leaf, lo, hi, wrapped)
+		c.record(st)
+		if err != nil {
 			return err
 		}
 		if stopped {
@@ -358,7 +380,8 @@ func (c *Client) Insert(key, value uint64) error {
 	if err != nil {
 		return err
 	}
-	sp, _, err := c.leaf.LeafInsertAt(c.env, leaf, key, value)
+	sp, st, err := c.leaf.LeafInsertAt(c.env, leaf, key, value)
+	c.record(st)
 	if err != nil {
 		return err
 	}
@@ -375,6 +398,7 @@ func (c *Client) Delete(key, value uint64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	ok, _, err := c.leaf.LeafDeleteAt(c.env, leaf, key, value)
+	ok, st, err := c.leaf.LeafDeleteAt(c.env, leaf, key, value)
+	c.record(st)
 	return ok, err
 }

@@ -32,7 +32,62 @@ const (
 	OpInstall
 	// OpCatalog fetches the serialized catalog (used by the TCP transport).
 	OpCatalog
+	// OpStats fetches the server's live telemetry counters as JSON, packed
+	// into the response's Pairs field (answered by the telemetry handler
+	// wrapper on any design).
+	OpStats
 )
+
+// OpName returns a human-readable name for an op code.
+func OpName(op uint8) string {
+	switch op {
+	case OpLookup:
+		return "lookup"
+	case OpRange:
+		return "range"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpTraverse:
+		return "traverse"
+	case OpInstall:
+		return "install"
+	case OpCatalog:
+		return "catalog"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// PackBytes packs a byte payload into a length-prefixed word slice, the
+// shape carried by the response Pairs/Values fields for blob payloads
+// (catalogs, telemetry JSON).
+func PackBytes(b []byte) []uint64 {
+	out := make([]uint64, 1+(len(b)+7)/8)
+	out[0] = uint64(len(b))
+	for i, c := range b {
+		out[1+i/8] |= uint64(c) << uint(8*(i%8))
+	}
+	return out
+}
+
+// UnpackBytes unpacks a payload packed by PackBytes.
+func UnpackBytes(w []uint64) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	n := int(w[0])
+	if max := 8 * (len(w) - 1); n > max {
+		n = max
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(w[1+i/8] >> uint(8*(i%8)))
+	}
+	return out
+}
 
 // Response status codes.
 const (

@@ -241,6 +241,10 @@ func (e handlerEnv) Charge(ns int64) {
 // Pause implements rdma.Env.
 func (e handlerEnv) Pause() { e.p.Sleep(e.spin) }
 
+// Now exposes the handler's virtual clock (telemetry.Clock) so server-side
+// spans and latencies are measured in simulated time.
+func (e handlerEnv) Now() int64 { return e.p.Now() }
+
 // ClientEnv returns the execution environment for a client process.
 func (f *Fabric) ClientEnv(p *sim.Proc) rdma.Env {
 	return clientEnv{p: p, spin: f.Cfg.ClientSpinNS}
@@ -260,6 +264,9 @@ func (e clientEnv) Charge(ns int64) {
 
 // Pause implements rdma.Env.
 func (e clientEnv) Pause() { e.p.Sleep(e.spin) }
+
+// Now exposes the client's virtual clock (telemetry.Clock).
+func (e clientEnv) Now() int64 { return e.p.Now() }
 
 // clientNICUse charges a client-NIC visit: the per-verb processing cost on
 // the pipelined op station and the payload on the bandwidth station.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -63,13 +64,24 @@ func (h *Histogram) Record(v int64) {
 	h.buckets[bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
-	for {
+	// Max update: CAS only ever replaces the current max with a larger value,
+	// so the observed max is monotone and every failed CAS means it grew —
+	// the v <= cur early exit guarantees termination. Under heavy contention
+	// the loop still burns cycles on cache-line ping-pong, so after a few
+	// failed attempts yield the processor instead of spinning hot.
+	for tries := 0; ; tries++ {
 		cur := h.max.Load()
 		if v <= cur || h.max.CompareAndSwap(cur, v) {
 			break
 		}
+		if tries >= maxCASSpins {
+			runtime.Gosched()
+		}
 	}
 }
+
+// maxCASSpins bounds the hot-spin phase of Record's max update.
+const maxCASSpins = 4
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -110,6 +122,108 @@ func (h *Histogram) Percentile(p float64) int64 {
 func (h *Histogram) Summary() string {
 	return fmt.Sprintf("n=%d mean=%.0f p50=%d p95=%d p99=%d max=%d",
 		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}
+
+// Merge folds all of other's observations into h. Concurrent Records on
+// either histogram during the merge may be attributed to either side but are
+// never lost. Aggregating per-worker histograms through Merge keeps the hot
+// Record path free of cross-worker atomics contention.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	m := other.max.Load()
+	for tries := 0; ; tries++ {
+		cur := h.max.Load()
+		if m <= cur || h.max.CompareAndSwap(cur, m) {
+			break
+		}
+		if tries >= maxCASSpins {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Snapshot is an immutable, plain-value copy of a histogram, safe to pass
+// between goroutines, aggregate with Add, and query without touching the
+// live atomics.
+type Snapshot struct {
+	Buckets [numBuckets]int64
+	N       int64
+	Sum     int64
+	MaxV    int64
+}
+
+// Snapshot captures the current state of the histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.N = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.MaxV = h.max.Load()
+	return s
+}
+
+// Add returns the aggregate of two snapshots.
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	out := s
+	for i := range out.Buckets {
+		out.Buckets[i] += other.Buckets[i]
+	}
+	out.N += other.N
+	out.Sum += other.Sum
+	if other.MaxV > out.MaxV {
+		out.MaxV = other.MaxV
+	}
+	return out
+}
+
+// Count returns the number of observations in the snapshot.
+func (s Snapshot) Count() int64 { return s.N }
+
+// Max returns the largest observation in the snapshot.
+func (s Snapshot) Max() int64 { return s.MaxV }
+
+// Mean returns the snapshot's mean observation, or 0 if empty.
+func (s Snapshot) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N)
+}
+
+// Percentile returns an estimate of the p-th percentile (0 < p <= 100).
+func (s Snapshot) Percentile(p float64) int64 {
+	if s.N == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(s.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range s.Buckets {
+		seen += s.Buckets[i]
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return s.MaxV
+}
+
+// Summary formats count/mean/p50/p95/p99/max on one line.
+func (s Snapshot) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p95=%d p99=%d max=%d",
+		s.N, s.Mean(), s.Percentile(50), s.Percentile(95), s.Percentile(99), s.MaxV)
 }
 
 // Counter is an atomic event counter.

@@ -94,6 +94,94 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+func TestHistogramMergeThenQuantile(t *testing.T) {
+	// Recording a value set split across per-worker histograms and merging
+	// must give the same quantiles as recording everything into one.
+	rng := rand.New(rand.NewSource(7))
+	var whole Histogram
+	parts := make([]*Histogram, 4)
+	for i := range parts {
+		parts[i] = &Histogram{}
+	}
+	for i := 0; i < 40000; i++ {
+		v := int64(rng.ExpFloat64() * 250000)
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	var merged Histogram
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", merged.Count(), whole.Count())
+	}
+	if merged.Max() != whole.Max() {
+		t.Fatalf("merged max %d != %d", merged.Max(), whole.Max())
+	}
+	if merged.Mean() != whole.Mean() {
+		t.Fatalf("merged mean %f != %f", merged.Mean(), whole.Mean())
+	}
+	for _, p := range []float64{1, 50, 95, 99, 99.9} {
+		if got, want := merged.Percentile(p), whole.Percentile(p); got != want {
+			t.Fatalf("p%g: merged %d != whole %d", p, got, want)
+		}
+	}
+}
+
+func TestSnapshotMatchesLiveHistogram(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 3)
+	}
+	s := h.Snapshot()
+	if s.Count() != h.Count() || s.Max() != h.Max() || s.Mean() != h.Mean() {
+		t.Fatalf("snapshot basics diverge: %s vs %s", s.Summary(), h.Summary())
+	}
+	for _, p := range []float64{10, 50, 99} {
+		if s.Percentile(p) != h.Percentile(p) {
+			t.Fatalf("p%g: snapshot %d != live %d", p, s.Percentile(p), h.Percentile(p))
+		}
+	}
+	// Aggregating two snapshots equals merging the histograms.
+	var h2 Histogram
+	for i := int64(1); i <= 500; i++ {
+		h2.Record(i * 7)
+	}
+	sum := s.Add(h2.Snapshot())
+	var m Histogram
+	m.Merge(&h)
+	m.Merge(&h2)
+	if sum.Count() != m.Count() || sum.Percentile(50) != m.Percentile(50) || sum.Max() != m.Max() {
+		t.Fatalf("snapshot Add diverges from Merge: %s vs %s", sum.Summary(), m.Summary())
+	}
+}
+
+func TestHistogramConcurrentRecordStress(t *testing.T) {
+	// Hammer Record from many goroutines with strictly increasing values per
+	// goroutine so the max CAS loop sees constant contention; the run must
+	// terminate promptly (no livelock) and lose no observations.
+	var h Histogram
+	const goroutines = 16
+	const per = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				h.Record(i*goroutines + int64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+	if want := int64(per-1)*goroutines + goroutines - 1; h.Max() != want {
+		t.Fatalf("max = %d, want %d", h.Max(), want)
+	}
+}
+
 func TestBucketMonotoneProperty(t *testing.T) {
 	f := func(a, b int64) bool {
 		if a < 0 {

@@ -1,0 +1,234 @@
+package telemetry_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/core/fine"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+	"github.com/namdb/rdmatree/internal/rdma/tcpnet"
+	"github.com/namdb/rdmatree/internal/telemetry"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// driveIndex runs a fixed mixed script against idx and returns a transcript
+// of every result, so two runs can be compared byte for byte.
+func driveIndex(t *testing.T, idx core.Index) string {
+	t.Helper()
+	var b strings.Builder
+	for k := uint64(0); k < 400; k += 7 {
+		vals, err := idx.Lookup(k)
+		fmt.Fprintf(&b, "get %d -> %v %v\n", k, vals, err)
+	}
+	for k := uint64(1000); k < 1050; k++ {
+		fmt.Fprintf(&b, "put %d %v\n", k, idx.Insert(k, k*3))
+	}
+	for k := uint64(1000); k < 1020; k++ {
+		ok, err := idx.Delete(k, k*3)
+		fmt.Fprintf(&b, "del %d %v %v\n", k, ok, err)
+	}
+	err := idx.Range(50, 90, func(k, v uint64) bool {
+		fmt.Fprintf(&b, "scan %d %d\n", k, v)
+		return true
+	})
+	fmt.Fprintf(&b, "range %v\n", err)
+	return b.String()
+}
+
+func buildFineDirect(t *testing.T, servers, n, page int) (*direct.Fabric, *nam.Catalog) {
+	t.Helper()
+	fab := direct.New(servers, 64<<20, nam.SuperblockBytes)
+	cat, err := fine.Build(fab.Endpoint(), fine.Options{Layout: layout.New(page)},
+		core.BuildSpec{N: n, At: workload.DataItem, HeadEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fab, cat
+}
+
+// TestConformanceDirect checks that the telemetry decorator is functionally
+// invisible on the direct transport: the same operation script produces a
+// byte-identical transcript with and without instrumentation.
+func TestConformanceDirect(t *testing.T) {
+	fab, cat := buildFineDirect(t, 2, 5000, 512)
+	plain := driveIndex(t, fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0))
+
+	fab2, cat2 := buildFineDirect(t, 2, 5000, 512)
+	rec := telemetry.NewRecorder(2)
+	ep := telemetry.Wrap(fab2.Endpoint(), rec, nil)
+	instr := driveIndex(t, fine.NewClient(ep, direct.Env{}, cat2, 0))
+
+	if plain != instr {
+		t.Fatalf("instrumented run diverged:\nplain:\n%s\ninstrumented:\n%s", plain, instr)
+	}
+	if rec.VerbOps(telemetry.VerbRead) == 0 {
+		t.Fatal("no READs recorded")
+	}
+	if rec.VerbOps(telemetry.VerbCall) != 0 {
+		t.Fatal("fine-grained client issued two-sided CALLs")
+	}
+	if rec.VerbBytes(telemetry.VerbRead) == 0 {
+		t.Fatal("no READ bytes recorded")
+	}
+}
+
+// TestConformanceTCP repeats the decorator-invisibility check over real TCP
+// connections to in-process memory-server agents.
+func TestConformanceTCP(t *testing.T) {
+	runScript := func(rec *telemetry.Recorder) string {
+		var addrs []string
+		for i := 0; i < 2; i++ {
+			srv := rdma.NewServer(i, 64<<20, nam.SuperblockBytes)
+			agent := tcpnet.NewAgent(srv, nil)
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs = append(addrs, l.Addr().String())
+			go agent.Serve(l)
+			t.Cleanup(agent.Close)
+		}
+		setup := tcpnet.Dial(addrs)
+		cat, err := fine.Build(setup, fine.Options{Layout: layout.New(1024)},
+			core.BuildSpec{N: 2000, At: workload.DataItem, HeadEvery: 16})
+		setup.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tep := tcpnet.Dial(addrs)
+		t.Cleanup(tep.Close)
+		var ep rdma.Endpoint = tep
+		if rec != nil {
+			ep = telemetry.Wrap(tep, rec, nil)
+		}
+		return driveIndex(t, fine.NewClient(ep, rdma.NopEnv{}, cat, 0))
+	}
+
+	plain := runScript(nil)
+	rec := telemetry.NewRecorder(2)
+	instr := runScript(rec)
+	if plain != instr {
+		t.Fatalf("instrumented TCP run diverged:\nplain:\n%s\ninstrumented:\n%s", plain, instr)
+	}
+	if rec.VerbOps(telemetry.VerbRead) == 0 {
+		t.Fatal("no READs recorded over TCP")
+	}
+	if rec.VerbLatency(telemetry.VerbRead).Max() <= 0 {
+		t.Fatal("wall-clock READ latency not recorded")
+	}
+}
+
+// TestListing2VerbSequence pins the paper's Listing 2 protocol on a 3-level
+// tree: with a warm root pointer, a fine-grained point lookup visits each
+// level exactly once. Our optimistic-read protocol issues two READs per
+// visited page (the page copy plus the version-validation word), so the
+// verb trace of one lookup must be exactly 2·height READs and nothing else.
+func TestListing2VerbSequence(t *testing.T) {
+	const page, n = 512, 12000
+	fab, cat := buildFineDirect(t, 1, n, page)
+	rec := telemetry.NewRecorder(1)
+	ep := telemetry.Wrap(fab.Endpoint(), rec, nil)
+	c := fine.NewClient(ep, direct.Env{}, cat, 0)
+
+	h, err := c.Tree().Height(direct.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 3 {
+		t.Fatalf("tree height %d, want 3 (adjust page=%d / n=%d)", h, page, n)
+	}
+	if _, err := c.Lookup(1); err != nil { // warm the root pointer
+		t.Fatal(err)
+	}
+
+	// Pick a key whose lookup is "clean": no right-moves past outgrown
+	// fences and no duplicate spill into the next leaf, so the descent is
+	// exactly one page per level.
+	key := uint64(0)
+	for k := uint64(n / 3); k < uint64(n/3)+100; k++ {
+		_, st, err := c.Tree().Lookup(direct.Env{}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Depth == h && st.PageReads == h {
+			key = k
+			break
+		}
+	}
+	if key == 0 {
+		t.Fatal("no clean key found")
+	}
+
+	fresh := telemetry.NewRecorder(1)
+	ep.Rec = fresh
+	c.SetRecorder(fresh)
+	vals, err := c.Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) == 0 {
+		t.Fatalf("key %d not found", key)
+	}
+
+	want := int64(2 * h)
+	if got := fresh.VerbOps(telemetry.VerbRead); got != want {
+		t.Fatalf("lookup issued %d READs, want %d (2 per level on a height-%d tree)", got, want, h)
+	}
+	for v := telemetry.Verb(0); v < telemetry.NumVerbs; v++ {
+		if v == telemetry.VerbRead {
+			continue
+		}
+		if got := fresh.VerbOps(v); got != 0 {
+			t.Fatalf("lookup issued %d unexpected %v verbs", got, v)
+		}
+	}
+	idx := fresh.StatsMap()["index"].(map[string]any)
+	if idx["ops"].(int64) != 1 {
+		t.Fatalf("index ops = %v, want 1", idx["ops"])
+	}
+	if d := idx["avg_depth"].(float64); d != float64(h) {
+		t.Fatalf("recorded depth %v, want %d", d, h)
+	}
+}
+
+// TestOpStatsRPCRoundTrip checks the introspection RPC: a server whose
+// handler is wrapped with Instrument answers nam.OpStats with its
+// recorder's counters, even when it has no handler logic of its own.
+func TestOpStatsRPCRoundTrip(t *testing.T) {
+	fab := direct.New(1, 16<<20, nam.SuperblockBytes)
+	rec := telemetry.NewRecorder(1)
+	rec.RecordVerb(telemetry.VerbRead, 0, 64, 1500)
+	fab.SetHandler(telemetry.Instrument(nil, rec, nil))
+
+	m, err := telemetry.FetchStats(fab.Endpoint(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verbs, ok := m["verbs"].(map[string]any)
+	if !ok {
+		t.Fatalf("no verbs section in %v", m)
+	}
+	read, ok := verbs["READ"].(map[string]any)
+	if !ok {
+		t.Fatalf("no READ entry in %v", verbs)
+	}
+	if ops := read["ops"].(float64); ops != 1 {
+		t.Fatalf("READ ops = %v, want 1", ops)
+	}
+	if bytes := read["bytes"].(float64); bytes != 64 {
+		t.Fatalf("READ bytes = %v, want 64", bytes)
+	}
+
+	// A server with telemetry disabled reports an error, not garbage.
+	fab2 := direct.New(1, 16<<20, nam.SuperblockBytes)
+	fab2.SetHandler(telemetry.Instrument(nil, nil, telemetry.NewTracer()))
+	if _, err := telemetry.FetchStats(fab2.Endpoint(), 0); err == nil {
+		t.Fatal("FetchStats succeeded against a recorder-less server")
+	}
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Endpoint decorates an rdma.Endpoint, recording per-verb counters and
+// latencies into Rec and (optionally) emitting one trace span per verb into
+// Tr. The wrapped transport is unchanged; with Rec and Tr both nil every
+// method is a plain delegation behind one nil check.
+//
+// Like the endpoints it wraps, an Endpoint is owned by a single client
+// goroutine; the Recorder it feeds may be shared (its counters are atomic).
+type Endpoint struct {
+	Inner rdma.Endpoint
+	Rec   *Recorder
+	Clock Clock
+	Tr    *Tracer
+	// Pid/Tid name this endpoint's track in the trace (process = role,
+	// thread = client id).
+	Pid int
+	Tid int
+}
+
+var _ rdma.Endpoint = (*Endpoint)(nil)
+
+// Wrap decorates inner. A nil clock defaults to the wall clock; pass the
+// owning *sim.Proc on the simulated fabric so latencies are virtual-time.
+func Wrap(inner rdma.Endpoint, rec *Recorder, clock Clock) *Endpoint {
+	if clock == nil {
+		clock = Wall
+	}
+	return &Endpoint{Inner: inner, Rec: rec, Clock: clock}
+}
+
+// WithTrace attaches a tracer track to the endpoint and returns it.
+func (e *Endpoint) WithTrace(tr *Tracer, pid, tid int) *Endpoint {
+	e.Tr = tr
+	e.Pid = pid
+	e.Tid = tid
+	return e
+}
+
+// off reports whether instrumentation is disabled (the fast path).
+func (e *Endpoint) off() bool { return e.Rec == nil && e.Tr == nil }
+
+// finish records one completed verb issued at start.
+func (e *Endpoint) finish(v Verb, server int, bytes, start int64) {
+	end := e.Clock.Now()
+	if e.Rec != nil {
+		e.Rec.RecordVerb(v, server, bytes, end-start)
+	}
+	if e.Tr != nil {
+		e.Tr.Span(e.Pid, e.Tid, v.String(), "verb", start, end)
+	}
+}
+
+// Read implements rdma.Endpoint.
+func (e *Endpoint) Read(p rdma.RemotePtr, dst []uint64) error {
+	if e.off() {
+		return e.Inner.Read(p, dst)
+	}
+	start := e.Clock.Now()
+	err := e.Inner.Read(p, dst)
+	e.finish(VerbRead, p.Server(), int64(8*len(dst)), start)
+	return err
+}
+
+// ReadMulti implements rdma.Endpoint. The batch counts as one op (one
+// completion is waited on) whose bytes are the whole payload; destinations
+// are counted per pointer.
+func (e *Endpoint) ReadMulti(ps []rdma.RemotePtr, dst [][]uint64) error {
+	if e.off() {
+		return e.Inner.ReadMulti(ps, dst)
+	}
+	start := e.Clock.Now()
+	err := e.Inner.ReadMulti(ps, dst)
+	var bytes int64
+	for _, d := range dst {
+		bytes += int64(8 * len(d))
+	}
+	e.finish(VerbReadMulti, -1, bytes, start)
+	if e.Rec != nil {
+		for _, p := range ps {
+			e.Rec.RecordDest(VerbReadMulti, p.Server())
+		}
+	}
+	return err
+}
+
+// Write implements rdma.Endpoint.
+func (e *Endpoint) Write(p rdma.RemotePtr, src []uint64) error {
+	if e.off() {
+		return e.Inner.Write(p, src)
+	}
+	start := e.Clock.Now()
+	err := e.Inner.Write(p, src)
+	e.finish(VerbWrite, p.Server(), int64(8*len(src)), start)
+	return err
+}
+
+// CompareAndSwap implements rdma.Endpoint.
+func (e *Endpoint) CompareAndSwap(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	if e.off() {
+		return e.Inner.CompareAndSwap(p, old, new)
+	}
+	start := e.Clock.Now()
+	prev, err := e.Inner.CompareAndSwap(p, old, new)
+	e.finish(VerbCAS, p.Server(), 8, start)
+	return prev, err
+}
+
+// FetchAdd implements rdma.Endpoint.
+func (e *Endpoint) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
+	if e.off() {
+		return e.Inner.FetchAdd(p, delta)
+	}
+	start := e.Clock.Now()
+	prev, err := e.Inner.FetchAdd(p, delta)
+	e.finish(VerbFetchAdd, p.Server(), 8, start)
+	return prev, err
+}
+
+// Alloc implements rdma.Endpoint.
+func (e *Endpoint) Alloc(server int, n int) (rdma.RemotePtr, error) {
+	if e.off() {
+		return e.Inner.Alloc(server, n)
+	}
+	start := e.Clock.Now()
+	p, err := e.Inner.Alloc(server, n)
+	e.finish(VerbAlloc, server, int64(n), start)
+	return p, err
+}
+
+// Free implements rdma.Endpoint.
+func (e *Endpoint) Free(p rdma.RemotePtr, n int) error {
+	if e.off() {
+		return e.Inner.Free(p, n)
+	}
+	start := e.Clock.Now()
+	err := e.Inner.Free(p, n)
+	e.finish(VerbFree, p.Server(), int64(n), start)
+	return err
+}
+
+// Call implements rdma.Endpoint. Bytes count both directions of the message
+// exchange.
+func (e *Endpoint) Call(server int, req []byte) ([]byte, error) {
+	if e.off() {
+		return e.Inner.Call(server, req)
+	}
+	start := e.Clock.Now()
+	resp, err := e.Inner.Call(server, req)
+	e.finish(VerbCall, server, int64(len(req)+len(resp)), start)
+	return resp, err
+}
+
+// NumServers implements rdma.Endpoint.
+func (e *Endpoint) NumServers() int { return e.Inner.NumServers() }

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// envClock is satisfied by server execution environments that carry a
+// virtual clock (simnet's handler env); Instrument uses it so server-side
+// spans are timed in the simulation's time base.
+type envClock interface {
+	Now() int64
+}
+
+// serverPidBase offsets server handler tracks from client tracks in traces:
+// pid serverPidBase+s is server s's handler process group.
+const serverPidBase = 1000
+
+// ServerPid returns the trace process id of server s's handler track.
+func ServerPid(s int) int { return serverPidBase + s }
+
+// Instrument decorates an RPC handler with telemetry: it times every
+// request (virtual time when the env provides a clock), emits one trace
+// span per request on the owning server's track, and answers the
+// nam.OpStats introspection RPC itself with rec's live counters — so every
+// design's server, including a passive memory server with no handler logic
+// of its own, can report its telemetry over the existing connection.
+func Instrument(h rdma.Handler, rec *Recorder, tr *Tracer) rdma.Handler {
+	if rec == nil && tr == nil {
+		return h
+	}
+	return func(env rdma.Env, server int, req []byte) ([]byte, rdma.Work) {
+		if len(req) > 0 && req[0] == nam.OpStats {
+			return statsResponse(rec), rdma.Work{}
+		}
+		if h == nil {
+			return nam.ErrResponse(fmt.Errorf("telemetry: no handler installed")).Encode(), rdma.Work{}
+		}
+		if tr == nil {
+			return h(env, server, req)
+		}
+		clock, ok := env.(envClock)
+		if !ok {
+			resp, w := h(env, server, req)
+			return resp, w
+		}
+		start := clock.Now()
+		resp, w := h(env, server, req)
+		name := "rpc"
+		if len(req) > 0 {
+			name = nam.OpName(req[0])
+		}
+		tr.Span(serverPidBase+server, 0, name, "rpc", start, clock.Now())
+		return resp, w
+	}
+}
+
+// statsResponse encodes rec's counters as JSON packed into the response's
+// Pairs field.
+func statsResponse(rec *Recorder) []byte {
+	if rec == nil {
+		return nam.ErrResponse(fmt.Errorf("telemetry: not enabled on this server")).Encode()
+	}
+	blob, err := json.Marshal(rec.StatsMap())
+	if err != nil {
+		return nam.ErrResponse(err).Encode()
+	}
+	resp := &nam.Response{Status: nam.StatusOK, Pairs: nam.PackBytes(blob)}
+	return resp.Encode()
+}
+
+// FetchStats issues the nam.OpStats RPC to one server over ep and returns
+// the decoded JSON document.
+func FetchStats(ep rdma.Endpoint, server int) (map[string]any, error) {
+	req := nam.Request{Op: nam.OpStats}
+	raw, err := ep.Call(server, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := nam.DecodeResponse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.AsError(); err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(nam.UnpackBytes(resp.Pairs), &m); err != nil {
+		return nil, fmt.Errorf("telemetry: bad stats payload: %w", err)
+	}
+	return m, nil
+}

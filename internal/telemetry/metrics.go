@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var (
+	publishedMu sync.Mutex
+	published   = map[string]*Recorder{}
+)
+
+// Publish registers rec under name in the process-wide expvar registry, so
+// /debug/vars includes its live counters. Re-publishing a name replaces the
+// previous recorder instead of panicking (expvar.Publish panics on
+// duplicates, which would break server restarts in tests).
+func Publish(name string, rec *Recorder) {
+	publishedMu.Lock()
+	defer publishedMu.Unlock()
+	_, known := published[name]
+	published[name] = rec
+	if !known && expvar.Get(name) == nil {
+		expvar.Publish(name, expvar.Func(func() any {
+			publishedMu.Lock()
+			r := published[name]
+			publishedMu.Unlock()
+			if r == nil {
+				return nil
+			}
+			return r.StatsMap()
+		}))
+	}
+}
+
+// Mux returns an http mux serving the observability endpoints:
+// /debug/vars (expvar, includes every Published recorder) and
+// /debug/pprof/ (CPU, heap, goroutine, block profiles).
+func Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeMetrics starts the observability HTTP server on addr (e.g. ":6060")
+// in a background goroutine and returns the bound address. The server runs
+// until the process exits.
+func ServeMetrics(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Mux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}

@@ -1,0 +1,341 @@
+// Package telemetry provides verbs-level observability for the index
+// designs: an instrumented rdma.Endpoint decorator that counts and times
+// every verb a client issues, index-protocol event counters (traversal
+// depth, lock retries, splits, version aborts, cache effectiveness), a
+// Chrome trace_event emitter for per-op timelines, and expvar/pprof
+// surfacing for live deployments.
+//
+// The paper's argument (Figures 6-9) is made by counting verbs: who wins is
+// explained by how many READs/CASes/RPCs and bytes each design issues per
+// operation. This package makes those counts visible on every run.
+//
+// Everything here is a decorator: transports and protocol code are not
+// modified, and a nil *Recorder / *Tracer disables instrumentation with only
+// a nil-check on the hot path.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/stats"
+)
+
+// Verb enumerates the operations of the rdma.Endpoint interface.
+type Verb int
+
+// Verb values, one per rdma.Endpoint method.
+const (
+	VerbRead Verb = iota
+	VerbReadMulti
+	VerbWrite
+	VerbCAS
+	VerbFetchAdd
+	VerbAlloc
+	VerbFree
+	VerbCall
+	NumVerbs
+)
+
+var verbNames = [NumVerbs]string{
+	"READ", "READ_MULTI", "WRITE", "CAS", "FETCH_ADD", "ALLOC", "FREE", "CALL",
+}
+
+// String returns the verb's wire-level name.
+func (v Verb) String() string {
+	if v < 0 || v >= NumVerbs {
+		return fmt.Sprintf("VERB(%d)", int(v))
+	}
+	return verbNames[v]
+}
+
+// Clock supplies timestamps in nanoseconds. On real transports this is the
+// wall clock; on the simulated fabric it is a process's virtual clock
+// (*sim.Proc satisfies Clock directly), so latencies and traces are measured
+// in the same time base the simulation models.
+type Clock interface {
+	Now() int64
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() int64 { return time.Now().UnixNano() }
+
+// Wall is the real-time Clock used on the direct and tcpnet transports.
+var Wall Clock = wallClock{}
+
+// verbStats aggregates one verb type.
+type verbStats struct {
+	Ops   stats.Counter
+	Bytes stats.Counter
+	Dest  *stats.PerServer // ops per destination server
+	Lat   stats.Histogram  // nanoseconds per call
+}
+
+// Recorder accumulates telemetry. One Recorder may be shared by many
+// endpoints and handlers (all counters are atomic), or kept per worker and
+// folded together with Merge to keep the hot path contention-free.
+type Recorder struct {
+	servers int
+	verbs   [NumVerbs]verbStats
+
+	// Index-protocol counters (btree.Stats events).
+	indexOps  stats.Counter
+	depthSum  stats.Counter
+	pageReads stats.Counter
+	restarts  stats.Counter
+	lockSpins stats.Counter
+	verAborts stats.Counter
+	lockRetry stats.Counter
+	splits    stats.Counter
+
+	// Cache effectiveness counters (fed by internal/cache).
+	cacheHits  stats.Counter
+	cacheMiss  stats.Counter
+	cacheInval stats.Counter
+}
+
+// NewRecorder creates a Recorder for a cluster of numServers memory servers.
+func NewRecorder(numServers int) *Recorder {
+	r := &Recorder{servers: numServers}
+	for i := range r.verbs {
+		r.verbs[i].Dest = stats.NewPerServer(numServers)
+	}
+	return r
+}
+
+// RecordVerb records one completed verb: its destination server, payload
+// bytes, and latency in nanoseconds. server < 0 skips the destination
+// counter (used for batched verbs whose destinations are counted per
+// pointer via RecordDest).
+func (r *Recorder) RecordVerb(v Verb, server int, bytes, durNS int64) {
+	vs := &r.verbs[v]
+	vs.Ops.Inc()
+	vs.Bytes.Add(bytes)
+	if server >= 0 && server < r.servers {
+		vs.Dest.Add(server, 1)
+	}
+	vs.Lat.Record(durNS)
+}
+
+// RecordDest adds one destination hit for v without counting an op — used by
+// ReadMulti, which is one verb (one completion waited on) fanning out to
+// many servers.
+func (r *Recorder) RecordDest(v Verb, server int) {
+	if server >= 0 && server < r.servers {
+		r.verbs[v].Dest.Add(server, 1)
+	}
+}
+
+// RecordIndexOp folds the protocol counters of one completed index operation
+// into the recorder.
+func (r *Recorder) RecordIndexOp(st btree.Stats) {
+	r.indexOps.Inc()
+	r.depthSum.Add(int64(st.Depth))
+	r.pageReads.Add(int64(st.PageReads))
+	r.restarts.Add(int64(st.Restarts))
+	r.lockSpins.Add(int64(st.LockSpins))
+	r.verAborts.Add(int64(st.VersionAborts))
+	r.lockRetry.Add(int64(st.LockRetries))
+	r.splits.Add(int64(st.Splits))
+}
+
+// CacheHit counts one page-cache hit. Satisfies internal/cache's Telemetry
+// hook interface.
+func (r *Recorder) CacheHit() { r.cacheHits.Inc() }
+
+// CacheMiss counts one page-cache miss.
+func (r *Recorder) CacheMiss() { r.cacheMiss.Inc() }
+
+// CacheInvalidation counts one page-cache invalidation (a cached copy found
+// stale, or dropped after a structure modification).
+func (r *Recorder) CacheInvalidation() { r.cacheInval.Inc() }
+
+// Merge folds other's counts into r. Per-server destination counters are
+// folded up to the smaller cluster size.
+func (r *Recorder) Merge(other *Recorder) {
+	if other == nil {
+		return
+	}
+	for v := Verb(0); v < NumVerbs; v++ {
+		src, dst := &other.verbs[v], &r.verbs[v]
+		dst.Ops.Add(src.Ops.Load())
+		dst.Bytes.Add(src.Bytes.Load())
+		n := r.servers
+		if other.servers < n {
+			n = other.servers
+		}
+		for s := 0; s < n; s++ {
+			if c := src.Dest.Get(s); c != 0 {
+				dst.Dest.Add(s, c)
+			}
+		}
+		dst.Lat.Merge(&src.Lat)
+	}
+	r.indexOps.Add(other.indexOps.Load())
+	r.depthSum.Add(other.depthSum.Load())
+	r.pageReads.Add(other.pageReads.Load())
+	r.restarts.Add(other.restarts.Load())
+	r.lockSpins.Add(other.lockSpins.Load())
+	r.verAborts.Add(other.verAborts.Load())
+	r.lockRetry.Add(other.lockRetry.Load())
+	r.splits.Add(other.splits.Load())
+	r.cacheHits.Add(other.cacheHits.Load())
+	r.cacheMiss.Add(other.cacheMiss.Load())
+	r.cacheInval.Add(other.cacheInval.Load())
+}
+
+// VerbOps returns the op count of one verb.
+func (r *Recorder) VerbOps(v Verb) int64 { return r.verbs[v].Ops.Load() }
+
+// VerbBytes returns the byte count of one verb.
+func (r *Recorder) VerbBytes(v Verb) int64 { return r.verbs[v].Bytes.Load() }
+
+// VerbDest returns the per-server destination counts of one verb.
+func (r *Recorder) VerbDest(v Verb) []int64 { return r.verbs[v].Dest.Snapshot() }
+
+// VerbLatency returns a snapshot of one verb's latency histogram.
+func (r *Recorder) VerbLatency(v Verb) stats.Snapshot { return r.verbs[v].Lat.Snapshot() }
+
+// TotalOps returns the op count summed over all verbs.
+func (r *Recorder) TotalOps() int64 {
+	var t int64
+	for v := Verb(0); v < NumVerbs; v++ {
+		t += r.verbs[v].Ops.Load()
+	}
+	return t
+}
+
+// OneSidedOps returns the op count of the one-sided verbs (everything but
+// CALL) — the paper's "number of RDMA operations per lookup" metric.
+func (r *Recorder) OneSidedOps() int64 { return r.TotalOps() - r.VerbOps(VerbCall) }
+
+// StatsMap renders the recorder as a JSON-marshalable tree — the payload of
+// the expvar endpoint and the nam.OpStats RPC.
+func (r *Recorder) StatsMap() map[string]any {
+	verbs := map[string]any{}
+	for v := Verb(0); v < NumVerbs; v++ {
+		vs := &r.verbs[v]
+		ops := vs.Ops.Load()
+		if ops == 0 {
+			continue
+		}
+		lat := vs.Lat.Snapshot()
+		verbs[v.String()] = map[string]any{
+			"ops":        ops,
+			"bytes":      vs.Bytes.Load(),
+			"per_server": vs.Dest.Snapshot(),
+			"lat_ns": map[string]any{
+				"mean": int64(lat.Mean()),
+				"p50":  lat.Percentile(50),
+				"p99":  lat.Percentile(99),
+				"max":  lat.Max(),
+			},
+		}
+	}
+	m := map[string]any{
+		"verbs": verbs,
+		"index": map[string]any{
+			"ops":            r.indexOps.Load(),
+			"avg_depth":      r.avgDepth(),
+			"page_reads":     r.pageReads.Load(),
+			"restarts":       r.restarts.Load(),
+			"lock_spins":     r.lockSpins.Load(),
+			"version_aborts": r.verAborts.Load(),
+			"lock_retries":   r.lockRetry.Load(),
+			"splits":         r.splits.Load(),
+		},
+	}
+	if h, mi, iv := r.cacheHits.Load(), r.cacheMiss.Load(), r.cacheInval.Load(); h+mi+iv > 0 {
+		m["cache"] = map[string]any{"hits": h, "misses": mi, "invalidations": iv}
+	}
+	return m
+}
+
+func (r *Recorder) avgDepth() float64 {
+	ops := r.indexOps.Load()
+	if ops == 0 {
+		return 0
+	}
+	return float64(r.depthSum.Load()) / float64(ops)
+}
+
+// VerbTable renders the per-verb breakdown as an aligned text table: ops,
+// bytes, and latency percentiles per verb — the explanation appended to
+// every benchmark report.
+func (r *Recorder) VerbTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s%12s%12s%12s%12s%12s%12s\n",
+		"verb", "ops", "bytes", "p50(ns)", "p99(ns)", "max(ns)", "mean(ns)")
+	for v := Verb(0); v < NumVerbs; v++ {
+		vs := &r.verbs[v]
+		ops := vs.Ops.Load()
+		if ops == 0 {
+			continue
+		}
+		lat := vs.Lat.Snapshot()
+		fmt.Fprintf(&b, "%-12s%12s%12s%12d%12d%12d%12d\n",
+			v.String(),
+			stats.FormatQty(float64(ops)),
+			stats.FormatQty(float64(vs.Bytes.Load())),
+			lat.Percentile(50), lat.Percentile(99), lat.Max(), int64(lat.Mean()))
+	}
+	if r.TotalOps() == 0 {
+		b.WriteString("(no verbs recorded)\n")
+	}
+	return b.String()
+}
+
+// ProtoSummary renders the index-protocol counters on a few lines, including
+// per-op averages when index operations were recorded.
+func (r *Recorder) ProtoSummary() string {
+	var b strings.Builder
+	ops := r.indexOps.Load()
+	fmt.Fprintf(&b, "index ops=%s avg_depth=%.2f page_reads=%s restarts=%d (lock_spins=%d version_aborts=%d lock_retries=%d) splits=%d\n",
+		stats.FormatQty(float64(ops)), r.avgDepth(),
+		stats.FormatQty(float64(r.pageReads.Load())),
+		r.restarts.Load(), r.lockSpins.Load(), r.verAborts.Load(),
+		r.lockRetry.Load(), r.splits.Load())
+	if h, mi, iv := r.cacheHits.Load(), r.cacheMiss.Load(), r.cacheInval.Load(); h+mi > 0 {
+		fmt.Fprintf(&b, "cache hits=%s misses=%s invalidations=%d hit_rate=%.1f%%\n",
+			stats.FormatQty(float64(h)), stats.FormatQty(float64(mi)), iv,
+			100*float64(h)/float64(h+mi))
+	}
+	return b.String()
+}
+
+// DestSkew summarizes destination balance: the per-server share of all verb
+// traffic, sorted descending — a quick view of hot servers.
+func (r *Recorder) DestSkew() string {
+	totals := make([]int64, r.servers)
+	var sum int64
+	for v := Verb(0); v < NumVerbs; v++ {
+		for s, c := range r.verbs[v].Dest.Snapshot() {
+			totals[s] += c
+			sum += c
+		}
+	}
+	if sum == 0 {
+		return "(no destinations recorded)"
+	}
+	type sv struct {
+		srv int
+		n   int64
+	}
+	order := make([]sv, len(totals))
+	for i, n := range totals {
+		order[i] = sv{i, n}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].n > order[j].n })
+	var b strings.Builder
+	for i, e := range order {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "s%d:%.1f%%", e.srv, 100*float64(e.n)/float64(sum))
+	}
+	return b.String()
+}

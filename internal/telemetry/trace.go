@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one entry of the Chrome trace_event format (the JSON array
+// flavour understood by chrome://tracing and Perfetto). Timestamps and
+// durations are in microseconds; Ph is the event phase ("X" = complete
+// event, "M" = metadata).
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Tracer collects trace events from any number of goroutines and writes
+// them as a Chrome trace JSON document. Events past MaxEvents are dropped
+// (counted) so a long run cannot exhaust memory.
+type Tracer struct {
+	// MaxEvents bounds the buffer; 0 means DefaultMaxEvents.
+	MaxEvents int
+
+	mu      sync.Mutex
+	events  []TraceEvent
+	dropped int64
+}
+
+// DefaultMaxEvents bounds a Tracer's buffer unless overridden.
+const DefaultMaxEvents = 1 << 20
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span records a complete ("X") event on the (pid, tid) track. Timestamps
+// are nanoseconds from the track's Clock (wall or virtual); they are
+// converted to the format's microseconds at emission.
+func (t *Tracer) Span(pid, tid int, name, cat string, startNS, endNS int64) {
+	if endNS < startNS {
+		endNS = startNS
+	}
+	t.add(TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts:  float64(startNS) / 1e3,
+		Dur: float64(endNS-startNS) / 1e3,
+		Pid: pid, Tid: tid,
+	})
+}
+
+// Instant records a zero-duration instant event on the (pid, tid) track.
+func (t *Tracer) Instant(pid, tid int, name, cat string, tsNS int64) {
+	t.add(TraceEvent{
+		Name: name, Cat: cat, Ph: "i",
+		Ts:  float64(tsNS) / 1e3,
+		Pid: pid, Tid: tid,
+		Args: map[string]string{"s": "t"},
+	})
+}
+
+// NameProcess attaches a display name to a pid's track group (e.g.
+// "clients", "server 2 handlers").
+func (t *Tracer) NameProcess(pid int, name string) {
+	t.add(TraceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]string{"name": name},
+	})
+}
+
+// NameThread attaches a display name to one (pid, tid) track.
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	t.add(TraceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]string{"name": name},
+	})
+}
+
+func (t *Tracer) add(ev TraceEvent) {
+	max := t.MaxEvents
+	if max == 0 {
+		max = DefaultMaxEvents
+	}
+	t.mu.Lock()
+	if len(t.events) >= max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded because the buffer filled.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSON writes the buffered events as a Chrome trace JSON object
+// ({"traceEvents": [...]}), loadable in chrome://tracing and Perfetto.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := t.events
+	t.mu.Unlock()
+	doc := struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ns"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerWritesValidChromeJSON(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(0, "clients")
+	tr.NameThread(0, 1, "client 1")
+	tr.Span(0, 1, "READ", "verb", 2000, 5000)
+	tr.Instant(1000, 0, "stats", "rpc", 2500)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.Bytes())
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	var span *TraceEvent
+	for i := range doc.TraceEvents {
+		ev := &doc.TraceEvents[i]
+		if ev.Ph == "" {
+			t.Fatalf("event %d has no phase: %+v", i, ev)
+		}
+		if ev.Ph == "X" {
+			span = ev
+		}
+	}
+	if span == nil {
+		t.Fatal("no complete event emitted")
+	}
+	// Nanosecond inputs must land as microseconds in the document.
+	if span.Ts != 2.0 || span.Dur != 3.0 {
+		t.Fatalf("span ts/dur = %v/%v, want 2/3 µs", span.Ts, span.Dur)
+	}
+	if span.Pid != 0 || span.Tid != 1 || span.Name != "READ" {
+		t.Fatalf("span track wrong: %+v", span)
+	}
+}
+
+func TestTracerNegativeDurationClamped(t *testing.T) {
+	tr := NewTracer()
+	tr.Span(0, 0, "x", "verb", 5000, 4000)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if d := doc.TraceEvents[0].Dur; d < 0 {
+		t.Fatalf("negative duration %v emitted", d)
+	}
+}
+
+func TestTracerDropsPastMaxEvents(t *testing.T) {
+	tr := &Tracer{MaxEvents: 3}
+	for i := 0; i < 10; i++ {
+		tr.Span(0, 0, "a", "verb", 0, 1)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("buffered %d events, want 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped %d events, want 7", tr.Dropped())
+	}
+}
