@@ -126,7 +126,13 @@ func BenchmarkFig7ThroughputSkew(b *testing.B) {
 func BenchmarkFig8ThroughputUniform(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cg := runPoint(b, pointCfg(nam.CoarseGrained, 120))
-		fg := runPoint(b, pointCfg(nam.FineGrained, 120))
+		// The paper's Figure 8 assumes the Listing-2 protocol (two READs
+		// per level); the default fused doorbell batch amortizes enough
+		// server-NIC cost to flip this ordering. Pin the legacy protocol
+		// here; the batched path is measured by the rtt experiment.
+		fgCfg := pointCfg(nam.FineGrained, 120)
+		fgCfg.LegacyReads = true
+		fg := runPoint(b, fgCfg)
 		hy := runPoint(b, pointCfg(nam.Hybrid, 120))
 		if !(hy.Throughput > fg.Throughput && cg.Throughput > fg.Throughput) {
 			b.Fatalf("figure 8 ordering diverged: cg=%f fg=%f hy=%f",
@@ -231,7 +237,11 @@ func BenchmarkFig13LatencySkew(b *testing.B) {
 func BenchmarkFig14LatencyUniform(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cg := runPoint(b, pointCfg(nam.CoarseGrained, 20))
-		fg := runPoint(b, pointCfg(nam.FineGrained, 20))
+		// As in Figure 8: the paper's one-sided latency assumes two READs
+		// per level, so the legacy protocol is pinned for this figure.
+		fgCfg := pointCfg(nam.FineGrained, 20)
+		fgCfg.LegacyReads = true
+		fg := runPoint(b, fgCfg)
 		if fg.Latency.Percentile(50) <= cg.Latency.Percentile(50) {
 			b.Fatal("figure 14 low-load ordering diverged")
 		}
@@ -280,8 +290,14 @@ func BenchmarkCacheA4(b *testing.B) {
 // ranges with head nodes beat ranges without.
 func BenchmarkAblationHeadNodes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		// Section 4.3 motivates head nodes against the Listing-2 protocol's
+		// two READs per leaf; the fused read path already batches each leaf's
+		// validation, which narrows the gap enough to erase it at saturation.
+		// Quantify the paper's ablation on the paper's protocol.
 		with := rangeCfg(nam.FineGrained, 120, 0.01)
+		with.LegacyReads = true
 		without := rangeCfg(nam.FineGrained, 120, 0.01)
+		without.LegacyReads = true
 		without.HeadEvery = 0
 		wRes, woRes := runPoint(b, with), runPoint(b, without)
 		if wRes.Throughput <= woRes.Throughput {

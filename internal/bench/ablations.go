@@ -21,6 +21,7 @@ func extensions() []Experiment {
 		{"ablation-hotspot", "Ablation: Insert Hotspot (Append vs Uniform Inserts, Workload D)", expAblationHotspot},
 		{"ablation-srq", "Ablation: SRQ Handler Cores (Coarse-Grained, Point Queries)", expAblationSRQ},
 		{"ablation-zipf", "Ablation: Zipfian Request Skew (Point Queries)", expAblationZipf},
+		{"rtt", "Doorbell-Batched Consistent Reads: Exposed RTTs and Latency (Fine-Grained)", expRTT},
 	}
 }
 

@@ -65,6 +65,12 @@ type Config struct {
 	// CachePages enables a compute-side page cache of this many pages per
 	// client on the fine-grained design (Appendix A.4).
 	CachePages int
+	// LegacyReads runs fine-grained clients with the paper's original
+	// Listing-2 read protocol (two blocking READs per level) instead of the
+	// fused doorbell-batched protocol — the measured baseline of the RTT
+	// experiment and the verb sequence the paper's figures assume. Ignored
+	// by the other designs and by cached clients.
+	LegacyReads bool
 	// WarmupNS and MeasureNS are the virtual warm-up and measurement
 	// windows.
 	WarmupNS  int64
@@ -242,7 +248,12 @@ func Run(cfg Config) (Result, error) {
 				c.SetRecorder(rec)
 				return c
 			}
-			c := fine.NewClient(clientEp(id, p), fab.ClientEnv(p), cat, id)
+			var c *fine.Client
+			if cfg.LegacyReads {
+				c = fine.NewUnbatchedClient(clientEp(id, p), fab.ClientEnv(p), cat, id)
+			} else {
+				c = fine.NewClient(clientEp(id, p), fab.ClientEnv(p), cat, id)
+			}
 			c.SetRecorder(rec)
 			return c
 		}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/stats"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// RTTBaselinePath is where expRTT writes its machine-readable before/after
+// baseline, so future changes can track the round-trip trajectory. Relative
+// paths resolve against the process working directory (the repo root when
+// run through cmd/nambench in CI).
+var RTTBaselinePath = "BENCH_rtt.json"
+
+// RTTMode is one protocol variant's measurement in the RTT report.
+type RTTMode struct {
+	ThroughputOpsSec float64 `json:"throughput_ops_sec"`
+	MeanLatencyNS    float64 `json:"mean_latency_ns"`
+	P50LatencyNS     int64   `json:"p50_latency_ns"`
+	P99LatencyNS     int64   `json:"p99_latency_ns"`
+	// RTTsPerOp is blocking verbs (batches counted once — one completion
+	// waited on) per index operation, measured at the endpoint: the exact
+	// exposed-round-trip count in both modes.
+	RTTsPerOp float64 `json:"rtts_per_op"`
+	AvgDepth  float64 `json:"avg_depth"`
+}
+
+// RTTComparison is one workload panel: the unbatched baseline vs the fused
+// doorbell-batched protocol.
+type RTTComparison struct {
+	Legacy      RTTMode `json:"legacy"`
+	Fused       RTTMode `json:"fused"`
+	MeanSpeedup float64 `json:"mean_latency_speedup"`
+	RTTRatio    float64 `json:"rtts_per_op_ratio"`
+}
+
+// RTTReport is the BENCH_rtt.json payload.
+type RTTReport struct {
+	DataSize  int           `json:"data_size"`
+	Clients   int           `json:"clients"`
+	PageBytes int           `json:"page_bytes"`
+	HeadEvery int           `json:"head_every"`
+	Point     RTTComparison `json:"point_lookup"`
+	Scan      RTTComparison `json:"range_scan"`
+}
+
+// runRTTMode executes one point of the RTT experiment and extracts the
+// round-trip metrics from the run's telemetry.
+func runRTTMode(sc Scale, clients int, scan, legacy bool) (RTTMode, error) {
+	cfg := baseConfig(nam.FineGrained, sc, clients)
+	cfg.LegacyReads = legacy
+	cfg.Telemetry = true
+	if scan {
+		cfg.Mix = workload.WorkloadB
+		cfg.Selectivity = 0.001
+		cfg.MeasureNS = sc.MeasureRangeNS
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		return RTTMode{}, err
+	}
+	m := RTTMode{
+		ThroughputOpsSec: res.Throughput,
+		MeanLatencyNS:    res.Latency.Snapshot().Mean(),
+		P50LatencyNS:     res.Latency.Percentile(50),
+		P99LatencyNS:     res.Latency.Percentile(99),
+	}
+	if rec := res.Telemetry; rec != nil && rec.IndexOps() > 0 {
+		// Every endpoint verb (including a ReadMulti batch, which waits on
+		// one completion) is one blocking interaction; dividing by index
+		// ops gives exposed round trips per operation in either mode.
+		m.RTTsPerOp = float64(rec.TotalOps()) / float64(rec.IndexOps())
+		idx := rec.StatsMap()["index"].(map[string]any)
+		m.AvgDepth = idx["avg_depth"].(float64)
+	}
+	return m, nil
+}
+
+func rttCompare(legacy, fused RTTMode) RTTComparison {
+	c := RTTComparison{Legacy: legacy, Fused: fused}
+	if fused.MeanLatencyNS > 0 {
+		c.MeanSpeedup = legacy.MeanLatencyNS / fused.MeanLatencyNS
+	}
+	if fused.RTTsPerOp > 0 {
+		c.RTTRatio = legacy.RTTsPerOp / fused.RTTsPerOp
+	}
+	return c
+}
+
+// RunRTT executes the doorbell-batching experiment (point lookups and range
+// scans, legacy vs fused read protocol) at low concurrency, where latency —
+// the metric round trips dominate — is exposed rather than overlapped.
+func RunRTT(sc Scale) (RTTReport, error) {
+	clients := sc.Clients[0]
+	rep := RTTReport{
+		DataSize:  sc.DataSize,
+		Clients:   clients,
+		PageBytes: 1024,
+		HeadEvery: 32,
+	}
+	var modes [2]RTTMode
+	for i, legacy := range []bool{true, false} {
+		m, err := runRTTMode(sc, clients, false, legacy)
+		if err != nil {
+			return rep, fmt.Errorf("rtt/point/legacy=%v: %w", legacy, err)
+		}
+		modes[i] = m
+	}
+	rep.Point = rttCompare(modes[0], modes[1])
+	for i, legacy := range []bool{true, false} {
+		m, err := runRTTMode(sc, clients, true, legacy)
+		if err != nil {
+			return rep, fmt.Errorf("rtt/scan/legacy=%v: %w", legacy, err)
+		}
+		modes[i] = m
+	}
+	rep.Scan = rttCompare(modes[0], modes[1])
+	return rep, nil
+}
+
+// expRTT is the nambench surface of RunRTT: it renders the comparison tables
+// and writes the machine-readable baseline to RTTBaselinePath.
+func expRTT(w io.Writer, sc Scale) error {
+	rep, err := RunRTT(sc)
+	if err != nil {
+		return err
+	}
+	panel := func(name string, c RTTComparison) {
+		lat := &stats.Series{Name: "mean latency (ns)"}
+		p50 := &stats.Series{Name: "p50 (ns)"}
+		rtt := &stats.Series{Name: "RTTs/op"}
+		thr := &stats.Series{Name: "ops/s"}
+		for i, m := range []RTTMode{c.Legacy, c.Fused} {
+			x := float64(i)
+			lat.Append(x, m.MeanLatencyNS)
+			p50.Append(x, float64(m.P50LatencyNS))
+			rtt.Append(x, m.RTTsPerOp)
+			thr.Append(x, m.ThroughputOpsSec)
+		}
+		fmt.Fprintf(w, "%s (%d clients; x: 0 = legacy two-READ, 1 = fused doorbell batch)\n", name, rep.Clients)
+		fmt.Fprintln(w, stats.Table("mode", "value", lat, p50, rtt, thr))
+		fmt.Fprintf(w, "mean latency speedup %.2fx, RTTs/op %.2f -> %.2f (avg depth %.2f)\n\n",
+			c.MeanSpeedup, c.Legacy.RTTsPerOp, c.Fused.RTTsPerOp, c.Fused.AvgDepth)
+	}
+	panel("Point Lookups", rep.Point)
+	panel("Range Scans (Sel=0.001)", rep.Scan)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(RTTBaselinePath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("rtt: writing baseline: %w", err)
+	}
+	fmt.Fprintf(w, "wrote %s\n", RTTBaselinePath)
+	return nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRTTBatchingWins pins the tentpole acceptance criteria of the fused
+// consistent-read protocol on simnet: fine-grained point-lookup mean latency
+// improves by at least 1.5x over the unbatched Listing-2 baseline, and the
+// measured exposed round trips per lookup drop from ~2·depth+1 to ~depth+1.
+func TestRTTBatchingWins(t *testing.T) {
+	sc := Scale{
+		DataSize:       60_000,
+		Clients:        []int{20},
+		MeasurePointNS: 8_000_000,
+		MeasureRangeNS: 16_000_000,
+	}
+	clients := sc.Clients[0]
+
+	legacy, err := runRTTMode(sc, clients, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := runRTTMode(sc, clients, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("legacy: mean=%.0fns rtts/op=%.2f depth=%.2f", legacy.MeanLatencyNS, legacy.RTTsPerOp, legacy.AvgDepth)
+	t.Logf("fused:  mean=%.0fns rtts/op=%.2f depth=%.2f", fused.MeanLatencyNS, fused.RTTsPerOp, fused.AvgDepth)
+
+	if fused.MeanLatencyNS <= 0 || legacy.MeanLatencyNS <= 0 {
+		t.Fatal("no latency measured")
+	}
+	if speedup := legacy.MeanLatencyNS / fused.MeanLatencyNS; speedup < 1.5 {
+		t.Fatalf("fused point-lookup mean latency speedup %.2fx, want >= 1.5x", speedup)
+	}
+	// A warm-root clean descent is depth fused batches; right-moves and the
+	// odd root refresh add a fraction. The legacy protocol pays two READs
+	// per level (minus early-outs on locked copies).
+	d := fused.AvgDepth
+	if d < 2 {
+		t.Fatalf("avg depth %.2f, want a multi-level tree", d)
+	}
+	if fused.RTTsPerOp > d+0.5 {
+		t.Fatalf("fused RTTs/op %.2f, want <= depth+0.5 = %.2f", fused.RTTsPerOp, d+0.5)
+	}
+	if legacy.RTTsPerOp < 2*d-0.5 {
+		t.Fatalf("legacy RTTs/op %.2f, want >= 2*depth-0.5 = %.2f", legacy.RTTsPerOp, 2*d-0.5)
+	}
+}
+
+// TestRTTExperimentWritesBaseline runs the nambench rtt experiment end to
+// end at a tiny scale and validates the BENCH_rtt.json it writes.
+func TestRTTExperimentWritesBaseline(t *testing.T) {
+	old := RTTBaselinePath
+	RTTBaselinePath = filepath.Join(t.TempDir(), "BENCH_rtt.json")
+	defer func() { RTTBaselinePath = old }()
+
+	sc := Scale{
+		DataSize:       30_000,
+		Clients:        []int{10},
+		MeasurePointNS: 4_000_000,
+		MeasureRangeNS: 8_000_000,
+	}
+	if err := expRTT(io.Discard, sc); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(RTTBaselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep RTTReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_rtt.json malformed: %v", err)
+	}
+	if rep.Point.Fused.RTTsPerOp <= 0 || rep.Point.Legacy.RTTsPerOp <= 0 {
+		t.Fatalf("missing RTT measurements: %+v", rep.Point)
+	}
+	if rep.Point.Fused.RTTsPerOp >= rep.Point.Legacy.RTTsPerOp {
+		t.Fatalf("batching did not reduce RTTs/op: fused %.2f >= legacy %.2f",
+			rep.Point.Fused.RTTsPerOp, rep.Point.Legacy.RTTsPerOp)
+	}
+	if rep.Scan.Fused.MeanLatencyNS <= 0 {
+		t.Fatalf("scan panel missing: %+v", rep.Scan)
+	}
+}

@@ -1,0 +1,73 @@
+package btree
+
+import (
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+)
+
+// Micro-benchmarks of the hot read paths on the direct (zero-latency)
+// transport, with allocation reporting: the fused consistent-read protocol
+// and the scratch-buffer reuse in Lookup's sibling walk and scanChain are
+// meant to keep these nearly allocation-free in steady state.
+
+func benchTree(b *testing.B, n, headEvery int) *Tree {
+	b.Helper()
+	f := direct.New(4, 256<<20, nam.SuperblockBytes)
+	l := layout.New(512)
+	root := rdma.MakePtr(0, 0)
+	tr := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
+	if _, err := tr.Build(rdma.NopEnv{}, BuildConfig{HeadEvery: headEvery}, n,
+		func(i int) (uint64, uint64) { return uint64(i), uint64(i) }); err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkLookup(b *testing.B) {
+	const n = 100000
+	tr := benchTree(b, n, 0)
+	env := rdma.NopEnv{}
+	if _, _, err := tr.Lookup(env, 1); err != nil { // warm the root pointer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i*2654435761) % n
+		vals, _, err := tr.Lookup(env, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) != 1 {
+			b.Fatalf("Lookup(%d) = %v", k, vals)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	const n = 100000
+	tr := benchTree(b, n, 8)
+	env := rdma.NopEnv{}
+	if _, _, err := tr.Lookup(env, 1); err != nil { // warm the root pointer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i*2654435761) % (n - 2000)
+		count := 0
+		if _, err := tr.Scan(env, lo, lo+1999, func(k, v uint64) bool {
+			count++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if count != 2000 {
+			b.Fatalf("scan [%d,%d] emitted %d", lo, lo+1999, count)
+		}
+	}
+}

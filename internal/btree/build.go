@@ -270,11 +270,13 @@ func (t *Tree) Compact(env rdma.Env) (removed int, st Stats, err error) {
 	if err != nil {
 		return 0, st, err
 	}
+	var buf []uint64
 	for !p.IsNull() {
-		n, _, err := t.readNode(env, &st, p, nil)
+		n, _, err := t.readNode(env, &st, p, buf)
 		if err != nil {
 			return removed, st, err
 		}
+		buf = n.W
 		if n.IsHead() {
 			p = n.Right()
 			continue
@@ -328,11 +330,13 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 	// Pass 1: unlink all existing head nodes. For each head H between
 	// leaves A and B (A -> H -> B), lock A and repoint A.Right to B.
 	var prevLeaf rdma.RemotePtr
+	var buf []uint64
 	for !p.IsNull() {
-		n, _, err := t.readNode(env, &st, p, nil)
+		n, _, err := t.readNode(env, &st, p, buf)
 		if err != nil {
 			return retired, st, err
 		}
+		buf = n.W
 		if !n.IsHead() {
 			prevLeaf = p
 			p = n.Right()
@@ -362,11 +366,13 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 		return retired, st, err
 	}
 	var group []rdma.RemotePtr // leaves of the current group, in order
+	buf = nil
 	for !p.IsNull() {
-		n, _, err := t.readNode(env, &st, p, nil)
+		n, _, err := t.readNode(env, &st, p, buf)
 		if err != nil {
 			return retired, st, err
 		}
+		buf = n.W
 		next := n.Right()
 		group = append(group, p)
 		if len(group) == every+1 || next.IsNull() {
@@ -376,6 +382,7 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 				if err != nil {
 					return retired, st, err
 				}
+				st.ExposedRTTs++
 				h := t.L.NewNode()
 				h.InitHead()
 				for _, lp := range group[1:] {
@@ -387,6 +394,7 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 					return retired, st, err
 				}
 				st.PageWrites++
+				st.ExposedRTTs++
 				// Link group[0] -> head.
 				lp0, ln0, _, err := t.lockNodeForKey(env, &st, group[0], 0)
 				if err != nil {
@@ -434,8 +442,11 @@ func (t *Tree) CheckInvariants(env rdma.Env) (liveEntries int, err error) {
 	if err != nil {
 		return 0, err
 	}
-	// Walk each level left-to-right.
+	// Walk each level left-to-right. The walk buffer is reused node to node;
+	// nested reads (head targets, children) use a separate buffer because the
+	// parent copy must stay live across them.
 	levelStart := rootPtr
+	var buf, childBuf []uint64
 	for lvl := root.Level(); lvl >= 0; lvl-- {
 		p := levelStart
 		var prevHigh layout.Key
@@ -443,19 +454,21 @@ func (t *Tree) CheckInvariants(env rdma.Env) (liveEntries int, err error) {
 		var lastHigh layout.Key
 		var nextLevelStart rdma.RemotePtr
 		for !p.IsNull() {
-			n, _, err := t.readNode(env, &st, p, nil)
+			n, _, err := t.readNode(env, &st, p, buf)
 			if err != nil {
 				return 0, err
 			}
+			buf = n.W
 			if n.IsHead() {
 				if lvl != 0 {
 					return 0, fmt.Errorf("head node on level %d", lvl)
 				}
 				for i := 0; i < n.Count(); i++ {
-					hn, _, err := t.readNode(env, &st, n.HeadPtr(i), nil)
+					hn, _, err := t.readNode(env, &st, n.HeadPtr(i), childBuf)
 					if err != nil {
 						return 0, err
 					}
+					childBuf = hn.W
 					if !hn.IsLeaf() {
 						return 0, fmt.Errorf("head pointer %d targets non-leaf", i)
 					}
@@ -512,10 +525,11 @@ func (t *Tree) CheckInvariants(env rdma.Env) (liveEntries int, err error) {
 					return 0, fmt.Errorf("inner node %v last separator %d != fence %d", p, n.InnerKey(n.Count()-1), n.HighKey())
 				}
 				for i := 0; i < n.Count(); i++ {
-					child, _, err := t.readNode(env, &st, n.InnerChild(i), nil)
+					child, _, err := t.readNode(env, &st, n.InnerChild(i), childBuf)
 					if err != nil {
 						return 0, err
 					}
+					childBuf = child.W
 					if child.Level() != lvl-1 {
 						return 0, fmt.Errorf("child %d of %v has level %d; want %d", i, p, child.Level(), lvl-1)
 					}

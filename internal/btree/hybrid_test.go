@@ -19,7 +19,7 @@ func TestHybridComposition(t *testing.T) {
 	// Server-side handle: upper levels live on server 0.
 	server := New(l, LocalMem{Srv: f.Server(0)}, root)
 	// Client-side handle: leaves accessed one-sided, placed round-robin.
-	client := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 1)}, root)
+	client := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 1)}, root)
 
 	if err := server.Init(env); err != nil {
 		t.Fatal(err)
@@ -41,7 +41,7 @@ func TestHybridComposition(t *testing.T) {
 			}
 		}
 	}
-	checker := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
+	checker := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
 	live, err := checker.CheckInvariants(env)
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +125,7 @@ func TestHybridConcurrent(t *testing.T) {
 			// Each goroutine owns both a server-side handle (simulating the
 			// RPC handler thread) and a client-side handle.
 			server := New(l, LocalMem{Srv: f.Server(0)}, root)
-			client := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, c)}, root)
+			client := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, c)}, root)
 			rng := rand.New(rand.NewSource(int64(c)))
 			for i := 0; i < perC; i++ {
 				k := uint64(rng.Intn(10000))
@@ -149,7 +149,7 @@ func TestHybridConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	checker := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
+	checker := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
 	live, err := checker.CheckInvariants(env)
 	if err != nil {
 		t.Fatal(err)

@@ -24,6 +24,7 @@
 package btree
 
 import (
+	"github.com/namdb/rdmatree/internal/layout"
 	"github.com/namdb/rdmatree/internal/rdma"
 )
 
@@ -32,6 +33,15 @@ import (
 type Mem interface {
 	// ReadWords copies len(dst) words from p.
 	ReadWords(p rdma.RemotePtr, dst []uint64) error
+	// ReadValidated copies len(dst) words from p and then re-reads the
+	// version word at p (the page's first word), in that order. It returns
+	// the re-read version and whether the copy is consistent: the version
+	// is unlocked and matches dst[0]. On RC transports both READs are
+	// posted in one selectively-signalled doorbell batch — same-QP READs
+	// complete in order, so waiting on the trailing word's completion
+	// alone validates the page copy in a single exposed round trip
+	// (Listing 2's page READ + version READ, fused).
+	ReadValidated(p rdma.RemotePtr, dst []uint64) (version uint64, ok bool, err error)
 	// WriteWords copies src to p.
 	WriteWords(p rdma.RemotePtr, src []uint64) error
 	// LoadWord reads the single word at p.
@@ -48,10 +58,19 @@ type Mem interface {
 	AllocPage(level int, n int) (rdma.RemotePtr, error)
 	// FreePage returns a page to its allocator.
 	FreePage(p rdma.RemotePtr, n int) error
-	// ReadPages reads multiple pages; used by the head-node prefetch
-	// optimization (Section 4.3) which issues selectively signalled READs
-	// for a whole batch of leaves at once.
-	ReadPages(ps []rdma.RemotePtr, dst [][]uint64) error
+	// ReadPages reads the pages at ps into dst and then re-reads each
+	// page's version word into versions, all in one selectively signalled
+	// batch (2N entries: N page READs followed by N version READs) — the
+	// head-node prefetch of Section 4.3 fused with its validation pass.
+	// versions[i] corresponds to ps[i]; a prefetched copy is consistent
+	// iff versions[i] == dst[i][0] and the version is unlocked.
+	ReadPages(ps []rdma.RemotePtr, dst [][]uint64, versions []uint64) error
+}
+
+// validated reports the (version, ok) pair for a page copy whose version
+// word re-read returned v: consistent iff unlocked and unchanged.
+func validated(v uint64, dst []uint64) (uint64, bool) {
+	return v, v == dst[0] && !layout.IsLocked(v)
 }
 
 // LocalMem is a Mem over the local region of a single memory server. All
@@ -77,6 +96,15 @@ func (m LocalMem) check(p rdma.RemotePtr) uint64 {
 func (m LocalMem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
 	m.Srv.Region.Read(m.check(p), dst)
 	return nil
+}
+
+// ReadValidated implements Mem: a local copy plus a re-load of the version
+// word. No batching is needed — local accesses have no round trip to hide.
+func (m LocalMem) ReadValidated(p rdma.RemotePtr, dst []uint64) (uint64, bool, error) {
+	off := m.check(p)
+	m.Srv.Region.Read(off, dst)
+	v, ok := validated(m.Srv.Region.Load(off), dst)
+	return v, ok, nil
 }
 
 // WriteWords implements Mem.
@@ -116,9 +144,11 @@ func (m LocalMem) FreePage(p rdma.RemotePtr, n int) error {
 }
 
 // ReadPages implements Mem.
-func (m LocalMem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64) error {
+func (m LocalMem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64, versions []uint64) error {
 	for i, p := range ps {
-		m.Srv.Region.Read(m.check(p), dst[i])
+		off := m.check(p)
+		m.Srv.Region.Read(off, dst[i])
+		versions[i] = m.Srv.Region.Load(off)
 	}
 	return nil
 }
@@ -146,54 +176,120 @@ func Fixed(server int) Placement {
 
 // EndpointMem is a Mem over the one-sided verbs of a compute server's
 // endpoint: the fine-grained design's client-side view.
+//
+// EndpointMem is stateful (per-call scratch buffers keep the hot path
+// allocation-free), so it is used through a pointer and must not be shared
+// between goroutines — each client owns one, matching the one-QP-per-client
+// connection model.
 type EndpointMem struct {
 	Ep    rdma.Endpoint
 	Place Placement
+
+	// Unbatched selects the paper's original Listing-2 protocol: the page
+	// READ and the version READ are issued as two separate blocking verbs
+	// (two exposed round trips per level). It exists as the measured
+	// baseline for the doorbell-batching experiment; leave it false for
+	// the fused single-round-trip protocol.
+	Unbatched bool
+
+	vbuf      [1]uint64
+	batchPtrs []rdma.RemotePtr
+	batchDst  [][]uint64
 }
 
-var _ Mem = EndpointMem{}
+var _ Mem = (*EndpointMem)(nil)
 
 // ReadWords implements Mem.
-func (m EndpointMem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
+func (m *EndpointMem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
 	return m.Ep.Read(p, dst)
 }
 
+// ReadValidated implements Mem. The fused path posts the full-page READ and
+// the 8-byte version READ to the same QP in one doorbell and waits only on
+// the second completion: RC READs on one QP complete in order, so the page
+// copy is already stable when the version word lands — one exposed round
+// trip replaces Listing 2's two.
+func (m *EndpointMem) ReadValidated(p rdma.RemotePtr, dst []uint64) (uint64, bool, error) {
+	if m.Unbatched {
+		// Paper baseline: page READ, then (only if the copy is not
+		// obviously locked) a separate version READ.
+		if err := m.Ep.Read(p, dst); err != nil {
+			return 0, false, err
+		}
+		if layout.IsLocked(dst[0]) {
+			return dst[0], false, nil
+		}
+		if err := m.Ep.Read(p, m.vbuf[:]); err != nil {
+			return 0, false, err
+		}
+		v, ok := validated(m.vbuf[0], dst)
+		return v, ok, nil
+	}
+	m.batchPtrs = append(m.batchPtrs[:0], p, p)
+	m.batchDst = append(m.batchDst[:0], dst, m.vbuf[:])
+	if err := m.Ep.ReadMulti(m.batchPtrs, m.batchDst); err != nil {
+		return 0, false, err
+	}
+	v, ok := validated(m.vbuf[0], dst)
+	return v, ok, nil
+}
+
 // WriteWords implements Mem.
-func (m EndpointMem) WriteWords(p rdma.RemotePtr, src []uint64) error {
+func (m *EndpointMem) WriteWords(p rdma.RemotePtr, src []uint64) error {
 	return m.Ep.Write(p, src)
 }
 
 // LoadWord implements Mem.
-func (m EndpointMem) LoadWord(p rdma.RemotePtr) (uint64, error) {
-	var w [1]uint64
-	if err := m.Ep.Read(p, w[:]); err != nil {
+func (m *EndpointMem) LoadWord(p rdma.RemotePtr) (uint64, error) {
+	if err := m.Ep.Read(p, m.vbuf[:]); err != nil {
 		return 0, err
 	}
-	return w[0], nil
+	return m.vbuf[0], nil
 }
 
 // CAS implements Mem.
-func (m EndpointMem) CAS(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+func (m *EndpointMem) CAS(p rdma.RemotePtr, old, new uint64) (uint64, error) {
 	return m.Ep.CompareAndSwap(p, old, new)
 }
 
 // FetchAdd implements Mem.
-func (m EndpointMem) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
+func (m *EndpointMem) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
 	return m.Ep.FetchAdd(p, delta)
 }
 
 // AllocPage implements Mem using the RDMA_ALLOC verb on the server chosen by
 // the placement policy.
-func (m EndpointMem) AllocPage(level int, n int) (rdma.RemotePtr, error) {
+func (m *EndpointMem) AllocPage(level int, n int) (rdma.RemotePtr, error) {
 	return m.Ep.Alloc(m.Place(level), n)
 }
 
 // FreePage implements Mem.
-func (m EndpointMem) FreePage(p rdma.RemotePtr, n int) error {
+func (m *EndpointMem) FreePage(p rdma.RemotePtr, n int) error {
 	return m.Ep.Free(p, n)
 }
 
-// ReadPages implements Mem.
-func (m EndpointMem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64) error {
-	return m.Ep.ReadMulti(ps, dst)
+// ReadPages implements Mem. The fused path posts all N page READs followed
+// by all N version READs in one 2N-entry doorbell batch; per-server entries
+// execute in posting order, so each version word is re-read after its page
+// copy completed.
+func (m *EndpointMem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64, versions []uint64) error {
+	if m.Unbatched {
+		// Paper baseline: one batch for the pages, a second for the
+		// version words.
+		if err := m.Ep.ReadMulti(ps, dst); err != nil {
+			return err
+		}
+		m.batchDst = m.batchDst[:0]
+		for i := range ps {
+			m.batchDst = append(m.batchDst, versions[i:i+1])
+		}
+		return m.Ep.ReadMulti(ps, m.batchDst)
+	}
+	m.batchPtrs = append(m.batchPtrs[:0], ps...)
+	m.batchPtrs = append(m.batchPtrs, ps...)
+	m.batchDst = append(m.batchDst[:0], dst...)
+	for i := range ps {
+		m.batchDst = append(m.batchDst, versions[i:i+1])
+	}
+	return m.Ep.ReadMulti(m.batchPtrs, m.batchDst)
 }

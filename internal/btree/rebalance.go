@@ -34,6 +34,7 @@ func (t *Tree) lockPtr(env rdma.Env, st *Stats, p rdma.RemotePtr) (layout.Node, 
 			return layout.Node{}, 0, err
 		}
 		st.Atomics++
+		st.ExposedRTTs++
 		if prev == v {
 			return n, v, nil
 		}
@@ -67,35 +68,44 @@ func (t *Tree) Rebalance(env rdma.Env, minLive int) (merged int, retired []rdma.
 	if err != nil {
 		return 0, nil, st, err
 	}
+	// Three page buffers rotate through the P/A/B window: on advance the old
+	// P buffer is recycled for the next A read.
+	pBuf := pNode.W
+	var aBuf, bBuf []uint64
 	for {
 		aPtr := pNode.Right()
 		if aPtr.IsNull() {
 			return merged, retired, st, nil
 		}
-		aNode, _, err := t.readNode(env, &st, aPtr, nil)
+		aNode, _, err := t.readNode(env, &st, aPtr, aBuf)
 		if err != nil {
 			return merged, retired, st, err
 		}
+		aBuf = aNode.W
 		if aNode.IsHead() || pNode.IsHead() {
 			// Cannot splice across head nodes; advance.
 			pPtr, pNode = aPtr, aNode
+			pBuf, aBuf = aBuf, pBuf
 			continue
 		}
 		bPtr := aNode.Right()
 		if bPtr.IsNull() {
 			return merged, retired, st, nil
 		}
-		bNode, _, err := t.readNode(env, &st, bPtr, nil)
+		bNode, _, err := t.readNode(env, &st, bPtr, bBuf)
 		if err != nil {
 			return merged, retired, st, err
 		}
+		bBuf = bNode.W
 		if bNode.IsHead() {
 			pPtr, pNode = aPtr, aNode
+			pBuf, aBuf = aBuf, pBuf
 			continue
 		}
 		// Cheap pre-check on the consistent copies.
 		if liveCount(aNode) > minLive || liveCount(aNode)+liveCount(bNode) > t.L.LeafCap {
 			pPtr, pNode = aPtr, aNode
+			pBuf, aBuf = aBuf, pBuf
 			continue
 		}
 		ok, err := t.tryMerge(env, &st, pPtr, aPtr, bPtr, minLive, &retired)
@@ -107,9 +117,10 @@ func (t *Tree) Rebalance(env rdma.Env, minLive int) (merged int, retired []rdma.
 		}
 		// Re-read P (its right pointer changed on success, or the race made
 		// our copies stale) and continue from it.
-		if pNode, _, err = t.readNode(env, &st, pPtr, pNode.W); err != nil {
+		if pNode, _, err = t.readNode(env, &st, pPtr, pBuf); err != nil {
 			return merged, retired, st, err
 		}
+		pBuf = pNode.W
 	}
 }
 
@@ -271,11 +282,13 @@ func (t *Tree) removeSeparator(env rdma.Env, st *Stats, level int, routeKey layo
 // after obtaining a partition's leftmost leaf via the traversal RPC.
 func (t *Tree) CompactFrom(env rdma.Env, leafPtr rdma.RemotePtr) (removed int, st Stats, err error) {
 	p := leafPtr
+	var buf []uint64
 	for !p.IsNull() {
-		n, _, err := t.readNode(env, &st, p, nil)
+		n, _, err := t.readNode(env, &st, p, buf)
 		if err != nil {
 			return removed, st, err
 		}
+		buf = n.W
 		if n.IsHead() {
 			p = n.Right()
 			continue

@@ -135,7 +135,7 @@ func TestRebalanceConcurrentWithClients(t *testing.T) {
 	f := direct.New(4, testRegion, 64)
 	l := layout.New(256)
 	root := rdma.MakePtr(0, 0)
-	boot := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
+	boot := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
 	const n = 10000
 	if _, err := boot.Build(env, BuildConfig{}, n,
 		func(i int) (uint64, uint64) { return uint64(i * 2), uint64(i) }); err != nil {
@@ -161,7 +161,7 @@ func TestRebalanceConcurrentWithClients(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tr := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, c)}, root)
+			tr := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, c)}, root)
 			e := direct.Env{}
 			rng := rand.New(rand.NewSource(int64(c)))
 			for i := 0; ; i++ {

@@ -22,6 +22,17 @@ type Stats struct {
 	Restarts   int // consistency retries (sum of the three causes below)
 	Prefetches int // pages fetched through head-node batches
 
+	// ExposedRTTs counts blocking network interactions: doorbell batches
+	// and single verbs whose completion the operation waited on before
+	// making progress. Under the fused read protocol a clean descent costs
+	// depth exposed round trips plus one per leaf interaction, where the
+	// unbatched Listing-2 protocol paid two per level. (The counter
+	// reflects the fused protocol's batching; a Mem running the legacy
+	// unbatched baseline performs more blocking verbs than counted here —
+	// the telemetry verb counters are the authoritative measurement in
+	// that mode.)
+	ExposedRTTs int
+
 	// Synchronization breakdown of Restarts, plus structural events — the
 	// index-protocol counters surfaced by internal/telemetry.
 	LockSpins     int // page copy observed a held lock bit (reader waited)
@@ -40,6 +51,7 @@ func (s *Stats) Add(other Stats) {
 	s.Atomics += other.Atomics
 	s.Restarts += other.Restarts
 	s.Prefetches += other.Prefetches
+	s.ExposedRTTs += other.ExposedRTTs
 	s.LockSpins += other.LockSpins
 	s.VersionAborts += other.VersionAborts
 	s.LockRetries += other.LockRetries
@@ -112,6 +124,7 @@ func (t *Tree) refreshRoot(st *Stats) (rdma.RemotePtr, error) {
 		return rdma.NullPtr, err
 	}
 	st.WordReads++
+	st.ExposedRTTs++
 	p := rdma.RemotePtr(w)
 	if p.IsNull() {
 		return rdma.NullPtr, errors.New("btree: tree not initialized")
@@ -120,38 +133,35 @@ func (t *Tree) refreshRoot(st *Stats) (rdma.RemotePtr, error) {
 	return p, nil
 }
 
-// readNode fetches a consistent unlocked copy of the page at p: the page is
-// copied, then the version word re-read; a mismatch (writer activity during
-// the copy) retries. Returns the node and its validated version.
+// readNode fetches a consistent unlocked copy of the page at p via the fused
+// consistent-read protocol: the page copy and the version-word re-read are
+// posted as one selectively signalled batch (Mem.ReadValidated), so each
+// attempt exposes a single round trip instead of Listing 2's two. A failed
+// validation (held lock or torn read) retries. Returns the node and its
+// validated version.
 func (t *Tree) readNode(env rdma.Env, st *Stats, p rdma.RemotePtr, buf []uint64) (layout.Node, uint64, error) {
 	if buf == nil {
 		buf = make([]uint64, t.L.Words)
 	}
 	for {
 		st.PageReads++
+		st.WordReads++
+		st.ExposedRTTs++
 		env.Charge(t.VisitNS)
-		if err := t.M.ReadWords(p, buf); err != nil {
-			return layout.Node{}, 0, err
-		}
-		v := buf[0]
-		if layout.IsLocked(v) {
-			st.Restarts++
-			st.LockSpins++
-			env.Pause()
-			continue
-		}
-		v2, err := t.M.LoadWord(p)
+		v, ok, err := t.M.ReadValidated(p, buf)
 		if err != nil {
 			return layout.Node{}, 0, err
 		}
-		st.WordReads++
-		if v2 != v {
-			st.Restarts++
-			st.VersionAborts++
-			env.Pause()
-			continue
+		if ok {
+			return t.L.Wrap(buf), v, nil
 		}
-		return t.L.Wrap(buf), v, nil
+		st.Restarts++
+		if layout.IsLocked(buf[0]) || layout.IsLocked(v) {
+			st.LockSpins++
+		} else {
+			st.VersionAborts++
+		}
+		env.Pause()
 	}
 }
 
@@ -179,6 +189,7 @@ func (t *Tree) lockNodeForKey(env rdma.Env, st *Stats, p rdma.RemotePtr, key lay
 			return rdma.NullPtr, layout.Node{}, 0, err
 		}
 		st.Atomics++
+		st.ExposedRTTs++
 		if prev != v {
 			st.Restarts++
 			st.LockRetries++
@@ -198,11 +209,13 @@ func (t *Tree) unlockBump(env rdma.Env, st *Stats, p rdma.RemotePtr, n layout.No
 		return err
 	}
 	st.PageWrites++
+	st.ExposedRTTs++
 	env.Charge(t.VisitNS)
 	if _, err := t.M.FetchAdd(p, 1); err != nil {
 		return err
 	}
 	st.Atomics++
+	st.ExposedRTTs++
 	return nil
 }
 
@@ -214,6 +227,7 @@ func (t *Tree) unlockNoChange(st *Stats, p rdma.RemotePtr, preLock uint64) error
 		return err
 	}
 	st.Atomics++
+	st.ExposedRTTs++
 	if prev != layout.WithLock(preLock) {
 		panic("btree: lock word changed while held")
 	}
@@ -281,7 +295,8 @@ func (t *Tree) Lookup(env rdma.Env, key layout.Key) (values []uint64, st Stats, 
 			if p.IsNull() {
 				return values, st, nil
 			}
-			n, _, err = t.readNode(env, &st, p, nil)
+			// Reuse the descent buffer: the previous copy is done with.
+			n, _, err = t.readNode(env, &st, p, n.W)
 			if err != nil {
 				return nil, st, err
 			}
@@ -305,45 +320,64 @@ func (t *Tree) Scan(env rdma.Env, lo, hi layout.Key, emit func(k layout.Key, v u
 }
 
 // scanChain runs the leaf-level part of a range scan starting from a
-// consistent copy n of the node at p.
+// consistent copy n of the node at p. The caller relinquishes n's buffer to
+// the scan, which recycles page buffers through a small free list: copies
+// invalidated at prefetch time and copies the scan has finished emitting go
+// back on the list and are reused for later nodes, keeping the chain walk
+// allocation-free in steady state.
 func (t *Tree) scanChain(env rdma.Env, st *Stats, p rdma.RemotePtr, n layout.Node, lo, hi layout.Key, emit func(k layout.Key, v uint64) bool) (Stats, error) {
 	prefetched := make(map[rdma.RemotePtr][]uint64)
+	cur := n.W // buffer holding the current node's copy; owned by the scan
+	var freelist [][]uint64
+	grab := func() []uint64 {
+		if k := len(freelist) - 1; k >= 0 {
+			b := freelist[k]
+			freelist = freelist[:k]
+			return b
+		}
+		return make([]uint64, t.L.Words)
+	}
+	var ptrs []rdma.RemotePtr
+	var bufs [][]uint64
+	var vers []uint64
 	for {
 		if n.IsHead() {
-			// Prefetch the announced leaves with selectively signalled READs.
-			ptrs := make([]rdma.RemotePtr, 0, n.Count())
-			bufs := make([][]uint64, 0, n.Count())
+			// Prefetch the announced leaves: all page READs and all
+			// version-word re-reads go out in ONE selectively signalled
+			// doorbell batch (2N entries) — per-server entries execute in
+			// posting order, so each version word is read after its page
+			// copy, and only the batch's last completion is waited on. One
+			// exposed round trip replaces the previous two sequential
+			// batches. A copy whose version is unchanged and unlocked is a
+			// consistent snapshot; invalidated copies are dropped and
+			// re-read on use (the paper's extra remote read for outdated
+			// hints).
+			ptrs = ptrs[:0]
+			bufs = bufs[:0]
 			for i := 0; i < n.Count(); i++ {
 				hp := n.HeadPtr(i)
 				if hp.IsNull() {
 					continue
 				}
 				ptrs = append(ptrs, hp)
-				bufs = append(bufs, make([]uint64, t.L.Words))
+				bufs = append(bufs, grab())
 			}
 			if len(ptrs) > 0 {
-				if err := t.M.ReadPages(ptrs, bufs); err != nil {
+				if cap(vers) < len(ptrs) {
+					vers = make([]uint64, len(ptrs))
+				}
+				vers = vers[:len(ptrs)]
+				if err := t.M.ReadPages(ptrs, bufs, vers); err != nil {
 					return *st, err
 				}
 				st.Prefetches += len(ptrs)
-				env.Charge(t.VisitNS * int64(len(ptrs)))
-				// Batch-validate the prefetched copies with one more
-				// selectively signalled batch reading just the version
-				// words. A copy whose version is unchanged and unlocked is
-				// a consistent snapshot; invalidated copies are dropped and
-				// re-read on use (the paper's extra remote read for
-				// outdated hints).
-				vbufs := make([][]uint64, len(ptrs))
-				for i := range vbufs {
-					vbufs[i] = make([]uint64, 1)
-				}
-				if err := t.M.ReadPages(ptrs, vbufs); err != nil {
-					return *st, err
-				}
 				st.WordReads += len(ptrs)
+				st.ExposedRTTs++
+				env.Charge(t.VisitNS * int64(len(ptrs)))
 				for i, hp := range ptrs {
 					v := bufs[i][0]
-					if layout.IsLocked(v) || vbufs[i][0] != v {
+					if layout.IsLocked(v) || vers[i] != v {
+						freelist = append(freelist, bufs[i])
 						continue
 					}
 					prefetched[hp] = bufs[i]
@@ -373,14 +407,17 @@ func (t *Tree) scanChain(env rdma.Env, st *Stats, p rdma.RemotePtr, n layout.Nod
 		if buf, ok := prefetched[p]; ok {
 			// Already validated at prefetch time: a consistent snapshot.
 			delete(prefetched, p)
+			freelist = append(freelist, cur)
+			cur = buf
 			n = t.L.Wrap(buf)
 			continue
 		}
 		var err error
-		n, _, err = t.readNode(env, st, p, nil)
+		n, _, err = t.readNode(env, st, p, cur)
 		if err != nil {
 			return *st, err
 		}
+		cur = n.W
 	}
 }
 
@@ -421,6 +458,7 @@ func (t *Tree) leafInsert(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key l
 	if err != nil {
 		return nil, err
 	}
+	st.ExposedRTTs++
 	right := t.L.NewNode()
 	right.InitLeaf()
 	sep := n.LeafSplit(right)
@@ -440,6 +478,7 @@ func (t *Tree) leafInsert(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key l
 		return nil, err
 	}
 	st.PageWrites++
+	st.ExposedRTTs++
 	st.Splits++
 	env.Charge(t.VisitNS)
 	if err := t.unlockBump(env, st, p, n); err != nil {
@@ -459,15 +498,17 @@ func (t *Tree) leafInsert(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key l
 // pair's range contains the cut.
 func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.Key, left, right rdma.RemotePtr) error {
 	routeKey := sep
+	var rbuf []uint64
 	for {
 		rootPtr, err := t.refreshRoot(st)
 		if err != nil {
 			return err
 		}
-		rootNode, _, err := t.readNode(env, st, rootPtr, nil)
+		rootNode, _, err := t.readNode(env, st, rootPtr, rbuf)
 		if err != nil {
 			return err
 		}
+		rbuf = rootNode.W
 		if rootNode.Level() < level {
 			if rootPtr == left {
 				grown, err := t.tryGrowRoot(env, st, level, sep, left, right)
@@ -584,6 +625,7 @@ func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.K
 		if err != nil {
 			return err
 		}
+		st.ExposedRTTs++
 		right2 := t.L.NewNode()
 		right2.InitInner(level)
 		sep2 := n.InnerSplit(right2)
@@ -599,6 +641,7 @@ func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.K
 			return err
 		}
 		st.PageWrites++
+		st.ExposedRTTs++
 		st.Splits++
 		env.Charge(t.VisitNS)
 		if err := t.unlockBump(env, st, p, n); err != nil {
@@ -615,6 +658,7 @@ func (t *Tree) tryGrowRoot(env rdma.Env, st *Stats, level int, sep layout.Key, l
 	if err != nil {
 		return false, err
 	}
+	st.ExposedRTTs++
 	nr := t.L.NewNode()
 	nr.InitInner(level)
 	nr.InnerAppend(sep, left)
@@ -623,17 +667,20 @@ func (t *Tree) tryGrowRoot(env rdma.Env, st *Stats, level int, sep layout.Key, l
 		return false, err
 	}
 	st.PageWrites++
+	st.ExposedRTTs++
 	env.Charge(t.VisitNS)
 	prev, err := t.M.CAS(t.RootWord, uint64(left), uint64(newRootPtr))
 	if err != nil {
 		return false, err
 	}
 	st.Atomics++
+	st.ExposedRTTs++
 	if prev != uint64(left) {
 		// Lost the race; the page was never published, safe to free.
 		if err := t.M.FreePage(newRootPtr, t.L.PageBytes); err != nil {
 			return false, err
 		}
+		st.ExposedRTTs++
 		t.cachedRoot = rdma.NullPtr
 		return false, nil
 	}

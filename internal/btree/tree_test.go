@@ -34,7 +34,7 @@ func newRemoteTree(t *testing.T, pageBytes, servers int) (*Tree, func() *Tree) {
 	f := direct.New(servers, testRegion, 64)
 	l := layout.New(pageBytes)
 	mk := func() *Tree {
-		return New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(servers, rand.Intn(servers))}, rdma.MakePtr(0, 0))
+		return New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(servers, rand.Intn(servers))}, rdma.MakePtr(0, 0))
 	}
 	tr := mk()
 	if err := tr.Init(rdma.NopEnv{}); err != nil {
@@ -535,7 +535,7 @@ func TestConcurrentMixedRemote(t *testing.T) {
 	f := direct.New(4, testRegion, 64)
 	l := layout.New(256)
 	root := rdma.MakePtr(0, 0)
-	boot := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
+	boot := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, root)
 	const preload = 4000
 	if _, err := boot.Build(env, BuildConfig{HeadEvery: 6}, preload,
 		func(i int) (uint64, uint64) { return uint64(i * 4), uint64(i) }); err != nil {
@@ -550,7 +550,7 @@ func TestConcurrentMixedRemote(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tr := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, c)}, root)
+			tr := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, c)}, root)
 			e := direct.Env{}
 			rng := rand.New(rand.NewSource(int64(c)))
 			for i := 0; i < opsPer; i++ {
@@ -601,7 +601,7 @@ func TestConcurrentInsertDeleteSameKeys(t *testing.T) {
 	f := direct.New(2, testRegion, 64)
 	l := layout.New(256)
 	root := rdma.MakePtr(0, 0)
-	boot := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(2, 0)}, root)
+	boot := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(2, 0)}, root)
 	if err := boot.Init(env); err != nil {
 		t.Fatal(err)
 	}
@@ -612,7 +612,7 @@ func TestConcurrentInsertDeleteSameKeys(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tr := New(l, EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(2, c)}, root)
+			tr := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(2, c)}, root)
 			e := direct.Env{}
 			for i := 0; i < 500; i++ {
 				k := uint64(c*1000 + i)

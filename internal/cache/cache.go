@@ -32,6 +32,7 @@ type Stats struct {
 	Validations   int64 // 8-byte version reads for leaf hits
 	Evictions     int64
 	Invalidations int64 // cached copies dropped (stale or locally mutated)
+	Refreshes     int64 // entries refreshed from validated prefetch batches
 }
 
 // Telemetry receives cache events; *telemetry.Recorder satisfies it. The
@@ -167,16 +168,63 @@ func (m *Mem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
 	if v2 != v {
 		return nil
 	}
-	n := m.l.Wrap(dst)
+	m.maybeInsert(p, dst)
+	return nil
+}
+
+// maybeInsert caches a consistent page copy, honoring the head-node
+// exclusion and the CacheLeaves policy. It reports whether the copy was
+// inserted.
+func (m *Mem) maybeInsert(p rdma.RemotePtr, words []uint64) bool {
+	n := m.l.Wrap(words)
 	if n.IsHead() {
 		// Head nodes are maintenance-rebuilt and retired; don't cache.
-		return nil
+		return false
 	}
 	if n.IsLeaf() && !m.CacheLeaves {
-		return nil
+		return false
 	}
-	m.insert(p, dst, n.IsLeaf())
-	return nil
+	m.insert(p, words, n.IsLeaf())
+	return true
+}
+
+// ReadValidated implements btree.Mem. A cache hit is revalidated with a
+// single 8-byte version read (one exposed round trip, no page transfer); a
+// miss runs the inner fused batch (also one exposed round trip) and inserts
+// the consistent copy.
+func (m *Mem) ReadValidated(p rdma.RemotePtr, dst []uint64) (uint64, bool, error) {
+	if len(dst) != m.l.Words {
+		return m.inner.ReadValidated(p, dst)
+	}
+	if e := m.lookup(p); e != nil {
+		v, err := m.inner.LoadWord(p)
+		if err != nil {
+			return 0, false, err
+		}
+		m.Stats.Validations++
+		if v == e.words[0] && !layout.IsLocked(v) {
+			copy(dst, e.words)
+			m.Stats.Hits++
+			if m.Tel != nil {
+				m.Tel.CacheHit()
+			}
+			return v, true, nil
+		}
+		m.Stats.Stale++
+		m.invalidate(p)
+	}
+	v, ok, err := m.inner.ReadValidated(p, dst)
+	if err != nil {
+		return 0, false, err
+	}
+	m.Stats.Misses++
+	if m.Tel != nil {
+		m.Tel.CacheMiss()
+	}
+	if ok {
+		m.maybeInsert(p, dst)
+	}
+	return v, ok, nil
 }
 
 // WriteWords implements btree.Mem; writes invalidate the covering page.
@@ -221,10 +269,28 @@ func (m *Mem) FreePage(p rdma.RemotePtr, n int) error {
 	return m.inner.FreePage(p, n)
 }
 
-// ReadPages implements btree.Mem; prefetch batches bypass the cache (they
-// are already bandwidth-optimal) but refresh it.
-func (m *Mem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64) error {
-	return m.inner.ReadPages(ps, dst)
+// ReadPages implements btree.Mem; prefetch batches bypass the cache on the
+// read side (they are already bandwidth-optimal) but refresh it: every
+// prefetched copy whose version word came back unlocked and unchanged is a
+// validated snapshot and is inserted under the usual policy (head nodes
+// never, leaves only with CacheLeaves).
+func (m *Mem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64, versions []uint64) error {
+	if err := m.inner.ReadPages(ps, dst, versions); err != nil {
+		return err
+	}
+	for i, p := range ps {
+		if len(dst[i]) != m.l.Words {
+			continue
+		}
+		v := versions[i]
+		if layout.IsLocked(v) || v != dst[i][0] {
+			continue
+		}
+		if m.maybeInsert(p, dst[i]) {
+			m.Stats.Refreshes++
+		}
+	}
+	return nil
 }
 
 // Len returns the number of cached pages.

@@ -18,7 +18,7 @@ func buildTree(t *testing.T, n int) (*direct.Fabric, layout.Layout, rdma.RemoteP
 	f := direct.New(4, 64<<20, nam.SuperblockBytes)
 	l := layout.New(512)
 	root := rdma.MakePtr(0, 0)
-	tr := btree.New(l, btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 0)}, root)
+	tr := btree.New(l, &btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 0)}, root)
 	if _, err := tr.Build(env, btree.BuildConfig{}, n,
 		func(i int) (uint64, uint64) { return uint64(i), uint64(i) }); err != nil {
 		t.Fatal(err)
@@ -27,7 +27,7 @@ func buildTree(t *testing.T, n int) (*direct.Fabric, layout.Layout, rdma.RemoteP
 }
 
 func cachedTree(f *direct.Fabric, l layout.Layout, root rdma.RemotePtr, pages int) (*btree.Tree, *Mem) {
-	base := btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 0)}
+	base := &btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 0)}
 	cm := New(base, l, pages)
 	return btree.New(l, cm, root), cm
 }
@@ -64,7 +64,7 @@ func TestCacheCorrectAfterRemoteWrite(t *testing.T) {
 		}
 	}
 	// Another (uncached) client mutates the tree.
-	writer := btree.New(l, btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 1)}, root)
+	writer := btree.New(l, &btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 1)}, root)
 	for i := 0; i < 500; i++ {
 		if _, err := writer.Insert(env, uint64(i), uint64(100000+i)); err != nil {
 			t.Fatal(err)
@@ -136,7 +136,7 @@ func TestCacheReducesTraffic(t *testing.T) {
 	// Compare the verbs issued by a cached vs uncached client for the same
 	// hot working set: the cached one must read far fewer full pages.
 	f, l, root := buildTree(t, 20000)
-	plain := btree.New(l, btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 0)}, root)
+	plain := btree.New(l, &btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 0)}, root)
 	cachedT, cm := cachedTree(f, l, root, 4096)
 	rng := rand.New(rand.NewSource(1))
 	keys := make([]uint64, 200)
@@ -175,7 +175,7 @@ func TestStaleLeafDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Mutate the leaf behind the cache's back.
-	writer := btree.New(l, btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 1)}, root)
+	writer := btree.New(l, &btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 1)}, root)
 	if _, err := writer.Insert(env, 10, 777); err != nil {
 		t.Fatal(err)
 	}
@@ -188,5 +188,139 @@ func TestStaleLeafDetected(t *testing.T) {
 	}
 	if cm.Stats.Stale == 0 {
 		t.Fatal("stale revalidation not counted")
+	}
+}
+
+// staleMem wraps a Mem and corrupts the versions a prefetch batch returns,
+// simulating a writer racing the batch (version bumped, still unlocked).
+type staleMem struct {
+	btree.Mem
+}
+
+func (s staleMem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64, versions []uint64) error {
+	if err := s.Mem.ReadPages(ps, dst, versions); err != nil {
+		return err
+	}
+	for i := range versions {
+		versions[i] += 2 // mismatch the copy without setting the lock bit
+	}
+	return nil
+}
+
+// buildHeadTree builds a tree whose leaf chain carries head nodes, so scans
+// trigger prefetch batches through the cache decorator.
+func buildHeadTree(t *testing.T, n int) (*direct.Fabric, layout.Layout, rdma.RemotePtr) {
+	t.Helper()
+	f := direct.New(4, 64<<20, nam.SuperblockBytes)
+	l := layout.New(512)
+	root := rdma.MakePtr(0, 0)
+	tr := btree.New(l, &btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 0)}, root)
+	if _, err := tr.Build(env, btree.BuildConfig{HeadEvery: 4}, n,
+		func(i int) (uint64, uint64) { return uint64(i), uint64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	return f, l, root
+}
+
+// leafPtrFromCache returns a cached leaf entry's pointer (white-box).
+func leafPtrFromCache(t *testing.T, cm *Mem) rdma.RemotePtr {
+	t.Helper()
+	for p, el := range cm.entries {
+		if el.Value.(*entry).leaf {
+			return p
+		}
+	}
+	t.Fatal("no leaf entry in cache")
+	return rdma.NullPtr
+}
+
+func TestPrefetchRefreshesCache(t *testing.T) {
+	f, l, root := buildHeadTree(t, 5000)
+	tr, cm := cachedTree(f, l, root, 4096)
+
+	// A range scan runs head-node prefetch batches through cm.ReadPages;
+	// the validated copies must land in the LRU.
+	count := 0
+	if _, err := tr.Scan(env, 0, 3000, func(k, v uint64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3001 {
+		t.Fatalf("scan emitted %d entries, want 3001", count)
+	}
+	if cm.Stats.Refreshes == 0 {
+		t.Fatal("prefetch batches refreshed nothing")
+	}
+	// Head nodes must never be cached.
+	for _, el := range cm.entries {
+		e := el.Value.(*entry)
+		if l.Wrap(e.words).IsHead() {
+			t.Fatalf("head node %v cached by prefetch refresh", e.ptr)
+		}
+	}
+	// Point lookups into the scanned range now hit the refreshed leaves.
+	h0 := cm.Stats.Hits
+	for k := uint64(0); k < 200; k++ {
+		if _, _, err := tr.Lookup(env, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cm.Stats.Hits == h0 {
+		t.Fatal("no hits on leaves the prefetch refreshed")
+	}
+}
+
+func TestPrefetchRefreshSkipsLockedAndStale(t *testing.T) {
+	f, l, root := buildHeadTree(t, 5000)
+	tr, cm := cachedTree(f, l, root, 4096)
+	if _, err := tr.Scan(env, 0, 3000, func(k, v uint64) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	p := leafPtrFromCache(t, cm)
+	base := &btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 0)}
+
+	// Locked skip: set the lock bit behind the cache's back, drop the
+	// cached copy, and re-run a prefetch batch over the page.
+	v, err := base.LoadWord(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.CAS(p, v, layout.WithLock(v)); err != nil {
+		t.Fatal(err)
+	}
+	cm.invalidate(p)
+	r0 := cm.Stats.Refreshes
+	buf := make([]uint64, l.Words)
+	vers := make([]uint64, 1)
+	if err := cm.ReadPages([]rdma.RemotePtr{p}, [][]uint64{buf}, vers); err != nil {
+		t.Fatal(err)
+	}
+	if cm.Stats.Refreshes != r0 {
+		t.Fatal("locked page refreshed into cache")
+	}
+	if _, ok := cm.entries[p]; ok {
+		t.Fatal("locked page present in cache")
+	}
+	if _, err := base.CAS(p, layout.WithLock(v), v); err != nil { // unlock
+		t.Fatal(err)
+	}
+
+	// Stale skip: a batch whose version words mismatch the copies must not
+	// refresh anything.
+	stale := New(staleMem{base}, l, 64)
+	if err := stale.ReadPages([]rdma.RemotePtr{p}, [][]uint64{buf}, vers); err != nil {
+		t.Fatal(err)
+	}
+	if stale.Stats.Refreshes != 0 || stale.Len() != 0 {
+		t.Fatalf("stale prefetch refreshed the cache: %+v", stale.Stats)
+	}
+
+	// CacheLeaves off: leaf prefetches are not inserted.
+	noleaf := New(base, l, 64)
+	noleaf.CacheLeaves = false
+	if err := noleaf.ReadPages([]rdma.RemotePtr{p}, [][]uint64{buf}, vers); err != nil {
+		t.Fatal(err)
+	}
+	if noleaf.Stats.Refreshes != 0 || noleaf.Len() != 0 {
+		t.Fatalf("leaf refreshed despite CacheLeaves=false: %+v", noleaf.Stats)
 	}
 }

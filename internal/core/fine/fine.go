@@ -30,7 +30,7 @@ type Options struct {
 // catalog. The root-pointer word lives in server 0's superblock.
 func Build(setupEp rdma.Endpoint, opts Options, spec core.BuildSpec) (*nam.Catalog, error) {
 	servers := setupEp.NumServers()
-	t := btree.New(opts.Layout, btree.EndpointMem{
+	t := btree.New(opts.Layout, &btree.EndpointMem{
 		Ep:    setupEp,
 		Place: btree.RoundRobin(servers, 0),
 	}, nam.RootWordPtr(0))
@@ -64,9 +64,25 @@ var _ core.Index = (*Client)(nil)
 // placement of pages the client allocates on splits (pass the client ID).
 func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart int) *Client {
 	l := layout.New(cat.PageBytes)
-	t := btree.New(l, btree.EndpointMem{
+	t := btree.New(l, &btree.EndpointMem{
 		Ep:    ep,
 		Place: btree.RoundRobin(cat.Servers, rrStart),
+	}, cat.RootWords[0])
+	return &Client{tree: t, env: env}
+}
+
+// NewUnbatchedClient is NewClient running the paper's original Listing-2
+// read protocol: the page READ and the version-validation READ are issued as
+// two separate blocking verbs per level instead of one fused
+// selectively-signalled batch. It exists as the measured baseline for the
+// doorbell-batching experiment (and for figure reproductions that pin the
+// paper's verb sequence); production clients should use NewClient.
+func NewUnbatchedClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart int) *Client {
+	l := layout.New(cat.PageBytes)
+	t := btree.New(l, &btree.EndpointMem{
+		Ep:        ep,
+		Place:     btree.RoundRobin(cat.Servers, rrStart),
+		Unbatched: true,
 	}, cat.RootWords[0])
 	return &Client{tree: t, env: env}
 }
@@ -122,7 +138,7 @@ func (c *Client) Tree() *btree.Tree { return c.tree }
 // returned cache exposes hit/miss statistics.
 func NewCachedClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart, maxPages int) (*Client, *cache.Mem) {
 	l := layout.New(cat.PageBytes)
-	base := btree.EndpointMem{
+	base := &btree.EndpointMem{
 		Ep:    ep,
 		Place: btree.RoundRobin(cat.Servers, rrStart),
 	}

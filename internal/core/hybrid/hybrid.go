@@ -93,7 +93,7 @@ func (s *Server) BuildServer(setupEp rdma.Endpoint, srv int, spec core.BuildSpec
 		}
 		return srv
 	}
-	t := btree.New(s.opts.Layout, btree.EndpointMem{Ep: setupEp, Place: place}, nam.RootWordPtr(srv))
+	t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: setupEp, Place: place}, nam.RootWordPtr(srv))
 	count := 0
 	for i := 0; i < spec.N; i++ {
 		k, _ := spec.At(i)
@@ -230,7 +230,7 @@ func (s *Server) Handler() rdma.Handler {
 func (s *Server) CheckInvariants(ep rdma.Endpoint) (int, error) {
 	total := 0
 	for i := 0; i < s.fab.NumServers(); i++ {
-		t := btree.New(s.opts.Layout, btree.EndpointMem{Ep: ep, Place: btree.Fixed(i)}, nam.RootWordPtr(i))
+		t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: ep, Place: btree.Fixed(i)}, nam.RootWordPtr(i))
 		n, err := t.CheckInvariants(rdma.NopEnv{})
 		if err != nil {
 			return 0, fmt.Errorf("server %d: %w", i, err)
@@ -288,7 +288,7 @@ var _ core.Index = (*Client)(nil)
 // NewClient binds a client to an endpoint; rrStart staggers split placement.
 func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart int) *Client {
 	l := layout.New(cat.PageBytes)
-	leaf := btree.New(l, btree.EndpointMem{
+	leaf := btree.New(l, &btree.EndpointMem{
 		Ep:    ep,
 		Place: btree.RoundRobin(cat.Servers, rrStart),
 	}, rdma.NullPtr)

@@ -165,7 +165,7 @@ func TestBTreeOverTCP(t *testing.T) {
 
 	boot := Dial(addrs)
 	defer boot.Close()
-	tr := btree.New(l, btree.EndpointMem{Ep: boot, Place: btree.RoundRobin(3, 0)}, root)
+	tr := btree.New(l, &btree.EndpointMem{Ep: boot, Place: btree.RoundRobin(3, 0)}, root)
 	if _, err := tr.Build(rdma.NopEnv{}, btree.BuildConfig{HeadEvery: 4}, 2000,
 		func(i int) (uint64, uint64) { return uint64(i * 2), uint64(i) }); err != nil {
 		t.Fatal(err)
@@ -180,7 +180,7 @@ func TestBTreeOverTCP(t *testing.T) {
 			defer wg.Done()
 			ep := Dial(addrs)
 			defer ep.Close()
-			tr := btree.New(l, btree.EndpointMem{Ep: ep, Place: btree.RoundRobin(3, c)}, root)
+			tr := btree.New(l, &btree.EndpointMem{Ep: ep, Place: btree.RoundRobin(3, c)}, root)
 			for i := 0; i < 300; i++ {
 				k := uint64(i*2*clients+c*2) + 1
 				if _, err := tr.Insert(rdma.NopEnv{}, k, k); err != nil {

@@ -124,11 +124,12 @@ func TestConformanceTCP(t *testing.T) {
 	}
 }
 
-// TestListing2VerbSequence pins the paper's Listing 2 protocol on a 3-level
-// tree: with a warm root pointer, a fine-grained point lookup visits each
-// level exactly once. Our optimistic-read protocol issues two READs per
-// visited page (the page copy plus the version-validation word), so the
-// verb trace of one lookup must be exactly 2·height READs and nothing else.
+// TestListing2VerbSequence pins the fused consistent-read protocol on a
+// 3-level tree: with a warm root pointer, a fine-grained point lookup visits
+// each level exactly once, and each visit is ONE selectively-signalled
+// READ_MULTI batch carrying [page, version word] — nothing else. The legacy
+// unbatched client must still produce the paper's original Listing-2
+// sequence of 2·height plain READs, also pinned here.
 func TestListing2VerbSequence(t *testing.T) {
 	const page, n = 512, 12000
 	fab, cat := buildFineDirect(t, 1, n, page)
@@ -176,17 +177,21 @@ func TestListing2VerbSequence(t *testing.T) {
 		t.Fatalf("key %d not found", key)
 	}
 
-	want := int64(2 * h)
-	if got := fresh.VerbOps(telemetry.VerbRead); got != want {
-		t.Fatalf("lookup issued %d READs, want %d (2 per level on a height-%d tree)", got, want, h)
+	want := int64(h)
+	if got := fresh.VerbOps(telemetry.VerbReadMulti); got != want {
+		t.Fatalf("lookup issued %d READ_MULTI batches, want %d (1 fused [page,version] batch per level on a height-%d tree)", got, want, h)
 	}
 	for v := telemetry.Verb(0); v < telemetry.NumVerbs; v++ {
-		if v == telemetry.VerbRead {
+		if v == telemetry.VerbReadMulti {
 			continue
 		}
 		if got := fresh.VerbOps(v); got != 0 {
 			t.Fatalf("lookup issued %d unexpected %v verbs", got, v)
 		}
+	}
+	// Each batch carries the page plus the 8-byte version word.
+	if got, want := fresh.VerbBytes(telemetry.VerbReadMulti), int64(h*(page+8)); got != want {
+		t.Fatalf("lookup transferred %d bytes, want %d", got, want)
 	}
 	idx := fresh.StatsMap()["index"].(map[string]any)
 	if idx["ops"].(int64) != 1 {
@@ -195,6 +200,90 @@ func TestListing2VerbSequence(t *testing.T) {
 	if d := idx["avg_depth"].(float64); d != float64(h) {
 		t.Fatalf("recorded depth %v, want %d", d, h)
 	}
+	// ExposedRTTs must equal depth for a clean warm-root lookup: one fused
+	// round trip per level (was 2·depth under the unbatched protocol).
+	if r := idx["exposed_rtts"].(int64); r != int64(h) {
+		t.Fatalf("exposed RTTs = %d, want %d", r, h)
+	}
+
+	// The unbatched baseline client still runs the paper's original verb
+	// sequence: two plain READs per level, no batches.
+	fab2, cat2 := buildFineDirect(t, 1, n, page)
+	rec2 := telemetry.NewRecorder(1)
+	ep2 := telemetry.Wrap(fab2.Endpoint(), rec2, nil)
+	c2 := fine.NewUnbatchedClient(ep2, direct.Env{}, cat2, 0)
+	if _, err := c2.Lookup(1); err != nil { // warm the root pointer
+		t.Fatal(err)
+	}
+	fresh2 := telemetry.NewRecorder(1)
+	ep2.Rec = fresh2
+	vals2, err := c2.Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals2) == 0 {
+		t.Fatalf("key %d not found via unbatched client", key)
+	}
+	if got, want := fresh2.VerbOps(telemetry.VerbRead), int64(2*h); got != want {
+		t.Fatalf("unbatched lookup issued %d READs, want %d (2 per level)", got, want)
+	}
+	if got := fresh2.VerbOps(telemetry.VerbReadMulti); got != 0 {
+		t.Fatalf("unbatched lookup issued %d READ_MULTI batches, want 0", got)
+	}
+}
+
+// TestFusedLegacyByteIdentical asserts the fused (doorbell-batched) and
+// legacy (two-READ) read paths are observationally equivalent: the same
+// operation script yields byte-identical transcripts on both the direct and
+// TCP transports. Run with -race this also exercises the batched path for
+// data races.
+func TestFusedLegacyByteIdentical(t *testing.T) {
+	t.Run("direct", func(t *testing.T) {
+		fab, cat := buildFineDirect(t, 2, 5000, 512)
+		fused := driveIndex(t, fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0))
+
+		fab2, cat2 := buildFineDirect(t, 2, 5000, 512)
+		legacy := driveIndex(t, fine.NewUnbatchedClient(fab2.Endpoint(), direct.Env{}, cat2, 0))
+
+		if fused != legacy {
+			t.Fatalf("fused and legacy read paths diverged:\nfused:\n%s\nlegacy:\n%s", fused, legacy)
+		}
+	})
+	t.Run("tcpnet", func(t *testing.T) {
+		runScript := func(unbatched bool) string {
+			var addrs []string
+			for i := 0; i < 2; i++ {
+				srv := rdma.NewServer(i, 64<<20, nam.SuperblockBytes)
+				agent := tcpnet.NewAgent(srv, nil)
+				l, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				addrs = append(addrs, l.Addr().String())
+				go agent.Serve(l)
+				t.Cleanup(agent.Close)
+			}
+			setup := tcpnet.Dial(addrs)
+			cat, err := fine.Build(setup, fine.Options{Layout: layout.New(1024)},
+				core.BuildSpec{N: 2000, At: workload.DataItem, HeadEvery: 16})
+			setup.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ep := tcpnet.Dial(addrs)
+			t.Cleanup(ep.Close)
+			c := fine.NewClient(ep, rdma.NopEnv{}, cat, 0)
+			if unbatched {
+				c = fine.NewUnbatchedClient(ep, rdma.NopEnv{}, cat, 0)
+			}
+			return driveIndex(t, c)
+		}
+		fused := runScript(false)
+		legacy := runScript(true)
+		if fused != legacy {
+			t.Fatalf("fused and legacy TCP read paths diverged:\nfused:\n%s\nlegacy:\n%s", fused, legacy)
+		}
+	})
 }
 
 // TestOpStatsRPCRoundTrip checks the introspection RPC: a server whose

@@ -86,6 +86,7 @@ type Recorder struct {
 	indexOps  stats.Counter
 	depthSum  stats.Counter
 	pageReads stats.Counter
+	rttSum    stats.Counter
 	restarts  stats.Counter
 	lockSpins stats.Counter
 	verAborts stats.Counter
@@ -136,6 +137,7 @@ func (r *Recorder) RecordIndexOp(st btree.Stats) {
 	r.indexOps.Inc()
 	r.depthSum.Add(int64(st.Depth))
 	r.pageReads.Add(int64(st.PageReads))
+	r.rttSum.Add(int64(st.ExposedRTTs))
 	r.restarts.Add(int64(st.Restarts))
 	r.lockSpins.Add(int64(st.LockSpins))
 	r.verAborts.Add(int64(st.VersionAborts))
@@ -178,6 +180,7 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.indexOps.Add(other.indexOps.Load())
 	r.depthSum.Add(other.depthSum.Load())
 	r.pageReads.Add(other.pageReads.Load())
+	r.rttSum.Add(other.rttSum.Load())
 	r.restarts.Add(other.restarts.Load())
 	r.lockSpins.Add(other.lockSpins.Load())
 	r.verAborts.Add(other.verAborts.Load())
@@ -213,6 +216,24 @@ func (r *Recorder) TotalOps() int64 {
 // CALL) — the paper's "number of RDMA operations per lookup" metric.
 func (r *Recorder) OneSidedOps() int64 { return r.TotalOps() - r.VerbOps(VerbCall) }
 
+// IndexOps returns the number of index operations recorded.
+func (r *Recorder) IndexOps() int64 { return r.indexOps.Load() }
+
+// ExposedRTTs returns the total btree.Stats.ExposedRTTs folded in: the
+// blocking network interactions counted by the fused consistent-read
+// protocol.
+func (r *Recorder) ExposedRTTs() int64 { return r.rttSum.Load() }
+
+// RTTsPerOp returns exposed round trips per index operation, or 0 when no
+// index operations were recorded.
+func (r *Recorder) RTTsPerOp() float64 {
+	ops := r.indexOps.Load()
+	if ops == 0 {
+		return 0
+	}
+	return float64(r.rttSum.Load()) / float64(ops)
+}
+
 // StatsMap renders the recorder as a JSON-marshalable tree — the payload of
 // the expvar endpoint and the nam.OpStats RPC.
 func (r *Recorder) StatsMap() map[string]any {
@@ -242,6 +263,8 @@ func (r *Recorder) StatsMap() map[string]any {
 			"ops":            r.indexOps.Load(),
 			"avg_depth":      r.avgDepth(),
 			"page_reads":     r.pageReads.Load(),
+			"exposed_rtts":   r.rttSum.Load(),
+			"rtts_per_op":    r.RTTsPerOp(),
 			"restarts":       r.restarts.Load(),
 			"lock_spins":     r.lockSpins.Load(),
 			"version_aborts": r.verAborts.Load(),
@@ -294,9 +317,10 @@ func (r *Recorder) VerbTable() string {
 func (r *Recorder) ProtoSummary() string {
 	var b strings.Builder
 	ops := r.indexOps.Load()
-	fmt.Fprintf(&b, "index ops=%s avg_depth=%.2f page_reads=%s restarts=%d (lock_spins=%d version_aborts=%d lock_retries=%d) splits=%d\n",
+	fmt.Fprintf(&b, "index ops=%s avg_depth=%.2f page_reads=%s rtts_per_op=%.2f restarts=%d (lock_spins=%d version_aborts=%d lock_retries=%d) splits=%d\n",
 		stats.FormatQty(float64(ops)), r.avgDepth(),
 		stats.FormatQty(float64(r.pageReads.Load())),
+		r.RTTsPerOp(),
 		r.restarts.Load(), r.lockSpins.Load(), r.verAborts.Load(),
 		r.lockRetry.Load(), r.splits.Load())
 	if h, mi, iv := r.cacheHits.Load(), r.cacheMiss.Load(), r.cacheInval.Load(); h+mi > 0 {
