@@ -1,0 +1,102 @@
+// Command rdmavet statically enforces the verbs-protocol invariants of this
+// repository (see internal/lint/rdmavet for the analyzer suite and
+// DESIGN.md "Statically-enforced invariants" for the protocol rationale).
+//
+// Usage:
+//
+//	go run ./cmd/rdmavet ./...
+//	go run ./cmd/rdmavet -list
+//
+// Exit status: 0 when clean, 1 when any diagnostic fired, 2 on driver
+// errors. Intentional exceptions are suppressed in place with
+//
+//	//rdmavet:allow <analyzer>[,<analyzer>] -- <one-line justification>
+//
+// on the offending line or the line directly above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/namdb/rdmatree/internal/lint"
+	"github.com/namdb/rdmatree/internal/lint/rdmavet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers of the suite and exit")
+	only := flag.String("only", "", "run only the named analyzer (comma-separated names)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rdmavet [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Checks the verbs-protocol invariants; packages default to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := rdmavet.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		var kept []*lint.Analyzer
+		for _, a := range suite {
+			if nameListed(*only, a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "rdmavet: no analyzer matches -only=%s\n", *only)
+			os.Exit(2)
+		}
+		suite = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := lint.NewProgram(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdmavet: %v\n", err)
+		os.Exit(2)
+	}
+	paths, err := prog.List(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdmavet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(prog, paths, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdmavet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rdmavet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func nameListed(csv, name string) bool {
+	for len(csv) > 0 {
+		i := 0
+		for i < len(csv) && csv[i] != ',' {
+			i++
+		}
+		if csv[:i] == name {
+			return true
+		}
+		if i == len(csv) {
+			break
+		}
+		csv = csv[i+1:]
+	}
+	return false
+}

@@ -70,7 +70,7 @@ type Mem interface {
 // validated reports the (version, ok) pair for a page copy whose version
 // word re-read returned v: consistent iff unlocked and unchanged.
 func validated(v uint64, dst []uint64) (uint64, bool) {
-	return v, v == dst[0] && !layout.IsLocked(v)
+	return v, v == layout.BufVersion(dst) && !layout.IsLocked(v)
 }
 
 // LocalMem is a Mem over the local region of a single memory server. All
@@ -216,8 +216,8 @@ func (m *EndpointMem) ReadValidated(p rdma.RemotePtr, dst []uint64) (uint64, boo
 		if err := m.Ep.Read(p, dst); err != nil {
 			return 0, false, err
 		}
-		if layout.IsLocked(dst[0]) {
-			return dst[0], false, nil
+		if v := layout.BufVersion(dst); layout.IsLocked(v) {
+			return v, false, nil
 		}
 		if err := m.Ep.Read(p, m.vbuf[:]); err != nil {
 			return 0, false, err

@@ -156,7 +156,7 @@ func (t *Tree) readNode(env rdma.Env, st *Stats, p rdma.RemotePtr, buf []uint64)
 			return t.L.Wrap(buf), v, nil
 		}
 		st.Restarts++
-		if layout.IsLocked(buf[0]) || layout.IsLocked(v) {
+		if layout.IsLocked(layout.BufVersion(buf)) || layout.IsLocked(v) {
 			st.LockSpins++
 		} else {
 			st.VersionAborts++
@@ -375,7 +375,7 @@ func (t *Tree) scanChain(env rdma.Env, st *Stats, p rdma.RemotePtr, n layout.Nod
 				st.ExposedRTTs++
 				env.Charge(t.VisitNS * int64(len(ptrs)))
 				for i, hp := range ptrs {
-					v := bufs[i][0]
+					v := layout.BufVersion(bufs[i])
 					if layout.IsLocked(v) || vers[i] != v {
 						freelist = append(freelist, bufs[i])
 						continue

@@ -137,7 +137,7 @@ func (m *Mem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
 			return err
 		}
 		m.Stats.Validations++
-		if v == e.words[0] && !layout.IsLocked(v) {
+		if v == layout.BufVersion(e.words) && !layout.IsLocked(v) {
 			copy(dst, e.words)
 			m.Stats.Hits++
 			if m.Tel != nil {
@@ -157,7 +157,7 @@ func (m *Mem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
 	if m.Tel != nil {
 		m.Tel.CacheMiss()
 	}
-	v := dst[0]
+	v := layout.BufVersion(dst)
 	if layout.IsLocked(v) {
 		return nil
 	}
@@ -202,7 +202,7 @@ func (m *Mem) ReadValidated(p rdma.RemotePtr, dst []uint64) (uint64, bool, error
 			return 0, false, err
 		}
 		m.Stats.Validations++
-		if v == e.words[0] && !layout.IsLocked(v) {
+		if v == layout.BufVersion(e.words) && !layout.IsLocked(v) {
 			copy(dst, e.words)
 			m.Stats.Hits++
 			if m.Tel != nil {
@@ -283,7 +283,7 @@ func (m *Mem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64, versions []uint64) 
 			continue
 		}
 		v := versions[i]
-		if layout.IsLocked(v) || v != dst[i][0] {
+		if layout.IsLocked(v) || v != layout.BufVersion(dst[i]) {
 			continue
 		}
 		if m.maybeInsert(p, dst[i]) {

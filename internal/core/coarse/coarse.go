@@ -71,7 +71,7 @@ func (s *Server) Init() (*nam.Catalog, error) {
 
 // InitServer creates one server's empty tree (distributed deployments).
 func (s *Server) InitServer(srv int) error {
-	return s.tree(srv).Init(rdma.NopEnv{})
+	return s.tree(srv).Init(rdma.NopEnv{}) //rdmavet:allow nopenv -- bootstrap: runs once before the fabric serves timed traffic
 }
 
 // Build bulk-loads the partitioned trees and returns the catalog. spec.At is
@@ -109,6 +109,7 @@ func (s *Server) BuildServer(srv int, spec core.BuildSpec) error {
 		}
 	}
 	cfg := btree.BuildConfig{Fill: spec.Fill}
+	//rdmavet:allow nopenv -- bulk load is an untimed setup path; experiments measure the prebuilt tree
 	if _, err := s.tree(srv).Build(rdma.NopEnv{}, cfg, count, at); err != nil {
 		return fmt.Errorf("coarse: building server %d: %w", srv, err)
 	}
@@ -227,7 +228,7 @@ func WordsToBytes(w []uint64) []byte { return nam.UnpackBytes(w) }
 func (s *Server) CheckInvariants() (int, error) {
 	total := 0
 	for i := 0; i < s.fab.NumServers(); i++ {
-		n, err := s.tree(i).CheckInvariants(rdma.NopEnv{})
+		n, err := s.tree(i).CheckInvariants(rdma.NopEnv{}) //rdmavet:allow nopenv -- test-only invariant sweep, never on the timed path
 		if err != nil {
 			return 0, fmt.Errorf("server %d: %w", i, err)
 		}
@@ -240,7 +241,7 @@ func (s *Server) CheckInvariants() (int, error) {
 // on each memory server.
 func (s *Server) Compact() (removed int, err error) {
 	for i := 0; i < s.fab.NumServers(); i++ {
-		r, _, err := s.tree(i).Compact(rdma.NopEnv{})
+		r, _, err := s.tree(i).Compact(rdma.NopEnv{}) //rdmavet:allow nopenv -- maintenance entry point invoked outside the simulated run (no handler Env in scope)
 		if err != nil {
 			return removed, err
 		}

@@ -113,10 +113,10 @@ func (s *Server) BuildServer(setupEp rdma.Endpoint, srv int, spec core.BuildSpec
 	}
 	cfg := btree.BuildConfig{Fill: spec.Fill, HeadEvery: spec.HeadEvery}
 	if count == 0 {
-		if err := t.Init(rdma.NopEnv{}); err != nil {
+		if err := t.Init(rdma.NopEnv{}); err != nil { //rdmavet:allow nopenv -- bootstrap: runs once before timed traffic
 			return err
 		}
-	} else if _, err := t.Build(rdma.NopEnv{}, cfg, count, at); err != nil {
+	} else if _, err := t.Build(rdma.NopEnv{}, cfg, count, at); err != nil { //rdmavet:allow nopenv -- bulk load is an untimed setup path
 		return fmt.Errorf("hybrid: building server %d: %w", srv, err)
 	}
 	// Guarantee the root is an inner node on the owning server: wrap a
@@ -231,7 +231,7 @@ func (s *Server) CheckInvariants(ep rdma.Endpoint) (int, error) {
 	total := 0
 	for i := 0; i < s.fab.NumServers(); i++ {
 		t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: ep, Place: btree.Fixed(i)}, nam.RootWordPtr(i))
-		n, err := t.CheckInvariants(rdma.NopEnv{})
+		n, err := t.CheckInvariants(rdma.NopEnv{}) //rdmavet:allow nopenv -- test-only invariant sweep, never on the timed path
 		if err != nil {
 			return 0, fmt.Errorf("server %d: %w", i, err)
 		}

@@ -70,6 +70,14 @@ const LockBit uint64 = 1
 // IsLocked reports whether a version word has the lock bit set.
 func IsLocked(v uint64) bool { return v&LockBit != 0 }
 
+// BufVersion returns the version/lock word of a raw page buffer without
+// requiring a full Layout (validation paths peek at it before a copy is
+// known to be consistent). It is the only sanctioned way to read a header
+// word from a raw buffer outside this package — rdmavet's layoutwords
+// analyzer rejects direct constant indexing so a header reordering cannot
+// silently desynchronize call sites.
+func BufVersion(w []uint64) uint64 { return w[wordVersion] }
+
 // WithLock returns the version word with the lock bit set.
 func WithLock(v uint64) uint64 { return v | LockBit }
 

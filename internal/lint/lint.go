@@ -1,0 +1,271 @@
+// Package lint is a minimal, dependency-free static-analysis framework
+// modelled on golang.org/x/tools/go/analysis. It exists because the verbs
+// protocols in this repository are correct only under invariants the Go
+// compiler cannot see (an ibverbs CAS "succeeds iff returned value == old",
+// single-goroutine Endpoint ownership, no wall-clock reads under simulated
+// virtual time, ...). The rdmavet suite (internal/lint/rdmavet) expresses
+// each invariant as an Analyzer; this package supplies the Analyzer/Pass
+// plumbing, the module loader (load.go) and diagnostic suppression via
+// //rdmavet:allow directives.
+//
+// The framework intentionally mirrors the x/tools API shape (Analyzer with
+// Name/Doc/Run, Pass with Fset/Files/Pkg/Info/Reportf) so the suite can be
+// ported to the real go/analysis driver mechanically if the dependency ever
+// becomes available.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rdmavet:allow directives.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and why.
+	Doc string
+	// Run performs the check, reporting findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test Go files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+	// Path is the package's import path ("fixture/..." for test fixtures).
+	Path string
+	// ModulePath is the path of the enclosing module; analyzers use it to
+	// compute module-relative package paths for scoping decisions.
+	ModulePath string
+	// Prog lets analyzers resolve types from other packages of the module
+	// (e.g. the rdma.Endpoint interface) even when the analyzed package does
+	// not import them directly.
+	Prog *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RelPath returns the package path relative to the module root
+// ("internal/btree"), or the path unchanged when it is not under the module
+// (fixture packages).
+func (p *Pass) RelPath() string {
+	if p.Path == p.ModulePath {
+		return "."
+	}
+	return strings.TrimPrefix(p.Path, p.ModulePath+"/")
+}
+
+// TypeOf is a nil-tolerant shortcut for p.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// NamedType resolves the named type pkgPath.name via the program's package
+// cache, loading pkgPath on demand. Returns nil if the package or name does
+// not exist (analyzers then skip, never crash).
+func (p *Pass) NamedType(pkgPath, name string) types.Type {
+	pi, err := p.Prog.Package(pkgPath)
+	if err != nil || pi == nil || pi.Pkg == nil {
+		return nil
+	}
+	obj := pi.Pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}
+
+// Interface resolves pkgPath.name and returns its underlying interface, or
+// nil when the name is not an interface type.
+func (p *Pass) Interface(pkgPath, name string) *types.Interface {
+	t := p.NamedType(pkgPath, name)
+	if t == nil {
+		return nil
+	}
+	iface, _ := t.Underlying().(*types.Interface)
+	return iface
+}
+
+// directive is one parsed //rdmavet:allow comment.
+type directive struct {
+	line      int
+	analyzers []string // empty = all analyzers
+}
+
+// allows reports whether the directive suppresses the named analyzer.
+func (d directive) allows(name string) bool {
+	if len(d.analyzers) == 0 {
+		return true
+	}
+	for _, a := range d.analyzers {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectivePrefix introduces a suppression comment:
+//
+//	//rdmavet:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// A directive suppresses matching diagnostics reported on its own line or on
+// the line directly below (directive-above-statement style). The
+// justification after " -- " is free text but should always be present: the
+// suite exists to replace comment-enforced invariants with machine-enforced
+// ones, and an unexplained suppression reintroduces the former.
+const DirectivePrefix = "rdmavet:allow"
+
+// parseDirectives extracts all //rdmavet:allow directives of a file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var ds []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, DirectivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, DirectivePrefix)
+			if cut := strings.Index(rest, "--"); cut >= 0 {
+				rest = rest[:cut]
+			}
+			var names []string
+			for _, fld := range strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ',' || r == ' ' || r == '\t'
+			}) {
+				if fld != "" {
+					names = append(names, fld)
+				}
+			}
+			ds = append(ds, directive{
+				line:      fset.Position(c.Pos()).Line,
+				analyzers: names,
+			})
+		}
+	}
+	return ds
+}
+
+// suppress filters diagnostics covered by //rdmavet:allow directives in the
+// given files.
+func suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	// filename -> line -> directives
+	byFile := make(map[string]map[int][]directive)
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		m := byFile[name]
+		if m == nil {
+			m = make(map[int][]directive)
+			byFile[name] = m
+		}
+		for _, d := range parseDirectives(fset, f) {
+			m[d.line] = append(m[d.line], d)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		m := byFile[d.Pos.Filename]
+		allowed := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range m[line] {
+				if dir.allows(d.Analyzer) {
+					allowed = true
+				}
+			}
+		}
+		if !allowed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// RunAnalyzers applies every analyzer to every listed package and returns
+// the surviving (non-suppressed) diagnostics in file/line order.
+func RunAnalyzers(prog *Program, paths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, path := range paths {
+		pi, err := prog.Package(path)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		diags, err := AnalyzePackage(prog, pi, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// AnalyzePackage applies the analyzers to one loaded package, honoring
+// //rdmavet:allow directives.
+func AnalyzePackage(prog *Program, pi *PackageInfo, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       prog.Fset,
+			Files:      pi.Files,
+			Pkg:        pi.Pkg,
+			Info:       pi.Info,
+			Path:       pi.Path,
+			ModulePath: prog.ModulePath,
+			Prog:       prog,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pi.Path, err)
+		}
+		all = append(all, pass.diags...)
+	}
+	return suppress(prog.Fset, pi.Files, all), nil
+}

@@ -1,0 +1,118 @@
+// Package linttest runs lint analyzers against fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture files mark
+// each line where a diagnostic is expected with a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// and the runner fails the test on any missing or unexpected diagnostic.
+// Fixtures live under testdata/ (invisible to go build) and may import real
+// packages of the enclosing module, so analyzers are exercised against the
+// actual rdma.Endpoint / btree.Mem types they guard.
+package linttest
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+var (
+	progOnce sync.Once
+	prog     *lint.Program
+	progErr  error
+)
+
+// Program returns a module-wide *lint.Program shared by all tests in the
+// process (indexing the module and type-checking shared dependencies once).
+func Program(t *testing.T) *lint.Program {
+	t.Helper()
+	progOnce.Do(func() {
+		prog, progErr = lint.NewProgram(".")
+	})
+	if progErr != nil {
+		t.Fatalf("loading module: %v", progErr)
+	}
+	return prog
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want-regexp at one file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads fixtureDir as a package named asPath, applies the analyzer, and
+// compares its diagnostics against the fixture's want comments.
+func Run(t *testing.T, fixtureDir, asPath string, a *lint.Analyzer) {
+	t.Helper()
+	p := Program(t)
+	pi, err := p.LoadDir(fixtureDir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	diags, err := lint.AnalyzePackage(p, pi, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pi.Files {
+		wants = append(wants, parseWants(t, p, f)...)
+	}
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func parseWants(t *testing.T, p *lint.Program, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			ms := wantRE.FindAllStringSubmatch(text[len("want "):], -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// PackageInfo is one loaded, type-checked package.
+type PackageInfo struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Program indexes and lazily type-checks the packages of one Go module.
+// Packages are loaded on demand (Package), so a caller analyzing a single
+// fixture package only pays for that package's dependency cone. Module
+// packages are enumerated with `go list` (which honors build tags and skips
+// testdata directories); standard-library dependencies are type-checked from
+// GOROOT source via go/importer, keeping the loader free of external
+// dependencies and network access.
+//
+// Only non-test files are loaded: the rdmavet invariants guard protocol and
+// production code, and several analyzers (nopenv, wallclock) explicitly
+// exempt tests.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	RootDir    string
+
+	metas   map[string]*listPackage // import path -> go list metadata
+	pkgs    map[string]*PackageInfo // import path -> loaded package
+	loading map[string]bool         // cycle guard
+	std     types.Importer          // GOROOT source importer
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// NewProgram indexes the module rooted at rootDir (a directory containing
+// go.mod, or any directory below one).
+func NewProgram(rootDir string) (*Program, error) {
+	root, err := findModuleRoot(rootDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	p := &Program{
+		Fset:    fset,
+		RootDir: root,
+		metas:   make(map[string]*listPackage),
+		pkgs:    make(map[string]*PackageInfo),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	out, err := p.goList("-m")
+	if err != nil {
+		return nil, fmt.Errorf("resolving module path: %w", err)
+	}
+	p.ModulePath = strings.TrimSpace(string(out))
+	if err := p.index("./..."); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func (p *Program) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = p.RootDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// index records `go list -json` metadata for the given patterns.
+func (p *Program) index(patterns ...string) error {
+	out, err := p.goList(append([]string{"-e", "-json"}, patterns...)...)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("decoding go list output: %w", err)
+		}
+		p.metas[lp.ImportPath] = &lp
+	}
+	return nil
+}
+
+// List expands go package patterns (e.g. "./...") to import paths, keeping
+// only packages that belong to this module and contain Go files.
+func (p *Program) List(patterns ...string) ([]string, error) {
+	out, err := p.goList(append([]string{"-e"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if m, ok := p.metas[line]; ok && len(m.GoFiles) > 0 {
+			paths = append(paths, line)
+		}
+	}
+	return paths, nil
+}
+
+// Package loads (and caches) the type-checked package at the given import
+// path. Module-internal dependencies are loaded recursively; standard
+// library imports are satisfied from GOROOT source.
+func (p *Program) Package(path string) (*PackageInfo, error) {
+	if pi, ok := p.pkgs[path]; ok {
+		return pi, nil
+	}
+	meta, ok := p.metas[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s is not part of module %s", path, p.ModulePath)
+	}
+	if meta.Error != nil {
+		return nil, fmt.Errorf("lint: go list error for %s: %s", path, meta.Error.Err)
+	}
+	if p.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	p.loading[path] = true
+	defer delete(p.loading, path)
+
+	var files []string
+	for _, f := range meta.GoFiles {
+		files = append(files, filepath.Join(meta.Dir, f))
+	}
+	pi, err := p.check(path, meta.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	p.pkgs[path] = pi
+	return pi, nil
+}
+
+// LoadDir parses and type-checks every .go file of one directory as a
+// package with the given synthetic import path. It is the entry point for
+// analyzer test fixtures, which live under testdata/ where `go list` does
+// not see them; fixtures may import real packages of the enclosing module.
+func (p *Program) LoadDir(dir, asPath string) (*PackageInfo, error) {
+	if pi, ok := p.pkgs[asPath]; ok {
+		return pi, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pi, err := p.check(asPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	p.pkgs[asPath] = pi
+	return pi, nil
+}
+
+// check parses and type-checks one package from explicit file paths.
+func (p *Program) check(path, dir string, filenames []string) (*PackageInfo, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(p.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importFunc(func(ipath string) (*types.Package, error) {
+			if ipath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if ipath == p.ModulePath || strings.HasPrefix(ipath, p.ModulePath+"/") {
+				pi, err := p.Package(ipath)
+				if err != nil {
+					return nil, err
+				}
+				return pi.Pkg, nil
+			}
+			return p.std.Import(ipath)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, p.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	return &PackageInfo{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// importFunc adapts a function to types.Importer.
+type importFunc func(path string) (*types.Package, error)
+
+func (f importFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,150 @@
+package rdmavet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// NewCASChecked builds the caschecked analyzer.
+//
+// An ibverbs compare-and-swap does not fail loudly: it returns the value
+// observed before the operation, and the swap happened iff that value equals
+// the old argument (Listing 3 of the paper — lock acquisition is exactly
+// this comparison). Code that drops the returned prior value has no way to
+// know whether it holds the lock, and on a one-sided protocol no server-side
+// check will ever catch it.
+//
+// The analyzer inspects every call of Endpoint.CompareAndSwap, btree.Mem.CAS
+// and Region.CompareAndSwap and requires the returned prior value to be
+//
+//   - compared with == or != (e.g. `if prev != v { retry }`),
+//   - or propagated to the caller via return (wrappers and Mem adapters),
+//   - or switched on,
+//
+// within the enclosing function. Everything else — discarding it with `_`,
+// an expression statement, or an assignment whose variable is never
+// compared — is a diagnostic. Transport relays that forward the prior value
+// to a remote comparer are annotated //rdmavet:allow caschecked in place.
+func NewCASChecked() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "caschecked",
+		Doc:  "first result of a verbs CAS must be compared against old (ibverbs: swap succeeded iff returned value == old)",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		epIface := endpointIface(pass)
+		mIface := memIface(pass)
+		rdmaPkg := rdmaPath(pass)
+		walkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			_, recvType, name, ok := methodCall(pass, call)
+			if !ok || len(call.Args) != 3 {
+				return
+			}
+			var kind string
+			switch {
+			case name == "CompareAndSwap" && implementsIface(recvType, epIface):
+				kind = "Endpoint.CompareAndSwap"
+			case name == "CAS" && implementsIface(recvType, mIface):
+				kind = "Mem.CAS"
+			case name == "CompareAndSwap" && isNamed(recvType, rdmaPkg, "Region"):
+				kind = "Region.CompareAndSwap"
+			default:
+				return
+			}
+			if !casResultChecked(pass, call, stack) {
+				pass.Reportf(call.Pos(),
+					"result of %s is not compared against the old argument %q: an ibverbs CAS succeeds iff the returned value equals old, so ignoring it drops lock-acquire failures",
+					kind, types.ExprString(call.Args[1]))
+			}
+		})
+		return nil
+	}
+	return a
+}
+
+// casResultChecked reports whether the prior-value result of the CAS call is
+// observably checked in its enclosing function.
+func casResultChecked(pass *lint.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	switch parent := parentOf(stack).(type) {
+	case *ast.ReturnStmt:
+		// Wrapper: the caller receives (prior, err) and is checked itself.
+		return true
+	case *ast.BinaryExpr:
+		// Inline comparison. (Only possible for the error-free
+		// Region.CompareAndSwap; multi-valued calls cannot appear here.)
+		return parent.Op == token.EQL || parent.Op == token.NEQ
+	case *ast.AssignStmt:
+		if len(parent.Rhs) != 1 {
+			return false
+		}
+		return lhsResultChecked(pass, parent.Lhs, stack)
+	case *ast.ValueSpec:
+		ids := make([]ast.Expr, len(parent.Names))
+		for i, n := range parent.Names {
+			ids[i] = n
+		}
+		return lhsResultChecked(pass, ids, stack)
+	}
+	return false
+}
+
+// lhsResultChecked inspects the assignment target of the CAS's first result.
+func lhsResultChecked(pass *lint.Pass, lhs []ast.Expr, stack []ast.Node) bool {
+	if len(lhs) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	var obj types.Object
+	if d, ok := pass.Info.Defs[id]; ok && d != nil {
+		obj = d
+	} else if u, ok := pass.Info.Uses[id]; ok {
+		obj = u
+	}
+	if obj == nil {
+		return false
+	}
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		return false
+	}
+	checked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if checked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if sid, ok := ast.Unparen(side).(*ast.Ident); ok && sameObject(pass, sid, obj) {
+					checked = true
+				}
+			}
+		case *ast.ReturnStmt:
+			// Propagation counts only when the value is returned as-is;
+			// `return prev + 1` is arithmetic, not a success check.
+			for _, res := range n.Results {
+				if rid, ok := ast.Unparen(res).(*ast.Ident); ok && sameObject(pass, rid, obj) {
+					checked = true
+				}
+			}
+		case *ast.SwitchStmt:
+			if sid, ok := ast.Unparen(n.Tag).(*ast.Ident); ok && sameObject(pass, sid, obj) {
+				checked = true
+			}
+		}
+		return !checked
+	})
+	return checked
+}

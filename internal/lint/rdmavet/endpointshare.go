@@ -1,0 +1,98 @@
+package rdmavet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// NewEndpointShare builds the endpointshare analyzer.
+//
+// An rdma.Endpoint models one compute thread's queue pairs: per the contract
+// in internal/rdma/verbs.go it is owned by a single goroutine and must never
+// be used from two concurrently (the paper's one-QP-per-client connection
+// model; EndpointMem additionally keeps per-endpoint scratch buffers that
+// would race). The analyzer flags the ways an endpoint value crosses a
+// goroutine boundary:
+//
+//   - captured by the function literal of a `go` statement,
+//   - passed as an argument (or receiver) of a `go` call,
+//   - sent on a channel.
+//
+// Deliberate ownership hand-offs (create, then give to exactly one worker)
+// are annotated //rdmavet:allow endpointshare at the hand-off site. The
+// check is capture-based: an endpoint smuggled across inside a struct field
+// is only caught when the endpoint-typed expression itself appears in the
+// escaping code, so constructors storing endpoints into client structs are
+// (intentionally) not flagged.
+func NewEndpointShare() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "endpointshare",
+		Doc:  "an rdma.Endpoint is owned by one goroutine: no goroutine capture, go-call argument, or channel send",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		iface := endpointIface(pass)
+		if iface == nil {
+			return nil
+		}
+		reported := make(map[token.Pos]bool)
+		report := func(pos token.Pos, format string, args ...any) {
+			if !reported[pos] {
+				reported[pos] = true
+				pass.Reportf(pos, format, args...)
+			}
+		}
+		isEndpoint := func(t types.Type) bool { return implementsIface(t, iface) }
+		walkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if isEndpoint(pass.TypeOf(n.Value)) {
+					report(n.Value.Pos(),
+						"rdma.Endpoint sent on a channel: endpoints are owned by a single goroutine (see rdma.Endpoint doc)")
+				}
+			case *ast.GoStmt:
+				checkGoStmt(pass, n, isEndpoint, report)
+			}
+		})
+		return nil
+	}
+	return a
+}
+
+func checkGoStmt(pass *lint.Pass, g *ast.GoStmt, isEndpoint func(types.Type) bool, report func(token.Pos, string, ...any)) {
+	if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+		if isEndpoint(pass.TypeOf(sel.X)) {
+			report(sel.X.Pos(),
+				"rdma.Endpoint method launched on a new goroutine: endpoints are owned by a single goroutine")
+		}
+	}
+	for _, arg := range g.Call.Args {
+		if isEndpoint(pass.TypeOf(arg)) {
+			report(arg.Pos(),
+				"rdma.Endpoint passed to a goroutine: endpoints are owned by a single goroutine (annotate deliberate ownership transfer with //rdmavet:allow endpointshare)")
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || !isEndpoint(obj.Type()) {
+			return true
+		}
+		// Declared outside the literal => captured from the spawning
+		// goroutine's scope.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			report(id.Pos(),
+				"rdma.Endpoint %q captured by a goroutine: endpoints are owned by a single goroutine (create the endpoint inside the goroutine, or annotate a deliberate ownership transfer with //rdmavet:allow endpointshare)", id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,61 @@
+package rdmavet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// DefaultLayoutWordsScope covers the packages that handle raw page buffers.
+var DefaultLayoutWordsScope = Scope{Deny: protocolPackages}
+
+// NewLayoutWords builds the layoutwords analyzer.
+//
+// internal/layout owns the word layout of index pages (version word, meta
+// word, fence keys, sibling pointers, payload — see the package comment
+// there). A call site outside layout that indexes a page buffer with a
+// constant — `buf[0]` to peek at the version word, say — hard-codes the
+// layout at that line: reorder one header word and the site silently reads
+// the wrong field, with no compiler or runtime check on any transport. The
+// analyzer flags every constant-index access of a []uint64 in protocol
+// packages; call sites go through the layout codec instead
+// (layout.BufVersion, layout.Node accessors). Non-page uint64 slices
+// indexed by constants are annotated //rdmavet:allow layoutwords in place.
+func NewLayoutWords(scope Scope) *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "layoutwords",
+		Doc:  "no constant indexing of []uint64 page buffers outside internal/layout (use the layout codec)",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if !scope.Match(pass.RelPath()) {
+			return nil
+		}
+		walkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return
+			}
+			slice, ok := pass.TypeOf(ix.X).(*types.Slice)
+			if !ok {
+				return
+			}
+			// Exactly []uint64 (or an alias like []layout.Key): defined types
+			// over uint64 — e.g. []rdma.RemotePtr — are not page buffers.
+			basic, ok := types.Unalias(slice.Elem()).(*types.Basic)
+			if !ok || basic.Kind() != types.Uint64 {
+				return
+			}
+			tv, ok := pass.Info.Types[ix.Index]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return
+			}
+			pass.Reportf(ix.Pos(),
+				"constant index %s into []uint64 outside internal/layout: header words must go through the layout codec (layout.BufVersion / layout.Node accessors) so a layout change cannot desynchronize this site",
+				tv.Value.ExactString())
+		})
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,50 @@
+package rdmavet
+
+import (
+	"go/types"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// DefaultNopEnvScope covers the packages whose code runs (also) on simulated
+// server CPUs and must account work through rdma.Env.Charge.
+var DefaultNopEnvScope = Scope{Deny: protocolPackages}
+
+// NewNopEnv builds the nopenv analyzer.
+//
+// On the simulated fabric every handler and protocol step charges its CPU
+// cost through rdma.Env, which advances virtual time while occupying a
+// handler core — that is the calibrated cost model the paper's simulated
+// experiments rest on. rdma.NopEnv performs no accounting; it is meant for
+// real-time transports and untimed setup paths. If a NopEnv leaks into
+// timed protocol code, that code executes for free in simulated time and
+// every downstream measurement is quietly wrong.
+//
+// The analyzer flags every reference to the rdma.NopEnv type inside
+// protocol packages. Tests are exempt by construction (the loader only
+// analyzes non-test files); legitimate untimed paths — bulk build,
+// bootstrap, invariant checks — carry a //rdmavet:allow nopenv annotation
+// with a one-line justification.
+func NewNopEnv(scope Scope) *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "nopenv",
+		Doc:  "rdma.NopEnv only in setup/build paths and tests, never in timed handler code",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if !scope.Match(pass.RelPath()) {
+			return nil
+		}
+		rdmaPkg := rdmaPath(pass)
+		for id, obj := range pass.Info.Uses {
+			tn, ok := obj.(*types.TypeName)
+			if !ok || tn.Pkg() == nil || tn.Pkg().Path() != rdmaPkg || tn.Name() != "NopEnv" {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"rdma.NopEnv in protocol package %s: timed code must account CPU via its rdma.Env (annotate untimed setup/build paths with //rdmavet:allow nopenv -- reason)",
+				pass.RelPath())
+		}
+		return nil
+	}
+	return a
+}

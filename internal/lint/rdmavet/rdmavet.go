@@ -1,0 +1,205 @@
+// Package rdmavet is the static-analysis suite enforcing the verbs-protocol
+// invariants of this repository. The index protocols (Listings 1-4 of the
+// paper) are correct only under contracts the Go compiler cannot check:
+//
+//   - an ibverbs CompareAndSwap reports success only through its returned
+//     prior value — ignoring it silently drops lock-acquire failures
+//     (caschecked);
+//   - an rdma.Endpoint is owned by exactly one compute thread
+//     (endpointshare);
+//   - code running under simnet's discrete-event clock must never read the
+//     wall clock (wallclock);
+//   - verb errors carry RNR/retry conditions and must not be discarded
+//     (verberrs);
+//   - the word layout of index pages is owned by internal/layout
+//     (layoutwords);
+//   - server-side handler code must account CPU through its rdma.Env, so
+//     rdma.NopEnv{} may not leak into timed protocol paths (nopenv).
+//
+// One-sided RDMA designs make these contracts load-bearing: the remote CPU
+// never validates a request, so nothing at runtime catches a client that
+// ignores a CAS result or tears a page layout. rdmavet moves the contracts
+// from doc comments into machine-checked diagnostics.
+//
+// Run the suite with `go run ./cmd/rdmavet ./...`. Intentional exceptions
+// are annotated in place:
+//
+//	//rdmavet:allow <analyzer> -- <one-line justification>
+package rdmavet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// Scope restricts an analyzer to module-relative package path prefixes.
+// A package is in scope when it matches a Deny prefix and no Allow prefix
+// (Allow carves exceptions out of broader Deny entries).
+type Scope struct {
+	Deny  []string
+	Allow []string
+}
+
+// Match reports whether the module-relative package path is in scope.
+func (s Scope) Match(rel string) bool {
+	return matchPrefix(s.Deny, rel) && !matchPrefix(s.Allow, rel)
+}
+
+func matchPrefix(prefixes []string, rel string) bool {
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// protocolPackages are the packages executing the paper's index protocols:
+// the scope of the layout- and environment-ownership analyzers.
+var protocolPackages = []string{
+	"internal/btree",
+	"internal/core",
+	"internal/cache",
+	"internal/bench",
+}
+
+// Suite returns the default rdmavet analyzer suite as run by cmd/rdmavet.
+func Suite() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		NewCASChecked(),
+		NewEndpointShare(),
+		NewWallclock(DefaultWallclockScope),
+		NewVerbErrs(),
+		NewLayoutWords(DefaultLayoutWordsScope),
+		NewNopEnv(DefaultNopEnvScope),
+	}
+}
+
+// rdmaPath returns the import path of the rdma verbs package within the
+// analyzed module.
+func rdmaPath(pass *lint.Pass) string { return pass.ModulePath + "/internal/rdma" }
+
+// btreePath returns the import path of the tree engine package.
+func btreePath(pass *lint.Pass) string { return pass.ModulePath + "/internal/btree" }
+
+// endpointIface resolves the rdma.Endpoint interface (nil when the module
+// under analysis does not define it).
+func endpointIface(pass *lint.Pass) *types.Interface {
+	return pass.Interface(rdmaPath(pass), "Endpoint")
+}
+
+// memIface resolves the btree.Mem interface.
+func memIface(pass *lint.Pass) *types.Interface {
+	return pass.Interface(btreePath(pass), "Mem")
+}
+
+// implementsIface reports whether t (or *t) satisfies the interface.
+func implementsIface(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if types.Implements(types.NewPointer(t), iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamed reports whether t is (a pointer to) the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// methodCall decomposes call into (receiver expression, receiver type,
+// method name). ok is false for plain function and package-qualified calls.
+func methodCall(pass *lint.Pass, call *ast.CallExpr) (recv ast.Expr, recvType types.Type, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, "", false
+	}
+	if id, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent {
+		if _, isPkg := pass.Info.Uses[id].(*types.PkgName); isPkg {
+			return nil, nil, "", false
+		}
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return nil, nil, "", false
+	}
+	return sel.X, t, sel.Sel.Name, true
+}
+
+// walkStack traverses every top-level declaration of every file, calling fn
+// with each node and the stack of its ancestors (outermost first, not
+// including the node itself).
+func walkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// parentOf returns the nearest ancestor that is not a ParenExpr.
+func parentOf(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, isParen := stack[i].(*ast.ParenExpr); isParen {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// sameObject reports whether the identifier resolves to obj.
+func sameObject(pass *lint.Pass, id *ast.Ident, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if u, ok := pass.Info.Uses[id]; ok && u == obj {
+		return true
+	}
+	if d, ok := pass.Info.Defs[id]; ok && d == obj {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package rdmavet_test
+
+import (
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/lint"
+	"github.com/namdb/rdmatree/internal/lint/linttest"
+	"github.com/namdb/rdmatree/internal/lint/rdmavet"
+)
+
+// fixtureScope puts the synthetic fixture packages in scope of the
+// scope-gated analyzers (their default scopes name real module packages).
+var fixtureScope = rdmavet.Scope{Deny: []string{"fixture"}}
+
+func TestCASChecked(t *testing.T) {
+	linttest.Run(t, "testdata/caschecked", "fixture/caschecked", rdmavet.NewCASChecked())
+}
+
+func TestEndpointShare(t *testing.T) {
+	linttest.Run(t, "testdata/endpointshare", "fixture/endpointshare", rdmavet.NewEndpointShare())
+}
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, "testdata/wallclock", "fixture/wallclock", rdmavet.NewWallclock(fixtureScope))
+}
+
+func TestVerbErrs(t *testing.T) {
+	linttest.Run(t, "testdata/verberrs", "fixture/verberrs", rdmavet.NewVerbErrs())
+}
+
+func TestLayoutWords(t *testing.T) {
+	linttest.Run(t, "testdata/layoutwords", "fixture/layoutwords", rdmavet.NewLayoutWords(fixtureScope))
+}
+
+func TestNopEnv(t *testing.T) {
+	linttest.Run(t, "testdata/nopenv", "fixture/nopenv", rdmavet.NewNopEnv(fixtureScope))
+}
+
+// TestWallclockOutOfScope pins the scoping mechanism itself: the same
+// violating fixture produces no diagnostics when analyzed under the default
+// (real-package) scope.
+func TestWallclockOutOfScope(t *testing.T) {
+	p := linttest.Program(t)
+	pi, err := p.LoadDir("testdata/wallclock", "fixture-outofscope/wallclock")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := lint.AnalyzePackage(p, pi, []*lint.Analyzer{
+		rdmavet.NewWallclock(rdmavet.DefaultWallclockScope),
+	})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}
+
+func TestScopeMatch(t *testing.T) {
+	s := rdmavet.Scope{
+		Deny:  []string{"internal/rdma", "internal/btree"},
+		Allow: []string{"internal/rdma/tcpnet"},
+	}
+	cases := []struct {
+		rel  string
+		want bool
+	}{
+		{"internal/rdma", true},
+		{"internal/rdma/simnet", true},
+		{"internal/rdma/tcpnet", false},       // carved out
+		{"internal/rdma/tcpnet/sub", false},   // carve-outs cover subtrees
+		{"internal/rdmaother", false},         // prefix match is per path segment
+		{"internal/btree", true},
+		{"internal/telemetry", false},
+		{"cmd/rdmavet", false},
+	}
+	for _, c := range cases {
+		if got := s.Match(c.rel); got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.rel, got, c.want)
+		}
+	}
+}
+
+// TestDefaultScopes pins the load-bearing entries of the shipped scopes: the
+// virtual-time packages are covered, the real-time transports and the
+// telemetry wall clock are not.
+func TestDefaultScopes(t *testing.T) {
+	w := rdmavet.DefaultWallclockScope
+	for _, rel := range []string{"internal/btree", "internal/core/fine", "internal/rdma/simnet", "internal/sim", "internal/bench"} {
+		if !w.Match(rel) {
+			t.Errorf("wallclock scope must cover %s", rel)
+		}
+	}
+	for _, rel := range []string{"internal/rdma/tcpnet", "internal/rdma/direct", "internal/telemetry", "cmd/namserver", "examples/kvstore"} {
+		if w.Match(rel) {
+			t.Errorf("wallclock scope must not cover %s", rel)
+		}
+	}
+}
+
+// TestSuite pins the suite composition: CI runs exactly these analyzers.
+func TestSuite(t *testing.T) {
+	want := []string{"caschecked", "endpointshare", "wallclock", "verberrs", "layoutwords", "nopenv"}
+	suite := rdmavet.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Fixture for the caschecked analyzer: the first result of a verbs CAS
+// (the observed prior value) must be compared against the old argument,
+// returned to the caller, or explicitly allowed.
+package fixture
+
+import (
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// lockAcquire is the Listing-3 idiom: CAS the lock bit, compare the prior
+// value against the expected version.
+func lockAcquire(ep rdma.Endpoint, p rdma.RemotePtr, v uint64) (bool, error) {
+	prev, err := ep.CompareAndSwap(p, v, v|1) // ok: prev compared below
+	if err != nil {
+		return false, err
+	}
+	return prev == v, nil
+}
+
+// wrapper propagates the prior value; the caller is responsible (and is
+// itself checked at its own call site).
+func wrapper(ep rdma.Endpoint, p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	return ep.CompareAndSwap(p, old, new) // ok: returned to caller
+}
+
+func discardedBlank(ep rdma.Endpoint, p rdma.RemotePtr, v uint64) {
+	_, _ = ep.CompareAndSwap(p, v, v|1) // want "not compared against the old argument"
+}
+
+func assignedNeverCompared(ep rdma.Endpoint, p rdma.RemotePtr, v uint64) uint64 {
+	prev, _ := ep.CompareAndSwap(p, v, v|1) // want "not compared against the old argument"
+	return prev + 1                         // arithmetic is not a success check
+}
+
+func memCASDropped(m btree.Mem, p rdma.RemotePtr, v uint64) {
+	_, _ = m.CAS(p, v, v|1) // want "not compared against the old argument"
+}
+
+func memCASChecked(m btree.Mem, p rdma.RemotePtr, v uint64) error {
+	prev, err := m.CAS(p, v, v|1) // ok: compared
+	if err != nil {
+		return err
+	}
+	if prev != v {
+		return nil
+	}
+	return nil
+}
+
+func regionInline(r *rdma.Region, old uint64) bool {
+	return r.CompareAndSwap(8, old, old+1) == old // ok: inline comparison
+}
+
+func regionDropped(r *rdma.Region, old uint64) {
+	r.CompareAndSwap(8, old, old+1) // want "not compared against the old argument"
+}
+
+func allowedRelay(ep rdma.Endpoint, p rdma.RemotePtr, v uint64) uint64 {
+	prev, _ := ep.CompareAndSwap(p, v, v|1) //rdmavet:allow caschecked -- fixture: prior value is relayed to a remote comparer
+	return prev * 2
+}

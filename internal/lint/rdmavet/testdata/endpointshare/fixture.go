@@ -1,0 +1,52 @@
+// Fixture for the endpointshare analyzer: an rdma.Endpoint is owned by one
+// goroutine and must not cross a goroutine boundary.
+package fixture
+
+import "github.com/namdb/rdmatree/internal/rdma"
+
+func spawnCapture(ep rdma.Endpoint) {
+	go func() {
+		_ = ep.NumServers() // want "captured by a goroutine"
+	}()
+}
+
+func spawnArg(ep rdma.Endpoint, worker func(rdma.Endpoint)) {
+	go worker(ep) // want "passed to a goroutine"
+}
+
+func spawnMethod(ep rdma.Endpoint, p rdma.RemotePtr, dst []uint64) {
+	go ep.Read(p, dst) // want "method launched on a new goroutine"
+}
+
+func channelSend(ch chan rdma.Endpoint, ep rdma.Endpoint) {
+	ch <- ep // want "sent on a channel"
+}
+
+func nestedCapture(ep rdma.Endpoint) {
+	go func() {
+		f := func() int {
+			return ep.NumServers() // want "captured by a goroutine"
+		}
+		_ = f()
+	}()
+}
+
+// okCreateInside is the sanctioned pattern: every goroutine dials or is
+// handed its own endpoint at birth and remains its sole owner.
+func okCreateInside(mk func() rdma.Endpoint) {
+	go func() {
+		ep := mk()
+		_ = ep.NumServers()
+	}()
+}
+
+// okSameGoroutine: plain use in the owning goroutine is fine.
+func okSameGoroutine(ep rdma.Endpoint) int {
+	return ep.NumServers()
+}
+
+func allowedTransfer(ep rdma.Endpoint) {
+	go func() {
+		_ = ep.NumServers() //rdmavet:allow endpointshare -- fixture: caller hands ownership to exactly this goroutine and never touches ep again
+	}()
+}

@@ -1,0 +1,44 @@
+// Fixture for the layoutwords analyzer: raw page buffers may only be
+// decoded through the internal/layout codec.
+package fixture
+
+import (
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+func peekVersion(buf []uint64) uint64 {
+	return buf[0] // want "constant index 0 into \[\]uint64"
+}
+
+func peekMeta(page []uint64) uint64 {
+	return page[1] // want "constant index 1 into \[\]uint64"
+}
+
+func pokeHighKey(page []uint64) {
+	page[2] = 7 // want "constant index 2 into \[\]uint64"
+}
+
+func keyAlias(ks []layout.Key) layout.Key {
+	return ks[0] // want "constant index 0 into \[\]uint64"
+}
+
+func okComputed(buf []uint64, i int) uint64 {
+	return buf[i] // computed index: bounds are the caller's problem, not a layout hazard
+}
+
+func okCodec(buf []uint64) uint64 {
+	return layout.BufVersion(buf)
+}
+
+func okNode(l layout.Layout, buf []uint64) uint64 {
+	return l.Wrap(buf).HighKey()
+}
+
+func okDefinedElem(ptrs []rdma.RemotePtr) rdma.RemotePtr {
+	return ptrs[0] // []RemotePtr is not a raw page buffer
+}
+
+func allowedNotAPage(histogram []uint64) uint64 {
+	return histogram[0] //rdmavet:allow layoutwords -- fixture: plain counter slice, not a page buffer
+}

@@ -1,0 +1,25 @@
+// Fixture for the nopenv analyzer: timed protocol code must account CPU
+// through its rdma.Env; the no-op environment is reserved for setup paths
+// and tests.
+package fixture
+
+import "github.com/namdb/rdmatree/internal/rdma"
+
+// okTimedHandler is the correct shape: the handler environment arrives as a
+// parameter and all work is charged through it.
+func okTimedHandler(env rdma.Env) {
+	env.Charge(100)
+}
+
+func badLiteral() rdma.Env {
+	return rdma.NopEnv{} // want "rdma.NopEnv in protocol package"
+}
+
+func badVar() {
+	var env rdma.NopEnv // want "rdma.NopEnv in protocol package"
+	env.Charge(100)
+}
+
+func allowedSetup() rdma.Env {
+	return rdma.NopEnv{} //rdmavet:allow nopenv -- fixture: untimed bootstrap path, runs before the simulated clock starts
+}

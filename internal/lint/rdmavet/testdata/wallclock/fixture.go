@@ -1,0 +1,37 @@
+// Fixture for the wallclock analyzer: packages running under simnet
+// virtual time must not observe or wait on the machine clock.
+package fixture
+
+import "time"
+
+// tick shows that time.Duration values and arithmetic stay legal — only
+// clock observations are forbidden.
+const tick = 10 * time.Millisecond
+
+func badNow() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func badSleep() {
+	time.Sleep(tick) // want "time.Sleep reads the wall clock"
+}
+
+func badAfter() <-chan time.Time {
+	return time.After(tick) // want "time.After reads the wall clock"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func badTicker() *time.Ticker {
+	return time.NewTicker(tick) // want "time.NewTicker reads the wall clock"
+}
+
+func okDurationMath(d time.Duration) time.Duration {
+	return 3*d + tick
+}
+
+func allowedException() time.Time {
+	return time.Now() //rdmavet:allow wallclock -- fixture: explicitly exempted clock source
+}

@@ -1,0 +1,77 @@
+package rdmavet
+
+import (
+	"go/types"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// DefaultWallclockScope lists the packages that execute under simnet's
+// discrete-event virtual clock (or are linked into code that does): the
+// index protocols, the tree engine, the simulator itself and the verbs core.
+// The real-time transports (tcpnet, direct) and internal/telemetry's
+// wallClock tracer legitimately read the machine clock and are carved out.
+var DefaultWallclockScope = Scope{
+	Deny: []string{
+		"internal/btree",
+		"internal/cache",
+		"internal/core",
+		"internal/bench",
+		"internal/layout",
+		"internal/partition",
+		"internal/workload",
+		"internal/stats",
+		"internal/sim",
+		"internal/rdma",
+	},
+	Allow: []string{
+		"internal/rdma/tcpnet",
+		"internal/rdma/direct",
+	},
+}
+
+// wallclockFuncs are the package time entry points that observe or wait on
+// the machine clock. time.Duration arithmetic and constants stay allowed.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// NewWallclock builds the wallclock analyzer.
+//
+// simnet (and the benchmarks built on it) run protocol code under a
+// calibrated discrete-event cost model: every delay is virtual time advanced
+// by the scheduler, every CPU charge goes through rdma.Env. A single
+// time.Now or time.Sleep in that code silently mixes wall-clock durations
+// into simulated measurements — results stay plausible and wrong. The
+// analyzer forbids the clock-observing entry points of package time in every
+// package that runs under virtual time.
+func NewWallclock(scope Scope) *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "wallclock",
+		Doc:  "no time.Now/Sleep/After/... in packages that run under simnet virtual time",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if !scope.Match(pass.RelPath()) {
+			return nil
+		}
+		for id, obj := range pass.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock inside a package running under simnet virtual time; use the rdma.Env / sim clock instead (a stray wall-clock read corrupts the discrete-event cost model)",
+				fn.Name())
+		}
+		return nil
+	}
+	return a
+}

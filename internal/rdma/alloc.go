@@ -61,11 +61,21 @@ func (a *Allocator) Alloc(n int) (uint64, error) {
 }
 
 // Free returns a block of n bytes at offset off to the allocator. The caller
-// must pass the same size it allocated with.
+// must pass the same size it allocated with. Free panics on offsets the
+// allocator never handed out — misaligned, before the managed range, or past
+// the bump pointer — because accepting one would hand the same words to two
+// owners on the next Alloc and corrupt a remote page silently.
 func (a *Allocator) Free(off uint64, n int) {
 	size := blockSize(n)
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if off%8 != 0 {
+		panic(fmt.Sprintf("rdma: free of misaligned offset %#x", off))
+	}
+	if off < a.start || off+uint64(size) > a.next {
+		panic(fmt.Sprintf("rdma: free of [%#x,%#x) outside allocated range [%#x,%#x)",
+			off, off+uint64(size), a.start, a.next))
+	}
 	a.free[size] = append(a.free[size], off)
 }
 

@@ -286,6 +286,39 @@ func TestAllocatorUsedAccounting(t *testing.T) {
 	}
 }
 
+func TestAllocatorFreeRejectsBogusOffsets(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Free accepted a bogus offset", name)
+			}
+		}()
+		f()
+	}
+
+	a := NewAllocator(128, 1024)
+	off, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustPanic("misaligned", func() { a.Free(off+4, 64) })
+	mustPanic("before start", func() { a.Free(64, 64) })
+	mustPanic("past bump pointer", func() { a.Free(off+64, 64) })
+	mustPanic("tail past bump pointer", func() { a.Free(off, 128) })
+
+	// The genuine block is still accepted and reused after the rejections.
+	a.Free(off, 64)
+	got, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != off {
+		t.Fatalf("freed block not reused: got %#x, want %#x", got, off)
+	}
+}
+
 func TestNewServerLayout(t *testing.T) {
 	s := NewServer(3, 4096, 256)
 	if s.ID != 3 {

@@ -198,6 +198,7 @@ func (a *Agent) handle(frame []byte) ([]byte, error) {
 		if len(body) != 24 {
 			return nil, fmt.Errorf("bad CAS request")
 		}
+		//rdmavet:allow caschecked -- transport relay: the prior value is returned to the remote client, which performs the old-value comparison
 		prior := a.srv.Region.CompareAndSwap(order.Uint64(body), order.Uint64(body[8:]), order.Uint64(body[16:]))
 		out := make([]byte, 9)
 		out[0] = statusOK
