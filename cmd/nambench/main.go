@@ -8,6 +8,7 @@
 //	nambench -exp fig7 -quick       # reduced scale
 //	nambench -list                  # available experiments
 //	nambench -exp fig8 -size 1000000 -clients 20,40,80
+//	nambench -regress BENCH_rtt.json  # CI gate: fail on >10% RTT/latency regression
 package main
 
 import (
@@ -33,8 +34,17 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in Perfetto or chrome://tracing)")
 		metrics  = flag.String("metrics", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address while experiments run")
 		noverbs  = flag.Bool("noverbs", false, "omit the per-verb breakdown tables from experiment reports")
+		regress  = flag.String("regress", "", "re-run the rtt experiment at the given baseline's scale and fail if RTTs/op or mean latency regressed >10%")
 	)
 	flag.Parse()
+
+	if *regress != "" {
+		if err := bench.RegressRTT(os.Stdout, *regress); err != nil {
+			fmt.Fprintf(os.Stderr, "nambench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *noverbs {
 		bench.Verbs = false

@@ -22,6 +22,7 @@ func extensions() []Experiment {
 		{"ablation-srq", "Ablation: SRQ Handler Cores (Coarse-Grained, Point Queries)", expAblationSRQ},
 		{"ablation-zipf", "Ablation: Zipfian Request Skew (Point Queries)", expAblationZipf},
 		{"rtt", "Doorbell-Batched Consistent Reads: Exposed RTTs and Latency (Fine-Grained)", expRTT},
+		{"chaos", "Fault Injection: Scripted Fault Schedules vs Client-Side Recovery (All Designs)", expChaos},
 	}
 }
 

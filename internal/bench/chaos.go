@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/namdb/rdmatree/internal/chaos"
+)
+
+// expChaos runs every scripted fault schedule against every design and
+// reports the client-visible outcome, the recovery work (retries, QP
+// re-establishments, epoch-fenced re-traversals, released locks), and the
+// post-run verification verdicts. A violated survivor invariant — an acked
+// insert missing or duplicated, a lost preload entry, a malformed tree — is
+// an error, so the experiment doubles as the CI chaos gate.
+func expChaos(w io.Writer, sc Scale) error {
+	preload := 2000
+	if sc.DataSize <= QuickScale.DataSize {
+		preload = 1000
+	}
+	failures := 0
+	for _, scn := range chaos.Scenarios() {
+		fmt.Fprintf(w, "schedule %q (seed %d): %s\n", scn.Name, scn.Schedule.Seed, scn.Doc)
+		for _, design := range []string{"coarse", "fine", "hybrid"} {
+			rep, err := chaos.Run(chaos.Config{
+				Design:   design,
+				Preload:  preload,
+				Schedule: scn.Schedule,
+			})
+			if err != nil {
+				return fmt.Errorf("chaos/%s/%s: %w", scn.Name, design, err)
+			}
+			fmt.Fprintf(w, "  %s", rep.Summary())
+			rec := rep.Recorder
+			fmt.Fprintf(w, "    faults=%d retries=%d reconnects=%d op_recoveries=%d\n",
+				rec.Faults(), rec.Retries(), rec.Reconnects(), rec.OpRecoveries())
+			if !rep.AckedPresent || !rep.NoDuplicates || !rep.PreloadIntact {
+				failures++
+				fmt.Fprintf(w, "    INVARIANT VIOLATED: missing_acked=%d duplicate_pairs=%d missing_preload=%d\n",
+					rep.MissingAcked, rep.DuplicatePairs, rep.MissingPreload)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if failures > 0 {
+		return fmt.Errorf("chaos: %d design/schedule combinations violated survivor invariants", failures)
+	}
+	return nil
+}

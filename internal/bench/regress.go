@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RegressTolerance is the fractional regression the RTT gate accepts before
+// failing: metrics may grow by at most this much over the committed baseline.
+// The simulator runs on virtual time, so a re-run at the baseline's scale is
+// deterministic and the tolerance only absorbs intentional small protocol
+// changes — anything larger must be explained and the baseline regenerated
+// (nambench -exp rtt).
+const RegressTolerance = 0.10
+
+// rttGate is one gated metric: lower is better, and the candidate fails when
+// it exceeds baseline * (1 + RegressTolerance).
+type rttGate struct {
+	name               string
+	baseline, measured float64
+}
+
+func (g rttGate) regressed() bool {
+	return g.baseline > 0 && g.measured > g.baseline*(1+RegressTolerance)
+}
+
+func rttGates(prefix string, base, got RTTComparison) []rttGate {
+	return []rttGate{
+		{prefix + "/legacy/rtts_per_op", base.Legacy.RTTsPerOp, got.Legacy.RTTsPerOp},
+		{prefix + "/legacy/mean_latency_ns", base.Legacy.MeanLatencyNS, got.Legacy.MeanLatencyNS},
+		{prefix + "/fused/rtts_per_op", base.Fused.RTTsPerOp, got.Fused.RTTsPerOp},
+		{prefix + "/fused/mean_latency_ns", base.Fused.MeanLatencyNS, got.Fused.MeanLatencyNS},
+	}
+}
+
+// RegressRTT is the CI bench-regression gate: it loads the committed RTT
+// baseline, re-runs the doorbell-batching experiment at the baseline's own
+// recorded scale (data size and client count travel in the JSON, so the gate
+// needs no out-of-band scale agreement), and fails if any exposed-RTT or
+// mean-latency metric regressed beyond RegressTolerance.
+func RegressRTT(w io.Writer, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("regress: reading baseline: %w", err)
+	}
+	var base RTTReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("regress: parsing %s: %w", baselinePath, err)
+	}
+	if base.DataSize <= 0 || base.Clients <= 0 {
+		return fmt.Errorf("regress: %s carries no scale (data_size=%d clients=%d)", baselinePath, base.DataSize, base.Clients)
+	}
+	sc := FullScale
+	sc.DataSize = base.DataSize
+	sc.Clients = []int{base.Clients}
+	got, err := RunRTT(sc)
+	if err != nil {
+		return fmt.Errorf("regress: re-running rtt: %w", err)
+	}
+
+	gates := append(rttGates("point", base.Point, got.Point), rttGates("scan", base.Scan, got.Scan)...)
+	failed := 0
+	fmt.Fprintf(w, "rtt regression gate vs %s (data_size=%d clients=%d, tolerance %.0f%%)\n",
+		baselinePath, base.DataSize, base.Clients, 100*RegressTolerance)
+	for _, g := range gates {
+		delta := 0.0
+		if g.baseline > 0 {
+			delta = 100 * (g.measured - g.baseline) / g.baseline
+		}
+		verdict := "ok"
+		if g.regressed() {
+			verdict = "REGRESSED"
+			failed++
+		}
+		fmt.Fprintf(w, "  %-28s baseline %12.2f  measured %12.2f  %+7.2f%%  %s\n",
+			g.name, g.baseline, g.measured, delta, verdict)
+	}
+	if failed > 0 {
+		return fmt.Errorf("regress: %d metrics regressed more than %.0f%% over %s (if intentional, regenerate with `nambench -exp rtt`)",
+			failed, 100*RegressTolerance, baselinePath)
+	}
+	fmt.Fprintln(w, "rtt regression gate passed")
+	return nil
+}

@@ -300,7 +300,7 @@ func (t *Tree) Compact(env rdma.Env) (removed int, st Stats, err error) {
 		r := ln.LeafCompact()
 		removed += r
 		if r > 0 {
-			err = t.unlockBump(env, &st, lp, ln)
+			err = t.unlockBump(env, &st, lp, ln, pre)
 		} else {
 			err = t.unlockNoChange(&st, lp, pre)
 		}
@@ -346,7 +346,7 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 		if prevLeaf.IsNull() {
 			return retired, st, fmt.Errorf("btree: head node at chain start")
 		}
-		lp, ln, _, err := t.lockNodeForKey(env, &st, prevLeaf, 0)
+		lp, ln, lpre, err := t.lockNodeForKey(env, &st, prevLeaf, 0)
 		if err != nil {
 			return retired, st, err
 		}
@@ -354,7 +354,7 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 			return retired, st, fmt.Errorf("btree: predecessor moved during head unlink")
 		}
 		ln.SetRight(next)
-		if err := t.unlockBump(env, &st, lp, ln); err != nil {
+		if err := t.unlockBump(env, &st, lp, ln, lpre); err != nil {
 			return retired, st, err
 		}
 		retired = append(retired, p)
@@ -396,7 +396,7 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 				st.PageWrites++
 				st.ExposedRTTs++
 				// Link group[0] -> head.
-				lp0, ln0, _, err := t.lockNodeForKey(env, &st, group[0], 0)
+				lp0, ln0, pre0, err := t.lockNodeForKey(env, &st, group[0], 0)
 				if err != nil {
 					return retired, st, err
 				}
@@ -404,7 +404,7 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 					return retired, st, fmt.Errorf("btree: leaf moved during head install")
 				}
 				ln0.SetRight(hp)
-				if err := t.unlockBump(env, &st, lp0, ln0); err != nil {
+				if err := t.unlockBump(env, &st, lp0, ln0, pre0); err != nil {
 					return retired, st, err
 				}
 			}

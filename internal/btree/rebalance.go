@@ -191,13 +191,13 @@ func (t *Tree) tryMerge(env rdma.Env, st *Stats, pPtr, aPtr, bPtr rdma.RemotePtr
 	// Splice A out of the chain.
 	p.SetRight(bPtr)
 
-	if err := t.unlockBump(env, st, bPtr, b); err != nil {
+	if err := t.unlockBump(env, st, bPtr, b, bv); err != nil {
 		return false, err
 	}
-	if err := t.unlockBump(env, st, aPtr, a); err != nil {
+	if err := t.unlockBump(env, st, aPtr, a, av); err != nil {
 		return false, err
 	}
-	if err := t.unlockBump(env, st, pPtr, p); err != nil {
+	if err := t.unlockBump(env, st, pPtr, p, pv); err != nil {
 		return false, err
 	}
 	// Remove A's separator from the parent level. Only if the parent entry
@@ -263,7 +263,7 @@ func (t *Tree) removeSeparator(env rdma.Env, st *Stats, level int, routeKey layo
 				if last := n.InnerKey(n.Count() - 1); last < n.HighKey() {
 					n.SetHighKey(last)
 				}
-				return true, t.unlockBump(env, st, p, n)
+				return true, t.unlockBump(env, st, p, n, pre)
 			}
 		}
 		next := n.Right()
@@ -318,7 +318,7 @@ func (t *Tree) CompactFrom(env rdma.Env, leafPtr rdma.RemotePtr) (removed int, s
 		r := ln.LeafCompact()
 		removed += r
 		if r > 0 {
-			err = t.unlockBump(env, &st, p, ln)
+			err = t.unlockBump(env, &st, p, ln, pre)
 		} else {
 			err = t.unlockNoChange(&st, p, pre)
 		}

@@ -1,0 +1,72 @@
+package btree
+
+import (
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// RecoverLocks sweeps the tree for lock bits abandoned by clients that died —
+// or lost their memory server — between locking a page and completing the
+// unlock, and releases them. It must run quiesced (no concurrent clients):
+// this is the repair an operator or a recovery process runs after a fault
+// episode, before readmitting traffic, and it is what the chaos harness runs
+// before its post-run verification sweep.
+//
+// The sweep reads pages raw (plain ReadWords, no version validation — a
+// validating read would spin forever on exactly the pages it is here to
+// repair) and releases each held lock by replaying the missing unlock
+// FETCH_AND_ADD as a CAS(v, v+1): bit 0 clears and the version advances past
+// every snapshot taken before the lock, so a page whose new body was
+// published but whose unlock never completed invalidates stale readers
+// exactly as the original unlock would have. A page whose body write never
+// executed (the fault model guarantees a failed verb never reached memory)
+// still carries its old, consistent body; advancing its version is harmless.
+//
+// Orphan pages — allocated for a split that died before linking them — are
+// unreachable from the chains and stay untouched; they leak space, not
+// consistency, and the global GC's epoch sweep is the place that reclaims
+// them. Returns the number of locks released.
+func (t *Tree) RecoverLocks() (cleared int, err error) {
+	var st Stats
+	rootPtr, err := t.refreshRoot(&st)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]uint64, t.L.Words)
+	if err := t.M.ReadWords(rootPtr, buf); err != nil {
+		return 0, err
+	}
+	root := t.L.Wrap(buf)
+	levelStart := rootPtr
+	for lvl := root.Level(); lvl >= 0; lvl-- {
+		p := levelStart
+		next := rdma.NullPtr
+		for !p.IsNull() {
+			if err := t.M.ReadWords(p, buf); err != nil {
+				return cleared, err
+			}
+			n := t.L.Wrap(buf)
+			if v := layout.BufVersion(buf); layout.IsLocked(v) {
+				prev, cerr := t.M.CAS(p, v, v+1)
+				if cerr != nil {
+					return cleared, cerr
+				}
+				if prev != v {
+					return cleared, fmt.Errorf("btree: page %v changed under lock recovery (tree not quiesced)", p)
+				}
+				cleared++
+			}
+			if next.IsNull() && lvl > 0 && !n.IsHead() && n.Count() > 0 {
+				next = n.InnerChild(0)
+			}
+			p = n.Right()
+		}
+		if lvl > 0 && next.IsNull() {
+			return cleared, fmt.Errorf("btree: lock recovery found no child below level %d", lvl)
+		}
+		levelStart = next
+	}
+	return cleared, nil
+}

@@ -11,6 +11,14 @@ import (
 // ErrKeyReserved is returned when inserting the MaxKey sentinel.
 var ErrKeyReserved = errors.New("btree: MaxKey is reserved as the +inf sentinel")
 
+// ErrSpinBudget is returned when an operation exceeds the tree's SpinBudget
+// of consistency restarts (lock spins, torn reads, lock-CAS losses). Under a
+// healthy fabric restarts are short-lived, so a blown budget indicates a
+// page whose lock is starved or stuck (e.g. a writer that died mid-critical
+// section under fault injection). Operation-level recovery treats it like a
+// transient verb failure: invalidate the cached root and re-traverse.
+var ErrSpinBudget = errors.New("btree: consistency-restart budget exhausted")
+
 // Stats counts the memory traffic and synchronization events of one
 // operation; on the fine-grained design every traffic unit here is a
 // one-sided RDMA verb.
@@ -81,6 +89,12 @@ type Tree struct {
 	// VisitNS is the CPU time charged to the Env per page visited; used by
 	// the coarse-grained design's handlers on the simulated fabric.
 	VisitNS int64
+	// SpinBudget bounds the consistency restarts (Stats.Restarts) one
+	// operation may accumulate before failing with ErrSpinBudget; 0 means
+	// unlimited (the pre-fault-injection behavior: spin until consistent).
+	// Clients running under fault injection set a budget so a stuck page
+	// lock surfaces as a typed error instead of a hang.
+	SpinBudget int
 
 	cachedRoot rdma.RemotePtr
 }
@@ -108,6 +122,17 @@ func (t *Tree) Init(env rdma.Env) error {
 	}
 	t.cachedRoot = p
 	return nil
+}
+
+// InvalidateRoot drops the cached root pointer, forcing the next descent to
+// re-read it from RootWord. Operation-level fault recovery calls this before
+// an epoch-fenced re-traversal: whatever the interrupted operation cached is
+// suspect after a server fault.
+func (t *Tree) InvalidateRoot() { t.cachedRoot = rdma.NullPtr }
+
+// overBudget reports whether the operation blew its restart budget.
+func (t *Tree) overBudget(st *Stats) bool {
+	return t.SpinBudget > 0 && st.Restarts >= t.SpinBudget
 }
 
 // root returns the (possibly cached) root pointer.
@@ -161,6 +186,9 @@ func (t *Tree) readNode(env rdma.Env, st *Stats, p rdma.RemotePtr, buf []uint64)
 		} else {
 			st.VersionAborts++
 		}
+		if t.overBudget(st) {
+			return layout.Node{}, 0, fmt.Errorf("btree: %d restarts reading %v: %w", st.Restarts, p, ErrSpinBudget)
+		}
 		env.Pause()
 	}
 }
@@ -193,6 +221,9 @@ func (t *Tree) lockNodeForKey(env rdma.Env, st *Stats, p rdma.RemotePtr, key lay
 		if prev != v {
 			st.Restarts++
 			st.LockRetries++
+			if t.overBudget(st) {
+				return rdma.NullPtr, layout.Node{}, 0, fmt.Errorf("btree: %d restarts locking %v: %w", st.Restarts, p, ErrSpinBudget)
+			}
 			env.Pause()
 			continue
 		}
@@ -203,20 +234,58 @@ func (t *Tree) lockNodeForKey(env rdma.Env, st *Stats, p rdma.RemotePtr, key lay
 // unlockBump writes the node body back and releases the lock with a
 // FETCH_AND_ADD, bumping the version (Listing 4's remote_writeUnlock, with
 // the body write excluding the version word so the FAA both publishes and
-// unlocks).
-func (t *Tree) unlockBump(env rdma.Env, st *Stats, p rdma.RemotePtr, n layout.Node) error {
+// unlocks). preLock is the version observed before the lock CAS; it is the
+// restore point when the body write fails.
+//
+// Fault discipline: a failed verb was never executed remotely (the
+// repository's fault model, DESIGN.md §9). A failed body write therefore
+// left the page unchanged, and the lock is released by restoring preLock —
+// no reader can ever observe a half-published body. Once the body write
+// succeeded the version MUST move forward (restoring preLock would validate
+// readers' pre-write snapshots against the new body), so the unlock FAA is
+// driven to completion: each retry is safe for the same never-executed
+// reason. Only a permanent failure (server lost) or an exhausted completion
+// budget abandons the page — locked, on a server that is gone or
+// unreachable for far longer than any scheduled outage.
+func (t *Tree) unlockBump(env rdma.Env, st *Stats, p rdma.RemotePtr, n layout.Node, preLock uint64) error {
 	if err := t.M.WriteWords(p.Add(8), n.W[1:]); err != nil {
+		t.abortUnlock(st, p, preLock)
 		return err
 	}
 	st.PageWrites++
 	st.ExposedRTTs++
 	env.Charge(t.VisitNS)
-	if _, err := t.M.FetchAdd(p, 1); err != nil {
-		return err
+	var err error
+	for i := 0; i < unlockCompletionBudget; i++ { //rdmavet:allow retrynaked -- the body is published and the lock must be released; a failed FAA was never executed, so driving it to completion is the only safe exit
+		if _, err = t.M.FetchAdd(p, 1); err == nil {
+			st.Atomics++
+			st.ExposedRTTs++
+			return nil
+		}
+		if !rdma.IsTransient(err) {
+			return err
+		}
+		env.Pause()
 	}
-	st.Atomics++
-	st.ExposedRTTs++
-	return nil
+	return fmt.Errorf("btree: unlock of %v incomplete after %d attempts (page stays locked): %w",
+		p, unlockCompletionBudget, err)
+}
+
+// unlockCompletionBudget bounds the unlock-FAA completion loop. Each attempt
+// below already carries the verb layer's own bounded retries and reconnects,
+// so the budget is generous: it is only ever exhausted by a server that
+// stays unreachable for longer than every scheduled outage.
+const unlockCompletionBudget = 64
+
+// abortUnlock is the error-path lock release: a verb failed while the page
+// was locked and its body still unchanged, so restore the pre-lock version.
+// Best-effort — if the release itself fails (server gone) the original
+// error is already propagating and the page is unreachable anyway.
+func (t *Tree) abortUnlock(st *Stats, p rdma.RemotePtr, preLock uint64) {
+	prev, err := t.M.CAS(p, layout.WithLock(preLock), preLock)
+	if err == nil && prev == layout.WithLock(preLock) {
+		st.Atomics++
+	}
 }
 
 // unlockNoChange releases the lock restoring the pre-lock version (the node
@@ -443,12 +512,12 @@ func (t *Tree) Insert(env rdma.Env, key layout.Key, value uint64) (st Stats, err
 // returned *Split (nil if no split) still needs its separator installed
 // upstairs.
 func (t *Tree) leafInsert(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key layout.Key, value uint64) (*Split, error) {
-	p, n, _, err := t.lockNodeForKey(env, st, leafPtr, key)
+	p, n, pre, err := t.lockNodeForKey(env, st, leafPtr, key)
 	if err != nil {
 		return nil, err
 	}
 	if n.LeafInsert(key, value) {
-		return nil, t.unlockBump(env, st, p, n)
+		return nil, t.unlockBump(env, st, p, n, pre)
 	}
 	// Leaf full: B-link split. The right half goes to a fresh page (placed
 	// by the Mem's policy: round-robin for the fine-grained design), the
@@ -456,6 +525,7 @@ func (t *Tree) leafInsert(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key l
 	// upstairs without holding the leaf lock.
 	rightPtr, err := t.M.AllocPage(0, t.L.PageBytes)
 	if err != nil {
+		t.abortUnlock(st, p, pre)
 		return nil, err
 	}
 	st.ExposedRTTs++
@@ -475,13 +545,16 @@ func (t *Tree) leafInsert(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key l
 		}
 	}
 	if err := t.M.WriteWords(rightPtr, right.W); err != nil {
+		// The right half was never published (no pointer to it exists yet):
+		// release the leaf unchanged. The allocated page leaks to the GC.
+		t.abortUnlock(st, p, pre)
 		return nil, err
 	}
 	st.PageWrites++
 	st.ExposedRTTs++
 	st.Splits++
 	env.Charge(t.VisitNS)
-	if err := t.unlockBump(env, st, p, n); err != nil {
+	if err := t.unlockBump(env, st, p, n, pre); err != nil {
 		return nil, err
 	}
 	return &Split{Sep: sep, Left: p, Right: rightPtr}, nil
@@ -520,6 +593,10 @@ func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.K
 				}
 			}
 			// A concurrent writer is growing the root; wait for it.
+			st.Restarts++
+			if t.overBudget(st) {
+				return fmt.Errorf("btree: %d restarts waiting for root growth: %w", st.Restarts, ErrSpinBudget)
+			}
 			env.Pause()
 			continue
 		}
@@ -582,6 +659,10 @@ func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.K
 				routeKey = 0
 			} else {
 				routeKey = sep
+				st.Restarts++
+				if t.overBudget(st) {
+					return fmt.Errorf("btree: %d restarts installing sep %d: %w", st.Restarts, sep, ErrSpinBudget)
+				}
 				env.Pause()
 			}
 			continue
@@ -612,17 +693,22 @@ func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.K
 			idx = 0
 		}
 		if idx < 0 {
+			st.Restarts++
+			if t.overBudget(st) {
+				return fmt.Errorf("btree: %d restarts installing sep %d: %w", st.Restarts, sep, ErrSpinBudget)
+			}
 			env.Pause()
 			continue
 		}
 		if n.Count() < t.L.InnerCap {
 			n.InnerCutAt(idx, sep, right)
-			return t.unlockBump(env, st, p, n)
+			return t.unlockBump(env, st, p, n, pre)
 		}
 		// Target inner node full: split it (same B-link discipline), cut in
 		// the correct half, then recurse upstairs.
 		right2Ptr, err := t.M.AllocPage(level, t.L.PageBytes)
 		if err != nil {
+			t.abortUnlock(st, p, pre)
 			return err
 		}
 		st.ExposedRTTs++
@@ -638,13 +724,14 @@ func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.K
 			right2.InnerCutAt(idx-n.Count(), sep, right)
 		}
 		if err := t.M.WriteWords(right2Ptr, right2.W); err != nil {
+			t.abortUnlock(st, p, pre)
 			return err
 		}
 		st.PageWrites++
 		st.ExposedRTTs++
 		st.Splits++
 		env.Charge(t.VisitNS)
-		if err := t.unlockBump(env, st, p, n); err != nil {
+		if err := t.unlockBump(env, st, p, n, pre); err != nil {
 			return err
 		}
 		return t.installSeparator(env, st, level+1, sep2, p, right2Ptr)
@@ -722,7 +809,7 @@ func (t *Tree) leafDelete(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key l
 				continue
 			}
 			n.SetLeafDeleted(i, true)
-			return true, t.unlockBump(env, st, p, n)
+			return true, t.unlockBump(env, st, p, n, pre)
 		}
 		// Not in this leaf; duplicates may continue right.
 		if n.HighKey() != key {

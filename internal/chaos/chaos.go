@@ -1,0 +1,388 @@
+// Package chaos is the fault-injection harness: it deploys one of the three
+// index designs on an in-process cluster, runs concurrent client load
+// through the full robustness stack (faultnet fault injection → shared retry
+// policy → operation-level epoch-fenced recovery), and verifies the
+// survivor invariants afterwards through bare, fault-free endpoints:
+//
+//   - every acked insert is present exactly once (no lost acks, no
+//     duplicated retries, no torn pages);
+//   - no (key, value) pair appears twice anywhere in the tree;
+//   - the tree is structurally well-formed (the engine's CheckInvariants
+//     sweep);
+//   - per-operation recovery latency stayed bounded;
+//   - the injected-fault and retry counts are exported through the
+//     telemetry counters.
+//
+// The per-endpoint fault streams and the scripted crash schedule are
+// deterministic for a fixed Schedule.Seed (see faultnet); goroutine
+// interleaving on the direct transport is not, so two runs inject the same
+// fault pattern per client but may interleave operations differently.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/core/coarse"
+	"github.com/namdb/rdmatree/internal/core/fine"
+	"github.com/namdb/rdmatree/internal/core/hybrid"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+	"github.com/namdb/rdmatree/internal/rdma/faultnet"
+	"github.com/namdb/rdmatree/internal/rdma/retry"
+	"github.com/namdb/rdmatree/internal/telemetry"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Design is "coarse", "fine", or "hybrid".
+	Design string
+	// Servers is the memory-server count (default 4).
+	Servers int
+	// PageBytes is the index page size (default 512).
+	PageBytes int
+	// Preload is the number of bulk-loaded entries (default 2000).
+	Preload int
+	// Clients is the number of concurrent client goroutines (default 6).
+	Clients int
+	// OpsPerClient is the operation count per client (default 400).
+	OpsPerClient int
+	// Keyspace bounds the random keys (default 4 * Preload).
+	Keyspace uint64
+	// Schedule is the fault schedule executed by faultnet.
+	Schedule faultnet.Schedule
+	// SpinBudget bounds per-operation consistency restarts (default 20000).
+	SpinBudget int
+	// MaxOpAttempts bounds the operation-level recovery loop (default 8).
+	MaxOpAttempts int
+	// Recorder receives verb, fault, retry, and recovery counters. Nil
+	// allocates a private one (exposed on the Report).
+	Recorder *telemetry.Recorder
+}
+
+func (c *Config) defaults() {
+	if c.Servers == 0 {
+		c.Servers = 4
+	}
+	if c.PageBytes == 0 {
+		c.PageBytes = 512
+	}
+	if c.Preload == 0 {
+		c.Preload = 2000
+	}
+	if c.Clients == 0 {
+		c.Clients = 6
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 400
+	}
+	if c.Keyspace == 0 {
+		c.Keyspace = uint64(4 * c.Preload)
+	}
+	if c.SpinBudget == 0 {
+		c.SpinBudget = 20000
+	}
+	if c.MaxOpAttempts == 0 {
+		c.MaxOpAttempts = 8
+	}
+}
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	Design string
+
+	// Client-side outcome.
+	AckedInserts  int // inserts acked to clients
+	FailedInserts int // inserts surfacing an error (not acked)
+	Lookups       int
+	FailedOps     int // all operations surfacing an error
+	ServerLostOps int // operations that surfaced rdma.ErrServerLost
+	MaxOpNS       int64
+
+	// Post-run verification through bare endpoints.
+	LocksCleared   int  // abandoned page locks released before verification
+	LiveEntries    int  // CheckInvariants' live-entry count
+	AckedPresent   bool // every acked insert found exactly once
+	NoDuplicates   bool // no (key, value) pair appears twice anywhere
+	PreloadIntact  bool // every preloaded entry still present
+	MissingAcked   int
+	DuplicatePairs int
+	MissingPreload int
+
+	// Telemetry (the run's Recorder, for counter assertions and reports).
+	Recorder *telemetry.Recorder
+}
+
+// Summary renders the report on a few lines.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"design=%s acked_inserts=%d failed_inserts=%d failed_ops=%d server_lost_ops=%d max_op=%s locks_cleared=%d live=%d acked_present=%v no_duplicates=%v preload_intact=%v\n",
+		r.Design, r.AckedInserts, r.FailedInserts, r.FailedOps, r.ServerLostOps,
+		time.Duration(r.MaxOpNS), r.LocksCleared, r.LiveEntries, r.AckedPresent, r.NoDuplicates, r.PreloadIntact)
+}
+
+// kv is one (key, value) pair.
+type kv struct{ k, v uint64 }
+
+// deployment is one design on a direct fabric: client factory plus bare
+// (fault-free) verification hooks.
+type deployment struct {
+	fab   *direct.Fabric
+	cat   *nam.Catalog
+	mk    func(ep rdma.Endpoint, id int) core.Index
+	check func() (int, error)
+	// scan visits every live entry through a bare endpoint.
+	scan func(emit func(k, v uint64) bool) error
+	// repair releases page locks abandoned by interrupted clients (nil when
+	// the design cannot abandon locks). It runs quiesced, before check/scan —
+	// which read validating and would otherwise spin on an abandoned lock.
+	repair func() (int, error)
+}
+
+func deploy(cfg *Config) (*deployment, error) {
+	const region = 64 << 20
+	fab := direct.New(cfg.Servers, region, nam.SuperblockBytes)
+	spec := core.BuildSpec{
+		N: cfg.Preload,
+		At: func(i int) (uint64, uint64) {
+			step := cfg.Keyspace / uint64(cfg.Preload)
+			if step == 0 {
+				step = 1
+			}
+			return uint64(i) * step, uint64(i)
+		},
+		HeadEvery: 6,
+	}
+	l := layout.New(cfg.PageBytes)
+	switch cfg.Design {
+	case "coarse":
+		srv := coarse.NewServer(fab, coarse.Options{
+			Layout: l,
+			Part:   partition.NewRangeUniform(cfg.Servers, cfg.Keyspace),
+		})
+		cat, err := srv.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		fab.SetHandler(srv.Handler())
+		return &deployment{
+			fab: fab, cat: cat,
+			mk: func(ep rdma.Endpoint, id int) core.Index {
+				return coarse.NewClient(ep, direct.Env{}, cat)
+			},
+			// No repair: coarse locks are taken and released inside RPC
+			// handlers, and a dropped Call is dropped before execution — a
+			// handler is never interrupted mid-operation.
+			check: srv.CheckInvariants,
+			scan: func(emit func(k, v uint64) bool) error {
+				c := coarse.NewClient(fab.Endpoint(), direct.Env{}, cat)
+				return c.Range(0, ^uint64(0)>>1, emit)
+			},
+		}, nil
+	case "fine":
+		cat, err := fine.Build(fab.Endpoint(), fine.Options{Layout: l}, spec)
+		if err != nil {
+			return nil, err
+		}
+		return &deployment{
+			fab: fab, cat: cat,
+			mk: func(ep rdma.Endpoint, id int) core.Index {
+				c := fine.NewClient(ep, direct.Env{}, cat, id)
+				c.SetSpinBudget(cfg.SpinBudget)
+				return c
+			},
+			repair: func() (int, error) {
+				c := fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+				return c.Tree().RecoverLocks()
+			},
+			check: func() (int, error) {
+				c := fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+				return c.Tree().CheckInvariants(rdma.NopEnv{}) //rdmavet:allow nopenv -- post-run verification sweep, never on the timed path
+			},
+			scan: func(emit func(k, v uint64) bool) error {
+				c := fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+				return c.Range(0, ^uint64(0)>>1, emit)
+			},
+		}, nil
+	case "hybrid":
+		srv := hybrid.NewServer(fab, hybrid.Options{
+			Layout: l,
+			Part:   partition.NewRangeUniform(cfg.Servers, cfg.Keyspace),
+		})
+		cat, err := srv.Build(fab.Endpoint(), spec)
+		if err != nil {
+			return nil, err
+		}
+		fab.SetHandler(srv.Handler())
+		return &deployment{
+			fab: fab, cat: cat,
+			mk: func(ep rdma.Endpoint, id int) core.Index {
+				c := hybrid.NewClient(ep, direct.Env{}, cat, id)
+				c.SetSpinBudget(cfg.SpinBudget)
+				return c
+			},
+			repair: func() (int, error) { return srv.RecoverLocks(fab.Endpoint()) },
+			check:  func() (int, error) { return srv.CheckInvariants(fab.Endpoint()) },
+			scan: func(emit func(k, v uint64) bool) error {
+				c := hybrid.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+				return c.Range(0, ^uint64(0)>>1, emit)
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown design %q", cfg.Design)
+	}
+}
+
+// clientResult is one client goroutine's outcome.
+type clientResult struct {
+	acked      []kv
+	lookups    int
+	failedIns  int
+	failedOps  int
+	serverLost int
+	maxOpNS    int64
+}
+
+// Run executes one chaos run and verifies the post-run invariants. A non-nil
+// error means the harness itself failed (deployment, verification scan); the
+// invariant verdicts are on the Report.
+func Run(cfg Config) (*Report, error) {
+	cfg.defaults()
+	dep, err := deploy(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = telemetry.NewRecorder(cfg.Servers)
+	}
+	net := faultnet.New(cfg.Schedule, rec)
+
+	results := make([]clientResult, cfg.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// The full robustness stack, built inside the owning goroutine:
+			// transport endpoint → fault injection → shared retry policy →
+			// design client → operation-level recovery.
+			ep := retry.Wrap(net.Endpoint(dep.fab.Endpoint(), c), &retry.Policy{
+				Seed:     cfg.Schedule.Seed + int64(c),
+				Counters: rec,
+			})
+			idx := core.Recover(dep.mk(ep, c), cfg.MaxOpAttempts, rec)
+			res := &results[c]
+			rng := rand.New(rand.NewSource(cfg.Schedule.Seed*101 + int64(c)))
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				k := rng.Uint64() % cfg.Keyspace
+				start := time.Now()
+				if i%4 == 3 {
+					_, err := idx.Lookup(k)
+					res.lookups++
+					if err != nil {
+						res.failedOps++
+						if errors.Is(err, rdma.ErrServerLost) {
+							res.serverLost++
+						}
+					}
+				} else {
+					// Values are unique per logical insert — the idempotence
+					// token the exactly-once recovery contract needs.
+					v := uint64(1)<<40 | uint64(c)<<32 | uint64(i)
+					err := idx.Insert(k, v)
+					if err == nil {
+						res.acked = append(res.acked, kv{k, v})
+					} else {
+						res.failedIns++
+						res.failedOps++
+						if errors.Is(err, rdma.ErrServerLost) {
+							res.serverLost++
+						}
+					}
+				}
+				if d := time.Since(start).Nanoseconds(); d > res.maxOpNS {
+					res.maxOpNS = d
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	rep := &Report{Design: cfg.Design, Recorder: rec}
+	acked := map[kv]bool{}
+	for i := range results {
+		res := &results[i]
+		rep.AckedInserts += len(res.acked)
+		rep.FailedInserts += res.failedIns
+		rep.Lookups += res.lookups
+		rep.FailedOps += res.failedOps
+		rep.ServerLostOps += res.serverLost
+		if res.maxOpNS > rep.MaxOpNS {
+			rep.MaxOpNS = res.maxOpNS
+		}
+		for _, p := range res.acked {
+			acked[p] = true
+		}
+	}
+
+	// Post-run verification through bare endpoints. Scripted crashes leave
+	// the region contents physically intact (faultnet models lost
+	// registrations, not lost DRAM), so the sweep sees the whole tree even
+	// after crash/restart schedules. First release any page lock abandoned by
+	// a client that lost its server mid-operation — the recovery pass an
+	// operator would run before readmitting traffic; without it, the
+	// validating verification reads below would spin on the dead client's
+	// lock.
+	if dep.repair != nil {
+		cleared, err := dep.repair()
+		if err != nil {
+			return rep, fmt.Errorf("chaos: post-run lock recovery: %w", err)
+		}
+		rep.LocksCleared = cleared
+	}
+	live, err := dep.check()
+	if err != nil {
+		return rep, fmt.Errorf("chaos: post-run invariant check: %w", err)
+	}
+	rep.LiveEntries = live
+
+	seen := map[kv]int{}
+	if err := dep.scan(func(k, v uint64) bool {
+		seen[kv{k, v}]++
+		return true
+	}); err != nil {
+		return rep, fmt.Errorf("chaos: post-run scan: %w", err)
+	}
+	rep.AckedPresent, rep.NoDuplicates, rep.PreloadIntact = true, true, true
+	for p := range acked {
+		if seen[p] != 1 {
+			rep.AckedPresent = false
+			rep.MissingAcked++
+		}
+	}
+	for _, n := range seen {
+		if n > 1 {
+			rep.NoDuplicates = false
+			rep.DuplicatePairs++
+		}
+	}
+	step := cfg.Keyspace / uint64(cfg.Preload)
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < cfg.Preload; i++ {
+		if seen[kv{uint64(i) * step, uint64(i)}] != 1 {
+			rep.PreloadIntact = false
+			rep.MissingPreload++
+		}
+	}
+	return rep, nil
+}

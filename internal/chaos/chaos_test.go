@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// maxOpWall bounds any single operation's wall-clock latency, recovery
+// included. The direct transport completes verbs in nanoseconds and scripted
+// outages last verb ticks (which the blocked clients' own retries advance),
+// so even heavily faulted operations finish in microseconds; the bound is
+// generous for loaded CI machines.
+const maxOpWall = 10 * time.Second
+
+// TestScenarios runs every scripted fault schedule against every design and
+// verifies the survivor invariants: acked inserts present exactly once, no
+// duplicate pairs, preload intact, tree well-formed, recovery latency
+// bounded, and faults/retries visible through telemetry.
+func TestScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, design := range []string{"coarse", "fine", "hybrid"} {
+			sc, design := sc, design
+			t.Run(sc.Name+"/"+design, func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{Design: design, Schedule: sc.Schedule}
+				if testing.Short() {
+					cfg.Clients = 4
+					cfg.OpsPerClient = 250
+					cfg.Preload = 1000
+				}
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("chaos run: %v", err)
+				}
+				t.Logf("%s", rep.Summary())
+				if rep.AckedInserts == 0 {
+					t.Fatalf("no insert was ever acked under schedule %q", sc.Name)
+				}
+				if !rep.AckedPresent {
+					t.Errorf("%d acked inserts not present exactly once", rep.MissingAcked)
+				}
+				if !rep.NoDuplicates {
+					t.Errorf("%d (key, value) pairs duplicated", rep.DuplicatePairs)
+				}
+				if !rep.PreloadIntact {
+					t.Errorf("%d preloaded entries missing", rep.MissingPreload)
+				}
+				if d := time.Duration(rep.MaxOpNS); d > maxOpWall {
+					t.Errorf("slowest operation took %s; recovery latency unbounded (want < %s)", d, maxOpWall)
+				}
+				rec := rep.Recorder
+				if rec.Faults() == 0 {
+					t.Errorf("schedule %q injected no faults", sc.Name)
+				}
+				if rec.Retries() == 0 {
+					t.Errorf("schedule %q drove no verb retries", sc.Name)
+				}
+				switch sc.Name {
+				case "qp-error", "crash-restart":
+					if rec.Reconnects() == 0 {
+						t.Errorf("schedule %q should force QP re-establishment", sc.Name)
+					}
+				case "crash-lose":
+					if rep.ServerLostOps == 0 {
+						t.Errorf("losing a server's region should surface rdma.ErrServerLost to some client")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeterministicFaultCounts pins the determinism contract: with a single
+// client (no goroutine interleaving, so an identical verb sequence), two runs
+// of the same schedule inject the identical number of faults. Multi-client
+// runs keep per-endpoint streams deterministic but their verb counts vary
+// with lock-contention interleaving, so only the serial case pins an exact
+// count.
+func TestDeterministicFaultCounts(t *testing.T) {
+	sc, ok := FindScenario("drop")
+	if !ok {
+		t.Fatal("drop scenario missing")
+	}
+	counts := make([]int64, 2)
+	for i := range counts {
+		rep, err := Run(Config{Design: "fine", Clients: 1, OpsPerClient: 400, Preload: 500, Schedule: sc.Schedule})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		counts[i] = rep.Recorder.Faults()
+		if counts[i] == 0 {
+			t.Fatalf("run %d injected no faults", i)
+		}
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("fault counts differ across identical runs: %d vs %d", counts[0], counts[1])
+	}
+}
+
+// TestUnknownDesign covers the harness's own error path.
+func TestUnknownDesign(t *testing.T) {
+	if _, err := Run(Config{Design: "sharded"}); err == nil {
+		t.Fatal("want error for unknown design")
+	}
+}

@@ -1,0 +1,80 @@
+package chaos
+
+import "github.com/namdb/rdmatree/internal/rdma/faultnet"
+
+// Scenario is one named, scripted fault schedule.
+type Scenario struct {
+	Name string
+	// What the schedule exercises, for reports.
+	Doc      string
+	Schedule faultnet.Schedule
+}
+
+// Scenarios returns the library of scripted fault schedules the chaos tests
+// and the nambench chaos experiment run. Every schedule is deterministic for
+// its seed. The tick-scripted crashes are placed to land mid-run for the
+// least verb-intensive design (coarse issues ~one Call per operation, so the
+// default workload advances the tick counter by only a couple thousand);
+// verb-heavy designs just hit the same ticks earlier in their run.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "delay",
+			Doc:  "delayed completions: 30% of verbs delayed, roughly half past the deadline (timeout, verb not executed)",
+			Schedule: faultnet.Schedule{
+				Seed:       1,
+				DelayRate:  0.30,
+				DeadlineNS: 10_000,
+				MaxDelayNS: 20_000,
+			},
+		},
+		{
+			Name: "drop",
+			Doc:  "dropped completions: 2% of verbs time out without executing",
+			Schedule: faultnet.Schedule{
+				Seed:     2,
+				DropRate: 0.02,
+			},
+		},
+		{
+			Name: "qp-error",
+			Doc:  "QP error transitions roughly every 250 verbs per client, each requiring reconnect",
+			Schedule: faultnet.Schedule{
+				Seed:         3,
+				QPErrorEvery: 250,
+			},
+		},
+		{
+			Name: "crash-restart",
+			Doc:  "server 1 crashes twice mid-run and restarts with its region intact, on top of a 0.5% drop rate",
+			Schedule: faultnet.Schedule{
+				Seed:     4,
+				DropRate: 0.005,
+				Steps: []faultnet.Step{
+					{AtTick: 800, Server: 1, DownForTicks: 150},
+					{AtTick: 1_800, Server: 1, DownForTicks: 150},
+				},
+			},
+		},
+		{
+			Name: "crash-lose",
+			Doc:  "server 2 crashes late in the run and restarts without its registered region: operations touching it surface rdma.ErrServerLost",
+			Schedule: faultnet.Schedule{
+				Seed: 5,
+				Steps: []faultnet.Step{
+					{AtTick: 1_600, Server: 2, DownForTicks: 150, Lose: true},
+				},
+			},
+		},
+	}
+}
+
+// Scenario returns the named scenario, or false.
+func FindScenario(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -133,6 +133,16 @@ func (c *Client) Delete(key, value uint64) (bool, error) {
 // Tree exposes the underlying engine (stats, invariant checks).
 func (c *Client) Tree() *btree.Tree { return c.tree }
 
+// InvalidateRoot implements core.RootInvalidator: operation-level fault
+// recovery drops the cached root pointer before an epoch-fenced
+// re-traversal.
+func (c *Client) InvalidateRoot() { c.tree.InvalidateRoot() }
+
+// SetSpinBudget bounds the tree's consistency restarts per operation
+// (btree.Tree.SpinBudget); clients running under fault injection set it so a
+// stuck page lock surfaces as btree.ErrSpinBudget instead of a hang.
+func (c *Client) SetSpinBudget(n int) { c.tree.SpinBudget = n }
+
 // NewCachedClient is NewClient with a compute-side page cache of maxPages
 // pages in front of the one-sided reads (the Appendix A.4 extension). The
 // returned cache exposes hit/miss statistics.

@@ -240,6 +240,24 @@ func (s *Server) CheckInvariants(ep rdma.Endpoint) (int, error) {
 	return total, nil
 }
 
+// RecoverLocks sweeps every partition's tree for page locks abandoned by
+// clients interrupted mid-operation (btree.Tree.RecoverLocks) and releases
+// them. Only the fine-grained leaf level can hold abandoned locks — inner
+// levels are locked exclusively by the owning server's handlers, which run to
+// completion — but the sweep walks whole partitions, which costs nothing
+// extra and asserts that invariant. Must run quiesced.
+func (s *Server) RecoverLocks(ep rdma.Endpoint) (cleared int, err error) {
+	for i := 0; i < s.fab.NumServers(); i++ {
+		t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: ep, Place: btree.Fixed(i)}, nam.RootWordPtr(i))
+		n, err := t.RecoverLocks()
+		if err != nil {
+			return cleared, fmt.Errorf("server %d: %w", i, err)
+		}
+		cleared += n
+	}
+	return cleared, nil
+}
+
 // GC is the hybrid design's split garbage collection (Section 5): a global
 // thread on a compute server compacts the fine-grained leaf level through
 // the one-sided protocol, while each memory server compacts nothing locally
@@ -299,6 +317,17 @@ func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart int) *C
 // counters into rec. The server-side traversal counters are recorded by the
 // handler through Options.Telemetry.
 func (c *Client) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
+
+// InvalidateRoot implements core.RootInvalidator. The hybrid client caches
+// no descent state itself (every operation starts from a traversal RPC), but
+// the one-sided leaf engine keeps the usual root-word cache; drop it so a
+// post-fault retry starts from fresh state.
+func (c *Client) InvalidateRoot() { c.leaf.InvalidateRoot() }
+
+// SetSpinBudget bounds the leaf engine's consistency restarts per operation
+// (btree.Tree.SpinBudget); clients running under fault injection set it so a
+// stuck leaf lock surfaces as btree.ErrSpinBudget instead of a hang.
+func (c *Client) SetSpinBudget(n int) { c.leaf.SpinBudget = n }
 
 func (c *Client) record(st btree.Stats) {
 	if c.rec != nil {

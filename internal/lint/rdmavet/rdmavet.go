@@ -14,7 +14,10 @@
 //   - the word layout of index pages is owned by internal/layout
 //     (layoutwords);
 //   - server-side handler code must account CPU through its rdma.Env, so
-//     rdma.NopEnv{} may not leak into timed protocol paths (nopenv).
+//     rdma.NopEnv{} may not leak into timed protocol paths (nopenv);
+//   - transient verb failures are retried by the shared policy in
+//     internal/rdma/retry, never by hand-rolled loops in client code
+//     (retrynaked).
 //
 // One-sided RDMA designs make these contracts load-bearing: the remote CPU
 // never validates a request, so nothing at runtime catches a client that
@@ -75,6 +78,7 @@ func Suite() []*lint.Analyzer {
 		NewVerbErrs(),
 		NewLayoutWords(DefaultLayoutWordsScope),
 		NewNopEnv(DefaultNopEnvScope),
+		NewRetryNaked(DefaultRetryNakedScope),
 	}
 }
 

@@ -36,6 +36,10 @@ func TestNopEnv(t *testing.T) {
 	linttest.Run(t, "testdata/nopenv", "fixture/nopenv", rdmavet.NewNopEnv(fixtureScope))
 }
 
+func TestRetryNaked(t *testing.T) {
+	linttest.Run(t, "testdata/retrynaked", "fixture/retrynaked", rdmavet.NewRetryNaked(fixtureScope))
+}
+
 // TestWallclockOutOfScope pins the scoping mechanism itself: the same
 // violating fixture produces no diagnostics when analyzed under the default
 // (real-package) scope.
@@ -67,9 +71,9 @@ func TestScopeMatch(t *testing.T) {
 	}{
 		{"internal/rdma", true},
 		{"internal/rdma/simnet", true},
-		{"internal/rdma/tcpnet", false},       // carved out
-		{"internal/rdma/tcpnet/sub", false},   // carve-outs cover subtrees
-		{"internal/rdmaother", false},         // prefix match is per path segment
+		{"internal/rdma/tcpnet", false},     // carved out
+		{"internal/rdma/tcpnet/sub", false}, // carve-outs cover subtrees
+		{"internal/rdmaother", false},       // prefix match is per path segment
 		{"internal/btree", true},
 		{"internal/telemetry", false},
 		{"cmd/rdmavet", false},
@@ -100,7 +104,7 @@ func TestDefaultScopes(t *testing.T) {
 
 // TestSuite pins the suite composition: CI runs exactly these analyzers.
 func TestSuite(t *testing.T) {
-	want := []string{"caschecked", "endpointshare", "wallclock", "verberrs", "layoutwords", "nopenv"}
+	want := []string{"caschecked", "endpointshare", "wallclock", "verberrs", "layoutwords", "nopenv", "retrynaked"}
 	suite := rdmavet.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,155 @@
+package rdmavet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// DefaultRetryNakedScope covers the code that issues verbs on behalf of
+// clients: the index protocols plus the chaos harness and the command-line
+// binaries. The shared policy itself (internal/rdma/retry) and the
+// transports live outside these prefixes.
+var DefaultRetryNakedScope = Scope{
+	Deny: append([]string{
+		"internal/chaos",
+		"cmd",
+	}, protocolPackages...),
+}
+
+// transientSentinels are the rdma error variables whose presence in an
+// errors.Is test marks a loop as retrying on transient verb failures.
+var transientSentinels = map[string]bool{
+	"ErrTimeout":    true,
+	"ErrQPError":    true,
+	"ErrServerDown": true,
+}
+
+// NewRetryNaked builds the retrynaked analyzer.
+//
+// Transient-fault handling lives in internal/rdma/retry: one policy owns the
+// backoff bounds, the jitter seeding, the per-verb deadlines and the QP
+// re-establishment protocol, and exports every retry through telemetry. A
+// hand-rolled loop that re-issues verbs on rdma.IsTransient (or errors.Is
+// against the transient sentinels) silently forks that policy: it retries
+// unbounded or unjittered, skips reconnects, and its retries are invisible
+// to the fault counters. The analyzer flags any for-loop in client code that
+// both issues a verb and tests error transience — the signature of a naked
+// retry loop. (Loops that re-issue verbs for protocol reasons — optimistic
+// read validation, lock acquisition — never test transience and stay legal.)
+// The rare principled exception carries an //rdmavet:allow retrynaked
+// annotation, like the tree engine's unlock-completion loop.
+func NewRetryNaked(scope Scope) *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "retrynaked",
+		Doc:  "no hand-rolled verb retry loops outside the shared retry policy (internal/rdma/retry)",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if !scope.Match(pass.RelPath()) {
+			return nil
+		}
+		epIface := endpointIface(pass)
+		mIface := memIface(pass)
+
+		// issuesVerb reports whether the subtree contains an Endpoint or
+		// btree.Mem verb call.
+		issuesVerb := func(body ast.Node) bool {
+			found := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				_, recvType, name, ok := methodCall(pass, call)
+				if !ok {
+					return true
+				}
+				if endpointVerbs[name] && implementsIface(recvType, epIface) {
+					found = true
+				}
+				if memVerbs[name] && implementsIface(recvType, mIface) {
+					found = true
+				}
+				return !found
+			})
+			return found
+		}
+
+		// testsTransience reports whether the subtree classifies an error as
+		// transient: rdma.IsTransient(err) or errors.Is(err, rdma.Err...).
+		testsTransience := func(body ast.Node) bool {
+			found := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == rdmaPath(pass) && fn.Name() == "IsTransient":
+					found = true
+				case fn.Pkg().Path() == "errors" && fn.Name() == "Is" && len(call.Args) == 2:
+					if target, ok := ast.Unparen(call.Args[1]).(*ast.SelectorExpr); ok {
+						if v, ok := pass.Info.Uses[target.Sel].(*types.Var); ok &&
+							v.Pkg() != nil && v.Pkg().Path() == rdmaPath(pass) && transientSentinels[v.Name()] {
+							found = true
+						}
+					}
+				}
+				return !found
+			})
+			return found
+		}
+
+		loopBody := func(n ast.Node) *ast.BlockStmt {
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				return l.Body
+			case *ast.RangeStmt:
+				return l.Body
+			}
+			return nil
+		}
+		// naked reports whether the loop body itself hand-rolls a retry. The
+		// check recurses so an outer loop is not blamed for an inner loop's
+		// violation (the inner loop gets its own diagnostic).
+		naked := func(body *ast.BlockStmt) bool {
+			inner := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if b := loopBody(n); b != nil && issuesVerb(b) && testsTransience(b) {
+					inner = true
+				}
+				return !inner
+			})
+			if inner {
+				return false
+			}
+			return issuesVerb(body) && testsTransience(body)
+		}
+
+		walkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+			body := loopBody(n)
+			if body == nil || !naked(body) {
+				return
+			}
+			pass.Reportf(n.Pos(),
+				"loop re-issues verbs on transient errors: a hand-rolled retry bypasses the shared retry policy (use internal/rdma/retry, which owns backoff, reconnects and telemetry)")
+		})
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,122 @@
+// Fixture for the retrynaked analyzer: transient-fault retries belong to
+// the shared policy (internal/rdma/retry); a loop that both issues a verb
+// and tests error transience is a hand-rolled retry and is flagged.
+package fixture
+
+import (
+	"errors"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// nakedIsTransient is the canonical violation: re-issue the verb while the
+// error is transient.
+func nakedIsTransient(ep rdma.Endpoint, p rdma.RemotePtr, dst []uint64) error {
+	for { // want "hand-rolled retry bypasses the shared retry policy"
+		err := ep.Read(p, dst)
+		if err == nil || !rdma.IsTransient(err) {
+			return err
+		}
+	}
+}
+
+// nakedSentinel retries on one specific transient sentinel via errors.Is.
+func nakedSentinel(ep rdma.Endpoint, p rdma.RemotePtr, src []uint64) error {
+	for i := 0; i < 8; i++ { // want "hand-rolled retry bypasses the shared retry policy"
+		err := ep.Write(p, src)
+		if !errors.Is(err, rdma.ErrTimeout) {
+			return err
+		}
+	}
+	return rdma.ErrTimeout
+}
+
+// nakedMemVerb shows the Mem surface is covered too.
+func nakedMemVerb(m btree.Mem, p rdma.RemotePtr, v uint64) {
+	for { // want "hand-rolled retry bypasses the shared retry policy"
+		_, err := m.FetchAdd(p, v)
+		if !errors.Is(err, rdma.ErrServerDown) {
+			return
+		}
+	}
+}
+
+// nakedRange covers range-loop retries over a batch of pointers.
+func nakedRange(ep rdma.Endpoint, ps []rdma.RemotePtr, dst []uint64) {
+	for _, p := range ps { // want "hand-rolled retry bypasses the shared retry policy"
+		if err := ep.Read(p, dst); rdma.IsTransient(err) {
+			continue
+		}
+	}
+}
+
+// okOCCLoop is the optimistic-read idiom: it loops on a verb for protocol
+// reasons (validation failure) but never classifies errors as transient —
+// exactly the loops the analyzer must not flag.
+func okOCCLoop(m btree.Mem, p rdma.RemotePtr, dst []uint64) (uint64, error) {
+	for {
+		v, ok, err := m.ReadValidated(p, dst)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return v, nil
+		}
+	}
+}
+
+// okTransienceOutsideLoop classifies transience once, after a straight-line
+// verb: no loop, no violation.
+func okTransienceOutsideLoop(ep rdma.Endpoint, p rdma.RemotePtr, dst []uint64) bool {
+	err := ep.Read(p, dst)
+	return rdma.IsTransient(err)
+}
+
+// okLoopWithoutVerb inspects accumulated errors in a loop but issues no
+// verb inside it.
+func okLoopWithoutVerb(errs []error) int {
+	n := 0
+	for _, err := range errs {
+		if rdma.IsTransient(err) {
+			n++
+		}
+	}
+	return n
+}
+
+// okOuterLoop wraps a violating inner loop: only the inner loop (the actual
+// retry) is blamed, not the operation loop around it.
+func okOuterLoop(ep rdma.Endpoint, ps []rdma.RemotePtr, dst []uint64) {
+	for _, p := range ps {
+		for { // want "hand-rolled retry bypasses the shared retry policy"
+			err := ep.Read(p, dst)
+			if err == nil || !rdma.IsTransient(err) {
+				break
+			}
+		}
+	}
+}
+
+// allowedException carries the in-place justification, like the tree
+// engine's unlock-completion loop.
+func allowedException(m btree.Mem, p rdma.RemotePtr) {
+	for { //rdmavet:allow retrynaked -- fixture: completion-critical unlock
+		_, err := m.FetchAdd(p, 1)
+		if !rdma.IsTransient(err) {
+			return
+		}
+	}
+}
+
+// okPermanentCheck loops on a verb but only tests the permanent sentinel —
+// not a transient retry.
+func okPermanentCheck(ep rdma.Endpoint, ps []rdma.RemotePtr, dst []uint64) int {
+	lost := 0
+	for _, p := range ps {
+		if err := ep.Read(p, dst); errors.Is(err, rdma.ErrServerLost) {
+			lost++
+		}
+	}
+	return lost
+}

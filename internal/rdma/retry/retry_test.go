@@ -1,0 +1,215 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// delaysOf runs n backoffs under a fresh policy with the given seed and
+// returns the waits passed to Sleep.
+func delaysOf(seed int64, n int) []time.Duration {
+	var delays []time.Duration
+	p := (&Policy{Seed: seed, Sleep: func(d time.Duration) { delays = append(delays, d) }}).Defaults()
+	for attempt := 1; attempt <= n; attempt++ {
+		p.backoff(attempt)
+	}
+	return delays
+}
+
+// TestBackoffBounds pins the exponential envelope: re-attempt k waits within
+// [step/2, step) where step = min(BaseDelay<<(k-1), MaxDelay) — never zero,
+// never over MaxDelay.
+func TestBackoffBounds(t *testing.T) {
+	p := (&Policy{}).Defaults()
+	for attempt := 1; attempt <= 20; attempt++ {
+		step := p.BaseDelay << (attempt - 1)
+		if step > p.MaxDelay || step <= 0 {
+			step = p.MaxDelay
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := p.backoff(attempt)
+			if d < step/2 || d >= step {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, step/2, step)
+			}
+		}
+	}
+}
+
+// TestJitterDeterminism pins the seeding contract: a fixed seed reproduces
+// the exact delay sequence, a different seed diverges.
+func TestJitterDeterminism(t *testing.T) {
+	a := delaysOf(3, 64)
+	b := delaysOf(3, 64)
+	c := delaysOf(4, 64)
+	if len(a) != 64 {
+		t.Fatalf("Sleep called %d times, want 64", len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d: same seed diverged (%v vs %v)", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delay sequences")
+	}
+}
+
+// countingCounters tallies retry-protocol events.
+type countingCounters struct{ retries, reconnects int }
+
+func (c *countingCounters) CountRetry()     { c.retries++ }
+func (c *countingCounters) CountReconnect() { c.reconnects++ }
+
+// TestDoRetriesTransient: transient failures are retried and the verb's
+// eventual success is returned; each re-attempt is counted.
+func TestDoRetriesTransient(t *testing.T) {
+	cnt := &countingCounters{}
+	p := &Policy{Seed: 1, Counters: cnt}
+	calls := 0
+	err := p.Do(nil, 0, func() error {
+		calls++
+		if calls < 4 {
+			return fmt.Errorf("flaky: %w", rdma.ErrTimeout)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 4 || cnt.retries != 3 {
+		t.Fatalf("calls=%d retries=%d, want 4 and 3", calls, cnt.retries)
+	}
+}
+
+// TestDoPermanentImmediate: a permanent error returns without re-attempts.
+func TestDoPermanentImmediate(t *testing.T) {
+	p := &Policy{Seed: 1}
+	calls := 0
+	err := p.Do(nil, 0, func() error {
+		calls++
+		return fmt.Errorf("gone: %w", rdma.ErrServerLost)
+	})
+	if !errors.Is(err, rdma.ErrServerLost) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want ErrServerLost after 1 call", err, calls)
+	}
+}
+
+// TestDoExhaustsAttempts: a persistent transient failure consumes exactly
+// MaxAttempts verb attempts and surfaces the last error, still typed.
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := &Policy{MaxAttempts: 5, Seed: 1}
+	calls := 0
+	err := p.Do(nil, 0, func() error {
+		calls++
+		return fmt.Errorf("flaky: %w", rdma.ErrTimeout)
+	})
+	if calls != 5 {
+		t.Fatalf("calls=%d, want MaxAttempts=5", calls)
+	}
+	if !errors.Is(err, rdma.ErrTimeout) || !rdma.IsTransient(err) {
+		t.Fatalf("exhaustion must surface the typed transient error, got %v", err)
+	}
+}
+
+// flapReconnector fails reconnects with downFor ErrServerDowns, then heals.
+type flapReconnector struct {
+	downFor  int
+	attempts int
+}
+
+func (r *flapReconnector) Reconnect(server int) error {
+	r.attempts++
+	if r.attempts <= r.downFor {
+		return fmt.Errorf("down: %w", rdma.ErrServerDown)
+	}
+	return nil
+}
+
+// TestDoReconnectsOnQPError: a QP error triggers re-establishment through
+// the Reconnector before the next attempt, and the success is counted.
+func TestDoReconnectsOnQPError(t *testing.T) {
+	cnt := &countingCounters{}
+	rec := &flapReconnector{downFor: 2}
+	p := &Policy{Seed: 1, Counters: cnt}
+	calls := 0
+	err := p.Do(rec, 3, func() error {
+		calls++
+		if calls == 1 {
+			return fmt.Errorf("qp: %w", rdma.ErrQPError)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if rec.attempts != 3 || cnt.reconnects != 1 {
+		t.Fatalf("reconnect attempts=%d counted=%d, want 3 and 1", rec.attempts, cnt.reconnects)
+	}
+}
+
+// TestReconnectGivesUp: a server that stays down past the reconnect budget
+// surfaces ErrServerDown (transient — the operation layer decides what next).
+func TestReconnectGivesUp(t *testing.T) {
+	rec := &flapReconnector{downFor: 1 << 30}
+	p := &Policy{MaxAttempts: 4, Seed: 1}
+	err := p.Do(rec, 1, func() error {
+		return fmt.Errorf("qp: %w", rdma.ErrQPError)
+	})
+	if !errors.Is(err, rdma.ErrServerDown) {
+		t.Fatalf("want ErrServerDown after reconnect exhaustion, got %v", err)
+	}
+	if rec.attempts != 4 {
+		t.Fatalf("reconnect attempts=%d, want MaxAttempts=4", rec.attempts)
+	}
+}
+
+// TestWrapRetries: the endpoint decorator runs verbs under the policy and
+// recovers a flaky inner endpoint transparently.
+func TestWrapRetries(t *testing.T) {
+	inner := &flakyEndpoint{failFirst: 2}
+	ep := Wrap(inner, &Policy{Seed: 1})
+	if _, err := ep.CompareAndSwap(rdma.MakePtr(1, 64), 7, 8); err != nil {
+		t.Fatalf("CAS through retry wrapper: %v", err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner saw %d attempts, want 3", inner.calls)
+	}
+}
+
+// flakyEndpoint fails its first failFirst verbs with ErrTimeout.
+type flakyEndpoint struct {
+	calls     int
+	failFirst int
+}
+
+func (f *flakyEndpoint) verb() error {
+	f.calls++
+	if f.calls <= f.failFirst {
+		return fmt.Errorf("flaky: %w", rdma.ErrTimeout)
+	}
+	return nil
+}
+
+func (f *flakyEndpoint) Read(p rdma.RemotePtr, dst []uint64) error           { return f.verb() }
+func (f *flakyEndpoint) ReadMulti(ps []rdma.RemotePtr, dst [][]uint64) error { return f.verb() }
+func (f *flakyEndpoint) Write(p rdma.RemotePtr, src []uint64) error          { return f.verb() }
+func (f *flakyEndpoint) CompareAndSwap(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	return old, f.verb()
+}
+func (f *flakyEndpoint) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
+	return 0, f.verb()
+}
+func (f *flakyEndpoint) Alloc(server int, n int) (rdma.RemotePtr, error) {
+	return rdma.MakePtr(server, 64), f.verb()
+}
+func (f *flakyEndpoint) Free(p rdma.RemotePtr, n int) error          { return f.verb() }
+func (f *flakyEndpoint) Call(server int, req []byte) ([]byte, error) { return nil, f.verb() }
+func (f *flakyEndpoint) NumServers() int                             { return 4 }

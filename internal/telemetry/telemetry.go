@@ -97,6 +97,20 @@ type Recorder struct {
 	cacheHits  stats.Counter
 	cacheMiss  stats.Counter
 	cacheInval stats.Counter
+
+	// Fault-injection and recovery counters (fed by internal/rdma/faultnet,
+	// internal/rdma/retry, and internal/core's operation recovery).
+	faultDrops      stats.Counter
+	faultDelays     stats.Counter
+	faultDelayTOs   stats.Counter
+	faultQPErrors   stats.Counter
+	faultServerDown stats.Counter
+	faultServerLost stats.Counter
+	faultCrashes    stats.Counter
+	faultOther      stats.Counter
+	verbRetries     stats.Counter
+	qpReconnects    stats.Counter
+	opRecoveries    stats.Counter
 }
 
 // NewRecorder creates a Recorder for a cluster of numServers memory servers.
@@ -156,6 +170,59 @@ func (r *Recorder) CacheMiss() { r.cacheMiss.Inc() }
 // stale, or dropped after a structure modification).
 func (r *Recorder) CacheInvalidation() { r.cacheInval.Inc() }
 
+// CountFault counts one injected fault by kind. Satisfies faultnet's
+// Counters hook interface; the kind strings are faultnet's Fault* labels
+// (plus "crash" for scripted server crashes).
+func (r *Recorder) CountFault(kind string) {
+	switch kind {
+	case "drop":
+		r.faultDrops.Inc()
+	case "delay":
+		r.faultDelays.Inc()
+	case "delay-timeout":
+		r.faultDelayTOs.Inc()
+	case "qp-error":
+		r.faultQPErrors.Inc()
+	case "server-down":
+		r.faultServerDown.Inc()
+	case "server-lost":
+		r.faultServerLost.Inc()
+	case "crash":
+		r.faultCrashes.Inc()
+	default:
+		r.faultOther.Inc()
+	}
+}
+
+// CountRetry counts one verb re-attempt after a transient failure.
+// Satisfies the retry package's Counters hook interface.
+func (r *Recorder) CountRetry() { r.verbRetries.Inc() }
+
+// CountReconnect counts one successful QP re-establishment.
+func (r *Recorder) CountReconnect() { r.qpReconnects.Inc() }
+
+// CountOpRecovery counts one epoch-fenced operation re-traversal. Satisfies
+// core's RecoveryCounters hook interface.
+func (r *Recorder) CountOpRecovery() { r.opRecoveries.Inc() }
+
+// Faults returns the total number of injected faults counted (benign delays
+// included).
+func (r *Recorder) Faults() int64 {
+	return r.faultDrops.Load() + r.faultDelays.Load() + r.faultDelayTOs.Load() +
+		r.faultQPErrors.Load() + r.faultServerDown.Load() + r.faultServerLost.Load() +
+		r.faultCrashes.Load() + r.faultOther.Load()
+}
+
+// Retries returns the number of verb re-attempts counted.
+func (r *Recorder) Retries() int64 { return r.verbRetries.Load() }
+
+// Reconnects returns the number of successful QP re-establishments counted.
+func (r *Recorder) Reconnects() int64 { return r.qpReconnects.Load() }
+
+// OpRecoveries returns the number of epoch-fenced operation re-traversals
+// counted.
+func (r *Recorder) OpRecoveries() int64 { return r.opRecoveries.Load() }
+
 // Merge folds other's counts into r. Per-server destination counters are
 // folded up to the smaller cluster size.
 func (r *Recorder) Merge(other *Recorder) {
@@ -189,6 +256,17 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.cacheHits.Add(other.cacheHits.Load())
 	r.cacheMiss.Add(other.cacheMiss.Load())
 	r.cacheInval.Add(other.cacheInval.Load())
+	r.faultDrops.Add(other.faultDrops.Load())
+	r.faultDelays.Add(other.faultDelays.Load())
+	r.faultDelayTOs.Add(other.faultDelayTOs.Load())
+	r.faultQPErrors.Add(other.faultQPErrors.Load())
+	r.faultServerDown.Add(other.faultServerDown.Load())
+	r.faultServerLost.Add(other.faultServerLost.Load())
+	r.faultCrashes.Add(other.faultCrashes.Load())
+	r.faultOther.Add(other.faultOther.Load())
+	r.verbRetries.Add(other.verbRetries.Load())
+	r.qpReconnects.Add(other.qpReconnects.Load())
+	r.opRecoveries.Add(other.opRecoveries.Load())
 }
 
 // VerbOps returns the op count of one verb.
@@ -275,6 +353,20 @@ func (r *Recorder) StatsMap() map[string]any {
 	if h, mi, iv := r.cacheHits.Load(), r.cacheMiss.Load(), r.cacheInval.Load(); h+mi+iv > 0 {
 		m["cache"] = map[string]any{"hits": h, "misses": mi, "invalidations": iv}
 	}
+	if r.Faults()+r.Retries()+r.Reconnects()+r.OpRecoveries() > 0 {
+		m["faults"] = map[string]any{
+			"drops":          r.faultDrops.Load(),
+			"delays":         r.faultDelays.Load(),
+			"delay_timeouts": r.faultDelayTOs.Load(),
+			"qp_errors":      r.faultQPErrors.Load(),
+			"server_down":    r.faultServerDown.Load(),
+			"server_lost":    r.faultServerLost.Load(),
+			"crashes":        r.faultCrashes.Load(),
+			"retries":        r.verbRetries.Load(),
+			"reconnects":     r.qpReconnects.Load(),
+			"op_recoveries":  r.opRecoveries.Load(),
+		}
+	}
 	return m
 }
 
@@ -327,6 +419,13 @@ func (r *Recorder) ProtoSummary() string {
 		fmt.Fprintf(&b, "cache hits=%s misses=%s invalidations=%d hit_rate=%.1f%%\n",
 			stats.FormatQty(float64(h)), stats.FormatQty(float64(mi)), iv,
 			100*float64(h)/float64(h+mi))
+	}
+	if r.Faults() > 0 || r.Retries() > 0 {
+		fmt.Fprintf(&b, "faults drops=%d delays=%d delay_timeouts=%d qp_errors=%d server_down=%d server_lost=%d crashes=%d | retries=%d reconnects=%d op_recoveries=%d\n",
+			r.faultDrops.Load(), r.faultDelays.Load(), r.faultDelayTOs.Load(),
+			r.faultQPErrors.Load(), r.faultServerDown.Load(), r.faultServerLost.Load(),
+			r.faultCrashes.Load(), r.verbRetries.Load(), r.qpReconnects.Load(),
+			r.opRecoveries.Load())
 	}
 	return b.String()
 }
