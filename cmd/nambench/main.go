@@ -14,15 +14,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/namdb/rdmatree/internal/bench"
+	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/telemetry"
 )
+
+// lintMetrics validates an OpenMetrics exposition read from a file or
+// scraped from an http(s) URL — the CI smoke job runs it against a live
+// namserver /metrics endpoint.
+func lintMetrics(src string) error {
+	var raw []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		raw, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		raw, err = os.ReadFile(src)
+		if err != nil {
+			return err
+		}
+	}
+	return obs.LintOpenMetrics(string(raw))
+}
 
 func main() {
 	var (
@@ -32,9 +63,10 @@ func main() {
 		size     = flag.Int("size", 0, "override data size D")
 		clients  = flag.String("clients", "", "override client sweep, e.g. 20,40,80")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in Perfetto or chrome://tracing)")
-		metrics  = flag.String("metrics", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address while experiments run")
+		metrics  = flag.String("metrics", "", "serve live expvar (/debug/vars), pprof (/debug/pprof/), and OpenMetrics (/metrics) on this address while experiments run")
 		noverbs  = flag.Bool("noverbs", false, "omit the per-verb breakdown tables from experiment reports")
 		regress  = flag.String("regress", "", "re-run the rtt experiment at the given baseline's scale and fail if RTTs/op or mean latency regressed >10%")
+		lintmet  = flag.String("lintmetrics", "", "validate an OpenMetrics exposition (file path or http URL) and exit")
 	)
 	flag.Parse()
 
@@ -43,6 +75,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nambench: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *lintmet != "" {
+		if err := lintMetrics(*lintmet); err != nil {
+			fmt.Fprintf(os.Stderr, "nambench: -lintmetrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid OpenMetrics exposition\n", *lintmet)
 		return
 	}
 
@@ -66,12 +106,17 @@ func main() {
 	if *metrics != "" {
 		bench.LiveRecorder = telemetry.NewRecorder(rdma.MaxServers)
 		telemetry.Publish("nambench", bench.LiveRecorder)
+		// Live per-op latency histograms: every benchmark client gets a
+		// flight-recorder Log feeding this set, and /metrics exports it as
+		// OpenMetrics alongside the verb and recovery counters.
+		bench.LiveMetrics = &obs.MetricsSet{}
+		telemetry.Handle("/metrics", obs.MetricsHandler(bench.LiveRecorder, bench.LiveMetrics))
 		addr, err := telemetry.ServeMetrics(*metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nambench: -metrics: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "nambench: metrics on http://%s/debug/vars\n", addr)
+		fmt.Fprintf(os.Stderr, "nambench: metrics on http://%s/debug/vars and http://%s/metrics\n", addr, addr)
 	}
 
 	if *list || *exp == "" {

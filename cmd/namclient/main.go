@@ -31,6 +31,7 @@ import (
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/retry"
 	"github.com/namdb/rdmatree/internal/rdma/tcpnet"
 	"github.com/namdb/rdmatree/internal/telemetry"
 	"github.com/namdb/rdmatree/internal/workload"
@@ -50,6 +51,19 @@ func main() {
 		usage()
 	}
 
+	// Client-side robustness counters: every endpoint runs under the shared
+	// retry policy, and every index client under operation-level recovery, so
+	// retries, QP reconnects, and epoch-fenced re-traversals are counted here
+	// (servers only see the verbs that reached them).
+	clientRec := telemetry.NewRecorder(len(addrs))
+	robust := func(id int, ep *tcpnet.Endpoint) rdma.Endpoint {
+		return retry.Wrap(ep, &retry.Policy{
+			Seed:     int64(id),
+			Sleep:    time.Sleep,
+			Counters: clientRec,
+		})
+	}
+
 	var cat *nam.Catalog
 	var client func(id int) (core.Index, *tcpnet.Endpoint)
 	switch *design {
@@ -62,7 +76,7 @@ func main() {
 		}
 		client = func(id int) (core.Index, *tcpnet.Endpoint) {
 			ep := tcpnet.Dial(addrs)
-			return fine.NewClient(ep, rdma.NopEnv{}, cat, id), ep
+			return core.Recover(fine.NewClient(robust(id, ep), rdma.NopEnv{}, cat, id), 0, clientRec), ep
 		}
 	case "coarse":
 		// The coarse catalog is fetched from server 0's agent, which built
@@ -86,7 +100,7 @@ func main() {
 		}
 		client = func(id int) (core.Index, *tcpnet.Endpoint) {
 			ep := tcpnet.Dial(addrs)
-			return coarse.NewClient(ep, rdma.NopEnv{}, cat), ep
+			return core.Recover(coarse.NewClient(robust(id, ep), rdma.NopEnv{}, cat), 0, clientRec), ep
 		}
 	case "hybrid":
 		cat = &nam.Catalog{
@@ -101,7 +115,7 @@ func main() {
 		}
 		client = func(id int) (core.Index, *tcpnet.Endpoint) {
 			ep := tcpnet.Dial(addrs)
-			return hybrid.NewClient(ep, rdma.NopEnv{}, cat, id), ep
+			return core.Recover(hybrid.NewClient(robust(id, ep), rdma.NopEnv{}, cat, id), 0, clientRec), ep
 		}
 	default:
 		log.Fatalf("namclient: unknown -design %q", *design)
@@ -202,17 +216,23 @@ func main() {
 		total := ops.Load()
 		fmt.Printf("%d lookups in %ds with %d clients: %.0f lookups/s (wall clock, TCP transport)\n",
 			total, *seconds, *clients, float64(total)/float64(*seconds))
+		fmt.Printf("client-side recovery: verb_retries=%d qp_reconnects=%d op_recoveries=%d\n",
+			clientRec.Retries(), clientRec.Reconnects(), clientRec.OpRecoveries())
 
 	case "stats":
 		// Fetch each server's live telemetry over the existing verb
 		// connection (the nam.OpStats RPC) and pretty-print it. Works
 		// against any -design: even passive memory servers answer it via
-		// the telemetry handler decorator.
+		// the telemetry handler decorator. The per-server documents include
+		// the fault/retry/recovery counters (the "faults" section) alongside
+		// the verb counters; the fetch itself runs under the client's retry
+		// stack, whose own counters print at the end.
 		ep := tcpnet.Dial(addrs)
 		defer ep.Close()
+		rep := robust(0, ep)
 		for s := range addrs {
 			fmt.Printf("server %d (%s):\n", s, addrs[s])
-			m, err := telemetry.FetchStats(ep, s)
+			m, err := telemetry.FetchStats(rep, s)
 			if err != nil {
 				fmt.Printf("  stats unavailable: %v\n", err)
 				continue
@@ -224,14 +244,19 @@ func main() {
 			}
 			fmt.Printf("  %s\n", blob)
 		}
+		fmt.Printf("client-side recovery: verb_retries=%d qp_reconnects=%d op_recoveries=%d\n",
+			clientRec.Retries(), clientRec.Reconnects(), clientRec.OpRecoveries())
 
 	case "check":
 		if *design != "fine" {
 			log.Fatal("namclient: check is for -design fine")
 		}
-		c, ep := client(0)
+		// A bare client: the verification sweep wants raw errors, not the
+		// retry/recovery stack.
+		ep := tcpnet.Dial(addrs)
 		defer ep.Close()
-		live, err := c.(*fine.Client).Tree().CheckInvariants(rdma.NopEnv{})
+		c := fine.NewClient(ep, rdma.NopEnv{}, cat, 0)
+		live, err := c.Tree().CheckInvariants(rdma.NopEnv{})
 		check(err)
 		fmt.Printf("index invariants OK, %d live entries\n", live)
 

@@ -27,6 +27,7 @@ import (
 	"github.com/namdb/rdmatree/internal/core/hybrid"
 	"github.com/namdb/rdmatree/internal/layout"
 	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/tcpnet"
@@ -44,7 +45,7 @@ func main() {
 		size    = flag.Int("size", 0, "bulk-load this server's partition of keys 0..size-1 (coarse/hybrid)")
 		page    = flag.Int("page", 1024, "index page size in bytes (coarse/hybrid)")
 		peers   = flag.String("peers", "", "comma-separated addresses of ALL memory servers in ID order, including this one (hybrid; leaves are written to peers at build time)")
-		metrics = flag.String("metrics", "", "serve live expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. :6060")
+		metrics = flag.String("metrics", "", "serve live expvar (/debug/vars), pprof (/debug/pprof/), and OpenMetrics (/metrics) on this address, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -132,11 +133,14 @@ func main() {
 	handler = telemetry.Instrument(handler, rec, nil)
 	if *metrics != "" {
 		telemetry.Publish("namserver", rec)
+		// OpenMetrics export of the verb and recovery counters (a memory
+		// server has no per-op histograms — those live on the compute side).
+		telemetry.Handle("/metrics", obs.MetricsHandler(rec, nil))
 		addr, err := telemetry.ServeMetrics(*metrics)
 		if err != nil {
 			log.Fatalf("namserver: -metrics: %v", err)
 		}
-		log.Printf("namserver: metrics on http://%s/debug/vars", addr)
+		log.Printf("namserver: metrics on http://%s/debug/vars and http://%s/metrics", addr, addr)
 	}
 	agent := tcpnet.NewAgent(srv, handler)
 

@@ -23,6 +23,7 @@ func extensions() []Experiment {
 		{"ablation-zipf", "Ablation: Zipfian Request Skew (Point Queries)", expAblationZipf},
 		{"rtt", "Doorbell-Batched Consistent Reads: Exposed RTTs and Latency (Fine-Grained)", expRTT},
 		{"chaos", "Fault Injection: Scripted Fault Schedules vs Client-Side Recovery (All Designs)", expChaos},
+		{"obs", "Observability: Flight-Recorder Reconstruction of a Fault-Injected Traversal (Fine-Grained)", expObs},
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"github.com/namdb/rdmatree/internal/core/hybrid"
 	"github.com/namdb/rdmatree/internal/layout"
 	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/simnet"
@@ -32,6 +33,13 @@ var LiveRecorder *telemetry.Recorder
 // LiveTracer, when non-nil, receives the trace spans of every Run —
 // cmd/nambench sets it with -trace.
 var LiveTracer *telemetry.Tracer
+
+// LiveMetrics, when non-nil, receives per-op-type latency histograms (per
+// design, per partition) from every Run — cmd/nambench sets it (with
+// -metrics) to feed the OpenMetrics /metrics endpoint. Enabling it threads a
+// per-client obs.Log through every design client, timed by the client's
+// virtual clock.
+var LiveMetrics *obs.MetricsSet
 
 // Config describes one experiment point.
 type Config struct {
@@ -146,6 +154,29 @@ func telemetryOrNil(rec *telemetry.Recorder) cache.Telemetry {
 	return rec
 }
 
+// eventsOrNil converts a possibly-nil *obs.Log to the cache's per-access
+// hook interface without producing a typed-nil interface value.
+func eventsOrNil(log *obs.Log) cache.Events {
+	if log == nil {
+		return nil
+	}
+	return log
+}
+
+// designLabel names a design for the metrics export.
+func designLabel(d nam.Design) string {
+	switch d {
+	case nam.CoarseGrained:
+		return "coarse"
+	case nam.FineGrained:
+		return "fine"
+	case nam.Hybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
 // Run executes one experiment point.
 func Run(cfg Config) (Result, error) {
 	if err := (&cfg).Validate(); err != nil {
@@ -186,6 +217,27 @@ func Run(cfg Config) (Result, error) {
 			return h
 		}
 		return telemetry.Instrument(h, rec, tracer)
+	}
+	// Per-op metrics wiring: with LiveMetrics set, every client carries an
+	// obs.Log timed by its virtual clock, feeding the design's shared
+	// histogram set (per op kind, and per partition for the partitioned
+	// designs).
+	var metrics *obs.Metrics
+	if LiveMetrics != nil {
+		parts := 0
+		if cfg.Design != nam.FineGrained {
+			parts = cfg.Topology.MemServers
+		}
+		metrics = LiveMetrics.Get(designLabel(cfg.Design), parts)
+	}
+	clientLog := func(id int, p *sim.Proc) *obs.Log {
+		if metrics == nil {
+			return nil
+		}
+		log := obs.NewLog(0, p)
+		log.ClientID = id
+		log.Metrics = metrics
+		return log
 	}
 	if tracer != nil {
 		tracer.NameProcess(0, "clients")
@@ -233,7 +285,9 @@ func Run(cfg Config) (Result, error) {
 		fab.SetHandler(wrapHandler(srv.Handler()))
 		fab.Start()
 		mkClient = func(id int, p *sim.Proc) core.Index {
-			return coarse.NewClient(clientEp(id, p), fab.ClientEnv(p), cat)
+			c := coarse.NewClient(clientEp(id, p), fab.ClientEnv(p), cat)
+			c.SetOpLog(clientLog(id, p))
+			return c
 		}
 	case nam.FineGrained:
 		cat, err := fine.Build(fab.SetupEndpoint(), fine.Options{Layout: l}, spec)
@@ -246,6 +300,9 @@ func Run(cfg Config) (Result, error) {
 				cm.Tel = telemetryOrNil(rec)
 				caches = append(caches, cm)
 				c.SetRecorder(rec)
+				log := clientLog(id, p)
+				cm.Events = eventsOrNil(log)
+				c.SetOpLog(log)
 				return c
 			}
 			var c *fine.Client
@@ -255,6 +312,7 @@ func Run(cfg Config) (Result, error) {
 				c = fine.NewClient(clientEp(id, p), fab.ClientEnv(p), cat, id)
 			}
 			c.SetRecorder(rec)
+			c.SetOpLog(clientLog(id, p))
 			return c
 		}
 	case nam.Hybrid:
@@ -268,6 +326,7 @@ func Run(cfg Config) (Result, error) {
 		mkClient = func(id int, p *sim.Proc) core.Index {
 			c := hybrid.NewClient(clientEp(id, p), fab.ClientEnv(p), cat, id)
 			c.SetRecorder(rec)
+			c.SetOpLog(clientLog(id, p))
 			return c
 		}
 	default:

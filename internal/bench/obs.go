@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/namdb/rdmatree/internal/chaos"
+	"github.com/namdb/rdmatree/internal/rdma/faultnet"
+)
+
+// expObs demonstrates the flight recorder reconstructing a fault-injected
+// traversal end to end. A single client runs the fine-grained design under a
+// crash-lose schedule (server 2 restarts without its registered region), so
+// one operation exhausts its retry budget and surfaces rdma.ErrServerLost —
+// the trigger that dumps the client's ring. With one client and a tick clock
+// the whole run is deterministic: the dump text is byte-identical across
+// executions, which CI checks by running the experiment twice and diffing.
+//
+// The report prints only deterministic fields (no wall-clock latencies), then
+// each dump verbatim. Missing dumps or a dump without the expected causal
+// chain (reads, retries, the terminal op-end) is an error so the experiment
+// doubles as a CI gate.
+func expObs(w io.Writer, sc Scale) error {
+	cfg := chaos.Config{
+		Design:       "fine",
+		Clients:      1,
+		Preload:      1000,
+		OpsPerClient: 300,
+		Obs:          true,
+		// Per-op SLO in tick units, sized so normal ops (≤ ~20 ticks of
+		// recorded events) stay under it and only the op stuck retrying
+		// against the lost server breaches it — demonstrating the SLO dump
+		// trigger alongside the server-lost one.
+		SLOTicks: 100,
+		Schedule: faultnet.Schedule{
+			Seed: 5,
+			Steps: []faultnet.Step{
+				{AtTick: 1_600, Server: 2, DownForTicks: 150, Lose: true},
+			},
+		},
+	}
+	fmt.Fprintf(w, "flight-recorder reconstruction: design=%s clients=%d schedule seed=%d (crash-lose: server 2 loses its region at tick 1600)\n",
+		cfg.Design, cfg.Clients, cfg.Schedule.Seed)
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("obs: chaos run: %w", err)
+	}
+	rec := rep.Recorder
+	fmt.Fprintf(w, "  acked_inserts=%d failed_inserts=%d failed_ops=%d server_lost_ops=%d locks_cleared=%d live=%d\n",
+		rep.AckedInserts, rep.FailedInserts, rep.FailedOps, rep.ServerLostOps, rep.LocksCleared, rep.LiveEntries)
+	fmt.Fprintf(w, "  invariants: acked_present=%v no_duplicates=%v preload_intact=%v\n",
+		rep.AckedPresent, rep.NoDuplicates, rep.PreloadIntact)
+	fmt.Fprintf(w, "  faults=%d retries=%d reconnects=%d op_recoveries=%d obs_events=%d dumps=%d\n",
+		rec.Faults(), rec.Retries(), rec.Reconnects(), rec.OpRecoveries(), rep.ObsEvents, len(rep.Dumps))
+	if !rep.AckedPresent || !rep.NoDuplicates || !rep.PreloadIntact {
+		return fmt.Errorf("obs: survivor invariants violated (missing_acked=%d duplicate_pairs=%d missing_preload=%d)",
+			rep.MissingAcked, rep.DuplicatePairs, rep.MissingPreload)
+	}
+	if len(rep.Dumps) == 0 {
+		return fmt.Errorf("obs: crash-lose schedule produced no flight-recorder dump")
+	}
+	reasons := map[string]bool{}
+	var all strings.Builder
+	for i, d := range rep.Dumps {
+		fmt.Fprintf(w, "\ndump %d: client=%d reason=%s\n", i, d.Client, d.Reason)
+		fmt.Fprint(w, d.Text)
+		reasons[d.Reason] = true
+		all.WriteString(d.Text)
+	}
+	// Both dump triggers must have fired: the op stuck retrying against the
+	// dead server breaches the SLO, and the ops surfacing rdma.ErrServerLost
+	// dump on their terminal error.
+	for _, reason := range []string{"slo-breach", "server-lost"} {
+		if !reasons[reason] {
+			return fmt.Errorf("obs: no dump with trigger reason %q", reason)
+		}
+	}
+	// The dumps together must let the reader reconstruct the failing
+	// traversal: level reads, the retry storm with backoff, the reconnect
+	// attempts, the epoch-fenced re-traversals, and the terminal server-lost
+	// verdict.
+	text := all.String()
+	for _, marker := range []string{"read", "retry", "reconnect", "epoch-fence", "err=server-lost"} {
+		if !strings.Contains(text, marker) {
+			return fmt.Errorf("obs: dumps missing causal marker %q", marker)
+		}
+	}
+	return nil
+}

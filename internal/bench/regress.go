@@ -26,6 +26,15 @@ func (g rttGate) regressed() bool {
 	return g.baseline > 0 && g.measured > g.baseline*(1+RegressTolerance)
 }
 
+// delta is the percent change of measured over baseline (0 when the baseline
+// is empty).
+func (g rttGate) delta() float64 {
+	if g.baseline <= 0 {
+		return 0
+	}
+	return 100 * (g.measured - g.baseline) / g.baseline
+}
+
 func rttGates(prefix string, base, got RTTComparison) []rttGate {
 	return []rttGate{
 		{prefix + "/legacy/rtts_per_op", base.Legacy.RTTsPerOp, got.Legacy.RTTsPerOp},
@@ -61,25 +70,28 @@ func RegressRTT(w io.Writer, baselinePath string) error {
 	}
 
 	gates := append(rttGates("point", base.Point, got.Point), rttGates("scan", base.Scan, got.Scan)...)
-	failed := 0
+	var regressed []string
 	fmt.Fprintf(w, "rtt regression gate vs %s (data_size=%d clients=%d, tolerance %.0f%%)\n",
 		baselinePath, base.DataSize, base.Clients, 100*RegressTolerance)
 	for _, g := range gates {
-		delta := 0.0
-		if g.baseline > 0 {
-			delta = 100 * (g.measured - g.baseline) / g.baseline
-		}
 		verdict := "ok"
 		if g.regressed() {
 			verdict = "REGRESSED"
-			failed++
+			regressed = append(regressed, fmt.Sprintf("%s: baseline %.2f, observed %.2f (%+.2f%%)",
+				g.name, g.baseline, g.measured, g.delta()))
 		}
 		fmt.Fprintf(w, "  %-28s baseline %12.2f  measured %12.2f  %+7.2f%%  %s\n",
-			g.name, g.baseline, g.measured, delta, verdict)
+			g.name, g.baseline, g.measured, g.delta(), verdict)
 	}
-	if failed > 0 {
-		return fmt.Errorf("regress: %d metrics regressed more than %.0f%% over %s (if intentional, regenerate with `nambench -exp rtt`)",
-			failed, 100*RegressTolerance, baselinePath)
+	if len(regressed) > 0 {
+		// The error names every regressed gate with its values and delta so a
+		// CI failure is diagnosable from the one-line verdict alone.
+		msg := fmt.Sprintf("regress: %d metrics regressed more than %.0f%% over %s:", len(regressed), 100*RegressTolerance, baselinePath)
+		for _, r := range regressed {
+			msg += "\n  " + r
+		}
+		msg += "\n(if intentional, regenerate with `nambench -exp rtt`)"
+		return fmt.Errorf("%s", msg)
 	}
 	fmt.Fprintln(w, "rtt regression gate passed")
 	return nil

@@ -44,6 +44,20 @@ type Telemetry interface {
 	CacheInvalidation()
 }
 
+// Events receives per-access cache events with the page pointer — the flight
+// recorder's view of the cache, complementing the aggregate Telemetry
+// counters. *obs.Log satisfies it. An Events shares the cache's
+// single-client-thread ownership.
+type Events interface {
+	// CacheHitEvent records a revalidated hit on the page at ptr (a raw
+	// rdma.RemotePtr).
+	CacheHitEvent(ptr uint64)
+	// CacheMissEvent records a full-page fetch for ptr.
+	CacheMissEvent(ptr uint64)
+	// CacheStaleEvent records a revalidation failure dropping ptr's copy.
+	CacheStaleEvent(ptr uint64)
+}
+
 // Mem decorates a btree.Mem with a page cache.
 type Mem struct {
 	inner    btree.Mem
@@ -59,6 +73,10 @@ type Mem struct {
 
 	// Tel, when non-nil, additionally receives each hit/miss/invalidation.
 	Tel Telemetry
+
+	// Events, when non-nil, receives each hit/miss/stale with its page
+	// pointer (the flight recorder hook).
+	Events Events
 
 	Stats Stats
 }
@@ -143,9 +161,15 @@ func (m *Mem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
 			if m.Tel != nil {
 				m.Tel.CacheHit()
 			}
+			if m.Events != nil {
+				m.Events.CacheHitEvent(uint64(p))
+			}
 			return nil
 		}
 		m.Stats.Stale++
+		if m.Events != nil {
+			m.Events.CacheStaleEvent(uint64(p))
+		}
 		m.invalidate(p)
 	}
 	// Miss: fetch and insert only a consistent copy (unlocked, version
@@ -156,6 +180,9 @@ func (m *Mem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
 	m.Stats.Misses++
 	if m.Tel != nil {
 		m.Tel.CacheMiss()
+	}
+	if m.Events != nil {
+		m.Events.CacheMissEvent(uint64(p))
 	}
 	v := layout.BufVersion(dst)
 	if layout.IsLocked(v) {
@@ -208,9 +235,15 @@ func (m *Mem) ReadValidated(p rdma.RemotePtr, dst []uint64) (uint64, bool, error
 			if m.Tel != nil {
 				m.Tel.CacheHit()
 			}
+			if m.Events != nil {
+				m.Events.CacheHitEvent(uint64(p))
+			}
 			return v, true, nil
 		}
 		m.Stats.Stale++
+		if m.Events != nil {
+			m.Events.CacheStaleEvent(uint64(p))
+		}
 		m.invalidate(p)
 	}
 	v, ok, err := m.inner.ReadValidated(p, dst)
@@ -220,6 +253,9 @@ func (m *Mem) ReadValidated(p rdma.RemotePtr, dst []uint64) (uint64, bool, error
 	m.Stats.Misses++
 	if m.Tel != nil {
 		m.Tel.CacheMiss()
+	}
+	if m.Events != nil {
+		m.Events.CacheMissEvent(uint64(p))
 	}
 	if ok {
 		m.maybeInsert(p, dst)

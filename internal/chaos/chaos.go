@@ -32,6 +32,7 @@ import (
 	"github.com/namdb/rdmatree/internal/core/hybrid"
 	"github.com/namdb/rdmatree/internal/layout"
 	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/direct"
@@ -65,6 +66,16 @@ type Config struct {
 	// Recorder receives verb, fault, retry, and recovery counters. Nil
 	// allocates a private one (exposed on the Report).
 	Recorder *telemetry.Recorder
+	// Obs enables the per-client flight recorders: every client's op spans,
+	// level reads, retries, reconnects, and epoch fences are recorded into a
+	// per-client obs.Log under a deterministic tick clock, and triggered
+	// dumps (ErrServerLost, SLO breach, invariant failure) surface on the
+	// Report.
+	Obs bool
+	// SLOTicks, when > 0 with Obs, is the per-op latency SLO in tick-clock
+	// units (every recorded event is one tick); an op exceeding it triggers
+	// a flight-recorder dump.
+	SLOTicks int64
 }
 
 func (c *Config) defaults() {
@@ -118,6 +129,13 @@ type Report struct {
 
 	// Telemetry (the run's Recorder, for counter assertions and reports).
 	Recorder *telemetry.Recorder
+
+	// Flight-recorder dumps (Config.Obs only), in client order: triggered
+	// during the run by ErrServerLost or SLO breach, and forced for every
+	// client when a post-run invariant fails.
+	Dumps []obs.Dump
+	// ObsEvents is the total number of events recorded across all clients.
+	ObsEvents uint64
 }
 
 // Summary renders the report on a few lines.
@@ -136,7 +154,7 @@ type kv struct{ k, v uint64 }
 type deployment struct {
 	fab   *direct.Fabric
 	cat   *nam.Catalog
-	mk    func(ep rdma.Endpoint, id int) core.Index
+	mk    func(ep rdma.Endpoint, id int, log *obs.Log) core.Index
 	check func() (int, error)
 	// scan visits every live entry through a bare endpoint.
 	scan func(emit func(k, v uint64) bool) error
@@ -174,8 +192,10 @@ func deploy(cfg *Config) (*deployment, error) {
 		fab.SetHandler(srv.Handler())
 		return &deployment{
 			fab: fab, cat: cat,
-			mk: func(ep rdma.Endpoint, id int) core.Index {
-				return coarse.NewClient(ep, direct.Env{}, cat)
+			mk: func(ep rdma.Endpoint, id int, log *obs.Log) core.Index {
+				c := coarse.NewClient(ep, direct.Env{}, cat)
+				c.SetOpLog(log)
+				return c
 			},
 			// No repair: coarse locks are taken and released inside RPC
 			// handlers, and a dropped Call is dropped before execution — a
@@ -193,9 +213,10 @@ func deploy(cfg *Config) (*deployment, error) {
 		}
 		return &deployment{
 			fab: fab, cat: cat,
-			mk: func(ep rdma.Endpoint, id int) core.Index {
+			mk: func(ep rdma.Endpoint, id int, log *obs.Log) core.Index {
 				c := fine.NewClient(ep, direct.Env{}, cat, id)
 				c.SetSpinBudget(cfg.SpinBudget)
+				c.SetOpLog(log)
 				return c
 			},
 			repair: func() (int, error) {
@@ -223,9 +244,10 @@ func deploy(cfg *Config) (*deployment, error) {
 		fab.SetHandler(srv.Handler())
 		return &deployment{
 			fab: fab, cat: cat,
-			mk: func(ep rdma.Endpoint, id int) core.Index {
+			mk: func(ep rdma.Endpoint, id int, log *obs.Log) core.Index {
 				c := hybrid.NewClient(ep, direct.Env{}, cat, id)
 				c.SetSpinBudget(cfg.SpinBudget)
+				c.SetOpLog(log)
 				return c
 			},
 			repair: func() (int, error) { return srv.RecoverLocks(fab.Endpoint()) },
@@ -265,27 +287,57 @@ func Run(cfg Config) (*Report, error) {
 	}
 	net := faultnet.New(cfg.Schedule, rec)
 
+	// Per-client flight recorders. Each Log is owned by its client goroutine
+	// (like the endpoint); the tick clock makes recorded traces a pure causal
+	// order, so a single-client run under a fixed seed dumps byte-identical
+	// text on every execution.
+	var logs []*obs.Log
+	if cfg.Obs {
+		logs = make([]*obs.Log, cfg.Clients)
+		for c := range logs {
+			logs[c] = obs.NewLog(0, &obs.TickClock{})
+			logs[c].ClientID = c
+			logs[c].SLONS = cfg.SLOTicks
+		}
+	}
+
 	results := make([]clientResult, cfg.Clients)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			var log *obs.Log // nil unless cfg.Obs; nil disables recording
+			if logs != nil {
+				log = logs[c]
+			}
 			// The full robustness stack, built inside the owning goroutine:
 			// transport endpoint → fault injection → shared retry policy →
 			// design client → operation-level recovery.
-			ep := retry.Wrap(net.Endpoint(dep.fab.Endpoint(), c), &retry.Policy{
+			pol := &retry.Policy{
 				Seed:     cfg.Schedule.Seed + int64(c),
 				Counters: rec,
-			})
-			idx := core.Recover(dep.mk(ep, c), cfg.MaxOpAttempts, rec)
+			}
+			if log != nil {
+				pol.Events = log
+			}
+			ep := retry.Wrap(net.Endpoint(dep.fab.Endpoint(), c), pol)
+			idx := core.Recover(dep.mk(ep, c, log), cfg.MaxOpAttempts, rec)
+			if log != nil {
+				idx = idx.WithEvents(log)
+			}
 			res := &results[c]
 			rng := rand.New(rand.NewSource(cfg.Schedule.Seed*101 + int64(c)))
 			for i := 0; i < cfg.OpsPerClient; i++ {
 				k := rng.Uint64() % cfg.Keyspace
 				start := time.Now()
 				if i%4 == 3 {
+					// The harness owns the op span: retries, reconnects, and
+					// epoch fences of the recovery wrapper land inside it (the
+					// design client's own Begin/End nests).
+					log.BeginOp(obs.OpLookup, k, -1)
 					_, err := idx.Lookup(k)
+					log.EndOp(err)
 					res.lookups++
 					if err != nil {
 						res.failedOps++
@@ -297,7 +349,9 @@ func Run(cfg Config) (*Report, error) {
 					// Values are unique per logical insert — the idempotence
 					// token the exactly-once recovery contract needs.
 					v := uint64(1)<<40 | uint64(c)<<32 | uint64(i)
+					log.BeginOp(obs.OpInsert, k, -1)
 					err := idx.Insert(k, v)
+					log.EndOp(err)
 					if err == nil {
 						res.acked = append(res.acked, kv{k, v})
 					} else {
@@ -341,12 +395,21 @@ func Run(cfg Config) (*Report, error) {
 	// operator would run before readmitting traffic; without it, the
 	// validating verification reads below would spin on the dead client's
 	// lock.
+	// The harness-level log records post-run recovery actions (the lock
+	// sweep) under its own tick clock; client logs cannot — their goroutines
+	// have quiesced and the sweep is not part of any client op.
+	var sweepLog *obs.Log
+	if cfg.Obs {
+		sweepLog = obs.NewLog(64, &obs.TickClock{})
+		sweepLog.ClientID = -1
+	}
 	if dep.repair != nil {
 		cleared, err := dep.repair()
 		if err != nil {
 			return rep, fmt.Errorf("chaos: post-run lock recovery: %w", err)
 		}
 		rep.LocksCleared = cleared
+		sweepLog.SweepEvent(cleared)
 	}
 	live, err := dep.check()
 	if err != nil {
@@ -382,6 +445,23 @@ func Run(cfg Config) (*Report, error) {
 		if seen[kv{uint64(i) * step, uint64(i)}] != 1 {
 			rep.PreloadIntact = false
 			rep.MissingPreload++
+		}
+	}
+
+	// Collect flight-recorder dumps. An invariant failure force-dumps every
+	// client's ring (plus the harness sweep log) so the failing run's causal
+	// history survives as an artifact even when no client-side trigger fired.
+	if logs != nil {
+		if !rep.AckedPresent || !rep.NoDuplicates || !rep.PreloadIntact {
+			for _, l := range logs {
+				l.ForceDump("chaos-failure")
+			}
+			sweepLog.ForceDump("chaos-failure")
+		}
+		for _, l := range append(logs, sweepLog) {
+			d, _ := l.Dumps()
+			rep.Dumps = append(rep.Dumps, d...)
+			rep.ObsEvents += l.Events()
 		}
 	}
 	return rep, nil

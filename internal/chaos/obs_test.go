@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/rdma/faultnet"
+)
+
+// obsConfig is the acceptance scenario for the flight recorder: one client
+// (so goroutine interleaving cannot perturb the trace) running the
+// fine-grained design under the crash-lose schedule — server 2 restarts
+// without its registered region, and every operation touching it surfaces
+// rdma.ErrServerLost after the full retry/recovery ladder runs.
+func obsConfig() Config {
+	return Config{
+		Design:       "fine",
+		Clients:      1,
+		Preload:      1000,
+		OpsPerClient: 300,
+		Obs:          true,
+		Schedule: faultnet.Schedule{
+			Seed: 5,
+			Steps: []faultnet.Step{
+				{AtTick: 1_600, Server: 2, DownForTicks: 150, Lose: true},
+			},
+		},
+	}
+}
+
+func TestObsDumpDeterministic(t *testing.T) {
+	a, err := Run(obsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(obsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Dumps) == 0 {
+		t.Fatal("crash-lose run produced no flight-recorder dump")
+	}
+	if a.ObsEvents == 0 || a.ObsEvents != b.ObsEvents {
+		t.Fatalf("ObsEvents = %d vs %d, want equal and non-zero", a.ObsEvents, b.ObsEvents)
+	}
+	if len(a.Dumps) != len(b.Dumps) {
+		t.Fatalf("dump counts differ: %d vs %d", len(a.Dumps), len(b.Dumps))
+	}
+	for i := range a.Dumps {
+		if a.Dumps[i].Reason != b.Dumps[i].Reason {
+			t.Fatalf("dump %d reason %q vs %q", i, a.Dumps[i].Reason, b.Dumps[i].Reason)
+		}
+		if a.Dumps[i].Text != b.Dumps[i].Text {
+			t.Fatalf("dump %d text differs between identical runs (dump not byte-stable)", i)
+		}
+	}
+}
+
+// TestObsDumpReconstructsFailure asserts the acceptance criterion: from the
+// dump alone, the failing operation's full causal chain is reconstructable —
+// the traversal's level reads, the retry storm with backoff against the dead
+// server, the failed reconnect attempts, the epoch-fenced re-traversals, and
+// the terminal server-lost verdict, in that order inside one op span.
+func TestObsDumpReconstructsFailure(t *testing.T) {
+	rep, err := Run(obsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text string
+	for _, d := range rep.Dumps {
+		if d.Reason == "server-lost" {
+			text = d.Text
+			break
+		}
+	}
+	if text == "" {
+		t.Fatalf("no server-lost dump among %d dumps", len(rep.Dumps))
+	}
+
+	// Isolate the failing op's span: the last "op-end err=server-lost" line
+	// and its matching top-level op start.
+	end := strings.LastIndex(text, "op-end err=server-lost")
+	if end < 0 {
+		t.Fatalf("dump has no terminal server-lost op-end:\n%s", text)
+	}
+	start := strings.LastIndex(text[:end], "\n[t=")
+	for start > 0 {
+		line := text[start+1:]
+		if i := strings.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i]
+		}
+		if strings.Contains(line, "] op ") {
+			break
+		}
+		start = strings.LastIndex(text[:start], "\n[t=")
+	}
+	if start < 0 {
+		t.Fatalf("no op start found before the failing op-end:\n%s", text)
+	}
+	span := text[start : strings.IndexByte(text[end:], '\n')+end]
+
+	// The causal chain, in order. Each marker must appear after the previous
+	// one within the span.
+	chain := []string{
+		"] op ",                  // the operation opens
+		"read s",                 // level reads of the traversal
+		"retry s2 backoff=",      // verb retries with backoff against the dead server
+		"reconnect s2",           // QP re-establishment attempts
+		"epoch-fence n=1",        // first epoch-fenced re-traversal
+		"nested",                 // the re-run traversal nests in the same span
+		"epoch-fence n=2",        // recovery keeps fencing until the budget runs out
+		"op-end err=server-lost", // terminal verdict
+	}
+	pos := 0
+	for _, marker := range chain {
+		i := strings.Index(span[pos:], marker)
+		if i < 0 {
+			t.Fatalf("causal chain broken: %q not found after offset %d in failing op span:\n%s", marker, pos, span)
+		}
+		pos += i
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/namdb/rdmatree/internal/core"
 	"github.com/namdb/rdmatree/internal/layout"
 	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/telemetry"
@@ -256,6 +257,7 @@ type Client struct {
 	env  rdma.Env
 	cat  *nam.Catalog
 	part partition.Partitioner
+	log  *obs.Log
 }
 
 var _ core.Index = (*Client)(nil)
@@ -266,16 +268,24 @@ func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog) *Client {
 	return &Client{ep: ep, env: env, cat: cat, part: cat.Partitioner()}
 }
 
+// SetOpLog threads the per-operation span tracer through the client: op
+// boundaries carry the owning partition (the coarse design routes every op
+// to its key's partition server) and every RPC records its destination and
+// outcome. A nil log disables tracing.
+func (c *Client) SetOpLog(log *obs.Log) { c.log = log }
+
 func (c *Client) call(server int, req *nam.Request) (*nam.Response, error) {
 	raw, err := c.ep.Call(server, req.Encode())
 	if err != nil {
+		c.log.RPCEvent(server, req.Op, err)
 		return nil, err
 	}
 	resp, err := nam.DecodeResponse(raw)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		err = resp.AsError()
 	}
-	if err := resp.AsError(); err != nil {
+	c.log.RPCEvent(server, req.Op, err)
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -283,7 +293,9 @@ func (c *Client) call(server int, req *nam.Request) (*nam.Response, error) {
 
 // Lookup implements core.Index: one RPC to the partition owner.
 func (c *Client) Lookup(key uint64) ([]uint64, error) {
+	c.log.BeginOp(obs.OpLookup, key, c.part.Server(key))
 	resp, err := c.call(c.part.Server(key), &nam.Request{Op: nam.OpLookup, Key: key})
+	c.log.EndOp(err)
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +306,13 @@ func (c *Client) Lookup(key uint64) ([]uint64, error) {
 // With hash partitioning every server must be queried (Table 2) and results
 // arrive in per-server runs rather than globally sorted.
 func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
+	c.log.BeginOp(obs.OpRange, lo, -1)
+	err := c.doRange(lo, hi, emit)
+	c.log.EndOp(err)
+	return err
+}
+
+func (c *Client) doRange(lo, hi uint64, emit func(k, v uint64) bool) error {
 	for _, srv := range c.part.CoversRange(lo, hi) {
 		resp, err := c.call(srv, &nam.Request{Op: nam.OpRange, Key: lo, End: hi})
 		if err != nil {
@@ -310,13 +329,17 @@ func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
 
 // Insert implements core.Index.
 func (c *Client) Insert(key, value uint64) error {
+	c.log.BeginOp(obs.OpInsert, key, c.part.Server(key))
 	_, err := c.call(c.part.Server(key), &nam.Request{Op: nam.OpInsert, Key: key, Value: value})
+	c.log.EndOp(err)
 	return err
 }
 
 // Delete implements core.Index.
 func (c *Client) Delete(key, value uint64) (bool, error) {
+	c.log.BeginOp(obs.OpDelete, key, c.part.Server(key))
 	resp, err := c.call(c.part.Server(key), &nam.Request{Op: nam.OpDelete, Key: key, Value: value})
+	c.log.EndOp(err)
 	if err != nil {
 		return false, err
 	}

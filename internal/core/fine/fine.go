@@ -15,6 +15,7 @@ import (
 	"github.com/namdb/rdmatree/internal/core"
 	"github.com/namdb/rdmatree/internal/layout"
 	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/telemetry"
 )
@@ -56,6 +57,7 @@ type Client struct {
 	tree *btree.Tree
 	env  rdma.Env
 	rec  *telemetry.Recorder
+	log  *obs.Log
 }
 
 var _ core.Index = (*Client)(nil)
@@ -92,6 +94,16 @@ func NewUnbatchedClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStar
 // recording.
 func (c *Client) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
 
+// SetOpLog threads the per-operation span tracer through the client: every
+// op records its boundaries into log and the tree's memory accesses are
+// decorated so each level read, CAS, and unlock lands in the flight
+// recorder. The fine design has no key partitioning (pages are spread
+// round-robin), so op spans carry no partition. A nil log disables tracing.
+func (c *Client) SetOpLog(log *obs.Log) {
+	c.log = log
+	c.tree.M = obs.WrapMem(c.tree.M, log)
+}
+
 func (c *Client) record(st btree.Stats) {
 	if c.rec != nil {
 		c.rec.RecordIndexOp(st)
@@ -100,16 +112,20 @@ func (c *Client) record(st btree.Stats) {
 
 // Lookup implements core.Index (Listing 2's remoteLookup).
 func (c *Client) Lookup(key uint64) ([]uint64, error) {
+	c.log.BeginOp(obs.OpLookup, key, -1)
 	vals, st, err := c.tree.Lookup(c.env, key)
 	c.record(st)
+	c.log.EndOp(err)
 	return vals, err
 }
 
 // Range implements core.Index: a one-sided leaf-level scan with head-node
 // prefetching.
 func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
+	c.log.BeginOp(obs.OpRange, lo, -1)
 	st, err := c.tree.Scan(c.env, lo, hi, emit)
 	c.record(st)
+	c.log.EndOp(err)
 	return err
 }
 
@@ -117,16 +133,20 @@ func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
 // pages with RDMA_ALLOC + WRITE and propagate separators with the same
 // one-sided protocol).
 func (c *Client) Insert(key, value uint64) error {
+	c.log.BeginOp(obs.OpInsert, key, -1)
 	st, err := c.tree.Insert(c.env, key, value)
 	c.record(st)
+	c.log.EndOp(err)
 	return err
 }
 
 // Delete implements core.Index: the delete bit is set through the one-sided
 // write protocol; physical removal is the global garbage collector's job.
 func (c *Client) Delete(key, value uint64) (bool, error) {
+	c.log.BeginOp(obs.OpDelete, key, -1)
 	ok, st, err := c.tree.Delete(c.env, key, value)
 	c.record(st)
+	c.log.EndOp(err)
 	return ok, err
 }
 

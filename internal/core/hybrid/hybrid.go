@@ -20,6 +20,7 @@ import (
 	"github.com/namdb/rdmatree/internal/core"
 	"github.com/namdb/rdmatree/internal/layout"
 	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/telemetry"
@@ -299,6 +300,7 @@ type Client struct {
 	// spreads split pages round-robin (leaves stay fine-grained).
 	leaf *btree.Tree
 	rec  *telemetry.Recorder
+	log  *obs.Log
 }
 
 var _ core.Index = (*Client)(nil)
@@ -317,6 +319,16 @@ func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart int) *C
 // counters into rec. The server-side traversal counters are recorded by the
 // handler through Options.Telemetry.
 func (c *Client) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
+
+// SetOpLog threads the per-operation span tracer through the client: op
+// boundaries carry the partition owning the key's inner levels, traverse and
+// install RPCs record their destination and outcome, and the one-sided leaf
+// engine's memory accesses are decorated into the flight recorder. A nil log
+// disables tracing.
+func (c *Client) SetOpLog(log *obs.Log) {
+	c.log = log
+	c.leaf.M = obs.WrapMem(c.leaf.M, log)
+}
 
 // InvalidateRoot implements core.RootInvalidator. The hybrid client caches
 // no descent state itself (every operation starts from a traversal RPC), but
@@ -338,13 +350,15 @@ func (c *Client) record(st btree.Stats) {
 func (c *Client) call(server int, req *nam.Request) (*nam.Response, error) {
 	raw, err := c.ep.Call(server, req.Encode())
 	if err != nil {
+		c.log.RPCEvent(server, req.Op, err)
 		return nil, err
 	}
 	resp, err := nam.DecodeResponse(raw)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		err = resp.AsError()
 	}
-	if err := resp.AsError(); err != nil {
+	c.log.RPCEvent(server, req.Op, err)
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -364,6 +378,13 @@ func (c *Client) traverse(server int, key uint64) (rdma.RemotePtr, error) {
 
 // Lookup implements core.Index: RPC traversal + one-sided leaf read.
 func (c *Client) Lookup(key uint64) ([]uint64, error) {
+	c.log.BeginOp(obs.OpLookup, key, c.part.Server(key))
+	vals, err := c.doLookup(key)
+	c.log.EndOp(err)
+	return vals, err
+}
+
+func (c *Client) doLookup(key uint64) ([]uint64, error) {
 	leaf, err := c.traverse(c.part.Server(key), key)
 	if err != nil {
 		return nil, err
@@ -376,6 +397,13 @@ func (c *Client) Lookup(key uint64) ([]uint64, error) {
 // Range implements core.Index: per intersecting partition, RPC traversal to
 // the start leaf, then a one-sided leaf-level scan with head-node prefetch.
 func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
+	c.log.BeginOp(obs.OpRange, lo, -1)
+	err := c.doRange(lo, hi, emit)
+	c.log.EndOp(err)
+	return err
+}
+
+func (c *Client) doRange(lo, hi uint64, emit func(k, v uint64) bool) error {
 	stopped := false
 	wrapped := func(k, v uint64) bool {
 		if !emit(k, v) {
@@ -404,6 +432,13 @@ func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
 // Insert implements core.Index: RPC traversal, one-sided leaf insert/split,
 // and — on split — a second RPC installing the separator upstairs.
 func (c *Client) Insert(key, value uint64) error {
+	c.log.BeginOp(obs.OpInsert, key, c.part.Server(key))
+	err := c.doInsert(key, value)
+	c.log.EndOp(err)
+	return err
+}
+
+func (c *Client) doInsert(key, value uint64) error {
 	srv := c.part.Server(key)
 	leaf, err := c.traverse(srv, key)
 	if err != nil {
@@ -423,6 +458,13 @@ func (c *Client) Insert(key, value uint64) error {
 
 // Delete implements core.Index.
 func (c *Client) Delete(key, value uint64) (bool, error) {
+	c.log.BeginOp(obs.OpDelete, key, c.part.Server(key))
+	ok, err := c.doDelete(key, value)
+	c.log.EndOp(err)
+	return ok, err
+}
+
+func (c *Client) doDelete(key, value uint64) (bool, error) {
 	leaf, err := c.traverse(c.part.Server(key), key)
 	if err != nil {
 		return false, err

@@ -21,6 +21,16 @@ type RecoveryCounters interface {
 	CountOpRecovery()
 }
 
+// RecoveryEvents receives per-fence recovery events — the flight recorder's
+// view of the recovery loop, complementing the aggregate RecoveryCounters.
+// obs.Log implements it. A RecoveryEvents belongs to the same single client
+// goroutine as the Recovered wrapper holding it.
+type RecoveryEvents interface {
+	// EpochFence records one epoch fence: the cached root was invalidated
+	// and the operation re-traverses.
+	EpochFence()
+}
+
 // Recovered wraps an index client with operation-level fault recovery: when
 // an operation fails with a transient verb error that survived the verb
 // layer's bounded retries (or with btree.ErrSpinBudget from a starved page
@@ -54,6 +64,7 @@ type Recovered struct {
 	// included).
 	MaxOpAttempts int
 	counters      RecoveryCounters
+	events        RecoveryEvents
 }
 
 var _ Index = (*Recovered)(nil)
@@ -68,6 +79,13 @@ func Recover(idx Index, maxOpAttempts int, counters RecoveryCounters) *Recovered
 
 // Unwrap returns the wrapped client (invariant checks, stats).
 func (r *Recovered) Unwrap() Index { return r.idx }
+
+// WithEvents installs ev as the per-fence event hook and returns r (chains
+// after Recover). ev may be nil.
+func (r *Recovered) WithEvents(ev RecoveryEvents) *Recovered {
+	r.events = ev
+	return r
+}
 
 // recoverable reports whether a new epoch and a re-traversal can be expected
 // to clear err.
@@ -86,6 +104,9 @@ func (r *Recovered) fence() {
 	}
 	if r.counters != nil {
 		r.counters.CountOpRecovery()
+	}
+	if r.events != nil {
+		r.events.EpochFence()
 	}
 }
 

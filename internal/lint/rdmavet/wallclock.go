@@ -23,6 +23,10 @@ var DefaultWallclockScope = Scope{
 		"internal/stats",
 		"internal/sim",
 		"internal/rdma",
+		// The flight recorder runs inside traced clients under virtual time;
+		// its one wall clock (obs.Wall, for real transports) carries an
+		// explicit //rdmavet:allow suppression.
+		"internal/obs",
 	},
 	Allow: []string{
 		"internal/rdma/tcpnet",

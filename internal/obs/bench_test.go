@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+)
+
+// The flight recorder is always on: its record path must not allocate in
+// steady state, or every traced verb pays a GC tax. These tests gate that
+// the way the btree micro-benchmarks gate the read path.
+
+func TestRecordPathZeroAllocs(t *testing.T) {
+	l := NewLog(0, &TickClock{})
+	l.Metrics = NewMetrics("fine", 0)
+	ptr := uint64(rdma.MakePtr(1, 0x640))
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.BeginOp(OpInsert, 42, -1)
+		l.BeginOp(OpInsert, 42, 1) // nested (design client under recovery)
+		l.Event(EvRead, ptr, outOK)
+		l.Event(EvCAS, ptr, outOK)
+		l.RetryEvent(1, 2048)
+		l.ReconnectEvent(1, true)
+		l.EpochFence()
+		l.CacheHitEvent(ptr)
+		l.RPCEvent(1, 2, nil)
+		l.EndOp(nil)
+		l.EndOp(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestRecordPathZeroAllocsAfterWrap(t *testing.T) {
+	// Ring wrap-around must not change the allocation profile.
+	l := NewLog(64, &TickClock{})
+	for i := 0; i < 1000; i++ {
+		l.Event(EvRead, 0, 0)
+	}
+	allocs := testing.AllocsPerRun(1000, func() { l.Event(EvRead, 0, 0) })
+	if allocs != 0 {
+		t.Fatalf("wrapped ring allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkRecordEvent(b *testing.B) {
+	l := NewLog(0, &TickClock{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Event(EvRead, uint64(i), outOK)
+	}
+}
+
+func BenchmarkRecordOpSpan(b *testing.B) {
+	l := NewLog(0, &TickClock{})
+	l.Metrics = NewMetrics("fine", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.BeginOp(OpLookup, uint64(i), -1)
+		l.Event(EvRead, 0, outOK)
+		l.EndOp(nil)
+	}
+}
+
+// BenchmarkTracedLookup measures the recorder's overhead on the real read
+// path: a fine-grained tree on the direct transport with the Mem decorator
+// and an op span around every lookup. Compare against the btree package's
+// BenchmarkLookup for the untraced baseline; the delta should be a few ns
+// and zero additional allocations.
+func BenchmarkTracedLookup(b *testing.B) {
+	const n = 100000
+	f := direct.New(4, 256<<20, nam.SuperblockBytes)
+	l := layout.New(512)
+	tr := btree.New(l, &btree.EndpointMem{Ep: f.Endpoint(), Place: btree.RoundRobin(4, 0)}, rdma.MakePtr(0, 0))
+	if _, err := tr.Build(rdma.NopEnv{}, btree.BuildConfig{}, n,
+		func(i int) (uint64, uint64) { return uint64(i), uint64(i) }); err != nil {
+		b.Fatal(err)
+	}
+	log := NewLog(0, &TickClock{})
+	tr.M = WrapMem(tr.M, log)
+	env := rdma.NopEnv{}
+	if _, _, err := tr.Lookup(env, 1); err != nil { // warm the root pointer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i*2654435761) % n
+		log.BeginOp(OpLookup, k, -1)
+		vals, _, err := tr.Lookup(env, k)
+		log.EndOp(err)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) != 1 {
+			b.Fatalf("Lookup(%d) = %v", k, vals)
+		}
+	}
+}

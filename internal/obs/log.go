@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultRingEvents is the flight-recorder capacity unless overridden: enough
+// for the last handful of operations even under heavy retry storms, small
+// enough (32 B/event) to keep per client always-on.
+const DefaultRingEvents = 1024
+
+// DefaultMaxDumps bounds how many rendered dumps one Log retains; further
+// triggers only count. Dump rendering is the exceptional path — the bound
+// keeps a pathological run (every op breaching its SLO) from ballooning.
+const DefaultMaxDumps = 4
+
+// Dump is one rendered flight-recorder dump.
+type Dump struct {
+	// Client is the owning client's ID (-1 for harness-level logs).
+	Client int
+	// Reason is the trigger: "server-lost", "slo-breach", "chaos-failure", ...
+	Reason string
+	// Text is the rendered trace (see Render).
+	Text string
+}
+
+// Log is one client's op context and flight recorder: a fixed-size ring of
+// encoded events that every instrumentation seam of the client stack records
+// into. It belongs to a single client goroutine, like the endpoint and the
+// index client it observes; dumps are read after the goroutine quiesces.
+//
+// All methods are nil-receiver-safe, so call sites thread a possibly-nil
+// *Log unconditionally; a nil Log disables recording. The record path
+// (BeginOp/Event/EndOp and every hook method) allocates nothing in steady
+// state — only a triggered dump renders text.
+type Log struct {
+	// Clock supplies timestamps; NewLog requires it (Wall, *sim.Proc, or a
+	// TickClock for deterministic harnesses).
+	Clock Clock
+	// ClientID labels dumps (-1 for harness-level logs).
+	ClientID int
+	// SLONS, when > 0, is the per-op latency SLO in Clock units; an op
+	// exceeding it triggers a dump with reason "slo-breach".
+	SLONS int64
+	// Metrics, when non-nil, receives each completed top-level op's kind,
+	// partition, and duration.
+	Metrics *Metrics
+	// MaxDumps bounds retained dumps (0 means DefaultMaxDumps).
+	MaxDumps int
+
+	ring []Event
+	mask uint64
+	head uint64 // total events recorded; ring index = head & mask
+
+	// Current top-level op context.
+	depth   int
+	opKind  OpKind
+	opKey   uint64
+	opPart  int
+	opStart int64
+	fences  uint64
+
+	dumps        []Dump
+	dumpsDropped int
+}
+
+// NewLog creates a flight recorder with the given ring capacity (rounded up
+// to a power of two; 0 means DefaultRingEvents).
+func NewLog(events int, clock Clock) *Log {
+	if events <= 0 {
+		events = DefaultRingEvents
+	}
+	size := 1
+	for size < events {
+		size <<= 1
+	}
+	return &Log{Clock: clock, ring: make([]Event, size), mask: uint64(size - 1), opPart: -1}
+}
+
+// Event records one raw event. Zero-alloc; the oldest entry is overwritten
+// once the ring is full.
+func (l *Log) Event(k EventKind, a, b uint64) {
+	if l == nil {
+		return
+	}
+	e := &l.ring[l.head&l.mask]
+	e.T = l.Clock.Now()
+	e.Kind = k
+	e.A = a
+	e.B = b
+	l.head++
+}
+
+// BeginOp opens a client-visible operation. Nested calls (the design client
+// under the recovery wrapper, or recovery's own presence check) record an
+// EvNested marker instead of opening a new span, so one logical operation —
+// including its epoch-fenced re-runs — forms a single trace. part is the
+// partition owner serving the op, or -1 when the design has none (fine
+// spreads pages round-robin); a nested call may fill in a partition the
+// outer caller did not know.
+func (l *Log) BeginOp(kind OpKind, key uint64, part int) {
+	if l == nil {
+		return
+	}
+	l.depth++
+	if l.depth > 1 {
+		if l.opPart < 0 && part >= 0 {
+			l.opPart = part
+		}
+		l.Event(EvNested, key, uint64(kind))
+		return
+	}
+	l.opKind, l.opKey, l.opPart = kind, key, part
+	l.fences = 0
+	l.Event(EvOpStart, key, uint64(kind)|uint64(part+1)<<8)
+	l.opStart = l.ring[(l.head-1)&l.mask].T
+}
+
+// EndOp closes the operation opened by the matching BeginOp. At the top
+// level it records the outcome and duration, feeds Metrics, and triggers a
+// dump when the op surfaced rdma.ErrServerLost or breached the latency SLO.
+func (l *Log) EndOp(err error) {
+	if l == nil {
+		return
+	}
+	if l.depth > 1 {
+		l.depth--
+		return
+	}
+	l.depth = 0
+	code := errCode(err)
+	l.Event(EvOpEnd, code, 0)
+	dur := l.ring[(l.head-1)&l.mask].T - l.opStart
+	l.ring[(l.head-1)&l.mask].B = uint64(dur)
+	if l.Metrics != nil {
+		l.Metrics.RecordOp(l.opKind, l.opPart, dur)
+	}
+	if l.SLONS > 0 && dur > l.SLONS {
+		l.Event(EvSLO, uint64(dur), 0)
+		l.trigger("slo-breach")
+	}
+	if code == ecServerLost {
+		l.trigger("server-lost")
+	}
+}
+
+// Hook methods: each satisfies one producer-side consumer interface
+// (retry.Events, core.RecoveryEvents, cache.Events), keeping every
+// dependency pointing from the protocol packages to nothing.
+
+// RPCEvent records one two-sided call (the coarse ops, hybrid's traverse and
+// install) with its destination server, request op code, and outcome.
+func (l *Log) RPCEvent(server int, op byte, err error) {
+	if l == nil {
+		return
+	}
+	l.Event(EvRPC, uint64(server), uint64(op)|errCode(err)<<8)
+}
+
+// RetryEvent implements retry.Events.
+func (l *Log) RetryEvent(server int, backoffNS int64) {
+	l.Event(EvRetry, uint64(server), uint64(backoffNS))
+}
+
+// ReconnectEvent implements retry.Events.
+func (l *Log) ReconnectEvent(server int, ok bool) {
+	b := uint64(1)
+	if ok {
+		b = 0
+	}
+	l.Event(EvReconnect, uint64(server), b)
+}
+
+// EpochFence implements core.RecoveryEvents: the recovery layer opened a new
+// epoch and re-traverses from the root.
+func (l *Log) EpochFence() {
+	if l == nil {
+		return
+	}
+	l.fences++
+	l.Event(EvFence, l.fences, 0)
+}
+
+// CacheHitEvent implements cache.Events.
+func (l *Log) CacheHitEvent(ptr uint64) { l.Event(EvCacheHit, ptr, 0) }
+
+// CacheMissEvent implements cache.Events.
+func (l *Log) CacheMissEvent(ptr uint64) { l.Event(EvCacheMiss, ptr, 0) }
+
+// CacheStaleEvent implements cache.Events.
+func (l *Log) CacheStaleEvent(ptr uint64) { l.Event(EvCacheStale, ptr, 0) }
+
+// SweepEvent records a post-run lock sweep that cleared n abandoned locks.
+func (l *Log) SweepEvent(n int) { l.Event(EvSweep, uint64(n), 0) }
+
+// trigger renders and retains a dump, bounded by MaxDumps.
+func (l *Log) trigger(reason string) {
+	max := l.MaxDumps
+	if max == 0 {
+		max = DefaultMaxDumps
+	}
+	if len(l.dumps) >= max {
+		l.dumpsDropped++
+		return
+	}
+	l.dumps = append(l.dumps, Dump{Client: l.ClientID, Reason: reason, Text: l.Render(0)})
+}
+
+// ForceDump renders the current ring under the given reason and retains it —
+// the chaos harness calls this on every client when a scenario's post-run
+// invariants fail.
+func (l *Log) ForceDump(reason string) {
+	if l == nil {
+		return
+	}
+	l.trigger(reason)
+}
+
+// Dumps returns the dumps triggered so far and how many further triggers
+// were dropped past MaxDumps.
+func (l *Log) Dumps() ([]Dump, int) {
+	if l == nil {
+		return nil, 0
+	}
+	return l.dumps, l.dumpsDropped
+}
+
+// Events returns the number of events recorded (including overwritten ones).
+func (l *Log) Events() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.head
+}
+
+// Render renders the ring's surviving events as text: the last maxOps
+// complete op traces (0 means all that survive in the ring), with every
+// event on one line in causal order. The format is deterministic — with a
+// TickClock and seeded fault schedules, two runs render byte-identical
+// dumps.
+func (l *Log) Render(maxOps int) string {
+	if l == nil {
+		return ""
+	}
+	lo := uint64(0)
+	if l.head > uint64(len(l.ring)) {
+		lo = l.head - uint64(len(l.ring))
+	}
+	// Limit to the last maxOps op spans: advance lo to the Nth-from-last
+	// EvOpStart (events before it have scrolled out of interest).
+	if maxOps > 0 {
+		starts := 0
+		for i := l.head; i > lo; i-- {
+			if l.ring[(i-1)&l.mask].Kind == EvOpStart {
+				starts++
+				if starts == maxOps {
+					lo = i - 1
+					break
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder client=%d events=%d window=%d\n", l.ClientID, l.head, l.head-lo)
+	for i := lo; i < l.head; i++ {
+		renderEvent(&b, &l.ring[i&l.mask])
+	}
+	return b.String()
+}
+
+// renderEvent renders one event line. Indentation separates op boundaries
+// from the protocol events inside them.
+func renderEvent(b *strings.Builder, e *Event) {
+	switch e.Kind {
+	case EvOpStart:
+		kind := OpKind(e.B & 0xff)
+		part := int(e.B>>8) - 1
+		if part >= 0 {
+			fmt.Fprintf(b, "[t=%d] op %s key=%d part=%d\n", e.T, kind, e.A, part)
+		} else {
+			fmt.Fprintf(b, "[t=%d] op %s key=%d\n", e.T, kind, e.A)
+		}
+	case EvOpEnd:
+		fmt.Fprintf(b, "[t=%d] op-end err=%s dur=%d\n", e.T, errName(e.A), e.B)
+	case EvNested:
+		fmt.Fprintf(b, "  [t=%d] nested %s key=%d\n", e.T, OpKind(e.B), e.A)
+	case EvRead, EvWordRead:
+		fmt.Fprintf(b, "  [t=%d] %s %s %s\n", e.T, e.Kind, ptrName(e.A), outName(e.B))
+	case EvWrite:
+		fmt.Fprintf(b, "  [t=%d] write %s words=%d\n", e.T, ptrName(e.A), e.B)
+	case EvCAS, EvUnlock:
+		fmt.Fprintf(b, "  [t=%d] %s %s %s\n", e.T, e.Kind, ptrName(e.A), outName(e.B))
+	case EvAlloc, EvFree:
+		fmt.Fprintf(b, "  [t=%d] %s %s\n", e.T, e.Kind, ptrName(e.A))
+	case EvPrefetch:
+		fmt.Fprintf(b, "  [t=%d] prefetch pages=%d\n", e.T, e.A)
+	case EvCacheHit, EvCacheMiss, EvCacheStale:
+		fmt.Fprintf(b, "  [t=%d] %s %s\n", e.T, e.Kind, ptrName(e.A))
+	case EvRPC:
+		fmt.Fprintf(b, "  [t=%d] rpc s%d op=%d err=%s\n", e.T, e.A, e.B&0xff, errName(e.B>>8))
+	case EvRetry:
+		fmt.Fprintf(b, "  [t=%d] retry s%d backoff=%dns\n", e.T, e.A, e.B)
+	case EvReconnect:
+		verdict := "ok"
+		if e.B != 0 {
+			verdict = "failed"
+		}
+		fmt.Fprintf(b, "  [t=%d] reconnect s%d %s\n", e.T, e.A, verdict)
+	case EvFence:
+		fmt.Fprintf(b, "  [t=%d] epoch-fence n=%d\n", e.T, e.A)
+	case EvSweep:
+		fmt.Fprintf(b, "[t=%d] lock-sweep cleared=%d\n", e.T, e.A)
+	case EvSLO:
+		fmt.Fprintf(b, "[t=%d] slo-breach dur=%d\n", e.T, e.A)
+	case EvNone:
+		// Unwritten slot (ring not yet full); skip.
+	default:
+		fmt.Fprintf(b, "  [t=%d] %s a=%d b=%d\n", e.T, e.Kind, e.A, e.B)
+	}
+}
+
+func errName(code uint64) string {
+	if int(code) < len(errNames) {
+		return errNames[code]
+	}
+	return "error"
+}
+
+func outName(code uint64) string {
+	if int(code) < len(outcomeNames) {
+		return outcomeNames[code]
+	}
+	return "out?"
+}
+
+// ptrName renders a remote pointer as server+offset ("s2+0x1a40").
+func ptrName(raw uint64) string {
+	// rdma.RemotePtr packs server in the top byte; render through the real
+	// accessors so the format tracks the pointer layout.
+	p := ptrOf(raw)
+	return fmt.Sprintf("s%d+0x%x", p.Server(), p.Offset())
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/namdb/rdmatree/internal/stats"
+)
+
+// Metrics aggregates per-op-type latency histograms for one index design:
+// one histogram per op kind over all ops, plus one per (partition, op kind)
+// when the design partitions keys (coarse and hybrid; the fine design
+// spreads pages round-robin and reports only the aggregate). Histograms are
+// atomic, so any number of client Logs may share one Metrics.
+type Metrics struct {
+	// Design labels the exported series ("coarse", "fine", "hybrid").
+	Design string
+
+	all  [NumOpKinds]stats.Histogram
+	part []*[NumOpKinds]stats.Histogram
+}
+
+// NewMetrics creates a Metrics for a design with the given partition count
+// (0 for unpartitioned designs).
+func NewMetrics(design string, partitions int) *Metrics {
+	m := &Metrics{Design: design}
+	for i := 0; i < partitions; i++ {
+		m.part = append(m.part, &[NumOpKinds]stats.Histogram{})
+	}
+	return m
+}
+
+// RecordOp records one completed op's duration (in clock units) under its
+// kind and owning partition (-1 for none).
+func (m *Metrics) RecordOp(kind OpKind, part int, dur int64) {
+	if m == nil || kind >= NumOpKinds {
+		return
+	}
+	m.all[kind].Record(dur)
+	if part >= 0 && part < len(m.part) {
+		m.part[part][kind].Record(dur)
+	}
+}
+
+// Hist returns the aggregate histogram for one op kind.
+func (m *Metrics) Hist(kind OpKind) *stats.Histogram { return &m.all[kind] }
+
+// PartHist returns the histogram for one (partition, op kind) pair, or nil.
+func (m *Metrics) PartHist(part int, kind OpKind) *stats.Histogram {
+	if part < 0 || part >= len(m.part) {
+		return nil
+	}
+	return &m.part[part][kind]
+}
+
+// Partitions returns the partition count m was created with.
+func (m *Metrics) Partitions() int { return len(m.part) }
+
+// MetricsSet is a process-wide registry of per-design Metrics, the source
+// the OpenMetrics exporter renders from. Get is cheap enough for setup paths
+// but not for the record path — clients hold the *Metrics directly.
+type MetricsSet struct {
+	mu sync.Mutex
+	m  map[string]*Metrics
+}
+
+// Get returns the Metrics registered for design, creating it (with the given
+// partition count) on first use. An existing entry's partition count wins.
+func (s *MetricsSet) Get(design string, partitions int) *Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*Metrics)
+	}
+	if m, ok := s.m[design]; ok {
+		return m
+	}
+	m := NewMetrics(design, partitions)
+	s.m[design] = m
+	return m
+}
+
+// All returns the registered Metrics sorted by design name, for stable
+// export order.
+func (s *MetricsSet) All() []*Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Metrics, 0, len(s.m))
+	for _, m := range s.m {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Design < out[j].Design })
+	return out
+}

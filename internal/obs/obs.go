@@ -1,0 +1,217 @@
+// Package obs is the per-operation observability layer of the index designs:
+// a span tracer that threads a lightweight op context through every client
+// operation, an always-on flight recorder (a fixed-size, zero-alloc ring of
+// encoded protocol events per client), and an OpenMetrics exporter unifying
+// the verb counters of internal/telemetry with per-op-type latency
+// histograms.
+//
+// The aggregate counters of internal/telemetry answer "how many" — this
+// package answers "what exactly did operation X do": the causal chain of
+// level reads, validation outcomes, lock CASes, verb retries with their
+// backoffs, QP reconnects, and epoch-fenced re-traversals inside one
+// traversal. When a chaos scenario fails, an operation surfaces
+// rdma.ErrServerLost, or an op breaches its latency SLO, the recorder dumps
+// the last complete op traces — making the failure replayable from the
+// artifact alone.
+//
+// Everything here follows the repository's decorator discipline: protocol
+// code is instrumented through the existing hook seams (btree.Mem,
+// retry.Policy.Events, core.RecoveryEvents, cache.Events), a nil *Log
+// disables recording with a nil-check, and the record path performs no
+// allocation in steady state (asserted by a benchmark-gated test).
+package obs
+
+import (
+	"errors"
+	"time"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Clock supplies event timestamps in nanoseconds (or abstract ticks). On the
+// simulated fabric this is a process's virtual clock (*sim.Proc satisfies
+// Clock directly); deterministic harnesses use a TickClock so recorded traces
+// are byte-stable across runs.
+type Clock interface {
+	Now() int64
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() int64 {
+	return time.Now().UnixNano() //rdmavet:allow wallclock -- the real-time clock source itself; virtual-time paths inject *sim.Proc or TickClock instead
+}
+
+// Wall is the real-time Clock for clients on the direct and tcpnet
+// transports.
+var Wall Clock = wallClock{}
+
+// TickClock is a deterministic logical clock: every Now advances by one tick.
+// Timestamps then encode causal order only, which is exactly what a
+// reproducible flight-recorder dump needs — two runs with the same seeds
+// produce byte-identical traces. A TickClock belongs to one client goroutine,
+// like the Log holding it.
+type TickClock struct {
+	t int64
+}
+
+// Now implements Clock.
+func (c *TickClock) Now() int64 {
+	c.t++
+	return c.t
+}
+
+// OpKind enumerates the client-visible index operations.
+type OpKind uint8
+
+// Op kinds, one per core.Index method.
+const (
+	OpLookup OpKind = iota
+	OpRange
+	OpInsert
+	OpDelete
+	NumOpKinds
+)
+
+var opNames = [NumOpKinds]string{"lookup", "range", "insert", "delete"}
+
+// String returns the op kind's label ("lookup", "insert", ...).
+func (k OpKind) String() string {
+	if k >= NumOpKinds {
+		return "op?"
+	}
+	return opNames[k]
+}
+
+// EventKind enumerates the structured events an op context records.
+type EventKind uint8
+
+// Event kinds. The A/B payload words are interpreted per kind; see the
+// renderer in log.go for the encoding of each.
+const (
+	// EvNone marks an empty ring slot.
+	EvNone EventKind = iota
+	// EvOpStart opens a client-visible operation: A = key,
+	// B = kind | (partition+1)<<8.
+	EvOpStart
+	// EvOpEnd closes it: A = error code, B = duration in clock units.
+	EvOpEnd
+	// EvNested marks an operation issued inside another one (the epoch-fenced
+	// presence check of insert recovery): A = key, B = kind.
+	EvNested
+	// EvRead is one page read — a level read of the descent: A = remote
+	// pointer, B = outcome (see the out* codes).
+	EvRead
+	// EvWordRead is an 8-byte word read (root-pointer refresh): A = pointer,
+	// B = outcome.
+	EvWordRead
+	// EvWrite is a page or in-page write: A = pointer, B = word count.
+	EvWrite
+	// EvCAS is a lock-word compare-and-swap: A = pointer, B = outcome
+	// (casWon/casLost/outErr).
+	EvCAS
+	// EvUnlock is the unlock-and-bump fetch-add: A = pointer, B = outcome.
+	EvUnlock
+	// EvAlloc is a split's page allocation: A = new pointer.
+	EvAlloc
+	// EvFree is a page free: A = pointer.
+	EvFree
+	// EvPrefetch is one head-node prefetch batch: A = page count.
+	EvPrefetch
+	// EvCacheHit is a cache hit serving a level read: A = pointer.
+	EvCacheHit
+	// EvCacheMiss is a cache miss: A = pointer.
+	EvCacheMiss
+	// EvCacheStale is a revalidation failure dropping a cached copy: A =
+	// pointer.
+	EvCacheStale
+	// EvRPC is a two-sided call (coarse op, hybrid traverse/install): A =
+	// server, B = request op code | error code<<8.
+	EvRPC
+	// EvRetry is one verb re-attempt after a transient failure: A = server,
+	// B = backoff in nanoseconds.
+	EvRetry
+	// EvReconnect is a QP re-establishment attempt: A = server, B = 0 ok /
+	// 1 failed.
+	EvReconnect
+	// EvFence is an epoch fence: the recovery layer invalidated the cached
+	// root and re-traverses. A = fence count within this op.
+	EvFence
+	// EvSweep is a post-run lock sweep: A = locks cleared.
+	EvSweep
+	// EvSLO marks an op that breached the latency SLO: A = duration.
+	EvSLO
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	"none", "op-start", "op-end", "nested-op", "read", "word-read", "write",
+	"cas", "unlock", "alloc", "free", "prefetch", "cache-hit", "cache-miss",
+	"cache-stale", "rpc", "retry", "reconnect", "epoch-fence", "lock-sweep",
+	"slo-breach",
+}
+
+// String returns the event kind's label.
+func (k EventKind) String() string {
+	if k >= numEventKinds {
+		return "ev?"
+	}
+	return eventNames[k]
+}
+
+// Read / CAS outcome codes (the B word of EvRead, EvWordRead, EvCAS,
+// EvUnlock).
+const (
+	outOK     = 0 // consistent read / CAS won the lock
+	outLocked = 1 // validation saw the lock bit set
+	outTorn   = 2 // version changed across the transfer
+	outErr    = 3 // the verb itself failed
+	casLost   = 4 // CAS lost the race (prev != old)
+)
+
+var outcomeNames = [...]string{"ok", "locked", "torn", "err", "lost"}
+
+// Error codes (the A word of EvOpEnd, and the high byte of EvRPC's B word).
+const (
+	ecNone = iota
+	ecTimeout
+	ecQPError
+	ecServerDown
+	ecServerLost
+	ecSpinBudget
+	ecOther
+)
+
+var errNames = [...]string{"ok", "timeout", "qp-error", "server-down", "server-lost", "spin-budget", "error"}
+
+// errCode classifies err into a compact code for in-ring encoding. It
+// allocates nothing.
+func errCode(err error) uint64 {
+	switch {
+	case err == nil:
+		return ecNone
+	case errors.Is(err, rdma.ErrServerLost):
+		return ecServerLost
+	case errors.Is(err, rdma.ErrTimeout):
+		return ecTimeout
+	case errors.Is(err, rdma.ErrQPError):
+		return ecQPError
+	case errors.Is(err, rdma.ErrServerDown):
+		return ecServerDown
+	case errors.Is(err, btree.ErrSpinBudget):
+		return ecSpinBudget
+	default:
+		return ecOther
+	}
+}
+
+// Event is one encoded flight-recorder entry: a timestamp, a kind, and two
+// payload words interpreted per kind. The fixed-size value encoding is what
+// keeps the record path allocation-free — the ring holds events by value and
+// rendering to text happens only on a dump trigger.
+type Event struct {
+	T    int64
+	A, B uint64
+	Kind EventKind
+}

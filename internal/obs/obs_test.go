@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+func TestRingCapacityAndOverwrite(t *testing.T) {
+	l := NewLog(100, &TickClock{}) // rounds up to 128
+	for i := 0; i < 300; i++ {
+		l.Event(EvRead, uint64(i), 0)
+	}
+	if got := l.Events(); got != 300 {
+		t.Fatalf("Events() = %d, want 300 (overwritten events still counted)", got)
+	}
+	text := l.Render(0)
+	if want := "window=128"; !strings.Contains(text, want) {
+		t.Fatalf("Render header missing %q:\n%s", want, text)
+	}
+	// 300 events carry ticks 1..300; only the newest 128 (t=173..300) survive.
+	if !strings.Contains(text, "[t=173]") {
+		t.Fatalf("oldest surviving event missing:\n%s", text)
+	}
+	if strings.Contains(text, "[t=172]") {
+		t.Fatalf("overwritten event still rendered:\n%s", text)
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.BeginOp(OpLookup, 1, -1)
+	l.Event(EvRead, 0, 0)
+	l.RPCEvent(0, 1, nil)
+	l.RetryEvent(0, 10)
+	l.ReconnectEvent(0, true)
+	l.EpochFence()
+	l.CacheHitEvent(0)
+	l.CacheMissEvent(0)
+	l.CacheStaleEvent(0)
+	l.SweepEvent(1)
+	l.EndOp(nil)
+	l.ForceDump("x")
+	if d, dropped := l.Dumps(); d != nil || dropped != 0 {
+		t.Fatalf("nil log Dumps() = %v, %d", d, dropped)
+	}
+	if l.Events() != 0 {
+		t.Fatalf("nil log recorded events")
+	}
+	if l.Render(0) != "" {
+		t.Fatalf("nil log rendered text")
+	}
+}
+
+func TestNestedSpansFormOneTrace(t *testing.T) {
+	l := NewLog(0, &TickClock{})
+	l.BeginOp(OpInsert, 7, -1) // harness-owned span
+	l.BeginOp(OpInsert, 7, 2)  // design client nests, fills the partition
+	l.Event(EvRead, 0, outOK)
+	l.EndOp(nil)
+	l.BeginOp(OpLookup, 7, -1) // recovery's presence check nests too
+	l.EndOp(nil)
+	l.EndOp(nil)
+
+	text := l.Render(0)
+	if got := strings.Count(text, "op insert"); got != 1 {
+		t.Fatalf("want exactly one top-level op span, got %d:\n%s", got, text)
+	}
+	if got := strings.Count(text, "nested"); got != 2 {
+		t.Fatalf("want two nested markers, got %d:\n%s", got, text)
+	}
+	if got := strings.Count(text, "op-end"); got != 1 {
+		t.Fatalf("want one op-end, got %d:\n%s", got, text)
+	}
+}
+
+func TestNestedPartitionFeedsMetrics(t *testing.T) {
+	m := NewMetrics("hybrid", 4)
+	l := NewLog(0, &TickClock{})
+	l.Metrics = m
+	l.BeginOp(OpInsert, 7, -1) // harness does not know the partition
+	l.BeginOp(OpInsert, 7, 2)  // the design client does
+	l.EndOp(nil)
+	l.EndOp(nil)
+	if got := m.PartHist(2, OpInsert).Count(); got != 1 {
+		t.Fatalf("partition 2 insert count = %d, want 1", got)
+	}
+	if got := m.Hist(OpInsert).Count(); got != 1 {
+		t.Fatalf("aggregate insert count = %d, want 1", got)
+	}
+}
+
+func TestServerLostTriggersDump(t *testing.T) {
+	l := NewLog(0, &TickClock{})
+	l.ClientID = 3
+	l.BeginOp(OpLookup, 42, -1)
+	l.Event(EvRead, uint64(rdma.MakePtr(2, 0x40)), outErr)
+	l.EndOp(rdma.ErrServerLost)
+	dumps, dropped := l.Dumps()
+	if len(dumps) != 1 || dropped != 0 {
+		t.Fatalf("dumps = %d dropped = %d, want 1/0", len(dumps), dropped)
+	}
+	d := dumps[0]
+	if d.Client != 3 || d.Reason != "server-lost" {
+		t.Fatalf("dump = client %d reason %q", d.Client, d.Reason)
+	}
+	for _, want := range []string{"op lookup key=42", "read s2+0x40 err", "op-end err=server-lost"} {
+		if !strings.Contains(d.Text, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d.Text)
+		}
+	}
+}
+
+func TestSLOBreachTriggersDump(t *testing.T) {
+	l := NewLog(0, &TickClock{})
+	l.SLONS = 3
+	l.BeginOp(OpRange, 1, -1)
+	for i := 0; i < 10; i++ {
+		l.Event(EvRead, 0, outOK)
+	}
+	l.EndOp(nil)
+	dumps, _ := l.Dumps()
+	if len(dumps) != 1 || dumps[0].Reason != "slo-breach" {
+		t.Fatalf("dumps = %+v, want one slo-breach", dumps)
+	}
+	if !strings.Contains(dumps[0].Text, "slo-breach dur=11") {
+		t.Fatalf("dump missing breach marker:\n%s", dumps[0].Text)
+	}
+	// A fast op must not trigger.
+	l2 := NewLog(0, &TickClock{})
+	l2.SLONS = 100
+	l2.BeginOp(OpLookup, 1, -1)
+	l2.EndOp(nil)
+	if d, _ := l2.Dumps(); len(d) != 0 {
+		t.Fatalf("fast op triggered a dump")
+	}
+}
+
+func TestDumpBoundAndDropCount(t *testing.T) {
+	l := NewLog(0, &TickClock{})
+	l.MaxDumps = 2
+	for i := 0; i < 5; i++ {
+		l.ForceDump("x")
+	}
+	dumps, dropped := l.Dumps()
+	if len(dumps) != 2 || dropped != 3 {
+		t.Fatalf("dumps = %d dropped = %d, want 2/3", len(dumps), dropped)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	run := func() string {
+		l := NewLog(0, &TickClock{})
+		l.BeginOp(OpInsert, 9, 1)
+		l.Event(EvRead, uint64(rdma.MakePtr(1, 0x640)), outOK)
+		l.Event(EvCAS, uint64(rdma.MakePtr(1, 0x640)), casLost)
+		l.RetryEvent(1, 1234)
+		l.EpochFence()
+		l.RPCEvent(1, 2, nil)
+		l.ReconnectEvent(1, false)
+		l.EndOp(nil)
+		return l.Render(0)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs rendered differently:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{
+		"op insert key=9 part=1",
+		"read s1+0x640 ok",
+		"cas s1+0x640 lost",
+		"retry s1 backoff=1234ns",
+		"epoch-fence n=1",
+		"rpc s1 op=2 err=ok",
+		"reconnect s1 failed",
+		"op-end err=ok",
+	} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("render missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestRenderMaxOpsWindow(t *testing.T) {
+	l := NewLog(0, &TickClock{})
+	for op := 0; op < 5; op++ {
+		l.BeginOp(OpLookup, uint64(op), -1)
+		l.Event(EvRead, 0, outOK)
+		l.EndOp(nil)
+	}
+	text := l.Render(2)
+	if got := strings.Count(text, "op lookup"); got != 2 {
+		t.Fatalf("Render(2) kept %d op spans, want 2:\n%s", got, text)
+	}
+	if !strings.Contains(text, "key=4") || !strings.Contains(text, "key=3") {
+		t.Fatalf("Render(2) missing the two newest ops:\n%s", text)
+	}
+}
+
+func TestEpochFenceCountsPerOp(t *testing.T) {
+	l := NewLog(0, &TickClock{})
+	l.BeginOp(OpInsert, 1, -1)
+	l.EpochFence()
+	l.EpochFence()
+	l.EndOp(nil)
+	l.BeginOp(OpInsert, 2, -1)
+	l.EpochFence()
+	l.EndOp(nil)
+	text := l.Render(0)
+	if !strings.Contains(text, "epoch-fence n=2") {
+		t.Fatalf("first op's second fence not numbered 2:\n%s", text)
+	}
+	// The counter resets per op: the second op's fence is n=1 again.
+	if got := strings.Count(text, "epoch-fence n=1"); got != 2 {
+		t.Fatalf("fence numbering not per-op (n=1 appears %d times):\n%s", got, text)
+	}
+}

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/namdb/rdmatree/internal/telemetry"
+)
+
+// ContentType is the OpenMetrics text media type served on /metrics.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders the unified metrics export as OpenMetrics text:
+// the per-verb counters and latency summaries of rec, its fault / retry /
+// recovery counters, and the per-op-type latency summaries of every design
+// in set (aggregate and per partition). Either source may be nil. The output
+// always ends with the required "# EOF" terminator.
+func WriteOpenMetrics(w io.Writer, rec *telemetry.Recorder, set *MetricsSet) error {
+	b := &strings.Builder{}
+	if rec != nil {
+		writeVerbMetrics(b, rec)
+		writeFaultMetrics(b, rec)
+	}
+	if set != nil {
+		writeOpMetrics(b, set)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeVerbMetrics(b *strings.Builder, rec *telemetry.Recorder) {
+	b.WriteString("# TYPE nam_verb_ops counter\n")
+	b.WriteString("# HELP nam_verb_ops Completed verbs by type.\n")
+	for v := telemetry.Verb(0); v < telemetry.NumVerbs; v++ {
+		fmt.Fprintf(b, "nam_verb_ops_total{verb=%q} %d\n", v.String(), rec.VerbOps(v))
+	}
+	b.WriteString("# TYPE nam_verb_bytes counter\n")
+	b.WriteString("# HELP nam_verb_bytes Payload bytes moved by verb type.\n")
+	for v := telemetry.Verb(0); v < telemetry.NumVerbs; v++ {
+		fmt.Fprintf(b, "nam_verb_bytes_total{verb=%q} %d\n", v.String(), rec.VerbBytes(v))
+	}
+	b.WriteString("# TYPE nam_verb_latency_ns summary\n")
+	b.WriteString("# HELP nam_verb_latency_ns Per-verb latency distribution in nanoseconds.\n")
+	for v := telemetry.Verb(0); v < telemetry.NumVerbs; v++ {
+		snap := rec.VerbLatency(v)
+		if snap.N == 0 {
+			continue
+		}
+		writeSummary(b, "nam_verb_latency_ns", fmt.Sprintf("verb=%q", v.String()),
+			snap.Percentile(50), snap.Percentile(99), snap.Percentile(99.9), snap.Sum, snap.N)
+	}
+}
+
+func writeFaultMetrics(b *strings.Builder, rec *telemetry.Recorder) {
+	b.WriteString("# TYPE nam_faults counter\n")
+	b.WriteString("# HELP nam_faults Injected faults observed, by kind.\n")
+	fmt.Fprintf(b, "nam_faults_total %d\n", rec.Faults())
+	b.WriteString("# TYPE nam_verb_retries counter\n")
+	b.WriteString("# HELP nam_verb_retries Verb re-attempts after transient failures.\n")
+	fmt.Fprintf(b, "nam_verb_retries_total %d\n", rec.Retries())
+	b.WriteString("# TYPE nam_qp_reconnects counter\n")
+	b.WriteString("# HELP nam_qp_reconnects Successful QP re-establishments.\n")
+	fmt.Fprintf(b, "nam_qp_reconnects_total %d\n", rec.Reconnects())
+	b.WriteString("# TYPE nam_op_recoveries counter\n")
+	b.WriteString("# HELP nam_op_recoveries Epoch-fenced operation re-traversals.\n")
+	fmt.Fprintf(b, "nam_op_recoveries_total %d\n", rec.OpRecoveries())
+}
+
+func writeOpMetrics(b *strings.Builder, set *MetricsSet) {
+	all := set.All()
+	if len(all) == 0 {
+		return
+	}
+	b.WriteString("# TYPE nam_op_latency summary\n")
+	b.WriteString("# HELP nam_op_latency Client-observed per-operation latency by design and op type (clock units).\n")
+	for _, m := range all {
+		for k := OpKind(0); k < NumOpKinds; k++ {
+			h := m.Hist(k)
+			if h.Count() == 0 {
+				continue
+			}
+			labels := fmt.Sprintf("design=%q,op=%q", m.Design, k.String())
+			writeSummary(b, "nam_op_latency", labels,
+				h.Percentile(50), h.Percentile(99), h.Percentile(99.9), h.Sum(), h.Count())
+		}
+	}
+	if !anyPartitioned(all) {
+		return
+	}
+	b.WriteString("# TYPE nam_op_partition_latency summary\n")
+	b.WriteString("# HELP nam_op_partition_latency Per-partition operation latency for partitioned designs (clock units).\n")
+	for _, m := range all {
+		for p := 0; p < m.Partitions(); p++ {
+			for k := OpKind(0); k < NumOpKinds; k++ {
+				h := m.PartHist(p, k)
+				if h.Count() == 0 {
+					continue
+				}
+				labels := fmt.Sprintf("design=%q,partition=%q,op=%q", m.Design, fmt.Sprint(p), k.String())
+				writeSummary(b, "nam_op_partition_latency", labels,
+					h.Percentile(50), h.Percentile(99), h.Percentile(99.9), h.Sum(), h.Count())
+			}
+		}
+	}
+}
+
+func anyPartitioned(ms []*Metrics) bool {
+	for _, m := range ms {
+		if m.Partitions() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// writeSummary emits one OpenMetrics summary series: the p50/p99/p999
+// quantiles plus the _sum and _count samples.
+func writeSummary(b *strings.Builder, family, labels string, p50, p99, p999, sum, count int64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	fmt.Fprintf(b, "%s{%s%squantile=\"0.5\"} %d\n", family, labels, sep, p50)
+	fmt.Fprintf(b, "%s{%s%squantile=\"0.99\"} %d\n", family, labels, sep, p99)
+	fmt.Fprintf(b, "%s{%s%squantile=\"0.999\"} %d\n", family, labels, sep, p999)
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %d\n", family, sum)
+		fmt.Fprintf(b, "%s_count %d\n", family, count)
+		return
+	}
+	fmt.Fprintf(b, "%s_sum{%s} %d\n", family, labels, sum)
+	fmt.Fprintf(b, "%s_count{%s} %d\n", family, labels, count)
+}
+
+// MetricsHandler serves the OpenMetrics export over HTTP — the /metrics
+// endpoint of namserver and nambench. Either source may be nil.
+func MetricsHandler(rec *telemetry.Recorder, set *MetricsSet) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = WriteOpenMetrics(w, rec, set)
+	})
+}
+
+// LintOpenMetrics validates text against the OpenMetrics text-format rules
+// this exporter relies on: every sample belongs to a family declared by a
+// preceding # TYPE line, counter samples use the _total suffix, summary
+// samples are quantile/_sum/_count series, sample lines parse as
+// name{labels} value, and the exposition ends with exactly one # EOF line.
+// It returns nil when text is well-formed. The CI smoke job runs this over a
+// live /metrics scrape.
+func LintOpenMetrics(text string) error {
+	lines := strings.Split(text, "\n")
+	// Trailing newline yields one empty final element.
+	if n := len(lines); n < 2 || lines[n-1] != "" || lines[n-2] != "# EOF" {
+		return fmt.Errorf("openmetrics: exposition must end with a single %q line", "# EOF")
+	}
+	types := map[string]string{} // family -> counter|summary|gauge|...
+	sawEOF := false
+	for ln, line := range lines[:len(lines)-1] {
+		lineNo := ln + 1
+		if line == "" {
+			return fmt.Errorf("openmetrics: line %d: empty line inside exposition", lineNo)
+		}
+		if sawEOF {
+			return fmt.Errorf("openmetrics: line %d: content after # EOF", lineNo)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("openmetrics: line %d: malformed TYPE line %q", lineNo, line)
+			}
+			family, kind := parts[2], parts[3]
+			switch kind {
+			case "counter", "gauge", "summary", "histogram", "info", "stateset", "unknown":
+			default:
+				return fmt.Errorf("openmetrics: line %d: unknown metric type %q", lineNo, kind)
+			}
+			if _, dup := types[family]; dup {
+				return fmt.Errorf("openmetrics: line %d: duplicate TYPE for family %q", lineNo, family)
+			}
+			types[family] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("openmetrics: line %d: unknown comment %q", lineNo, line)
+		}
+		name, err := sampleName(line)
+		if err != nil {
+			return fmt.Errorf("openmetrics: line %d: %v", lineNo, err)
+		}
+		family, ok := matchFamily(name, types)
+		if !ok {
+			return fmt.Errorf("openmetrics: line %d: sample %q has no preceding TYPE declaration", lineNo, name)
+		}
+		if types[family] == "counter" && !strings.HasSuffix(name, "_total") &&
+			!strings.HasSuffix(name, "_created") {
+			return fmt.Errorf("openmetrics: line %d: counter sample %q must use the _total suffix", lineNo, name)
+		}
+	}
+	if !sawEOF {
+		return fmt.Errorf("openmetrics: missing # EOF terminator")
+	}
+	return nil
+}
+
+// sampleName parses a sample line ("name{labels} value [timestamp]") and
+// returns the metric name, validating the basic shape.
+func sampleName(line string) (string, error) {
+	rest := line
+	name := rest
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := lintLabels(rest[i+1 : j]); err != nil {
+			return "", err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else if i := strings.IndexByte(rest, ' '); i >= 0 {
+		name = rest[:i]
+		rest = strings.TrimSpace(rest[i+1:])
+	} else {
+		return "", fmt.Errorf("sample %q has no value", line)
+	}
+	if name == "" || !validMetricName(name) {
+		return "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if rest == "" {
+		return "", fmt.Errorf("sample %q has no value", line)
+	}
+	value := strings.Fields(rest)[0]
+	if _, err := parseFloat(value); err != nil {
+		return "", fmt.Errorf("sample value %q is not a number", value)
+	}
+	return name, nil
+}
+
+func lintLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	// Labels are name="value" pairs separated by commas; values are quoted
+	// and our exporter never emits embedded quotes, so a quote-aware split
+	// suffices.
+	inQuote := false
+	start := 0
+	var pairs []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case ',':
+			if !inQuote {
+				pairs = append(pairs, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inQuote {
+		return fmt.Errorf("unterminated label value in %q", s)
+	}
+	pairs = append(pairs, s[start:])
+	for _, p := range pairs {
+		eq := strings.IndexByte(p, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair %q", p)
+		}
+		v := p[eq+1:]
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value in %q must be quoted", p)
+		}
+	}
+	return nil
+}
+
+func validMetricName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
+func parseFloat(s string) (float64, error) {
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	return f, err
+}
+
+// matchFamily resolves a sample name to its declared family, stripping the
+// suffixes the declared type allows (_total/_created for counters,
+// _sum/_count for summaries and histograms, _bucket for histograms).
+func matchFamily(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suf := range []string{"_total", "_created", "_sum", "_count", "_bucket"} {
+		if base, found := strings.CutSuffix(name, suf); found {
+			if _, ok := types[base]; ok {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/telemetry"
+)
+
+func exportText(t *testing.T, rec *telemetry.Recorder, set *MetricsSet) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, rec, set); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestWriteOpenMetricsLintsClean(t *testing.T) {
+	rec := telemetry.NewRecorder(4)
+	rec.RecordVerb(telemetry.VerbRead, 1, 512, 900)
+	rec.RecordVerb(telemetry.VerbCAS, 0, 8, 1100)
+	rec.CountRetry()
+	rec.CountReconnect()
+	rec.CountOpRecovery()
+	rec.CountFault("drop")
+
+	set := &MetricsSet{}
+	fine := set.Get("fine", 0)
+	fine.RecordOp(OpLookup, -1, 7)
+	fine.RecordOp(OpInsert, -1, 12)
+	coarse := set.Get("coarse", 4)
+	coarse.RecordOp(OpLookup, 2, 3)
+
+	text := exportText(t, rec, set)
+	if err := LintOpenMetrics(text); err != nil {
+		t.Fatalf("exporter output fails its own lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`nam_verb_ops_total{verb="READ"} 1`,
+		`nam_verb_retries_total 1`,
+		`nam_qp_reconnects_total 1`,
+		`nam_op_recoveries_total 1`,
+		`nam_faults_total 1`,
+		`nam_op_latency{design="fine",op="lookup",quantile="0.5"}`,
+		`nam_op_latency_count{design="fine",op="insert"} 1`,
+		`nam_op_partition_latency{design="coarse",partition="2",op="lookup",quantile="0.99"}`,
+		"# EOF\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("export missing %q:\n%s", want, text)
+		}
+	}
+	// The fine design is unpartitioned: no per-partition series for it.
+	if strings.Contains(text, `nam_op_partition_latency{design="fine"`) {
+		t.Fatalf("unpartitioned design exported partition series:\n%s", text)
+	}
+}
+
+func TestWriteOpenMetricsNilSources(t *testing.T) {
+	text := exportText(t, nil, nil)
+	if text != "# EOF\n" {
+		t.Fatalf("empty export = %q", text)
+	}
+	if err := LintOpenMetrics(text); err != nil {
+		t.Fatal(err)
+	}
+	// One-sided variants stay valid too.
+	if err := LintOpenMetrics(exportText(t, telemetry.NewRecorder(2), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintOpenMetrics(exportText(t, nil, &MetricsSet{})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	rec := telemetry.NewRecorder(2)
+	rec.RecordVerb(telemetry.VerbCall, 0, 64, 500)
+	srv := httptest.NewServer(MetricsHandler(rec, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, ContentType)
+	}
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintOpenMetrics(b.String()); err != nil {
+		t.Fatalf("handler output fails lint: %v", err)
+	}
+	if !strings.Contains(b.String(), `nam_verb_ops_total{verb="CALL"} 1`) {
+		t.Fatalf("handler output missing CALL counter:\n%s", b.String())
+	}
+}
+
+func TestLintOpenMetricsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"missing EOF", "# TYPE a counter\na_total 1\n"},
+		{"no trailing newline", "# TYPE a counter\na_total 1\n# EOF"},
+		{"content after EOF", "# EOF\nx 1\n"},
+		{"empty line", "# TYPE a counter\n\na_total 1\n# EOF\n"},
+		{"undeclared family", "sample_x 1\n# EOF\n"},
+		{"counter without _total", "# TYPE a counter\na 1\n# EOF\n"},
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na_total 1\n# EOF\n"},
+		{"unknown type", "# TYPE a sometype\na_total 1\n# EOF\n"},
+		{"malformed TYPE", "# TYPE a\n# EOF\n"},
+		{"unknown comment", "# FOO bar\n# EOF\n"},
+		{"bad value", "# TYPE a counter\na_total x\n# EOF\n"},
+		{"no value", "# TYPE a counter\na_total\n# EOF\n"},
+		{"bad name", "# TYPE 9a counter\n9a_total 1\n# EOF\n"},
+		{"unterminated labels", "# TYPE a counter\na_total{x=\"1 2\n# EOF\n"},
+		{"unquoted label value", "# TYPE a counter\na_total{x=1} 2\n# EOF\n"},
+	}
+	for _, tc := range cases {
+		if err := LintOpenMetrics(tc.text); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition:\n%s", tc.name, tc.text)
+		}
+	}
+}
+
+func TestLintOpenMetricsAcceptsSuffixes(t *testing.T) {
+	text := "# TYPE s summary\n" +
+		"s{quantile=\"0.5\"} 1\n" +
+		"s_sum 10\n" +
+		"s_count 2\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 1\n" +
+		"h_sum 1\n" +
+		"h_count 1\n" +
+		"# TYPE c counter\n" +
+		"c_total 1\n" +
+		"c_created 1.5e9\n" +
+		"# EOF\n"
+	if err := LintOpenMetrics(text); err != nil {
+		t.Fatalf("lint rejected valid exposition: %v", err)
+	}
+}

@@ -41,6 +41,19 @@ type Counters interface {
 	CountReconnect()
 }
 
+// Events receives per-attempt retry events with their parameters — the
+// flight recorder's view of the retry loop, complementing the aggregate
+// Counters. obs.Log implements it. An Events belongs to the same single
+// client goroutine as the Policy holding it.
+type Events interface {
+	// RetryEvent records one re-attempt against server after the given
+	// backoff wait.
+	RetryEvent(server int, backoffNS int64)
+	// ReconnectEvent records one QP re-establishment attempt and whether it
+	// succeeded.
+	ReconnectEvent(server int, ok bool)
+}
+
 // Policy is a bounded-backoff retry policy. A Policy belongs to one client
 // goroutine (like the Endpoint it drives) and must not be shared.
 //
@@ -67,6 +80,9 @@ type Policy struct {
 	Sleep func(time.Duration)
 	// Counters, when non-nil, receives retry/reconnect events.
 	Counters Counters
+	// Events, when non-nil, receives per-attempt retry and reconnect events
+	// (the flight recorder hook).
+	Events Events
 
 	rng *rand.Rand
 }
@@ -124,7 +140,10 @@ func (p *Policy) Do(rec rdma.Reconnector, server int, verb func() error) error {
 		if p.Counters != nil {
 			p.Counters.CountRetry()
 		}
-		p.backoff(attempt)
+		d := p.backoff(attempt)
+		if p.Events != nil {
+			p.Events.RetryEvent(server, int64(d))
+		}
 		if errors.Is(err, rdma.ErrQPError) && rec != nil {
 			if rerr := p.reconnect(rec, server); rerr != nil {
 				return rerr
@@ -141,6 +160,9 @@ func (p *Policy) reconnect(rec rdma.Reconnector, server int) error {
 	var err error
 	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
 		err = rec.Reconnect(server)
+		if p.Events != nil {
+			p.Events.ReconnectEvent(server, err == nil)
+		}
 		if err == nil {
 			if p.Counters != nil {
 				p.Counters.CountReconnect()

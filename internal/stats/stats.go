@@ -98,6 +98,9 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observation.
 func (h *Histogram) Max() int64 { return h.max.Load() }
 
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // Percentile returns an estimate of the p-th percentile (0 < p <= 100).
 func (h *Histogram) Percentile(p float64) int64 {
 	c := h.count.Load()

@@ -156,6 +156,101 @@ func TestSnapshotMatchesLiveHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	var h Histogram
+	for _, p := range []float64{0.001, 1, 50, 99, 99.9, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty histogram p%g = %d, want 0", p, got)
+		}
+	}
+	if h.Mean() != 0 || h.Max() != 0 || h.Sum() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram not all-zero: %s", h.Summary())
+	}
+	s := h.Snapshot()
+	for _, p := range []float64{1, 50, 99.9} {
+		if got := s.Percentile(p); got != 0 {
+			t.Fatalf("empty snapshot p%g = %d, want 0", p, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty snapshot mean = %f", s.Mean())
+	}
+}
+
+func TestHistogramSingleSampleQuantiles(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 1000, 1 << 40} {
+		var h Histogram
+		h.Record(v)
+		low := bucketLow(bucketIndex(v))
+		// Every quantile of a single-sample histogram is that sample's
+		// bucket floor — including the extremes, where the rank rounds to 1.
+		for _, p := range []float64{0.001, 1, 50, 99, 99.9, 100} {
+			if got := h.Percentile(p); got != low {
+				t.Fatalf("single sample %d: p%g = %d, want bucket low %d", v, p, got, low)
+			}
+		}
+		if h.Sum() != v || h.Max() != v || h.Count() != 1 {
+			t.Fatalf("single sample %d: %s", v, h.Summary())
+		}
+		s := h.Snapshot()
+		if got := s.Percentile(99.9); got != low {
+			t.Fatalf("single-sample snapshot p99.9 = %d, want %d", got, low)
+		}
+	}
+}
+
+func TestSnapshotMergedQuantiles(t *testing.T) {
+	// Adding snapshots — including empty and single-sample ones — must agree
+	// with one histogram holding all observations, at every quantile the
+	// OpenMetrics exporter emits.
+	var whole, a, b Histogram
+	for i := int64(1); i <= 3000; i++ {
+		whole.Record(i)
+		if i%2 == 0 {
+			a.Record(i)
+		} else {
+			b.Record(i)
+		}
+	}
+	var single Histogram
+	single.Record(5000)
+	whole.Record(5000)
+
+	merged := Snapshot{}.Add(a.Snapshot()).Add(b.Snapshot()).Add(single.Snapshot()).Add(Snapshot{})
+	if merged.Count() != whole.Count() || merged.Sum != whole.Sum() || merged.Max() != whole.Max() {
+		t.Fatalf("merged snapshot basics diverge: %s vs %s", merged.Summary(), whole.Summary())
+	}
+	for _, p := range []float64{0.5, 50, 99, 99.9} {
+		if got, want := merged.Percentile(p), whole.Percentile(p); got != want {
+			t.Fatalf("p%g: merged %d != whole %d", p, got, want)
+		}
+	}
+}
+
+func TestSnapshotWhileRecording(t *testing.T) {
+	// Snapshots taken while another goroutine records must be internally
+	// sane (no negative counts, quantiles within the observed range) — this
+	// is the -race-checked path of the live /metrics exporter.
+	var h Histogram
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(1); i <= 50000; i++ {
+			h.Record(i % 1000)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s := h.Snapshot()
+		if s.N < 0 || s.Sum < 0 {
+			t.Errorf("snapshot went negative: n=%d sum=%d", s.N, s.Sum)
+		}
+		if p := s.Percentile(99.9); p < 0 || p > 1024 {
+			t.Errorf("mid-record p99.9 = %d outside observed range", p)
+		}
+	}
+	<-done
+}
+
 func TestHistogramConcurrentRecordStress(t *testing.T) {
 	// Hammer Record from many goroutines with strictly increasing values per
 	// goroutine so the max CAS loop sees constant contention; the run must

@@ -11,7 +11,20 @@ import (
 var (
 	publishedMu sync.Mutex
 	published   = map[string]*Recorder{}
+
+	handlersMu sync.Mutex
+	handlers   = map[string]http.Handler{}
 )
+
+// Handle registers h at pattern on every mux returned by a later Mux() call
+// (and thus on ServeMetrics servers). It lets subsystems contribute
+// endpoints — e.g. the OpenMetrics /metrics exporter — without this package
+// importing them. Re-registering a pattern replaces the previous handler.
+func Handle(pattern string, h http.Handler) {
+	handlersMu.Lock()
+	defer handlersMu.Unlock()
+	handlers[pattern] = h
+}
 
 // Publish registers rec under name in the process-wide expvar registry, so
 // /debug/vars includes its live counters. Re-publishing a name replaces the
@@ -37,7 +50,8 @@ func Publish(name string, rec *Recorder) {
 
 // Mux returns an http mux serving the observability endpoints:
 // /debug/vars (expvar, includes every Published recorder) and
-// /debug/pprof/ (CPU, heap, goroutine, block profiles).
+// /debug/pprof/ (CPU, heap, goroutine, block profiles), and every handler
+// registered with Handle (e.g. the OpenMetrics /metrics exporter).
 func Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -46,6 +60,11 @@ func Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	handlersMu.Lock()
+	for pattern, h := range handlers {
+		mux.Handle(pattern, h)
+	}
+	handlersMu.Unlock()
 	return mux
 }
 

@@ -353,19 +353,20 @@ func (r *Recorder) StatsMap() map[string]any {
 	if h, mi, iv := r.cacheHits.Load(), r.cacheMiss.Load(), r.cacheInval.Load(); h+mi+iv > 0 {
 		m["cache"] = map[string]any{"hits": h, "misses": mi, "invalidations": iv}
 	}
-	if r.Faults()+r.Retries()+r.Reconnects()+r.OpRecoveries() > 0 {
-		m["faults"] = map[string]any{
-			"drops":          r.faultDrops.Load(),
-			"delays":         r.faultDelays.Load(),
-			"delay_timeouts": r.faultDelayTOs.Load(),
-			"qp_errors":      r.faultQPErrors.Load(),
-			"server_down":    r.faultServerDown.Load(),
-			"server_lost":    r.faultServerLost.Load(),
-			"crashes":        r.faultCrashes.Load(),
-			"retries":        r.verbRetries.Load(),
-			"reconnects":     r.qpReconnects.Load(),
-			"op_recoveries":  r.opRecoveries.Load(),
-		}
+	// Always present (zeros included): consumers reading retry/recovery
+	// health — namclient stats, dashboards scraping /debug/vars — need the
+	// keys to exist on a healthy run too.
+	m["faults"] = map[string]any{
+		"drops":          r.faultDrops.Load(),
+		"delays":         r.faultDelays.Load(),
+		"delay_timeouts": r.faultDelayTOs.Load(),
+		"qp_errors":      r.faultQPErrors.Load(),
+		"server_down":    r.faultServerDown.Load(),
+		"server_lost":    r.faultServerLost.Load(),
+		"crashes":        r.faultCrashes.Load(),
+		"retries":        r.verbRetries.Load(),
+		"reconnects":     r.qpReconnects.Load(),
+		"op_recoveries":  r.opRecoveries.Load(),
 	}
 	return m
 }
