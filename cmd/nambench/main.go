@@ -8,7 +8,7 @@
 //	nambench -exp fig7 -quick       # reduced scale
 //	nambench -list                  # available experiments
 //	nambench -exp fig8 -size 1000000 -clients 20,40,80
-//	nambench -regress BENCH_rtt.json  # CI gate: fail on >10% RTT/latency regression
+//	nambench -regress BENCH_rtt.json,BENCH_pipeline.json  # CI gate: fail on >10% regression
 package main
 
 import (
@@ -55,6 +55,24 @@ func lintMetrics(src string) error {
 	return obs.LintOpenMetrics(string(raw))
 }
 
+// runRegress dispatches one baseline file to its regression gate by name:
+// BENCH_rtt* re-runs the doorbell-batching experiment, BENCH_pipeline* the
+// async-dataplane sweep.
+func runRegress(w io.Writer, path string) error {
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	switch {
+	case strings.HasPrefix(name, "BENCH_rtt"):
+		return bench.RegressRTT(w, path)
+	case strings.HasPrefix(name, "BENCH_pipeline"):
+		return bench.RegressPipeline(w, path)
+	default:
+		return fmt.Errorf("-regress: unrecognized baseline %q (expected BENCH_rtt*.json or BENCH_pipeline*.json)", path)
+	}
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "", "experiment id (table1,table2,table3,fig3,fig7..fig15) or 'all'")
@@ -65,15 +83,21 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in Perfetto or chrome://tracing)")
 		metrics  = flag.String("metrics", "", "serve live expvar (/debug/vars), pprof (/debug/pprof/), and OpenMetrics (/metrics) on this address while experiments run")
 		noverbs  = flag.Bool("noverbs", false, "omit the per-verb breakdown tables from experiment reports")
-		regress  = flag.String("regress", "", "re-run the rtt experiment at the given baseline's scale and fail if RTTs/op or mean latency regressed >10%")
+		regress  = flag.String("regress", "", "comma-separated bench baselines (BENCH_rtt.json, BENCH_pipeline.json); re-runs each experiment at the baseline's scale and fails on >10% regression")
 		lintmet  = flag.String("lintmetrics", "", "validate an OpenMetrics exposition (file path or http URL) and exit")
 	)
 	flag.Parse()
 
 	if *regress != "" {
-		if err := bench.RegressRTT(os.Stdout, *regress); err != nil {
-			fmt.Fprintf(os.Stderr, "nambench: %v\n", err)
-			os.Exit(1)
+		for _, path := range strings.Split(*regress, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			if err := runRegress(os.Stdout, path); err != nil {
+				fmt.Fprintf(os.Stderr, "nambench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -24,6 +24,7 @@ func extensions() []Experiment {
 		{"rtt", "Doorbell-Batched Consistent Reads: Exposed RTTs and Latency (Fine-Grained)", expRTT},
 		{"chaos", "Fault Injection: Scripted Fault Schedules vs Client-Side Recovery (All Designs)", expChaos},
 		{"obs", "Observability: Flight-Recorder Reconstruction of a Fault-Injected Traversal (Fine-Grained)", expObs},
+		{"pipeline", "Async Pipelined Dataplane: In-Flight Sweep and Doorbell Coalescing (Fine-Grained)", expPipeline},
 	}
 }
 

@@ -73,6 +73,14 @@ type Config struct {
 	// CachePages enables a compute-side page cache of this many pages per
 	// client on the fine-grained design (Appendix A.4).
 	CachePages int
+	// Pipeline, when > 0, runs fine-grained clients through the async
+	// pipelined dataplane with this many operations in flight per client
+	// (DESIGN.md §11): traversal steps of different in-flight operations
+	// share doorbell batches and their round trips overlap. 1 runs the
+	// engine with a single slot (measures engine overhead over the serial
+	// client); 0 selects the serial client. Fine-grained only; ignored by
+	// the other designs.
+	Pipeline int
 	// LegacyReads runs fine-grained clients with the paper's original
 	// Listing-2 read protocol (two blocking READs per level) instead of the
 	// fused doorbell-batched protocol — the measured baseline of the RTT
@@ -275,6 +283,7 @@ func Run(cfg Config) (Result, error) {
 	// Deploy the design.
 	var caches []*cache.Mem
 	var mkClient func(clientID int, p *sim.Proc) core.Index
+	var mkPipelined func(clientID int, p *sim.Proc) *fine.PipelinedClient
 	switch cfg.Design {
 	case nam.CoarseGrained:
 		srv := coarse.NewServer(fab, coarse.Options{Layout: l, Part: part(), VisitNS: simCfg.VisitNS, Telemetry: rec})
@@ -293,6 +302,14 @@ func Run(cfg Config) (Result, error) {
 		cat, err := fine.Build(fab.SetupEndpoint(), fine.Options{Layout: l}, spec)
 		if err != nil {
 			return Result{}, err
+		}
+		if cfg.Pipeline > 0 {
+			mkPipelined = func(id int, p *sim.Proc) *fine.PipelinedClient {
+				c := fine.NewPipelinedClient(clientEp(id, p), fab.ClientEnv(p), cat, id, cfg.Pipeline)
+				c.SetRecorder(rec)
+				c.SetOpLog(clientLog(id, p))
+				return c
+			}
 		}
 		mkClient = func(id int, p *sim.Proc) core.Index {
 			if cfg.CachePages > 0 {
@@ -389,6 +406,56 @@ func Run(cfg Config) (Result, error) {
 				firstErr.CompareAndSwap(nil, err)
 				return
 			}
+			// record accounts one completed operation and reports whether the
+			// client should keep submitting.
+			record := func(kind workload.OpKind, start, end int64, err error) bool {
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("client %d: %w", c, err))
+					return false
+				}
+				if tracer != nil {
+					tracer.Span(0, c, kind.String(), "op", start, end)
+				}
+				if end > measureStart && end <= measureEnd {
+					ops.Add(1)
+					res.Latency.Record(end - start)
+					res.LatencyByKind[kind].Record(end - start)
+				}
+				return end <= measureEnd
+			}
+			if mkPipelined != nil {
+				// Async dataplane: keep the submission window full; latency
+				// spans submission to completion, so queueing behind a full
+				// window is charged to the operation (the closed-loop view).
+				pc := mkPipelined(c, p)
+				stop := false
+				for !stop {
+					op := gen.Next()
+					kind := op.Kind
+					start := p.Now()
+					switch kind {
+					case workload.PointQuery:
+						pc.Lookup(op.Key, func(_ []uint64, err error) {
+							if !record(kind, start, p.Now(), err) {
+								stop = true
+							}
+						})
+					case workload.RangeQuery:
+						err := pc.Range(op.Key, op.EndKey, func(uint64, uint64) bool { return true })
+						if !record(kind, start, p.Now(), err) {
+							stop = true
+						}
+					case workload.Insert:
+						pc.Insert(op.Key, op.Value, func(err error) {
+							if !record(kind, start, p.Now(), err) {
+								stop = true
+							}
+						})
+					}
+				}
+				pc.Drain()
+				return
+			}
 			idx := mkClient(c, p)
 			for {
 				op := gen.Next()
@@ -402,20 +469,7 @@ func Run(cfg Config) (Result, error) {
 				case workload.Insert:
 					err = idx.Insert(op.Key, op.Value)
 				}
-				if err != nil {
-					firstErr.CompareAndSwap(nil, fmt.Errorf("client %d: %w", c, err))
-					return
-				}
-				end := p.Now()
-				if tracer != nil {
-					tracer.Span(0, c, op.Kind.String(), "op", start, end)
-				}
-				if end > measureStart && end <= measureEnd {
-					ops.Add(1)
-					res.Latency.Record(end - start)
-					res.LatencyByKind[op.Kind].Record(end - start)
-				}
-				if end > measureEnd {
+				if !record(op.Kind, start, p.Now(), err) {
 					return
 				}
 			}

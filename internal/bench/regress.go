@@ -93,6 +93,8 @@ func RegressRTT(w io.Writer, baselinePath string) error {
 		msg += "\n(if intentional, regenerate with `nambench -exp rtt`)"
 		return fmt.Errorf("%s", msg)
 	}
+	fmt.Fprintf(w, "  (serial protocol: ops in flight %.0f, doorbell coalescing %s — the async dataplane is gated by %s)\n",
+		got.Point.Fused.OpsInFlight, got.Point.Fused.DoorbellCoalescing, PipelineBaselinePath)
 	fmt.Fprintln(w, "rtt regression gate passed")
 	return nil
 }

@@ -28,6 +28,14 @@ type RTTMode struct {
 	// exposed-round-trip count in both modes.
 	RTTsPerOp float64 `json:"rtts_per_op"`
 	AvgDepth  float64 `json:"avg_depth"`
+	// OpsInFlight is the average operations in flight per scheduling round
+	// on the async pipelined dataplane; 0 for the serial clients the RTT
+	// experiment measures (one blocking operation at a time).
+	OpsInFlight float64 `json:"ops_in_flight"`
+	// DoorbellCoalescing is verbs per doorbell across in-flight operations;
+	// "n/a" for serial runs, where batching happens only within one
+	// operation's fused read.
+	DoorbellCoalescing string `json:"doorbell_coalescing"`
 }
 
 // RTTComparison is one workload panel: the unbatched baseline vs the fused
@@ -69,6 +77,11 @@ func runRTTMode(sc Scale, clients int, scan, legacy bool) (RTTMode, error) {
 		MeanLatencyNS:    res.Latency.Snapshot().Mean(),
 		P50LatencyNS:     res.Latency.Percentile(50),
 		P99LatencyNS:     res.Latency.Percentile(99),
+	}
+	m.DoorbellCoalescing = "n/a"
+	if rec := res.Telemetry; rec != nil && rec.AvgInflight() > 0 {
+		m.OpsInFlight = rec.AvgInflight()
+		m.DoorbellCoalescing = fmt.Sprintf("%.2f", rec.CoalescingRatio())
 	}
 	if rec := res.Telemetry; rec != nil && rec.IndexOps() > 0 {
 		// Every endpoint verb (including a ReadMulti batch, which waits on
@@ -144,8 +157,10 @@ func expRTT(w io.Writer, sc Scale) error {
 		}
 		fmt.Fprintf(w, "%s (%d clients; x: 0 = legacy two-READ, 1 = fused doorbell batch)\n", name, rep.Clients)
 		fmt.Fprintln(w, stats.Table("mode", "value", lat, p50, rtt, thr))
-		fmt.Fprintf(w, "mean latency speedup %.2fx, RTTs/op %.2f -> %.2f (avg depth %.2f)\n\n",
+		fmt.Fprintf(w, "mean latency speedup %.2fx, RTTs/op %.2f -> %.2f (avg depth %.2f)\n",
 			c.MeanSpeedup, c.Legacy.RTTsPerOp, c.Fused.RTTsPerOp, c.Fused.AvgDepth)
+		fmt.Fprintf(w, "ops in flight %.0f, doorbell coalescing %s (serial protocol; see -exp pipeline for the async dataplane)\n\n",
+			c.Fused.OpsInFlight, c.Fused.DoorbellCoalescing)
 	}
 	panel("Point Lookups", rep.Point)
 	panel("Range Scans (Sel=0.001)", rep.Scan)

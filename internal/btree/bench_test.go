@@ -48,6 +48,41 @@ func BenchmarkLookup(b *testing.B) {
 	}
 }
 
+// TestLookupZeroAllocs is the hard gate behind BenchmarkLookup's allocation
+// report: the serial fused lookup path must run allocation-free in steady
+// state. The descent and lock paths share the handle's scratch page and
+// Lookup reuses the handle's values buffer, so after the first (warming)
+// operation nothing on the read path allocates.
+func TestLookupZeroAllocs(t *testing.T) {
+	const n = 100000
+	f := direct.New(4, 256<<20, nam.SuperblockBytes)
+	l := layout.New(512)
+	tr := New(l, &EndpointMem{Ep: f.Endpoint(), Place: RoundRobin(4, 0)}, rdma.MakePtr(0, 0))
+	if _, err := tr.Build(rdma.NopEnv{}, BuildConfig{}, n,
+		func(i int) (uint64, uint64) { return uint64(i), uint64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	env := rdma.NopEnv{}
+	if _, _, err := tr.Lookup(env, 1); err != nil { // warm root, scratch, values buffer
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		k := uint64(i*2654435761) % n
+		i++
+		vals, _, err := tr.Lookup(env, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 {
+			t.Fatalf("Lookup(%d) = %v", k, vals)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("serial fused lookup allocates %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
 func BenchmarkScan(b *testing.B) {
 	const n = 100000
 	tr := benchTree(b, n, 8)

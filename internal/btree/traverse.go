@@ -1,0 +1,605 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// This file implements the sans-I/O side of the asynchronous pipelined
+// dataplane: a Traversal is one index operation (lookup, insert or delete)
+// expressed as a resumable state machine. Instead of blocking on each verb
+// like the serial paths in tree.go, a Traversal *posts* the verbs of its next
+// step into a PostSink and suspends; when the completions arrive (typically
+// polled in one doorbell batch together with the verbs of many other
+// in-flight operations), Step advances the machine by exactly one protocol
+// step. The protocol itself — fused validated reads, right-moves past heads
+// and outgrown fences, lock CAS on the pre-read version, body write plus
+// unlock-and-bump FAA — is the same B-link protocol as the serial paths, and
+// the Stats accounting matches verb for verb.
+//
+// One deliberate divergence, a pure round-trip optimization: the serial
+// write paths lock through lockNodeForKey, which re-reads the page even
+// though the descent just produced a validated copy. The state machine CASes
+// the lock directly on the version of its validated descent copy; a CAS win
+// proves the page is unchanged since that copy, so the copy is current —
+// exactly the currency guarantee lockNodeForKey's re-read establishes. A CAS
+// loss falls back to re-reading, which is the serial path's loop.
+//
+// Structural changes (leaf splits) are not pipelined: they are rare,
+// multi-page critical sections, and the serial path already handles every
+// race. A Traversal that would split reports StepNeedSerial *before taking
+// the lock*, and the owner runs the whole operation through the serial
+// Tree.Insert. Nothing has been published at that point, so the serial rerun
+// is exactly-once.
+
+// PostSink receives the verbs a Traversal wants posted. The engine driving
+// the traversal implements it by forwarding to an rdma.AsyncEndpoint and
+// remembering which traversal posted what; completions must be delivered
+// back to Step in posting order. All verbs of one Step call are posted
+// consecutively, so one traversal's completions for a step are contiguous.
+type PostSink interface {
+	PostRead(p rdma.RemotePtr, dst []uint64)
+	PostWrite(p rdma.RemotePtr, src []uint64)
+	PostCAS(p rdma.RemotePtr, old, new uint64)
+	PostFetchAdd(p rdma.RemotePtr, delta uint64)
+}
+
+// TraversalOp selects the operation a Traversal performs.
+type TraversalOp uint8
+
+const (
+	TravLookup TraversalOp = iota + 1
+	TravInsert
+	TravDelete
+)
+
+// StepStatus is the scheduling outcome of one Step call.
+type StepStatus uint8
+
+const (
+	// StepRunning: verbs were posted; call Step again with their completions.
+	StepRunning StepStatus = iota
+	// StepDone: the operation completed; results are in Values/Found/St.
+	StepDone
+	// StepBlocked: a verb failed with rdma.ErrQPError. The owner must
+	// re-establish the queue pair to Server (rdma.Reconnector), then call
+	// Redo to repost the interrupted step.
+	StepBlocked
+	// StepNeedSerial: the operation requires a structural change (leaf
+	// split). No lock is held and nothing was published; the owner runs the
+	// whole operation through the serial path instead.
+	StepNeedSerial
+	// StepFailed: the operation failed; Err is set. Any lock the traversal
+	// held was released (or is unreachable along with its server).
+	StepFailed
+)
+
+// StepResult is the outcome of one Step/Redo/Abort call.
+type StepResult struct {
+	Status StepStatus
+	// Server is the QP-errored server when Status is StepBlocked.
+	Server int
+	// Err is set when Status is StepFailed (and carries the triggering verb
+	// error when Status is StepBlocked).
+	Err error
+}
+
+// stepRetryBudget bounds per-step transient-failure reposts. It mirrors the
+// serial stack's retry.Policy.MaxAttempts (default 8): there, every blocking
+// verb is wrapped in a bounded retry loop; here, the step is the retry unit.
+const stepRetryBudget = 8
+
+type travPhase uint8
+
+const (
+	phIdle     travPhase = iota
+	phStart              // Begin called; nothing posted yet
+	phRoot               // root-word read posted
+	phPage               // fused page+version-word read posted
+	phLock               // lock CAS posted
+	phWrite              // body write posted (lock held)
+	phUnlock             // unlock-and-bump FAA posted (body published)
+	phUnlockNC           // no-change unlock CAS posted (lock held, body unchanged)
+)
+
+type travMode uint8
+
+const (
+	modeDescend travMode = iota // root-to-leaf descent
+	modeCollect                 // lookup: duplicate spill right-walk
+	modeChase                   // insert/delete: leaf-chain lock walk
+)
+
+// Traversal is one resumable index operation. It is owned by a single
+// engine slot; all buffers are pre-allocated at construction so steady-state
+// operation is allocation-free. The *Tree handle is shared with the serial
+// paths (layout, root cache, spin budget) but the traversal never touches
+// the handle's scratch buffers.
+type Traversal struct {
+	t   *Tree
+	env rdma.Env
+
+	// Op/Key/Value identify the current operation (set by Begin).
+	Op    TraversalOp
+	Key   layout.Key
+	Value uint64
+
+	// Results, valid when Step returned StepDone. Values aliases a
+	// per-traversal buffer reused by the next Begin.
+	Values []uint64
+	Found  bool
+	St     Stats
+
+	phase     travPhase
+	mode      travMode
+	p         rdma.RemotePtr // page the current step targets
+	depth     int
+	ver       uint64 // validated version of pageBuf; pre-lock version once locked
+	moveRight bool
+	next      rdma.RemotePtr
+
+	stepTries   int
+	unlockTries int
+	pauseWanted bool
+
+	pageBuf []uint64
+	vbuf    [1]uint64
+	rootBuf [1]uint64
+}
+
+// NewTraversal allocates a traversal slot against the given tree handle.
+func NewTraversal(t *Tree, env rdma.Env) *Traversal {
+	return &Traversal{
+		t:       t,
+		env:     env,
+		pageBuf: make([]uint64, t.L.Words),
+		Values:  make([]uint64, 0, 4),
+	}
+}
+
+// Begin arms the traversal for a new operation. The previous operation's
+// results are invalidated. Call Step with no completions to post the first
+// verbs.
+func (tr *Traversal) Begin(op TraversalOp, key layout.Key, value uint64) {
+	tr.Op = op
+	tr.Key = key
+	tr.Value = value
+	tr.Values = tr.Values[:0]
+	tr.Found = false
+	tr.St = Stats{}
+	tr.phase = phStart
+	tr.mode = modeDescend
+	tr.depth = 0
+	tr.stepTries = 0
+	tr.unlockTries = 0
+	tr.moveRight = false
+}
+
+// TakePause reports whether the traversal wants a backoff pause (it hit a
+// consistency restart or a transient verb failure since the last call) and
+// clears the flag. The engine coalesces pauses: one env.Pause per scheduling
+// round however many traversals requested one.
+func (tr *Traversal) TakePause() bool {
+	w := tr.pauseWanted
+	tr.pauseWanted = false
+	return w
+}
+
+// Step advances the machine. comps are the completions of exactly the verbs
+// the previous Step/Redo posted, in posting order; pass nil on the first
+// call after Begin. When the result is StepRunning, new verbs were posted
+// into sink.
+func (tr *Traversal) Step(comps []rdma.Completion, sink PostSink) StepResult {
+	switch tr.phase {
+	case phStart:
+		if tr.Op == TravInsert && tr.Key == layout.MaxKey {
+			return tr.fail(ErrKeyReserved)
+		}
+		if tr.t.cachedRoot.IsNull() {
+			return tr.postRoot(sink)
+		}
+		tr.p = tr.t.cachedRoot
+		tr.depth = 1
+		return tr.postPage(sink)
+	case phRoot:
+		tr.expect(comps, 1)
+		return tr.handleRoot(comps[0], sink)
+	case phPage:
+		tr.expect(comps, 2)
+		return tr.handlePage(comps, sink)
+	case phLock:
+		tr.expect(comps, 1)
+		return tr.handleLock(comps[0], sink)
+	case phWrite:
+		tr.expect(comps, 1)
+		return tr.handleWrite(comps[0], sink)
+	case phUnlock:
+		tr.expect(comps, 1)
+		return tr.handleUnlock(comps[0], sink)
+	case phUnlockNC:
+		tr.expect(comps, 1)
+		return tr.handleUnlockNC(comps[0], sink)
+	}
+	panic("btree: Step on idle traversal")
+}
+
+// Redo reposts the interrupted step after the owner handled a StepBlocked
+// (queue pair re-established). The retry budget is not reset: a server that
+// keeps flushing QPs eventually fails the operation.
+func (tr *Traversal) Redo(sink PostSink) StepResult {
+	switch tr.phase {
+	case phRoot:
+		sink.PostRead(tr.t.RootWord, tr.rootBuf[:])
+	case phPage:
+		sink.PostRead(tr.p, tr.pageBuf)
+		sink.PostRead(tr.p, tr.vbuf[:])
+	case phLock:
+		sink.PostCAS(tr.p, tr.ver, layout.WithLock(tr.ver))
+	case phWrite:
+		sink.PostWrite(tr.p.Add(8), tr.pageBuf[1:])
+	case phUnlock:
+		sink.PostFetchAdd(tr.p, 1)
+	case phUnlockNC:
+		sink.PostCAS(tr.p, layout.WithLock(tr.ver), tr.ver)
+	default:
+		panic("btree: Redo with no step outstanding")
+	}
+	return StepResult{Status: StepRunning}
+}
+
+// Abort gives up on the operation (the owner exhausted reconnect attempts).
+// If the traversal holds a lock on a page whose body it has not modified,
+// the lock is released best-effort through the blocking path; once the body
+// write is published the page stays locked (same contract as the serial
+// unlockBump: restoring the pre-lock version would validate readers'
+// pre-write snapshots against the new body).
+func (tr *Traversal) Abort(err error) StepResult {
+	switch tr.phase {
+	case phWrite, phUnlockNC:
+		tr.t.abortUnlock(&tr.St, tr.p, tr.ver)
+	case phUnlock:
+		err = fmt.Errorf("btree: unlock of %v abandoned (page stays locked): %w", tr.p, err)
+	}
+	return tr.fail(err)
+}
+
+// Server returns the memory server the current step targets — the reconnect
+// target after StepBlocked.
+func (tr *Traversal) Server() int {
+	if tr.phase == phRoot {
+		return tr.t.RootWord.Server()
+	}
+	return tr.p.Server()
+}
+
+func (tr *Traversal) fail(err error) StepResult {
+	tr.phase = phIdle
+	return StepResult{Status: StepFailed, Err: err}
+}
+
+func (tr *Traversal) done() StepResult {
+	tr.phase = phIdle
+	return StepResult{Status: StepDone}
+}
+
+func (tr *Traversal) needSerial() StepResult {
+	tr.phase = phIdle
+	return StepResult{Status: StepNeedSerial}
+}
+
+func (tr *Traversal) expect(comps []rdma.Completion, n int) {
+	if len(comps) != n {
+		panic(fmt.Sprintf("btree: step delivered %d completions, want %d", len(comps), n))
+	}
+}
+
+// stepError classifies a failed completion for the current step: QP errors
+// block pending reconnect, other transient failures repost within the step
+// budget, permanent failures fail the operation.
+func (tr *Traversal) stepError(err error, sink PostSink) StepResult {
+	if errors.Is(err, rdma.ErrQPError) {
+		return StepResult{Status: StepBlocked, Server: tr.Server(), Err: err}
+	}
+	if rdma.IsTransient(err) {
+		tr.stepTries++
+		if tr.stepTries < stepRetryBudget {
+			tr.pauseWanted = true
+			return tr.Redo(sink)
+		}
+		return tr.fail(fmt.Errorf("btree: %d attempts exhausted: %w", tr.stepTries, err))
+	}
+	return tr.fail(err)
+}
+
+// --- posting helpers ------------------------------------------------------
+
+func (tr *Traversal) postRoot(sink PostSink) StepResult {
+	tr.phase = phRoot
+	tr.stepTries = 0
+	sink.PostRead(tr.t.RootWord, tr.rootBuf[:])
+	return StepResult{Status: StepRunning}
+}
+
+// postPage posts the fused consistent-read protocol: the full page copy and
+// the version-word re-read back to back on the same QP. In-order execution
+// per queue pair guarantees the version word is read after the page copy —
+// the same one-exposed-round-trip validation Mem.ReadValidated performs with
+// a selectively signalled two-entry batch.
+func (tr *Traversal) postPage(sink PostSink) StepResult {
+	tr.phase = phPage
+	sink.PostRead(tr.p, tr.pageBuf)
+	sink.PostRead(tr.p, tr.vbuf[:])
+	return StepResult{Status: StepRunning}
+}
+
+func (tr *Traversal) postLock(sink PostSink) StepResult {
+	tr.phase = phLock
+	tr.stepTries = 0
+	sink.PostCAS(tr.p, tr.ver, layout.WithLock(tr.ver))
+	return StepResult{Status: StepRunning}
+}
+
+func (tr *Traversal) postWrite(sink PostSink) StepResult {
+	tr.phase = phWrite
+	tr.stepTries = 0
+	sink.PostWrite(tr.p.Add(8), tr.pageBuf[1:])
+	return StepResult{Status: StepRunning}
+}
+
+func (tr *Traversal) postUnlock(sink PostSink) StepResult {
+	tr.phase = phUnlock
+	tr.stepTries = 0
+	tr.unlockTries = 0
+	sink.PostFetchAdd(tr.p, 1)
+	return StepResult{Status: StepRunning}
+}
+
+func (tr *Traversal) postUnlockNC(sink PostSink) StepResult {
+	tr.phase = phUnlockNC
+	tr.stepTries = 0
+	sink.PostCAS(tr.p, layout.WithLock(tr.ver), tr.ver)
+	return StepResult{Status: StepRunning}
+}
+
+// --- completion handlers --------------------------------------------------
+
+func (tr *Traversal) handleRoot(c rdma.Completion, sink PostSink) StepResult {
+	if c.Err != nil {
+		return tr.stepError(c.Err, sink)
+	}
+	tr.St.WordReads++
+	tr.St.ExposedRTTs++
+	p := rdma.RemotePtr(tr.rootBuf[0])
+	if p.IsNull() {
+		return tr.fail(errors.New("btree: tree not initialized"))
+	}
+	tr.t.cachedRoot = p
+	tr.p = p
+	tr.depth = 1
+	tr.stepTries = 0
+	return tr.postPage(sink)
+}
+
+func (tr *Traversal) handlePage(comps []rdma.Completion, sink PostSink) StepResult {
+	for i := range comps {
+		if comps[i].Err != nil {
+			return tr.stepError(comps[i].Err, sink)
+		}
+	}
+	tr.St.PageReads++
+	tr.St.WordReads++
+	tr.St.ExposedRTTs++
+	tr.env.Charge(tr.t.VisitNS)
+	tr.stepTries = 0
+	v := tr.vbuf[0]
+	if v != layout.BufVersion(tr.pageBuf) || layout.IsLocked(v) {
+		tr.St.Restarts++
+		if layout.IsLocked(layout.BufVersion(tr.pageBuf)) || layout.IsLocked(v) {
+			tr.St.LockSpins++
+		} else {
+			tr.St.VersionAborts++
+		}
+		if tr.t.overBudget(&tr.St) {
+			return tr.fail(fmt.Errorf("btree: %d restarts reading %v: %w", tr.St.Restarts, tr.p, ErrSpinBudget))
+		}
+		tr.pauseWanted = true
+		return tr.postPage(sink)
+	}
+	tr.ver = v
+	n := tr.t.L.Wrap(tr.pageBuf)
+
+	switch tr.mode {
+	case modeDescend:
+		if n.IsHead() || tr.Key > n.HighKey() {
+			// Right-moves stay on the same level and do not deepen the path.
+			tr.p = n.Right()
+			if tr.p.IsNull() {
+				return tr.fail(fmt.Errorf("btree: fell off chain for key %d", tr.Key))
+			}
+			return tr.postPage(sink)
+		}
+		if !n.IsLeaf() {
+			child, ok := n.InnerRoute(tr.Key)
+			if !ok {
+				panic("btree: routing failed within fence")
+			}
+			tr.p = child
+			tr.depth++
+			return tr.postPage(sink)
+		}
+		tr.St.Depth = tr.depth
+		if tr.Op == TravLookup {
+			return tr.collect(n, sink)
+		}
+		return tr.lockLeaf(n, sink)
+
+	case modeCollect:
+		if n.IsHead() {
+			tr.p = n.Right()
+			if tr.p.IsNull() {
+				return tr.done()
+			}
+			return tr.postPage(sink)
+		}
+		return tr.collect(n, sink)
+
+	default: // modeChase: insert/delete walking the leaf chain for the lock
+		if n.IsHead() || tr.Key > n.HighKey() {
+			tr.p = n.Right()
+			if tr.p.IsNull() {
+				return tr.fail(fmt.Errorf("btree: fell off chain for key %d", tr.Key))
+			}
+			return tr.postPage(sink)
+		}
+		return tr.lockLeaf(n, sink)
+	}
+}
+
+// collect harvests key's values from a consistent leaf copy and follows
+// duplicate spill over the fence into right siblings (Tree.Lookup's loop).
+func (tr *Traversal) collect(n layout.Node, sink PostSink) StepResult {
+	for i := n.LeafLowerBound(tr.Key); i < n.Count() && n.LeafKey(i) == tr.Key; i++ {
+		if !n.LeafDeleted(i) {
+			tr.Values = append(tr.Values, n.LeafValue(i))
+		}
+	}
+	if n.HighKey() != tr.Key {
+		return tr.done()
+	}
+	tr.p = n.Right()
+	if tr.p.IsNull() {
+		return tr.done()
+	}
+	tr.mode = modeCollect
+	return tr.postPage(sink)
+}
+
+// lockLeaf takes the write lock on the validated leaf copy in pageBuf, or
+// diverts a would-split insert to the serial path before locking.
+func (tr *Traversal) lockLeaf(n layout.Node, sink PostSink) StepResult {
+	if tr.Op == TravInsert && n.Count() >= tr.t.L.LeafCap {
+		return tr.needSerial()
+	}
+	tr.mode = modeChase
+	return tr.postLock(sink)
+}
+
+func (tr *Traversal) handleLock(c rdma.Completion, sink PostSink) StepResult {
+	if c.Err != nil {
+		return tr.stepError(c.Err, sink)
+	}
+	tr.St.Atomics++
+	tr.St.ExposedRTTs++
+	if c.Val != tr.ver {
+		tr.St.Restarts++
+		tr.St.LockRetries++
+		if tr.t.overBudget(&tr.St) {
+			return tr.fail(fmt.Errorf("btree: %d restarts locking %v: %w", tr.St.Restarts, tr.p, ErrSpinBudget))
+		}
+		tr.pauseWanted = true
+		tr.stepTries = 0
+		return tr.postPage(sink) // modeChase: re-read, re-chase, re-lock
+	}
+	// Lock held, and the CAS win proves pageBuf (validated at ver) is still
+	// the page's current content.
+	n := tr.t.L.Wrap(tr.pageBuf)
+	switch tr.Op {
+	case TravInsert:
+		if !n.LeafInsert(tr.Key, tr.Value) {
+			// Capacity was checked on this same validated copy in lockLeaf.
+			panic("btree: no space in leaf locked at checked version")
+		}
+		return tr.postWrite(sink)
+	default: // TravDelete
+		for i := n.LeafLowerBound(tr.Key); i < n.Count() && n.LeafKey(i) == tr.Key; i++ {
+			if n.LeafDeleted(i) || n.LeafValue(i) != tr.Value {
+				continue
+			}
+			n.SetLeafDeleted(i, true)
+			tr.Found = true
+			return tr.postWrite(sink)
+		}
+		// Not in this leaf; duplicates may continue right.
+		tr.moveRight = n.HighKey() == tr.Key
+		tr.next = n.Right()
+		return tr.postUnlockNC(sink)
+	}
+}
+
+func (tr *Traversal) handleWrite(c rdma.Completion, sink PostSink) StepResult {
+	if c.Err != nil {
+		if errors.Is(c.Err, rdma.ErrQPError) {
+			return StepResult{Status: StepBlocked, Server: tr.Server(), Err: c.Err}
+		}
+		if rdma.IsTransient(c.Err) {
+			tr.stepTries++
+			if tr.stepTries < stepRetryBudget {
+				tr.pauseWanted = true
+				return tr.Redo(sink)
+			}
+		}
+		// A failed write was never executed remotely (DESIGN.md §9): the
+		// page body is unchanged, release the lock by restoring the
+		// pre-lock version — the serial unlockBump's error path.
+		tr.t.abortUnlock(&tr.St, tr.p, tr.ver)
+		return tr.fail(c.Err)
+	}
+	tr.St.PageWrites++
+	tr.St.ExposedRTTs++
+	tr.env.Charge(tr.t.VisitNS)
+	return tr.postUnlock(sink)
+}
+
+func (tr *Traversal) handleUnlock(c rdma.Completion, sink PostSink) StepResult {
+	if c.Err != nil {
+		if errors.Is(c.Err, rdma.ErrQPError) {
+			return StepResult{Status: StepBlocked, Server: tr.Server(), Err: c.Err}
+		}
+		if !rdma.IsTransient(c.Err) {
+			return tr.fail(c.Err)
+		}
+		// The body is published: the version MUST move forward, so the FAA
+		// is driven to completion exactly like the serial unlockBump loop.
+		tr.unlockTries++
+		if tr.unlockTries >= unlockCompletionBudget {
+			return tr.fail(fmt.Errorf("btree: unlock of %v incomplete after %d attempts (page stays locked): %w",
+				tr.p, unlockCompletionBudget, c.Err))
+		}
+		tr.pauseWanted = true
+		return tr.Redo(sink)
+	}
+	tr.St.Atomics++
+	tr.St.ExposedRTTs++
+	return tr.done()
+}
+
+func (tr *Traversal) handleUnlockNC(c rdma.Completion, sink PostSink) StepResult {
+	if c.Err != nil {
+		if errors.Is(c.Err, rdma.ErrQPError) {
+			return StepResult{Status: StepBlocked, Server: tr.Server(), Err: c.Err}
+		}
+		if rdma.IsTransient(c.Err) {
+			tr.stepTries++
+			if tr.stepTries < stepRetryBudget {
+				tr.pauseWanted = true
+				return tr.Redo(sink)
+			}
+		}
+		return tr.fail(c.Err)
+	}
+	tr.St.Atomics++
+	tr.St.ExposedRTTs++
+	if c.Val != layout.WithLock(tr.ver) {
+		panic("btree: lock word changed while held")
+	}
+	if !tr.moveRight || tr.next.IsNull() {
+		return tr.done()
+	}
+	tr.p = tr.next
+	tr.mode = modeChase
+	tr.stepTries = 0
+	return tr.postPage(sink)
+}

@@ -97,6 +97,24 @@ type Tree struct {
 	SpinBudget int
 
 	cachedRoot rdma.RemotePtr
+
+	// Per-handle scratch. A Tree handle is single-owner (one compute thread
+	// or one RPC handler invocation), so the descent/lock paths share one
+	// lazily allocated page buffer and Lookup reuses one values buffer —
+	// the hot paths run allocation-free in steady state.
+	pageBuf   []uint64
+	valuesBuf []uint64
+}
+
+// scratchPage returns the handle's lazily allocated page buffer. Callers own
+// it only until the next operation on this handle; every call site consumes
+// the previous user's copy before overwriting (descents, lock acquisitions
+// and leaf ops never need two live scratch pages at once).
+func (t *Tree) scratchPage() []uint64 {
+	if t.pageBuf == nil {
+		t.pageBuf = make([]uint64, t.L.Words)
+	}
+	return t.pageBuf
 }
 
 // New returns a handle onto the tree whose root pointer lives at rootWord.
@@ -198,7 +216,7 @@ func (t *Tree) readNode(env rdma.Env, st *Stats, p rdma.RemotePtr, buf []uint64)
 // fences, and CASes the lock bit. On return the copy is consistent, current
 // and locked. Returns the final pointer, node copy and the pre-lock version.
 func (t *Tree) lockNodeForKey(env rdma.Env, st *Stats, p rdma.RemotePtr, key layout.Key) (rdma.RemotePtr, layout.Node, uint64, error) {
-	var buf []uint64
+	buf := t.scratchPage()
 	for {
 		n, v, err := t.readNode(env, st, p, buf)
 		if err != nil {
@@ -311,7 +329,7 @@ func (t *Tree) descendToLeaf(env rdma.Env, st *Stats, key layout.Key) (rdma.Remo
 	if err != nil {
 		return rdma.NullPtr, layout.Node{}, 0, err
 	}
-	var buf []uint64
+	buf := t.scratchPage()
 	depth := 1
 	for {
 		n, v, err := t.readNode(env, st, p, buf)
@@ -344,11 +362,16 @@ func (t *Tree) descendToLeaf(env rdma.Env, st *Stats, key layout.Key) (rdma.Remo
 
 // Lookup returns all values stored under key (non-unique index), excluding
 // delete-bit entries. found is false when no live entry exists.
+//
+// The returned slice aliases a per-handle scratch buffer: it is valid only
+// until the next operation on this handle. Callers that retain values across
+// operations must copy them out.
 func (t *Tree) Lookup(env rdma.Env, key layout.Key) (values []uint64, st Stats, err error) {
 	p, n, _, err := t.descendToLeaf(env, &st, key)
 	if err != nil {
 		return nil, st, err
 	}
+	values = t.valuesBuf[:0]
 	for {
 		for i := n.LeafLowerBound(key); i < n.Count() && n.LeafKey(i) == key; i++ {
 			if !n.LeafDeleted(i) {
@@ -357,16 +380,19 @@ func (t *Tree) Lookup(env rdma.Env, key layout.Key) (values []uint64, st Stats, 
 		}
 		// Duplicates may spill over the fence into right siblings.
 		if n.HighKey() != key {
+			t.valuesBuf = values
 			return values, st, nil
 		}
 		p = n.Right()
 		for {
 			if p.IsNull() {
+				t.valuesBuf = values
 				return values, st, nil
 			}
 			// Reuse the descent buffer: the previous copy is done with.
 			n, _, err = t.readNode(env, &st, p, n.W)
 			if err != nil {
+				t.valuesBuf = values[:0]
 				return nil, st, err
 			}
 			if !n.IsHead() {

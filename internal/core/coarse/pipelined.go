@@ -1,0 +1,194 @@
+package coarse
+
+import (
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/obs"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// PipelinedClient is the asynchronous variant of Client: up to inflight RPCs
+// are outstanding at once, their SENDs sharing doorbell batches
+// (DESIGN.md §11). The coarse design's pipelining is shallow — every
+// operation is exactly one RPC to its key's partition owner — so the engine
+// here is a simple ring of call slots: each round doorbells every newly
+// submitted request, polls the batch, and completes each slot from its
+// response. RPCs to *different* servers overlap their round trips; the paper's
+// depth-proportional latency disappears behind the pipeline exactly as in
+// the fine-grained design.
+//
+// RPC failures surface in the callback; compose with the retry/faultnet
+// stack by wrapping the endpoint before binding the client (a wrapped
+// endpoint without a native async surface still works through the generic
+// adapter, trading overlap for fault transparency).
+//
+// Like the serial Client, a PipelinedClient is owned by a single goroutine.
+type PipelinedClient struct {
+	ep   rdma.AsyncEndpoint
+	env  rdma.Env
+	part partition.Partitioner
+	log  *obs.Log
+
+	slots  []*callSlot
+	free   []int32
+	active int
+	// order[i] is the slot that posted the i-th call of the round being
+	// delivered; nextOrder accumulates the next round.
+	order, nextOrder []int32
+	comps            []rdma.Completion
+}
+
+func opKind(op uint8) obs.OpKind {
+	switch op {
+	case nam.OpLookup:
+		return obs.OpLookup
+	case nam.OpInsert:
+		return obs.OpInsert
+	default:
+		return obs.OpDelete
+	}
+}
+
+type callSlot struct {
+	idx    int32
+	op     uint8
+	key    uint64
+	server int
+	start  int64
+
+	onLookup func(values []uint64, err error)
+	onInsert func(err error)
+	onDelete func(found bool, err error)
+}
+
+// NewPipelinedClient binds an asynchronous client to an endpoint;
+// inflight <= 0 selects a default of 16 slots.
+func NewPipelinedClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, inflight int) *PipelinedClient {
+	if inflight <= 0 {
+		inflight = 16
+	}
+	c := &PipelinedClient{ep: rdma.Async(ep), env: env, part: cat.Partitioner()}
+	c.slots = make([]*callSlot, inflight)
+	c.free = make([]int32, 0, inflight)
+	for i := range c.slots {
+		c.slots[i] = &callSlot{idx: int32(i)}
+		c.free = append(c.free, int32(i))
+	}
+	return c
+}
+
+// SetOpLog attaches the flight recorder: completed operations land as
+// retroactive spans carrying their partition, and every RPC records its
+// destination and outcome. A nil log disables tracing.
+func (c *PipelinedClient) SetOpLog(log *obs.Log) { c.log = log }
+
+// Lookup submits an asynchronous lookup; cb runs when the RPC completes
+// (possibly within this call, if the client pumps rounds to free a slot).
+func (c *PipelinedClient) Lookup(key uint64, cb func(values []uint64, err error)) {
+	s := c.take()
+	s.op, s.key = nam.OpLookup, key
+	s.onLookup = cb
+	c.post(s, &nam.Request{Op: nam.OpLookup, Key: key})
+}
+
+// Insert submits an asynchronous insert of (key, value).
+func (c *PipelinedClient) Insert(key, value uint64, cb func(err error)) {
+	s := c.take()
+	s.op, s.key = nam.OpInsert, key
+	s.onInsert = cb
+	c.post(s, &nam.Request{Op: nam.OpInsert, Key: key, Value: value})
+}
+
+// Delete submits an asynchronous delete of one entry matching (key, value).
+func (c *PipelinedClient) Delete(key, value uint64, cb func(found bool, err error)) {
+	s := c.take()
+	s.op, s.key = nam.OpDelete, key
+	s.onDelete = cb
+	c.post(s, &nam.Request{Op: nam.OpDelete, Key: key, Value: value})
+}
+
+// Drain blocks until every submitted operation has completed.
+func (c *PipelinedClient) Drain() {
+	for c.active > 0 {
+		c.pumpRound()
+	}
+}
+
+// Inflight returns the number of call slots.
+func (c *PipelinedClient) Inflight() int { return len(c.slots) }
+
+func (c *PipelinedClient) take() *callSlot {
+	for len(c.free) == 0 {
+		c.pumpRound()
+	}
+	idx := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.active++
+	return c.slots[idx]
+}
+
+func (c *PipelinedClient) post(s *callSlot, req *nam.Request) {
+	if c.log != nil {
+		s.start = c.log.Clock.Now()
+	}
+	s.server = c.part.Server(s.key)
+	c.ep.PostCall(s.server, req.Encode())
+	c.nextOrder = append(c.nextOrder, s.idx)
+}
+
+func (c *PipelinedClient) pumpRound() {
+	c.order, c.nextOrder = c.nextOrder, c.order[:0]
+	if len(c.order) == 0 {
+		if c.active == 0 {
+			return
+		}
+		panic("coarse: active operations with no posted calls")
+	}
+	c.ep.Flush()
+	c.comps = c.ep.Poll(c.comps[:0])
+	if len(c.comps) != len(c.order) {
+		panic(fmt.Sprintf("coarse: %d completions for %d posted calls", len(c.comps), len(c.order)))
+	}
+	for i, idx := range c.order {
+		c.finish(c.slots[idx], c.comps[i])
+	}
+}
+
+// finish decodes one slot's response exactly as the serial client does and
+// releases the slot before the callback runs (callbacks may resubmit).
+func (c *PipelinedClient) finish(s *callSlot, comp rdma.Completion) {
+	var resp nam.Response
+	err := comp.Err
+	if err == nil {
+		resp, err = nam.DecodeResponse(comp.Resp)
+		if err == nil {
+			err = resp.AsError()
+		}
+	}
+	c.log.RPCEvent(s.server, s.op, err)
+	if c.log != nil {
+		c.log.OpSpan(opKind(s.op), s.key, s.server, c.log.Clock.Now()-s.start, err)
+	}
+	c.active--
+	c.free = append(c.free, s.idx)
+	switch s.op {
+	case nam.OpLookup:
+		cb := s.onLookup
+		s.onLookup = nil
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(resp.Values, nil)
+	case nam.OpInsert:
+		cb := s.onInsert
+		s.onInsert = nil
+		cb(err)
+	default:
+		cb := s.onDelete
+		s.onDelete = nil
+		cb(err == nil && resp.Status == nam.StatusOK, err)
+	}
+}

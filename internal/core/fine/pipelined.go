@@ -1,0 +1,94 @@
+package fine
+
+import (
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/obs"
+	"github.com/namdb/rdmatree/internal/pipeline"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/telemetry"
+)
+
+// PipelinedClient is the asynchronous variant of Client: one compute thread
+// keeps up to inflight operations outstanding on its endpoint, and the
+// traversal steps of all in-flight operations share doorbell batches
+// (DESIGN.md §11). Operations complete through callbacks, in whatever order
+// the protocol resolves them; submission blocks only when every slot is
+// busy. The client embeds the same operation-level recovery as
+// core.Recovered, so it needs no Recovered wrapper.
+//
+// Like the serial Client, a PipelinedClient is owned by a single goroutine.
+type PipelinedClient struct {
+	eng  *pipeline.Engine
+	tree *btree.Tree
+}
+
+// NewPipelinedClient binds an asynchronous client to an endpoint. rrStart
+// staggers split-page placement (pass the client ID); inflight <= 0 selects
+// pipeline.DefaultInflight. When the endpoint can re-establish queue pairs
+// (it implements rdma.Reconnector, e.g. faultnet), QP errors on one
+// in-flight operation are recovered without disturbing the others.
+func NewPipelinedClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart, inflight int) *PipelinedClient {
+	l := layout.New(cat.PageBytes)
+	t := btree.New(l, &btree.EndpointMem{
+		Ep:    ep,
+		Place: btree.RoundRobin(cat.Servers, rrStart),
+	}, cat.RootWords[0])
+	rc, _ := ep.(rdma.Reconnector)
+	eng := pipeline.New(pipeline.Config{
+		Tree:        t,
+		Ep:          ep,
+		Env:         env,
+		Inflight:    inflight,
+		Reconnector: rc,
+	})
+	return &PipelinedClient{eng: eng, tree: t}
+}
+
+// Lookup submits an asynchronous lookup; cb runs when it completes (possibly
+// within this call, if the engine pumps rounds to free a slot). values
+// aliases engine scratch and is valid only inside the callback.
+func (c *PipelinedClient) Lookup(key uint64, cb func(values []uint64, err error)) {
+	c.eng.Lookup(key, cb)
+}
+
+// Insert submits an asynchronous insert of (key, value).
+func (c *PipelinedClient) Insert(key, value uint64, cb func(err error)) {
+	c.eng.Insert(key, value, cb)
+}
+
+// Delete submits an asynchronous delete of one entry matching (key, value).
+func (c *PipelinedClient) Delete(key, value uint64, cb func(found bool, err error)) {
+	c.eng.Delete(key, value, cb)
+}
+
+// Range drains the pipeline and runs a blocking one-sided leaf-level scan
+// with head-node prefetching (scans chain pointers and gain nothing from
+// overlapping with point operations).
+func (c *PipelinedClient) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
+	return c.eng.Range(lo, hi, emit)
+}
+
+// Drain blocks until every submitted operation has completed.
+func (c *PipelinedClient) Drain() { c.eng.Drain() }
+
+// Inflight returns the number of operation slots.
+func (c *PipelinedClient) Inflight() int { return c.eng.Inflight() }
+
+// SetRecorder directs the per-operation protocol counters and the
+// pipeline-shape counters (doorbell coalescing, in-flight depth) into rec.
+func (c *PipelinedClient) SetRecorder(rec *telemetry.Recorder) { c.eng.SetRecorder(rec) }
+
+// SetOpLog attaches the flight recorder: completed operations land as
+// retroactive spans. The serial clients' per-access tracing does not apply
+// to the async dataplane (wrap the endpoint with telemetry.Wrap for verb-
+// level spans).
+func (c *PipelinedClient) SetOpLog(log *obs.Log) { c.eng.SetLog(log) }
+
+// SetSpinBudget bounds consistency restarts per traversal attempt, exactly
+// as on the serial client.
+func (c *PipelinedClient) SetSpinBudget(n int) { c.tree.SpinBudget = n }
+
+// Tree exposes the underlying engine (stats, invariant checks).
+func (c *PipelinedClient) Tree() *btree.Tree { return c.tree }

@@ -1,0 +1,266 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/obs"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/telemetry"
+)
+
+// PipelinedClient is the asynchronous variant of Client: up to inflight
+// traverse RPCs are outstanding at once, their SENDs sharing doorbell
+// batches (DESIGN.md §11). The hybrid design splits each operation into a
+// server-side upper-level traversal (one RPC) and a one-sided leaf access;
+// the RPC dominates the exposed latency and is what this client pipelines.
+// When a traverse completes, the slot's leaf access runs through the serial
+// one-sided protocol between rounds — blocking verbs are safe there because
+// delivery happens with no completions outstanding — and a split's install
+// RPC likewise runs serially (splits are rare; pipelining them would buy
+// nothing and complicate the exactly-once argument).
+//
+// Like the serial Client, a PipelinedClient is owned by a single goroutine.
+type PipelinedClient struct {
+	ep   rdma.AsyncEndpoint
+	env  rdma.Env
+	part partition.Partitioner
+	leaf *btree.Tree
+	rec  *telemetry.Recorder
+	log  *obs.Log
+
+	slots  []*travSlot
+	free   []int32
+	active int
+	// order[i] is the slot that posted the i-th traverse of the round being
+	// delivered; nextOrder accumulates the next round.
+	order, nextOrder []int32
+	comps            []rdma.Completion
+}
+
+type travSlot struct {
+	idx        int32
+	op         uint8 // nam.OpLookup / nam.OpInsert / nam.OpDelete
+	key, value uint64
+	server     int
+	start      int64
+
+	onLookup func(values []uint64, err error)
+	onInsert func(err error)
+	onDelete func(found bool, err error)
+}
+
+// NewPipelinedClient binds an asynchronous client to an endpoint; rrStart
+// staggers split-page placement, inflight <= 0 selects a default of 16
+// slots.
+func NewPipelinedClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStart, inflight int) *PipelinedClient {
+	if inflight <= 0 {
+		inflight = 16
+	}
+	l := layout.New(cat.PageBytes)
+	leaf := btree.New(l, &btree.EndpointMem{
+		Ep:    ep,
+		Place: btree.RoundRobin(cat.Servers, rrStart),
+	}, rdma.NullPtr)
+	c := &PipelinedClient{
+		ep:   rdma.Async(ep),
+		env:  env,
+		part: cat.Partitioner(),
+		leaf: leaf,
+	}
+	c.slots = make([]*travSlot, inflight)
+	c.free = make([]int32, 0, inflight)
+	for i := range c.slots {
+		c.slots[i] = &travSlot{idx: int32(i)}
+		c.free = append(c.free, int32(i))
+	}
+	return c
+}
+
+// SetRecorder directs the client-side (one-sided leaf level) protocol
+// counters into rec; server-side traversal counters come from the handler's
+// Options.Telemetry as in the serial client.
+func (c *PipelinedClient) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
+
+// SetOpLog attaches the flight recorder: completed operations land as
+// retroactive spans carrying their partition, and traverse/install RPCs
+// record destination and outcome. A nil log disables tracing.
+func (c *PipelinedClient) SetOpLog(log *obs.Log) { c.log = log }
+
+// SetSpinBudget bounds the leaf engine's consistency restarts per operation.
+func (c *PipelinedClient) SetSpinBudget(n int) { c.leaf.SpinBudget = n }
+
+// Lookup submits an asynchronous lookup; cb runs when the operation
+// completes (possibly within this call, if the client pumps rounds to free
+// a slot).
+func (c *PipelinedClient) Lookup(key uint64, cb func(values []uint64, err error)) {
+	s := c.take()
+	s.op, s.key = nam.OpLookup, key
+	s.onLookup = cb
+	c.post(s)
+}
+
+// Insert submits an asynchronous insert of (key, value).
+func (c *PipelinedClient) Insert(key, value uint64, cb func(err error)) {
+	s := c.take()
+	s.op, s.key, s.value = nam.OpInsert, key, value
+	s.onInsert = cb
+	c.post(s)
+}
+
+// Delete submits an asynchronous delete of one entry matching (key, value).
+func (c *PipelinedClient) Delete(key, value uint64, cb func(found bool, err error)) {
+	s := c.take()
+	s.op, s.key, s.value = nam.OpDelete, key, value
+	s.onDelete = cb
+	c.post(s)
+}
+
+// Drain blocks until every submitted operation has completed.
+func (c *PipelinedClient) Drain() {
+	for c.active > 0 {
+		c.pumpRound()
+	}
+}
+
+// Inflight returns the number of operation slots.
+func (c *PipelinedClient) Inflight() int { return len(c.slots) }
+
+func (c *PipelinedClient) take() *travSlot {
+	for len(c.free) == 0 {
+		c.pumpRound()
+	}
+	idx := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.active++
+	return c.slots[idx]
+}
+
+func (c *PipelinedClient) post(s *travSlot) {
+	if c.log != nil {
+		s.start = c.log.Clock.Now()
+	}
+	s.server = c.part.Server(s.key)
+	req := nam.Request{Op: nam.OpTraverse, Key: s.key}
+	c.ep.PostCall(s.server, req.Encode())
+	c.nextOrder = append(c.nextOrder, s.idx)
+}
+
+func (c *PipelinedClient) pumpRound() {
+	c.order, c.nextOrder = c.nextOrder, c.order[:0]
+	if len(c.order) == 0 {
+		if c.active == 0 {
+			return
+		}
+		panic("hybrid: active operations with no posted calls")
+	}
+	c.ep.Flush()
+	c.comps = c.ep.Poll(c.comps[:0])
+	if len(c.comps) != len(c.order) {
+		panic(fmt.Sprintf("hybrid: %d completions for %d posted calls", len(c.comps), len(c.order)))
+	}
+	for i, idx := range c.order {
+		c.deliver(c.slots[idx], c.comps[i])
+	}
+}
+
+// deliver consumes one slot's traverse response and runs its leaf access.
+func (c *PipelinedClient) deliver(s *travSlot, comp rdma.Completion) {
+	leaf, err := decodeTraverse(comp)
+	c.log.RPCEvent(s.server, nam.OpTraverse, err)
+	if err != nil {
+		c.finish(s, nil, false, err)
+		return
+	}
+	switch s.op {
+	case nam.OpLookup:
+		vals, st, err := c.leaf.LeafLookup(c.env, leaf, s.key)
+		c.record(st)
+		c.finish(s, vals, false, err)
+	case nam.OpInsert:
+		sp, st, err := c.leaf.LeafInsertAt(c.env, leaf, s.key, s.value)
+		c.record(st)
+		if err == nil && sp != nil {
+			// Report the split upstairs; the serial round trip is fine
+			// mid-delivery (nothing outstanding, later slots' traverses are
+			// buffered until the next doorbell).
+			req := nam.Request{Op: nam.OpInstall, End: sp.Sep, Left: sp.Left, Right: sp.Right}
+			var raw []byte
+			raw, err = c.ep.Call(s.server, req.Encode())
+			if err == nil {
+				var resp nam.Response
+				resp, err = nam.DecodeResponse(raw)
+				if err == nil {
+					err = resp.AsError()
+				}
+			}
+			c.log.RPCEvent(s.server, nam.OpInstall, err)
+		}
+		c.finish(s, nil, false, err)
+	default:
+		ok, st, err := c.leaf.LeafDeleteAt(c.env, leaf, s.key, s.value)
+		c.record(st)
+		c.finish(s, nil, ok, err)
+	}
+}
+
+func decodeTraverse(comp rdma.Completion) (rdma.RemotePtr, error) {
+	if comp.Err != nil {
+		return rdma.NullPtr, comp.Err
+	}
+	resp, err := nam.DecodeResponse(comp.Resp)
+	if err == nil {
+		err = resp.AsError()
+	}
+	if err != nil {
+		return rdma.NullPtr, err
+	}
+	if resp.Ptr.IsNull() {
+		return rdma.NullPtr, fmt.Errorf("hybrid: traverse returned null leaf")
+	}
+	return resp.Ptr, nil
+}
+
+func (c *PipelinedClient) record(st btree.Stats) {
+	if c.rec != nil {
+		c.rec.RecordIndexOp(st)
+	}
+}
+
+// finish releases the slot before the callback runs (callbacks may
+// resubmit).
+func (c *PipelinedClient) finish(s *travSlot, vals []uint64, found bool, err error) {
+	if c.log != nil {
+		c.log.OpSpan(opKind(s.op), s.key, s.server, c.log.Clock.Now()-s.start, err)
+	}
+	c.active--
+	c.free = append(c.free, s.idx)
+	switch s.op {
+	case nam.OpLookup:
+		cb := s.onLookup
+		s.onLookup = nil
+		cb(vals, err)
+	case nam.OpInsert:
+		cb := s.onInsert
+		s.onInsert = nil
+		cb(err)
+	default:
+		cb := s.onDelete
+		s.onDelete = nil
+		cb(found, err)
+	}
+}
+
+func opKind(op uint8) obs.OpKind {
+	switch op {
+	case nam.OpLookup:
+		return obs.OpLookup
+	case nam.OpInsert:
+		return obs.OpInsert
+	default:
+		return obs.OpDelete
+	}
+}

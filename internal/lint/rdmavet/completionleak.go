@@ -1,0 +1,155 @@
+package rdmavet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// postVerbs are the rdma.AsyncEndpoint methods that enqueue a verb and
+// allocate a completion the poster must later reap.
+var postVerbs = map[string]bool{
+	"PostRead":     true,
+	"PostWrite":    true,
+	"PostCAS":      true,
+	"PostFetchAdd": true,
+	"PostCall":     true,
+}
+
+// NewCompletionLeak builds the completionleak analyzer.
+//
+// The async contract (internal/rdma/async.go) is that Post* never reports an
+// error: a posted verb's outcome — including its failure — exists only as a
+// Completion reaped by Poll. A function that posts on an endpoint it owns and
+// returns without polling therefore abandons outcomes in flight: verb errors
+// are silently dropped (the async analogue of verberrs) and, on a real NIC,
+// completion-queue entries leak until the QP drowns in them. The analyzer
+// flags every Post* call in a function that contains no matching Poll on the
+// same endpoint.
+//
+// Two receiver shapes are exempt, because there the completions are consumed
+// on a path the per-function analysis cannot see:
+//
+//   - the endpoint is a struct field (e.sel.Post...): posting and polling are
+//     split across methods of the owning object (the pipelined engine's
+//     shape), and single-owner discipline ties them together;
+//   - the endpoint escapes the function in a non-verb position (passed to a
+//     call, returned, stored): whoever received it owns the outstanding
+//     completions.
+//
+// Flush is not consumption — it only rings the doorbell; a post+Flush with
+// no Poll still leaks every completion of the batch.
+func NewCompletionLeak() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "completionleak",
+		Doc:  "every posted verb's completion must be reaped by Poll on all paths",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		asyncIface := pass.Interface(rdmaPath(pass), "AsyncEndpoint")
+		if asyncIface == nil {
+			return nil
+		}
+
+		type post struct {
+			call *ast.CallExpr
+			name string
+			obj  types.Object
+		}
+		type fnState struct {
+			posts     []post
+			polled    map[types.Object]bool
+			polledAny bool
+			escaped   map[types.Object]bool
+		}
+		fns := make(map[ast.Node]*fnState)
+		var order []ast.Node
+		state := func(region ast.Node) *fnState {
+			s := fns[region]
+			if s == nil {
+				s = &fnState{polled: map[types.Object]bool{}, escaped: map[types.Object]bool{}}
+				fns[region] = s
+				order = append(order, region)
+			}
+			return s
+		}
+		// region is the outermost function declaration or literal: nested
+		// closures share their enclosing function's post/poll accounting
+		// (objects still match per endpoint variable).
+		region := func(stack []ast.Node) ast.Node {
+			for _, n := range stack {
+				switch n.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					return n
+				}
+			}
+			return nil
+		}
+		identObj := func(e ast.Expr) types.Object {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			return pass.Info.Uses[id]
+		}
+
+		walkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+			r := region(stack)
+			if r == nil {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				recv, recvType, name, ok := methodCall(pass, n)
+				if !ok || !implementsIface(recvType, asyncIface) {
+					return
+				}
+				switch {
+				case postVerbs[name]:
+					state(r).posts = append(state(r).posts, post{call: n, name: name, obj: identObj(recv)})
+				case name == "Poll":
+					if obj := identObj(recv); obj != nil {
+						state(r).polled[obj] = true
+					} else {
+						state(r).polledAny = true
+					}
+				}
+			case *ast.Ident:
+				obj := pass.Info.Uses[n]
+				if obj == nil || !implementsIface(obj.Type(), asyncIface) {
+					return
+				}
+				// A use as the receiver of a method call is verb traffic; any
+				// other use hands the endpoint (and its outstanding
+				// completions) to someone else.
+				if sel, ok := parentOf(stack).(*ast.SelectorExpr); ok && ast.Unparen(sel.X) == ast.Node(n) {
+					if len(stack) >= 2 {
+						if call, ok := parentOf(stack[:len(stack)-1]).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == ast.Node(sel) {
+							return
+						}
+					}
+				}
+				state(r).escaped[obj] = true
+			}
+		})
+
+		for _, r := range order {
+			s := fns[r]
+			for _, p := range s.posts {
+				if p.obj == nil {
+					// Field-selector receiver: post and Poll live in
+					// different methods of the owning object.
+					continue
+				}
+				if s.polledAny || s.polled[p.obj] || s.escaped[p.obj] {
+					continue
+				}
+				pass.Reportf(p.call.Pos(),
+					"completion of %s is never polled: a posted verb's outcome (including its error) exists only as a Completion, so returning without Poll abandons it in flight",
+					p.name)
+			}
+		}
+		return nil
+	}
+	return a
+}

@@ -17,7 +17,10 @@
 //     rdma.NopEnv{} may not leak into timed protocol paths (nopenv);
 //   - transient verb failures are retried by the shared policy in
 //     internal/rdma/retry, never by hand-rolled loops in client code
-//     (retrynaked).
+//     (retrynaked);
+//   - on the non-blocking surface, a posted verb's outcome exists only as a
+//     Completion, so every Post* must be paired with a Poll that reaps it
+//     (completionleak).
 //
 // One-sided RDMA designs make these contracts load-bearing: the remote CPU
 // never validates a request, so nothing at runtime catches a client that
@@ -79,6 +82,7 @@ func Suite() []*lint.Analyzer {
 		NewLayoutWords(DefaultLayoutWordsScope),
 		NewNopEnv(DefaultNopEnvScope),
 		NewRetryNaked(DefaultRetryNakedScope),
+		NewCompletionLeak(),
 	}
 }
 

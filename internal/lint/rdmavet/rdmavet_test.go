@@ -40,6 +40,10 @@ func TestRetryNaked(t *testing.T) {
 	linttest.Run(t, "testdata/retrynaked", "fixture/retrynaked", rdmavet.NewRetryNaked(fixtureScope))
 }
 
+func TestCompletionLeak(t *testing.T) {
+	linttest.Run(t, "testdata/completionleak", "fixture/completionleak", rdmavet.NewCompletionLeak())
+}
+
 // TestWallclockOutOfScope pins the scoping mechanism itself: the same
 // violating fixture produces no diagnostics when analyzed under the default
 // (real-package) scope.
@@ -104,7 +108,7 @@ func TestDefaultScopes(t *testing.T) {
 
 // TestSuite pins the suite composition: CI runs exactly these analyzers.
 func TestSuite(t *testing.T) {
-	want := []string{"caschecked", "endpointshare", "wallclock", "verberrs", "layoutwords", "nopenv", "retrynaked"}
+	want := []string{"caschecked", "endpointshare", "wallclock", "verberrs", "layoutwords", "nopenv", "retrynaked", "completionleak"}
 	suite := rdmavet.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

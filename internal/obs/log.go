@@ -145,6 +145,32 @@ func (l *Log) EndOp(err error) {
 	}
 }
 
+// OpSpan records one completed client-visible operation retroactively. The
+// pipelined dataplane keeps many operations in flight on one client, so the
+// depth-counted BeginOp/EndOp pair (which assumes one op at a time) cannot
+// bracket them; instead the engine measures each op itself and lands the
+// whole span — start marker, end marker, duration, metrics — at completion
+// time. SLO breaches and server-lost outcomes trigger dumps exactly as with
+// EndOp. Zero-alloc.
+func (l *Log) OpSpan(kind OpKind, key uint64, part int, durNS int64, err error) {
+	if l == nil {
+		return
+	}
+	l.Event(EvOpStart, key, uint64(kind)|uint64(part+1)<<8)
+	code := errCode(err)
+	l.Event(EvOpEnd, code, uint64(durNS))
+	if l.Metrics != nil {
+		l.Metrics.RecordOp(kind, part, durNS)
+	}
+	if l.SLONS > 0 && durNS > l.SLONS {
+		l.Event(EvSLO, uint64(durNS), 0)
+		l.trigger("slo-breach")
+	}
+	if code == ecServerLost {
+		l.trigger("server-lost")
+	}
+}
+
 // Hook methods: each satisfies one producer-side consumer interface
 // (retry.Events, core.RecoveryEvents, cache.Events), keeping every
 // dependency pointing from the protocol packages to nothing.

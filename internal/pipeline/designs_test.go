@@ -1,0 +1,153 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/core"
+	"github.com/namdb/rdmatree/internal/core/coarse"
+	"github.com/namdb/rdmatree/internal/core/hybrid"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// asyncIndex is the callback surface shared by all three designs' pipelined
+// clients.
+type asyncIndex interface {
+	Lookup(key uint64, cb func(values []uint64, err error))
+	Insert(key, value uint64, cb func(err error))
+	Delete(key, value uint64, cb func(found bool, err error))
+	Drain()
+}
+
+var (
+	_ asyncIndex = (*coarse.PipelinedClient)(nil)
+	_ asyncIndex = (*hybrid.PipelinedClient)(nil)
+)
+
+// driveAsync mirrors driveSerial through the callback surface, draining at
+// section boundaries.
+func driveAsync(t *testing.T, c asyncIndex) string {
+	t.Helper()
+	type getRes struct {
+		vals []uint64
+		err  error
+	}
+	var b strings.Builder
+
+	runGets := func(format string, keys []uint64) {
+		res := make([]getRes, len(keys))
+		for i, k := range keys {
+			i := i
+			c.Lookup(k, func(vals []uint64, err error) {
+				res[i] = getRes{vals: append([]uint64(nil), vals...), err: err}
+			})
+		}
+		c.Drain()
+		for i, r := range res {
+			fmt.Fprintf(&b, format, keys[i], r.vals, r.err)
+		}
+	}
+
+	var keys []uint64
+	for k := uint64(0); k < 600; k += 7 {
+		keys = append(keys, k)
+	}
+	runGets("get %d -> %v %v\n", keys)
+
+	putErrs := make([]error, 80)
+	for i := range putErrs {
+		i := i
+		k := uint64(2000 + i)
+		c.Insert(k, k*3, func(err error) { putErrs[i] = err })
+	}
+	c.Drain()
+	for i, err := range putErrs {
+		fmt.Fprintf(&b, "put %d %v\n", 2000+i, err)
+	}
+
+	type delRes struct {
+		ok  bool
+		err error
+	}
+	delRess := make([]delRes, 30)
+	for i := range delRess {
+		i := i
+		k := uint64(2000 + i)
+		c.Delete(k, k*3, func(ok bool, err error) { delRess[i] = delRes{ok, err} })
+	}
+	c.Drain()
+	for i, r := range delRess {
+		fmt.Fprintf(&b, "del %d %v %v\n", 2000+i, r.ok, r.err)
+	}
+
+	keys = nil
+	for k := uint64(1990); k < 2090; k += 3 {
+		keys = append(keys, k)
+	}
+	runGets("chk %d -> %v %v\n", keys)
+	return b.String()
+}
+
+// TestConformanceCoarse pins the coarse pipelined client (outstanding RPC
+// ring) to the serial RPC client at in-flight 1 and 8.
+func TestConformanceCoarse(t *testing.T) {
+	const keyspace = 1 << 16
+	build := func() (*direct.Fabric, *nam.Catalog) {
+		fab := direct.New(3, 64<<20, nam.SuperblockBytes)
+		srv := coarse.NewServer(fab, coarse.Options{
+			Layout: layout.New(512),
+			Part:   partition.NewRangeUniform(3, keyspace),
+		})
+		cat, err := srv.Build(core.BuildSpec{N: 5000, At: workload.DataItem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab.SetHandler(srv.Handler())
+		return fab, cat
+	}
+	fab, cat := build()
+	serial := driveSerial(t, coarse.NewClient(fab.Endpoint(), direct.Env{}, cat))
+	for _, inflight := range []int{1, 8} {
+		fab, cat := build()
+		got := driveAsync(t, coarse.NewPipelinedClient(fab.Endpoint(), direct.Env{}, cat, inflight))
+		if serial != got {
+			t.Errorf("coarse in-flight %d diverged from serial:\nserial:\n%s\npipelined:\n%s",
+				inflight, serial, got)
+		}
+	}
+}
+
+// TestConformanceHybrid pins the hybrid pipelined client (outstanding
+// traverse RPCs + serial one-sided leaf accesses) to the serial client at
+// in-flight 1 and 8.
+func TestConformanceHybrid(t *testing.T) {
+	const keyspace = 1 << 16
+	build := func() (*direct.Fabric, *nam.Catalog) {
+		fab := direct.New(3, 64<<20, nam.SuperblockBytes)
+		srv := hybrid.NewServer(fab, hybrid.Options{
+			Layout: layout.New(512),
+			Part:   partition.NewRangeUniform(3, keyspace),
+		})
+		cat, err := srv.Build(fab.Endpoint(), core.BuildSpec{N: 5000, At: workload.DataItem, HeadEvery: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab.SetHandler(srv.Handler())
+		return fab, cat
+	}
+	fab, cat := build()
+	serial := driveSerial(t, hybrid.NewClient(fab.Endpoint(), direct.Env{}, cat, 0))
+	for _, inflight := range []int{1, 8} {
+		fab, cat := build()
+		got := driveAsync(t, hybrid.NewPipelinedClient(fab.Endpoint(), direct.Env{}, cat, 0, inflight))
+		if serial != got {
+			t.Errorf("hybrid in-flight %d diverged from serial:\nserial:\n%s\npipelined:\n%s",
+				inflight, serial, got)
+		}
+	}
+}

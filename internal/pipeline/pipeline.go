@@ -1,0 +1,540 @@
+// Package pipeline implements the asynchronous pipelined client dataplane:
+// one Engine keeps up to Inflight index operations outstanding on a single
+// endpoint (one queue pair per memory server), advancing each operation as a
+// resumable state machine (btree.Traversal) driven by verb completions.
+//
+// Scheduling is bulk-synchronous rounds. In each round the engine flushes
+// everything the in-flight traversals posted — verbs from *different*
+// operations coalesce into the same doorbell batch — polls the batch, and
+// delivers each traversal its own completions, which makes it post its next
+// step. One exposed round trip therefore advances every in-flight operation
+// by one protocol step: point-lookup throughput approaches
+// depth-independent RTT amortization instead of paying depth round trips per
+// operation (the Storm-style dataplane; see DESIGN.md §11).
+//
+// Correctness under reordering rests on two properties:
+//
+//   - Per-QP ordering. All verbs to one server run in posting order, so a
+//     traversal's fused page+version read pair validates exactly as the
+//     serial Mem.ReadValidated batch does, even with other operations'
+//     verbs interleaved around it.
+//   - Step isolation. A traversal only ever has one step outstanding, and a
+//     step's verbs target one page. Verbs of different in-flight operations
+//     are mutually unordered — which is exactly the concurrency the B-link
+//     protocol already tolerates between different clients.
+//
+// Fault handling composes with the client-side recovery stack: transient
+// verb failures repost the step (the serial retry.Policy budget), QP errors
+// park the traversal until the engine re-establishes the queue pair
+// (neighbouring operations keep flowing), and operation-level failures run
+// the same epoch-fenced re-traversal as core.Recovered — including the
+// insert presence check that makes re-runs exactly-once. A fault on one
+// in-flight operation never stalls or corrupts its neighbours: its slot
+// retries independently while every other slot advances each round.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/obs"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/telemetry"
+)
+
+const (
+	// DefaultInflight is the default number of operation slots.
+	DefaultInflight = 16
+	// DefaultMaxOpAttempts mirrors core.DefaultMaxOpAttempts: how often one
+	// operation is run (first run included) across epoch-fenced recoveries.
+	DefaultMaxOpAttempts = 6
+	// reconnectBudget bounds reconnect attempts per QP-error episode,
+	// mirroring retry.Policy.MaxAttempts.
+	reconnectBudget = 8
+)
+
+// Config configures an Engine. Tree, Ep and Env are required; everything
+// else is optional.
+type Config struct {
+	// Tree is the client's handle onto the fine-grained index. The engine
+	// uses it for layout and root-cache state, and to run rare structural
+	// operations (leaf splits) through the serial path.
+	Tree *btree.Tree
+	// Ep is the client's endpoint. Its non-blocking surface (rdma.Async) is
+	// the dataplane; its blocking surface runs serial fallbacks between
+	// rounds.
+	Ep rdma.Endpoint
+	// Env is the client's execution environment (time charging, backoff).
+	Env rdma.Env
+	// Inflight is the number of operation slots (default DefaultInflight).
+	Inflight int
+	// MaxOpAttempts bounds epoch-fenced re-runs per operation (default
+	// DefaultMaxOpAttempts).
+	MaxOpAttempts int
+	// Reconnector re-establishes queue pairs after rdma.ErrQPError. Leave
+	// nil for transports that recover by teardown + lazy redial (tcpnet) or
+	// cannot fail (direct, simnet without faults).
+	Reconnector rdma.Reconnector
+	// Rec receives per-verb, per-op and pipeline counters. May be shared.
+	Rec *telemetry.Recorder
+	// Log is the flight recorder: each completed operation lands as a
+	// retroactive span (obs.Log.OpSpan), fences and reconnects as events.
+	Log *obs.Log
+}
+
+// slot is one operation slot: a traversal state machine plus the operation's
+// recovery bookkeeping. Slots and their buffers live for the engine's
+// lifetime, so steady-state operation allocates nothing.
+type slot struct {
+	idx int32
+	tr  *btree.Traversal
+
+	op         btree.TraversalOp
+	key, value uint64
+	attempts   int
+	insRecover bool // insert recovery: presence-check lookup in flight
+	start      int64
+	st         btree.Stats
+
+	blockedOn   int
+	blockedErr  error
+	reconnTries int
+
+	onLookup func(values []uint64, err error)
+	onInsert func(err error)
+	onDelete func(found bool, err error)
+}
+
+// Engine is a per-client submission/completion core. Like the endpoint it
+// drives, an Engine is owned by a single client goroutine.
+type Engine struct {
+	cfg Config
+	ep  rdma.AsyncEndpoint
+
+	slots  []*slot
+	free   []int32
+	active int
+
+	// posting is the slot whose traversal is currently being advanced; the
+	// PostSink methods tag every posted verb with it.
+	posting int32
+	// postOrder[i] is the slot that posted the i-th verb of the current
+	// round; completions arrive in posting order, and each slot's verbs for
+	// one step are contiguous, so delivery walks contiguous runs. nextOrder
+	// accumulates the following round while the current one is delivered.
+	postOrder, nextOrder []int32
+	comps                []rdma.Completion
+	blocked              []int32
+	pauseWanted          bool
+}
+
+var _ btree.PostSink = (*Engine)(nil)
+
+// New creates an engine. The endpoint's native non-blocking surface is used
+// when it has one (all bundled transports and the telemetry decorator);
+// otherwise the generic adapter provides the same contract.
+func New(cfg Config) *Engine {
+	if cfg.Inflight <= 0 {
+		cfg.Inflight = DefaultInflight
+	}
+	if cfg.MaxOpAttempts <= 0 {
+		cfg.MaxOpAttempts = DefaultMaxOpAttempts
+	}
+	e := &Engine{cfg: cfg, ep: rdma.Async(cfg.Ep)}
+	e.slots = make([]*slot, cfg.Inflight)
+	e.free = make([]int32, 0, cfg.Inflight)
+	for i := range e.slots {
+		e.slots[i] = &slot{idx: int32(i), tr: btree.NewTraversal(cfg.Tree, cfg.Env)}
+		e.free = append(e.free, int32(i))
+	}
+	return e
+}
+
+// Inflight returns the engine's slot count.
+func (e *Engine) Inflight() int { return len(e.slots) }
+
+// SetRecorder directs telemetry (verb counters come from the endpoint
+// decorator; the engine contributes per-op index stats and pipeline-shape
+// counters). A nil rec disables recording.
+func (e *Engine) SetRecorder(rec *telemetry.Recorder) { e.cfg.Rec = rec }
+
+// SetLog attaches the flight recorder. Unlike the serial clients' depth-
+// counted BeginOp/EndOp bracketing — which cannot express interleaved
+// operations — the engine records each operation as a retroactive span when
+// it completes (obs.Log.OpSpan). A nil log disables tracing.
+func (e *Engine) SetLog(l *obs.Log) { e.cfg.Log = l }
+
+// --- btree.PostSink -------------------------------------------------------
+
+// PostRead implements btree.PostSink.
+func (e *Engine) PostRead(p rdma.RemotePtr, dst []uint64) {
+	e.ep.PostRead(p, dst)
+	e.nextOrder = append(e.nextOrder, e.posting)
+}
+
+// PostWrite implements btree.PostSink.
+func (e *Engine) PostWrite(p rdma.RemotePtr, src []uint64) {
+	e.ep.PostWrite(p, src)
+	e.nextOrder = append(e.nextOrder, e.posting)
+}
+
+// PostCAS implements btree.PostSink.
+func (e *Engine) PostCAS(p rdma.RemotePtr, old, new uint64) {
+	e.ep.PostCAS(p, old, new)
+	e.nextOrder = append(e.nextOrder, e.posting)
+}
+
+// PostFetchAdd implements btree.PostSink.
+func (e *Engine) PostFetchAdd(p rdma.RemotePtr, delta uint64) {
+	e.ep.PostFetchAdd(p, delta)
+	e.nextOrder = append(e.nextOrder, e.posting)
+}
+
+// --- submission -----------------------------------------------------------
+
+// Lookup submits a lookup. cb runs when the operation completes (possibly
+// within this call, when the engine had to pump rounds to free a slot). The
+// values slice aliases slot scratch: it is valid only inside the callback.
+// Callbacks may submit new operations.
+func (e *Engine) Lookup(key uint64, cb func(values []uint64, err error)) {
+	s := e.take()
+	s.op, s.key, s.value = btree.TravLookup, key, 0
+	s.onLookup = cb
+	e.begin(s)
+}
+
+// Insert submits an insert of (key, value).
+func (e *Engine) Insert(key, value uint64, cb func(err error)) {
+	s := e.take()
+	s.op, s.key, s.value = btree.TravInsert, key, value
+	s.onInsert = cb
+	e.begin(s)
+}
+
+// Delete submits a delete of one entry matching (key, value); the callback
+// reports whether an entry was marked.
+func (e *Engine) Delete(key, value uint64, cb func(found bool, err error)) {
+	s := e.take()
+	s.op, s.key, s.value = btree.TravDelete, key, value
+	s.onDelete = cb
+	e.begin(s)
+}
+
+// Drain runs rounds until every in-flight operation completed.
+func (e *Engine) Drain() {
+	for e.active > 0 {
+		e.pumpRound()
+	}
+}
+
+// Range drains the pipeline and executes a blocking one-sided range scan.
+// Scans are not pipelined: a scan is a pointer chain (each leaf names the
+// next), so overlapping its steps with point operations buys no round trips,
+// and the serial scan already prefetches via head nodes.
+func (e *Engine) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
+	e.Drain()
+	var start int64
+	if e.cfg.Log != nil {
+		start = e.cfg.Log.Clock.Now()
+	}
+	st, err := e.cfg.Tree.Scan(e.cfg.Env, lo, hi, emit)
+	if e.cfg.Rec != nil {
+		e.cfg.Rec.RecordIndexOp(st)
+	}
+	if e.cfg.Log != nil {
+		e.cfg.Log.OpSpan(obs.OpRange, lo, -1, e.cfg.Log.Clock.Now()-start, err)
+	}
+	return err
+}
+
+// take claims a free slot, pumping rounds until one completes if all are
+// busy (submission backpressure).
+func (e *Engine) take() *slot {
+	for len(e.free) == 0 {
+		e.pumpRound()
+	}
+	idx := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	e.active++
+	return e.slots[idx]
+}
+
+func (e *Engine) begin(s *slot) {
+	s.attempts = 1
+	s.insRecover = false
+	s.st = btree.Stats{}
+	if e.cfg.Log != nil {
+		s.start = e.cfg.Log.Clock.Now()
+	}
+	e.advance(s, s.op)
+}
+
+// advance (re)arms s's traversal for op and runs its first step.
+func (e *Engine) advance(s *slot, op btree.TraversalOp) {
+	value := s.value
+	if op == btree.TravLookup {
+		value = 0
+	}
+	s.tr.Begin(op, s.key, value)
+	e.posting = s.idx
+	res := s.tr.Step(nil, e)
+	e.handle(s, res)
+}
+
+// --- the round loop -------------------------------------------------------
+
+// pumpRound runs one scheduling round: doorbell the verbs posted since the
+// last round, poll their completions, and deliver each traversal its run.
+func (e *Engine) pumpRound() {
+	e.postOrder, e.nextOrder = e.nextOrder, e.postOrder[:0]
+	if e.pauseWanted {
+		// Coalesced backoff: however many traversals hit a consistency
+		// restart or transient fault last round, the engine pays one pause.
+		e.cfg.Env.Pause()
+		e.pauseWanted = false
+	}
+	if len(e.postOrder) == 0 {
+		if len(e.blocked) > 0 {
+			e.retryBlocked()
+			return
+		}
+		if e.active == 0 {
+			return
+		}
+		panic("pipeline: active operations with no posted verbs")
+	}
+	e.ep.Flush()
+	if e.cfg.Rec != nil {
+		e.cfg.Rec.RecordPipelineRound(int64(e.active))
+	}
+	e.comps = e.ep.Poll(e.comps[:0])
+	if len(e.comps) != len(e.postOrder) {
+		panic(fmt.Sprintf("pipeline: %d completions for %d posted verbs", len(e.comps), len(e.postOrder)))
+	}
+	for i := 0; i < len(e.comps); {
+		idx := e.postOrder[i]
+		j := i + 1
+		for j < len(e.comps) && e.postOrder[j] == idx {
+			j++
+		}
+		s := e.slots[idx]
+		e.posting = idx
+		res := s.tr.Step(e.comps[i:j], e)
+		e.handle(s, res)
+		i = j
+	}
+	e.retryBlocked()
+}
+
+// handle dispatches one step result.
+func (e *Engine) handle(s *slot, res btree.StepResult) {
+	if s.tr.TakePause() {
+		e.pauseWanted = true
+	}
+	switch res.Status {
+	case btree.StepRunning:
+		// Verbs queued for the next round.
+	case btree.StepDone:
+		s.st.Add(s.tr.St)
+		if s.insRecover {
+			e.presenceResult(s)
+			return
+		}
+		e.finish(s, nil)
+	case btree.StepNeedSerial:
+		s.st.Add(s.tr.St)
+		e.runSerial(s)
+	case btree.StepBlocked:
+		s.blockedOn = res.Server
+		s.blockedErr = res.Err
+		s.reconnTries = 0
+		e.blocked = append(e.blocked, s.idx)
+	case btree.StepFailed:
+		s.st.Add(s.tr.St)
+		e.opError(s, res.Err)
+	}
+}
+
+// runSerial executes the whole operation through the serial path — reached
+// only for inserts that need a leaf split. The traversal reported
+// StepNeedSerial before locking anything, so the serial re-run is
+// exactly-once. Blocking verbs are safe here: delivery happens with no
+// completions outstanding, and the unflushed posts of other slots are
+// buffered client-side until the next doorbell.
+func (e *Engine) runSerial(s *slot) {
+	st, err := e.cfg.Tree.Insert(e.cfg.Env, s.key, s.value)
+	s.st.Add(st)
+	if err != nil {
+		e.opError(s, err)
+		return
+	}
+	e.finish(s, nil)
+}
+
+// presenceResult consumes the epoch-fenced presence check of an interrupted
+// insert (core.Recovered's exactly-once contract: values act as idempotence
+// tokens).
+func (e *Engine) presenceResult(s *slot) {
+	s.insRecover = false
+	for _, v := range s.tr.Values {
+		if v == s.value {
+			// The interrupted attempt published (key, value): committed.
+			e.finish(s, nil)
+			return
+		}
+	}
+	e.advance(s, btree.TravInsert)
+}
+
+// recoverable mirrors core.Recovered: a new epoch and a re-traversal can be
+// expected to clear transient verb failures and blown spin budgets, but not
+// a lost region.
+func recoverable(err error) bool {
+	if errors.Is(err, rdma.ErrServerLost) {
+		return false
+	}
+	return rdma.IsTransient(err) || errors.Is(err, btree.ErrSpinBudget)
+}
+
+// opError applies operation-level recovery to a failed attempt.
+func (e *Engine) opError(s *slot, err error) {
+	if !recoverable(err) {
+		e.finish(s, err)
+		return
+	}
+	if s.attempts >= e.cfg.MaxOpAttempts {
+		e.finish(s, fmt.Errorf("pipeline: %s(%d) unrecovered after %d attempts: %w",
+			opName(s.op), s.key, e.cfg.MaxOpAttempts, err))
+		return
+	}
+	s.attempts++
+	e.fence()
+	if s.op == btree.TravInsert {
+		// Presence check before the re-run; see presenceResult.
+		s.insRecover = true
+		e.advance(s, btree.TravLookup)
+		return
+	}
+	e.advance(s, s.op)
+}
+
+// fence opens a new epoch for one slot's re-traversal: drop the shared root
+// cache (whatever the interrupted attempt cached is suspect) and record the
+// fence. Other slots' in-flight steps are unaffected — they hold validated
+// copies and their own page pointers, which stay correct under B-link
+// semantics; at worst their next restart re-reads the fresh root too.
+func (e *Engine) fence() {
+	e.cfg.Tree.InvalidateRoot()
+	if e.cfg.Rec != nil {
+		e.cfg.Rec.CountOpRecovery()
+	}
+	e.cfg.Log.EpochFence()
+}
+
+// retryBlocked attempts one reconnect per blocked slot. Success reposts the
+// interrupted step; ErrServerDown re-parks the slot (bounded attempts, with
+// the engine's coalesced pause as backoff — faultnet's Reconnect advances
+// the fault schedule, so a scripted restart always arrives); anything else
+// aborts the step into operation-level recovery.
+func (e *Engine) retryBlocked() {
+	if len(e.blocked) == 0 {
+		return
+	}
+	pending := e.blocked
+	e.blocked = e.blocked[:0]
+	for _, idx := range pending {
+		s := e.slots[idx]
+		err := e.reconnect(s)
+		if e.cfg.Log != nil && e.cfg.Reconnector != nil {
+			e.cfg.Log.ReconnectEvent(s.blockedOn, err == nil)
+		}
+		if err == nil {
+			if e.cfg.Rec != nil {
+				e.cfg.Rec.CountReconnect()
+			}
+			e.posting = s.idx
+			res := s.tr.Redo(e)
+			e.handle(s, res)
+			continue
+		}
+		if errors.Is(err, rdma.ErrServerDown) {
+			s.reconnTries++
+			if s.reconnTries < reconnectBudget {
+				e.blocked = append(e.blocked, idx)
+				e.pauseWanted = true
+				continue
+			}
+			err = fmt.Errorf("pipeline: server %d down after %d reconnect attempts: %w",
+				s.blockedOn, s.reconnTries, err)
+		}
+		res := s.tr.Abort(err)
+		e.handle(s, res)
+	}
+}
+
+func (e *Engine) reconnect(s *slot) error {
+	if e.cfg.Reconnector == nil {
+		// No reconnect surface (tcpnet recovers by teardown + lazy redial;
+		// direct/simnet QPs cannot error): surface the verb error so the
+		// step aborts into operation-level recovery.
+		return s.blockedErr
+	}
+	return e.cfg.Reconnector.Reconnect(s.blockedOn)
+}
+
+// finish completes s's operation: telemetry, flight-recorder span, slot
+// release, then the callback (which may immediately submit a new operation).
+func (e *Engine) finish(s *slot, err error) {
+	if e.cfg.Rec != nil {
+		e.cfg.Rec.RecordIndexOp(s.st)
+		e.cfg.Rec.CountPipelineOp()
+	}
+	if e.cfg.Log != nil {
+		e.cfg.Log.OpSpan(obsKind(s.op), s.key, -1, e.cfg.Log.Clock.Now()-s.start, err)
+	}
+	e.active--
+	e.free = append(e.free, s.idx)
+	switch s.op {
+	case btree.TravLookup:
+		cb := s.onLookup
+		s.onLookup = nil
+		if cb != nil {
+			cb(s.tr.Values, err)
+		}
+	case btree.TravInsert:
+		cb := s.onInsert
+		s.onInsert = nil
+		if cb != nil {
+			cb(err)
+		}
+	default:
+		cb := s.onDelete
+		s.onDelete = nil
+		if cb != nil {
+			cb(s.tr.Found, err)
+		}
+	}
+}
+
+func opName(op btree.TraversalOp) string {
+	switch op {
+	case btree.TravLookup:
+		return "lookup"
+	case btree.TravInsert:
+		return "insert"
+	default:
+		return "delete"
+	}
+}
+
+func obsKind(op btree.TraversalOp) obs.OpKind {
+	switch op {
+	case btree.TravLookup:
+		return obs.OpLookup
+	case btree.TravInsert:
+		return obs.OpInsert
+	default:
+		return obs.OpDelete
+	}
+}

@@ -231,10 +231,17 @@ type Endpoint struct {
 	// DelayedNS accumulates injected within-deadline completion delays, so
 	// harnesses can report how much latency the schedule added.
 	DelayedNS int64
+
+	// Async post/poll state (see Poll).
+	async      rdma.AsyncEndpoint
+	posted     []asyncPost
+	nextTok    rdma.Token
+	innerComps []rdma.Completion
 }
 
 var _ rdma.Endpoint = (*Endpoint)(nil)
 var _ rdma.Reconnector = (*Endpoint)(nil)
+var _ rdma.AsyncEndpoint = (*Endpoint)(nil)
 
 // gate runs the fault schedule for one verb targeting the given servers.
 // A non-nil error means the verb must not execute.
@@ -383,3 +390,112 @@ func (e *Endpoint) Call(server int, req []byte) ([]byte, error) {
 
 // NumServers implements rdma.Endpoint.
 func (e *Endpoint) NumServers() int { return e.inner.NumServers() }
+
+// --- non-blocking post/poll surface (rdma.AsyncEndpoint) -----------------
+//
+// Each posted verb draws its fault decision at Post time, in posting order,
+// so a schedule remains deterministic regardless of how the inner transport
+// overlaps the batch. A gated verb is never forwarded — it completes with the
+// injected error at Poll, while its surviving batch neighbours proceed
+// untouched on the inner async surface (rdma.Async of the wrapped endpoint):
+// the per-verb not-executed fault model holds within a doorbell batch.
+
+// asyncPost records one posted verb's gate outcome: err != nil means the verb
+// was swallowed by the schedule and owes its caller an error completion.
+type asyncPost struct {
+	tok rdma.Token
+	err error
+}
+
+// ensureAsync resolves the inner async surface on first use.
+func (e *Endpoint) ensureAsync() rdma.AsyncEndpoint {
+	if e.async == nil {
+		e.async = rdma.Async(e.inner)
+	}
+	return e.async
+}
+
+// record assigns the next token and stores the gate outcome.
+func (e *Endpoint) record(err error) rdma.Token {
+	tok := e.nextTok
+	e.nextTok++
+	e.posted = append(e.posted, asyncPost{tok: tok, err: err})
+	return tok
+}
+
+// PostRead implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostRead(p rdma.RemotePtr, dst []uint64) rdma.Token {
+	err := e.gate(p.Server())
+	if err == nil {
+		e.ensureAsync().PostRead(p, dst)
+	}
+	return e.record(err)
+}
+
+// PostWrite implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostWrite(p rdma.RemotePtr, src []uint64) rdma.Token {
+	err := e.gate(p.Server())
+	if err == nil {
+		e.ensureAsync().PostWrite(p, src)
+	}
+	return e.record(err)
+}
+
+// PostCAS implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostCAS(p rdma.RemotePtr, old, new uint64) rdma.Token {
+	err := e.gate(p.Server())
+	if err == nil {
+		e.ensureAsync().PostCAS(p, old, new)
+	}
+	return e.record(err)
+}
+
+// PostFetchAdd implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostFetchAdd(p rdma.RemotePtr, delta uint64) rdma.Token {
+	err := e.gate(p.Server())
+	if err == nil {
+		e.ensureAsync().PostFetchAdd(p, delta)
+	}
+	return e.record(err)
+}
+
+// PostCall implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostCall(server int, req []byte) rdma.Token {
+	err := e.gate(server)
+	if err == nil {
+		e.ensureAsync().PostCall(server, req)
+	}
+	return e.record(err)
+}
+
+// Flush implements rdma.AsyncEndpoint.
+func (e *Endpoint) Flush() {
+	if e.async != nil {
+		e.async.Flush()
+	}
+}
+
+// Poll implements rdma.AsyncEndpoint: the inner surface's completions (in
+// forwarding order) are merged with the injected failures back into posting
+// order under this decorator's tokens.
+func (e *Endpoint) Poll(out []rdma.Completion) []rdma.Completion {
+	if len(e.posted) == 0 {
+		return out
+	}
+	e.innerComps = e.innerComps[:0]
+	if e.async != nil {
+		e.innerComps = e.async.Poll(e.innerComps)
+	}
+	j := 0
+	for _, p := range e.posted {
+		c := rdma.Completion{Token: p.tok, Err: p.err}
+		if p.err == nil {
+			ic := &e.innerComps[j]
+			j++
+			c.Val, c.Resp, c.Err = ic.Val, ic.Resp, ic.Err
+		}
+		out = append(out, c)
+	}
+	e.posted = e.posted[:0]
+	return out
+}

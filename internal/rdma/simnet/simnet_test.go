@@ -359,3 +359,107 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", t1, b1, t2, b2)
 	}
 }
+
+// TestAsyncBatchOneExposedRTT pins the pipelining payoff in the performance
+// model: N posted reads to one server complete in roughly one exposed round
+// trip — one doorbell, one amortized server op cost, payload streamed —
+// rather than N serial round trips.
+func TestAsyncBatchOneExposedRTT(t *testing.T) {
+	const n = 8
+	topo := testTopology()
+	run := func(async bool) sim.Time {
+		s := sim.New()
+		cfg := NewConfig(topo)
+		f := New(s, cfg)
+		var elapsed sim.Time
+		s.Spawn("c", func(p *sim.Proc) {
+			ep := f.Endpoint(0, p)
+			dsts := make([][]uint64, n)
+			for i := range dsts {
+				dsts[i] = make([]uint64, 64)
+			}
+			start := p.Now()
+			if async {
+				a, ok := interface{}(ep).(rdma.AsyncEndpoint)
+				if !ok {
+					t.Error("simnet endpoint must implement rdma.AsyncEndpoint")
+					return
+				}
+				for i := range dsts {
+					a.PostRead(rdma.MakePtr(0, uint64(1024+512*i)), dsts[i])
+				}
+				a.Flush()
+				comps := a.Poll(nil)
+				for _, c := range comps {
+					if c.Err != nil {
+						t.Error(c.Err)
+					}
+				}
+			} else {
+				for i := range dsts {
+					if err := ep.Read(rdma.MakePtr(0, uint64(1024+512*i)), dsts[i]); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+			elapsed = p.Now() - start
+		})
+		s.Run()
+		return elapsed
+	}
+	serial, pipelined := run(false), run(true)
+	if pipelined*3 >= serial {
+		t.Fatalf("pipelined batch of %d reads took %d ns vs %d serial — expected >3x overlap", n, pipelined, serial)
+	}
+}
+
+// TestAsyncDataFidelityAndOrder verifies posted verbs mutate the simulated
+// regions identically to their blocking counterparts, in posting order, with
+// per-verb completions.
+func TestAsyncDataFidelityAndOrder(t *testing.T) {
+	s := sim.New()
+	f := New(s, NewConfig(testTopology()))
+	f.SetHandler(func(env rdma.Env, server int, req []byte) ([]byte, rdma.Work) {
+		return append([]byte{byte(server)}, req...), rdma.Work{}
+	})
+	f.Start()
+	s.Spawn("c", func(p *sim.Proc) {
+		ep := f.Endpoint(0, p)
+		a := interface{}(ep).(rdma.AsyncEndpoint)
+		ptr := rdma.MakePtr(2, 128)
+		dst := make([]uint64, 2)
+		a.PostWrite(ptr, []uint64{7, 8})
+		a.PostCAS(ptr, 7, 70)   // must observe the earlier posted write
+		a.PostFetchAdd(ptr, 5)  // must observe the CAS
+		a.PostRead(ptr, dst)    // must observe both atomics
+		a.PostCall(1, []byte{9})
+		a.PostRead(rdma.NullPtr, nil)
+		a.Flush()
+		comps := a.Poll(nil)
+		if len(comps) != 6 {
+			t.Errorf("got %d completions", len(comps))
+			return
+		}
+		for i, c := range comps {
+			if c.Token != rdma.Token(i) {
+				t.Errorf("completion %d carries token %d", i, c.Token)
+			}
+		}
+		if comps[1].Err != nil || comps[1].Val != 7 {
+			t.Errorf("posted CAS saw %d, want 7 (in-order effects)", comps[1].Val)
+		}
+		if comps[2].Err != nil || comps[2].Val != 70 {
+			t.Errorf("posted FAA saw %d, want 70", comps[2].Val)
+		}
+		if dst[0] != 75 || dst[1] != 8 {
+			t.Errorf("posted read %v, want [75 8]", dst)
+		}
+		if comps[4].Err != nil || len(comps[4].Resp) != 2 || comps[4].Resp[0] != 1 || comps[4].Resp[1] != 9 {
+			t.Errorf("posted call: %+v", comps[4])
+		}
+		if comps[5].Err == nil {
+			t.Error("null-pointer post completed without error")
+		}
+	})
+	s.Run()
+}

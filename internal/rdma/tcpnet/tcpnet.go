@@ -308,6 +308,11 @@ type Endpoint struct {
 	conns []net.Conn
 	rds   []*bufio.Reader
 	wrs   []*bufio.Writer
+
+	// Async post/poll state (see Poll).
+	q       rdma.PostQueue
+	written int     // pending verbs already encoded onto the wire
+	srvErr  []error // sticky per-server failure for the current batch
 }
 
 var _ rdma.Endpoint = (*Endpoint)(nil)
@@ -545,4 +550,223 @@ func (e *Endpoint) Call(server int, req []byte) ([]byte, error) {
 // Catalog fetches the serialized catalog from a server.
 func (e *Endpoint) Catalog(server int) ([]byte, error) {
 	return e.roundTrip(server, []byte{opCatalog})
+}
+
+// --- non-blocking post/poll surface (rdma.AsyncEndpoint) -----------------
+//
+// Posted verbs are buffered client-side; Flush encodes and writes every
+// buffered frame (per-server pipelining on the TCP "queue pairs") and Poll
+// reads the replies back in global posting order. Each agent connection
+// serves frames sequentially, so per-server reply order matches per-server
+// request order — the TCP analogue of RC in-order execution — and reading
+// replies in posting order across servers just interleaves already-ordered
+// streams. A connection failure fails the remaining completions of that
+// server's batch (the verbs may or may not have executed; like the blocking
+// path, the conn is torn down so the next verb re-dials) without touching
+// other servers' verbs.
+
+var _ rdma.AsyncEndpoint = (*Endpoint)(nil)
+
+// PostRead implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostRead(p rdma.RemotePtr, dst []uint64) rdma.Token {
+	return e.q.Post(rdma.Posted{Op: rdma.PostOpRead, P: p, Dst: dst})
+}
+
+// PostWrite implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostWrite(p rdma.RemotePtr, src []uint64) rdma.Token {
+	return e.q.Post(rdma.Posted{Op: rdma.PostOpWrite, P: p, Src: src})
+}
+
+// PostCAS implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostCAS(p rdma.RemotePtr, old, new uint64) rdma.Token {
+	return e.q.Post(rdma.Posted{Op: rdma.PostOpCAS, P: p, A: old, B: new})
+}
+
+// PostFetchAdd implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostFetchAdd(p rdma.RemotePtr, delta uint64) rdma.Token {
+	return e.q.Post(rdma.Posted{Op: rdma.PostOpFetchAdd, P: p, A: delta})
+}
+
+// PostCall implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostCall(server int, req []byte) rdma.Token {
+	return e.q.Post(rdma.Posted{Op: rdma.PostOpCall, Server: server, Req: req})
+}
+
+// postTarget validates a posted verb's destination. Invalid verbs produce no
+// wire traffic; Flush and Poll both call this, so the skip decisions agree.
+func (e *Endpoint) postTarget(v *rdma.Posted) (int, error) {
+	if v.Op == rdma.PostOpCall {
+		if v.Server < 0 || v.Server >= len(e.addrs) {
+			return -1, fmt.Errorf("tcpnet: unknown server %d", v.Server)
+		}
+		return v.Server, nil
+	}
+	if v.P.IsNull() {
+		return -1, fmt.Errorf("tcpnet: null pointer")
+	}
+	if v.P.Server() >= len(e.addrs) {
+		return -1, fmt.Errorf("tcpnet: unknown server %d", v.P.Server())
+	}
+	return v.P.Server(), nil
+}
+
+// encodePosted builds the wire frame for a buffered verb.
+func encodePosted(v *rdma.Posted) []byte {
+	switch v.Op {
+	case rdma.PostOpRead:
+		frame := make([]byte, 13)
+		frame[0] = opRead
+		order.PutUint64(frame[1:], v.P.Offset())
+		order.PutUint32(frame[9:], uint32(len(v.Dst)))
+		return frame
+	case rdma.PostOpWrite:
+		frame := make([]byte, 9+8*len(v.Src))
+		frame[0] = opWrite
+		order.PutUint64(frame[1:], v.P.Offset())
+		for i, w := range v.Src {
+			order.PutUint64(frame[9+8*i:], w)
+		}
+		return frame
+	case rdma.PostOpCAS:
+		frame := make([]byte, 25)
+		frame[0] = opCAS
+		order.PutUint64(frame[1:], v.P.Offset())
+		order.PutUint64(frame[9:], v.A)
+		order.PutUint64(frame[17:], v.B)
+		return frame
+	case rdma.PostOpFetchAdd:
+		frame := make([]byte, 17)
+		frame[0] = opFetchAdd
+		order.PutUint64(frame[1:], v.P.Offset())
+		order.PutUint64(frame[9:], v.A)
+		return frame
+	case rdma.PostOpCall:
+		frame := make([]byte, 1+len(v.Req))
+		frame[0] = opCall
+		copy(frame[1:], v.Req)
+		return frame
+	}
+	panic(fmt.Sprintf("tcpnet: unknown posted op %d", v.Op))
+}
+
+// Flush implements rdma.AsyncEndpoint: every buffered verb not yet on the
+// wire is encoded and written, then each touched connection is flushed.
+func (e *Endpoint) Flush() {
+	pending := e.q.Pending()
+	if e.written == len(pending) {
+		return
+	}
+	if e.srvErr == nil {
+		e.srvErr = make([]error, len(e.addrs))
+	}
+	dirty := false
+	for i := e.written; i < len(pending); i++ {
+		v := &pending[i]
+		server, err := e.postTarget(v)
+		if err != nil || e.srvErr[server] != nil {
+			continue
+		}
+		_, w, err := e.conn(server)
+		if err != nil {
+			e.srvErr[server] = err
+			continue
+		}
+		if err := writeFrame(w, encodePosted(v)); err != nil {
+			e.srvErr[server] = e.fail(server, err)
+			continue
+		}
+		dirty = true
+	}
+	e.written = len(pending)
+	if !dirty {
+		return
+	}
+	for server, w := range e.wrs {
+		if w == nil || e.srvErr[server] != nil || e.conns[server] == nil {
+			continue
+		}
+		if err := w.Flush(); err != nil {
+			e.srvErr[server] = e.fail(server, err)
+		}
+	}
+}
+
+// Poll implements rdma.AsyncEndpoint.
+func (e *Endpoint) Poll(out []rdma.Completion) []rdma.Completion {
+	pending := e.q.Pending()
+	if len(pending) == 0 {
+		return out
+	}
+	e.Flush()
+	for i := range pending {
+		v := &pending[i]
+		c := rdma.Completion{Token: v.Tok}
+		server, err := e.postTarget(v)
+		if err != nil {
+			c.Err = err
+			out = append(out, c)
+			continue
+		}
+		if e.srvErr[server] != nil {
+			c.Err = e.srvErr[server]
+			out = append(out, c)
+			continue
+		}
+		body, err := e.readReply(server)
+		if err != nil {
+			c.Err = err
+			out = append(out, c)
+			continue
+		}
+		switch v.Op {
+		case rdma.PostOpRead:
+			if len(body) != 8*len(v.Dst) {
+				c.Err = fmt.Errorf("tcpnet: short read response")
+				break
+			}
+			for k := range v.Dst {
+				v.Dst[k] = order.Uint64(body[8*k:])
+			}
+		case rdma.PostOpCAS, rdma.PostOpFetchAdd:
+			if len(body) != 8 {
+				c.Err = fmt.Errorf("tcpnet: bad atomic response")
+				break
+			}
+			c.Val = order.Uint64(body)
+		case rdma.PostOpCall:
+			c.Resp = body
+		}
+		out = append(out, c)
+	}
+	e.q.Clear()
+	e.written = 0
+	for i := range e.srvErr {
+		e.srvErr[i] = nil
+	}
+	return out
+}
+
+// readReply reads one in-order reply frame from a server's connection,
+// converting a transport failure into a sticky per-server batch error.
+func (e *Endpoint) readReply(server int) ([]byte, error) {
+	r := e.rds[server]
+	if r == nil || e.conns[server] == nil {
+		err := fmt.Errorf("tcpnet: connection to server %d lost", server)
+		e.srvErr[server] = err
+		return nil, err
+	}
+	resp, err := readFrame(r)
+	if err != nil {
+		e.srvErr[server] = e.fail(server, err)
+		return nil, e.srvErr[server]
+	}
+	if len(resp) < 1 {
+		e.srvErr[server] = e.fail(server, fmt.Errorf("tcpnet: empty response"))
+		return nil, e.srvErr[server]
+	}
+	if resp[0] != statusOK {
+		// A verb-level rejection: the connection stays healthy.
+		return nil, fmt.Errorf("tcpnet: server %d: %s", server, resp[1:])
+	}
+	return resp[1:], nil
 }

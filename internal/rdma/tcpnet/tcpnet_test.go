@@ -301,3 +301,100 @@ func TestConcurrentEndpointsSeparateConnections(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestAsyncPostPollOverTCP pins the native post/poll surface: a mixed batch
+// across two servers completes in posting order with blocking-identical
+// results, and posted call RPCs interleave with one-sided verbs.
+func TestAsyncPostPollOverTCP(t *testing.T) {
+	addrs, _ := startCluster(t, 2, func(env rdma.Env, server int, req []byte) ([]byte, rdma.Work) {
+		return append([]byte{byte(server)}, req...), rdma.Work{}
+	})
+	ep := Dial(addrs)
+	defer ep.Close()
+
+	p0, p1 := rdma.MakePtr(0, 256), rdma.MakePtr(1, 256)
+	if err := ep.Write(p0, []uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Write(p1, []uint64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	d0, d1 := make([]uint64, 2), make([]uint64, 2)
+	ep.PostRead(p0, d0)
+	ep.PostRead(p1, d1)
+	ep.PostCAS(p0, 1, 9)
+	ep.PostFetchAdd(p1, 10)
+	ep.PostCall(1, []byte{7})
+	ep.PostRead(rdma.NullPtr, nil) // error completion, no wire traffic
+	ep.Flush()
+	comps := ep.Poll(nil)
+	if len(comps) != 6 {
+		t.Fatalf("got %d completions, want 6", len(comps))
+	}
+	for i, c := range comps {
+		if c.Token != rdma.Token(i) {
+			t.Fatalf("completion %d out of posting order: token %d", i, c.Token)
+		}
+	}
+	if d0[0] != 1 || d0[1] != 2 || d1[0] != 3 || d1[1] != 4 {
+		t.Fatalf("posted reads: %v %v", d0, d1)
+	}
+	if comps[2].Err != nil || comps[2].Val != 1 {
+		t.Fatalf("posted CAS: %+v", comps[2])
+	}
+	if comps[3].Err != nil || comps[3].Val != 3 {
+		t.Fatalf("posted FAA: %+v", comps[3])
+	}
+	if comps[4].Err != nil || len(comps[4].Resp) != 2 || comps[4].Resp[0] != 1 || comps[4].Resp[1] != 7 {
+		t.Fatalf("posted call: %+v", comps[4])
+	}
+	if comps[5].Err == nil {
+		t.Fatal("null-pointer post completed without error")
+	}
+
+	// Effects are visible and the endpoint still works serially afterwards.
+	after := make([]uint64, 1)
+	if err := ep.Read(p0, after); err != nil || after[0] != 9 {
+		t.Fatalf("after batch: %d %v", after[0], err)
+	}
+	if err := ep.Read(p1, after); err != nil || after[0] != 13 {
+		t.Fatalf("after batch: %d %v", after[0], err)
+	}
+}
+
+// TestAsyncConnFailureFailsBatchRemainder pins per-server failure isolation:
+// killing one server mid-batch fails that server's completions but leaves the
+// other server's verbs intact, and the endpoint redials afterwards.
+func TestAsyncConnFailureFailsBatchRemainder(t *testing.T) {
+	addrs, agents := startCluster(t, 2, nil)
+	ep := Dial(addrs)
+	defer ep.Close()
+
+	p0, p1 := rdma.MakePtr(0, 256), rdma.MakePtr(1, 256)
+	if err := ep.Write(p0, []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Write(p1, []uint64{6}); err != nil {
+		t.Fatal(err)
+	}
+	agents[1].Close()
+
+	d0, d1a, d1b := make([]uint64, 1), make([]uint64, 1), make([]uint64, 1)
+	ep.PostRead(p0, d0)
+	ep.PostRead(p1, d1a)
+	ep.PostRead(p1, d1b)
+	comps := ep.Poll(nil)
+	if comps[0].Err != nil || d0[0] != 5 {
+		t.Fatalf("healthy server's verb failed: %+v", comps[0])
+	}
+	if comps[1].Err == nil || comps[2].Err == nil {
+		t.Fatalf("dead server's verbs completed: %+v %+v", comps[1], comps[2])
+	}
+	// Next batch starts clean: the healthy server still answers.
+	ep.PostRead(p0, d0)
+	comps = ep.Poll(comps[:0])
+	if comps[0].Err != nil {
+		t.Fatalf("batch after failure: %+v", comps[0])
+	}
+}

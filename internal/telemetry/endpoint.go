@@ -20,9 +20,23 @@ type Endpoint struct {
 	// thread = client id).
 	Pid int
 	Tid int
+
+	// Async post/poll passthrough state (see Poll).
+	async     rdma.AsyncEndpoint
+	pending   []pendingPost
+	unflushed int
+}
+
+// pendingPost remembers what was posted so the completion can be attributed
+// to the right verb counter when the batch polls.
+type pendingPost struct {
+	verb   Verb
+	server int
+	bytes  int64
 }
 
 var _ rdma.Endpoint = (*Endpoint)(nil)
+var _ rdma.AsyncEndpoint = (*Endpoint)(nil)
 
 // Wrap decorates inner. A nil clock defaults to the wall clock; pass the
 // owning *sim.Proc on the simulated fabric so latencies are virtual-time.
@@ -157,3 +171,114 @@ func (e *Endpoint) Call(server int, req []byte) ([]byte, error) {
 
 // NumServers implements rdma.Endpoint.
 func (e *Endpoint) NumServers() int { return e.Inner.NumServers() }
+
+// --- non-blocking post/poll surface (rdma.AsyncEndpoint) -----------------
+//
+// The decorator forwards every posted verb 1:1, in order, to the inner async
+// surface (rdma.Async of the wrapped endpoint), so the inner tokens are
+// returned unchanged and stay monotonic from 0. Verbs are counted at
+// completion: each one is attributed the whole batch's poll latency, which is
+// exactly its exposed latency — the client could not have observed the result
+// any sooner — mirroring how ReadMulti counts one waited-on completion for a
+// fused batch. Doorbell flushes feed the pipeline coalescing counters.
+
+// ensureAsync resolves the inner async surface on first use.
+func (e *Endpoint) ensureAsync() rdma.AsyncEndpoint {
+	if e.async == nil {
+		e.async = rdma.Async(e.Inner)
+	}
+	return e.async
+}
+
+func (e *Endpoint) posted(v Verb, server int, bytes int64) {
+	e.unflushed++
+	if e.off() {
+		return
+	}
+	e.pending = append(e.pending, pendingPost{verb: v, server: server, bytes: bytes})
+	if e.Rec != nil {
+		e.Rec.CountPipelinePosted(1)
+	}
+}
+
+// PostRead implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostRead(p rdma.RemotePtr, dst []uint64) rdma.Token {
+	tok := e.ensureAsync().PostRead(p, dst)
+	e.posted(VerbRead, p.Server(), int64(8*len(dst)))
+	return tok
+}
+
+// PostWrite implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostWrite(p rdma.RemotePtr, src []uint64) rdma.Token {
+	tok := e.ensureAsync().PostWrite(p, src)
+	e.posted(VerbWrite, p.Server(), int64(8*len(src)))
+	return tok
+}
+
+// PostCAS implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostCAS(p rdma.RemotePtr, old, new uint64) rdma.Token {
+	tok := e.ensureAsync().PostCAS(p, old, new)
+	e.posted(VerbCAS, p.Server(), 8)
+	return tok
+}
+
+// PostFetchAdd implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostFetchAdd(p rdma.RemotePtr, delta uint64) rdma.Token {
+	tok := e.ensureAsync().PostFetchAdd(p, delta)
+	e.posted(VerbFetchAdd, p.Server(), 8)
+	return tok
+}
+
+// PostCall implements rdma.AsyncEndpoint.
+func (e *Endpoint) PostCall(server int, req []byte) rdma.Token {
+	tok := e.ensureAsync().PostCall(server, req)
+	e.posted(VerbCall, server, int64(len(req)))
+	return tok
+}
+
+// Flush implements rdma.AsyncEndpoint, counting one doorbell per non-empty
+// flush.
+func (e *Endpoint) Flush() {
+	e.ensureAsync().Flush()
+	if e.unflushed > 0 {
+		e.unflushed = 0
+		if e.Rec != nil {
+			e.Rec.CountPipelineFlush()
+		}
+	}
+}
+
+// Poll implements rdma.AsyncEndpoint.
+func (e *Endpoint) Poll(out []rdma.Completion) []rdma.Completion {
+	if e.unflushed > 0 {
+		// Poll implies the doorbell for anything not yet flushed.
+		e.unflushed = 0
+		if e.Rec != nil {
+			e.Rec.CountPipelineFlush()
+		}
+	}
+	if e.off() {
+		e.pending = e.pending[:0]
+		return e.ensureAsync().Poll(out)
+	}
+	base := len(out)
+	start := e.Clock.Now()
+	out = e.ensureAsync().Poll(out)
+	end := e.Clock.Now()
+	comps := out[base:]
+	for i := range comps {
+		p := &e.pending[i]
+		bytes := p.bytes
+		if p.verb == VerbCall {
+			bytes += int64(len(comps[i].Resp))
+		}
+		if e.Rec != nil {
+			e.Rec.RecordVerb(p.verb, p.server, bytes, end-start)
+		}
+	}
+	if e.Tr != nil && len(comps) > 0 {
+		e.Tr.Span(e.Pid, e.Tid, "POLL", "verb", start, end)
+	}
+	e.pending = e.pending[:0]
+	return out
+}

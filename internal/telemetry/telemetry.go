@@ -111,6 +111,14 @@ type Recorder struct {
 	verbRetries     stats.Counter
 	qpReconnects    stats.Counter
 	opRecoveries    stats.Counter
+
+	// Pipelined-dataplane counters (fed by the telemetry Endpoint's async
+	// surface and by internal/pipeline's engine).
+	pipePosted      stats.Counter // verbs posted on the async surface
+	pipeFlushes     stats.Counter // non-empty doorbell flushes
+	pipeOps         stats.Counter // index ops completed by a pipelined engine
+	pipeRounds      stats.Counter // submission/completion rounds pumped
+	pipeInflightSum stats.Counter // sum over rounds of ops in flight
 }
 
 // NewRecorder creates a Recorder for a cluster of numServers memory servers.
@@ -205,6 +213,54 @@ func (r *Recorder) CountReconnect() { r.qpReconnects.Inc() }
 // core's RecoveryCounters hook interface.
 func (r *Recorder) CountOpRecovery() { r.opRecoveries.Inc() }
 
+// CountPipelinePosted counts n verbs posted on the non-blocking surface.
+func (r *Recorder) CountPipelinePosted(n int64) { r.pipePosted.Add(n) }
+
+// CountPipelineFlush counts one non-empty doorbell flush.
+func (r *Recorder) CountPipelineFlush() { r.pipeFlushes.Inc() }
+
+// CountPipelineOp counts one index operation completed by a pipelined
+// engine.
+func (r *Recorder) CountPipelineOp() { r.pipeOps.Inc() }
+
+// RecordPipelineRound records one submission/completion round with the given
+// number of operations in flight; the running sum yields the average
+// ops-in-flight gauge.
+func (r *Recorder) RecordPipelineRound(inflight int64) {
+	r.pipeRounds.Inc()
+	r.pipeInflightSum.Add(inflight)
+}
+
+// PipelinePosted returns the number of verbs posted on the non-blocking
+// surface.
+func (r *Recorder) PipelinePosted() int64 { return r.pipePosted.Load() }
+
+// PipelineFlushes returns the number of non-empty doorbell flushes counted.
+func (r *Recorder) PipelineFlushes() int64 { return r.pipeFlushes.Load() }
+
+// PipelineOps returns the number of pipelined index operations counted.
+func (r *Recorder) PipelineOps() int64 { return r.pipeOps.Load() }
+
+// CoalescingRatio returns posted verbs per doorbell flush — how many verbs
+// the average doorbell batch carried — or 0 when nothing was flushed.
+func (r *Recorder) CoalescingRatio() float64 {
+	f := r.pipeFlushes.Load()
+	if f == 0 {
+		return 0
+	}
+	return float64(r.pipePosted.Load()) / float64(f)
+}
+
+// AvgInflight returns the average number of operations in flight per
+// pipelined round, or 0 when no rounds were recorded.
+func (r *Recorder) AvgInflight() float64 {
+	n := r.pipeRounds.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.pipeInflightSum.Load()) / float64(n)
+}
+
 // Faults returns the total number of injected faults counted (benign delays
 // included).
 func (r *Recorder) Faults() int64 {
@@ -267,6 +323,11 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.verbRetries.Add(other.verbRetries.Load())
 	r.qpReconnects.Add(other.qpReconnects.Load())
 	r.opRecoveries.Add(other.opRecoveries.Load())
+	r.pipePosted.Add(other.pipePosted.Load())
+	r.pipeFlushes.Add(other.pipeFlushes.Load())
+	r.pipeOps.Add(other.pipeOps.Load())
+	r.pipeRounds.Add(other.pipeRounds.Load())
+	r.pipeInflightSum.Add(other.pipeInflightSum.Load())
 }
 
 // VerbOps returns the op count of one verb.
@@ -352,6 +413,16 @@ func (r *Recorder) StatsMap() map[string]any {
 	}
 	if h, mi, iv := r.cacheHits.Load(), r.cacheMiss.Load(), r.cacheInval.Load(); h+mi+iv > 0 {
 		m["cache"] = map[string]any{"hits": h, "misses": mi, "invalidations": iv}
+	}
+	if r.pipePosted.Load() > 0 {
+		m["pipeline"] = map[string]any{
+			"posted":           r.pipePosted.Load(),
+			"flushes":          r.pipeFlushes.Load(),
+			"ops":              r.pipeOps.Load(),
+			"rounds":           r.pipeRounds.Load(),
+			"avg_inflight":     r.AvgInflight(),
+			"coalescing_ratio": r.CoalescingRatio(),
+		}
 	}
 	// Always present (zeros included): consumers reading retry/recovery
 	// health — namclient stats, dashboards scraping /debug/vars — need the
