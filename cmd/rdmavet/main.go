@@ -6,19 +6,27 @@
 //
 //	go run ./cmd/rdmavet ./...
 //	go run ./cmd/rdmavet -list
+//	go run ./cmd/rdmavet -sarif rdmavet.sarif ./...
 //
 // Exit status: 0 when clean, 1 when any diagnostic fired, 2 on driver
 // errors. Intentional exceptions are suppressed in place with
 //
 //	//rdmavet:allow <analyzer>[,<analyzer>] -- <one-line justification>
 //
-// on the offending line or the line directly above.
+// on the offending line or the line directly above. A directive that
+// suppresses nothing is itself reported (full-suite runs only): stale
+// waivers hide the next real finding at the same site.
+//
+// Results are cached per package under the user cache directory, keyed on
+// the file contents of the package's module-internal dependency closure and
+// the suite's own source; -cache=false forces a cold run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/namdb/rdmatree/internal/lint"
 	"github.com/namdb/rdmatree/internal/lint/rdmavet"
@@ -27,6 +35,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers of the suite and exit")
 	only := flag.String("only", "", "run only the named analyzer (comma-separated names)")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file")
+	useCache := flag.Bool("cache", true, "memoize per-package results across runs")
+	cacheDir := flag.String("cachedir", "", "cache directory (default <user cache dir>/rdmavet)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rdmavet [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Checks the verbs-protocol invariants; packages default to ./...\n\n")
@@ -41,7 +52,8 @@ func main() {
 		}
 		return
 	}
-	if *only != "" {
+	fullSuite := *only == ""
+	if !fullSuite {
 		var kept []*lint.Analyzer
 		for _, a := range suite {
 			if nameListed(*only, a.Name) {
@@ -70,16 +82,58 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdmavet: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := lint.RunAnalyzers(prog, paths, suite)
+
+	// The cache key covers the analyzed package's module-internal dependency
+	// closure and the suite's own source (a lint change must not serve stale
+	// verdicts); a missing user cache dir silently disables caching.
+	var cache *lint.Cache
+	if *useCache {
+		dir := *cacheDir
+		if dir == "" {
+			if base, err := os.UserCacheDir(); err == nil {
+				dir = filepath.Join(base, "rdmavet")
+			}
+		}
+		if dir != "" {
+			fp := lint.SuiteFingerprint(prog, suite, []string{"internal/lint", "internal/lint/rdmavet", "cmd/rdmavet"})
+			cache = lint.NewCache(dir, fp)
+		}
+	}
+
+	// Stale-waiver detection needs the full suite: a partial run cannot tell
+	// a stale directive from one owned by an analyzer that did not run.
+	res, err := lint.RunSuite(prog, paths, suite, lint.SuiteOptions{
+		ReportUnused: fullSuite,
+		Cache:        cache,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdmavet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
+	failures := append(append([]lint.Diagnostic{}, res.Diags...), res.Unused...)
+	lint.SortDiagnostics(failures)
+
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdmavet: %v\n", err)
+			os.Exit(2)
+		}
+		werr := lint.WriteSARIF(f, prog.RootDir, suite, failures)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "rdmavet: writing %s: %v\n", *sarifOut, werr)
+			os.Exit(2)
+		}
+	}
+
+	for _, d := range failures {
 		fmt.Fprintln(os.Stderr, d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "rdmavet: %d diagnostic(s)\n", len(diags))
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "rdmavet: %d diagnostic(s)\n", len(failures))
 		os.Exit(1)
 	}
 }

@@ -196,6 +196,7 @@ func (t *Tree) Build(env rdma.Env, cfg BuildConfig, n int, at func(i int) (k lay
 		}
 		ln := t.L.Wrap(buf)
 		ln.SetHighKey(layout.MaxKey)
+		//rdmavet:allow occvalidate -- bulk build is single-writer on a quiesced tree; no concurrent writer exists to tear this copy
 		if err := t.M.WriteWords(last, ln.W); err != nil {
 			return bs, err
 		}
@@ -351,6 +352,7 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 			return retired, st, err
 		}
 		if lp != prevLeaf {
+			t.abortUnlock(&st, lp, lpre)
 			return retired, st, fmt.Errorf("btree: predecessor moved during head unlink")
 		}
 		ln.SetRight(next)
@@ -401,6 +403,7 @@ func (t *Tree) RebuildHeads(env rdma.Env, every int) (retired []rdma.RemotePtr, 
 					return retired, st, err
 				}
 				if lp0 != group[0] {
+					t.abortUnlock(&st, lp0, pre0)
 					return retired, st, fmt.Errorf("btree: leaf moved during head install")
 				}
 				ln0.SetRight(hp)

@@ -131,34 +131,39 @@ func (t *Tree) tryMerge(env rdma.Env, st *Stats, pPtr, aPtr, bPtr rdma.RemotePtr
 	if err != nil {
 		return false, err
 	}
-	abort := func(locked ...func() error) (bool, error) {
-		for i := len(locked) - 1; i >= 0; i-- {
-			if err := locked[i](); err != nil {
-				return false, err
-			}
-		}
-		return false, nil
-	}
-	unlockP := func() error { return t.unlockNoChange(st, pPtr, pv) }
 	if p.IsHead() || p.Right() != aPtr {
-		return abort(unlockP)
+		return false, t.unlockNoChange(st, pPtr, pv)
 	}
 	a, av, err := t.lockPtr(env, st, aPtr)
 	if err != nil {
+		t.abortUnlock(st, pPtr, pv)
 		return false, err
 	}
-	unlockA := func() error { return t.unlockNoChange(st, aPtr, av) }
 	if !a.IsLeaf() || a.Right() != bPtr {
-		return abort(unlockP, unlockA)
+		if err := t.unlockNoChange(st, aPtr, av); err != nil {
+			t.abortUnlock(st, pPtr, pv)
+			return false, err
+		}
+		return false, t.unlockNoChange(st, pPtr, pv)
 	}
 	b, bv, err := t.lockPtr(env, st, bPtr)
 	if err != nil {
+		t.abortUnlock(st, aPtr, av)
+		t.abortUnlock(st, pPtr, pv)
 		return false, err
 	}
-	unlockB := func() error { return t.unlockNoChange(st, bPtr, bv) }
 	liveA := liveCount(a)
 	if !b.IsLeaf() || liveA > minLive || liveA+liveCount(b) > t.L.LeafCap {
-		return abort(unlockP, unlockA, unlockB)
+		if err := t.unlockNoChange(st, bPtr, bv); err != nil {
+			t.abortUnlock(st, aPtr, av)
+			t.abortUnlock(st, pPtr, pv)
+			return false, err
+		}
+		if err := t.unlockNoChange(st, aPtr, av); err != nil {
+			t.abortUnlock(st, pPtr, pv)
+			return false, err
+		}
+		return false, t.unlockNoChange(st, pPtr, pv)
 	}
 	oldHighA := a.HighKey()
 
@@ -192,9 +197,14 @@ func (t *Tree) tryMerge(env rdma.Env, st *Stats, pPtr, aPtr, bPtr rdma.RemotePtr
 	p.SetRight(bPtr)
 
 	if err := t.unlockBump(env, st, bPtr, b, bv); err != nil {
+		// A's and P's bodies are still unpublished, so restoring their
+		// pre-lock version words leaves the chain exactly as found.
+		t.abortUnlock(st, aPtr, av)
+		t.abortUnlock(st, pPtr, pv)
 		return false, err
 	}
 	if err := t.unlockBump(env, st, aPtr, a, av); err != nil {
+		t.abortUnlock(st, pPtr, pv)
 		return false, err
 	}
 	if err := t.unlockBump(env, st, pPtr, p, pv); err != nil {

@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -246,4 +247,131 @@ func TestCompactFromMatchesCompact(t *testing.T) {
 	if _, err := tr.CheckInvariants(env); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// failMem wraps a Mem and injects errors against designated pages: CAS
+// failures hit the lock-acquire path, body-write failures hit the publish
+// path of unlockBump.
+type failMem struct {
+	Mem
+	failCAS   rdma.RemotePtr
+	failWrite rdma.RemotePtr
+}
+
+func (m *failMem) CAS(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	if !m.failCAS.IsNull() && p == m.failCAS {
+		return 0, errors.New("injected CAS failure")
+	}
+	return m.Mem.CAS(p, old, new)
+}
+
+func (m *failMem) WriteWords(p rdma.RemotePtr, src []uint64) error {
+	if !m.failWrite.IsNull() && p == m.failWrite.Add(8) {
+		return errors.New("injected write failure")
+	}
+	return m.Mem.WriteWords(p, src)
+}
+
+// adjacentLeaves walks the leaf chain and returns the first three adjacent
+// leaf pages P -> A -> B.
+func adjacentLeaves(t *testing.T, tr *Tree) (pPtr, aPtr, bPtr rdma.RemotePtr) {
+	t.Helper()
+	var st Stats
+	cur, _, _, err := tr.descendToLeaf(env, &st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !cur.IsNull() {
+		cn, _, err := tr.readNode(env, &st, cur, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cn.IsLeaf() && !cn.Right().IsNull() {
+			an, _, err := tr.readNode(env, &st, cn.Right(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if an.IsLeaf() && !an.Right().IsNull() {
+				bn, _, err := tr.readNode(env, &st, an.Right(), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bn.IsLeaf() {
+					return cur, cn.Right(), an.Right()
+				}
+			}
+		}
+		cur = cn.Right()
+	}
+	t.Fatal("no three adjacent leaves in the chain")
+	return
+}
+
+// mustUnlocked fails the test when the page's version word still carries the
+// lock bit.
+func mustUnlocked(t *testing.T, tr *Tree, p rdma.RemotePtr, name string) {
+	t.Helper()
+	v, err := tr.M.LoadWord(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.IsLocked(v) {
+		t.Fatalf("%s's lock bit leaked after failed merge (version word %#x)", name, v)
+	}
+}
+
+// Regression for a leak found by rdmavet's lockpaired analyzer: when locking
+// A (or publishing B) fails mid-merge, tryMerge returned the error with the
+// locks it already held still set, stalling every later writer of those
+// pages until its spin budget aborts.
+func TestTryMergeReleasesLocksOnError(t *testing.T) {
+	tr, _ := newRemoteTree(t, 512, 4)
+	const n = 4000
+	if _, err := tr.Build(env, BuildConfig{}, n,
+		func(i int) (uint64, uint64) { return uint64(i), uint64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	// Underfill the leaves so the merge pre-checks pass.
+	for i := 0; i < n; i++ {
+		if i%10 == 0 {
+			continue
+		}
+		if _, _, err := tr.Delete(env, uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pPtr, aPtr, bPtr := adjacentLeaves(t, tr)
+	inner := tr.M
+	// A leaked lock must surface as ErrSpinBudget, not an infinite spin.
+	tr.SpinBudget = 256
+
+	t.Run("lock A fails", func(t *testing.T) {
+		tr.M = &failMem{Mem: inner, failCAS: aPtr}
+		var st Stats
+		ok, err := tr.tryMerge(env, &st, pPtr, aPtr, bPtr, tr.L.LeafCap, new([]rdma.RemotePtr))
+		tr.M = inner
+		if err == nil || ok {
+			t.Fatalf("tryMerge = %v, %v; want injected error", ok, err)
+		}
+		mustUnlocked(t, tr, pPtr, "P")
+		if _, err := tr.CheckInvariants(env); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("publish B fails", func(t *testing.T) {
+		tr.M = &failMem{Mem: inner, failWrite: bPtr}
+		var st Stats
+		ok, err := tr.tryMerge(env, &st, pPtr, aPtr, bPtr, tr.L.LeafCap, new([]rdma.RemotePtr))
+		tr.M = inner
+		if err == nil || ok {
+			t.Fatalf("tryMerge = %v, %v; want injected error", ok, err)
+		}
+		mustUnlocked(t, tr, pPtr, "P")
+		mustUnlocked(t, tr, aPtr, "A")
+		mustUnlocked(t, tr, bPtr, "B")
+		if _, err := tr.CheckInvariants(env); err != nil {
+			t.Fatal(err)
+		}
+	})
 }

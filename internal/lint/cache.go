@@ -1,0 +1,184 @@
+package lint
+
+// Package-result cache for the rdmavet driver. A package's suite result is a
+// pure function of (a) the suite — analyzer set and the lint tool's own
+// sources — and (b) the package's files plus every module-internal package it
+// transitively imports (analyzers resolve types across the module, e.g. the
+// rdma.Endpoint interface, so a dependency edit can change a dependent's
+// diagnostics). Both are captured by content hashing: no mtimes, no
+// invalidation protocol, and a hit skips the package's type-check entirely —
+// which is where essentially all of a lint run's wall-clock goes.
+//
+// Misses and IO failures degrade to analyzing normally; the cache is never
+// load-bearing for correctness.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// cacheVersion invalidates every entry when the cache's own format or keying
+// scheme changes.
+const cacheVersion = "rdmavet-cache-v1"
+
+// Cache is a directory of per-package suite results.
+type Cache struct {
+	dir         string
+	fingerprint string
+	fileHashes  map[string]string // abs file path -> content hash (memoized)
+}
+
+// NewCache returns a cache rooted at dir, keyed under the given suite
+// fingerprint (see SuiteFingerprint). The directory is created on first Put.
+func NewCache(dir, fingerprint string) *Cache {
+	return &Cache{dir: dir, fingerprint: fingerprint, fileHashes: make(map[string]string)}
+}
+
+// SuiteFingerprint hashes everything besides the analyzed package that can
+// change a result: the Go toolchain, the analyzer names and docs, and the
+// full source of the lint tool packages themselves (module-relative paths,
+// e.g. "internal/lint"). Bumping any analyzer's logic invalidates the whole
+// cache — coarse, but the tool is small and correctness is cheap here.
+func SuiteFingerprint(prog *Program, analyzers []*Analyzer, toolPkgs []string) string {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheVersion)
+	fmt.Fprintln(h, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer %s: %s\n", a.Name, a.Doc)
+	}
+	for _, rel := range toolPkgs {
+		path := rel
+		if !strings.HasPrefix(path, prog.ModulePath) {
+			path = prog.ModulePath + "/" + rel
+		}
+		meta, ok := prog.metas[path]
+		if !ok {
+			fmt.Fprintf(h, "missing %s\n", path)
+			continue
+		}
+		files := append([]string(nil), meta.GoFiles...)
+		sort.Strings(files)
+		for _, f := range files {
+			data, err := os.ReadFile(filepath.Join(meta.Dir, f))
+			if err != nil {
+				fmt.Fprintf(h, "unreadable %s\n", f)
+				continue
+			}
+			sum := sha256.Sum256(data)
+			fmt.Fprintf(h, "tool %s %s\n", f, hex.EncodeToString(sum[:]))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fileHash returns (memoized) the content hash of one file.
+func (c *Cache) fileHash(path string) (string, bool) {
+	if h, ok := c.fileHashes[path]; ok {
+		return h, h != ""
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.fileHashes[path] = ""
+		return "", false
+	}
+	sum := sha256.Sum256(data)
+	h := hex.EncodeToString(sum[:])
+	c.fileHashes[path] = h
+	return h, true
+}
+
+// key computes the cache key of one package: the suite fingerprint plus the
+// content hashes of every file of the package and of its module-internal
+// transitive imports. ok is false when the package (or a dependency) cannot
+// be resolved — the caller then analyzes without the cache.
+func (c *Cache) key(prog *Program, path string) (string, bool) {
+	internal := func(p string) bool {
+		return p == prog.ModulePath || strings.HasPrefix(p, prog.ModulePath+"/")
+	}
+	visited := map[string]bool{}
+	stack := []string{path}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[p] {
+			continue
+		}
+		visited[p] = true
+		meta, ok := prog.metas[p]
+		if !ok || meta.Error != nil {
+			return "", false
+		}
+		for _, imp := range meta.Imports {
+			if internal(imp) && !visited[imp] {
+				stack = append(stack, imp)
+			}
+		}
+	}
+	closure := make([]string, 0, len(visited))
+	for p := range visited {
+		closure = append(closure, p)
+	}
+	sort.Strings(closure)
+
+	h := sha256.New()
+	fmt.Fprintln(h, c.fingerprint)
+	fmt.Fprintln(h, path)
+	for _, p := range closure {
+		meta := prog.metas[p]
+		files := append([]string(nil), meta.GoFiles...)
+		sort.Strings(files)
+		for _, f := range files {
+			fh, ok := c.fileHash(filepath.Join(meta.Dir, f))
+			if !ok {
+				return "", false
+			}
+			fmt.Fprintf(h, "%s/%s %s\n", p, f, fh)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// Get returns the cached suite result of one package, if present.
+func (c *Cache) Get(prog *Program, path string) (*SuiteResult, bool) {
+	k, ok := c.key(prog, path)
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, k+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var res SuiteResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// Put stores one package's suite result. Best-effort: IO failures only cost
+// the next run a re-analysis.
+func (c *Cache) Put(prog *Program, path string, res *SuiteResult) {
+	k, ok := c.key(prog, path)
+	if !ok {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp := filepath.Join(c.dir, k+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(c.dir, k+".json"))
+}

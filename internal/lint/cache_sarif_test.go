@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func cacheTestProgram(t *testing.T) *Program {
+	t.Helper()
+	prog, err := NewProgram(".")
+	if err != nil {
+		t.Fatalf("NewProgram: %v", err)
+	}
+	return prog
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	prog := cacheTestProgram(t)
+	path := prog.ModulePath + "/internal/layout"
+	res := &SuiteResult{
+		Diags: []Diagnostic{{
+			Analyzer: "caschecked",
+			Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+			Message:  "synthetic",
+		}},
+		Unused: []Diagnostic{{
+			Analyzer: UnusedAllowName,
+			Pos:      token.Position{Filename: "x.go", Line: 1, Column: 1},
+			Message:  "stale",
+		}},
+	}
+
+	c := NewCache(t.TempDir(), "fp-a")
+	if _, ok := c.Get(prog, path); ok {
+		t.Fatalf("Get on empty cache hit")
+	}
+	c.Put(prog, path, res)
+	got, ok := c.Get(prog, path)
+	if !ok {
+		t.Fatalf("Get after Put missed")
+	}
+	if len(got.Diags) != 1 || got.Diags[0] != res.Diags[0] {
+		t.Errorf("Diags round-trip mismatch: %+v", got.Diags)
+	}
+	if len(got.Unused) != 1 || got.Unused[0] != res.Unused[0] {
+		t.Errorf("Unused round-trip mismatch: %+v", got.Unused)
+	}
+}
+
+// A different suite fingerprint must miss even over the same entries: stale
+// results from an older analyzer version can never be served.
+func TestCacheFingerprintInvalidates(t *testing.T) {
+	prog := cacheTestProgram(t)
+	path := prog.ModulePath + "/internal/layout"
+	dir := t.TempDir()
+	NewCache(dir, "fp-a").Put(prog, path, &SuiteResult{})
+	if _, ok := NewCache(dir, "fp-b").Get(prog, path); ok {
+		t.Fatalf("cache hit across different fingerprints")
+	}
+	if _, ok := NewCache(dir, "fp-a").Get(prog, path); !ok {
+		t.Fatalf("cache miss under the original fingerprint")
+	}
+}
+
+func TestCacheUnknownPackage(t *testing.T) {
+	prog := cacheTestProgram(t)
+	c := NewCache(t.TempDir(), "fp")
+	c.Put(prog, "no/such/pkg", &SuiteResult{})
+	if _, ok := c.Get(prog, "no/such/pkg"); ok {
+		t.Fatalf("unknown package produced a cache hit")
+	}
+}
+
+func TestSuiteFingerprintDependsOnInputs(t *testing.T) {
+	prog := cacheTestProgram(t)
+	a := []*Analyzer{{Name: "one", Doc: "doc"}}
+	b := []*Analyzer{{Name: "two", Doc: "doc"}}
+	tool := []string{"internal/lint"}
+	if SuiteFingerprint(prog, a, tool) == SuiteFingerprint(prog, b, tool) {
+		t.Errorf("fingerprint ignores analyzer names")
+	}
+	if SuiteFingerprint(prog, a, tool) != SuiteFingerprint(prog, a, tool) {
+		t.Errorf("fingerprint not deterministic")
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*Analyzer{{Name: "caschecked", Doc: "check CAS results"}}
+	diags := []Diagnostic{{
+		Analyzer: "caschecked",
+		Pos:      token.Position{Filename: "/mod/internal/btree/tree.go", Line: 42, Column: 5},
+		Message:  "CAS result ignored",
+	}}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/mod", analyzers, diags); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "rdmavet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// One rule per analyzer plus the unusedallow pseudo-rule.
+	if len(run.Tool.Driver.Rules) != 2 || run.Tool.Driver.Rules[0].ID != "caschecked" || run.Tool.Driver.Rules[1].ID != UnusedAllowName {
+		t.Errorf("rules = %+v", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "caschecked" || r.Message.Text != "CAS result ignored" {
+		t.Errorf("result = %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/btree/tree.go" {
+		t.Errorf("uri = %q, want module-relative slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 {
+		t.Errorf("startLine = %d", loc.Region.StartLine)
+	}
+	if strings.Contains(buf.String(), "\\\\") {
+		t.Errorf("output contains escaped backslashes (non-slash URI?):\n%s", buf.String())
+	}
+}

@@ -1,0 +1,503 @@
+package lint
+
+// This file builds intra-function control-flow graphs over go/ast, the
+// substrate of the flow-sensitive rdmavet analyzers (lockpaired, occvalidate,
+// tokenflow). The builder is dependency-free by design: like the rest of the
+// framework it mirrors the shape of its x/tools counterpart
+// (golang.org/x/tools/go/cfg) closely enough that a port to the real package
+// is mechanical, without importing it.
+//
+// Shape of the graph:
+//
+//   - A Block holds the nodes that execute unconditionally in order once the
+//     block is entered: simple statements (assignments, calls, sends, defers,
+//     returns, ...) and the leaf operands of branch conditions. Compound
+//     statements (if/for/switch/select) never appear as nodes; they are
+//     expanded into blocks and edges.
+//   - Short-circuit conditions are expanded: `if a && b` produces a block
+//     evaluating `a` with a false-edge bypassing `b`, so dataflow facts can be
+//     refined per operand (the lock-acquire analyses depend on `err != nil`
+//     and `prev != old` edges individually).
+//   - Every Edge out of a condition carries the condition expression and its
+//     polarity (Neg = the edge taken when the condition is false); multi-way
+//     transfers (switch tags, type switches, select, range) carry a nil Cond.
+//   - Explicit returns (and falling off the end) edge to Exit; explicit
+//     `panic(...)` statements edge to Panic, so analyses that must hold on
+//     every *returning* path (lock release, token reaping) can exempt
+//     panicking exits, which abandon the whole client anyway.
+//   - A DeferStmt is an ordinary node in the block where it executes.
+//     Analyses apply a deferred call's effect immediately (the lostcancel
+//     convention): sound for must-release properties, since the deferred call
+//     runs on every exit reached after the defer.
+//   - A RangeStmt contributes only its ranged operand (X) as a node; the
+//     per-iteration key/value binding is not modeled.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Edge is one control transfer between blocks. Cond, when non-nil, is the
+// branch condition the transfer depends on; Neg marks the edge taken when
+// Cond evaluates false.
+type Edge struct {
+	To   *Block
+	Cond ast.Expr
+	Neg  bool
+}
+
+// Block is one basic block of a CFG.
+type Block struct {
+	Index int
+	// Kind is a descriptive tag ("entry", "if.then", "for.head", ...) used
+	// by tests and debug dumps; analyses should not depend on it.
+	Kind  string
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *Block
+	// Exit collects every normal return: explicit return statements and
+	// falling off the end of the body.
+	Exit *Block
+	// Panic collects explicit panic(...) statements.
+	Panic  *Block
+	Blocks []*Block
+}
+
+// BuildCFG builds the control-flow graph of one function body. Function
+// literals nested inside the body are ordinary expression operands of the
+// statements that mention them; their own bodies get separate CFGs.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, labels: make(map[string]*Block)}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.g.Panic = b.newBlock("panic")
+	if end := b.stmts(b.g.Entry, body.List); end != nil {
+		b.edge(end, b.g.Exit, nil, false)
+	}
+	return b.g
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	frames []ctrlFrame
+	labels map[string]*Block // label name -> block (goto/labeled-statement targets)
+	// fallthroughTo is the next case body while building a switch case.
+	fallthroughTo *Block
+}
+
+// ctrlFrame is one enclosing breakable construct (loop, switch or select).
+// cont is nil for switch/select frames.
+type ctrlFrame struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, neg bool) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, Edge{To: to, Cond: cond, Neg: neg})
+}
+
+// labelBlock returns (creating on demand) the block a label names, so gotos
+// may target labels not yet seen.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) breakTarget(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if label == "" || b.frames[i].label == label {
+			return b.frames[i].brk
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) continueTarget(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if b.frames[i].cont == nil {
+			continue
+		}
+		if label == "" || b.frames[i].label == label {
+			return b.frames[i].cont
+		}
+	}
+	return nil
+}
+
+// stmts builds a statement list starting in cur, returning the continuation
+// block (nil when control cannot fall through). Statements after a
+// terminating one are dead code and skipped — except labeled statements,
+// which may be re-entered by goto.
+func (b *cfgBuilder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			if _, ok := s.(*ast.LabeledStmt); !ok {
+				continue
+			}
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+	case *ast.EmptyStmt:
+		return cur
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(cur, lb, nil, false)
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt:
+			return b.forStmt(lb, inner, s.Label.Name)
+		case *ast.RangeStmt:
+			return b.rangeStmt(lb, inner, s.Label.Name)
+		case *ast.SwitchStmt:
+			return b.switchStmt(lb, inner, s.Label.Name)
+		case *ast.TypeSwitchStmt:
+			return b.typeSwitchStmt(lb, inner, s.Label.Name)
+		case *ast.SelectStmt:
+			return b.selectStmt(lb, inner, s.Label.Name)
+		default:
+			return b.stmt(lb, s.Stmt)
+		}
+	case *ast.ReturnStmt:
+		if cur == nil {
+			return nil
+		}
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.g.Exit, nil, false)
+		return nil
+	case *ast.BranchStmt:
+		if cur == nil {
+			return nil
+		}
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(cur, b.breakTarget(label), nil, false)
+		case token.CONTINUE:
+			b.edge(cur, b.continueTarget(label), nil, false)
+		case token.GOTO:
+			b.edge(cur, b.labelBlock(label), nil, false)
+		case token.FALLTHROUGH:
+			b.edge(cur, b.fallthroughTo, nil, false)
+		}
+		return nil
+	case *ast.IfStmt:
+		if cur == nil {
+			return nil
+		}
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		then := b.newBlock("if.then")
+		join := b.newBlock("if.join")
+		els := join
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.cond(cur, s.Cond, then, els)
+		if end := b.stmt(then, s.Body); end != nil {
+			b.edge(end, join, nil, false)
+		}
+		if s.Else != nil {
+			if end := b.stmt(els, s.Else); end != nil {
+				b.edge(end, join, nil, false)
+			}
+		}
+		return join
+	case *ast.ForStmt:
+		return b.forStmt(cur, s, "")
+	case *ast.RangeStmt:
+		return b.rangeStmt(cur, s, "")
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, s, "")
+	case *ast.TypeSwitchStmt:
+		return b.typeSwitchStmt(cur, s, "")
+	case *ast.SelectStmt:
+		return b.selectStmt(cur, s, "")
+	case *ast.ExprStmt:
+		if cur == nil {
+			return nil
+		}
+		cur.Nodes = append(cur.Nodes, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				b.edge(cur, b.g.Panic, nil, false)
+				return nil
+			}
+		}
+		return cur
+	default:
+		// Simple statements: assign, declare, inc/dec, send, go, defer.
+		if cur == nil {
+			return nil
+		}
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// cond wires the control transfer for condition e out of cur: to t when e is
+// true, to f when false. Short-circuit operators and negations are expanded
+// so every emitted edge tests exactly one leaf operand.
+func (b *cfgBuilder) cond(cur *Block, e ast.Expr, t, f *Block) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(cur, x.X, mid, f)
+			b.cond(mid, x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(cur, x.X, t, mid)
+			b.cond(mid, x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(cur, x.X, f, t)
+			return
+		}
+	}
+	cur.Nodes = append(cur.Nodes, e)
+	b.edge(cur, t, e, false)
+	b.edge(cur, f, e, true)
+}
+
+func (b *cfgBuilder) forStmt(cur *Block, s *ast.ForStmt, label string) *Block {
+	if cur == nil {
+		return nil
+	}
+	if s.Init != nil {
+		cur.Nodes = append(cur.Nodes, s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.after")
+	b.edge(cur, head, nil, false)
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head, nil, false)
+	}
+	if s.Cond != nil {
+		b.cond(head, s.Cond, body, after)
+	} else {
+		b.edge(head, body, nil, false)
+	}
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after, cont: post})
+	end := b.stmt(body, s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(end, post, nil, false)
+	return after
+}
+
+func (b *cfgBuilder) rangeStmt(cur *Block, s *ast.RangeStmt, label string) *Block {
+	if cur == nil {
+		return nil
+	}
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	// Only the ranged operand is modeled; the key/value binding is not.
+	head.Nodes = append(head.Nodes, s.X)
+	b.edge(cur, head, nil, false)
+	b.edge(head, body, nil, false)
+	b.edge(head, after, nil, false)
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after, cont: head})
+	end := b.stmt(body, s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(end, head, nil, false)
+	return after
+}
+
+func (b *cfgBuilder) switchStmt(cur *Block, s *ast.SwitchStmt, label string) *Block {
+	if cur == nil {
+		return nil
+	}
+	if s.Init != nil {
+		cur.Nodes = append(cur.Nodes, s.Init)
+	}
+	after := b.newBlock("switch.after")
+	var clauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	bodies := make([]*Block, len(clauses))
+	defaultIdx := -1
+	var caseIdxs []int
+	for i, c := range clauses {
+		bodies[i] = b.newBlock("case.body")
+		if c.List == nil {
+			defaultIdx = i
+		} else {
+			caseIdxs = append(caseIdxs, i)
+		}
+	}
+
+	if s.Tag != nil {
+		// Tag switch: a multi-way transfer on the tag value. Case selection
+		// is not condition-refinable, so every edge is unconditional.
+		cur.Nodes = append(cur.Nodes, s.Tag)
+		for i := range clauses {
+			b.edge(cur, bodies[i], nil, false)
+		}
+		if defaultIdx < 0 {
+			b.edge(cur, after, nil, false)
+		}
+	} else {
+		// Tagless switch: an if/else-if chain over the case expressions,
+		// with `case a, b:` testing a || b.
+		test := cur
+		noMatch := after
+		if defaultIdx >= 0 {
+			noMatch = bodies[defaultIdx]
+		}
+		for k, i := range caseIdxs {
+			next := noMatch
+			if k < len(caseIdxs)-1 {
+				next = b.newBlock("case.test")
+			}
+			exprs := clauses[i].List
+			for j, e := range exprs {
+				if j < len(exprs)-1 {
+					mid := b.newBlock("case.or")
+					b.cond(test, e, bodies[i], mid)
+					test = mid
+				} else {
+					b.cond(test, e, bodies[i], next)
+				}
+			}
+			test = next
+		}
+		if len(caseIdxs) == 0 {
+			b.edge(test, noMatch, nil, false)
+		}
+	}
+
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after})
+	for i := range clauses {
+		saved := b.fallthroughTo
+		b.fallthroughTo = nil
+		if i+1 < len(clauses) {
+			b.fallthroughTo = bodies[i+1]
+		}
+		if end := b.stmts(bodies[i], clauses[i].Body); end != nil {
+			b.edge(end, after, nil, false)
+		}
+		b.fallthroughTo = saved
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	return after
+}
+
+func (b *cfgBuilder) typeSwitchStmt(cur *Block, s *ast.TypeSwitchStmt, label string) *Block {
+	if cur == nil {
+		return nil
+	}
+	if s.Init != nil {
+		cur.Nodes = append(cur.Nodes, s.Init)
+	}
+	cur.Nodes = append(cur.Nodes, s.Assign)
+	after := b.newBlock("typeswitch.after")
+	hasDefault := false
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		body := b.newBlock("typecase.body")
+		b.edge(cur, body, nil, false)
+		if end := b.stmts(body, cc.Body); end != nil {
+			b.edge(end, after, nil, false)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.edge(cur, after, nil, false)
+	}
+	return after
+}
+
+func (b *cfgBuilder) selectStmt(cur *Block, s *ast.SelectStmt, label string) *Block {
+	if cur == nil {
+		return nil
+	}
+	after := b.newBlock("select.after")
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		body := b.newBlock("select.comm")
+		b.edge(cur, body, nil, false)
+		if cc.Comm != nil {
+			body.Nodes = append(body.Nodes, cc.Comm)
+		}
+		if end := b.stmts(body, cc.Body); end != nil {
+			b.edge(end, after, nil, false)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	// A select with no clauses blocks forever: cur keeps no successor.
+	return after
+}
+
+// DebugString renders the graph for tests and debugging: one line per block,
+// `b<i> <kind> [<n> nodes] -> b<j>(cond)[!] ...`, with ! marking a
+// false-polarity edge.
+func (g *CFG) DebugString() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", blk.Index, blk.Kind)
+		if len(blk.Nodes) > 0 {
+			fmt.Fprintf(&sb, " [%d]", len(blk.Nodes))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, e := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", e.To.Index)
+				if e.Cond != nil {
+					fmt.Fprintf(&sb, "(%s", types.ExprString(e.Cond))
+					if e.Neg {
+						sb.WriteString("!")
+					}
+					sb.WriteString(")")
+				}
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

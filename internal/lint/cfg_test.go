@@ -1,0 +1,358 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFromSrc parses src (a file containing one function f) and builds the
+// CFG of f's body.
+func buildFromSrc(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("no func f in src")
+	return nil
+}
+
+// The expected dumps pin the builder's exact block/edge structure: block
+// creation order, condition expressions with polarity (! = false edge), and
+// node counts. A want of "b0 entry" means the entry block has no nodes and
+// no successors.
+func TestBuildCFG(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "defer with multiple returns",
+			src: `func f(x int) error {
+				defer cleanup()
+				if x > 0 {
+					return errA
+				}
+				return errB
+			}`,
+			want: `b0 entry [2] -> b3(x > 0) b4(x > 0!)
+b1 exit
+b2 panic
+b3 if.then [1] -> b1
+b4 if.join [1] -> b1
+`,
+		},
+		{
+			name: "labeled break out of select",
+			src: `func f(ch chan int) {
+				var n int
+			loop:
+				for {
+					select {
+					case v := <-ch:
+						n += v
+					default:
+						break loop
+					}
+				}
+				use(n)
+			}`,
+			want: `b0 entry [1] -> b3
+b1 exit
+b2 panic
+b3 label.loop -> b4
+b4 for.head -> b5
+b5 for.body -> b8 b9
+b6 for.after [1] -> b1
+b7 select.after -> b4
+b8 select.comm [2] -> b7
+b9 select.comm -> b6
+`,
+		},
+		{
+			name: "short-circuit and-or-not",
+			src: `func f(a, b, c bool) int {
+				if a && (b || !c) {
+					return 1
+				}
+				return 0
+			}`,
+			// The ! is expanded by swapping edge targets: when c is true the
+			// or-operand !c is false, so the c-true edge goes to the join.
+			want: `b0 entry [1] -> b5(a) b4(a!)
+b1 exit
+b2 panic
+b3 if.then [1] -> b1
+b4 if.join [1] -> b1
+b5 cond.and [1] -> b3(b) b6(b!)
+b6 cond.or [1] -> b4(c) b3(c!)
+`,
+		},
+		{
+			name: "goto forward and back",
+			src: `func f(x int) {
+			start:
+				x--
+				if x < 0 {
+					goto done
+				}
+				goto start
+			done:
+				use(x)
+			}`,
+			want: `b0 entry -> b3
+b1 exit
+b2 panic
+b3 label.start [2] -> b4(x < 0) b5(x < 0!)
+b4 if.then -> b6
+b5 if.join -> b3
+b6 label.done [1] -> b1
+`,
+		},
+		{
+			name: "for with post and continue",
+			src: `func f(n int) int {
+				s := 0
+				for i := 0; i < n; i++ {
+					if skip(i) {
+						continue
+					}
+					s += i
+				}
+				return s
+			}`,
+			want: `b0 entry [2] -> b3
+b1 exit
+b2 panic
+b3 for.head [1] -> b4(i < n) b5(i < n!)
+b4 for.body [1] -> b7(skip(i)) b8(skip(i)!)
+b5 for.after [1] -> b1
+b6 for.post [1] -> b3
+b7 if.then -> b6
+b8 if.join [1] -> b6
+`,
+		},
+		{
+			name: "tagless switch with multi-expr case and fallthrough",
+			src: `func f(x int) int {
+				switch {
+				case x == 1, x == 2:
+					x++
+					fallthrough
+				case x == 3:
+					x--
+				default:
+					x = 0
+				}
+				return x
+			}`,
+			// b4 -> b5 is the fallthrough edge into the second case body.
+			want: `b0 entry [1] -> b4(x == 1) b8(x == 1!)
+b1 exit
+b2 panic
+b3 switch.after [1] -> b1
+b4 case.body [1] -> b5
+b5 case.body [1] -> b3
+b6 case.body [1] -> b3
+b7 case.test [1] -> b5(x == 3) b6(x == 3!)
+b8 case.or [1] -> b4(x == 2) b7(x == 2!)
+`,
+		},
+		{
+			name: "tag switch without default",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					one()
+				case 2:
+					two()
+				}
+			}`,
+			want: `b0 entry [1] -> b4 b5 b3
+b1 exit
+b2 panic
+b3 switch.after -> b1
+b4 case.body [1] -> b3
+b5 case.body [1] -> b3
+`,
+		},
+		{
+			name: "type switch",
+			src: `func f(x any) {
+				switch v := x.(type) {
+				case int:
+					useInt(v)
+				default:
+					other()
+				}
+			}`,
+			want: `b0 entry [1] -> b4 b5
+b1 exit
+b2 panic
+b3 typeswitch.after -> b1
+b4 typecase.body [1] -> b3
+b5 typecase.body [1] -> b3
+`,
+		},
+		{
+			name: "range with labeled continue",
+			src: `func f(xs []int) {
+			outer:
+				for _, x := range xs {
+					for {
+						if done(x) {
+							continue outer
+						}
+						step()
+					}
+				}
+			}`,
+			want: `b0 entry -> b3
+b1 exit
+b2 panic
+b3 label.outer -> b4
+b4 range.head [1] -> b5 b6
+b5 range.body -> b7
+b6 range.after -> b1
+b7 for.head -> b8
+b8 for.body [1] -> b10(done(x)) b11(done(x)!)
+b9 for.after -> b4
+b10 if.then -> b4
+b11 if.join [1] -> b7
+`,
+		},
+		{
+			name: "panic exit",
+			src: `func f(x int) int {
+				if x < 0 {
+					panic("negative")
+				}
+				return x
+			}`,
+			want: `b0 entry [1] -> b3(x < 0) b4(x < 0!)
+b1 exit
+b2 panic
+b3 if.then [1] -> b2
+b4 if.join [1] -> b1
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildFromSrc(t, tc.src)
+			if got := g.DebugString(); got != tc.want {
+				t.Errorf("CFG mismatch\n got:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSolveForward exercises the worklist solver on a loop with a branch,
+// using a reaching-marks analysis: the fact is the set of marker call names
+// seen on some path, so the loop's back edge must propagate marks until the
+// fixpoint.
+func TestSolveForward(t *testing.T) {
+	g := buildFromSrc(t, `func f(n int) {
+		mark1()
+		for i := 0; i < n; i++ {
+			if odd(i) {
+				mark2()
+			}
+		}
+		mark3()
+	}`)
+	in, ok := SolveForward(g, marksAnalysis{})
+	if !ok {
+		t.Fatalf("solver exhausted its budget")
+	}
+	exitFact, found := in[g.Exit]
+	if !found {
+		t.Fatalf("exit block never reached")
+	}
+	got := exitFact.(map[string]bool)
+	for _, want := range []string{"mark1", "mark2", "mark3"} {
+		if !got[want] {
+			t.Errorf("exit fact missing %s (got %v)", want, got)
+		}
+	}
+	// The loop head must see mark2 via the back edge even though it precedes
+	// the if in block order.
+	for _, blk := range g.Blocks {
+		if blk.Kind != "for.head" {
+			continue
+		}
+		f, reached := in[blk]
+		if !reached {
+			t.Fatalf("for.head unreachable")
+		}
+		if !f.(map[string]bool)["mark2"] {
+			t.Errorf("for.head fact missing mark2 from back edge: %v", f)
+		}
+	}
+}
+
+type marksAnalysis struct{}
+
+func (marksAnalysis) Entry() any { return map[string]bool{} }
+
+func (marksAnalysis) Transfer(fact any, n ast.Node) any {
+	m := fact.(map[string]bool)
+	out := m
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || len(id.Name) < 4 || id.Name[:4] != "mark" {
+			return true
+		}
+		if out[id.Name] {
+			return true
+		}
+		cp := make(map[string]bool, len(out)+1)
+		for k := range out {
+			cp[k] = true
+		}
+		cp[id.Name] = true
+		out = cp
+		return true
+	})
+	return out
+}
+
+func (marksAnalysis) EdgeTransfer(fact any, cond ast.Expr, neg bool) any { return fact }
+
+func (marksAnalysis) Join(a, b any) any {
+	am, bm := a.(map[string]bool), b.(map[string]bool)
+	out := make(map[string]bool, len(am)+len(bm))
+	for k := range am {
+		out[k] = true
+	}
+	for k := range bm {
+		out[k] = true
+	}
+	return out
+}
+
+func (marksAnalysis) Equal(a, b any) bool {
+	am, bm := a.(map[string]bool), b.(map[string]bool)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k := range am {
+		if !bm[k] {
+			return false
+		}
+	}
+	return true
+}

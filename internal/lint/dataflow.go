@@ -1,0 +1,73 @@
+package lint
+
+// This file is the forward-dataflow companion of cfg.go: a worklist solver
+// parameterized over an analyzer-supplied lattice. Analyzers define the fact
+// domain (a FlowAnalysis), solve for the fact at entry to every reachable
+// block, and then re-fold Transfer over a block's nodes to recover per-node
+// facts where diagnostics are emitted.
+
+import "go/ast"
+
+// FlowAnalysis is one forward dataflow problem. Facts must be treated as
+// immutable values: Transfer/EdgeTransfer/Join return fresh facts (or the
+// input unchanged), never mutate their arguments in place.
+type FlowAnalysis interface {
+	// Entry is the fact at function entry.
+	Entry() any
+	// Transfer applies the effect of one block node.
+	Transfer(fact any, n ast.Node) any
+	// EdgeTransfer refines a fact along a conditional edge: cond is the
+	// branch condition, neg true when the edge is taken on cond == false.
+	EdgeTransfer(fact any, cond ast.Expr, neg bool) any
+	// Join merges the facts of two incoming edges.
+	Join(a, b any) any
+	// Equal reports whether two facts are equal (the fixpoint test).
+	Equal(a, b any) bool
+}
+
+// solveBudgetPerBlock bounds worklist iterations per block. A lattice whose
+// Join/Transfer do not converge would otherwise loop forever; analyzers skip
+// the function when the solver bails (ok == false).
+const solveBudgetPerBlock = 256
+
+// SolveForward computes the fact at entry to every block reachable from
+// g.Entry. Unreachable blocks have no entry in the result map. ok is false
+// when the iteration budget was exhausted before a fixpoint.
+func SolveForward(g *CFG, a FlowAnalysis) (in map[*Block]any, ok bool) {
+	in = make(map[*Block]any, len(g.Blocks))
+	in[g.Entry] = a.Entry()
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	budget := (len(g.Blocks) + 1) * solveBudgetPerBlock
+	for len(work) > 0 {
+		if budget--; budget < 0 {
+			return in, false
+		}
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		fact := in[blk]
+		for _, n := range blk.Nodes {
+			fact = a.Transfer(fact, n)
+		}
+		for _, e := range blk.Succs {
+			f := fact
+			if e.Cond != nil {
+				f = a.EdgeTransfer(fact, e.Cond, e.Neg)
+			}
+			old, seen := in[e.To]
+			merged := f
+			if seen {
+				merged = a.Join(old, f)
+			}
+			if !seen || !a.Equal(old, merged) {
+				in[e.To] = merged
+				if !queued[e.To] {
+					queued[e.To] = true
+					work = append(work, e.To)
+				}
+			}
+		}
+	}
+	return in, true
+}

@@ -123,8 +123,10 @@ func (p *Pass) Interface(pkgPath, name string) *types.Interface {
 
 // directive is one parsed //rdmavet:allow comment.
 type directive struct {
+	pos       token.Position
 	line      int
 	analyzers []string // empty = all analyzers
+	used      bool     // suppressed at least one diagnostic this run
 }
 
 // allows reports whether the directive suppresses the named analyzer.
@@ -152,8 +154,8 @@ func (d directive) allows(name string) bool {
 const DirectivePrefix = "rdmavet:allow"
 
 // parseDirectives extracts all //rdmavet:allow directives of a file.
-func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
-	var ds []directive
+func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	var ds []*directive
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -173,8 +175,10 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
 					names = append(names, fld)
 				}
 			}
-			ds = append(ds, directive{
-				line:      fset.Position(c.Pos()).Line,
+			pos := fset.Position(c.Pos())
+			ds = append(ds, &directive{
+				pos:       pos,
+				line:      pos.Line,
 				analyzers: names,
 			})
 		}
@@ -182,30 +186,41 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
 	return ds
 }
 
-// suppress filters diagnostics covered by //rdmavet:allow directives in the
-// given files.
-func suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
-	// filename -> line -> directives
-	byFile := make(map[string]map[int][]directive)
+// directiveIndex maps filename -> line -> directives for one package.
+type directiveIndex struct {
+	byFile map[string]map[int][]*directive
+	all    []*directive
+}
+
+func indexDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{byFile: make(map[string]map[int][]*directive)}
 	for _, f := range files {
 		name := fset.Position(f.Pos()).Filename
-		m := byFile[name]
+		m := idx.byFile[name]
 		if m == nil {
-			m = make(map[int][]directive)
-			byFile[name] = m
+			m = make(map[int][]*directive)
+			idx.byFile[name] = m
 		}
 		for _, d := range parseDirectives(fset, f) {
 			m[d.line] = append(m[d.line], d)
+			idx.all = append(idx.all, d)
 		}
 	}
+	return idx
+}
+
+// suppress filters diagnostics covered by //rdmavet:allow directives, marking
+// every directive that suppressed something as used.
+func (idx *directiveIndex) suppress(diags []Diagnostic) []Diagnostic {
 	kept := diags[:0]
 	for _, d := range diags {
-		m := byFile[d.Pos.Filename]
+		m := idx.byFile[d.Pos.Filename]
 		allowed := false
 		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
 			for _, dir := range m[line] {
 				if dir.allows(d.Analyzer) {
 					allowed = true
+					dir.used = true
 				}
 			}
 		}
@@ -214,6 +229,45 @@ func suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diag
 		}
 	}
 	return kept
+}
+
+// UnusedAllowName is the pseudo-analyzer name under which stale
+// //rdmavet:allow directives are reported. It is intentionally not
+// suppressible: a waiver for the waiver-checker would defeat it.
+const UnusedAllowName = "unusedallow"
+
+// unused reports the directives that suppressed nothing. ranNames is the set
+// of analyzers that actually ran: a directive naming only analyzers outside
+// that set is skipped (a partial run cannot judge it), while a bare
+// directive (no names) is judged — callers only ask for unused reporting on
+// full-suite runs. A directive naming an analyzer that does not exist at all
+// is always reported: it can never suppress anything.
+func (idx *directiveIndex) unused(ranNames, knownNames map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range idx.all {
+		if d.used {
+			continue
+		}
+		var unknown []string
+		judgeable := len(d.analyzers) == 0
+		for _, name := range d.analyzers {
+			if !knownNames[name] {
+				unknown = append(unknown, name)
+				judgeable = true
+			} else if ranNames[name] {
+				judgeable = true
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		msg := "//rdmavet:allow suppresses no diagnostic: stale waiver (the finding was fixed or the analyzer no longer fires here); remove it"
+		if len(unknown) > 0 {
+			msg = fmt.Sprintf("//rdmavet:allow names unknown analyzer(s) %s: the directive can never suppress anything", strings.Join(unknown, ", "))
+		}
+		out = append(out, Diagnostic{Analyzer: UnusedAllowName, Pos: d.pos, Message: msg})
+	}
+	return out
 }
 
 // RunAnalyzers applies every analyzer to every listed package and returns
@@ -231,6 +285,12 @@ func RunAnalyzers(prog *Program, paths []string, analyzers []*Analyzer) ([]Diagn
 		}
 		all = append(all, diags...)
 	}
+	SortDiagnostics(all)
+	return all, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column and analyzer.
+func SortDiagnostics(all []Diagnostic) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].Pos, all[j].Pos
 		if a.Filename != b.Filename {
@@ -244,12 +304,23 @@ func RunAnalyzers(prog *Program, paths []string, analyzers []*Analyzer) ([]Diagn
 		}
 		return all[i].Analyzer < all[j].Analyzer
 	})
-	return all, nil
 }
 
 // AnalyzePackage applies the analyzers to one loaded package, honoring
 // //rdmavet:allow directives.
 func AnalyzePackage(prog *Program, pi *PackageInfo, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := AnalyzePackageChecked(prog, pi, analyzers)
+	return diags, err
+}
+
+// AnalyzePackageChecked applies the analyzers to one loaded package and
+// additionally reports stale //rdmavet:allow directives: waivers that
+// suppressed no diagnostic of the run. Unused-directive judgement assumes the
+// analyzer set is the full suite (a bare `//rdmavet:allow` is only stale when
+// nothing in the whole suite fires on its line); callers doing partial runs
+// should use AnalyzePackage or ignore unused.
+func AnalyzePackageChecked(prog *Program, pi *PackageInfo, analyzers []*Analyzer) (diags, unused []Diagnostic, err error) {
+	ran := make(map[string]bool, len(analyzers))
 	var all []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -263,9 +334,68 @@ func AnalyzePackage(prog *Program, pi *PackageInfo, analyzers []*Analyzer) ([]Di
 			Prog:       prog,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", a.Name, pi.Path, err)
+			return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pi.Path, err)
 		}
 		all = append(all, pass.diags...)
+		ran[a.Name] = true
 	}
-	return suppress(prog.Fset, pi.Files, all), nil
+	idx := indexDirectives(prog.Fset, pi.Files)
+	kept := idx.suppress(all)
+	return kept, idx.unused(ran, ran), nil
+}
+
+// SuiteResult is the outcome of a full-suite run over a set of packages.
+type SuiteResult struct {
+	// Diags are the surviving (non-suppressed) analyzer diagnostics.
+	Diags []Diagnostic
+	// Unused are stale //rdmavet:allow directives (Analyzer ==
+	// UnusedAllowName); populated only when SuiteOptions.ReportUnused is set.
+	Unused []Diagnostic
+}
+
+// SuiteOptions configures RunSuite.
+type SuiteOptions struct {
+	// ReportUnused includes stale //rdmavet:allow directives in the result.
+	// Only meaningful when analyzers is the full suite: a partial run cannot
+	// tell a stale waiver from one owned by an analyzer that did not run.
+	ReportUnused bool
+	// Cache, when non-nil, memoizes per-package results keyed on the content
+	// of the package's files, its module-internal dependency closure, and
+	// the cache's suite fingerprint (see NewCache).
+	Cache *Cache
+}
+
+// RunSuite applies the analyzer suite to every listed package, consulting the
+// optional package-result cache, and returns diagnostics plus stale-waiver
+// reports in file/line order.
+func RunSuite(prog *Program, paths []string, analyzers []*Analyzer, opts SuiteOptions) (*SuiteResult, error) {
+	res := &SuiteResult{}
+	for _, path := range paths {
+		if opts.Cache != nil {
+			if cached, ok := opts.Cache.Get(prog, path); ok {
+				res.Diags = append(res.Diags, cached.Diags...)
+				res.Unused = append(res.Unused, cached.Unused...)
+				continue
+			}
+		}
+		pi, err := prog.Package(path)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		diags, unused, err := AnalyzePackageChecked(prog, pi, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Cache != nil {
+			opts.Cache.Put(prog, path, &SuiteResult{Diags: diags, Unused: unused})
+		}
+		res.Diags = append(res.Diags, diags...)
+		res.Unused = append(res.Unused, unused...)
+	}
+	if !opts.ReportUnused {
+		res.Unused = nil
+	}
+	SortDiagnostics(res.Diags)
+	SortDiagnostics(res.Unused)
+	return res, nil
 }

@@ -1,0 +1,42 @@
+package rdmavet_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/lint"
+	"github.com/namdb/rdmatree/internal/lint/rdmavet"
+)
+
+// benchProg shares one loaded+typechecked module across iterations (loading
+// is the driver's job and is cached in real runs; the benchmark isolates the
+// analyzers themselves, dominated by the flow-sensitive passes).
+var benchProg struct {
+	once  sync.Once
+	p     *lint.Program
+	paths []string
+	err   error
+}
+
+func BenchmarkRdmavet(b *testing.B) {
+	benchProg.once.Do(func() {
+		benchProg.p, benchProg.err = lint.NewProgram(".")
+		if benchProg.err == nil {
+			benchProg.paths, benchProg.err = benchProg.p.List("./...")
+		}
+	})
+	if benchProg.err != nil {
+		b.Fatal(benchProg.err)
+	}
+	suite := rdmavet.Suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lint.RunSuite(benchProg.p, benchProg.paths, suite, lint.SuiteOptions{ReportUnused: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Diags)+len(res.Unused) != 0 {
+			b.Fatalf("suite not clean: %v %v", res.Diags, res.Unused)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package rdmavet
+
+// Shared plumbing for the flow-sensitive analyzers (lockpaired, occvalidate,
+// tokenflow): per-function regions over which a CFG is built, and small
+// expression predicates. Each function declaration and each function literal
+// is analyzed as its own region — a closure's body executes at call time, not
+// where it is written, so its effects must not leak into the enclosing
+// function's flow facts (enclosing analyses skip FuncLit subtrees).
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// funcRegion is one independently analyzed function body.
+type funcRegion struct {
+	name string // for diagnostics: "f" or "f literal"
+	sig  *types.Signature
+	body *ast.BlockStmt
+}
+
+// funcRegions returns every function declaration and function literal of the
+// package as a separate analysis region.
+func funcRegions(pass *lint.Pass) []funcRegion {
+	var out []funcRegion
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				fn, _ := pass.Info.Defs[n.Name].(*types.Func)
+				if fn == nil {
+					return true
+				}
+				out = append(out, funcRegion{
+					name: n.Name.Name,
+					sig:  fn.Type().(*types.Signature),
+					body: n.Body,
+				})
+			case *ast.FuncLit:
+				sig, _ := pass.TypeOf(n).(*types.Signature)
+				if sig == nil {
+					return true
+				}
+				out = append(out, funcRegion{name: "function literal", sig: sig, body: n.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectShallow walks n without descending into function literals: their
+// bodies run at call time and are analyzed as their own regions.
+func inspectShallow(n ast.Node, fn func(n ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, isLit := c.(*ast.FuncLit); isLit && c != n {
+			return false
+		}
+		return fn(c)
+	})
+}
+
+// refersTo reports whether e mentions obj outside nested function literals.
+func refersTo(pass *lint.Pass, e ast.Expr, obj types.Object) bool {
+	if e == nil || obj == nil {
+		return false
+	}
+	found := false
+	inspectShallow(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// errorLastResult reports whether the signature's final result is error.
+func errorLastResult(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// layoutPath returns the import path of the page-layout package.
+func layoutPath(pass *lint.Pass) string { return pass.ModulePath + "/internal/layout" }
+
+// layoutCall reports whether e is a call to internal/layout's function name,
+// returning the call.
+func layoutCall(pass *lint.Pass, e ast.Expr, name string) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	fn := lint.StaticCallee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != layoutPath(pass) || fn.Name() != name {
+		return nil, false
+	}
+	return call, true
+}
+
+// isRemotePtr reports whether t is rdma.RemotePtr.
+func isRemotePtr(pass *lint.Pass, t types.Type) bool {
+	return isNamed(t, rdmaPath(pass), "RemotePtr")
+}
+
+// identUse resolves e to the object of a plain identifier use, or nil.
+func identUse(pass *lint.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.Uses[id]
+}
+
+// identDefOrUse resolves e to a plain identifier's object via Defs (for :=)
+// or Uses (for =), or nil. The blank identifier resolves to nil.
+func identDefOrUse(pass *lint.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if d := pass.Info.Defs[id]; d != nil {
+		return d
+	}
+	return pass.Info.Uses[id]
+}

@@ -22,6 +22,19 @@
 //     Completion, so every Post* must be paired with a Poll that reaps it
 //     (completionleak).
 //
+// Three further analyzers are flow-sensitive: they run per function over the
+// lint package's CFG and dataflow solver, so they can distinguish paths the
+// syntactic checks above cannot:
+//
+//   - an acquired page lock — CAS(p, v, layout.WithLock(v)) — must be
+//     released on every error-return path; a leaked lock bit stalls every
+//     future writer and spins every reader of the page (lockpaired);
+//   - a raw page copy read from remote memory is a candidate snapshot until
+//     its version word is revalidated, and must not escape — returned,
+//     written back, stored, or sent — before that check (occvalidate);
+//   - an async Token follows posted -> Flush -> Poll, and every token of a
+//     superseded batch dies on a traversal Redo/Abort (tokenflow).
+//
 // One-sided RDMA designs make these contracts load-bearing: the remote CPU
 // never validates a request, so nothing at runtime catches a client that
 // ignores a CAS result or tears a page layout. rdmavet moves the contracts
@@ -83,6 +96,9 @@ func Suite() []*lint.Analyzer {
 		NewNopEnv(DefaultNopEnvScope),
 		NewRetryNaked(DefaultRetryNakedScope),
 		NewCompletionLeak(),
+		NewLockPaired(DefaultLockPairedScope),
+		NewOCCValidate(DefaultOCCValidateScope),
+		NewTokenFlow(),
 	}
 }
 

@@ -44,6 +44,18 @@ func TestCompletionLeak(t *testing.T) {
 	linttest.Run(t, "testdata/completionleak", "fixture/completionleak", rdmavet.NewCompletionLeak())
 }
 
+func TestLockPaired(t *testing.T) {
+	linttest.Run(t, "testdata/lockpaired", "fixture/lockpaired", rdmavet.NewLockPaired(fixtureScope))
+}
+
+func TestOCCValidate(t *testing.T) {
+	linttest.Run(t, "testdata/occvalidate", "fixture/occvalidate", rdmavet.NewOCCValidate(fixtureScope))
+}
+
+func TestTokenFlow(t *testing.T) {
+	linttest.Run(t, "testdata/tokenflow", "fixture/tokenflow", rdmavet.NewTokenFlow())
+}
+
 // TestWallclockOutOfScope pins the scoping mechanism itself: the same
 // violating fixture produces no diagnostics when analyzed under the default
 // (real-package) scope.
@@ -108,7 +120,7 @@ func TestDefaultScopes(t *testing.T) {
 
 // TestSuite pins the suite composition: CI runs exactly these analyzers.
 func TestSuite(t *testing.T) {
-	want := []string{"caschecked", "endpointshare", "wallclock", "verberrs", "layoutwords", "nopenv", "retrynaked", "completionleak"}
+	want := []string{"caschecked", "endpointshare", "wallclock", "verberrs", "layoutwords", "nopenv", "retrynaked", "completionleak", "lockpaired", "occvalidate", "tokenflow"}
 	suite := rdmavet.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

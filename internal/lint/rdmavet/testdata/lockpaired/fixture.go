@@ -1,0 +1,148 @@
+// Fixture for the lockpaired analyzer: an acquired page lock must be
+// released on every error-return path.
+package fixture
+
+import (
+	"errors"
+
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+var errBoom = errors.New("boom")
+
+// Raw acquire, leaked on the write-error path.
+func leakRawAcquire(m btree.Mem, p rdma.RemotePtr, v uint64, body []uint64) error {
+	prev, err := m.CAS(p, v, layout.WithLock(v))
+	if err != nil {
+		return err // the CAS verb failed: no lock was taken
+	}
+	if prev != v {
+		return nil // lost the race: no lock was taken
+	}
+	if err := m.WriteWords(p, body); err != nil {
+		return err // want "page lock on p is still held"
+	}
+	_, err = m.FetchAdd(p, 1)
+	return err
+}
+
+// The Endpoint surface carries the same protocol.
+func leakEndpointAcquire(ep rdma.Endpoint, p rdma.RemotePtr, v uint64) error {
+	prev, err := ep.CompareAndSwap(p, v, layout.WithLock(v))
+	if err != nil {
+		return err
+	}
+	if prev != v {
+		return nil
+	}
+	return errBoom // want "page lock on p is still held"
+}
+
+// lockPage is discovered as an acquirer: its nil-error return holds the lock
+// on its pointer argument.
+func lockPage(m btree.Mem, p rdma.RemotePtr) (uint64, error) {
+	for {
+		v, err := m.LoadWord(p)
+		if err != nil {
+			return 0, err
+		}
+		prev, err := m.CAS(p, v, layout.WithLock(v))
+		if err != nil {
+			return 0, err
+		}
+		if prev == v {
+			return v, nil
+		}
+	}
+}
+
+// unlockRestore is summarized as a releaser: it restores the pre-lock word.
+func unlockRestore(m btree.Mem, p rdma.RemotePtr, pre uint64) error {
+	_, err := m.CAS(p, layout.WithLock(pre), pre)
+	return err
+}
+
+// A lock taken through the helper leaks the same way.
+func leakViaHelper(m btree.Mem, p rdma.RemotePtr, body []uint64) error {
+	pre, err := lockPage(m, p)
+	if err != nil {
+		return err
+	}
+	_ = pre
+	if err := m.WriteWords(p, body); err != nil {
+		return err // want "page lock on p is still held"
+	}
+	_, err = m.FetchAdd(p, 1)
+	return err
+}
+
+// Releasing through the helper on every exit is clean.
+func okHelperRelease(m btree.Mem, p rdma.RemotePtr, body []uint64) error {
+	pre, err := lockPage(m, p)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteWords(p, body); err != nil {
+		unlockRestore(m, p, pre)
+		return err
+	}
+	return unlockRestore(m, p, pre)
+}
+
+// A release in the return expression itself counts.
+func okReleaseInReturn(m btree.Mem, p rdma.RemotePtr, pre uint64) error {
+	prev, err := m.CAS(p, pre, layout.WithLock(pre))
+	if err != nil || prev != pre {
+		return err
+	}
+	return unlockRestore(m, p, pre)
+}
+
+// A bound closure that releases the lock counts when called or handed off.
+func okClosureRelease(m btree.Mem, p rdma.RemotePtr, v uint64, body []uint64) error {
+	prev, err := m.CAS(p, v, layout.WithLock(v))
+	if err != nil || prev != v {
+		return err
+	}
+	unlock := func() { _, _ = m.FetchAdd(p, 1) }
+	if err := m.WriteWords(p, body); err != nil {
+		unlock()
+		return err
+	}
+	unlock()
+	return nil
+}
+
+// A lock held on only one joining path is not must-held and never reported
+// (the analyzer's deliberate conservatism for flag-correlated protocol loops).
+func okConditionalAcquire(m btree.Mem, p rdma.RemotePtr, v uint64, lockIt bool) error {
+	locked := false
+	if lockIt {
+		prev, err := m.CAS(p, v, layout.WithLock(v))
+		if err != nil {
+			return err
+		}
+		if prev == v {
+			locked = true
+		}
+	}
+	if v == 0 {
+		return errBoom
+	}
+	if locked {
+		_, _ = m.FetchAdd(p, 1)
+	}
+	return nil
+}
+
+// The allow directive suppresses an acknowledged leak.
+func allowLeak(m btree.Mem, p rdma.RemotePtr, v uint64) error {
+	prev, err := m.CAS(p, v, layout.WithLock(v))
+	if err != nil || prev != v {
+		return err
+	}
+	//rdmavet:allow lockpaired -- fixture: leak acknowledged to exercise the allow directive
+	return errBoom
+}

@@ -1,0 +1,143 @@
+// Fixture for the occvalidate analyzer: a raw page copy must be
+// version-validated before it escapes the reading function.
+package fixture
+
+import (
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// An unvalidated copy escaping by return.
+func leakReturn(m btree.Mem, p rdma.RemotePtr) ([]uint64, error) {
+	buf := make([]uint64, 64)
+	if err := m.ReadWords(p, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil // want "page copy from ReadWords is returned to the caller"
+}
+
+// The Endpoint read surface taints the same way.
+func leakEndpointRead(ep rdma.Endpoint, p rdma.RemotePtr) ([]uint64, error) {
+	buf := make([]uint64, 64)
+	if err := ep.Read(p, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil // want "page copy from Read is returned to the caller"
+}
+
+// An unvalidated copy written back to remote memory.
+func leakWriteBack(m btree.Mem, src, dst rdma.RemotePtr) error {
+	buf := make([]uint64, 64)
+	if err := m.ReadWords(src, buf); err != nil {
+		return err
+	}
+	return m.WriteWords(dst, buf) // want "page copy from ReadWords is written back to remote memory"
+}
+
+type holder struct{ w []uint64 }
+
+// An unvalidated copy stored into a field outlives its frame.
+func leakFieldStore(m btree.Mem, p rdma.RemotePtr, h *holder) error {
+	buf := make([]uint64, 64)
+	if err := m.ReadWords(p, buf); err != nil {
+		return err
+	}
+	h.w = buf // want "stored into a field or package variable"
+	return nil
+}
+
+// An unvalidated copy sent on a channel.
+func leakChannelSend(m btree.Mem, p rdma.RemotePtr, out chan []uint64) error {
+	buf := make([]uint64, 64)
+	if err := m.ReadWords(p, buf); err != nil {
+		return err
+	}
+	out <- buf // want "sent on a channel"
+	return nil
+}
+
+// ReadValidated whose ok result is discarded validated nothing.
+func leakIgnoredOK(m btree.Mem, p rdma.RemotePtr) ([]uint64, error) {
+	buf := make([]uint64, 64)
+	_, _, err := m.ReadValidated(p, buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil // want "page copy from ReadValidated is returned to the caller"
+}
+
+// A direct BufVersion comparison sanitizes on the equality edge.
+func okManualValidate(m btree.Mem, p rdma.RemotePtr, v uint64) ([]uint64, error) {
+	buf := make([]uint64, 64)
+	if err := m.ReadWords(p, buf); err != nil {
+		return nil, err
+	}
+	if layout.BufVersion(buf) != v {
+		return nil, nil
+	}
+	return buf, nil
+}
+
+// A version variable bound to BufVersion carries the validation.
+func okVersionVar(m btree.Mem, p rdma.RemotePtr, want uint64) ([]uint64, error) {
+	buf := make([]uint64, 64)
+	if err := m.ReadWords(p, buf); err != nil {
+		return nil, err
+	}
+	v := layout.BufVersion(buf)
+	if v == want {
+		return buf, nil
+	}
+	return nil, nil
+}
+
+// ReadValidated's ok result guards the copy on its true edge.
+func okReadValidated(m btree.Mem, p rdma.RemotePtr) ([]uint64, error) {
+	buf := make([]uint64, 64)
+	_, ok, err := m.ReadValidated(p, buf)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return buf, nil
+}
+
+// validSnapshot is recognized as a validator helper (bool result comparing
+// layout.BufVersion).
+func validSnapshot(v uint64, buf []uint64) bool {
+	return v == layout.BufVersion(buf) && !layout.IsLocked(v)
+}
+
+func okValidatorHelper(m btree.Mem, p rdma.RemotePtr, v uint64) ([]uint64, error) {
+	buf := make([]uint64, 64)
+	if err := m.ReadWords(p, buf); err != nil {
+		return nil, err
+	}
+	ok := validSnapshot(v, buf)
+	if !ok {
+		return nil, nil
+	}
+	return buf, nil
+}
+
+// Local scalar extraction cannot carry the torn copy.
+func okLocalInspection(m btree.Mem, p rdma.RemotePtr) (uint64, error) {
+	buf := make([]uint64, 64)
+	if err := m.ReadWords(p, buf); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}
+
+// The allow directive suppresses an acknowledged escape.
+func allowEscape(m btree.Mem, p rdma.RemotePtr) ([]uint64, error) {
+	buf := make([]uint64, 64)
+	if err := m.ReadWords(p, buf); err != nil {
+		return nil, err
+	}
+	//rdmavet:allow occvalidate -- fixture: single-writer phase, nothing can tear this copy
+	return buf, nil
+}

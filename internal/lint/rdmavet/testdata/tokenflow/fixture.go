@@ -1,0 +1,95 @@
+// Fixture for the tokenflow analyzer: async tokens follow
+// posted -> Flush -> Poll and die on a traversal Redo/Abort.
+package fixture
+
+import (
+	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+func stash(rdma.Token) {}
+
+func hand(rdma.AsyncEndpoint) {}
+
+// Poll before the doorbell was rung forfeits the cross-op batch.
+func leakPollWithoutFlush(ep rdma.AsyncEndpoint, p rdma.RemotePtr, dst []uint64) {
+	tok := ep.PostRead(p, dst)
+	ep.Poll(nil) // want "Poll reaps PostRead's token without a Flush"
+	_ = tok
+}
+
+// Returning with the token still in flight leaks its completion.
+func leakInFlightReturn(ep rdma.AsyncEndpoint, p rdma.RemotePtr, dst []uint64) error {
+	tok := ep.PostRead(p, dst)
+	ep.Flush()
+	_ = tok
+	return nil // want "returning while PostRead's token is still in flight"
+}
+
+// A token outliving an Abort matches no completion of the reposted step.
+func leakStaleAfterAbort(ep rdma.AsyncEndpoint, tv *btree.Traversal, p rdma.RemotePtr, dst []uint64) {
+	tok := ep.PostRead(p, dst)
+	ep.Flush()
+	tv.Abort(nil)
+	_ = tok // want "token tok outlived a Redo/Abort"
+	ep.Poll(nil)
+}
+
+// Redo kills tokens the same way, even already-reaped ones handed onward.
+func leakStaleAfterRedo(ep rdma.AsyncEndpoint, tv *btree.Traversal, p rdma.RemotePtr, dst []uint64) {
+	tok := ep.PostRead(p, dst)
+	ep.Flush()
+	ep.Poll(nil)
+	tv.Redo(nil)
+	stash(tok) // want "token tok outlived a Redo/Abort"
+}
+
+// The full lifecycle is clean.
+func okLifecycle(ep rdma.AsyncEndpoint, p rdma.RemotePtr, dst []uint64) error {
+	tok := ep.PostRead(p, dst)
+	ep.Flush()
+	comps := ep.Poll(nil)
+	_ = tok
+	return comps[0].Err
+}
+
+// A token handed to another function transfers ownership.
+func okTokenHandedOff(ep rdma.AsyncEndpoint, p rdma.RemotePtr, dst []uint64) error {
+	tok := ep.PostRead(p, dst)
+	stash(tok)
+	return nil
+}
+
+// A returned token transfers ownership to the caller.
+func okTokenReturned(ep rdma.AsyncEndpoint, p rdma.RemotePtr, dst []uint64) rdma.Token {
+	tok := ep.PostRead(p, dst)
+	ep.Flush()
+	return tok
+}
+
+// Posts on an endpoint that escapes the function are owned elsewhere.
+func okEscapedEndpoint(ep rdma.AsyncEndpoint, p rdma.RemotePtr, dst []uint64) error {
+	tok := ep.PostRead(p, dst)
+	hand(ep)
+	_ = tok
+	return nil
+}
+
+// Join-path disagreement is tracked but never reported (conservatism).
+func okJoinDisagreement(ep rdma.AsyncEndpoint, p rdma.RemotePtr, dst []uint64, cond bool) error {
+	tok := ep.PostRead(p, dst)
+	if cond {
+		ep.Flush()
+	}
+	_ = tok
+	return nil
+}
+
+// The allow directive suppresses an acknowledged in-flight return.
+func allowInFlight(ep rdma.AsyncEndpoint, p rdma.RemotePtr, dst []uint64) error {
+	tok := ep.PostRead(p, dst)
+	ep.Flush()
+	_ = tok
+	//rdmavet:allow tokenflow -- fixture: the caller's poll loop reaps this batch
+	return nil
+}

@@ -1,0 +1,355 @@
+package rdmavet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/namdb/rdmatree/internal/lint"
+)
+
+// tokenflow enforces the pipeline token discipline of the async dataplane
+// (internal/rdma/async.go): a Token returned by Post* names one in-flight
+// verb of the CURRENT doorbell batch. The contract gives tokens a strict
+// lifecycle —
+//
+//	posted --Flush--> flushed --Poll--> reaped
+//
+// and the cross-op batching engine adds one more transition: when a
+// traversal step is reposted (btree Traversal.Redo / Abort), every token
+// handed out for the superseded batch is dead — the new batch re-issues the
+// verbs under new tokens, and matching completions against the old ones
+// silently pairs results with the wrong verbs.
+//
+// The analyzer tracks token variables through the lint CFG and reports:
+//
+//   - Poll on an endpoint with a posted-but-never-Flushed token: the
+//     cross-op batching discipline is that the doorbell is rung explicitly
+//     once per batch — Poll without Flush works on the in-process adapters
+//     but posts verb-by-verb on a doorbell-batching transport, silently
+//     forfeiting the batching the async surface exists to provide;
+//   - any use of a stale token (one outlived by a Redo/Abort);
+//   - returning while a token is still in flight (posted or flushed but not
+//     reaped) — the path-sensitive sibling of completionleak, which only
+//     sees functions with no Poll at all.
+//
+// Mirroring completionleak's ownership model, posts on struct-field
+// endpoints and on endpoints that escape the function are exempt: their
+// completions are owned elsewhere. A token that itself escapes (returned,
+// passed on, stored, sent) transfers ownership and stops being tracked; a
+// token whose state differs between joining paths is tracked but never
+// reported.
+func NewTokenFlow() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "tokenflow",
+		Doc:  "async tokens follow posted -> Flush -> Poll and die on Redo/Abort",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		asyncIf := pass.Interface(rdmaPath(pass), "AsyncEndpoint")
+		if asyncIf == nil {
+			return nil
+		}
+		tp := &tokenPass{pass: pass, asyncIf: asyncIf}
+		for _, r := range funcRegions(pass) {
+			tp.checkRegion(r)
+		}
+		return nil
+	}
+	return a
+}
+
+type tokenPass struct {
+	pass    *lint.Pass
+	asyncIf *types.Interface
+}
+
+type tokStage uint8
+
+const (
+	tokPosted tokStage = iota
+	tokFlushed
+	tokReaped
+	tokStale
+)
+
+type tokInfo struct {
+	stage tokStage
+	ep    types.Object
+	// maybe marks join-path disagreement: still tracked, never reported.
+	maybe bool
+	// postName is the verb that produced the token, for diagnostics.
+	postName string
+}
+
+type tokFact map[types.Object]tokInfo
+
+func (f tokFact) clone() tokFact {
+	out := make(tokFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+type tokenAnalysis struct {
+	tp      *tokenPass
+	escaped map[types.Object]bool // endpoints escaping the function
+	report  func(at ast.Node, format string, args ...any)
+}
+
+func (ta *tokenAnalysis) Entry() any { return tokFact{} }
+
+func (ta *tokenAnalysis) Equal(a, b any) bool {
+	am, bm := a.(tokFact), b.(tokFact)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		if bm[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (ta *tokenAnalysis) Join(a, b any) any {
+	am, bm := a.(tokFact), b.(tokFact)
+	out := make(tokFact, len(am)+len(bm))
+	for k, av := range am {
+		bv, ok := bm[k]
+		switch {
+		case !ok:
+			av.maybe = true
+			out[k] = av
+		case av == bv:
+			out[k] = av
+		default:
+			if bv.stage > av.stage {
+				av.stage = bv.stage
+			}
+			av.maybe = true
+			out[k] = av
+		}
+	}
+	for k, bv := range bm {
+		if _, ok := am[k]; !ok {
+			bv.maybe = true
+			out[k] = bv
+		}
+	}
+	return out
+}
+
+func (ta *tokenAnalysis) EdgeTransfer(fact any, cond ast.Expr, neg bool) any { return fact }
+
+func (ta *tokenAnalysis) Transfer(fact any, n ast.Node) any {
+	tp := ta.tp
+	out := fact.(tokFact)
+	cloned := false
+	touch := func() {
+		if !cloned {
+			out, cloned = out.clone(), true
+		}
+	}
+
+	// LHS identifiers of this assignment are (re)definitions, not uses.
+	var lhsIdents map[*ast.Ident]bool
+	if assign, ok := n.(*ast.AssignStmt); ok {
+		lhsIdents = map[*ast.Ident]bool{}
+		for _, l := range assign.Lhs {
+			if id, isID := ast.Unparen(l).(*ast.Ident); isID {
+				lhsIdents[id] = true
+			}
+		}
+	}
+
+	inspectShallow(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.CallExpr:
+			recv, recvType, name, isM := methodCall(tp.pass, c)
+			if isM {
+				switch {
+				case name == "Flush" && implementsIface(recvType, tp.asyncIf):
+					epObj := identUse(tp.pass, recv)
+					for tok, info := range out {
+						if info.stage == tokPosted && (epObj == nil || info.ep == epObj) {
+							touch()
+							info.stage = tokFlushed
+							out[tok] = info
+						}
+					}
+				case name == "Poll" && implementsIface(recvType, tp.asyncIf):
+					epObj := identUse(tp.pass, recv)
+					for tok, info := range out {
+						if epObj != nil && info.ep != epObj {
+							continue
+						}
+						if info.stage == tokPosted && !info.maybe && ta.report != nil {
+							ta.report(c, "Poll reaps %s's token without a Flush: the doorbell was never rung, so a batching transport posts this verb alone and the cross-op batch is silently forfeited", info.postName)
+						}
+						if info.stage == tokPosted || info.stage == tokFlushed {
+							touch()
+							info.stage = tokReaped
+							out[tok] = info
+						}
+					}
+				case (name == "Redo" || name == "Abort") && isNamed(recvType, btreePath(tp.pass), "Traversal"):
+					for tok, info := range out {
+						if info.stage != tokStale {
+							touch()
+							info.stage = tokStale
+							out[tok] = info
+						}
+					}
+				}
+			}
+			// Token arguments escape to the callee.
+			for _, arg := range c.Args {
+				if obj := identUse(tp.pass, arg); obj != nil {
+					if info, tracked := out[obj]; tracked {
+						ta.checkStale(c, obj, info)
+						touch()
+						delete(out, obj)
+					}
+				}
+			}
+		case *ast.Ident:
+			if lhsIdents[c] {
+				return true
+			}
+			obj := tp.pass.Info.Uses[c]
+			if obj == nil {
+				return true
+			}
+			if info, tracked := out[obj]; tracked {
+				ta.checkStale(c, obj, info)
+			}
+		}
+		return true
+	})
+
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		// Returned tokens transfer ownership to the caller.
+		for _, res := range n.Results {
+			if obj := identUse(tp.pass, res); obj != nil {
+				if _, tracked := out[obj]; tracked {
+					touch()
+					delete(out, obj)
+				}
+			}
+		}
+		if ta.report != nil {
+			for _, info := range out {
+				if (info.stage == tokPosted || info.stage == tokFlushed) && !info.maybe {
+					ta.report(n, "returning while %s's token is still in flight on this path: its completion is never reaped — Poll the endpoint before returning", info.postName)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if obj := identUse(tp.pass, n.Value); obj != nil {
+			if _, tracked := out[obj]; tracked {
+				touch()
+				delete(out, obj)
+			}
+		}
+	case *ast.AssignStmt:
+		// Field/element stores transfer ownership.
+		for i, lhs := range n.Lhs {
+			if len(n.Rhs) != len(n.Lhs) {
+				break
+			}
+			switch ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				if obj := identUse(tp.pass, n.Rhs[i]); obj != nil {
+					if _, tracked := out[obj]; tracked {
+						touch()
+						delete(out, obj)
+					}
+				}
+			}
+		}
+		// New posts: tok := ep.PostX(...).
+		if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+			if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+				recv, recvType, name, isM := methodCall(tp.pass, call)
+				if isM && postVerbs[name] && implementsIface(recvType, tp.asyncIf) {
+					epObj := identUse(tp.pass, recv)
+					// Field-receiver and escaped-endpoint posts are owned
+					// elsewhere (completionleak's exemptions).
+					if epObj != nil && !ta.escaped[epObj] {
+						if tokObj := identDefOrUse(tp.pass, n.Lhs[0]); tokObj != nil {
+							touch()
+							out[tokObj] = tokInfo{stage: tokPosted, ep: epObj, postName: name}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (ta *tokenAnalysis) checkStale(at ast.Node, obj types.Object, info tokInfo) {
+	if info.stage == tokStale && !info.maybe && ta.report != nil {
+		ta.report(at, "token %s outlived a Redo/Abort: the superseded batch's tokens no longer match any completion — use the tokens of the reposted step", obj.Name())
+	}
+}
+
+// checkRegion analyzes one function body.
+func (tp *tokenPass) checkRegion(r funcRegion) {
+	// Quick pre-scan: skip functions with no Post* on an identifier-held
+	// AsyncEndpoint, and collect escaped endpoints (completionleak's rules).
+	posts := false
+	escaped := map[types.Object]bool{}
+	var stack []ast.Node
+	ast.Inspect(r.body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			recv, recvType, name, ok := methodCall(tp.pass, n)
+			if ok && postVerbs[name] && implementsIface(recvType, tp.asyncIf) && identUse(tp.pass, recv) != nil {
+				posts = true
+			}
+		case *ast.Ident:
+			obj := tp.pass.Info.Uses[n]
+			if obj == nil || !implementsIface(obj.Type(), tp.asyncIf) {
+				break
+			}
+			if sel, ok := parentOf(stack).(*ast.SelectorExpr); ok && ast.Unparen(sel.X) == ast.Node(n) {
+				if len(stack) >= 2 {
+					if call, ok := parentOf(stack[:len(stack)-1]).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == ast.Node(sel) {
+						break
+					}
+				}
+			}
+			escaped[obj] = true
+		}
+		stack = append(stack, n)
+		return true
+	})
+	if !posts {
+		return
+	}
+
+	ta := &tokenAnalysis{tp: tp, escaped: escaped}
+	g := lint.BuildCFG(r.body)
+	in, ok := lint.SolveForward(g, ta)
+	if !ok {
+		return
+	}
+	ta.report = func(at ast.Node, format string, args ...any) {
+		tp.pass.Reportf(at.Pos(), format, args...)
+	}
+	for _, b := range g.Blocks {
+		fact, reached := in[b]
+		if !reached {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fact = ta.Transfer(fact, n)
+		}
+	}
+}

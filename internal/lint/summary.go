@@ -1,0 +1,89 @@
+package lint
+
+// This file computes lightweight call summaries: package-local boolean
+// properties of functions, closed transitively over same-package static
+// calls. The flow-sensitive analyzers use them to see through one level of
+// helper indirection — e.g. lockpaired summarizes btree's unlockBump /
+// abortUnlock / unlockNoChange as "releases a page lock" because each
+// (directly or through a helper) contains a release primitive, so a call to
+// any of them discharges the caller's obligation without interprocedural
+// dataflow.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Summarize computes, for every function declared in the package, whether
+// pred matches any node of its body, transitively: a function has the
+// property when pred matches directly, or when it statically calls a
+// same-package function that has it. Calls through interfaces, function
+// values and closures are not followed.
+func Summarize(files []*ast.File, info *types.Info, pred func(n ast.Node) bool) map[*types.Func]bool {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	has := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func)
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if pred(n) {
+				has[fn] = true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := StaticCallee(info, call); callee != nil {
+					if _, local := decls[callee]; local {
+						calls[fn] = append(calls[fn], callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if has[fn] {
+				continue
+			}
+			for _, c := range callees {
+				if has[c] {
+					has[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return has
+}
+
+// StaticCallee resolves the function or method a call statically invokes, or
+// nil for calls through function values, built-ins and type conversions.
+// Interface method calls resolve to the interface's method object (which is
+// never a same-package declaration, so summaries do not follow them).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.Fn.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
