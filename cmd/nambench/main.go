@@ -57,7 +57,7 @@ func lintMetrics(src string) error {
 
 // runRegress dispatches one baseline file to its regression gate by name:
 // BENCH_rtt* re-runs the doorbell-batching experiment, BENCH_pipeline* the
-// async-dataplane sweep.
+// async-dataplane sweep, BENCH_replication* the page-replication comparison.
 func runRegress(w io.Writer, path string) error {
 	name := path
 	if i := strings.LastIndexByte(name, '/'); i >= 0 {
@@ -68,8 +68,10 @@ func runRegress(w io.Writer, path string) error {
 		return bench.RegressRTT(w, path)
 	case strings.HasPrefix(name, "BENCH_pipeline"):
 		return bench.RegressPipeline(w, path)
+	case strings.HasPrefix(name, "BENCH_replication"):
+		return bench.RegressReplication(w, path)
 	default:
-		return fmt.Errorf("-regress: unrecognized baseline %q (expected BENCH_rtt*.json or BENCH_pipeline*.json)", path)
+		return fmt.Errorf("-regress: unrecognized baseline %q (expected BENCH_rtt*.json, BENCH_pipeline*.json or BENCH_replication*.json)", path)
 	}
 }
 
@@ -83,7 +85,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in Perfetto or chrome://tracing)")
 		metrics  = flag.String("metrics", "", "serve live expvar (/debug/vars), pprof (/debug/pprof/), and OpenMetrics (/metrics) on this address while experiments run")
 		noverbs  = flag.Bool("noverbs", false, "omit the per-verb breakdown tables from experiment reports")
-		regress  = flag.String("regress", "", "comma-separated bench baselines (BENCH_rtt.json, BENCH_pipeline.json); re-runs each experiment at the baseline's scale and fails on >10% regression")
+		regress  = flag.String("regress", "", "comma-separated bench baselines (BENCH_rtt.json, BENCH_pipeline.json, BENCH_replication.json); re-runs each experiment at the baseline's scale and fails on >10% regression")
 		lintmet  = flag.String("lintmetrics", "", "validate an OpenMetrics exposition (file path or http URL) and exit")
 	)
 	flag.Parse()

@@ -25,6 +25,7 @@ func extensions() []Experiment {
 		{"chaos", "Fault Injection: Scripted Fault Schedules vs Client-Side Recovery (All Designs)", expChaos},
 		{"obs", "Observability: Flight-Recorder Reconstruction of a Fault-Injected Traversal (Fine-Grained)", expObs},
 		{"pipeline", "Async Pipelined Dataplane: In-Flight Sweep and Doorbell Coalescing (Fine-Grained)", expPipeline},
+		{"replication", "Page Replication (k=2): Mirrored-Write Overhead and Read-Path Neutrality (Fine-Grained)", expReplication},
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/repl"
 	"github.com/namdb/rdmatree/internal/rdma/simnet"
 	"github.com/namdb/rdmatree/internal/sim"
 	"github.com/namdb/rdmatree/internal/stats"
@@ -87,6 +88,14 @@ type Config struct {
 	// experiment and the verb sequence the paper's figures assume. Ignored
 	// by the other designs and by cached clients.
 	LegacyReads bool
+	// Replicas, when >= 2, deploys the fine-grained design with k-way page
+	// replication (DESIGN.md §13): server regions are carved into
+	// identity-offset replica slabs, every client's endpoint is wrapped in
+	// the replica router, and each client mirrors its dirtied pages to the
+	// group's backups before acking. Fine-grained serial clients only —
+	// combining with Pipeline, CachePages or LegacyReads is a Validate
+	// error, and 0 and 1 both mean unreplicated.
+	Replicas int
 	// WarmupNS and MeasureNS are the virtual warm-up and measurement
 	// windows.
 	WarmupNS  int64
@@ -119,6 +128,17 @@ func (c *Config) Validate() error {
 	}
 	if c.MeasureNS == 0 {
 		c.MeasureNS = 20_000_000 // 20ms virtual
+	}
+	if c.Replicas >= 2 {
+		if c.Design != nam.FineGrained {
+			return fmt.Errorf("bench: Replicas requires the fine-grained design")
+		}
+		if c.Pipeline > 0 || c.CachePages > 0 || c.LegacyReads {
+			return fmt.Errorf("bench: Replicas supports only the serial fused-read client (no Pipeline, CachePages, LegacyReads)")
+		}
+		if c.Replicas > c.Topology.MemServers {
+			return fmt.Errorf("bench: Replicas %d exceeds memory servers %d", c.Replicas, c.Topology.MemServers)
+		}
 	}
 	return c.Topology.Validate()
 }
@@ -299,9 +319,28 @@ func Run(cfg Config) (Result, error) {
 			return c
 		}
 	case nam.FineGrained:
-		cat, err := fine.Build(fab.SetupEndpoint(), fine.Options{Layout: l}, spec)
+		fineOpts := fine.Options{Layout: l}
+		var lay nam.ReplicaLayout
+		if cfg.Replicas >= 2 {
+			// Carve every server's region into identity-offset replica slabs
+			// and confine its allocator to its own slab, so a page's backup
+			// copies live at the page's own offset on the group's other
+			// members (DESIGN.md §13).
+			lay = nam.NewReplicaLayout(cfg.Topology.MemServers, cfg.Replicas, uint64(simCfg.RegionBytes))
+			for i := 0; i < cfg.Topology.MemServers; i++ {
+				fab.Server(i).Alloc = rdma.NewAllocator(lay.SlabLo(i), lay.SlabHi(i))
+			}
+			fineOpts.Replicas = cfg.Replicas
+			fineOpts.RegionBytes = uint64(simCfg.RegionBytes)
+		}
+		cat, err := fine.Build(fab.SetupEndpoint(), fineOpts, spec)
 		if err != nil {
 			return Result{}, err
+		}
+		if cfg.Replicas >= 2 {
+			// The bulk load wrote primaries only; seed the backups before any
+			// client starts, as deployment would after a bulk load.
+			repl.SyncReplicas(lay, fab.Server)
 		}
 		if cfg.Pipeline > 0 {
 			mkPipelined = func(id int, p *sim.Proc) *fine.PipelinedClient {
@@ -323,7 +362,14 @@ func Run(cfg Config) (Result, error) {
 				return c
 			}
 			var c *fine.Client
-			if cfg.LegacyReads {
+			if cfg.Replicas >= 2 {
+				// The router sits above the telemetry wrap, so mirror pushes
+				// count toward the measured verbs and RTTs/op — replication
+				// overhead is visible, not hidden.
+				router := repl.NewRouter(clientEp(id, p), lay, nil, nil)
+				c = fine.NewClient(router, fab.ClientEnv(p), cat, id)
+				c.SetReplicator(repl.NewMirrorer(router, fab.ClientEnv(p), nil))
+			} else if cfg.LegacyReads {
 				c = fine.NewUnbatchedClient(clientEp(id, p), fab.ClientEnv(p), cat, id)
 			} else {
 				c = fine.NewClient(clientEp(id, p), fab.ClientEnv(p), cat, id)

@@ -23,9 +23,11 @@ func expChaos(w io.Writer, sc Scale) error {
 		fmt.Fprintf(w, "schedule %q (seed %d): %s\n", scn.Name, scn.Schedule.Seed, scn.Doc)
 		for _, design := range []string{"coarse", "fine", "hybrid"} {
 			rep, err := chaos.Run(chaos.Config{
-				Design:   design,
-				Preload:  preload,
-				Schedule: scn.Schedule,
+				Design:     design,
+				Preload:    preload,
+				Schedule:   scn.Schedule,
+				Replicas:   scn.Replicas,
+				SkipVerify: scn.Expect.PermanentLoss,
 			})
 			if err != nil {
 				return fmt.Errorf("chaos/%s/%s: %w", scn.Name, design, err)
@@ -34,10 +36,22 @@ func expChaos(w io.Writer, sc Scale) error {
 			rec := rep.Recorder
 			fmt.Fprintf(w, "    faults=%d retries=%d reconnects=%d op_recoveries=%d\n",
 				rec.Faults(), rec.Retries(), rec.Reconnects(), rec.OpRecoveries())
+			if scn.Expect.PermanentLoss {
+				// The scenario's contract is surfaced loss, not survival.
+				if rep.ServerLostOps == 0 {
+					failures++
+					fmt.Fprintf(w, "    CONTRACT VIOLATED: expected rdma.ErrServerLost operations, saw none\n")
+				}
+				continue
+			}
 			if !rep.AckedPresent || !rep.NoDuplicates || !rep.PreloadIntact {
 				failures++
 				fmt.Fprintf(w, "    INVARIANT VIOLATED: missing_acked=%d duplicate_pairs=%d missing_preload=%d\n",
 					rep.MissingAcked, rep.DuplicatePairs, rep.MissingPreload)
+			}
+			if scn.Replicas >= 2 && len(rep.Wiped) > 0 && !rep.RebuildClean {
+				failures++
+				fmt.Fprintf(w, "    REBUILD VIOLATED: rebuilt members differ from group authorities\n")
 			}
 		}
 		fmt.Fprintln(w)

@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/stats"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// ReplicationBaselinePath is where expReplication writes its machine-readable
+// baseline (replicated vs unreplicated write cost at k=2), consumed by the CI
+// bench-regression gate. Relative paths resolve against the process working
+// directory (the repo root when run through cmd/nambench in CI).
+var ReplicationBaselinePath = "BENCH_replication.json"
+
+// ReplMode is one replication variant's measurement in the report.
+type ReplMode struct {
+	ThroughputOpsSec float64 `json:"throughput_ops_sec"`
+	MeanLatencyNS    float64 `json:"mean_latency_ns"`
+	P50LatencyNS     int64   `json:"p50_latency_ns"`
+	P99LatencyNS     int64   `json:"p99_latency_ns"`
+	// RTTsPerOp is blocking verbs per index operation measured at the
+	// endpoint. The replica router sits above the telemetry wrap, so mirror
+	// pushes to backups are counted: the replication write overhead in round
+	// trips, the metric DESIGN.md §13 budgets.
+	RTTsPerOp float64 `json:"rtts_per_op"`
+}
+
+// ReplComparison is one workload panel: unreplicated vs k-way replicated.
+type ReplComparison struct {
+	Unreplicated ReplMode `json:"unreplicated"`
+	Replicated   ReplMode `json:"replicated"`
+	// MeanSlowdown is replicated mean latency over unreplicated (>= 1 means
+	// replication costs latency).
+	MeanSlowdown float64 `json:"mean_latency_slowdown"`
+	// RTTOverhead is replicated RTTs/op over unreplicated.
+	RTTOverhead float64 `json:"rtts_per_op_ratio"`
+}
+
+// ReplReport is the BENCH_replication.json payload.
+type ReplReport struct {
+	DataSize int `json:"data_size"`
+	Clients  int `json:"clients"`
+	Replicas int `json:"replicas"`
+	// Insert is the 100%-insert panel: every operation dirties at least one
+	// leaf, so it exposes the full mirror-before-ack cost.
+	Insert ReplComparison `json:"insert_only"`
+	// Lookup is the 100%-point-lookup panel: the design's read-path
+	// neutrality claim — reads stay single-READ-per-level on the primary, so
+	// replicated and unreplicated RTTs/op must match.
+	Lookup ReplComparison `json:"point_lookup"`
+}
+
+// replInsertMix is the insert-only workload of the replication experiment.
+var replInsertMix = workload.Mix{Name: "insert-only", InsertPct: 100}
+
+// runReplMode executes one point of the replication experiment.
+func runReplMode(sc Scale, clients, replicas int, insert bool) (ReplMode, error) {
+	cfg := baseConfig(nam.FineGrained, sc, clients)
+	cfg.Replicas = replicas
+	cfg.Telemetry = true
+	if insert {
+		cfg.Mix = replInsertMix
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		return ReplMode{}, err
+	}
+	m := ReplMode{
+		ThroughputOpsSec: res.Throughput,
+		MeanLatencyNS:    res.Latency.Snapshot().Mean(),
+		P50LatencyNS:     res.Latency.Percentile(50),
+		P99LatencyNS:     res.Latency.Percentile(99),
+	}
+	if rec := res.Telemetry; rec != nil && rec.IndexOps() > 0 {
+		m.RTTsPerOp = float64(rec.TotalOps()) / float64(rec.IndexOps())
+	}
+	return m, nil
+}
+
+func replCompare(plain, mirrored ReplMode) ReplComparison {
+	c := ReplComparison{Unreplicated: plain, Replicated: mirrored}
+	if plain.MeanLatencyNS > 0 {
+		c.MeanSlowdown = mirrored.MeanLatencyNS / plain.MeanLatencyNS
+	}
+	if plain.RTTsPerOp > 0 {
+		c.RTTOverhead = mirrored.RTTsPerOp / plain.RTTsPerOp
+	}
+	return c
+}
+
+// lookupNeutralityTolerance bounds how much replicated point-lookup RTTs/op
+// may exceed unreplicated before the experiment itself fails: reads never
+// touch backups, so any measurable divergence means the read path started
+// paying for replication.
+const lookupNeutralityTolerance = 0.02
+
+// RunReplication executes the page-replication experiment at k=2 and low
+// concurrency (latency exposed, not overlapped): an insert-only panel for the
+// mirror-before-ack write cost and a point-lookup panel for read-path
+// neutrality.
+func RunReplication(sc Scale) (ReplReport, error) {
+	clients := sc.Clients[0]
+	rep := ReplReport{
+		DataSize: sc.DataSize,
+		Clients:  clients,
+		Replicas: 2,
+	}
+	var modes [2]ReplMode
+	for _, panel := range []struct {
+		insert bool
+		out    *ReplComparison
+		name   string
+	}{
+		{true, &rep.Insert, "insert"},
+		{false, &rep.Lookup, "lookup"},
+	} {
+		for i, replicas := range []int{0, rep.Replicas} {
+			m, err := runReplMode(sc, clients, replicas, panel.insert)
+			if err != nil {
+				return rep, fmt.Errorf("replication/%s/k=%d: %w", panel.name, replicas, err)
+			}
+			modes[i] = m
+		}
+		*panel.out = replCompare(modes[0], modes[1])
+	}
+	return rep, nil
+}
+
+// expReplication is the nambench surface of RunReplication: it renders the
+// comparison tables, enforces the read-path-neutrality claim, and writes the
+// machine-readable baseline to ReplicationBaselinePath.
+func expReplication(w io.Writer, sc Scale) error {
+	rep, err := RunReplication(sc)
+	if err != nil {
+		return err
+	}
+	panel := func(name string, c ReplComparison) {
+		lat := &stats.Series{Name: "mean latency (ns)"}
+		p50 := &stats.Series{Name: "p50 (ns)"}
+		rtt := &stats.Series{Name: "RTTs/op"}
+		thr := &stats.Series{Name: "ops/s"}
+		for i, m := range []ReplMode{c.Unreplicated, c.Replicated} {
+			x := float64(i)
+			lat.Append(x, m.MeanLatencyNS)
+			p50.Append(x, float64(m.P50LatencyNS))
+			rtt.Append(x, m.RTTsPerOp)
+			thr.Append(x, m.ThroughputOpsSec)
+		}
+		fmt.Fprintf(w, "%s (%d clients; x: 0 = unreplicated, 1 = replicated k=%d)\n", name, rep.Clients, rep.Replicas)
+		fmt.Fprintln(w, stats.Table("mode", "value", lat, p50, rtt, thr))
+		fmt.Fprintf(w, "mean latency slowdown %.2fx, RTTs/op %.2f -> %.2f (%.2fx)\n\n",
+			c.MeanSlowdown, c.Unreplicated.RTTsPerOp, c.Replicated.RTTsPerOp, c.RTTOverhead)
+	}
+	panel("Inserts (100%)", rep.Insert)
+	panel("Point Lookups (100%)", rep.Lookup)
+
+	if rep.Lookup.RTTOverhead > 1+lookupNeutralityTolerance {
+		return fmt.Errorf("replication: point-lookup RTTs/op grew %.2fx under k=%d replication (max %.2fx) — reads must stay single-READ on the primary",
+			rep.Lookup.RTTOverhead, rep.Replicas, 1+lookupNeutralityTolerance)
+	}
+	fmt.Fprintf(w, "read-path neutrality holds: lookup RTTs/op ratio %.3f (max %.2f)\n", rep.Lookup.RTTOverhead, 1+lookupNeutralityTolerance)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(ReplicationBaselinePath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("replication: writing baseline: %w", err)
+	}
+	fmt.Fprintf(w, "wrote %s\n", ReplicationBaselinePath)
+	return nil
+}
+
+func replGates(prefix string, base, got ReplComparison) []rttGate {
+	return []rttGate{
+		{prefix + "/unreplicated/rtts_per_op", base.Unreplicated.RTTsPerOp, got.Unreplicated.RTTsPerOp},
+		{prefix + "/unreplicated/mean_latency_ns", base.Unreplicated.MeanLatencyNS, got.Unreplicated.MeanLatencyNS},
+		{prefix + "/replicated/rtts_per_op", base.Replicated.RTTsPerOp, got.Replicated.RTTsPerOp},
+		{prefix + "/replicated/mean_latency_ns", base.Replicated.MeanLatencyNS, got.Replicated.MeanLatencyNS},
+	}
+}
+
+// RegressReplication is the CI bench-regression gate for page replication: it
+// loads the committed baseline, re-runs the experiment at the baseline's own
+// recorded scale, and fails if replicated or unreplicated write cost
+// regressed beyond RegressTolerance or the read path lost its neutrality.
+func RegressReplication(w io.Writer, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("regress: reading baseline: %w", err)
+	}
+	var base ReplReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("regress: parsing %s: %w", baselinePath, err)
+	}
+	if base.DataSize <= 0 || base.Clients <= 0 {
+		return fmt.Errorf("regress: %s carries no scale (data_size=%d clients=%d)", baselinePath, base.DataSize, base.Clients)
+	}
+	sc := FullScale
+	sc.DataSize = base.DataSize
+	sc.Clients = []int{base.Clients}
+	got, err := RunReplication(sc)
+	if err != nil {
+		return fmt.Errorf("regress: re-running replication: %w", err)
+	}
+
+	gates := append(replGates("insert", base.Insert, got.Insert), replGates("lookup", base.Lookup, got.Lookup)...)
+	var regressed []string
+	fmt.Fprintf(w, "replication regression gate vs %s (data_size=%d clients=%d k=%d, tolerance %.0f%%)\n",
+		baselinePath, base.DataSize, base.Clients, base.Replicas, 100*RegressTolerance)
+	for _, g := range gates {
+		verdict := "ok"
+		if g.regressed() {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s: baseline %.2f, observed %.2f (%+.2f%%)",
+				g.name, g.baseline, g.measured, g.delta()))
+		}
+		fmt.Fprintf(w, "  %-34s baseline %12.2f  measured %12.2f  %+7.2f%%  %s\n",
+			g.name, g.baseline, g.measured, g.delta(), verdict)
+	}
+	if got.Lookup.RTTOverhead > 1+lookupNeutralityTolerance {
+		regressed = append(regressed, fmt.Sprintf("lookup/read_path_neutrality: RTTs/op ratio %.3f exceeds %.2f",
+			got.Lookup.RTTOverhead, 1+lookupNeutralityTolerance))
+		fmt.Fprintf(w, "  %-34s ratio %.3f (max %.2f)  REGRESSED\n", "lookup/read_path_neutrality", got.Lookup.RTTOverhead, 1+lookupNeutralityTolerance)
+	}
+	if len(regressed) > 0 {
+		msg := fmt.Sprintf("regress: %d metrics regressed over %s:", len(regressed), baselinePath)
+		for _, r := range regressed {
+			msg += "\n  " + r
+		}
+		msg += "\n(if intentional, regenerate with `nambench -exp replication`)"
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Fprintln(w, "replication regression gate passed")
+	return nil
+}

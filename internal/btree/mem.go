@@ -293,3 +293,95 @@ func (m *EndpointMem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64, versions []
 	}
 	return m.Ep.ReadMulti(m.batchPtrs, m.batchDst)
 }
+
+// ReplicaLocalMem is a Mem over the local region of a memory server that
+// serves a *replica group's* mirrored tree after a failover: the pages are
+// home-addressed at Home, but their bytes live at the same (identity)
+// offsets in this server's own region, per the replicated slab layout.
+// Pointers addressed to either Home or the local server are accepted; both
+// resolve to the local region by offset. Pages the handler allocates come
+// from the local server's own allocator — and thus its own slab — so they
+// are addressed at (and homed on) the local server: after a failover a
+// group's tree may span pages of several groups, which routing handles
+// transparently (each page's home is whatever its pointer encodes).
+type ReplicaLocalMem struct {
+	Srv  *rdma.Server
+	Home int
+}
+
+var _ Mem = ReplicaLocalMem{}
+
+func (m ReplicaLocalMem) check(p rdma.RemotePtr) uint64 {
+	if p.IsNull() {
+		panic("btree: null pointer dereference")
+	}
+	if s := p.Server(); s != m.Srv.ID && s != m.Home {
+		panic("btree: ReplicaLocalMem access outside group")
+	}
+	return p.Offset()
+}
+
+// ReadWords implements Mem.
+func (m ReplicaLocalMem) ReadWords(p rdma.RemotePtr, dst []uint64) error {
+	m.Srv.Region.Read(m.check(p), dst)
+	return nil
+}
+
+// ReadValidated implements Mem.
+func (m ReplicaLocalMem) ReadValidated(p rdma.RemotePtr, dst []uint64) (uint64, bool, error) {
+	off := m.check(p)
+	m.Srv.Region.Read(off, dst)
+	v, ok := validated(m.Srv.Region.Load(off), dst)
+	return v, ok, nil
+}
+
+// WriteWords implements Mem.
+func (m ReplicaLocalMem) WriteWords(p rdma.RemotePtr, src []uint64) error {
+	m.Srv.Region.Write(m.check(p), src)
+	return nil
+}
+
+// LoadWord implements Mem.
+func (m ReplicaLocalMem) LoadWord(p rdma.RemotePtr) (uint64, error) {
+	return m.Srv.Region.Load(m.check(p)), nil
+}
+
+// CAS implements Mem.
+func (m ReplicaLocalMem) CAS(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	return m.Srv.Region.CompareAndSwap(m.check(p), old, new), nil
+}
+
+// FetchAdd implements Mem.
+func (m ReplicaLocalMem) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
+	return m.Srv.Region.FetchAdd(m.check(p), delta), nil
+}
+
+// AllocPage implements Mem: new pages come from the local server's own
+// slab and are addressed at the local server.
+func (m ReplicaLocalMem) AllocPage(level int, n int) (rdma.RemotePtr, error) {
+	off, err := m.Srv.Alloc.Alloc(n)
+	if err != nil {
+		return rdma.NullPtr, err
+	}
+	return rdma.MakePtr(m.Srv.ID, off), nil
+}
+
+// FreePage implements Mem: only locally-allocated pages can be returned;
+// mirrored pages of the lost home leak until the group is rebuilt.
+func (m ReplicaLocalMem) FreePage(p rdma.RemotePtr, n int) error {
+	if p.Server() != m.Srv.ID {
+		return nil
+	}
+	m.Srv.Alloc.Free(p.Offset(), n)
+	return nil
+}
+
+// ReadPages implements Mem.
+func (m ReplicaLocalMem) ReadPages(ps []rdma.RemotePtr, dst [][]uint64, versions []uint64) error {
+	for i, p := range ps {
+		off := m.check(p)
+		m.Srv.Region.Read(off, dst[i])
+		versions[i] = m.Srv.Region.Load(off)
+	}
+	return nil
+}

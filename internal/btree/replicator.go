@@ -1,0 +1,40 @@
+package btree
+
+import "github.com/namdb/rdmatree/internal/rdma"
+
+// Replicator receives the tree's page post-images at exactly the points
+// where they become visible to readers, so a replication layer can mirror
+// them onto backup servers. The tree itself stays replication-agnostic: it
+// reports *what* committed (pointer, full post-image, published version) and
+// the Replicator decides where the copies go and how failover epochs fence
+// stale pushes (internal/rdma/repl implements the client-side mirror
+// protocol; the coarse/hybrid RPC handlers implement a recording variant
+// whose captured images the remote client pushes before acking).
+//
+// Contract: every method is called by the single goroutine owning the Tree
+// handle, after the image is durably published on the primary and before the
+// operation acks. The image slice is only valid for the duration of the
+// call. A non-nil error makes the surrounding operation fail un-acked (the
+// primary copy stays committed — re-running the operation is idempotent
+// under core.Recovered's presence check).
+type Replicator interface {
+	// MirrorPage mirrors the post-image of an in-place page update. img is
+	// the full page with the version word already holding the published
+	// (post-unlock) version, which the mirror protocol uses to order
+	// concurrent pushes of the same page: a backup already at a version
+	// >= this one supersedes the push.
+	MirrorPage(p rdma.RemotePtr, img []uint64) error
+
+	// MirrorFresh mirrors a freshly allocated page that has never been
+	// published (split right halves, new roots, the Init leaf). Fresh pages
+	// start at version 0, so the versioned skip of MirrorPage would wrongly
+	// treat them as superseded; the mirror writes them blind. Safe because
+	// the page is not yet reachable by readers and allocator pointers are
+	// unique.
+	MirrorFresh(p rdma.RemotePtr, img []uint64) error
+
+	// MirrorWord mirrors a root-pointer word update. Stale root words on
+	// backups are benign in a B-link tree (descents recover through
+	// right-sibling links), so implementations may apply this blind.
+	MirrorWord(p rdma.RemotePtr, val uint64) error
+}

@@ -95,6 +95,10 @@ type Tree struct {
 	// Clients running under fault injection set a budget so a stuck page
 	// lock surfaces as a typed error instead of a hang.
 	SpinBudget int
+	// Repl, when non-nil, receives every committed page post-image for
+	// mirroring onto backup servers (k-way replication). Nil disables
+	// replication with zero cost on the write path.
+	Repl Replicator
 
 	cachedRoot rdma.RemotePtr
 
@@ -135,8 +139,18 @@ func (t *Tree) Init(env rdma.Env) error {
 	if err := t.M.WriteWords(p, n.W); err != nil {
 		return err
 	}
+	if t.Repl != nil {
+		if err := t.Repl.MirrorFresh(p, n.W); err != nil {
+			return err
+		}
+	}
 	if err := t.M.WriteWords(t.RootWord, []uint64{uint64(p)}); err != nil {
 		return err
+	}
+	if t.Repl != nil {
+		if err := t.Repl.MirrorWord(t.RootWord, uint64(p)); err != nil {
+			return err
+		}
 	}
 	t.cachedRoot = p
 	return nil
@@ -278,6 +292,15 @@ func (t *Tree) unlockBump(env rdma.Env, st *Stats, p rdma.RemotePtr, n layout.No
 		if _, err = t.M.FetchAdd(p, 1); err == nil {
 			st.Atomics++
 			st.ExposedRTTs++
+			if t.Repl != nil {
+				// The page is published at version preLock+2 (the lock CAS
+				// set preLock|1, the FAA added 1). Stamp the image with the
+				// published version and mirror it; a mirror failure leaves
+				// the op un-acked but the primary copy committed, which the
+				// recovery layer's presence check resolves idempotently.
+				layout.SetBufVersion(n.W, preLock+2)
+				return t.Repl.MirrorPage(p, n.W)
+			}
 			return nil
 		}
 		if !rdma.IsTransient(err) {
@@ -576,6 +599,15 @@ func (t *Tree) leafInsert(env rdma.Env, st *Stats, leafPtr rdma.RemotePtr, key l
 		t.abortUnlock(st, p, pre)
 		return nil, err
 	}
+	if t.Repl != nil {
+		// Mirror the unpublished right half before the left half's
+		// unlockBump publishes the pointer to it: after the ack, every live
+		// backup holds both halves.
+		if err := t.Repl.MirrorFresh(rightPtr, right.W); err != nil {
+			t.abortUnlock(st, p, pre)
+			return nil, err
+		}
+	}
 	st.PageWrites++
 	st.ExposedRTTs++
 	st.Splits++
@@ -753,6 +785,12 @@ func (t *Tree) installSeparator(env rdma.Env, st *Stats, level int, sep layout.K
 			t.abortUnlock(st, p, pre)
 			return err
 		}
+		if t.Repl != nil {
+			if err := t.Repl.MirrorFresh(right2Ptr, right2.W); err != nil {
+				t.abortUnlock(st, p, pre)
+				return err
+			}
+		}
 		st.PageWrites++
 		st.ExposedRTTs++
 		st.Splits++
@@ -779,6 +817,11 @@ func (t *Tree) tryGrowRoot(env rdma.Env, st *Stats, level int, sep layout.Key, l
 	if err := t.M.WriteWords(newRootPtr, nr.W); err != nil {
 		return false, err
 	}
+	if t.Repl != nil {
+		if err := t.Repl.MirrorFresh(newRootPtr, nr.W); err != nil {
+			return false, err
+		}
+	}
 	st.PageWrites++
 	st.ExposedRTTs++
 	env.Charge(t.VisitNS)
@@ -799,6 +842,11 @@ func (t *Tree) tryGrowRoot(env rdma.Env, st *Stats, level int, sep layout.Key, l
 	}
 	st.Splits++
 	t.cachedRoot = newRootPtr
+	if t.Repl != nil {
+		if err := t.Repl.MirrorWord(t.RootWord, uint64(newRootPtr)); err != nil {
+			return false, err
+		}
+	}
 	return true, nil
 }
 

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/namdb/rdmatree/internal/rdma/faultnet"
+)
+
+// WriteArtifacts persists a failed run's forensics under dir/name: the run
+// parameters (design, replication factor, full fault schedule with its seed)
+// as JSON, the report summary, and every flight-recorder dump as rendered
+// text. The CI chaos and recovery jobs upload the directory as a workflow
+// artifact on failure, making the failing run replayable — the schedule
+// JSON is sufficient to reconstruct the Config, and the dumps hold the
+// per-client causal traces.
+func WriteArtifacts(dir, name string, cfg Config, rep *Report) error {
+	sub := filepath.Join(dir, sanitizeName(name))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return err
+	}
+	meta := struct {
+		Design       string
+		Replicas     int
+		Servers      int
+		Clients      int
+		OpsPerClient int
+		Preload      int
+		SkipVerify   bool
+		Schedule     faultnet.Schedule
+		Summary      string
+	}{
+		Design:       cfg.Design,
+		Replicas:     cfg.Replicas,
+		Servers:      cfg.Servers,
+		Clients:      cfg.Clients,
+		OpsPerClient: cfg.OpsPerClient,
+		Preload:      cfg.Preload,
+		SkipVerify:   cfg.SkipVerify,
+		Schedule:     cfg.Schedule,
+		Summary:      rep.Summary(),
+	}
+	b, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(sub, "run.json"), append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	for i, d := range rep.Dumps {
+		fn := fmt.Sprintf("dump-%02d-client%d-%s.txt", i, d.Client, sanitizeName(d.Reason))
+		if err := os.WriteFile(filepath.Join(sub, fn), []byte(d.Text), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeName maps a test or trigger name onto a safe file-name fragment.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -37,6 +37,7 @@ import (
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/direct"
 	"github.com/namdb/rdmatree/internal/rdma/faultnet"
+	"github.com/namdb/rdmatree/internal/rdma/repl"
 	"github.com/namdb/rdmatree/internal/rdma/retry"
 	"github.com/namdb/rdmatree/internal/telemetry"
 )
@@ -76,6 +77,18 @@ type Config struct {
 	// units (every recorded event is one tick); an op exceeding it triggers
 	// a flight-recorder dump.
 	SLOTicks int64
+	// Replicas is the page-replication factor k (0 and 1 both mean
+	// unreplicated). With k >= 2 every client runs the full replication
+	// stack (repl.Router failover re-targeting + repl.Mirrorer
+	// mirror-before-ack pushes), a scripted region loss physically wipes
+	// the server's region, and the post-run phase promotes, verifies
+	// through the surviving copies, and rebuilds the wiped members.
+	Replicas int
+	// SkipVerify skips the post-run verification and rebuild phases. It is
+	// for scenarios asserting genuine unrecoverable loss (every member of a
+	// replica group wiped): the surviving state is incomplete by
+	// construction, so the invariant sweep is meaningless.
+	SkipVerify bool
 }
 
 func (c *Config) defaults() {
@@ -127,6 +140,17 @@ type Report struct {
 	DuplicatePairs int
 	MissingPreload int
 
+	// Verified reports whether the post-run verification phase ran (false
+	// only under Config.SkipVerify); the invariant verdicts above are
+	// meaningful only when it did.
+	Verified bool
+
+	// Replication (Config.Replicas >= 2 only).
+	Wiped        []int    // servers whose region was lost and wiped mid-run
+	GroupEpochs  []uint64 // post-run authoritative epoch per group
+	RebuiltWords int      // words recopied into wiped members by the rebuild
+	RebuildClean bool     // every rebuilt member byte-identical to its authority
+
 	// Telemetry (the run's Recorder, for counter assertions and reports).
 	Recorder *telemetry.Recorder
 
@@ -140,33 +164,60 @@ type Report struct {
 
 // Summary renders the report on a few lines.
 func (r *Report) Summary() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"design=%s acked_inserts=%d failed_inserts=%d failed_ops=%d server_lost_ops=%d max_op=%s locks_cleared=%d live=%d acked_present=%v no_duplicates=%v preload_intact=%v\n",
 		r.Design, r.AckedInserts, r.FailedInserts, r.FailedOps, r.ServerLostOps,
 		time.Duration(r.MaxOpNS), r.LocksCleared, r.LiveEntries, r.AckedPresent, r.NoDuplicates, r.PreloadIntact)
+	if len(r.Wiped) > 0 {
+		s += fmt.Sprintf("wiped=%v group_epochs=%v rebuilt_words=%d rebuild_clean=%v\n",
+			r.Wiped, r.GroupEpochs, r.RebuiltWords, r.RebuildClean)
+	}
+	return s
 }
 
 // kv is one (key, value) pair.
 type kv struct{ k, v uint64 }
 
-// deployment is one design on a direct fabric: client factory plus bare
-// (fault-free) verification hooks.
+// deployment is one design on a direct fabric: client factory plus
+// fault-free verification hooks. The verification hooks receive the
+// verification endpoint (bare, or — replicated — a repl.Router over the bare
+// endpoint so home-addressed accesses reach the acting copies) and the
+// post-run acting map; unreplicated deployments receive the bare endpoint
+// and the identity map.
 type deployment struct {
-	fab   *direct.Fabric
-	cat   *nam.Catalog
-	mk    func(ep rdma.Endpoint, id int, log *obs.Log) core.Index
-	check func() (int, error)
-	// scan visits every live entry through a bare endpoint.
-	scan func(emit func(k, v uint64) bool) error
+	fab        *direct.Fabric
+	cat        *nam.Catalog
+	lay        nam.ReplicaLayout // zero value unless replicated
+	replicated bool
+	mk         func(ep rdma.Endpoint, mir *repl.Mirrorer, id int, log *obs.Log) core.Index
+	check      func(ep rdma.Endpoint, acting func(home int) int) (int, error)
+	// scan visits every live entry.
+	scan func(ep rdma.Endpoint, emit func(k, v uint64) bool) error
 	// repair releases page locks abandoned by interrupted clients (nil when
 	// the design cannot abandon locks). It runs quiesced, before check/scan —
 	// which read validating and would otherwise spin on an abandoned lock.
-	repair func() (int, error)
+	repair func(ep rdma.Endpoint) (int, error)
 }
 
 func deploy(cfg *Config) (*deployment, error) {
 	const region = 64 << 20
-	fab := direct.New(cfg.Servers, region, nam.SuperblockBytes)
+	replicated := cfg.Replicas >= 2
+	reserved := nam.SuperblockBytes
+	var lay nam.ReplicaLayout
+	var regionBytes uint64
+	if replicated {
+		lay = nam.NewReplicaLayout(cfg.Servers, cfg.Replicas, region)
+		reserved = int(lay.Reserved())
+		regionBytes = region
+	}
+	fab := direct.New(cfg.Servers, region, reserved)
+	if replicated {
+		// Identity-offset mirroring needs disjoint per-server slabs: confine
+		// each server's allocator to its home slab.
+		for i := 0; i < cfg.Servers; i++ {
+			fab.Server(i).Alloc = rdma.NewAllocator(lay.SlabLo(i), lay.SlabHi(i))
+		}
+	}
 	spec := core.BuildSpec{
 		N: cfg.Preload,
 		At: func(i int) (uint64, uint64) {
@@ -179,87 +230,121 @@ func deploy(cfg *Config) (*deployment, error) {
 		HeadEvery: 6,
 	}
 	l := layout.New(cfg.PageBytes)
+	var dep *deployment
 	switch cfg.Design {
 	case "coarse":
 		srv := coarse.NewServer(fab, coarse.Options{
-			Layout: l,
-			Part:   partition.NewRangeUniform(cfg.Servers, cfg.Keyspace),
+			Layout:      l,
+			Part:        partition.NewRangeUniform(cfg.Servers, cfg.Keyspace),
+			Replicas:    cfg.Replicas,
+			RegionBytes: regionBytes,
+			SpinBudget:  cfg.SpinBudget,
 		})
 		cat, err := srv.Build(spec)
 		if err != nil {
 			return nil, err
 		}
 		fab.SetHandler(srv.Handler())
-		return &deployment{
+		dep = &deployment{
 			fab: fab, cat: cat,
-			mk: func(ep rdma.Endpoint, id int, log *obs.Log) core.Index {
+			mk: func(ep rdma.Endpoint, mir *repl.Mirrorer, id int, log *obs.Log) core.Index {
 				c := coarse.NewClient(ep, direct.Env{}, cat)
+				if mir != nil {
+					c.SetMirrorer(mir)
+				}
 				c.SetOpLog(log)
 				return c
 			},
-			// No repair: coarse locks are taken and released inside RPC
-			// handlers, and a dropped Call is dropped before execution — a
-			// handler is never interrupted mid-operation.
-			check: srv.CheckInvariants,
-			scan: func(emit func(k, v uint64) bool) error {
-				c := coarse.NewClient(fab.Endpoint(), direct.Env{}, cat)
+			// No repair for the acting copies: coarse locks are taken and
+			// released inside RPC handlers, and a dropped Call is dropped
+			// before execution — a handler is never interrupted
+			// mid-operation. (A backup copy can be left locked by an
+			// interrupted client-side mirror push; verification reads only
+			// acting copies, and the rebuild recopies backups wholesale.)
+			check: func(_ rdma.Endpoint, acting func(home int) int) (int, error) {
+				return srv.CheckInvariantsAt(acting)
+			},
+			scan: func(ep rdma.Endpoint, emit func(k, v uint64) bool) error {
+				c := coarse.NewClient(ep, direct.Env{}, cat)
 				return c.Range(0, ^uint64(0)>>1, emit)
 			},
-		}, nil
+		}
 	case "fine":
-		cat, err := fine.Build(fab.Endpoint(), fine.Options{Layout: l}, spec)
+		cat, err := fine.Build(fab.Endpoint(), fine.Options{
+			Layout:      l,
+			Replicas:    cfg.Replicas,
+			RegionBytes: regionBytes,
+		}, spec)
 		if err != nil {
 			return nil, err
 		}
-		return &deployment{
+		dep = &deployment{
 			fab: fab, cat: cat,
-			mk: func(ep rdma.Endpoint, id int, log *obs.Log) core.Index {
+			mk: func(ep rdma.Endpoint, mir *repl.Mirrorer, id int, log *obs.Log) core.Index {
 				c := fine.NewClient(ep, direct.Env{}, cat, id)
+				if mir != nil {
+					c.SetReplicator(mir)
+				}
 				c.SetSpinBudget(cfg.SpinBudget)
 				c.SetOpLog(log)
 				return c
 			},
-			repair: func() (int, error) {
-				c := fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+			repair: func(ep rdma.Endpoint) (int, error) {
+				c := fine.NewClient(ep, direct.Env{}, cat, 0)
 				return c.Tree().RecoverLocks()
 			},
-			check: func() (int, error) {
-				c := fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+			check: func(ep rdma.Endpoint, _ func(home int) int) (int, error) {
+				c := fine.NewClient(ep, direct.Env{}, cat, 0)
 				return c.Tree().CheckInvariants(rdma.NopEnv{})
 			},
-			scan: func(emit func(k, v uint64) bool) error {
-				c := fine.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+			scan: func(ep rdma.Endpoint, emit func(k, v uint64) bool) error {
+				c := fine.NewClient(ep, direct.Env{}, cat, 0)
 				return c.Range(0, ^uint64(0)>>1, emit)
 			},
-		}, nil
+		}
 	case "hybrid":
 		srv := hybrid.NewServer(fab, hybrid.Options{
-			Layout: l,
-			Part:   partition.NewRangeUniform(cfg.Servers, cfg.Keyspace),
+			Layout:      l,
+			Part:        partition.NewRangeUniform(cfg.Servers, cfg.Keyspace),
+			Replicas:    cfg.Replicas,
+			RegionBytes: regionBytes,
+			SpinBudget:  cfg.SpinBudget,
 		})
 		cat, err := srv.Build(fab.Endpoint(), spec)
 		if err != nil {
 			return nil, err
 		}
 		fab.SetHandler(srv.Handler())
-		return &deployment{
+		dep = &deployment{
 			fab: fab, cat: cat,
-			mk: func(ep rdma.Endpoint, id int, log *obs.Log) core.Index {
+			mk: func(ep rdma.Endpoint, mir *repl.Mirrorer, id int, log *obs.Log) core.Index {
 				c := hybrid.NewClient(ep, direct.Env{}, cat, id)
+				if mir != nil {
+					c.SetMirrorer(mir)
+				}
 				c.SetSpinBudget(cfg.SpinBudget)
 				c.SetOpLog(log)
 				return c
 			},
-			repair: func() (int, error) { return srv.RecoverLocks(fab.Endpoint()) },
-			check:  func() (int, error) { return srv.CheckInvariants(fab.Endpoint()) },
-			scan: func(emit func(k, v uint64) bool) error {
-				c := hybrid.NewClient(fab.Endpoint(), direct.Env{}, cat, 0)
+			repair: func(ep rdma.Endpoint) (int, error) { return srv.RecoverLocks(ep) },
+			check: func(ep rdma.Endpoint, _ func(home int) int) (int, error) {
+				return srv.CheckInvariants(ep)
+			},
+			scan: func(ep rdma.Endpoint, emit func(k, v uint64) bool) error {
+				c := hybrid.NewClient(ep, direct.Env{}, cat, 0)
 				return c.Range(0, ^uint64(0)>>1, emit)
 			},
-		}, nil
+		}
 	default:
 		return nil, fmt.Errorf("chaos: unknown design %q", cfg.Design)
 	}
+	dep.lay, dep.replicated = lay, replicated
+	if replicated {
+		// Seed the backups with the bulk-loaded image: mirror-before-ack
+		// covers only pages written after the clients start.
+		repl.SyncReplicas(lay, fab.Server)
+	}
+	return dep, nil
 }
 
 // clientResult is one client goroutine's outcome.
@@ -286,6 +371,21 @@ func Run(cfg Config) (*Report, error) {
 		rec = telemetry.NewRecorder(cfg.Servers)
 	}
 	net := faultnet.New(cfg.Schedule, rec)
+
+	// Region loss becomes real under replication: a scripted Lose zeroes the
+	// region's bytes, so recovery must come from the group's surviving
+	// copies. (k=1 keeps the legacy lost-registration-only model, where the
+	// post-run sweep still sees the old bytes through a bare endpoint.)
+	var wipedMu sync.Mutex
+	var wiped []int
+	if dep.replicated {
+		net.OnLose = func(s int) {
+			dep.fab.Server(s).Region.Zero()
+			wipedMu.Lock()
+			wiped = append(wiped, s)
+			wipedMu.Unlock()
+		}
+	}
 
 	// Per-client flight recorders. Each Log is owned by its client goroutine
 	// (like the endpoint); the tick clock makes recorded traces a pure causal
@@ -321,8 +421,32 @@ func Run(cfg Config) (*Report, error) {
 			if log != nil {
 				pol.Events = log
 			}
-			ep := retry.Wrap(net.Endpoint(dep.fab.Endpoint(), c), pol)
-			idx := core.Recover(dep.mk(ep, c, log), cfg.MaxOpAttempts, rec)
+			var base rdma.Endpoint = net.Endpoint(dep.fab.Endpoint(), c)
+			var mir *repl.Mirrorer
+			if dep.replicated {
+				// Replication layers: the Router (failover re-targeting +
+				// promotion) sits below the outer retry policy so every
+				// attempt re-routes; the Mirrorer shares the Router's view,
+				// so promotions observed by either side converge. Both run
+				// their own internal policies — promotion and mirror verbs
+				// must survive the fault schedule without consuming the
+				// failing operation's budget.
+				router := repl.NewRouter(base, dep.lay, nil, &retry.Policy{
+					Seed:     cfg.Schedule.Seed + 1_000 + int64(c),
+					Counters: rec,
+				})
+				mir = repl.NewMirrorer(router, direct.Env{}, &retry.Policy{
+					Seed:     cfg.Schedule.Seed + 2_000 + int64(c),
+					Counters: rec,
+				})
+				if log != nil {
+					router.Events = log
+					mir.Events = log
+				}
+				base = router
+			}
+			ep := retry.Wrap(base, pol)
+			idx := core.Recover(dep.mk(ep, mir, c, log), cfg.MaxOpAttempts, rec)
 			if log != nil {
 				idx = idx.WithEvents(log)
 			}
@@ -387,64 +511,126 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	// Post-run verification through bare endpoints. Scripted crashes leave
-	// the region contents physically intact (faultnet models lost
-	// registrations, not lost DRAM), so the sweep sees the whole tree even
-	// after crash/restart schedules. First release any page lock abandoned by
-	// a client that lost its server mid-operation — the recovery pass an
-	// operator would run before readmitting traffic; without it, the
-	// validating verification reads below would spin on the dead client's
-	// lock.
+	rep.Wiped = append(rep.Wiped, wiped...)
+
+	// Post-run verification through fault-free endpoints. Unreplicated,
+	// scripted crashes leave the region contents physically intact (faultnet
+	// models lost registrations, not lost DRAM), so a bare endpoint sees the
+	// whole tree even after crash/restart schedules. Replicated, the wiped
+	// regions really are gone: verification first reconstructs the
+	// authoritative view from the surviving epoch words — promoting any
+	// group whose loss no client happened to observe — and then reads
+	// through a repl.Router so every home-addressed access lands on the
+	// acting copy.
+	bare := dep.fab.Endpoint()
+	vep := bare
+	acting := func(home int) int { return home }
+	var view *repl.View
+	if dep.replicated {
+		view = postRunView(dep, wiped)
+		for h := 0; h < cfg.Servers; h++ {
+			rep.GroupEpochs = append(rep.GroupEpochs, view.Epoch(h))
+		}
+		vep = repl.NewRouter(bare, dep.lay, view, nil)
+		acting = view.Acting
+	}
+
 	// The harness-level log records post-run recovery actions (the lock
-	// sweep) under its own tick clock; client logs cannot — their goroutines
-	// have quiesced and the sweep is not part of any client op.
+	// sweep, the replica rebuild) under its own tick clock; client logs
+	// cannot — their goroutines have quiesced and the sweep is not part of
+	// any client op.
 	var sweepLog *obs.Log
 	if cfg.Obs {
 		sweepLog = obs.NewLog(64, &obs.TickClock{})
 		sweepLog.ClientID = -1
 	}
-	if dep.repair != nil {
-		cleared, err := dep.repair()
+	if !cfg.SkipVerify {
+		rep.Verified = true
+		// First release any page lock abandoned by a client that lost its
+		// server mid-operation — the recovery pass an operator would run
+		// before readmitting traffic; without it, the validating
+		// verification reads below would spin on the dead client's lock.
+		if dep.repair != nil {
+			cleared, err := dep.repair(vep)
+			if err != nil {
+				return rep, fmt.Errorf("chaos: post-run lock recovery: %w", err)
+			}
+			rep.LocksCleared = cleared
+			sweepLog.SweepEvent(cleared)
+		}
+		live, err := dep.check(vep, acting)
 		if err != nil {
-			return rep, fmt.Errorf("chaos: post-run lock recovery: %w", err)
+			return rep, fmt.Errorf("chaos: post-run invariant check: %w", err)
 		}
-		rep.LocksCleared = cleared
-		sweepLog.SweepEvent(cleared)
-	}
-	live, err := dep.check()
-	if err != nil {
-		return rep, fmt.Errorf("chaos: post-run invariant check: %w", err)
-	}
-	rep.LiveEntries = live
+		rep.LiveEntries = live
 
-	seen := map[kv]int{}
-	if err := dep.scan(func(k, v uint64) bool {
-		seen[kv{k, v}]++
-		return true
-	}); err != nil {
-		return rep, fmt.Errorf("chaos: post-run scan: %w", err)
-	}
-	rep.AckedPresent, rep.NoDuplicates, rep.PreloadIntact = true, true, true
-	for p := range acked {
-		if seen[p] != 1 {
-			rep.AckedPresent = false
-			rep.MissingAcked++
+		seen := map[kv]int{}
+		if err := dep.scan(vep, func(k, v uint64) bool {
+			seen[kv{k, v}]++
+			return true
+		}); err != nil {
+			return rep, fmt.Errorf("chaos: post-run scan: %w", err)
 		}
-	}
-	for _, n := range seen {
-		if n > 1 {
-			rep.NoDuplicates = false
-			rep.DuplicatePairs++
+		rep.AckedPresent, rep.NoDuplicates, rep.PreloadIntact = true, true, true
+		for p := range acked {
+			if seen[p] != 1 {
+				rep.AckedPresent = false
+				rep.MissingAcked++
+			}
 		}
-	}
-	step := cfg.Keyspace / uint64(cfg.Preload)
-	if step == 0 {
-		step = 1
-	}
-	for i := 0; i < cfg.Preload; i++ {
-		if seen[kv{uint64(i) * step, uint64(i)}] != 1 {
-			rep.PreloadIntact = false
-			rep.MissingPreload++
+		for _, n := range seen {
+			if n > 1 {
+				rep.NoDuplicates = false
+				rep.DuplicatePairs++
+			}
+		}
+		step := cfg.Keyspace / uint64(cfg.Preload)
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < cfg.Preload; i++ {
+			if seen[kv{uint64(i) * step, uint64(i)}] != 1 {
+				rep.PreloadIntact = false
+				rep.MissingPreload++
+			}
+		}
+
+		// Re-admit every wiped member: re-register its region (adopting the
+		// new incarnation), recopy its groups' slab extents from the acting
+		// authorities, and verify the copies byte-identical — the crash
+		// rebuild that restores full replication factor k.
+		if dep.replicated && len(wiped) > 0 {
+			rep.RebuildClean = true
+			admin := net.Endpoint(bare, cfg.Clients)
+			for _, s := range wiped {
+				// Each Reregister attempt advances the fault clock, so a
+				// server whose down-window outlived the workload still
+				// reaches its scripted restart.
+				var rerr error
+				for i := 0; i < 100_000; i++ {
+					if rerr = admin.Reregister(s); !errors.Is(rerr, rdma.ErrServerDown) {
+						break
+					}
+				}
+				if rerr != nil {
+					return rep, fmt.Errorf("chaos: reregister server %d: %w", s, rerr)
+				}
+				words, err := repl.RebuildMember(dep.lay, s, acting, dep.fab.Server)
+				if err != nil {
+					return rep, fmt.Errorf("chaos: rebuild server %d: %w", s, err)
+				}
+				rep.RebuiltWords += words
+				sweepLog.RebuildEvent(s, words)
+				for _, h := range dep.lay.Groups.GroupsOf(s) {
+					ref := dep.fab.Server(acting(h))
+					if ref == dep.fab.Server(s) {
+						continue
+					}
+					if d := repl.DiffExtent(dep.lay, h, ref, dep.fab.Server(s), dep.fab.Server); d != 0 {
+						rep.RebuildClean = false
+					}
+				}
+			}
 		}
 	}
 
@@ -452,7 +638,7 @@ func Run(cfg Config) (*Report, error) {
 	// client's ring (plus the harness sweep log) so the failing run's causal
 	// history survives as an artifact even when no client-side trigger fired.
 	if logs != nil {
-		if !rep.AckedPresent || !rep.NoDuplicates || !rep.PreloadIntact {
+		if rep.Verified && (!rep.AckedPresent || !rep.NoDuplicates || !rep.PreloadIntact) {
 			for _, l := range logs {
 				l.ForceDump("chaos-failure")
 			}
@@ -465,4 +651,48 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// postRunView reconstructs the authoritative replication view after the
+// clients have quiesced: per group, the maximum epoch recorded on any member
+// is the truth (epoch words only move forward, under CAS). A group whose
+// acting member was wiped but whose epoch words never moved — no surviving
+// client happened to touch it after the loss — is promoted here, the step a
+// readmission operator performs before serving traffic again.
+func postRunView(dep *deployment, wiped []int) *repl.View {
+	view := repl.NewView(dep.lay)
+	lost := map[int]bool{}
+	for _, s := range wiped {
+		lost[s] = true
+		view.MarkDead(s)
+	}
+	bare := dep.fab.Endpoint()
+	for h := 0; h < dep.lay.Groups.Servers(); h++ {
+		members := dep.lay.Groups.Members(h)
+		k := uint64(len(members))
+		var e uint64
+		for _, m := range members {
+			var w [1]uint64
+			if err := bare.Read(nam.GroupEpochPtr(m, h), w[:]); err == nil && w[0] > e {
+				e = w[0]
+			}
+		}
+		promoted := false
+		for i := uint64(0); i < k && lost[members[e%k]]; i++ {
+			e++
+			promoted = true
+		}
+		if lost[members[e%k]] {
+			continue // every member wiped: genuine k-fault loss
+		}
+		if promoted {
+			for _, m := range members {
+				if !lost[m] {
+					_ = bare.Write(nam.GroupEpochPtr(m, h), []uint64{e}) //rdmavet:allow verberrs -- bare fault-free endpoint on a live member; a failed epoch install surfaces in the verification reads that follow
+				}
+			}
+		}
+		view.SetEpoch(h, e)
+	}
+	return view
 }

@@ -1,6 +1,9 @@
 package chaos
 
 import (
+	"fmt"
+	"os"
+	"strings"
 	"testing"
 	"time"
 )
@@ -9,35 +12,167 @@ import (
 // included. The direct transport completes verbs in nanoseconds and scripted
 // outages last verb ticks (which the blocked clients' own retries advance),
 // so even heavily faulted operations finish in microseconds; the bound is
-// generous for loaded CI machines.
-const maxOpWall = 10 * time.Second
+// generous for loaded CI machines running the whole scenario matrix in
+// parallel under -race.
+const maxOpWall = 30 * time.Second
+
+// saveArtifacts persists the failing run's flight-recorder dumps and fault
+// schedule when CHAOS_ARTIFACT_DIR is set (the CI chaos and recovery jobs
+// set it and upload the directory on failure). Call it deferred, after the
+// run, so t.Failed reflects the test's assertions.
+func saveArtifacts(t *testing.T, cfg Config, rep *Report) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" || rep == nil || !t.Failed() {
+		return
+	}
+	if err := WriteArtifacts(dir, t.Name(), cfg, rep); err != nil {
+		t.Logf("writing chaos artifacts: %v", err)
+	}
+}
+
+// shrinkForShort shrinks the workload for -short runs.
+func shrinkForShort(cfg *Config) {
+	if testing.Short() {
+		cfg.Clients = 4
+		cfg.OpsPerClient = 250
+		cfg.Preload = 1000
+	}
+}
 
 // TestScenarios runs every scripted fault schedule against every design and
-// verifies the survivor invariants: acked inserts present exactly once, no
-// duplicate pairs, preload intact, tree well-formed, recovery latency
-// bounded, and faults/retries visible through telemetry.
+// asserts the scenario's declared contract (Scenario.Expect): recovery
+// scenarios must keep every acked insert present exactly once with no
+// duplicates and the preload intact, while permanent-loss scenarios must
+// surface rdma.ErrServerLost instead of silent corruption.
 func TestScenarios(t *testing.T) {
 	for _, sc := range Scenarios() {
 		for _, design := range []string{"coarse", "fine", "hybrid"} {
 			sc, design := sc, design
 			t.Run(sc.Name+"/"+design, func(t *testing.T) {
 				t.Parallel()
-				cfg := Config{Design: design, Schedule: sc.Schedule}
-				if testing.Short() {
-					cfg.Clients = 4
-					cfg.OpsPerClient = 250
-					cfg.Preload = 1000
+				cfg := Config{
+					Design:     design,
+					Schedule:   sc.Schedule,
+					Replicas:   sc.Replicas,
+					SkipVerify: sc.Expect.PermanentLoss,
+					Obs:        true,
 				}
+				shrinkForShort(&cfg)
 				rep, err := Run(cfg)
 				if err != nil {
 					t.Fatalf("chaos run: %v", err)
 				}
+				defer saveArtifacts(t, cfg, rep)
+				t.Logf("%s", rep.Summary())
+				assertScenario(t, sc, rep)
+			})
+		}
+	}
+}
+
+// assertScenario checks one run's report against its scenario's Expect.
+func assertScenario(t *testing.T, sc Scenario, rep *Report) {
+	t.Helper()
+	if rep.AckedInserts == 0 {
+		t.Fatalf("no insert was ever acked under schedule %q", sc.Name)
+	}
+	// The op-latency bound is a *recovery* latency bound; a permanent-loss
+	// scenario's doomed operations legitimately burn their whole retry,
+	// reconnect, and promotion budgets before surfacing ErrServerLost, which
+	// under -race can take tens of seconds of (slowed) backoff.
+	if d := time.Duration(rep.MaxOpNS); d > maxOpWall && !sc.Expect.PermanentLoss {
+		t.Errorf("slowest operation took %s; recovery latency unbounded (want < %s)", d, maxOpWall)
+	}
+	rec := rep.Recorder
+	if rec.Faults() == 0 {
+		t.Errorf("schedule %q injected no faults", sc.Name)
+	}
+	if rec.Retries() == 0 {
+		t.Errorf("schedule %q drove no verb retries", sc.Name)
+	}
+	if sc.Expect.Reconnects && rec.Reconnects() == 0 {
+		t.Errorf("schedule %q should force QP re-establishment", sc.Name)
+	}
+	if sc.Expect.ServerLost && rep.ServerLostOps == 0 {
+		t.Errorf("schedule %q should surface rdma.ErrServerLost to some client", sc.Name)
+	}
+	if !sc.Expect.ServerLost && rep.ServerLostOps > 0 {
+		t.Errorf("schedule %q surfaced rdma.ErrServerLost on %d operations; expected full recovery", sc.Name, rep.ServerLostOps)
+	}
+	if sc.Expect.PermanentLoss {
+		if rep.Verified {
+			t.Errorf("schedule %q expects permanent loss but verification ran", sc.Name)
+		}
+		return
+	}
+	if !rep.Verified {
+		t.Fatalf("schedule %q: post-run verification did not run", sc.Name)
+	}
+	if !rep.AckedPresent {
+		t.Errorf("%d acked inserts not present exactly once", rep.MissingAcked)
+	}
+	if !rep.NoDuplicates {
+		t.Errorf("%d (key, value) pairs duplicated", rep.DuplicatePairs)
+	}
+	if !rep.PreloadIntact {
+		t.Errorf("%d preloaded entries missing", rep.MissingPreload)
+	}
+	if sc.Replicas >= 2 {
+		if len(sc.Schedule.Steps) > 0 && len(rep.Wiped) == 0 {
+			t.Errorf("schedule %q scripted a region loss but no server was wiped", sc.Name)
+		}
+		if len(rep.Wiped) > 0 {
+			if !rep.RebuildClean {
+				t.Errorf("schedule %q: rebuilt members differ from their group authorities", sc.Name)
+			}
+			if rep.RebuiltWords == 0 {
+				t.Errorf("schedule %q: rebuild copied no words", sc.Name)
+			}
+		}
+	}
+}
+
+// TestReplicationRecoveryMatrix is the CI recovery gate: the replicated
+// crash-with-region-loss scenario across every design and several fault
+// seeds, asserting the full recovery contract — every acked operation
+// survives the loss of a primary's registered region, no operation surfaces
+// rdma.ErrServerLost (the group fails over instead), and the post-run crash
+// rebuild restores byte-identical replicas.
+func TestReplicationRecoveryMatrix(t *testing.T) {
+	sc, ok := FindScenario("repl-crash-lose")
+	if !ok {
+		t.Fatal("repl-crash-lose scenario missing")
+	}
+	seeds := []int64{101, 202, 303}
+	for _, design := range []string{"coarse", "fine", "hybrid"} {
+		for _, seed := range seeds {
+			design, seed := design, seed
+			t.Run(fmt.Sprintf("%s/seed%d", design, seed), func(t *testing.T) {
+				t.Parallel()
+				sched := sc.Schedule
+				sched.Seed = seed
+				cfg := Config{
+					Design:   design,
+					Schedule: sched,
+					Replicas: sc.Replicas,
+					Obs:      true,
+				}
+				shrinkForShort(&cfg)
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("chaos run: %v", err)
+				}
+				defer saveArtifacts(t, cfg, rep)
 				t.Logf("%s", rep.Summary())
 				if rep.AckedInserts == 0 {
-					t.Fatalf("no insert was ever acked under schedule %q", sc.Name)
+					t.Fatal("no insert was ever acked")
+				}
+				if rep.ServerLostOps != 0 {
+					t.Errorf("%d operations surfaced rdma.ErrServerLost; replicated region loss must recover", rep.ServerLostOps)
 				}
 				if !rep.AckedPresent {
-					t.Errorf("%d acked inserts not present exactly once", rep.MissingAcked)
+					t.Errorf("%d acked inserts lost", rep.MissingAcked)
 				}
 				if !rep.NoDuplicates {
 					t.Errorf("%d (key, value) pairs duplicated", rep.DuplicatePairs)
@@ -45,25 +180,15 @@ func TestScenarios(t *testing.T) {
 				if !rep.PreloadIntact {
 					t.Errorf("%d preloaded entries missing", rep.MissingPreload)
 				}
-				if d := time.Duration(rep.MaxOpNS); d > maxOpWall {
-					t.Errorf("slowest operation took %s; recovery latency unbounded (want < %s)", d, maxOpWall)
+				if len(rep.Wiped) == 0 {
+					t.Error("the scripted region loss never fired")
+					return
 				}
-				rec := rep.Recorder
-				if rec.Faults() == 0 {
-					t.Errorf("schedule %q injected no faults", sc.Name)
+				if !rep.RebuildClean {
+					t.Error("rebuilt member differs from its group authorities")
 				}
-				if rec.Retries() == 0 {
-					t.Errorf("schedule %q drove no verb retries", sc.Name)
-				}
-				switch sc.Name {
-				case "qp-error", "crash-restart":
-					if rec.Reconnects() == 0 {
-						t.Errorf("schedule %q should force QP re-establishment", sc.Name)
-					}
-				case "crash-lose":
-					if rep.ServerLostOps == 0 {
-						t.Errorf("losing a server's region should surface rdma.ErrServerLost to some client")
-					}
+				if rep.RebuiltWords == 0 {
+					t.Error("rebuild copied no words")
 				}
 			})
 		}
@@ -94,6 +219,36 @@ func TestDeterministicFaultCounts(t *testing.T) {
 	}
 	if counts[0] != counts[1] {
 		t.Errorf("fault counts differ across identical runs: %d vs %d", counts[0], counts[1])
+	}
+}
+
+// TestWriteArtifacts exercises the CI failure-forensics path directly (it
+// normally runs only on a red chaos/recovery job): a run's schedule and
+// flight-recorder dumps must land as replayable files, with test names
+// sanitized into safe paths.
+func TestWriteArtifacts(t *testing.T) {
+	sc, ok := FindScenario("repl-crash-lose")
+	if !ok {
+		t.Fatal("repl-crash-lose scenario missing")
+	}
+	cfg := Config{Design: "fine", Clients: 2, OpsPerClient: 100, Preload: 500,
+		Schedule: sc.Schedule, Replicas: sc.Replicas, Obs: true}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	dir := t.TempDir()
+	if err := WriteArtifacts(dir, "TestWriteArtifacts/fine/seed 6", cfg, rep); err != nil {
+		t.Fatalf("WriteArtifacts: %v", err)
+	}
+	meta, err := os.ReadFile(dir + "/TestWriteArtifacts_fine_seed_6/run.json")
+	if err != nil {
+		t.Fatalf("run.json missing: %v", err)
+	}
+	for _, want := range []string{`"Design": "fine"`, `"Replicas": 2`, `"Seed": 6`} {
+		if !strings.Contains(string(meta), want) {
+			t.Errorf("run.json missing %s:\n%s", want, meta)
+		}
 	}
 }
 

@@ -2,12 +2,36 @@ package chaos
 
 import "github.com/namdb/rdmatree/internal/rdma/faultnet"
 
+// Expect declares a scenario's contract — the outcome the chaos tests
+// assert. It is per-scenario data, not code, so the same schedule shape can
+// carry different expectations at different replication factors: an
+// unreplicated region loss is permanent ErrServerLost, while the same loss
+// at k >= 2 must fail over and recover every acked operation.
+type Expect struct {
+	// Reconnects asserts the run performed at least one QP re-establishment.
+	Reconnects bool
+	// ServerLost asserts at least one operation surfaced rdma.ErrServerLost
+	// to its client. When false, the tests assert *zero* such operations —
+	// the recovery contract of replicated region loss.
+	ServerLost bool
+	// PermanentLoss marks genuine unrecoverable data loss (every member of
+	// a replica group wiped, or any wipe at k=1 if one were scripted):
+	// post-run verification and rebuild are skipped because the surviving
+	// state is incomplete by construction.
+	PermanentLoss bool
+}
+
 // Scenario is one named, scripted fault schedule.
 type Scenario struct {
 	Name string
 	// What the schedule exercises, for reports.
-	Doc      string
+	Doc string
+	// Replicas is the page-replication factor the scenario runs at (0 and 1
+	// both mean unreplicated).
+	Replicas int
 	Schedule faultnet.Schedule
+	// Expect is the scenario's asserted outcome.
+	Expect Expect
 }
 
 // Scenarios returns the library of scripted fault schedules the chaos tests
@@ -43,6 +67,7 @@ func Scenarios() []Scenario {
 				Seed:         3,
 				QPErrorEvery: 250,
 			},
+			Expect: Expect{Reconnects: true},
 		},
 		{
 			Name: "crash-restart",
@@ -55,21 +80,65 @@ func Scenarios() []Scenario {
 					{AtTick: 1_800, Server: 1, DownForTicks: 150},
 				},
 			},
+			Expect: Expect{Reconnects: true},
 		},
 		{
 			Name: "crash-lose",
-			Doc:  "server 2 crashes late in the run and restarts without its registered region: operations touching it surface rdma.ErrServerLost",
+			Doc:  "unreplicated: server 2 crashes late in the run and restarts without its registered region: operations touching it surface rdma.ErrServerLost",
 			Schedule: faultnet.Schedule{
 				Seed: 5,
 				Steps: []faultnet.Step{
 					{AtTick: 1_600, Server: 2, DownForTicks: 150, Lose: true},
 				},
 			},
+			Expect: Expect{ServerLost: true},
+		},
+		{
+			Name:     "repl-crash-lose",
+			Doc:      "k=2: server 2 crashes mid-run and restarts with its region wiped; its group fails over to the surviving replica and every acked operation recovers",
+			Replicas: 2,
+			Schedule: faultnet.Schedule{
+				Seed: 6,
+				Steps: []faultnet.Step{
+					{AtTick: 1_600, Server: 2, DownForTicks: 150, Lose: true},
+				},
+			},
+			// No Reconnects expectation: a reconnect attempt against the
+			// wiped server resolves into promotion (ErrGroupMoved) instead
+			// of a successful QP re-establishment, and after failover the
+			// dead member is never contacted again.
+			Expect: Expect{},
+		},
+		{
+			Name:     "repl-crash-split",
+			Doc:      "k=2: a primary is wiped early, while bulk growth still drives splits, under a drop rate; interrupted mirror pushes must neither lose nor duplicate acked inserts",
+			Replicas: 2,
+			Schedule: faultnet.Schedule{
+				Seed:     7,
+				DropRate: 0.005,
+				Steps: []faultnet.Step{
+					{AtTick: 500, Server: 1, DownForTicks: 120, Lose: true},
+				},
+			},
+			Expect: Expect{},
+		},
+		{
+			Name:     "repl-double-fault",
+			Doc:      "k=2: both members of replica group 2 (servers 2 and 3) are wiped within one run — a genuine k-fault loss that must surface as permanent rdma.ErrServerLost, never as silent corruption",
+			Replicas: 2,
+			Schedule: faultnet.Schedule{
+				Seed: 8,
+				Steps: []faultnet.Step{
+					{AtTick: 1_200, Server: 2, DownForTicks: 100, Lose: true},
+					{AtTick: 2_000, Server: 3, DownForTicks: 100, Lose: true},
+				},
+			},
+			Expect: Expect{ServerLost: true, PermanentLoss: true},
 		},
 	}
 }
 
-// Scenario returns the named scenario, or false.
+// FindScenario returns the named scenario, or false.
 func FindScenario(name string) (Scenario, bool) {
 	for _, s := range Scenarios() {
 		if s.Name == name {

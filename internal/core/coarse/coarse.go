@@ -10,6 +10,7 @@
 package coarse
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/namdb/rdmatree/internal/btree"
@@ -19,6 +20,7 @@ import (
 	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/repl"
 	"github.com/namdb/rdmatree/internal/telemetry"
 )
 
@@ -34,7 +36,25 @@ type Options struct {
 	// Telemetry, when non-nil, receives the per-operation protocol counters
 	// of every handler-executed index operation.
 	Telemetry *telemetry.Recorder
+	// Replicas is the page-replication factor k (0 and 1 both mean
+	// unreplicated). Replicated deployments must configure the fabric with
+	// the nam.ReplicaLayout slab allocators before building, and their
+	// handlers capture committed post-images into the response's Dirty
+	// trailer for the client to mirror.
+	Replicas int
+	// RegionBytes is the uniform registered-region size; required (and
+	// recorded in the catalog) when Replicas >= 2.
+	RegionBytes uint64
+	// SpinBudget bounds each handler-executed tree operation's consistency
+	// restarts (btree.Tree.SpinBudget); 0 leaves the waits unbounded.
+	// Fault-injected replicated deployments must set it: a handler waiting
+	// on tree state lost with a crashed primary otherwise spins forever.
+	// With a budget the handler fails the RPC with a StatusRetry response
+	// and the client's op-level recovery re-runs the operation.
+	SpinBudget int
 }
+
+func (o Options) replicated() bool { return o.Replicas >= 2 }
 
 // Server is the server-side state: one local tree per memory server.
 type Server struct {
@@ -52,11 +72,38 @@ func NewServer(fab rdma.Fabric, opts Options) *Server {
 	return &Server{opts: opts, fab: fab}
 }
 
+// rootWord returns the root-pointer word of server's tree: the legacy
+// superblock word, or — replicated — group server's slot in the reserved
+// replica prefix (present on every group member, so it survives failover).
+func (s *Server) rootWord(server int) rdma.RemotePtr {
+	if s.opts.replicated() {
+		return nam.GroupRootPtr(server)
+	}
+	return nam.RootWordPtr(server)
+}
+
 // tree returns a fresh tree handle for one server (handles are cheap and
 // per-goroutine; the shared state lives in the region).
 func (s *Server) tree(server int) *btree.Tree {
-	t := btree.New(s.opts.Layout, btree.LocalMem{Srv: s.fab.Server(server)}, nam.RootWordPtr(server))
+	t := btree.New(s.opts.Layout, btree.LocalMem{Srv: s.fab.Server(server)}, s.rootWord(server))
 	t.VisitNS = s.opts.VisitNS
+	t.SpinBudget = s.opts.SpinBudget
+	return t
+}
+
+// treeFor returns the tree handle serving group on server. Before a failover
+// group == server and the plain local tree is used; afterwards the handler
+// serves a foreign group's mirrored pages out of its own region
+// (identity-offset replicas), allocating any new pages from its own slab.
+func (s *Server) treeFor(server, group int) *btree.Tree {
+	if !s.opts.replicated() || group == server {
+		return s.tree(server)
+	}
+	t := btree.New(s.opts.Layout,
+		btree.ReplicaLocalMem{Srv: s.fab.Server(server), Home: group},
+		nam.GroupRootPtr(group))
+	t.VisitNS = s.opts.VisitNS
+	t.SpinBudget = s.opts.SpinBudget
 	return t
 }
 
@@ -132,8 +179,10 @@ func (s *Server) makeCatalog() *nam.Catalog {
 		PageBytes: s.opts.Layout.PageBytes,
 		Servers:   s.fab.NumServers(),
 	}
+	c.Replicas = s.opts.Replicas
+	c.RegionBytes = s.opts.RegionBytes
 	for i := 0; i < s.fab.NumServers(); i++ {
-		c.RootWords = append(c.RootWords, nam.RootWordPtr(i))
+		c.RootWords = append(c.RootWords, s.rootWord(i))
 	}
 	switch p := s.opts.Part.(type) {
 	case *partition.Range:
@@ -148,6 +197,16 @@ func (s *Server) makeCatalog() *nam.Catalog {
 	return c
 }
 
+// respErr classifies a handler-side tree failure: spin-budget exhaustion is
+// op-recoverable at the client (StatusRetry — fence, re-run), anything else
+// aborts the operation.
+func respErr(err error) *nam.Response {
+	if errors.Is(err, btree.ErrSpinBudget) {
+		return nam.RetryResponse(err)
+	}
+	return nam.ErrResponse(err)
+}
+
 // Handler returns the RPC handler executing index operations on the local
 // trees; install it with fabric.SetHandler.
 func (s *Server) Handler() rdma.Handler {
@@ -156,7 +215,19 @@ func (s *Server) Handler() rdma.Handler {
 		if err != nil {
 			return nam.ErrResponse(err).Encode(), rdma.Work{}
 		}
-		t := s.tree(server)
+		group := server
+		if s.opts.replicated() {
+			group = int(req.Group)
+		}
+		t := s.treeFor(server, group)
+		var capt *repl.Capture
+		if s.opts.replicated() {
+			// Memory servers cannot reach each other (NAM keeps them
+			// passive): committed post-images are captured and shipped back
+			// for the *client* to mirror before it acks.
+			capt = &repl.Capture{}
+			t.Repl = capt
+		}
 		var resp *nam.Response
 		var st btree.Stats
 		switch req.Op {
@@ -165,7 +236,7 @@ func (s *Server) Handler() rdma.Handler {
 			st = stats
 			switch {
 			case err != nil:
-				resp = nam.ErrResponse(err)
+				resp = respErr(err)
 			case len(vals) == 0:
 				resp = &nam.Response{Status: nam.StatusNotFound}
 			default:
@@ -179,7 +250,7 @@ func (s *Server) Handler() rdma.Handler {
 			})
 			st = stats
 			if err != nil {
-				resp = nam.ErrResponse(err)
+				resp = respErr(err)
 			} else {
 				resp = &nam.Response{Status: nam.StatusOK, Pairs: pairs}
 			}
@@ -187,7 +258,7 @@ func (s *Server) Handler() rdma.Handler {
 			stats, err := t.Insert(env, req.Key, req.Value)
 			st = stats
 			if err != nil {
-				resp = nam.ErrResponse(err)
+				resp = respErr(err)
 			} else {
 				resp = &nam.Response{Status: nam.StatusOK}
 			}
@@ -196,7 +267,7 @@ func (s *Server) Handler() rdma.Handler {
 			st = stats
 			switch {
 			case err != nil:
-				resp = nam.ErrResponse(err)
+				resp = respErr(err)
 			case ok:
 				resp = &nam.Response{Status: nam.StatusOK}
 			default:
@@ -213,6 +284,11 @@ func (s *Server) Handler() rdma.Handler {
 		}
 		if s.opts.Telemetry != nil && st.Ops() > 0 {
 			s.opts.Telemetry.RecordIndexOp(st)
+		}
+		if capt != nil && len(capt.Pages) > 0 {
+			// Error responses carry the trailer too: a handler that
+			// committed pages and then failed still needs them mirrored.
+			resp.Dirty = capt.Pages
 		}
 		return resp.Encode(), rdma.Work{PagesTouched: st.PageReads + st.PageWrites}
 	}
@@ -232,6 +308,23 @@ func (s *Server) CheckInvariants() (int, error) {
 		n, err := s.tree(i).CheckInvariants(rdma.NopEnv{}) //rdmavet:allow nopenv -- test-only invariant sweep, never on the timed path
 		if err != nil {
 			return 0, fmt.Errorf("server %d: %w", i, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// CheckInvariantsAt is CheckInvariants for a (possibly) failed-over
+// replicated deployment: acting maps each group home to the member currently
+// serving it, and each group's tree is verified through that member's
+// identity-offset copy. With the identity mapping it degenerates to
+// CheckInvariants.
+func (s *Server) CheckInvariantsAt(acting func(home int) int) (int, error) {
+	total := 0
+	for g := 0; g < s.fab.NumServers(); g++ {
+		n, err := s.treeFor(acting(g), g).CheckInvariants(rdma.NopEnv{}) //rdmavet:allow nopenv -- test-only invariant sweep, never on the timed path
+		if err != nil {
+			return 0, fmt.Errorf("group %d (acting server %d): %w", g, acting(g), err)
 		}
 		total += n
 	}
@@ -258,6 +351,7 @@ type Client struct {
 	cat  *nam.Catalog
 	part partition.Partitioner
 	log  *obs.Log
+	mir  nam.DirtyPusher
 }
 
 var _ core.Index = (*Client)(nil)
@@ -274,13 +368,31 @@ func NewClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog) *Client {
 // outcome. A nil log disables tracing.
 func (c *Client) SetOpLog(log *obs.Log) { c.log = log }
 
+// SetMirrorer installs the client's replication pusher (repl.Mirrorer):
+// post-images the handler committed on the partition's acting primary are
+// replayed onto the group's backups before the operation acks. A nil m
+// disables pushing (unreplicated deployments).
+func (c *Client) SetMirrorer(m nam.DirtyPusher) { c.mir = m }
+
 func (c *Client) call(server int, req *nam.Request) (*nam.Response, error) {
+	if c.cat.Replicated() {
+		req.Group = uint8(server)
+	}
 	raw, err := c.ep.Call(server, req.Encode())
 	if err != nil {
 		c.log.RPCEvent(server, req.Op, err)
 		return nil, err
 	}
 	resp, err := nam.DecodeResponse(raw)
+	if err == nil && c.mir != nil && len(resp.Dirty) > 0 {
+		// Mirror the handler's committed pages before acking; a failed push
+		// leaves the op un-acked (mirror-before-ack is the acked-data
+		// durability invariant).
+		if perr := c.mir.Push(resp.Dirty); perr != nil {
+			c.log.RPCEvent(server, req.Op, perr)
+			return nil, perr
+		}
+	}
 	if err == nil {
 		err = resp.AsError()
 	}

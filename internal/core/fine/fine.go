@@ -24,17 +24,30 @@ import (
 type Options struct {
 	// Layout is the page layout (page size P).
 	Layout layout.Layout
+	// Replicas is the page-replication factor k (0 and 1 both mean
+	// unreplicated). Replicated deployments must configure the fabric with
+	// the nam.ReplicaLayout slab allocators before building.
+	Replicas int
+	// RegionBytes is the uniform registered-region size; required (and
+	// recorded in the catalog) when Replicas >= 2.
+	RegionBytes uint64
 }
 
 // Build bulk-loads the global tree through setupEp (an untimed endpoint on
 // the simulated fabric) with round-robin page placement, and returns the
-// catalog. The root-pointer word lives in server 0's superblock.
+// catalog. The root-pointer word lives in server 0's superblock —
+// replicated deployments use group 0's root word in the reserved replica
+// prefix instead, so the word itself survives a failover of server 0.
 func Build(setupEp rdma.Endpoint, opts Options, spec core.BuildSpec) (*nam.Catalog, error) {
 	servers := setupEp.NumServers()
+	rootWord := nam.RootWordPtr(0)
+	if opts.Replicas >= 2 {
+		rootWord = nam.GroupRootPtr(0)
+	}
 	t := btree.New(opts.Layout, &btree.EndpointMem{
 		Ep:    setupEp,
 		Place: btree.RoundRobin(servers, 0),
-	}, nam.RootWordPtr(0))
+	}, rootWord)
 	cfg := btree.BuildConfig{Fill: spec.Fill, HeadEvery: spec.HeadEvery}
 	if spec.N == 0 {
 		if err := t.Init(rdma.NopEnv{}); err != nil { //rdmavet:allow nopenv -- bootstrap: runs once before timed traffic
@@ -44,10 +57,12 @@ func Build(setupEp rdma.Endpoint, opts Options, spec core.BuildSpec) (*nam.Catal
 		return nil, err
 	}
 	return &nam.Catalog{
-		Design:    nam.FineGrained,
-		PageBytes: opts.Layout.PageBytes,
-		Servers:   servers,
-		RootWords: []rdma.RemotePtr{nam.RootWordPtr(0)},
+		Design:      nam.FineGrained,
+		PageBytes:   opts.Layout.PageBytes,
+		Servers:     servers,
+		RootWords:   []rdma.RemotePtr{rootWord},
+		Replicas:    opts.Replicas,
+		RegionBytes: opts.RegionBytes,
 	}, nil
 }
 
@@ -152,6 +167,11 @@ func (c *Client) Delete(key, value uint64) (bool, error) {
 
 // Tree exposes the underlying engine (stats, invariant checks).
 func (c *Client) Tree() *btree.Tree { return c.tree }
+
+// SetReplicator installs the client's replication engine (repl.Mirrorer):
+// every page the tree commits is pushed to the page's group backups before
+// the operation acks. A nil r disables replication.
+func (c *Client) SetReplicator(r btree.Replicator) { c.tree.Repl = r }
 
 // InvalidateRoot implements core.RootInvalidator: operation-level fault
 // recovery drops the cached root pointer before an epoch-fenced

@@ -14,6 +14,7 @@
 package hybrid
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/namdb/rdmatree/internal/btree"
@@ -23,6 +24,7 @@ import (
 	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
 	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/repl"
 	"github.com/namdb/rdmatree/internal/telemetry"
 )
 
@@ -38,7 +40,27 @@ type Options struct {
 	// Telemetry, when non-nil, receives the per-operation protocol counters
 	// of the handler-executed traversals and installs.
 	Telemetry *telemetry.Recorder
+	// Replicas is the page-replication factor k (0 and 1 both mean
+	// unreplicated). Replicated deployments must configure the fabric with
+	// the nam.ReplicaLayout slab allocators before building; install
+	// handlers then capture committed post-images into the response's Dirty
+	// trailer for the client to mirror.
+	Replicas int
+	// RegionBytes is the uniform registered-region size; required (and
+	// recorded in the catalog) when Replicas >= 2.
+	RegionBytes uint64
+	// SpinBudget bounds each handler-executed tree operation's consistency
+	// restarts (btree.Tree.SpinBudget); 0 leaves the waits unbounded.
+	// Fault-injected replicated deployments must set it: an install that
+	// waits for split state lost with a crashed primary otherwise spins
+	// forever (the writer it waits for is dead). With a budget the handler
+	// fails the RPC with a StatusRetry response instead, and the client
+	// re-runs the operation — the half-split leaf stays reachable through
+	// its right link, so the re-run's presence check can ack it.
+	SpinBudget int
 }
+
+func (o Options) replicated() bool { return o.Replicas >= 2 }
 
 // Server is the server side: per-server upper-level trees.
 type Server struct {
@@ -55,11 +77,38 @@ func NewServer(fab rdma.Fabric, opts Options) *Server {
 	return &Server{opts: opts, fab: fab}
 }
 
+// rootWord returns the root-pointer word of server's upper levels: the
+// legacy superblock word, or — replicated — group server's slot in the
+// reserved replica prefix (present on every member, surviving failover).
+func (s *Server) rootWord(server int) rdma.RemotePtr {
+	if s.opts.replicated() {
+		return nam.GroupRootPtr(server)
+	}
+	return nam.RootWordPtr(server)
+}
+
 // tree returns a fresh server-side handle for one server's upper levels.
 // Handlers only ever touch inner nodes, which are all local.
 func (s *Server) tree(server int) *btree.Tree {
-	t := btree.New(s.opts.Layout, btree.LocalMem{Srv: s.fab.Server(server)}, nam.RootWordPtr(server))
+	t := btree.New(s.opts.Layout, btree.LocalMem{Srv: s.fab.Server(server)}, s.rootWord(server))
 	t.VisitNS = s.opts.VisitNS
+	t.SpinBudget = s.opts.SpinBudget
+	return t
+}
+
+// treeFor returns the handle serving group's upper levels on server. Before
+// a failover group == server; afterwards the handler traverses the foreign
+// group's mirrored inner nodes out of its own region (identity-offset
+// replicas), allocating any new inner pages from its own slab.
+func (s *Server) treeFor(server, group int) *btree.Tree {
+	if !s.opts.replicated() || group == server {
+		return s.tree(server)
+	}
+	t := btree.New(s.opts.Layout,
+		btree.ReplicaLocalMem{Srv: s.fab.Server(server), Home: group},
+		nam.GroupRootPtr(group))
+	t.VisitNS = s.opts.VisitNS
+	t.SpinBudget = s.opts.SpinBudget
 	return t
 }
 
@@ -94,7 +143,7 @@ func (s *Server) BuildServer(setupEp rdma.Endpoint, srv int, spec core.BuildSpec
 		}
 		return srv
 	}
-	t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: setupEp, Place: place}, nam.RootWordPtr(srv))
+	t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: setupEp, Place: place}, s.rootWord(srv))
 	count := 0
 	for i := 0; i < spec.N; i++ {
 		k, _ := spec.At(i)
@@ -122,7 +171,7 @@ func (s *Server) BuildServer(setupEp rdma.Endpoint, srv int, spec core.BuildSpec
 	}
 	// Guarantee the root is an inner node on the owning server: wrap a
 	// single-leaf tree in a one-entry inner root.
-	return ensureInnerRoot(setupEp, s.opts.Layout, srv)
+	return ensureInnerRoot(setupEp, s.opts.Layout, srv, s.rootWord(srv))
 }
 
 // Catalog returns the catalog describing this deployment (building it on
@@ -136,8 +185,7 @@ func (s *Server) Catalog() *nam.Catalog {
 
 // ensureInnerRoot wraps a leaf root in a local inner root (the hybrid
 // invariant: server-side traversal only touches local inner nodes).
-func ensureInnerRoot(ep rdma.Endpoint, l layout.Layout, srv int) error {
-	rootWord := nam.RootWordPtr(srv)
+func ensureInnerRoot(ep rdma.Endpoint, l layout.Layout, srv int, rootWord rdma.RemotePtr) error {
 	var w [1]uint64
 	if err := ep.Read(rootWord, w[:]); err != nil {
 		return err
@@ -173,8 +221,10 @@ func (s *Server) makeCatalog() *nam.Catalog {
 		PageBytes: s.opts.Layout.PageBytes,
 		Servers:   s.fab.NumServers(),
 	}
+	c.Replicas = s.opts.Replicas
+	c.RegionBytes = s.opts.RegionBytes
 	for i := 0; i < s.fab.NumServers(); i++ {
-		c.RootWords = append(c.RootWords, nam.RootWordPtr(i))
+		c.RootWords = append(c.RootWords, s.rootWord(i))
 	}
 	switch p := s.opts.Part.(type) {
 	case *partition.Range:
@@ -189,6 +239,16 @@ func (s *Server) makeCatalog() *nam.Catalog {
 	return c
 }
 
+// respErr classifies a handler-side tree failure: spin-budget exhaustion is
+// op-recoverable at the client (StatusRetry — fence, re-traverse, re-run),
+// anything else aborts the operation.
+func respErr(err error) *nam.Response {
+	if errors.Is(err, btree.ErrSpinBudget) {
+		return nam.RetryResponse(err)
+	}
+	return nam.ErrResponse(err)
+}
+
 // Handler returns the RPC handler serving OpTraverse and OpInstall.
 func (s *Server) Handler() rdma.Handler {
 	return func(env rdma.Env, server int, reqBytes []byte) ([]byte, rdma.Work) {
@@ -196,7 +256,18 @@ func (s *Server) Handler() rdma.Handler {
 		if err != nil {
 			return nam.ErrResponse(err).Encode(), rdma.Work{}
 		}
-		t := s.tree(server)
+		group := server
+		if s.opts.replicated() {
+			group = int(req.Group)
+		}
+		t := s.treeFor(server, group)
+		var capt *repl.Capture
+		if s.opts.replicated() {
+			// Servers are passive toward each other (NAM): committed inner
+			// pages are captured and shipped back for the client to mirror.
+			capt = &repl.Capture{}
+			t.Repl = capt
+		}
 		var resp *nam.Response
 		var st btree.Stats
 		switch req.Op {
@@ -204,7 +275,7 @@ func (s *Server) Handler() rdma.Handler {
 			leaf, stats, err := t.FindLeaf(env, req.Key)
 			st = stats
 			if err != nil {
-				resp = nam.ErrResponse(err)
+				resp = respErr(err)
 			} else {
 				resp = &nam.Response{Status: nam.StatusOK, Ptr: leaf}
 			}
@@ -212,7 +283,7 @@ func (s *Server) Handler() rdma.Handler {
 			stats, err := t.Install(env, 1, req.End, req.Left, req.Right)
 			st = stats
 			if err != nil {
-				resp = nam.ErrResponse(err)
+				resp = respErr(err)
 			} else {
 				resp = &nam.Response{Status: nam.StatusOK}
 			}
@@ -221,6 +292,11 @@ func (s *Server) Handler() rdma.Handler {
 		}
 		if s.opts.Telemetry != nil && st.Ops() > 0 {
 			s.opts.Telemetry.RecordIndexOp(st)
+		}
+		if capt != nil && len(capt.Pages) > 0 {
+			// Error responses carry the trailer too: an install that
+			// committed pages before failing still needs them mirrored.
+			resp.Dirty = capt.Pages
 		}
 		return resp.Encode(), rdma.Work{PagesTouched: st.PageReads + st.PageWrites}
 	}
@@ -231,7 +307,7 @@ func (s *Server) Handler() rdma.Handler {
 func (s *Server) CheckInvariants(ep rdma.Endpoint) (int, error) {
 	total := 0
 	for i := 0; i < s.fab.NumServers(); i++ {
-		t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: ep, Place: btree.Fixed(i)}, nam.RootWordPtr(i))
+		t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: ep, Place: btree.Fixed(i)}, s.rootWord(i))
 		n, err := t.CheckInvariants(rdma.NopEnv{}) //rdmavet:allow nopenv -- test-only invariant sweep, never on the timed path
 		if err != nil {
 			return 0, fmt.Errorf("server %d: %w", i, err)
@@ -249,7 +325,7 @@ func (s *Server) CheckInvariants(ep rdma.Endpoint) (int, error) {
 // extra and asserts that invariant. Must run quiesced.
 func (s *Server) RecoverLocks(ep rdma.Endpoint) (cleared int, err error) {
 	for i := 0; i < s.fab.NumServers(); i++ {
-		t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: ep, Place: btree.Fixed(i)}, nam.RootWordPtr(i))
+		t := btree.New(s.opts.Layout, &btree.EndpointMem{Ep: ep, Place: btree.Fixed(i)}, s.rootWord(i))
 		n, err := t.RecoverLocks()
 		if err != nil {
 			return cleared, fmt.Errorf("server %d: %w", i, err)
@@ -301,6 +377,16 @@ type Client struct {
 	leaf *btree.Tree
 	rec  *telemetry.Recorder
 	log  *obs.Log
+	mir  nam.DirtyPusher
+}
+
+// Mirrorer is the client-side replication engine (repl.Mirrorer): the leaf
+// tree mirrors its own one-sided commits through the btree.Replicator half,
+// and server-captured post-images from traverse/install RPCs are replayed
+// through the Push half.
+type Mirrorer interface {
+	btree.Replicator
+	nam.DirtyPusher
 }
 
 var _ core.Index = (*Client)(nil)
@@ -347,13 +433,38 @@ func (c *Client) record(st btree.Stats) {
 	}
 }
 
+// SetMirrorer installs the client's replication engine: both the one-sided
+// leaf level and the handler-committed inner pages mirror through it before
+// any operation acks. A nil m disables replication.
+func (c *Client) SetMirrorer(m Mirrorer) {
+	if m == nil {
+		c.mir = nil
+		c.leaf.Repl = nil
+		return
+	}
+	c.mir = m
+	c.leaf.Repl = m
+}
+
 func (c *Client) call(server int, req *nam.Request) (*nam.Response, error) {
+	if c.cat.Replicated() {
+		req.Group = uint8(server)
+	}
 	raw, err := c.ep.Call(server, req.Encode())
 	if err != nil {
 		c.log.RPCEvent(server, req.Op, err)
 		return nil, err
 	}
 	resp, err := nam.DecodeResponse(raw)
+	if err == nil && c.mir != nil && len(resp.Dirty) > 0 {
+		// Mirror the handler's committed pages before acking; a failed push
+		// leaves the op un-acked (mirror-before-ack is the acked-data
+		// durability invariant).
+		if perr := c.mir.Push(resp.Dirty); perr != nil {
+			c.log.RPCEvent(server, req.Op, perr)
+			return nil, perr
+		}
+	}
 	if err == nil {
 		err = resp.AsError()
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/rdma"
 )
 
@@ -34,7 +35,8 @@ type RecoveryEvents interface {
 // Recovered wraps an index client with operation-level fault recovery: when
 // an operation fails with a transient verb error that survived the verb
 // layer's bounded retries (or with btree.ErrSpinBudget from a starved page
-// lock), the wrapper fences a new epoch — it invalidates the client's cached
+// lock — locally from the client's own leaf engine, or relayed from an RPC
+// handler's tree as nam.ErrRemoteRetry), the wrapper fences a new epoch — it invalidates the client's cached
 // root so the next descent re-reads it — and re-runs the operation from the
 // root, up to MaxOpAttempts times.
 //
@@ -89,11 +91,20 @@ func (r *Recovered) WithEvents(ev RecoveryEvents) *Recovered {
 
 // recoverable reports whether a new epoch and a re-traversal can be expected
 // to clear err.
+//
+// rdma.ErrGroupMoved is the replication failover signal: it is deliberately
+// not verb-transient (re-driving the *same* verb against the promoted
+// primary is unsound — see the sentinel's doc), but the *operation* is fully
+// recoverable: the fence invalidates cached state and the re-run traverses
+// from the root under the post-failover routing.
 func recoverable(err error) bool {
 	if errors.Is(err, rdma.ErrServerLost) {
 		return false
 	}
-	return rdma.IsTransient(err) || errors.Is(err, btree.ErrSpinBudget)
+	return rdma.IsTransient(err) ||
+		errors.Is(err, rdma.ErrGroupMoved) ||
+		errors.Is(err, btree.ErrSpinBudget) ||
+		errors.Is(err, nam.ErrRemoteRetry)
 }
 
 // fence opens a new epoch: the cached descent state of the wrapped client is

@@ -78,6 +78,12 @@ func IsLocked(v uint64) bool { return v&LockBit != 0 }
 // silently desynchronize call sites.
 func BufVersion(w []uint64) uint64 { return w[wordVersion] }
 
+// SetBufVersion stores the version/lock word of a raw page buffer — the
+// write-side counterpart of BufVersion, used by the replication mirror path
+// to stamp a post-image with its published version before pushing it to
+// backups. Same sanctioning rationale as BufVersion.
+func SetBufVersion(w []uint64, v uint64) { w[wordVersion] = v }
+
 // WithLock returns the version word with the lock bit set.
 func WithLock(v uint64) uint64 { return v | LockBit }
 

@@ -66,6 +66,22 @@ type Catalog struct {
 	RangeBounds []uint64
 	// Servers is the number of memory servers.
 	Servers int
+	// Replicas is the page-replication factor k (0 and 1 both mean
+	// unreplicated). With k >= 2 every server's pages are mirrored onto the
+	// k-1 following servers per the ReplicaLayout slab scheme.
+	Replicas int
+	// RegionBytes is the uniform registered-region size, needed by clients
+	// to reconstruct the replicated slab geometry. Zero when unreplicated.
+	RegionBytes uint64
+}
+
+// Replicated reports whether the deployment runs with page replication.
+func (c *Catalog) Replicated() bool { return c.Replicas >= 2 }
+
+// Layout reconstructs the replicated slab layout from the catalog. It
+// panics if the catalog is unreplicated; check Replicated first.
+func (c *Catalog) Layout() ReplicaLayout {
+	return NewReplicaLayout(c.Servers, c.Replicas, c.RegionBytes)
 }
 
 // Partitioner materializes the catalog's partitioning function.
@@ -99,6 +115,10 @@ func (c *Catalog) Encode() []byte {
 	for _, b := range c.RangeBounds {
 		buf = order.AppendUint64(buf, b)
 	}
+	// Replication trailer (appended so pre-replication decoders, which stop
+	// after the bounds, still parse the prefix).
+	buf = order.AppendUint32(buf, uint32(c.Replicas))
+	buf = order.AppendUint64(buf, c.RegionBytes)
 	return buf
 }
 
@@ -128,6 +148,15 @@ func DecodeCatalog(b []byte) (*Catalog, error) {
 	for i := 0; i < nb; i++ {
 		c.RangeBounds = append(c.RangeBounds, binary.LittleEndian.Uint64(b[off:]))
 		off += 8
+	}
+	// Optional replication trailer: absent in catalogs encoded before page
+	// replication existed, so tolerate truncation here.
+	if len(b) >= off+4 {
+		c.Replicas = int(order.Uint32(b[off:]))
+		off += 4
+		if len(b) >= off+8 {
+			c.RegionBytes = order.Uint64(b[off:])
+		}
 	}
 	return c, nil
 }

@@ -12,6 +12,7 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{})
 	f.Add((&Request{Op: OpLookup, Key: 42}).Encode())
 	f.Add((&Request{Op: OpInstall, End: 7, Left: rdma.MakePtr(1, 8), Right: rdma.MakePtr(2, 16)}).Encode())
+	f.Add((&Request{Op: OpInsert, Key: 9, Value: 10, Group: 3}).Encode())
 	f.Fuzz(func(t *testing.T, b []byte) {
 		req, err := DecodeRequest(b)
 		if err != nil {
@@ -31,6 +32,10 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add((&Response{Status: StatusOK, Values: []uint64{1, 2}}).Encode())
 	f.Add((&Response{Status: StatusErr, Err: "x"}).Encode())
 	f.Add((&Response{Status: StatusOK, Pairs: []uint64{1, 2, 3, 4}}).Encode())
+	f.Add((&Response{Status: StatusOK, Dirty: []DirtyPage{
+		{Kind: DirtyFull, Ptr: rdma.MakePtr(1, 128), Words: []uint64{6, 7}},
+		{Kind: DirtyWord, Ptr: rdma.MakePtr(0, 64), Words: []uint64{9}},
+	}}).Encode())
 	f.Fuzz(func(t *testing.T, b []byte) {
 		resp, err := DecodeResponse(b)
 		if err != nil {
@@ -49,6 +54,11 @@ func FuzzDecodeCatalog(f *testing.F) {
 		RootWords:   []rdma.RemotePtr{RootWordPtr(0)},
 		RangeBounds: []uint64{10, 20}}
 	f.Add(c.Encode())
+	r := &Catalog{Design: FineGrained, PageBytes: 512, Servers: 4,
+		RootWords:   []rdma.RemotePtr{GroupRootPtr(0)},
+		Replicas:    2,
+		RegionBytes: 1 << 20}
+	f.Add(r.Encode())
 	f.Fuzz(func(t *testing.T, b []byte) {
 		cat, err := DecodeCatalog(b)
 		if err != nil {

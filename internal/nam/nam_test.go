@@ -1,6 +1,7 @@
 package nam
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -110,6 +111,24 @@ func TestErrResponseHelpers(t *testing.T) {
 	ok := Response{Status: StatusOK}
 	if ok.AsError() != nil {
 		t.Fatal("AsError non-nil for OK")
+	}
+}
+
+func TestRetryResponseRoundTrip(t *testing.T) {
+	r := RetryResponse(errTest("handler out of budget"))
+	if r.Status != StatusRetry {
+		t.Fatal("status")
+	}
+	dec, err := DecodeResponse(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aerr := dec.AsError()
+	if !errors.Is(aerr, ErrRemoteRetry) {
+		t.Fatalf("decoded retry response does not wrap ErrRemoteRetry: %v", aerr)
+	}
+	if errors.Is(ErrResponse(errTest("opaque")).AsError(), ErrRemoteRetry) {
+		t.Fatal("opaque error response must not read as retryable")
 	}
 }
 

@@ -8,6 +8,7 @@ package nam
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"github.com/namdb/rdmatree/internal/rdma"
@@ -93,7 +94,14 @@ func UnpackBytes(w []uint64) []byte {
 const (
 	StatusOK = iota
 	StatusNotFound
+	// StatusErr carries an opaque remote failure; the operation aborts.
 	StatusErr
+	// StatusRetry carries a remote failure that an epoch fence and an
+	// operation re-run can be expected to clear — the handler's tree
+	// exhausted its consistency-restart budget, typically waiting on split
+	// state that was lost with a crashed group member. AsError wraps
+	// ErrRemoteRetry so the op-level recovery loop re-runs the operation.
+	StatusRetry
 )
 
 var order = binary.LittleEndian
@@ -106,33 +114,78 @@ type Request struct {
 	Value uint64         // OpInsert/OpDelete payload
 	Left  rdma.RemotePtr // OpInstall
 	Right rdma.RemotePtr // OpInstall
+	// Group is the replica group the request addresses (replicated
+	// deployments only): after a failover the RPC lands on a backup server
+	// that serves several groups' mirrored trees, and Group tells it which
+	// one. Unreplicated clients leave it 0 and handlers ignore it.
+	Group uint8
 }
 
 // Encode serializes r.
 func (r *Request) Encode() []byte {
-	buf := make([]byte, 1+5*8)
+	buf := make([]byte, 1+5*8+1)
 	buf[0] = r.Op
 	order.PutUint64(buf[1:], r.Key)
 	order.PutUint64(buf[9:], r.End)
 	order.PutUint64(buf[17:], r.Value)
 	order.PutUint64(buf[25:], uint64(r.Left))
 	order.PutUint64(buf[33:], uint64(r.Right))
+	buf[41] = r.Group
 	return buf
 }
 
-// DecodeRequest parses a request.
+// DecodeRequest parses a request. The Group byte is an appended extension:
+// requests encoded before replication existed are one byte shorter and
+// decode with Group 0.
 func DecodeRequest(b []byte) (Request, error) {
 	if len(b) < 1+5*8 {
 		return Request{}, fmt.Errorf("nam: short request (%d bytes)", len(b))
 	}
-	return Request{
+	r := Request{
 		Op:    b[0],
 		Key:   order.Uint64(b[1:]),
 		End:   order.Uint64(b[9:]),
 		Value: order.Uint64(b[17:]),
 		Left:  rdma.RemotePtr(order.Uint64(b[25:])),
 		Right: rdma.RemotePtr(order.Uint64(b[33:])),
-	}, nil
+	}
+	if len(b) >= 1+5*8+1 {
+		r.Group = b[41]
+	}
+	return r, nil
+}
+
+// DirtyKind classifies a replicated post-image carried by a response.
+type DirtyKind uint8
+
+// Dirty-page kinds, mirroring the btree.Replicator methods.
+const (
+	// DirtyFull is an in-place page update: the image carries its
+	// published version word, and the mirror push is versioned.
+	DirtyFull DirtyKind = iota
+	// DirtyFresh is a never-published page (split right half, new root):
+	// mirrored blind.
+	DirtyFresh
+	// DirtyWord is a root-pointer word update: Words holds one word.
+	DirtyWord
+)
+
+// DirtyPage is one page (or word) post-image a server-side tree committed
+// while handling an RPC. In replicated deployments the *client* pushes
+// these to the group's backups before acking — the memory servers never
+// talk to each other, keeping the NAM separation of compute and memory.
+type DirtyPage struct {
+	Kind  DirtyKind
+	Ptr   rdma.RemotePtr
+	Words []uint64
+}
+
+// DirtyPusher replays server-captured post-images onto a group's backups
+// before the client acks the operation (implemented by repl.Mirrorer). The
+// designs depend on this interface rather than the replication package so
+// unreplicated deployments carry no replication code on their hot path.
+type DirtyPusher interface {
+	Push(dirty []DirtyPage) error
 }
 
 // Response is the decoded form of an RPC response.
@@ -146,6 +199,11 @@ type Response struct {
 	Pairs []uint64
 	// Err carries a message when Status == StatusErr.
 	Err string
+	// Dirty carries the page post-images the handler committed (replicated
+	// deployments only), for the client to mirror before acking. Attached
+	// to error responses too: a handler that committed pages and then
+	// failed still needs those pages mirrored.
+	Dirty []DirtyPage
 }
 
 // Encode serializes the response.
@@ -164,6 +222,17 @@ func (r *Response) Encode() []byte {
 	}
 	buf = order.AppendUint16(buf, uint16(len(r.Err)))
 	buf = append(buf, r.Err...)
+	// Dirty-page trailer (appended so pre-replication decoders, which stop
+	// after the error string, still parse the prefix).
+	buf = order.AppendUint16(buf, uint16(len(r.Dirty)))
+	for _, d := range r.Dirty {
+		buf = append(buf, byte(d.Kind))
+		buf = order.AppendUint64(buf, uint64(d.Ptr))
+		buf = order.AppendUint32(buf, uint32(len(d.Words)))
+		for _, w := range d.Words {
+			buf = order.AppendUint64(buf, w)
+		}
+	}
 	return buf
 }
 
@@ -208,18 +277,58 @@ func DecodeResponse(b []byte) (Response, error) {
 		return r, fmt.Errorf("nam: truncated error string")
 	}
 	r.Err = string(b[off : off+ne])
+	off += ne
+	// Optional dirty-page trailer (absent in pre-replication encodings).
+	if len(b) < off+2 {
+		return r, nil
+	}
+	nd := int(order.Uint16(b[off:]))
+	off += 2
+	for i := 0; i < nd; i++ {
+		if len(b) < off+1+8+4 {
+			return r, fmt.Errorf("nam: truncated dirty page header")
+		}
+		d := DirtyPage{Kind: DirtyKind(b[off]), Ptr: rdma.RemotePtr(order.Uint64(b[off+1:]))}
+		nw := int(order.Uint32(b[off+9:]))
+		off += 13
+		if len(b) < off+8*nw {
+			return r, fmt.Errorf("nam: truncated dirty page words")
+		}
+		d.Words = make([]uint64, nw)
+		for j := range d.Words {
+			d.Words[j] = order.Uint64(b[off:])
+			off += 8
+		}
+		r.Dirty = append(r.Dirty, d)
+	}
 	return r, nil
 }
+
+// ErrRemoteRetry reports a remote handler failure that is expected to clear
+// under an epoch fence and an operation re-run from the root (the remote
+// tree ran out of its restart budget — e.g. waiting for a split install
+// that died with the old primary). core.Recovered treats this error as
+// op-recoverable; the exactly-once contract holds because the re-run's
+// presence check acks an insert whose leaf commit already published.
+var ErrRemoteRetry = errors.New("nam: remote handler exhausted its restart budget")
 
 // ErrResponse builds an error response.
 func ErrResponse(err error) *Response {
 	return &Response{Status: StatusErr, Err: err.Error()}
 }
 
+// RetryResponse builds an op-recoverable error response (StatusRetry).
+func RetryResponse(err error) *Response {
+	return &Response{Status: StatusRetry, Err: err.Error()}
+}
+
 // AsError converts an error response to a Go error (nil for OK/NotFound).
 func (r *Response) AsError() error {
-	if r.Status == StatusErr {
+	switch r.Status {
+	case StatusErr:
 		return fmt.Errorf("nam: remote error: %s", r.Err)
+	case StatusRetry:
+		return fmt.Errorf("nam: remote error: %s: %w", r.Err, ErrRemoteRetry)
 	}
 	return nil
 }

@@ -1,0 +1,105 @@
+package nam
+
+import (
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// Replicated region layout.
+//
+// k-way page replication mirrors every page of a memory server onto the
+// k-1 following servers at the *same byte offset*. To make identity-offset
+// mirroring possible, each server's allocator is confined to a private slab
+// of the (uniformly sized) region:
+//
+//	[0, SuperblockBytes)            legacy superblock (unreplicated root word)
+//	[SuperblockBytes, reserved)     16 bytes per group g: root word, epoch word
+//	[reserved, reserved+S*slab)     slab i = pages homed at server i
+//
+// Server i allocates only inside slab i, so a page at (server i, offset o)
+// can be mirrored to (backup b, offset o) without any address translation
+// and without the backups' own allocations ever colliding with the mirror.
+// The group root and epoch words are likewise group-unique offsets, present
+// at the same offset on every member.
+type ReplicaLayout struct {
+	// Groups maps group homes to members and acting primaries.
+	Groups partition.Groups
+	// RegionBytes is the (uniform) registered-region size of every server.
+	RegionBytes uint64
+}
+
+// NewReplicaLayout builds the slab layout for S servers of regionBytes each
+// at replication factor k.
+func NewReplicaLayout(servers, replicas int, regionBytes uint64) ReplicaLayout {
+	l := ReplicaLayout{Groups: partition.NewGroups(servers, replicas), RegionBytes: regionBytes}
+	if l.SlabBytes() == 0 {
+		panic(fmt.Sprintf("nam: region %d too small for %d replicated slabs", regionBytes, servers))
+	}
+	return l
+}
+
+// ReplReservedBytes returns the reserved prefix of a replicated region:
+// the legacy superblock followed by one 16-byte (root word, epoch word)
+// slot per group.
+func ReplReservedBytes(servers int) uint64 {
+	return uint64(SuperblockBytes + 16*servers)
+}
+
+// GroupRootOff returns the byte offset of group home's root-pointer word.
+// The offset is group-unique, so the word lives at the same offset on every
+// member of the group.
+func GroupRootOff(home int) uint64 { return uint64(SuperblockBytes + 16*home) }
+
+// GroupEpochOff returns the byte offset of group home's epoch word.
+func GroupEpochOff(home int) uint64 { return GroupRootOff(home) + 8 }
+
+// GroupRootPtr returns the canonical (home-addressed) pointer to group
+// home's root word. Replication-aware endpoints re-target it to the acting
+// primary after a failover.
+func GroupRootPtr(home int) rdma.RemotePtr { return rdma.MakePtr(home, GroupRootOff(home)) }
+
+// GroupEpochPtr returns the pointer to group home's epoch word as stored on
+// member. Epoch reads and CAS bumps address members explicitly — they are
+// the failover mechanism itself and must not be re-targeted.
+func GroupEpochPtr(member, home int) rdma.RemotePtr {
+	return rdma.MakePtr(member, GroupEpochOff(home))
+}
+
+// Reserved returns the reserved prefix for this layout.
+func (l ReplicaLayout) Reserved() uint64 { return ReplReservedBytes(l.Groups.Servers()) }
+
+// SlabBytes returns the per-server slab size (8-byte aligned).
+func (l ReplicaLayout) SlabBytes() uint64 {
+	r := l.Reserved()
+	if l.RegionBytes <= r {
+		return 0
+	}
+	return (l.RegionBytes - r) / uint64(l.Groups.Servers()) &^ 7
+}
+
+// SlabLo returns the first byte offset of server home's slab.
+func (l ReplicaLayout) SlabLo(home int) uint64 {
+	return l.Reserved() + uint64(home)*l.SlabBytes()
+}
+
+// SlabHi returns one past the last byte offset of server home's slab.
+func (l ReplicaLayout) SlabHi(home int) uint64 { return l.SlabLo(home) + l.SlabBytes() }
+
+// HomeOf returns the home group of the page containing byte offset off, or
+// -1 for offsets in the legacy superblock (which is not group-addressed).
+func (l ReplicaLayout) HomeOf(off uint64) int {
+	if off < uint64(SuperblockBytes) {
+		return -1
+	}
+	if r := l.Reserved(); off < r {
+		return int((off - uint64(SuperblockBytes)) / 16)
+	} else {
+		h := int((off - r) / l.SlabBytes())
+		if h >= l.Groups.Servers() {
+			h = l.Groups.Servers() - 1 // tail remainder belongs to the last slab
+		}
+		return h
+	}
+}

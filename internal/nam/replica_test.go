@@ -1,0 +1,198 @@
+package nam
+
+import (
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+func TestReplicaLayoutOffsets(t *testing.T) {
+	const S = 4
+	lay := NewReplicaLayout(S, 2, 1<<20)
+	if got, want := lay.Reserved(), uint64(SuperblockBytes+16*S); got != want {
+		t.Fatalf("Reserved() = %d, want %d", got, want)
+	}
+	seen := map[uint64]bool{}
+	for g := 0; g < S; g++ {
+		ro, eo := GroupRootOff(g), GroupEpochOff(g)
+		if eo != ro+8 {
+			t.Fatalf("group %d: epoch offset %d not root+8 (%d)", g, eo, ro)
+		}
+		if ro < uint64(SuperblockBytes) || eo+8 > lay.Reserved() {
+			t.Fatalf("group %d: metadata [%d, %d) outside reserved prefix", g, ro, eo+8)
+		}
+		for _, off := range []uint64{ro, eo} {
+			if seen[off] {
+				t.Fatalf("group %d: offset %d reused by another group", g, off)
+			}
+			seen[off] = true
+		}
+		if p := GroupRootPtr(g); p.Server() != g || p.Offset() != ro {
+			t.Fatalf("GroupRootPtr(%d) = %v", g, p)
+		}
+		for m := 0; m < S; m++ {
+			if p := GroupEpochPtr(m, g); p.Server() != m || p.Offset() != eo {
+				t.Fatalf("GroupEpochPtr(%d, %d) = %v", m, g, p)
+			}
+		}
+	}
+}
+
+func TestReplicaLayoutSlabs(t *testing.T) {
+	const S = 4
+	lay := NewReplicaLayout(S, 2, 1<<20)
+	if lay.SlabBytes()%8 != 0 || lay.SlabBytes() == 0 {
+		t.Fatalf("SlabBytes() = %d, want nonzero multiple of 8", lay.SlabBytes())
+	}
+	for i := 0; i < S; i++ {
+		lo, hi := lay.SlabLo(i), lay.SlabHi(i)
+		if lo < lay.Reserved() || hi > lay.RegionBytes {
+			t.Fatalf("slab %d [%d, %d) outside region", i, lo, hi)
+		}
+		if i > 0 && lo != lay.SlabHi(i-1) {
+			t.Fatalf("slab %d does not abut slab %d", i, i-1)
+		}
+		// Every offset in the slab maps back to its home.
+		for _, off := range []uint64{lo, lo + 8, hi - 8} {
+			if h := lay.HomeOf(off); h != i {
+				t.Fatalf("HomeOf(%d) = %d, want %d", off, h, i)
+			}
+		}
+	}
+}
+
+func TestReplicaLayoutHomeOf(t *testing.T) {
+	lay := NewReplicaLayout(4, 2, 1<<20)
+	if h := lay.HomeOf(0); h != -1 {
+		t.Fatalf("HomeOf(0) = %d, want -1 (legacy superblock)", h)
+	}
+	if h := lay.HomeOf(uint64(SuperblockBytes) - 8); h != -1 {
+		t.Fatalf("superblock tail: HomeOf = %d, want -1", h)
+	}
+	for g := 0; g < 4; g++ {
+		if h := lay.HomeOf(GroupRootOff(g)); h != g {
+			t.Fatalf("HomeOf(root %d) = %d", g, h)
+		}
+		if h := lay.HomeOf(GroupEpochOff(g)); h != g {
+			t.Fatalf("HomeOf(epoch %d) = %d", g, h)
+		}
+	}
+	// Region tail remainder (past the last whole slab) clamps to last slab.
+	if h := lay.HomeOf(lay.RegionBytes - 8); h != 3 {
+		t.Fatalf("HomeOf(tail) = %d, want 3", h)
+	}
+}
+
+func TestReplicaLayoutTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReplicaLayout with tiny region did not panic")
+		}
+	}()
+	NewReplicaLayout(4, 2, ReplReservedBytes(4))
+}
+
+func TestCatalogReplicationRoundTrip(t *testing.T) {
+	c := &Catalog{
+		Design:      FineGrained,
+		PageBytes:   512,
+		Servers:     4,
+		RootWords:   []rdma.RemotePtr{GroupRootPtr(0)},
+		Replicas:    2,
+		RegionBytes: 1 << 20,
+	}
+	if !c.Replicated() {
+		t.Fatal("Replicated() = false at k=2")
+	}
+	got, err := DecodeCatalog(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Replicas != 2 || got.RegionBytes != 1<<20 {
+		t.Fatalf("round trip lost replication fields: %+v", got)
+	}
+	lay := got.Layout()
+	if lay.Groups.Replicas() != 2 || lay.RegionBytes != 1<<20 {
+		t.Fatalf("Layout() = %+v", lay)
+	}
+
+	// A pre-replication encoding (trailer chopped off) still decodes, with
+	// replication off.
+	legacy := c.Encode()
+	legacy = legacy[:len(legacy)-12] // u32 Replicas + u64 RegionBytes
+	old, err := DecodeCatalog(legacy)
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if old.Replicated() || old.Replicas != 0 {
+		t.Fatalf("legacy decode grew replication: %+v", old)
+	}
+}
+
+func TestRequestGroupRoundTrip(t *testing.T) {
+	r := &Request{Op: OpInsert, Key: 1, Value: 2, Group: 3}
+	got, err := DecodeRequest(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Group != 3 {
+		t.Fatalf("Group = %d, want 3", got.Group)
+	}
+	// Legacy 41-byte requests decode with Group 0.
+	old, err := DecodeRequest(r.Encode()[:41])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Group != 0 {
+		t.Fatalf("legacy Group = %d, want 0", old.Group)
+	}
+}
+
+func TestResponseDirtyRoundTrip(t *testing.T) {
+	r := &Response{
+		Status: StatusOK,
+		Dirty: []DirtyPage{
+			{Kind: DirtyFull, Ptr: rdma.MakePtr(1, 128), Words: []uint64{6, 7, 8}},
+			{Kind: DirtyFresh, Ptr: rdma.MakePtr(2, 256), Words: []uint64{2}},
+			{Kind: DirtyWord, Ptr: rdma.MakePtr(0, 64), Words: []uint64{99}},
+		},
+	}
+	got, err := DecodeResponse(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Dirty) != 3 {
+		t.Fatalf("Dirty count = %d", len(got.Dirty))
+	}
+	for i, d := range got.Dirty {
+		want := r.Dirty[i]
+		if d.Kind != want.Kind || d.Ptr != want.Ptr || len(d.Words) != len(want.Words) {
+			t.Fatalf("dirty %d: got %+v want %+v", i, d, want)
+		}
+		for j := range d.Words {
+			if d.Words[j] != want.Words[j] {
+				t.Fatalf("dirty %d word %d: %d != %d", i, j, d.Words[j], want.Words[j])
+			}
+		}
+	}
+	// Error responses carry the trailer too.
+	e := ErrResponse(errLike("boom"))
+	e.Dirty = r.Dirty
+	got2, err := DecodeResponse(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Dirty) != 3 || got2.AsError() == nil {
+		t.Fatalf("error response lost dirty trailer: %+v", got2)
+	}
+	// Pre-replication encodings (no trailer) decode with no Dirty.
+	plain := (&Response{Status: StatusOK, Values: []uint64{5}}).Encode()
+	old, err := DecodeResponse(plain[:len(plain)-2])
+	if err != nil || old.Dirty != nil {
+		t.Fatalf("legacy response decode: %+v, %v", old, err)
+	}
+}
+
+type errLike string
+
+func (e errLike) Error() string { return string(e) }

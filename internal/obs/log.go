@@ -220,6 +220,29 @@ func (l *Log) CacheStaleEvent(ptr uint64) { l.Event(EvCacheStale, ptr, 0) }
 // SweepEvent records a post-run lock sweep that cleared n abandoned locks.
 func (l *Log) SweepEvent(n int) { l.Event(EvSweep, uint64(n), 0) }
 
+// PromotionEvent implements repl.Events: group home failed over to epoch
+// with acting as the newly acting primary.
+func (l *Log) PromotionEvent(home int, epoch uint64, acting int) {
+	l.Event(EvPromote, uint64(home), epoch&0xffffffff|uint64(acting)<<32)
+}
+
+// GroupMovedEvent implements repl.Events: this client adopted a newer group
+// epoch mid-operation and aborted with rdma.ErrGroupMoved.
+func (l *Log) GroupMovedEvent(home int, epoch uint64) {
+	l.Event(EvGroupMoved, uint64(home), epoch)
+}
+
+// MemberDeadEvent implements repl.Events: this client marked a group member
+// lost; its mirror pushes are skipped from now on (degraded ack).
+func (l *Log) MemberDeadEvent(home, member int) {
+	l.Event(EvReplDead, uint64(home), uint64(member))
+}
+
+// RebuildEvent records a post-run replica rebuild of member (words copied).
+func (l *Log) RebuildEvent(member, words int) {
+	l.Event(EvRebuild, uint64(member), uint64(words))
+}
+
 // trigger renders and retains a dump, bounded by MaxDumps.
 func (l *Log) trigger(reason string) {
 	max := l.MaxDumps
@@ -339,6 +362,15 @@ func renderEvent(b *strings.Builder, e *Event) {
 		fmt.Fprintf(b, "[t=%d] lock-sweep cleared=%d\n", e.T, e.A)
 	case EvSLO:
 		fmt.Fprintf(b, "[t=%d] slo-breach dur=%d\n", e.T, e.A)
+	case EvPromote:
+		fmt.Fprintf(b, "  [t=%d] repl-promote g%d epoch=%d acting=s%d\n",
+			e.T, e.A, e.B&0xffffffff, e.B>>32)
+	case EvGroupMoved:
+		fmt.Fprintf(b, "  [t=%d] repl-group-moved g%d epoch=%d\n", e.T, e.A, e.B)
+	case EvReplDead:
+		fmt.Fprintf(b, "  [t=%d] repl-member-dead g%d s%d\n", e.T, e.A, e.B)
+	case EvRebuild:
+		fmt.Fprintf(b, "[t=%d] repl-rebuild s%d words=%d\n", e.T, e.A, e.B)
 	case EvNone:
 		// Unwritten slot (ring not yet full); skip.
 	default:

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/namdb/rdmatree/internal/btree"
+	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/rdma"
 )
 
@@ -142,6 +143,18 @@ const (
 	EvSweep
 	// EvSLO marks an op that breached the latency SLO: A = duration.
 	EvSLO
+	// EvPromote is a completed replica-group promotion: A = group home,
+	// B = new epoch | acting server<<32.
+	EvPromote
+	// EvGroupMoved is this client observing (and adopting) a newer group
+	// epoch — the ErrGroupMoved operation abort: A = group home, B = epoch.
+	EvGroupMoved
+	// EvReplDead is this client marking a group member lost (mirror pushes
+	// to it stop — degraded ack): A = group home, B = member.
+	EvReplDead
+	// EvRebuild is a post-run replica rebuild: A = rebuilt member, B = words
+	// copied.
+	EvRebuild
 	numEventKinds
 )
 
@@ -149,7 +162,8 @@ var eventNames = [numEventKinds]string{
 	"none", "op-start", "op-end", "nested-op", "read", "word-read", "write",
 	"cas", "unlock", "alloc", "free", "prefetch", "cache-hit", "cache-miss",
 	"cache-stale", "rpc", "retry", "reconnect", "epoch-fence", "lock-sweep",
-	"slo-breach",
+	"slo-breach", "repl-promote", "repl-group-moved", "repl-member-dead",
+	"repl-rebuild",
 }
 
 // String returns the event kind's label.
@@ -199,7 +213,7 @@ func errCode(err error) uint64 {
 		return ecQPError
 	case errors.Is(err, rdma.ErrServerDown):
 		return ecServerDown
-	case errors.Is(err, btree.ErrSpinBudget):
+	case errors.Is(err, btree.ErrSpinBudget), errors.Is(err, nam.ErrRemoteRetry):
 		return ecSpinBudget
 	default:
 		return ecOther

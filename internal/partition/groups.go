@@ -1,0 +1,86 @@
+package partition
+
+// Groups describes the k-way replica groups of a replicated memory tier.
+// Every memory server s is the *home* of one group whose members are the k
+// consecutive servers starting at s (mod S). The home server is the group's
+// primary at epoch 0; each promotion advances the group's epoch by one and
+// rotates the acting primary to the next member, so the acting primary is a
+// pure function of (home, epoch) — deterministic across every client that
+// has observed the same epoch, with no coordination beyond the epoch word
+// itself.
+//
+// k = 1 degenerates to the unreplicated layout: every group is its home
+// server alone and promotion is impossible (a lost region stays lost).
+type Groups struct {
+	servers  int
+	replicas int
+}
+
+// NewGroups builds the replica-group map for S servers at replication factor
+// k. k is clamped to [1, S]: more replicas than servers would put two copies
+// of a page on one region, which protects nothing.
+func NewGroups(servers, replicas int) Groups {
+	if servers < 1 {
+		panic("partition: need at least one server")
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > servers {
+		replicas = servers
+	}
+	return Groups{servers: servers, replicas: replicas}
+}
+
+// Servers returns the number of memory servers (= number of groups).
+func (g Groups) Servers() int { return g.servers }
+
+// Replicas returns the replication factor k.
+func (g Groups) Replicas() int { return g.replicas }
+
+// Members returns the member servers of the group homed at server home, in
+// promotion order: Members(h) = [h, (h+1) mod S, ..., (h+k-1) mod S]. The
+// slice is freshly allocated.
+func (g Groups) Members(home int) []int {
+	out := make([]int, g.replicas)
+	for i := range out {
+		out[i] = (home + i) % g.servers
+	}
+	return out
+}
+
+// Backups returns the group's members minus the home server.
+func (g Groups) Backups(home int) []int {
+	return g.Members(home)[1:]
+}
+
+// PrimaryAt returns the acting primary of the group homed at home when the
+// group epoch is epoch: member number epoch mod k. Epoch 0 is the home
+// server itself; every promotion rotates one member forward.
+func (g Groups) PrimaryAt(home int, epoch uint64) int {
+	return (home + int(epoch%uint64(g.replicas))) % g.servers
+}
+
+// Member reports whether server is a member of the group homed at home.
+func (g Groups) Member(home, server int) bool {
+	d := server - home
+	if d < 0 {
+		d += g.servers
+	}
+	return d < g.replicas
+}
+
+// GroupsOf returns the homes of every group that server is a member of:
+// server backs the k groups homed at [server-k+1, server] (mod S). The home
+// group is listed first.
+func (g Groups) GroupsOf(server int) []int {
+	out := make([]int, g.replicas)
+	for i := range out {
+		h := server - i
+		if h < 0 {
+			h += g.servers
+		}
+		out[i] = h
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGroupsMembersDeterministic(t *testing.T) {
+	g := NewGroups(4, 2)
+	for home := 0; home < 4; home++ {
+		a := g.Members(home)
+		b := g.Members(home)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Members(%d) not deterministic: %v vs %v", home, a, b)
+		}
+	}
+	want := map[int][]int{
+		0: {0, 1},
+		1: {1, 2},
+		2: {2, 3},
+		3: {3, 0},
+	}
+	for home, w := range want {
+		if got := g.Members(home); !reflect.DeepEqual(got, w) {
+			t.Errorf("Members(%d) = %v, want %v", home, got, w)
+		}
+	}
+}
+
+func TestGroupsPromotionOrdering(t *testing.T) {
+	g := NewGroups(5, 3)
+	// At epoch e the acting primary is member e mod k, rotating through the
+	// membership in order and wrapping back to the home server.
+	home := 3
+	members := g.Members(home) // [3 4 0]
+	for e := uint64(0); e < 10; e++ {
+		want := members[e%3]
+		if got := g.PrimaryAt(home, e); got != want {
+			t.Errorf("PrimaryAt(%d, %d) = %d, want %d", home, e, got, want)
+		}
+	}
+	// Epoch 0 is always the home server.
+	for h := 0; h < 5; h++ {
+		if got := g.PrimaryAt(h, 0); got != h {
+			t.Errorf("PrimaryAt(%d, 0) = %d, want home", h, got)
+		}
+	}
+}
+
+func TestGroupsMembership(t *testing.T) {
+	g := NewGroups(4, 2)
+	for home := 0; home < 4; home++ {
+		in := map[int]bool{}
+		for _, m := range g.Members(home) {
+			in[m] = true
+		}
+		for s := 0; s < 4; s++ {
+			if got := g.Member(home, s); got != in[s] {
+				t.Errorf("Member(%d, %d) = %v, want %v", home, s, got, in[s])
+			}
+		}
+	}
+}
+
+func TestGroupsOf(t *testing.T) {
+	g := NewGroups(4, 2)
+	// Server 0 is home of group 0 and backup of group 3.
+	if got := g.GroupsOf(0); !reflect.DeepEqual(got, []int{0, 3}) {
+		t.Errorf("GroupsOf(0) = %v, want [0 3]", got)
+	}
+	// Every group that lists s as a member must appear in GroupsOf(s).
+	for s := 0; s < 4; s++ {
+		seen := map[int]bool{}
+		for _, h := range g.GroupsOf(s) {
+			seen[h] = true
+			if !g.Member(h, s) {
+				t.Errorf("GroupsOf(%d) lists %d but Member(%d,%d) is false", s, h, h, s)
+			}
+		}
+		for h := 0; h < 4; h++ {
+			if g.Member(h, s) && !seen[h] {
+				t.Errorf("Member(%d,%d) true but GroupsOf(%d) = %v omits it", h, s, s, g.GroupsOf(s))
+			}
+		}
+	}
+}
+
+func TestGroupsClamp(t *testing.T) {
+	g := NewGroups(2, 5)
+	if g.Replicas() != 2 {
+		t.Fatalf("replicas clamped to %d, want 2", g.Replicas())
+	}
+	g = NewGroups(3, 0)
+	if g.Replicas() != 1 {
+		t.Fatalf("replicas floored to %d, want 1", g.Replicas())
+	}
+	// k=1: every group is its home alone; promotion cannot move the primary.
+	for e := uint64(0); e < 4; e++ {
+		if got := g.PrimaryAt(2, e); got != 2 {
+			t.Errorf("k=1 PrimaryAt(2,%d) = %d, want 2", e, got)
+		}
+	}
+}
+
+func TestGroupsBackups(t *testing.T) {
+	g := NewGroups(4, 3)
+	if got := g.Backups(2); !reflect.DeepEqual(got, []int{3, 0}) {
+		t.Errorf("Backups(2) = %v, want [3 0]", got)
+	}
+	if got := NewGroups(4, 1).Backups(1); len(got) != 0 {
+		t.Errorf("k=1 Backups = %v, want empty", got)
+	}
+}

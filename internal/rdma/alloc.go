@@ -98,3 +98,13 @@ func (a *Allocator) Remaining() uint64 {
 	defer a.mu.Unlock()
 	return a.end - a.next
 }
+
+// Watermark returns the bump pointer: one past the highest byte offset ever
+// handed out. The extent [start, Watermark()) covers every allocation this
+// allocator has made (including since-freed ones), which is exactly what a
+// replica rebuild must copy to reconstruct a lost slab.
+func (a *Allocator) Watermark() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}

@@ -33,6 +33,19 @@ var (
 	// are permanently invalid. Not retryable — the operation must surface
 	// the loss to its caller.
 	ErrServerLost = errors.New("rdma: memory server lost registered region")
+
+	// ErrGroupMoved reports that a replica group failed over while the verb
+	// was in flight: the target server is no longer the group's acting
+	// primary (or a mirror push observed a newer group epoch). The verb was
+	// not (or must be treated as not) applied.
+	//
+	// Deliberately NOT transient: blindly re-driving the same verb against
+	// the newly promoted primary is unsound — e.g. replaying an
+	// unlock FETCH_AND_ADD against the promoted copy would *lock* its page
+	// with no unlock ever coming. The whole operation must instead abort,
+	// cross an epoch fence, and re-run from the root under the new routing
+	// (core.Recovered treats this error as op-recoverable).
+	ErrGroupMoved = errors.New("rdma: replica group moved (primary failed over)")
 )
 
 // IsTransient reports whether err is a verb failure that a bounded retry

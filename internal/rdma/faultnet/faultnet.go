@@ -135,6 +135,14 @@ type Net struct {
 	sched    Schedule
 	counters Counters
 
+	// OnLose, when set before the run starts, is invoked once each time a
+	// server restarts without its registered region (the incarnation bump).
+	// The replication chaos harness uses it to actually zero the lost
+	// server's region, so "recovery" is exercised against genuinely
+	// destroyed data rather than a region that conveniently survived. The
+	// hook runs outside the Net lock and must not call back into Net.
+	OnLose func(server int)
+
 	mu      sync.Mutex
 	tick    int64
 	stepIdx int
@@ -168,7 +176,7 @@ func (n *Net) state(server int) *serverState {
 // attempt, so blocked clients still drive scripted restarts forward).
 func (n *Net) advance(server int) (down bool, incarnation int) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	var lost []int
 	n.tick++
 	for n.stepIdx < len(n.sched.Steps) && n.sched.Steps[n.stepIdx].AtTick <= n.tick {
 		step := n.sched.Steps[n.stepIdx]
@@ -179,17 +187,26 @@ func (n *Net) advance(server int) (down bool, incarnation int) {
 		st.loseOnUp = step.Lose
 		n.count("crash")
 	}
-	for _, st := range n.servers {
+	for s, st := range n.servers {
 		if st.down && n.tick >= st.restartAt {
 			st.down = false
 			if st.loseOnUp {
 				st.incarnation++
 				st.loseOnUp = false
+				lost = append(lost, s)
 			}
 		}
 	}
 	st := n.state(server)
-	return st.down, st.incarnation
+	down, incarnation = st.down, st.incarnation
+	hook := n.OnLose
+	n.mu.Unlock()
+	if hook != nil {
+		for _, s := range lost {
+			hook(s)
+		}
+	}
+	return down, incarnation
 }
 
 // Tick returns the current global verb tick (tests, reports).
@@ -309,6 +326,26 @@ func (e *Endpoint) Reconnect(server int) error {
 			return err
 		}
 	}
+	delete(e.qpBroken, server)
+	return nil
+}
+
+// Reregister adopts server's current incarnation: the client obtains fresh
+// rkeys for the restarted server's (empty) region, after which verbs stop
+// reporting ErrServerLost. This is the first step of a replica rebuild — the
+// rebuilt region is blank until survivors re-replicate onto it. Returns
+// ErrServerDown while the server is still crashed.
+func (e *Endpoint) Reregister(server int) error {
+	down, inc := e.net.advance(server)
+	if down {
+		return fmt.Errorf("faultnet: server %d still down: %w", server, rdma.ErrServerDown)
+	}
+	if r, ok := e.inner.(rdma.Reconnector); ok {
+		if err := r.Reconnect(server); err != nil {
+			return err
+		}
+	}
+	e.reg[server] = inc
 	delete(e.qpBroken, server)
 	return nil
 }

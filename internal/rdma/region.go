@@ -101,3 +101,13 @@ func (r *Region) FetchAdd(off uint64, delta uint64) uint64 {
 	w := r.wordIndex(off)
 	return atomic.AddUint64(&r.words[w], delta) - delta
 }
+
+// Zero clears the whole region, modeling a server whose registered memory
+// was lost on restart: the new incarnation re-registers a fresh (zeroed)
+// region at the same address range. Word-at-a-time atomic stores, so
+// concurrent readers see zeros or old words but never torn values.
+func (r *Region) Zero() {
+	for w := range r.words {
+		atomic.StoreUint64(&r.words[w], 0)
+	}
+}

@@ -1,0 +1,109 @@
+package repl
+
+import (
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+)
+
+// The functions here are quiesced operator steps — no index traffic may be
+// in flight — mirroring the repository's RecoverLocks precedent: the in-run
+// recovery ladder handles routing and promotion; bulk data movement
+// (initial replica seeding after a bulk load, re-replicating a lost slab
+// from survivors) runs between runs with direct region access.
+
+// copyExtent copies [lo, hi) plus group home's root/epoch words from src to
+// dst, returning the number of words moved.
+func copyExtent(home int, lo, hi uint64, src, dst *rdma.Server) int {
+	n := 0
+	if hi > lo {
+		buf := make([]uint64, (hi-lo)/8)
+		src.Region.Read(lo, buf)
+		dst.Region.Write(lo, buf)
+		n += len(buf)
+	}
+	var meta [2]uint64 // root word, epoch word (contiguous)
+	src.Region.Read(nam.GroupRootOff(home), meta[:])
+	dst.Region.Write(nam.GroupRootOff(home), meta[:])
+	return n + 2
+}
+
+// slabExtent returns the used extent of home's slab: from the slab start to
+// the home allocator's watermark (every page ever handed out lies below
+// it). After a failover no new pages join the slab — allocation redirects
+// to live groups — so the pre-loss watermark stays authoritative.
+func slabExtent(lay nam.ReplicaLayout, home int, srv func(i int) *rdma.Server) (lo, hi uint64) {
+	lo = lay.SlabLo(home)
+	hi = srv(home).Alloc.Watermark()
+	if hi < lo {
+		hi = lo
+	}
+	if max := lay.SlabHi(home); hi > max {
+		hi = max
+	}
+	return lo, hi
+}
+
+// SyncReplicas seeds the backups after a bulk load: every home server's
+// used slab extent and group metadata words are copied verbatim onto its
+// k-1 backups. Identity offsets make this a straight memcpy per backup.
+func SyncReplicas(lay nam.ReplicaLayout, srv func(i int) *rdma.Server) int {
+	words := 0
+	for h := 0; h < lay.Groups.Servers(); h++ {
+		lo, hi := slabExtent(lay, h, srv)
+		for _, b := range lay.Groups.Backups(h) {
+			words += copyExtent(h, lo, hi, srv(h), srv(b))
+		}
+	}
+	return words
+}
+
+// RebuildMember re-replicates every group extent that member should hold
+// from that group's current acting primary — the post-crash rebuild of a
+// server that came back empty (re-registered region). actingOf names the
+// authoritative member per group (from a post-run View or an operator).
+// Returns the number of words copied.
+func RebuildMember(lay nam.ReplicaLayout, member int, actingOf func(home int) int, srv func(i int) *rdma.Server) (int, error) {
+	words := 0
+	for _, home := range lay.Groups.GroupsOf(member) {
+		src := actingOf(home)
+		if src == member {
+			continue // member is the group's own authority; nothing to pull
+		}
+		if !lay.Groups.Member(home, src) {
+			return words, fmt.Errorf("repl: acting server %d is not a member of group %d", src, home)
+		}
+		lo, hi := slabExtent(lay, home, srv)
+		words += copyExtent(home, lo, hi, srv(src), srv(member))
+	}
+	return words, nil
+}
+
+// DiffExtent compares member's copy of group home's used extent (pages plus
+// metadata words) against reference's, returning the number of differing
+// words — 0 proves the rebuild produced a byte-identical replica.
+func DiffExtent(lay nam.ReplicaLayout, home int, reference, member *rdma.Server, srv func(i int) *rdma.Server) int {
+	lo, hi := slabExtent(lay, home, srv)
+	diff := 0
+	if hi > lo {
+		a := make([]uint64, (hi-lo)/8)
+		b := make([]uint64, (hi-lo)/8)
+		reference.Region.Read(lo, a)
+		member.Region.Read(lo, b)
+		for i := range a {
+			if a[i] != b[i] {
+				diff++
+			}
+		}
+	}
+	var ma, mb [2]uint64
+	reference.Region.Read(nam.GroupRootOff(home), ma[:])
+	member.Region.Read(nam.GroupRootOff(home), mb[:])
+	for i := range ma {
+		if ma[i] != mb[i] {
+			diff++
+		}
+	}
+	return diff
+}

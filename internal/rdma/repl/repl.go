@@ -1,0 +1,464 @@
+// Package repl implements k-way page replication for the NAM memory tier:
+// the layer that turns rdma.ErrServerLost from a permanent index death into
+// a recoverable failover.
+//
+// # Layout
+//
+// Replication relies on the identity-offset slab layout of
+// nam.ReplicaLayout: server i allocates pages only inside its private slab,
+// and every page at (server i, offset o) is mirrored to (backup b, offset o)
+// on the k-1 servers following i. Group metadata (root-pointer word and
+// failover epoch word) lives at group-unique offsets in the reserved region
+// prefix, likewise present on every member.
+//
+// # Write path
+//
+// Writes keep the paper's one-sided protocol against the acting primary
+// unchanged; after a page's unlock FETCH_AND_ADD publishes the new version,
+// the committed post-image is pushed to the live backups with plain WRITEs
+// under a short per-page backup lock (Mirrorer). Every push is fenced by the
+// group's epoch word: a CAS re-check of the epoch while the backup page lock
+// is held guarantees a client that has not observed a failover can never
+// install a stale primary's image over a promoted replica's state
+// (rdma.ErrGroupMoved). Pushes carry the published page version, so
+// concurrent pushes of the same page are idempotent and ordered (a backup
+// already at version >= the pushed one wins).
+//
+// # Read path
+//
+// Reads stay exactly one READ: they target the group's acting primary and
+// never touch backups, so the replicated read path costs the same RTTs as
+// the unreplicated one. Failover re-targets reads by routing (Router), not
+// by quorum.
+//
+// # Failover
+//
+// When a verb addressed to a group's acting primary fails with
+// rdma.ErrServerLost (region loss — globally visible via the server's
+// incarnation, never a mere timeout, so promotion cannot split-brain against
+// a slow-but-live primary), the Router promotes: it reads the group epoch
+// from the surviving members, picks the smallest epoch >= the observed
+// maximum whose member is alive, and installs it with first-writer-wins CAS
+// on every live member. The acting primary is a pure function of (group,
+// epoch), so every client converges on the same replica. The verb then
+// fails with rdma.ErrGroupMoved — deliberately not verb-transient: the
+// operation aborts, crosses the core.Recovered epoch fence, and re-runs
+// from the root under the new routing.
+package repl
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/retry"
+)
+
+// Events receives replication control-plane events; obs.Log implements it.
+// An Events belongs to the same single client goroutine as its Router.
+type Events interface {
+	// PromotionEvent records a completed promotion: group home moved to
+	// epoch, acting is the newly acting primary.
+	PromotionEvent(home int, epoch uint64, acting int)
+	// GroupMovedEvent records this client observing (and adopting) a newer
+	// group epoch during a verb or mirror push — the ErrGroupMoved abort.
+	GroupMovedEvent(home int, epoch uint64)
+	// MemberDeadEvent records this client marking a group member as lost
+	// (mirror pushes to it are skipped from now on — degraded ack).
+	MemberDeadEvent(home, member int)
+}
+
+// View is one client's replication view: the group epochs it has observed
+// and the members it has seen fail. Views are per-client (single goroutine)
+// and converge lazily — a stale view is always safe, because the group
+// epoch words are the authority and every write path re-checks them.
+type View struct {
+	lay    nam.ReplicaLayout
+	epochs map[int]uint64
+	dead   map[int]bool
+}
+
+// NewView builds a fresh view (all epochs 0, all members alive).
+func NewView(lay nam.ReplicaLayout) *View {
+	return &View{lay: lay, epochs: map[int]uint64{}, dead: map[int]bool{}}
+}
+
+// Epoch returns the last observed epoch of group home.
+func (v *View) Epoch(home int) uint64 { return v.epochs[home] }
+
+// SetEpoch records an observed epoch (monotonic: lower observations are
+// ignored).
+func (v *View) SetEpoch(home int, e uint64) {
+	if e > v.epochs[home] {
+		v.epochs[home] = e
+	}
+}
+
+// Acting returns the acting primary of group home under this view.
+func (v *View) Acting(home int) int {
+	return v.lay.Groups.PrimaryAt(home, v.epochs[home])
+}
+
+// MarkDead records a member observed lost.
+func (v *View) MarkDead(server int) { v.dead[server] = true }
+
+// Dead reports whether server has been observed lost.
+func (v *View) Dead(server int) bool { return v.dead[server] }
+
+// Router is the replication-aware rdma.Endpoint decorator: it re-targets
+// home-addressed verbs to the group's acting primary and turns
+// ErrServerLost on a group's primary into promotion + ErrGroupMoved.
+//
+// Stacking order (outermost first): retry.Wrap -> Router -> faultnet ->
+// transport. The Router sits *below* the client's retry policy so the
+// policy's bounded transient retries re-route through it each attempt, and
+// runs its own internal retry policy for promotion verbs (reading and
+// CASing epoch words must survive the same fault schedule as everything
+// else).
+//
+// Pointers whose encoded server is NOT the home of their offset's slab are
+// explicit replica accesses (mirror pushes, epoch reads): they pass through
+// untranslated, and their failures never trigger promotion — the Mirrorer
+// handles them by marking the member dead.
+//
+// Like every endpoint, a Router is owned by a single client goroutine.
+type Router struct {
+	inner rdma.Endpoint
+	lay   nam.ReplicaLayout
+	view  *View
+	pol   *retry.Policy
+	rec   rdma.Reconnector // inner's literal reconnector (may be nil)
+
+	// Events receives promotion events; may be nil.
+	Events Events
+
+	routedBuf []rdma.RemotePtr
+}
+
+var _ rdma.Endpoint = (*Router)(nil)
+var _ rdma.Reconnector = (*Router)(nil)
+
+// NewRouter wraps inner. pol is the internal policy for the Router's own
+// promotion verbs (nil gets defaults); it is separate from the client's
+// outer policy so promotion does not consume the failing operation's retry
+// budget.
+func NewRouter(inner rdma.Endpoint, lay nam.ReplicaLayout, view *View, pol *retry.Policy) *Router {
+	if view == nil {
+		view = NewView(lay)
+	}
+	if pol == nil {
+		pol = &retry.Policy{}
+	}
+	rec, _ := inner.(rdma.Reconnector)
+	return &Router{inner: inner, lay: lay, view: view, pol: pol, rec: rec}
+}
+
+// View returns the router's (shared) view, for the Mirrorer and for
+// harness inspection.
+func (r *Router) View() *View { return r.view }
+
+// homeOf returns the home group of p if p is home-addressed (the routed
+// case), or -1 for legacy-superblock and explicit-replica pointers.
+func (r *Router) homeOf(p rdma.RemotePtr) int {
+	if p.IsNull() {
+		return -1
+	}
+	h := r.lay.HomeOf(p.Offset())
+	if h < 0 || p.Server() != h {
+		return -1
+	}
+	return h
+}
+
+// route translates a home-addressed pointer to the acting primary.
+func (r *Router) route(p rdma.RemotePtr) rdma.RemotePtr {
+	h := r.homeOf(p)
+	if h < 0 {
+		return p
+	}
+	if act := r.view.Acting(h); act != h {
+		return rdma.MakePtr(act, p.Offset())
+	}
+	return p
+}
+
+// do1 runs verb against the routed target of p, promoting p's group when
+// the acting primary turns out to be lost.
+func (r *Router) do1(p rdma.RemotePtr, verb func(q rdma.RemotePtr) error) error {
+	q := r.route(p)
+	err := verb(q)
+	if err == nil || !errors.Is(err, rdma.ErrServerLost) {
+		return err
+	}
+	h := r.homeOf(p)
+	if h < 0 {
+		return err // explicit replica access: the caller owns the failure
+	}
+	return r.promote(h, q.Server())
+}
+
+// Read implements rdma.Endpoint.
+func (r *Router) Read(p rdma.RemotePtr, dst []uint64) error {
+	return r.do1(p, func(q rdma.RemotePtr) error { return r.inner.Read(q, dst) })
+}
+
+// ReadMulti implements rdma.Endpoint: each pointer is routed independently.
+// On ErrServerLost the failed server is not identified by the batch, so the
+// router probes the acting primary of every home-routed group in the batch
+// and promotes the lost ones.
+func (r *Router) ReadMulti(ps []rdma.RemotePtr, dst [][]uint64) error {
+	routed := r.routedBuf[:0]
+	for _, p := range ps {
+		routed = append(routed, r.route(p))
+	}
+	r.routedBuf = routed
+	err := r.inner.ReadMulti(routed, dst)
+	if err == nil || !errors.Is(err, rdma.ErrServerLost) {
+		return err
+	}
+	var moved error
+	seen := map[int]bool{}
+	for _, p := range ps {
+		h := r.homeOf(p)
+		if h < 0 || seen[h] {
+			continue
+		}
+		seen[h] = true
+		act := r.view.Acting(h)
+		var w [1]uint64
+		perr := r.pol.Do(r.rec, act, func() error {
+			return r.inner.Read(nam.GroupEpochPtr(act, h), w[:])
+		})
+		if errors.Is(perr, rdma.ErrServerLost) {
+			if merr := r.promote(h, act); errors.Is(merr, rdma.ErrGroupMoved) {
+				moved = merr
+			} else {
+				return merr
+			}
+		}
+	}
+	if moved != nil {
+		return moved
+	}
+	return err
+}
+
+// Write implements rdma.Endpoint.
+func (r *Router) Write(p rdma.RemotePtr, src []uint64) error {
+	return r.do1(p, func(q rdma.RemotePtr) error { return r.inner.Write(q, src) })
+}
+
+// CompareAndSwap implements rdma.Endpoint.
+func (r *Router) CompareAndSwap(p rdma.RemotePtr, old, new uint64) (uint64, error) {
+	var prev uint64
+	err := r.do1(p, func(q rdma.RemotePtr) error {
+		var e error
+		prev, e = r.inner.CompareAndSwap(q, old, new) //rdmavet:allow caschecked -- decorator pass-through: prev is returned verbatim and checked at the caller's call site
+		return e
+	})
+	return prev, err
+}
+
+// FetchAdd implements rdma.Endpoint.
+func (r *Router) FetchAdd(p rdma.RemotePtr, delta uint64) (uint64, error) {
+	var prev uint64
+	err := r.do1(p, func(q rdma.RemotePtr) error {
+		var e error
+		prev, e = r.inner.FetchAdd(q, delta)
+		return e
+	})
+	return prev, err
+}
+
+// Alloc implements rdma.Endpoint. Allocation is location-transparent for
+// the index (a page's home is whatever the returned pointer encodes), so
+// when the requested server's group has failed over — its slab allocator
+// died with it — the router redirects to a group that still has its home
+// primary: the new page simply joins that live group.
+func (r *Router) Alloc(server int, n int) (rdma.RemotePtr, error) {
+	s := server
+	for i := 0; i < r.lay.Groups.Servers(); i++ {
+		if r.view.Acting(s) == s && !r.view.Dead(s) {
+			break
+		}
+		s = (s + 1) % r.lay.Groups.Servers()
+	}
+	if r.view.Acting(s) != s || r.view.Dead(s) {
+		return rdma.NullPtr, fmt.Errorf("repl: no live home server for alloc: %w", rdma.ErrServerLost)
+	}
+	p, err := r.inner.Alloc(s, n)
+	if err != nil && errors.Is(err, rdma.ErrServerLost) {
+		return rdma.NullPtr, r.promote(s, s)
+	}
+	return p, err
+}
+
+// Free implements rdma.Endpoint. Freeing a page whose home group has failed
+// over is skipped: the allocator authoritative for that slab died with the
+// primary, and re-targeting a Free at a backup would corrupt the backup's
+// own allocator. The page leaks until the group is rebuilt — GC-tolerable,
+// and the rebuild recopies allocator extents wholesale anyway.
+func (r *Router) Free(p rdma.RemotePtr, n int) error {
+	if h := r.homeOf(p); h >= 0 && r.view.Acting(h) != h {
+		return nil
+	}
+	err := r.inner.Free(p, n)
+	if err != nil && errors.Is(err, rdma.ErrServerLost) {
+		if h := r.homeOf(p); h >= 0 {
+			return r.promote(h, p.Server())
+		}
+	}
+	return err
+}
+
+// Call implements rdma.Endpoint: RPCs are home-addressed by server id, so a
+// failed-over group's calls go to the acting primary (which serves the
+// group's mirrored pages; the nam.Request Group field tells the handler
+// which group to serve).
+func (r *Router) Call(server int, req []byte) ([]byte, error) {
+	act := r.view.Acting(server)
+	resp, err := r.inner.Call(act, req)
+	if err != nil && errors.Is(err, rdma.ErrServerLost) {
+		return nil, r.promote(server, act)
+	}
+	return resp, err
+}
+
+// NumServers implements rdma.Endpoint.
+func (r *Router) NumServers() int { return r.inner.NumServers() }
+
+// Reconnect implements rdma.Reconnector for the *outer* retry layer, whose
+// verbs address logical homes: it re-establishes the QP to the server
+// currently acting for that home. The Router's own internal verbs (and the
+// Mirrorer's) address members literally and use the inner reconnector
+// directly.
+func (r *Router) Reconnect(server int) error {
+	if r.rec == nil {
+		return nil
+	}
+	target, home := server, -1
+	if server >= 0 && server < r.lay.Groups.Servers() {
+		home = server
+		target = r.view.Acting(server)
+	}
+	err := r.rec.Reconnect(target)
+	if err != nil && home >= 0 && errors.Is(err, rdma.ErrServerLost) {
+		// The acting primary came back without its region: promote here so
+		// the outer retry layer's reconnect path converts the loss into
+		// ErrGroupMoved exactly like the verb path does.
+		return r.promote(home, target)
+	}
+	return err
+}
+
+// promote drives the failover of group home after observing its acting
+// primary lostActing lost. It returns ErrGroupMoved on success (the caller
+// must abort its operation and re-run under the new routing), or
+// ErrServerLost when every member of the group is gone (a genuine k-fault
+// data loss).
+func (r *Router) promote(home, lostActing int) error {
+	r.view.MarkDead(lostActing)
+	if r.Events != nil {
+		r.Events.MemberDeadEvent(home, lostActing)
+	}
+	members := r.lay.Groups.Members(home)
+	k := uint64(len(members))
+
+	// Observe the highest epoch any surviving member has recorded; a
+	// concurrent promoter may already have moved the group.
+	eMax := r.view.Epoch(home)
+	alive := 0
+	for _, m := range members {
+		if r.view.Dead(m) {
+			continue
+		}
+		var w [1]uint64
+		err := r.pol.Do(r.rec, m, func() error {
+			return r.inner.Read(nam.GroupEpochPtr(m, home), w[:])
+		})
+		if errors.Is(err, rdma.ErrServerLost) {
+			r.view.MarkDead(m)
+			if r.Events != nil {
+				r.Events.MemberDeadEvent(home, m)
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		alive++
+		if w[0] > eMax {
+			eMax = w[0]
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("repl: group %d: all %d members lost: %w", home, k, rdma.ErrServerLost)
+	}
+
+	// Pick the smallest epoch >= eMax whose acting member this client
+	// believes alive. Every promoter lands on the same epoch for the same
+	// set of dead members; stragglers converge through the CAS below.
+	target := eMax
+	for i := uint64(0); i < k; i++ {
+		if !r.view.Dead(members[target%k]) {
+			break
+		}
+		target++
+	}
+	if r.view.Dead(members[target%k]) {
+		return fmt.Errorf("repl: group %d: no live member to promote: %w", home, rdma.ErrServerLost)
+	}
+
+	// Install target on every live member, first-writer-wins per word: a
+	// loser adopts whatever higher epoch it observes. Once any member's
+	// epoch word moves, mirror pushes fenced on the old epoch abort there.
+	final := target
+	for _, m := range members {
+		if r.view.Dead(m) {
+			continue
+		}
+		ptr := nam.GroupEpochPtr(m, home)
+		for attempt := 0; attempt < 8; attempt++ {
+			var cur [1]uint64
+			err := r.pol.Do(r.rec, m, func() error { return r.inner.Read(ptr, cur[:]) })
+			if err != nil {
+				if errors.Is(err, rdma.ErrServerLost) {
+					r.view.MarkDead(m)
+					break
+				}
+				return err
+			}
+			if cur[0] >= target {
+				if cur[0] > final {
+					final = cur[0]
+				}
+				break
+			}
+			var prev uint64
+			err = r.pol.Do(r.rec, m, func() error {
+				var e error
+				prev, e = r.inner.CompareAndSwap(ptr, cur[0], target) //rdmavet:allow caschecked -- prev escapes the retry closure; first-writer-wins check (prev == cur[0]) follows below
+				return e
+			})
+			if err != nil {
+				if errors.Is(err, rdma.ErrServerLost) {
+					r.view.MarkDead(m)
+					break
+				}
+				return err
+			}
+			if prev == cur[0] {
+				break // installed
+			}
+			// Lost the CAS to a concurrent promoter; re-read and adopt.
+		}
+	}
+	r.view.SetEpoch(home, final)
+	acting := r.view.Acting(home)
+	if r.Events != nil {
+		r.Events.PromotionEvent(home, final, acting)
+	}
+	return fmt.Errorf("repl: group %d promoted to epoch %d (acting server %d): %w",
+		home, final, acting, rdma.ErrGroupMoved)
+}

@@ -1,0 +1,376 @@
+package repl
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/layout"
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/rdma"
+	"github.com/namdb/rdmatree/internal/rdma/direct"
+	"github.com/namdb/rdmatree/internal/rdma/faultnet"
+	"github.com/namdb/rdmatree/internal/rdma/retry"
+)
+
+const testRegion = 1 << 16
+
+// fixture builds a direct fabric with slab-partitioned allocators, the shape
+// every replicated deployment uses.
+func fixture(t *testing.T, servers, replicas int) (*direct.Fabric, nam.ReplicaLayout) {
+	t.Helper()
+	lay := nam.NewReplicaLayout(servers, replicas, testRegion)
+	fab := direct.New(servers, testRegion, int(lay.Reserved()))
+	for i := 0; i < servers; i++ {
+		fab.Server(i).Alloc = rdma.NewAllocator(lay.SlabLo(i), lay.SlabHi(i))
+	}
+	return fab, lay
+}
+
+func TestRouterRoutesToActing(t *testing.T) {
+	fab, lay := fixture(t, 3, 2)
+	r := NewRouter(fab.Endpoint(), lay, nil, nil)
+
+	p := rdma.MakePtr(1, lay.SlabLo(1))
+	src := []uint64{0xdead}
+	if err := r.Write(p, src); err != nil {
+		t.Fatal(err)
+	}
+	var got [1]uint64
+	fab.Server(1).Region.Read(p.Offset(), got[:])
+	if got[0] != 0xdead {
+		t.Fatalf("epoch-0 write landed elsewhere: %#x", got[0])
+	}
+
+	// After a failover of group 1 (epoch 1 -> acting member is server 2),
+	// home-addressed verbs re-target to server 2 at the identity offset.
+	r.View().SetEpoch(1, 1)
+	src[0] = 0xbeef
+	if err := r.Write(p, src); err != nil {
+		t.Fatal(err)
+	}
+	fab.Server(2).Region.Read(p.Offset(), got[:])
+	if got[0] != 0xbeef {
+		t.Fatalf("failed-over write not on acting primary: %#x", got[0])
+	}
+	fab.Server(1).Region.Read(p.Offset(), got[:])
+	if got[0] != 0xdead {
+		t.Fatalf("failed-over write still hit the old primary: %#x", got[0])
+	}
+}
+
+func TestRouterExplicitReplicaPassthrough(t *testing.T) {
+	fab, lay := fixture(t, 3, 2)
+	r := NewRouter(fab.Endpoint(), lay, nil, nil)
+	r.View().SetEpoch(1, 1)
+
+	// A pointer addressing member 2's copy of a group-1 offset is an
+	// explicit replica access: never re-routed, even after the failover.
+	p := rdma.MakePtr(2, lay.SlabLo(1)+8)
+	if err := r.Write(p, []uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	var got [1]uint64
+	fab.Server(2).Region.Read(p.Offset(), got[:])
+	if got[0] != 7 {
+		t.Fatalf("explicit replica write translated away: %#x", got[0])
+	}
+
+	// Legacy superblock offsets are not group-addressed either.
+	if err := r.Write(rdma.MakePtr(1, 0), []uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+	fab.Server(1).Region.Read(0, got[:])
+	if got[0] != 9 {
+		t.Fatalf("superblock write translated away: %#x", got[0])
+	}
+}
+
+type eventLog struct {
+	promotions int
+	moved      int
+	dead       int
+}
+
+func (l *eventLog) PromotionEvent(home int, epoch uint64, acting int) { l.promotions++ }
+func (l *eventLog) GroupMovedEvent(home int, epoch uint64)            { l.moved++ }
+func (l *eventLog) MemberDeadEvent(home, member int)                  { l.dead++ }
+
+func TestRouterPromotesOnServerLost(t *testing.T) {
+	fab, lay := fixture(t, 3, 2)
+	p := rdma.MakePtr(1, lay.SlabLo(1))
+	fab.Server(1).Region.Write(p.Offset(), []uint64{41})
+	fab.Server(2).Region.Write(p.Offset(), []uint64{41}) // mirrored copy
+
+	// Server 1 crashes at the first verb and restarts two ticks later
+	// without its region.
+	net := faultnet.New(faultnet.Schedule{
+		Seed:  7,
+		Steps: []faultnet.Step{{AtTick: 1, Server: 1, DownForTicks: 2, Lose: true}},
+	}, nil)
+	fep := net.Endpoint(fab.Endpoint(), 0)
+	router := NewRouter(fep, lay, nil, &retry.Policy{Seed: 1})
+	ev := &eventLog{}
+	router.Events = ev
+
+	pol := (&retry.Policy{Seed: 2}).Defaults()
+	var dst [1]uint64
+	err := pol.Do(router, 1, func() error { return router.Read(p, dst[:]) })
+	if !errors.Is(err, rdma.ErrGroupMoved) {
+		t.Fatalf("want ErrGroupMoved, got %v", err)
+	}
+	if got := router.View().Epoch(1); got != 1 {
+		t.Fatalf("epoch after promotion = %d, want 1", got)
+	}
+	if got := router.View().Acting(1); got != 2 {
+		t.Fatalf("acting after promotion = %d, want 2", got)
+	}
+	if ev.promotions != 1 {
+		t.Fatalf("promotion events = %d, want 1", ev.promotions)
+	}
+	// The survivor carries the CAS-installed epoch.
+	var w [1]uint64
+	fab.Server(2).Region.Read(nam.GroupEpochOff(1), w[:])
+	if w[0] != 1 {
+		t.Fatalf("survivor epoch word = %d, want 1", w[0])
+	}
+
+	// The re-run operation reads the mirrored data from the new primary.
+	if err := pol.Do(router, 1, func() error { return router.Read(p, dst[:]) }); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 41 {
+		t.Fatalf("post-failover read = %d, want 41", dst[0])
+	}
+}
+
+func TestRouterDoubleFaultIsPermanent(t *testing.T) {
+	fab, lay := fixture(t, 3, 2)
+	net := faultnet.New(faultnet.Schedule{
+		Seed: 7,
+		Steps: []faultnet.Step{
+			{AtTick: 1, Server: 1, DownForTicks: 1, Lose: true},
+			{AtTick: 2, Server: 2, DownForTicks: 1, Lose: true},
+		},
+	}, nil)
+	router := NewRouter(net.Endpoint(fab.Endpoint(), 0), lay, nil, &retry.Policy{Seed: 1})
+
+	// Both members of group 1 lose their regions: promotion must report a
+	// genuine k-fault loss, not spin or invent a primary.
+	pol := (&retry.Policy{Seed: 2}).Defaults()
+	var dst [1]uint64
+	p := rdma.MakePtr(1, lay.SlabLo(1))
+	var err error
+	for i := 0; i < 4; i++ {
+		err = pol.Do(router, 1, func() error { return router.Read(p, dst[:]) })
+		if errors.Is(err, rdma.ErrServerLost) {
+			return
+		}
+	}
+	t.Fatalf("double fault did not surface ErrServerLost: %v", err)
+}
+
+func TestRouterAllocRedirect(t *testing.T) {
+	fab, lay := fixture(t, 3, 2)
+	r := NewRouter(fab.Endpoint(), lay, nil, nil)
+	r.View().SetEpoch(0, 1) // group 0 failed over: its slab allocator is gone
+
+	p, err := r.Alloc(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Server() == 0 || lay.HomeOf(p.Offset()) != p.Server() {
+		t.Fatalf("alloc after failover returned %v (server %d, home %d)",
+			p, p.Server(), lay.HomeOf(p.Offset()))
+	}
+	// Freeing a page of the failed-over group is a documented no-op.
+	if err := r.Free(rdma.MakePtr(0, lay.SlabLo(0)), 64); err != nil {
+		t.Fatal(err)
+	}
+	_ = fab
+}
+
+func TestMirrorPageVersionedPush(t *testing.T) {
+	fab, lay := fixture(t, 3, 2)
+	router := NewRouter(fab.Endpoint(), lay, nil, nil)
+	m := NewMirrorer(router, rdma.NopEnv{}, nil)
+
+	off := lay.SlabLo(0)
+	p := rdma.MakePtr(0, off)
+	img := make([]uint64, 8)
+	layout.SetBufVersion(img, 4)
+	for i := 1; i < len(img); i++ {
+		img[i] = uint64(100 + i)
+	}
+	if err := m.MirrorPage(p, img); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint64, 8)
+	fab.Server(1).Region.Read(off, got)
+	for i := range img {
+		if got[i] != img[i] {
+			t.Fatalf("backup word %d = %d, want %d", i, got[i], img[i])
+		}
+	}
+
+	// A stale push (lower version) is superseded and must not clobber.
+	stale := make([]uint64, 8)
+	layout.SetBufVersion(stale, 2)
+	if err := m.MirrorPage(p, stale); err != nil {
+		t.Fatal(err)
+	}
+	fab.Server(1).Region.Read(off, got)
+	if got[1] != img[1] {
+		t.Fatalf("stale push clobbered backup: word 1 = %d", got[1])
+	}
+
+	// An epoch moved underneath the client aborts the push with
+	// ErrGroupMoved and adopts the observed epoch.
+	fab.Server(1).Region.Write(nam.GroupEpochOff(0), []uint64{3})
+	fresh := make([]uint64, 8)
+	layout.SetBufVersion(fresh, 6)
+	err := m.MirrorPage(p, fresh)
+	if !errors.Is(err, rdma.ErrGroupMoved) {
+		t.Fatalf("want ErrGroupMoved, got %v", err)
+	}
+	if e := router.View().Epoch(0); e != 3 {
+		t.Fatalf("adopted epoch = %d, want 3", e)
+	}
+	fab.Server(1).Region.Read(off, got)
+	if got[0] != 4 {
+		t.Fatalf("aborted push left backup word0 = %d, want 4", got[0])
+	}
+}
+
+func TestMirrorDegradedAck(t *testing.T) {
+	fab, lay := fixture(t, 3, 2)
+	// Backup 1 (of group 0) is lost immediately.
+	net := faultnet.New(faultnet.Schedule{
+		Seed:  3,
+		Steps: []faultnet.Step{{AtTick: 1, Server: 1, DownForTicks: 0, Lose: true}},
+	}, nil)
+	router := NewRouter(net.Endpoint(fab.Endpoint(), 0), lay, nil, &retry.Policy{Seed: 1})
+	ev := &eventLog{}
+	m := NewMirrorer(router, rdma.NopEnv{}, &retry.Policy{Seed: 2})
+	m.Events = ev
+
+	img := make([]uint64, 4)
+	layout.SetBufVersion(img, 2)
+	// The push must succeed despite the dead backup (degraded ack) and mark
+	// the member dead so later pushes skip it.
+	if err := m.MirrorPage(rdma.MakePtr(0, lay.SlabLo(0)), img); err != nil {
+		t.Fatal(err)
+	}
+	if !router.View().Dead(1) {
+		t.Fatal("dead backup not marked in view")
+	}
+	if ev.dead == 0 {
+		t.Fatal("no MemberDeadEvent emitted")
+	}
+	_ = fab
+}
+
+func TestMirrorFreshAndWord(t *testing.T) {
+	fab, lay := fixture(t, 3, 3)
+	router := NewRouter(fab.Endpoint(), lay, nil, nil)
+	m := NewMirrorer(router, rdma.NopEnv{}, nil)
+
+	off := lay.SlabLo(0) + 64
+	img := []uint64{2, 5, 6}
+	if err := m.MirrorFresh(rdma.MakePtr(0, off), img); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint64, 3)
+	for _, b := range []int{1, 2} {
+		fab.Server(b).Region.Read(off, got)
+		if got[0] != 2 || got[2] != 6 {
+			t.Fatalf("backup %d fresh image = %v", b, got)
+		}
+	}
+	if err := m.MirrorWord(nam.GroupRootPtr(0), 0x77); err != nil {
+		t.Fatal(err)
+	}
+	var w [1]uint64
+	fab.Server(2).Region.Read(nam.GroupRootOff(0), w[:])
+	if w[0] != 0x77 {
+		t.Fatalf("root word mirror = %#x", w[0])
+	}
+}
+
+func TestCaptureRecordsPostImages(t *testing.T) {
+	c := &Capture{}
+	img := []uint64{4, 9}
+	if err := c.MirrorPage(rdma.MakePtr(0, 128), img); err != nil {
+		t.Fatal(err)
+	}
+	img[1] = 0 // the capture must have deep-copied
+	if err := c.MirrorFresh(rdma.MakePtr(1, 256), []uint64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MirrorWord(rdma.MakePtr(0, 64), 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Pages) != 3 {
+		t.Fatalf("captured %d pages", len(c.Pages))
+	}
+	if c.Pages[0].Kind != nam.DirtyFull || c.Pages[0].Words[1] != 9 {
+		t.Fatalf("page capture = %+v", c.Pages[0])
+	}
+	if c.Pages[1].Kind != nam.DirtyFresh || c.Pages[2].Kind != nam.DirtyWord {
+		t.Fatalf("kinds = %d, %d", c.Pages[1].Kind, c.Pages[2].Kind)
+	}
+}
+
+func TestSyncRebuildDiff(t *testing.T) {
+	fab, lay := fixture(t, 3, 2)
+	srv := func(i int) *rdma.Server { return fab.Server(i) }
+
+	// Populate each home slab with distinct data through its allocator.
+	for h := 0; h < 3; h++ {
+		for j := 0; j < 4; j++ {
+			off, err := fab.Server(h).Alloc.Alloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]uint64, 8)
+			for i := range buf {
+				buf[i] = uint64(h*1000 + j*10 + i)
+			}
+			fab.Server(h).Region.Write(off, buf)
+		}
+		fab.Server(h).Region.Write(nam.GroupRootOff(h), []uint64{uint64(h + 1), 0})
+	}
+
+	if words := SyncReplicas(lay, srv); words == 0 {
+		t.Fatal("SyncReplicas copied nothing")
+	}
+	for h := 0; h < 3; h++ {
+		b := lay.Groups.Backups(h)[0]
+		if d := DiffExtent(lay, h, fab.Server(h), fab.Server(b), srv); d != 0 {
+			t.Fatalf("group %d backup %d differs in %d words after sync", h, b, d)
+		}
+	}
+
+	// Server 1 loses everything; group 1 failed over to server 2. Rebuild
+	// member 1 from the acting primaries.
+	fab.Server(1).Region.Zero()
+	actingOf := func(home int) int {
+		if home == 1 {
+			return 2
+		}
+		return home
+	}
+	if _, err := RebuildMember(lay, 1, actingOf, srv); err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffExtent(lay, 0, fab.Server(0), fab.Server(1), srv); d != 0 {
+		t.Fatalf("rebuilt member differs from group 0 authority in %d words", d)
+	}
+	if d := DiffExtent(lay, 1, fab.Server(2), fab.Server(1), srv); d != 0 {
+		t.Fatalf("rebuilt member differs from group 1 authority in %d words", d)
+	}
+
+	// An actingOf outside the group is a caller bug and must be rejected.
+	if _, err := RebuildMember(lay, 1, func(int) int { return 0 }, srv); err == nil {
+		t.Fatal("RebuildMember accepted a non-member authority")
+	}
+}
