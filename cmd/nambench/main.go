@@ -57,7 +57,8 @@ func lintMetrics(src string) error {
 
 // runRegress dispatches one baseline file to its regression gate by name:
 // BENCH_rtt* re-runs the doorbell-batching experiment, BENCH_pipeline* the
-// async-dataplane sweep, BENCH_replication* the page-replication comparison.
+// async-dataplane sweep, BENCH_replication* the page-replication comparison,
+// BENCH_adaptive* the adaptive traversal-policy sweep.
 func runRegress(w io.Writer, path string) error {
 	name := path
 	if i := strings.LastIndexByte(name, '/'); i >= 0 {
@@ -70,8 +71,10 @@ func runRegress(w io.Writer, path string) error {
 		return bench.RegressPipeline(w, path)
 	case strings.HasPrefix(name, "BENCH_replication"):
 		return bench.RegressReplication(w, path)
+	case strings.HasPrefix(name, "BENCH_adaptive"):
+		return bench.RegressAdaptive(w, path)
 	default:
-		return fmt.Errorf("-regress: unrecognized baseline %q (expected BENCH_rtt*.json, BENCH_pipeline*.json or BENCH_replication*.json)", path)
+		return fmt.Errorf("-regress: unrecognized baseline %q (expected BENCH_rtt*.json, BENCH_pipeline*.json, BENCH_replication*.json or BENCH_adaptive*.json)", path)
 	}
 }
 
@@ -85,7 +88,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in Perfetto or chrome://tracing)")
 		metrics  = flag.String("metrics", "", "serve live expvar (/debug/vars), pprof (/debug/pprof/), and OpenMetrics (/metrics) on this address while experiments run")
 		noverbs  = flag.Bool("noverbs", false, "omit the per-verb breakdown tables from experiment reports")
-		regress  = flag.String("regress", "", "comma-separated bench baselines (BENCH_rtt.json, BENCH_pipeline.json, BENCH_replication.json); re-runs each experiment at the baseline's scale and fails on >10% regression")
+		regress  = flag.String("regress", "", "comma-separated bench baselines (BENCH_rtt.json, BENCH_pipeline.json, BENCH_replication.json, BENCH_adaptive.json); re-runs each experiment at the baseline's scale and fails on >10% regression")
 		lintmet  = flag.String("lintmetrics", "", "validate an OpenMetrics exposition (file path or http URL) and exit")
 	)
 	flag.Parse()

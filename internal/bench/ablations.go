@@ -26,6 +26,7 @@ func extensions() []Experiment {
 		{"obs", "Observability: Flight-Recorder Reconstruction of a Fault-Injected Traversal (Fine-Grained)", expObs},
 		{"pipeline", "Async Pipelined Dataplane: In-Flight Sweep and Doorbell Coalescing (Fine-Grained)", expPipeline},
 		{"replication", "Page Replication (k=2): Mirrored-Write Overhead and Read-Path Neutrality (Fine-Grained)", expReplication},
+		{"adaptive", "Adaptive Traversal Policy: Tracking the Best Static Strategy per Workload Cell (Hybrid)", expAdaptive},
 	}
 }
 

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/namdb/rdmatree/internal/nam"
+	"github.com/namdb/rdmatree/internal/workload"
+)
+
+// AdaptiveBaselinePath is where expAdaptive writes its machine-readable
+// baseline; nambench -regress re-runs the experiment against it.
+var AdaptiveBaselinePath = "BENCH_adaptive.json"
+
+// AdaptiveGateRatio is the tracking floor: in every cell of the sweep the
+// adaptive client's throughput must be at least this fraction of the better
+// static strategy's — the "within 10% of best static, zero manual tuning"
+// contract. Checked when the baseline is generated and again by the
+// regression gate.
+const AdaptiveGateRatio = 0.90
+
+// adaptiveClients pins the sweep's client count. The policy's interesting
+// regime is server-CPU pressure — enough closed-loop clients that the RPC
+// offload's handler queueing is visible and the crossover genuinely moves
+// between cells — so the sweep runs at the upper end of the paper's client
+// scale rather than the latency-exposed low end the pipeline experiment uses.
+const adaptiveClients = 120
+
+// adaptiveWarmupNS widens the warm-up window beyond the harness default:
+// every client starts on the default strategy with empty signal windows, and
+// the slowest cells (insert-heavy Zipfian mixes run at a few hundred ops per
+// client) must still ramp — observe, evaluate, and switch — before the
+// measured window opens, so the measurement sees the adapted steady state,
+// not the learning transient.
+const adaptiveWarmupNS = 20_000_000
+
+// adaptiveTraverses are the three traversal modes each cell measures.
+var adaptiveTraverses = []string{"rpc", "onesided", "adaptive"}
+
+// AdaptiveCell is one (workload, distribution) cell of the sweep: the two
+// static strategies, the adaptive client, and how well it tracked.
+type AdaptiveCell struct {
+	Workload string `json:"workload"`
+	Dist     string `json:"dist"`
+	// RPCOpsSec / OneSidedOpsSec / AdaptiveOpsSec are the cell's measured
+	// throughputs under each traversal mode.
+	RPCOpsSec      float64 `json:"rpc_ops_sec"`
+	OneSidedOpsSec float64 `json:"onesided_ops_sec"`
+	AdaptiveOpsSec float64 `json:"adaptive_ops_sec"`
+	// BestStatic names the winning static strategy ("rpc" or "onesided").
+	BestStatic string `json:"best_static"`
+	// Ratio is AdaptiveOpsSec over the best static throughput — the metric
+	// under the AdaptiveGateRatio floor.
+	Ratio float64 `json:"adaptive_over_best"`
+	// Switches counts runtime strategy switches across all clients in the
+	// adaptive run (cold-start ramps land around one per client-partition;
+	// a much larger count means flapping).
+	Switches int64 `json:"policy_switches"`
+}
+
+// AdaptiveReport is the BENCH_adaptive.json payload. The scale travels in
+// the JSON so the regression gate re-runs at the baseline's own shape.
+type AdaptiveReport struct {
+	DataSize int            `json:"data_size"`
+	Clients  int            `json:"clients"`
+	Cells    []AdaptiveCell `json:"cells"`
+	// MinRatio is the worst cell's Ratio — the single number under the floor.
+	MinRatio float64 `json:"min_adaptive_over_best"`
+}
+
+// adaptivePanels enumerates workloads A-D; B's range scans amortize the
+// upper-level traversal over a long leaf walk (the cell pins that adaptivity
+// does not hurt when strategy barely matters), C and D mix inserts in, moving
+// the crossover through lock traffic and splits.
+func adaptivePanels() []wlPanel {
+	return []wlPanel{
+		{"Workload A (100% point)", workload.WorkloadA, 0},
+		{"Workload B (100% range, Sel=0.001)", workload.WorkloadB, 0.001},
+		{"Workload C (95% point, 5% insert)", workload.WorkloadC, 0},
+		{"Workload D (50% point, 50% insert)", workload.WorkloadD, 0},
+	}
+}
+
+// adaptiveDists enumerates the request distributions of the sweep.
+var adaptiveDists = []struct {
+	name string
+	dist workload.Distribution
+}{
+	{"uniform", workload.Uniform},
+	{"zipfian", workload.Zipfian},
+}
+
+// runAdaptiveCell measures one (workload, dist, traverse) point.
+func runAdaptiveCell(sc Scale, clients, dataSize int, p wlPanel, dist workload.Distribution, traverse string) (Result, error) {
+	cfg := baseConfig(nam.Hybrid, sc, clients)
+	cfg.DataSize = dataSize
+	cfg.Mix = p.mix
+	cfg.Selectivity = p.sel
+	cfg.Dist = dist
+	cfg.Traverse = traverse
+	cfg.WarmupNS = adaptiveWarmupNS
+	if p.mix.RangePct > 0 {
+		cfg.MeasureNS = sc.MeasureRangeNS
+	}
+	return Run(cfg)
+}
+
+// RunAdaptive executes the adaptive-policy experiment: for every workload ×
+// distribution cell, both static traversal strategies and the adaptive
+// client, under one global policy configuration (policy.Defaults — no
+// per-cell tuning).
+func RunAdaptive(sc Scale) (AdaptiveReport, error) {
+	return runAdaptiveAt(sc, adaptiveClients, sc.DataSize)
+}
+
+func runAdaptiveAt(sc Scale, clients, dataSize int) (AdaptiveReport, error) {
+	rep := AdaptiveReport{DataSize: dataSize, Clients: clients, MinRatio: 1e18}
+	for _, panel := range adaptivePanels() {
+		for _, d := range adaptiveDists {
+			cell := AdaptiveCell{Workload: panel.mix.Name, Dist: d.name}
+			for _, trav := range adaptiveTraverses {
+				res, err := runAdaptiveCell(sc, clients, dataSize, panel, d.dist, trav)
+				if err != nil {
+					return rep, fmt.Errorf("adaptive/%s/%s/%s: %w", panel.mix.Name, d.name, trav, err)
+				}
+				switch trav {
+				case "rpc":
+					cell.RPCOpsSec = res.Throughput
+				case "onesided":
+					cell.OneSidedOpsSec = res.Throughput
+				case "adaptive":
+					cell.AdaptiveOpsSec = res.Throughput
+					cell.Switches = res.PolicySwitches
+				}
+			}
+			best := cell.RPCOpsSec
+			cell.BestStatic = "rpc"
+			if cell.OneSidedOpsSec > best {
+				best, cell.BestStatic = cell.OneSidedOpsSec, "onesided"
+			}
+			if best > 0 {
+				cell.Ratio = cell.AdaptiveOpsSec / best
+			}
+			if cell.Ratio < rep.MinRatio {
+				rep.MinRatio = cell.Ratio
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// expAdaptive is the nambench surface of RunAdaptive: it renders the cell
+// table, enforces the tracking floor, and writes the machine-readable
+// baseline to AdaptiveBaselinePath.
+func expAdaptive(w io.Writer, sc Scale) error {
+	rep, err := RunAdaptive(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "adaptive traversal policy (%d clients, data size %d; one policy config for every cell)\n",
+		rep.Clients, rep.DataSize)
+	fmt.Fprintf(w, "  %-4s %-8s %14s %14s %14s  %-8s %7s %9s\n",
+		"wl", "dist", "rpc ops/s", "onesided ops/s", "adaptive ops/s", "best", "ratio", "switches")
+	var failures []string
+	for _, c := range rep.Cells {
+		verdict := ""
+		if c.Ratio < AdaptiveGateRatio {
+			verdict = "  BELOW FLOOR"
+			failures = append(failures, fmt.Sprintf("%s/%s: adaptive %.0f ops/s is %.1f%% of best static (%s %.0f), floor %.0f%%",
+				c.Workload, c.Dist, c.AdaptiveOpsSec, 100*c.Ratio, c.BestStatic, max(c.RPCOpsSec, c.OneSidedOpsSec), 100*AdaptiveGateRatio))
+		}
+		fmt.Fprintf(w, "  %-4s %-8s %14.0f %14.0f %14.0f  %-8s %6.1f%% %9d%s\n",
+			c.Workload, c.Dist, c.RPCOpsSec, c.OneSidedOpsSec, c.AdaptiveOpsSec, c.BestStatic, 100*c.Ratio, c.Switches, verdict)
+	}
+	fmt.Fprintf(w, "worst cell: adaptive at %.1f%% of best static (floor %.0f%%)\n",
+		100*rep.MinRatio, 100*AdaptiveGateRatio)
+	if len(failures) > 0 {
+		msg := fmt.Sprintf("adaptive: %d cells below the %.0f%% tracking floor:", len(failures), 100*AdaptiveGateRatio)
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(AdaptiveBaselinePath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("adaptive: writing baseline: %w", err)
+	}
+	fmt.Fprintf(w, "wrote %s\n", AdaptiveBaselinePath)
+	return nil
+}
+
+// RegressAdaptive is the CI gate over BENCH_adaptive.json: it re-runs the
+// sweep at the baseline's recorded scale and fails when any cell's adaptive
+// throughput fell more than RegressTolerance below its baseline, or when any
+// cell no longer clears the absolute tracking floor. Failures enumerate the
+// offending (workload, distribution) cells.
+func RegressAdaptive(w io.Writer, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("regress: reading baseline: %w", err)
+	}
+	var base AdaptiveReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("regress: parsing %s: %w", baselinePath, err)
+	}
+	if base.DataSize <= 0 || base.Clients <= 0 || len(base.Cells) == 0 {
+		return fmt.Errorf("regress: %s carries no scale (data_size=%d clients=%d cells=%d)",
+			baselinePath, base.DataSize, base.Clients, len(base.Cells))
+	}
+	sc := FullScale
+	sc.DataSize = base.DataSize
+	got, err := runAdaptiveAt(sc, base.Clients, base.DataSize)
+	if err != nil {
+		return fmt.Errorf("regress: re-running adaptive: %w", err)
+	}
+	byCell := make(map[string]AdaptiveCell, len(got.Cells))
+	for _, c := range got.Cells {
+		byCell[c.Workload+"/"+c.Dist] = c
+	}
+
+	var failures []string
+	fmt.Fprintf(w, "adaptive regression gate vs %s (data_size=%d clients=%d, tolerance %.0f%%, floor %.0f%%)\n",
+		baselinePath, base.DataSize, base.Clients, 100*RegressTolerance, 100*AdaptiveGateRatio)
+	for _, bc := range base.Cells {
+		name := bc.Workload + "/" + bc.Dist
+		gc, ok := byCell[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: cell missing from re-run", name))
+			continue
+		}
+		delta := 0.0
+		if bc.AdaptiveOpsSec > 0 {
+			delta = 100 * (gc.AdaptiveOpsSec - bc.AdaptiveOpsSec) / bc.AdaptiveOpsSec
+		}
+		verdict := "ok"
+		if bc.AdaptiveOpsSec > 0 && gc.AdaptiveOpsSec < bc.AdaptiveOpsSec*(1-RegressTolerance) {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: adaptive ops/s baseline %.0f, observed %.0f (%+.2f%%)",
+				name, bc.AdaptiveOpsSec, gc.AdaptiveOpsSec, delta))
+		}
+		if gc.Ratio < AdaptiveGateRatio {
+			verdict = "BELOW FLOOR"
+			failures = append(failures, fmt.Sprintf("%s: adaptive at %.1f%% of best static (%s), floor %.0f%%",
+				name, 100*gc.Ratio, gc.BestStatic, 100*AdaptiveGateRatio))
+		}
+		fmt.Fprintf(w, "  %-58s baseline %14.2f  measured %14.2f  %+7.2f%%  %s\n",
+			name+"/adaptive_ops_sec", bc.AdaptiveOpsSec, gc.AdaptiveOpsSec, delta, verdict)
+		fmt.Fprintf(w, "  %-58s floor    %14.2f  measured %14.2f\n",
+			name+"/adaptive_over_best", AdaptiveGateRatio, gc.Ratio)
+	}
+	if len(failures) > 0 {
+		msg := fmt.Sprintf("regress: %d adaptive cells failed over %s:", len(failures), baselinePath)
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		msg += "\n(if intentional, regenerate with `nambench -exp adaptive`)"
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Fprintln(w, "adaptive regression gate passed")
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/policy"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/repl"
 	"github.com/namdb/rdmatree/internal/rdma/simnet"
@@ -88,6 +89,13 @@ type Config struct {
 	// experiment and the verb sequence the paper's figures assume. Ignored
 	// by the other designs and by cached clients.
 	LegacyReads bool
+	// Traverse selects the hybrid design's upper-level traversal strategy:
+	// "" or "rpc" keeps the design's native traverse RPC, "onesided" pins
+	// client-side fused reads of the inner nodes, and "adaptive" runs each
+	// client under its own policy engine (internal/policy) fed by the
+	// client's signal window and timed by its virtual clock, switching
+	// per partition at runtime. Hybrid only; a Validate error elsewhere.
+	Traverse string
 	// Replicas, when >= 2, deploys the fine-grained design with k-way page
 	// replication (DESIGN.md §13): server regions are carved into
 	// identity-offset replica slabs, every client's endpoint is wrapped in
@@ -129,6 +137,14 @@ func (c *Config) Validate() error {
 	if c.MeasureNS == 0 {
 		c.MeasureNS = 20_000_000 // 20ms virtual
 	}
+	switch c.Traverse {
+	case "", "rpc", "onesided", "adaptive":
+	default:
+		return fmt.Errorf("bench: unknown Traverse %q (want rpc, onesided or adaptive)", c.Traverse)
+	}
+	if c.Traverse != "" && c.Design != nam.Hybrid {
+		return fmt.Errorf("bench: Traverse requires the hybrid design")
+	}
 	if c.Replicas >= 2 {
 		if c.Design != nam.FineGrained {
 			return fmt.Errorf("bench: Replicas requires the fine-grained design")
@@ -163,6 +179,9 @@ type Result struct {
 	// CachePages is enabled.
 	CacheHits   int64
 	CacheMisses int64
+	// PolicySwitches counts runtime traversal-strategy switches across all
+	// clients (hybrid with Traverse "adaptive" only).
+	PolicySwitches int64
 	// Util reports per-station utilization over the measurement window;
 	// Util.Max() names the saturated resource behind a plateau.
 	Util simnet.Utilization
@@ -302,6 +321,7 @@ func Run(cfg Config) (Result, error) {
 
 	// Deploy the design.
 	var caches []*cache.Mem
+	var engines []*policy.Engine
 	var mkClient func(clientID int, p *sim.Proc) core.Index
 	var mkPipelined func(clientID int, p *sim.Proc) *fine.PipelinedClient
 	switch cfg.Design {
@@ -384,12 +404,38 @@ func Run(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		// Replies piggyback the handler pool's utilization so adaptive
+		// clients see the server-CPU signal (one probe per server, shared
+		// by its handler procs).
+		probes := make([]func() float64, cfg.Topology.MemServers)
+		for i := range probes {
+			probes[i] = fab.ServerCoreLoad(i)
+		}
+		srv.SetLoadProbe(func(server int) float64 { return probes[server]() })
 		fab.SetHandler(wrapHandler(srv.Handler()))
 		fab.Start()
 		mkClient = func(id int, p *sim.Proc) core.Index {
 			c := hybrid.NewClient(clientEp(id, p), fab.ClientEnv(p), cat, id)
 			c.SetRecorder(rec)
 			c.SetOpLog(clientLog(id, p))
+			switch cfg.Traverse {
+			case "onesided":
+				c.SetDecider(policy.Static(policy.StrategyOneSided))
+			case "adaptive":
+				// Per-client engine and window, timed by the client's own
+				// virtual clock: decisions use measured virtual-ns costs, so
+				// the crossover tracks the simulated fabric, not the host.
+				// The dwell is 2ms virtual — a few hundred operations at
+				// typical simulated rates, long enough that a borderline
+				// partition holds rather than flaps.
+				pcfg := policy.Defaults(cfg.Topology.MemServers)
+				pcfg.MinDwell = 2_000_000
+				win := policy.NewWindow(cfg.Topology.MemServers)
+				eng := policy.NewEngine(pcfg, win, p)
+				engines = append(engines, eng)
+				c.SetDecider(eng)
+				c.SetSignalFeed(win, p)
+			}
 			return c
 		}
 	default:
@@ -533,6 +579,9 @@ func Run(cfg Config) (Result, error) {
 		res.CacheHits += cm.Stats.Hits
 		res.CacheMisses += cm.Stats.Misses
 	}
+	for _, eng := range engines {
+		res.PolicySwitches += eng.Switches()
+	}
 	if rec != nil {
 		res.Telemetry = rec
 		if LiveRecorder != nil {
@@ -549,3 +598,4 @@ func Run(cfg Config) (Result, error) {
 	}
 	return res, nil
 }
+

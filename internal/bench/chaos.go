@@ -28,6 +28,7 @@ func expChaos(w io.Writer, sc Scale) error {
 				Schedule:   scn.Schedule,
 				Replicas:   scn.Replicas,
 				SkipVerify: scn.Expect.PermanentLoss,
+				Adaptive:   scn.Adaptive,
 			})
 			if err != nil {
 				return fmt.Errorf("chaos/%s/%s: %w", scn.Name, design, err)
@@ -52,6 +53,16 @@ func expChaos(w io.Writer, sc Scale) error {
 			if scn.Replicas >= 2 && len(rep.Wiped) > 0 && !rep.RebuildClean {
 				failures++
 				fmt.Fprintf(w, "    REBUILD VIOLATED: rebuilt members differ from group authorities\n")
+			}
+			if scn.Adaptive && design == "hybrid" {
+				if m := scn.Expect.MaxPolicySwitches; m > 0 && rep.PolicySwitches > int64(m) {
+					failures++
+					fmt.Fprintf(w, "    POLICY FLAPPED: %d strategy switches exceed the bound %d\n", rep.PolicySwitches, m)
+				}
+				if scn.Expect.PolicyResets && rep.PolicyResets == 0 {
+					failures++
+					fmt.Fprintf(w, "    POLICY CONTRACT VIOLATED: promotion never reset a partition's signal window\n")
+				}
 			}
 		}
 		fmt.Fprintln(w)

@@ -34,6 +34,7 @@ import (
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/policy"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/direct"
 	"github.com/namdb/rdmatree/internal/rdma/faultnet"
@@ -89,6 +90,11 @@ type Config struct {
 	// replica group wiped): the surviving state is incomplete by
 	// construction, so the invariant sweep is meaningless.
 	SkipVerify bool
+	// Adaptive runs each hybrid client under its own traversal-policy engine
+	// (internal/policy): per-partition strategy decisions fed by the client's
+	// own signal window, with promotions and group moves resetting the
+	// affected partition's window. Ignored for the other designs.
+	Adaptive bool
 }
 
 func (c *Config) defaults() {
@@ -160,6 +166,15 @@ type Report struct {
 	Dumps []obs.Dump
 	// ObsEvents is the total number of events recorded across all clients.
 	ObsEvents uint64
+
+	// Traversal policy (Config.Adaptive on the hybrid design only).
+	PolicySwitches int64 // strategy switches decided across all clients
+	PolicyResets   int64 // promotion/group-move window resets across all clients
+	// PolicyTrace concatenates every client's rendered decision trace in
+	// client order. Decision timestamps come from the injected tick clocks,
+	// so single-client runs of the same schedule render byte-identical
+	// traces — the replayability contract CI diffs.
+	PolicyTrace string
 }
 
 // Summary renders the report on a few lines.
@@ -171,6 +186,9 @@ func (r *Report) Summary() string {
 	if len(r.Wiped) > 0 {
 		s += fmt.Sprintf("wiped=%v group_epochs=%v rebuilt_words=%d rebuild_clean=%v\n",
 			r.Wiped, r.GroupEpochs, r.RebuiltWords, r.RebuildClean)
+	}
+	if r.PolicySwitches > 0 || r.PolicyResets > 0 {
+		s += fmt.Sprintf("policy_switches=%d policy_resets=%d\n", r.PolicySwitches, r.PolicyResets)
 	}
 	return s
 }
@@ -347,6 +365,54 @@ func deploy(cfg *Config) (*deployment, error) {
 	return dep, nil
 }
 
+// adaptiveClient is the policy surface of a design client (the hybrid
+// clients implement it).
+type adaptiveClient interface {
+	SetDecider(policy.Decider)
+	SetSignalFeed(policy.Feed, policy.Clock)
+}
+
+// policyReplEvents fans replication events out to the flight recorder and
+// the client's policy engine: a promotion or an adopted group move means the
+// partition's signals were measured against the old acting server, so the
+// engine resets its window instead of feeding the estimator stale samples.
+// Like the Router firing it, it runs on the owning client's goroutine.
+type policyReplEvents struct {
+	log *obs.Log // nil-safe
+	eng *policy.Engine
+}
+
+var _ repl.Events = (*policyReplEvents)(nil)
+
+func (p *policyReplEvents) PromotionEvent(home int, epoch uint64, acting int) {
+	p.log.PromotionEvent(home, epoch, acting)
+	p.eng.ResetPartition(home)
+}
+
+func (p *policyReplEvents) GroupMovedEvent(home int, epoch uint64) {
+	p.log.GroupMovedEvent(home, epoch)
+	p.eng.ResetPartition(home)
+}
+
+func (p *policyReplEvents) MemberDeadEvent(home, member int) {
+	p.log.MemberDeadEvent(home, member)
+}
+
+// chaosPolicyConfig is the engine configuration chaos clients run under:
+// Defaults plus a dwell horizon in the client's clock units. With a shared
+// flight-recorder tick clock every recorded event is one tick, so 600 ticks
+// is roughly 40-100 operations; without one the engine's private TickClock
+// advances only at decision points, so the dwell is counted in decisions.
+func chaosPolicyConfig(servers int, sharedClock bool) policy.Config {
+	cfg := policy.Defaults(servers)
+	if sharedClock {
+		cfg.MinDwell = 600
+	} else {
+		cfg.MinDwell = 4
+	}
+	return cfg
+}
+
 // clientResult is one client goroutine's outcome.
 type clientResult struct {
 	acked      []kv
@@ -401,6 +467,12 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
+	adaptive := cfg.Adaptive && cfg.Design == "hybrid"
+	var engines []*policy.Engine
+	if adaptive {
+		engines = make([]*policy.Engine, cfg.Clients)
+	}
+
 	results := make([]clientResult, cfg.Clients)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
@@ -410,6 +482,24 @@ func Run(cfg Config) (*Report, error) {
 			var log *obs.Log // nil unless cfg.Obs; nil disables recording
 			if logs != nil {
 				log = logs[c]
+			}
+			// The client's policy engine and signal window, sharing the
+			// flight recorder's tick clock when one exists so decision
+			// timestamps interleave causally with the recorded events.
+			var eng *policy.Engine
+			var win *policy.Window
+			var pclk policy.Clock
+			if adaptive {
+				pclk = &obs.TickClock{}
+				if log != nil {
+					pclk = log.Clock
+				}
+				win = policy.NewWindow(cfg.Servers)
+				eng = policy.NewEngine(chaosPolicyConfig(cfg.Servers, log != nil), win, pclk)
+				if log != nil {
+					eng.Events = log
+				}
+				engines[c] = eng
 			}
 			// The full robustness stack, built inside the owning goroutine:
 			// transport endpoint → fault injection → shared retry policy →
@@ -439,14 +529,27 @@ func Run(cfg Config) (*Report, error) {
 					Seed:     cfg.Schedule.Seed + 2_000 + int64(c),
 					Counters: rec,
 				})
-				if log != nil {
+				if eng != nil {
+					// Promotions and group moves reset the policy window on
+					// top of the usual flight-recorder events.
+					router.Events = &policyReplEvents{log: log, eng: eng}
+				} else if log != nil {
 					router.Events = log
+				}
+				if log != nil {
 					mir.Events = log
 				}
 				base = router
 			}
 			ep := retry.Wrap(base, pol)
-			idx := core.Recover(dep.mk(ep, mir, c, log), cfg.MaxOpAttempts, rec)
+			inner := dep.mk(ep, mir, c, log)
+			if eng != nil {
+				if a, ok := inner.(adaptiveClient); ok {
+					a.SetDecider(eng)
+					a.SetSignalFeed(win, pclk)
+				}
+			}
+			idx := core.Recover(inner, cfg.MaxOpAttempts, rec)
 			if log != nil {
 				idx = idx.WithEvents(log)
 			}
@@ -512,6 +615,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	rep.Wiped = append(rep.Wiped, wiped...)
+	for _, eng := range engines {
+		if eng != nil {
+			rep.PolicySwitches += eng.Switches()
+			rep.PolicyResets += eng.Resets()
+			rep.PolicyTrace += eng.RenderTrace()
+		}
+	}
 
 	// Post-run verification through fault-free endpoints. Unreplicated,
 	// scripted crashes leave the region contents physically intact (faultnet

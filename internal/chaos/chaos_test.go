@@ -56,6 +56,7 @@ func TestScenarios(t *testing.T) {
 					Schedule:   sc.Schedule,
 					Replicas:   sc.Replicas,
 					SkipVerify: sc.Expect.PermanentLoss,
+					Adaptive:   sc.Adaptive,
 					Obs:        true,
 				}
 				shrinkForShort(&cfg)
@@ -65,17 +66,30 @@ func TestScenarios(t *testing.T) {
 				}
 				defer saveArtifacts(t, cfg, rep)
 				t.Logf("%s", rep.Summary())
-				assertScenario(t, sc, rep)
+				assertScenario(t, sc, design, rep)
 			})
 		}
 	}
 }
 
 // assertScenario checks one run's report against its scenario's Expect.
-func assertScenario(t *testing.T, sc Scenario, rep *Report) {
+func assertScenario(t *testing.T, sc Scenario, design string, rep *Report) {
 	t.Helper()
 	if rep.AckedInserts == 0 {
 		t.Fatalf("no insert was ever acked under schedule %q", sc.Name)
+	}
+	// Policy assertions apply only where the engine runs: hybrid + Adaptive.
+	if sc.Adaptive && design == "hybrid" {
+		if m := sc.Expect.MaxPolicySwitches; m > 0 && rep.PolicySwitches > int64(m) {
+			t.Errorf("schedule %q: %d strategy switches exceed the flap bound %d\ntrace:\n%s",
+				sc.Name, rep.PolicySwitches, m, rep.PolicyTrace)
+		}
+		if sc.Expect.PolicyResets && rep.PolicyResets == 0 {
+			t.Errorf("schedule %q: promotion never reset a partition's policy window", sc.Name)
+		}
+	} else if rep.PolicySwitches != 0 || rep.PolicyResets != 0 {
+		t.Errorf("schedule %q on %s reported policy activity (%d switches, %d resets) without an engine",
+			sc.Name, design, rep.PolicySwitches, rep.PolicyResets)
 	}
 	// The op-latency bound is a *recovery* latency bound; a permanent-loss
 	// scenario's doomed operations legitimately burn their whole retry,
@@ -192,6 +206,45 @@ func TestReplicationRecoveryMatrix(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestPolicyFlapTraceReplay pins the policy engine's replayability contract
+// under the policy-flap schedule: a single client (identical verb sequence,
+// so identical faults, signals, and tick-clock timestamps) must render a
+// byte-identical decision trace across two runs, and the scripted wipe's
+// promotion must reset the affected partition's window.
+func TestPolicyFlapTraceReplay(t *testing.T) {
+	sc, ok := FindScenario("policy-flap")
+	if !ok {
+		t.Fatal("policy-flap scenario missing")
+	}
+	var traces [2]string
+	var resets [2]int64
+	for i := range traces {
+		rep, err := Run(Config{
+			Design:       "hybrid",
+			Clients:      1,
+			OpsPerClient: 600,
+			Preload:      1000,
+			Schedule:     sc.Schedule,
+			Replicas:     sc.Replicas,
+			Adaptive:     true,
+			Obs:          true,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		traces[i], resets[i] = rep.PolicyTrace, rep.PolicyResets
+	}
+	if traces[0] != traces[1] {
+		t.Errorf("decision traces differ across identical seeded runs:\nrun 0:\n%s\nrun 1:\n%s", traces[0], traces[1])
+	}
+	if resets[0] == 0 {
+		t.Error("the scripted wipe's promotion never reset a policy window")
+	}
+	if resets[0] != resets[1] {
+		t.Errorf("reset counts differ across identical runs: %d vs %d", resets[0], resets[1])
 	}
 }
 

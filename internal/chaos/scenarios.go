@@ -19,6 +19,15 @@ type Expect struct {
 	// post-run verification and rebuild are skipped because the surviving
 	// state is incomplete by construction.
 	PermanentLoss bool
+	// MaxPolicySwitches, when > 0 on an Adaptive scenario, bounds the total
+	// strategy-switch count across all clients on the hybrid design — the
+	// no-flapping contract: hysteresis and dwell must hold the switch count
+	// far below the evaluation count even under pressure that oscillates
+	// the cost estimates.
+	MaxPolicySwitches int
+	// PolicyResets asserts that at least one promotion/group-move reset a
+	// partition's policy state and signal window (hybrid + Adaptive only).
+	PolicyResets bool
 }
 
 // Scenario is one named, scripted fault schedule.
@@ -29,6 +38,9 @@ type Scenario struct {
 	// Replicas is the page-replication factor the scenario runs at (0 and 1
 	// both mean unreplicated).
 	Replicas int
+	// Adaptive runs the hybrid design's clients under the traversal-policy
+	// engine (Config.Adaptive); the other designs ignore it.
+	Adaptive bool
 	Schedule faultnet.Schedule
 	// Expect is the scenario's asserted outcome.
 	Expect Expect
@@ -134,6 +146,24 @@ func Scenarios() []Scenario {
 				},
 			},
 			Expect: Expect{ServerLost: true, PermanentLoss: true},
+		},
+		{
+			Name: "policy-flap",
+			Doc: "k=2 adaptive hybrid: heavy completion delays proxy server-CPU pressure while server 1 crashes, restarts, and is later wiped; " +
+				"the traversal-policy engine may switch strategies but must not flap, and the promotion must reset the affected partition's signal window rather than feed it stale samples",
+			Replicas: 2,
+			Adaptive: true,
+			Schedule: faultnet.Schedule{
+				Seed:       9,
+				DelayRate:  0.25,
+				DeadlineNS: 100_000,
+				MaxDelayNS: 25_000,
+				Steps: []faultnet.Step{
+					{AtTick: 700, Server: 1, DownForTicks: 120},
+					{AtTick: 1_500, Server: 1, DownForTicks: 120, Lose: true},
+				},
+			},
+			Expect: Expect{MaxPolicySwitches: 32, PolicyResets: true},
 		},
 	}
 }

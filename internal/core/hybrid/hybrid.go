@@ -23,6 +23,7 @@ import (
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/policy"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/rdma/repl"
 	"github.com/namdb/rdmatree/internal/telemetry"
@@ -67,6 +68,19 @@ type Server struct {
 	opts    Options
 	fab     rdma.Fabric
 	catalog *nam.Catalog
+	// load, when non-nil, supplies each server's handler-CPU utilization in
+	// [0,1]; the handler piggybacks it on every reply (nam.Response.Load).
+	load func(server int) float64
+}
+
+// SetLoadProbe installs a per-server CPU-utilization probe; replies then
+// carry the load signal the adaptive traversal policy consumes (the
+// crossover between RPC offload and one-sided traversal moves with server
+// load, so clients need to see it). The deployment supplies the probe —
+// simnet.Fabric.ServerCoreLoad on the simulated fabric — keeping this
+// package free of any dependency on the fabric's implementation.
+func (s *Server) SetLoadProbe(probe func(server int) float64) {
+	s.load = probe
 }
 
 // NewServer wires the design's server side onto a fabric.
@@ -298,6 +312,14 @@ func (s *Server) Handler() rdma.Handler {
 			// committed pages before failing still needs them mirrored.
 			resp.Dirty = capt.Pages
 		}
+		if s.load != nil {
+			if u := s.load(server); u > 0 {
+				if u > 1 {
+					u = 1
+				}
+				resp.Load = uint8(u*100 + 0.5)
+			}
+		}
 		return resp.Encode(), rdma.Work{PagesTouched: st.PageReads + st.PageWrites}
 	}
 }
@@ -378,6 +400,14 @@ type Client struct {
 	rec  *telemetry.Recorder
 	log  *obs.Log
 	mir  nam.DirtyPusher
+
+	// dec, when non-nil, selects the traversal strategy per operation
+	// (policy.Decider); upper[srv] is the client-side handle onto server
+	// srv's inner levels for one-sided traversal, built on SetDecider.
+	dec    policy.Decider
+	upper  []*btree.Tree
+	feed   policy.Feed
+	pclock policy.Clock
 }
 
 // Mirrorer is the client-side replication engine (repl.Mirrorer): the leaf
@@ -414,18 +444,65 @@ func (c *Client) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
 func (c *Client) SetOpLog(log *obs.Log) {
 	c.log = log
 	c.leaf.M = obs.WrapMem(c.leaf.M, log)
+	for _, t := range c.upper {
+		t.M = obs.WrapMem(t.M, log)
+	}
+}
+
+// SetDecider installs the traversal-policy hook consulted once per operation:
+// policy.StrategyOneSided routes the upper-level descent through one-sided
+// fused reads of the owner's inner nodes (the B-link right-links make that
+// correct against concurrent handler-side installs), policy.StrategyRPC keeps
+// the traverse offloaded. Splits always report upstairs via the install RPC
+// regardless of strategy — only the read path is policy-driven. A nil d
+// restores the static RPC design.
+func (c *Client) SetDecider(d policy.Decider) {
+	c.dec = d
+	if d == nil {
+		return
+	}
+	if c.upper == nil {
+		l := layout.New(c.cat.PageBytes)
+		c.upper = make([]*btree.Tree, c.cat.Servers)
+		for srv := range c.upper {
+			t := btree.New(l, &btree.EndpointMem{Ep: c.ep, Place: btree.Fixed(srv)}, c.cat.RootWords[srv])
+			t.SpinBudget = c.leaf.SpinBudget
+			if c.log != nil {
+				t.M = obs.WrapMem(t.M, c.log)
+			}
+			c.upper[srv] = t
+		}
+	}
+}
+
+// SetSignalFeed directs per-traversal and per-leaf-access observations into
+// f, timestamped off clock — the measurement half of the adaptive loop (the
+// decision half is SetDecider). Both must be non-nil, or both nil.
+func (c *Client) SetSignalFeed(f policy.Feed, clock policy.Clock) {
+	c.feed, c.pclock = f, clock
 }
 
 // InvalidateRoot implements core.RootInvalidator. The hybrid client caches
 // no descent state itself (every operation starts from a traversal RPC), but
-// the one-sided leaf engine keeps the usual root-word cache; drop it so a
-// post-fault retry starts from fresh state.
-func (c *Client) InvalidateRoot() { c.leaf.InvalidateRoot() }
+// the one-sided leaf engine — and, adaptive, each upper-level handle — keeps
+// the usual root-word cache; drop them so a post-fault retry starts from
+// fresh state.
+func (c *Client) InvalidateRoot() {
+	c.leaf.InvalidateRoot()
+	for _, t := range c.upper {
+		t.InvalidateRoot()
+	}
+}
 
 // SetSpinBudget bounds the leaf engine's consistency restarts per operation
 // (btree.Tree.SpinBudget); clients running under fault injection set it so a
 // stuck leaf lock surfaces as btree.ErrSpinBudget instead of a hang.
-func (c *Client) SetSpinBudget(n int) { c.leaf.SpinBudget = n }
+func (c *Client) SetSpinBudget(n int) {
+	c.leaf.SpinBudget = n
+	for _, t := range c.upper {
+		t.SpinBudget = n
+	}
+}
 
 func (c *Client) record(st btree.Stats) {
 	if c.rec != nil {
@@ -475,16 +552,53 @@ func (c *Client) call(server int, req *nam.Request) (*nam.Response, error) {
 	return &resp, nil
 }
 
-// traverse asks the partition owner for the leaf responsible for key.
+// traverse locates the leaf responsible for key: an RPC to the partition
+// owner, or — when the policy engine says the crossover favors it — a
+// one-sided descent of the owner's inner levels.
 func (c *Client) traverse(server int, key uint64) (rdma.RemotePtr, error) {
+	if c.dec != nil && c.dec.Strategy(server) == policy.StrategyOneSided {
+		return c.traverseOneSided(server, key)
+	}
+	var t0 int64
+	if c.feed != nil {
+		t0 = c.pclock.Now()
+	}
 	resp, err := c.call(server, &nam.Request{Op: nam.OpTraverse, Key: key})
 	if err != nil {
 		return rdma.NullPtr, err
+	}
+	if c.feed != nil {
+		c.feed.ObserveTraverse(server, policy.StrategyRPC, c.pclock.Now()-t0, 0)
+		c.feed.ObserveCPU(server, float64(resp.Load)/100)
 	}
 	if resp.Ptr.IsNull() {
 		return rdma.NullPtr, fmt.Errorf("hybrid: traverse returned null leaf")
 	}
 	return resp.Ptr, nil
+}
+
+// traverseOneSided walks server's upper levels with fused reads. The descent
+// is read-only (inner-level writes happen only in the owner's install
+// handlers), so it needs no mirroring; under replication c.ep is already the
+// group-routing endpoint and the group root word resolves to the acting
+// primary.
+func (c *Client) traverseOneSided(server int, key uint64) (rdma.RemotePtr, error) {
+	var t0 int64
+	if c.feed != nil {
+		t0 = c.pclock.Now()
+	}
+	leaf, st, err := c.upper[server].FindLeaf(c.env, key)
+	c.record(st)
+	if err != nil {
+		return rdma.NullPtr, err
+	}
+	if c.feed != nil {
+		c.feed.ObserveTraverse(server, policy.StrategyOneSided, c.pclock.Now()-t0, st.Depth)
+	}
+	if leaf.IsNull() {
+		return rdma.NullPtr, fmt.Errorf("hybrid: traverse returned null leaf")
+	}
+	return leaf, nil
 }
 
 // Lookup implements core.Index: RPC traversal + one-sided leaf read.
@@ -496,12 +610,20 @@ func (c *Client) Lookup(key uint64) ([]uint64, error) {
 }
 
 func (c *Client) doLookup(key uint64) ([]uint64, error) {
-	leaf, err := c.traverse(c.part.Server(key), key)
+	srv := c.part.Server(key)
+	leaf, err := c.traverse(srv, key)
 	if err != nil {
 		return nil, err
 	}
+	var t0 int64
+	if c.feed != nil {
+		t0 = c.pclock.Now()
+	}
 	vals, st, err := c.leaf.LeafLookup(c.env, leaf, key)
 	c.record(st)
+	if c.feed != nil && err == nil {
+		c.feed.ObserveLeaf(srv, c.pclock.Now()-t0, st.ExposedRTTs, 8*len(vals))
+	}
 	return vals, err
 }
 
@@ -516,11 +638,13 @@ func (c *Client) Range(lo, hi uint64, emit func(k, v uint64) bool) error {
 
 func (c *Client) doRange(lo, hi uint64, emit func(k, v uint64) bool) error {
 	stopped := false
+	emitted := 0
 	wrapped := func(k, v uint64) bool {
 		if !emit(k, v) {
 			stopped = true
 			return false
 		}
+		emitted++
 		return true
 	}
 	for _, srv := range c.part.CoversRange(lo, hi) {
@@ -528,8 +652,16 @@ func (c *Client) doRange(lo, hi uint64, emit func(k, v uint64) bool) error {
 		if err != nil {
 			return err
 		}
+		var t0 int64
+		if c.feed != nil {
+			t0 = c.pclock.Now()
+			emitted = 0
+		}
 		st, err := c.leaf.LeafScan(c.env, leaf, lo, hi, wrapped)
 		c.record(st)
+		if c.feed != nil && err == nil {
+			c.feed.ObserveLeaf(srv, c.pclock.Now()-t0, st.ExposedRTTs, 16*emitted)
+		}
 		if err != nil {
 			return err
 		}
@@ -555,8 +687,15 @@ func (c *Client) doInsert(key, value uint64) error {
 	if err != nil {
 		return err
 	}
+	var t0 int64
+	if c.feed != nil {
+		t0 = c.pclock.Now()
+	}
 	sp, st, err := c.leaf.LeafInsertAt(c.env, leaf, key, value)
 	c.record(st)
+	if c.feed != nil && err == nil {
+		c.feed.ObserveLeaf(srv, c.pclock.Now()-t0, st.ExposedRTTs, 8)
+	}
 	if err != nil {
 		return err
 	}
@@ -576,11 +715,19 @@ func (c *Client) Delete(key, value uint64) (bool, error) {
 }
 
 func (c *Client) doDelete(key, value uint64) (bool, error) {
-	leaf, err := c.traverse(c.part.Server(key), key)
+	srv := c.part.Server(key)
+	leaf, err := c.traverse(srv, key)
 	if err != nil {
 		return false, err
 	}
+	var t0 int64
+	if c.feed != nil {
+		t0 = c.pclock.Now()
+	}
 	ok, st, err := c.leaf.LeafDeleteAt(c.env, leaf, key, value)
 	c.record(st)
+	if c.feed != nil && err == nil {
+		c.feed.ObserveLeaf(srv, c.pclock.Now()-t0, st.ExposedRTTs, 8)
+	}
 	return ok, err
 }

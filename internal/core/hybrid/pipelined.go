@@ -8,6 +8,7 @@ import (
 	"github.com/namdb/rdmatree/internal/nam"
 	"github.com/namdb/rdmatree/internal/obs"
 	"github.com/namdb/rdmatree/internal/partition"
+	"github.com/namdb/rdmatree/internal/policy"
 	"github.com/namdb/rdmatree/internal/rdma"
 	"github.com/namdb/rdmatree/internal/telemetry"
 )
@@ -27,10 +28,20 @@ import (
 type PipelinedClient struct {
 	ep   rdma.AsyncEndpoint
 	env  rdma.Env
+	cat  *nam.Catalog
 	part partition.Partitioner
 	leaf *btree.Tree
 	rec  *telemetry.Recorder
 	log  *obs.Log
+
+	// dec, when non-nil, selects the traversal strategy per operation; a
+	// slot decided one-sided posts nothing and runs its descent at the next
+	// round boundary (see pumpRound — the boundary is the ordering fence
+	// that makes a mid-pipeline strategy switch safe).
+	dec    policy.Decider
+	upper  []*btree.Tree
+	feed   policy.Feed
+	pclock policy.Clock
 
 	slots  []*travSlot
 	free   []int32
@@ -47,6 +58,8 @@ type travSlot struct {
 	key, value uint64
 	server     int
 	start      int64
+	strat      policy.Strategy
+	t0         int64 // signal-feed timestamp (posting time, RPC strategy)
 
 	onLookup func(values []uint64, err error)
 	onInsert func(err error)
@@ -68,6 +81,7 @@ func NewPipelinedClient(ep rdma.Endpoint, env rdma.Env, cat *nam.Catalog, rrStar
 	c := &PipelinedClient{
 		ep:   rdma.Async(ep),
 		env:  env,
+		cat:  cat,
 		part: cat.Partitioner(),
 		leaf: leaf,
 	}
@@ -91,7 +105,39 @@ func (c *PipelinedClient) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
 func (c *PipelinedClient) SetOpLog(log *obs.Log) { c.log = log }
 
 // SetSpinBudget bounds the leaf engine's consistency restarts per operation.
-func (c *PipelinedClient) SetSpinBudget(n int) { c.leaf.SpinBudget = n }
+func (c *PipelinedClient) SetSpinBudget(n int) {
+	c.leaf.SpinBudget = n
+	for _, t := range c.upper {
+		t.SpinBudget = n
+	}
+}
+
+// SetDecider installs the traversal-policy hook, exactly as on the serial
+// Client. The decider is consulted at submission time; operations decided
+// one-sided skip the doorbell batch entirely and run their fused-read
+// descent at the round boundary.
+func (c *PipelinedClient) SetDecider(d policy.Decider) {
+	c.dec = d
+	if d == nil {
+		return
+	}
+	if c.upper == nil {
+		l := layout.New(c.cat.PageBytes)
+		c.upper = make([]*btree.Tree, c.cat.Servers)
+		for srv := range c.upper {
+			t := btree.New(l, &btree.EndpointMem{Ep: c.ep, Place: btree.Fixed(srv)}, c.cat.RootWords[srv])
+			t.SpinBudget = c.leaf.SpinBudget
+			c.upper[srv] = t
+		}
+	}
+}
+
+// SetSignalFeed directs traversal observations into f, timestamped off
+// clock. RPC traverses are measured post-to-delivery (their exposed,
+// pipelined cost); one-sided traverses around the descent itself.
+func (c *PipelinedClient) SetSignalFeed(f policy.Feed, clock policy.Clock) {
+	c.feed, c.pclock = f, clock
+}
 
 // Lookup submits an asynchronous lookup; cb runs when the operation
 // completes (possibly within this call, if the client pumps rounds to free
@@ -144,11 +190,29 @@ func (c *PipelinedClient) post(s *travSlot) {
 		s.start = c.log.Clock.Now()
 	}
 	s.server = c.part.Server(s.key)
+	s.strat = policy.StrategyRPC
+	if c.dec != nil {
+		s.strat = c.dec.Strategy(s.server)
+	}
+	if c.feed != nil {
+		s.t0 = c.pclock.Now()
+	}
+	c.nextOrder = append(c.nextOrder, s.idx)
+	if s.strat == policy.StrategyOneSided {
+		// Nothing to post: the one-sided descent runs when this round is
+		// pumped. The slot still occupies its position in the round's
+		// delivery order, so results stay in submission order.
+		return
+	}
 	req := nam.Request{Op: nam.OpTraverse, Key: s.key}
 	c.ep.PostCall(s.server, req.Encode())
-	c.nextOrder = append(c.nextOrder, s.idx)
 }
 
+// pumpRound flushes the round's doorbell batch, reaps exactly its RPC
+// completions, and delivers every slot in posting order. Slots decided
+// one-sided execute here, between Poll and the next doorbell — the round
+// boundary is an ordering fence (nothing is outstanding), which is why a
+// strategy switch between rounds can never reorder or orphan a completion.
 func (c *PipelinedClient) pumpRound() {
 	c.order, c.nextOrder = c.nextOrder, c.order[:0]
 	if len(c.order) == 0 {
@@ -157,24 +221,74 @@ func (c *PipelinedClient) pumpRound() {
 		}
 		panic("hybrid: active operations with no posted calls")
 	}
-	c.ep.Flush()
-	c.comps = c.ep.Poll(c.comps[:0])
-	if len(c.comps) != len(c.order) {
-		panic(fmt.Sprintf("hybrid: %d completions for %d posted calls", len(c.comps), len(c.order)))
+	posted := 0
+	for _, idx := range c.order {
+		if c.slots[idx].strat != policy.StrategyOneSided {
+			posted++
+		}
 	}
-	for i, idx := range c.order {
-		c.deliver(c.slots[idx], c.comps[i])
+	if posted > 0 {
+		c.ep.Flush()
+		c.comps = c.ep.Poll(c.comps[:0])
+	} else {
+		c.comps = c.comps[:0]
 	}
+	if len(c.comps) != posted {
+		panic(fmt.Sprintf("hybrid: %d completions for %d posted calls", len(c.comps), posted))
+	}
+	ci := 0
+	for _, idx := range c.order {
+		s := c.slots[idx]
+		if s.strat == policy.StrategyOneSided {
+			c.deliverOneSided(s)
+			continue
+		}
+		c.deliver(s, c.comps[ci])
+		ci++
+	}
+}
+
+// deliverOneSided runs a slot's one-sided upper-level descent and its leaf
+// access. Blocking verbs are safe here for the same reason as the install
+// RPC in deliver: delivery happens with no completions outstanding.
+func (c *PipelinedClient) deliverOneSided(s *travSlot) {
+	var t0 int64
+	if c.feed != nil {
+		t0 = c.pclock.Now()
+	}
+	leaf, st, err := c.upper[s.server].FindLeaf(c.env, s.key)
+	c.record(st)
+	if err == nil && c.feed != nil {
+		c.feed.ObserveTraverse(s.server, policy.StrategyOneSided, c.pclock.Now()-t0, st.Depth)
+	}
+	if err == nil && leaf.IsNull() {
+		err = fmt.Errorf("hybrid: traverse returned null leaf")
+	}
+	if err != nil {
+		c.finish(s, nil, false, err)
+		return
+	}
+	c.leafAccess(s, leaf)
 }
 
 // deliver consumes one slot's traverse response and runs its leaf access.
 func (c *PipelinedClient) deliver(s *travSlot, comp rdma.Completion) {
-	leaf, err := decodeTraverse(comp)
+	leaf, load, err := decodeTraverse(comp)
 	c.log.RPCEvent(s.server, nam.OpTraverse, err)
 	if err != nil {
 		c.finish(s, nil, false, err)
 		return
 	}
+	if c.feed != nil {
+		c.feed.ObserveTraverse(s.server, policy.StrategyRPC, c.pclock.Now()-s.t0, 0)
+		c.feed.ObserveCPU(s.server, float64(load)/100)
+	}
+	c.leafAccess(s, leaf)
+}
+
+// leafAccess runs the slot's one-sided leaf operation against leaf and
+// finishes the slot.
+func (c *PipelinedClient) leafAccess(s *travSlot, leaf rdma.RemotePtr) {
 	switch s.op {
 	case nam.OpLookup:
 		vals, st, err := c.leaf.LeafLookup(c.env, leaf, s.key)
@@ -207,21 +321,21 @@ func (c *PipelinedClient) deliver(s *travSlot, comp rdma.Completion) {
 	}
 }
 
-func decodeTraverse(comp rdma.Completion) (rdma.RemotePtr, error) {
+func decodeTraverse(comp rdma.Completion) (rdma.RemotePtr, uint8, error) {
 	if comp.Err != nil {
-		return rdma.NullPtr, comp.Err
+		return rdma.NullPtr, 0, comp.Err
 	}
 	resp, err := nam.DecodeResponse(comp.Resp)
 	if err == nil {
 		err = resp.AsError()
 	}
 	if err != nil {
-		return rdma.NullPtr, err
+		return rdma.NullPtr, 0, err
 	}
 	if resp.Ptr.IsNull() {
-		return rdma.NullPtr, fmt.Errorf("hybrid: traverse returned null leaf")
+		return rdma.NullPtr, 0, fmt.Errorf("hybrid: traverse returned null leaf")
 	}
-	return resp.Ptr, nil
+	return resp.Ptr, resp.Load, nil
 }
 
 func (c *PipelinedClient) record(st btree.Stats) {

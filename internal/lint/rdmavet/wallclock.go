@@ -23,6 +23,9 @@ var DefaultWallclockScope = Scope{
 		"internal/stats",
 		"internal/sim",
 		"internal/rdma",
+		// The policy engine's decisions must be byte-stable and replayable:
+		// all timestamps come from its injected Clock, never the wall.
+		"internal/policy",
 		// The flight recorder runs inside traced clients under virtual time;
 		// its one wall clock (obs.Wall, for real transports) carries an
 		// explicit //rdmavet:allow suppression.

@@ -59,6 +59,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StatusOK, Pairs: []uint64{10, 100, 11, 110}},
 		{Status: StatusErr, Err: "boom"},
 		{Status: StatusOK, Values: []uint64{9}, Pairs: []uint64{1, 2}, Err: ""},
+		{Status: StatusOK, Ptr: rdma.MakePtr(1, 64), Load: 87},
+		{Status: StatusOK, Load: 100},
 	}
 	for _, r := range resps {
 		got, err := DecodeResponse(r.Encode())
@@ -67,6 +69,9 @@ func TestResponseRoundTrip(t *testing.T) {
 		}
 		if got.Status != r.Status || got.Ptr != r.Ptr || got.Err != r.Err {
 			t.Fatalf("round trip: got %+v want %+v", got, r)
+		}
+		if got.Load != r.Load {
+			t.Fatalf("round trip load: got %d want %d", got.Load, r.Load)
 		}
 		if len(got.Values) != len(r.Values) || len(got.Pairs) != len(r.Pairs) {
 			t.Fatalf("round trip lengths: got %+v want %+v", got, r)
@@ -81,6 +86,21 @@ func TestResponseRoundTrip(t *testing.T) {
 				t.Fatalf("pairs differ: %v vs %v", got.Pairs, r.Pairs)
 			}
 		}
+	}
+}
+
+// TestDecodeResponseNoLoadTrailer pins backward compatibility: a response
+// encoded before the load trailer existed (bytes end after the dirty-page
+// trailer) decodes with Load 0.
+func TestDecodeResponseNoLoadTrailer(t *testing.T) {
+	r := Response{Status: StatusOK, Ptr: rdma.MakePtr(2, 128), Load: 55}
+	b := r.Encode()
+	got, err := DecodeResponse(b[:len(b)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Load != 0 || got.Ptr != r.Ptr {
+		t.Fatalf("pre-load decode: got Load=%d Ptr=%v, want Load=0 Ptr=%v", got.Load, got.Ptr, r.Ptr)
 	}
 }
 

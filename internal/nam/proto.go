@@ -204,6 +204,12 @@ type Response struct {
 	// to error responses too: a handler that committed pages and then
 	// failed still needs those pages mirrored.
 	Dirty []DirtyPage
+	// Load is the responding server's handler-pool CPU utilization in
+	// percent [0,100], piggybacked on every reply so clients see the load
+	// signal without extra round trips (the adaptive traversal policy feeds
+	// it to its crossover estimator). 0 when the server has no load probe
+	// installed.
+	Load uint8
 }
 
 // Encode serializes the response.
@@ -233,6 +239,9 @@ func (r *Response) Encode() []byte {
 			buf = order.AppendUint64(buf, w)
 		}
 	}
+	// Load trailer byte (appended after the dirty pages for the same
+	// backward-compatibility reason).
+	buf = append(buf, r.Load)
 	return buf
 }
 
@@ -300,6 +309,10 @@ func DecodeResponse(b []byte) (Response, error) {
 			off += 8
 		}
 		r.Dirty = append(r.Dirty, d)
+	}
+	// Optional load trailer byte (absent in pre-policy encodings).
+	if len(b) > off {
+		r.Load = b[off]
 	}
 	return r, nil
 }

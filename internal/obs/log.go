@@ -243,6 +243,13 @@ func (l *Log) RebuildEvent(member, words int) {
 	l.Event(EvRebuild, uint64(member), uint64(words))
 }
 
+// PolicyEvent implements policy.Events: the traversal-policy engine switched
+// partition to strategy to (or reset it on a promotion), so every policy
+// decision appears in flight-recorder dumps alongside the ops around it.
+func (l *Log) PolicyEvent(partition int, to uint8, reason uint8) {
+	l.Event(EvPolicy, uint64(partition), uint64(to)|uint64(reason)<<8)
+}
+
 // trigger renders and retains a dump, bounded by MaxDumps.
 func (l *Log) trigger(reason string) {
 	max := l.MaxDumps
@@ -371,6 +378,9 @@ func renderEvent(b *strings.Builder, e *Event) {
 		fmt.Fprintf(b, "  [t=%d] repl-member-dead g%d s%d\n", e.T, e.A, e.B)
 	case EvRebuild:
 		fmt.Fprintf(b, "[t=%d] repl-rebuild s%d words=%d\n", e.T, e.A, e.B)
+	case EvPolicy:
+		fmt.Fprintf(b, "  [t=%d] policy part=%d to=%s reason=%s\n",
+			e.T, e.A, policyStratName(e.B&0xff), policyReasonName(e.B>>8))
 	case EvNone:
 		// Unwritten slot (ring not yet full); skip.
 	default:
@@ -383,6 +393,26 @@ func errName(code uint64) string {
 		return errNames[code]
 	}
 	return "error"
+}
+
+// Policy strategy/reason labels, duplicated from internal/policy (like the
+// out*/ec* name tables) so obs keeps importing nothing above the protocol
+// layers.
+var policyStratNames = [...]string{"rpc", "one-sided"}
+var policyReasonNames = [...]string{"?", "enter", "exit", "reset", "dwell-hold"}
+
+func policyStratName(code uint64) string {
+	if int(code) < len(policyStratNames) {
+		return policyStratNames[code]
+	}
+	return "strategy?"
+}
+
+func policyReasonName(code uint64) string {
+	if int(code) < len(policyReasonNames) {
+		return policyReasonNames[code]
+	}
+	return "reason?"
 }
 
 func outName(code uint64) string {

@@ -155,6 +155,10 @@ const (
 	// EvRebuild is a post-run replica rebuild: A = rebuilt member, B = words
 	// copied.
 	EvRebuild
+	// EvPolicy is a traversal-policy engine decision — a strategy switch or
+	// a promotion-triggered reset: A = partition, B = strategy | reason<<8
+	// (policy.Strategy / policy.Reason* codes).
+	EvPolicy
 	numEventKinds
 )
 
@@ -163,7 +167,7 @@ var eventNames = [numEventKinds]string{
 	"cas", "unlock", "alloc", "free", "prefetch", "cache-hit", "cache-miss",
 	"cache-stale", "rpc", "retry", "reconnect", "epoch-fence", "lock-sweep",
 	"slo-breach", "repl-promote", "repl-group-moved", "repl-member-dead",
-	"repl-rebuild",
+	"repl-rebuild", "policy",
 }
 
 // String returns the event kind's label.

@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Decision is one retained trace entry: at T, partition Part moved (or was
+// held) From→To for Reason, with the estimator's two costs at that point.
+// The trace is rendered deterministically — under an injected clock two
+// seeded runs produce byte-identical traces, which is what the CI diff and
+// the golden-replay test pin.
+type Decision struct {
+	T        int64
+	Part     int
+	From, To Strategy
+	Reason   uint8
+	OneCost  float64
+	RPCCost  float64
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("[t=%d] part=%d %s->%s reason=%s one=%.1f rpc=%.1f",
+		d.T, d.Part, d.From, d.To, ReasonString(d.Reason), d.OneCost, d.RPCCost)
+}
+
+// partState is the engine's per-partition decision state.
+type partState struct {
+	cur        Strategy
+	calls      int64
+	lastSwitch int64
+	switched   bool // lastSwitch is meaningful (dwell applies after the first switch only)
+}
+
+// Engine is the per-partition policy engine: a Decider that re-runs the
+// crossover estimator every EvalEvery operations per partition, applies the
+// hysteresis band and dwell timer, and records every decision. An Engine is
+// owned by a single client goroutine, like the client consulting it.
+type Engine struct {
+	cfg   Config
+	src   SignalSource
+	clock Clock
+	// Events, when non-nil, receives every switch and reset (obs.Log
+	// implements it; switches then appear in flight-recorder dumps).
+	Events Events
+
+	parts    []partState
+	trace    []Decision
+	dropped  int64
+	switches int64
+	resets   int64
+}
+
+var _ Decider = (*Engine)(nil)
+
+// NewEngine builds an engine deciding over cfg.Partitions partitions, polling
+// src at evaluation points and timestamping decisions off clock.
+func NewEngine(cfg Config, src SignalSource, clock Clock) *Engine {
+	e := &Engine{cfg: cfg, src: src, clock: clock}
+	e.parts = make([]partState, cfg.Partitions)
+	for i := range e.parts {
+		e.parts[i].cur = cfg.Default
+	}
+	return e
+}
+
+// Strategy implements Decider: the per-operation hook. Between evaluation
+// points it is a counter bump and a field read; every EvalEvery-th call per
+// partition re-runs the estimator, and every ProbeEvery-th call routes the
+// operation through the non-current strategy to keep both sides measured.
+func (e *Engine) Strategy(partition int) Strategy {
+	if partition < 0 || partition >= len(e.parts) {
+		return e.cfg.Default
+	}
+	st := &e.parts[partition]
+	st.calls++
+	if e.cfg.EvalEvery > 0 && st.calls%e.cfg.EvalEvery == 0 {
+		e.evaluate(partition, st)
+	}
+	if e.cfg.ProbeEvery > 0 && st.calls%e.cfg.ProbeEvery == 0 {
+		if st.cur == StrategyRPC {
+			return StrategyOneSided
+		}
+		return StrategyRPC
+	}
+	return st.cur
+}
+
+// Current returns partition's strategy without ticking the call counter
+// (assertions and reports).
+func (e *Engine) Current(partition int) Strategy {
+	if partition < 0 || partition >= len(e.parts) {
+		return e.cfg.Default
+	}
+	return e.parts[partition].cur
+}
+
+// evaluate runs one estimator pass for partition. The clock is read only
+// here (and in ResetPartition), never on the per-op fast path, so the
+// decision trace of a run is a pure function of the observation stream.
+func (e *Engine) evaluate(partition int, st *partState) {
+	sig, ok := e.src.Snapshot(partition)
+	if !ok || sig.Ops < e.cfg.MinOps {
+		return // cold start: hold the default, record nothing
+	}
+	one, rpc := Estimate(e.cfg, sig)
+	if one <= 0 || rpc <= 0 {
+		return // unestimable: hold
+	}
+	score := rpc / one
+	var want Strategy
+	var reason uint8
+	switch st.cur {
+	case StrategyRPC:
+		if score <= e.cfg.EnterRatio {
+			return
+		}
+		want, reason = StrategyOneSided, ReasonEnter
+	default: // StrategyOneSided
+		if score >= e.cfg.ExitRatio {
+			return
+		}
+		want, reason = StrategyRPC, ReasonExit
+	}
+	now := e.clock.Now()
+	if st.switched && e.cfg.MinDwell > 0 && now-st.lastSwitch < e.cfg.MinDwell {
+		e.record(Decision{T: now, Part: partition, From: st.cur, To: st.cur,
+			Reason: ReasonDwell, OneCost: one, RPCCost: rpc})
+		return
+	}
+	from := st.cur
+	st.cur = want
+	st.lastSwitch = now
+	st.switched = true
+	e.switches++
+	e.record(Decision{T: now, Part: partition, From: from, To: want,
+		Reason: reason, OneCost: one, RPCCost: rpc})
+	if e.Events != nil {
+		e.Events.PolicyEvent(partition, uint8(want), reason)
+	}
+}
+
+// ResetPartition drops partition back to the default strategy and resets its
+// decision state and signal window (when the source supports it). The
+// replication layer calls this on promotion and group-move events: the
+// window's samples were measured against the old acting server and must not
+// feed the estimator as stale signals.
+func (e *Engine) ResetPartition(partition int) {
+	if partition < 0 || partition >= len(e.parts) {
+		return
+	}
+	st := &e.parts[partition]
+	from := st.cur
+	*st = partState{cur: e.cfg.Default}
+	if r, ok := e.src.(WindowResetter); ok {
+		r.Reset(partition)
+	}
+	e.resets++
+	now := e.clock.Now()
+	e.record(Decision{T: now, Part: partition, From: from, To: e.cfg.Default,
+		Reason: ReasonReset})
+	if e.Events != nil {
+		e.Events.PolicyEvent(partition, uint8(e.cfg.Default), ReasonReset)
+	}
+}
+
+func (e *Engine) record(d Decision) {
+	if e.cfg.TraceCap > 0 && len(e.trace) >= e.cfg.TraceCap {
+		e.dropped++
+		return
+	}
+	e.trace = append(e.trace, d)
+}
+
+// Switches returns the total number of strategy switches decided (dwell
+// holds and probes excluded).
+func (e *Engine) Switches() int64 { return e.switches }
+
+// Resets returns the number of ResetPartition calls.
+func (e *Engine) Resets() int64 { return e.resets }
+
+// Trace returns the retained decision trace (shared slice; callers must not
+// mutate it).
+func (e *Engine) Trace() []Decision { return e.trace }
+
+// RenderTrace renders the decision trace deterministically, one decision per
+// line, with a trailing truncation marker when TraceCap dropped entries.
+func (e *Engine) RenderTrace() string {
+	var b strings.Builder
+	for _, d := range e.trace {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	if e.dropped > 0 {
+		fmt.Fprintf(&b, "... %d decisions dropped (trace cap %d)\n", e.dropped, e.cfg.TraceCap)
+	}
+	return b.String()
+}

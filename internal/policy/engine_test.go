@@ -1,0 +1,357 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/namdb/rdmatree/internal/obs"
+)
+
+// fakeClock is a directly-settable Clock for dwell arithmetic.
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) Now() int64 { return c.t }
+
+// stubSource replays a fixed Signals value (or a scripted sequence) for
+// every partition.
+type stubSource struct {
+	sig    Signals
+	ok     bool
+	script []Signals // when non-empty, consumed one per Snapshot call
+	i      int
+	resets []int
+}
+
+func (s *stubSource) Snapshot(int) (Signals, bool) {
+	if len(s.script) > 0 {
+		sig := s.script[s.i%len(s.script)]
+		s.i++
+		return sig, true
+	}
+	return s.sig, s.ok
+}
+
+func (s *stubSource) Reset(part int) { s.resets = append(s.resets, part) }
+
+// eventRec records Events calls.
+type eventRec struct {
+	parts, tos, reasons []int
+}
+
+func (r *eventRec) PolicyEvent(part int, to uint8, reason uint8) {
+	r.parts = append(r.parts, part)
+	r.tos = append(r.tos, int(to))
+	r.reasons = append(r.reasons, int(reason))
+}
+
+// testConfig is the unit-test engine configuration: evaluate on every call,
+// no probing, no dwell unless a case sets one.
+func testConfig() Config {
+	cfg := Defaults(1)
+	cfg.MinOps = 1
+	cfg.EvalEvery = 1
+	cfg.ProbeEvery = 0
+	return cfg
+}
+
+// measured builds a both-sides-measured snapshot with the given costs.
+func measured(one, rpc int64) Signals {
+	return Signals{Ops: 100, RPCOps: 10, OneSidedOps: 10,
+		RPCTraverseP99: rpc, OneSidedTraverseP99: one, ReadP99: one / 2}
+}
+
+func withCPU(sig Signals, util float64) Signals {
+	sig.ServerCPU = util
+	return sig
+}
+
+func TestEstimate(t *testing.T) {
+	cfg := Defaults(1)
+	cfg.PageBytes = 512
+	cases := []struct {
+		name     string
+		sig      Signals
+		one, rpc float64
+	}{
+		{"measured both sides wins over models",
+			measured(1000, 1700), 1000, 1700},
+		{"measured rpc is charged its congestion externality",
+			withCPU(measured(1000, 1700), 0.5), 1000, 1700 * 1.5},
+		{"externality multiplier is bounded at 2x",
+			withCPU(measured(1000, 1700), 1.7), 1000, 1700 * 2},
+		{"cold one-sided falls back to depth x read proxy",
+			Signals{Ops: 50, RPCOps: 10, RPCTraverseP99: 900, ReadP99: 400},
+			2 * 400, 900},
+		{"cold one-sided uses observed depth when present",
+			Signals{Ops: 50, RPCOps: 10, RPCTraverseP99: 900, ReadP99: 400, Depth: 3},
+			3 * 400, 900},
+		{"cold rpc inflates the proxy by server load",
+			Signals{Ops: 50, OneSidedOps: 10, OneSidedTraverseP99: 800, ReadP99: 400, ServerCPU: 0.5},
+			800, 400 / 0.5},
+		{"cold rpc caps runaway load at 0.95",
+			Signals{Ops: 50, OneSidedOps: 10, OneSidedTraverseP99: 800, ReadP99: 400, ServerCPU: 0.999},
+			800, 400 / 0.05},
+		{"fat values discount the rpc model's payload fraction",
+			Signals{Ops: 50, OneSidedOps: 10, OneSidedTraverseP99: 800, ReadP99: 400, AvgValueBytes: 128},
+			800, 400 * (1 - 128.0/512)},
+		{"payload discount is capped at half the proxy",
+			Signals{Ops: 50, OneSidedOps: 10, OneSidedTraverseP99: 800, ReadP99: 400, AvgValueBytes: 4096},
+			800, 400 * 0.5},
+		{"empty window estimates nothing",
+			Signals{Ops: 50}, 0, 0},
+	}
+	approx := func(got, want float64) bool {
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1e-9*(1+want)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			one, rpc := Estimate(cfg, tc.sig)
+			if !approx(one, tc.one) || !approx(rpc, tc.rpc) {
+				t.Fatalf("Estimate() = (%v, %v), want (%v, %v)", one, rpc, tc.one, tc.rpc)
+			}
+		})
+	}
+}
+
+// TestCrossoverTable drives synthetic signal windows through the engine and
+// checks the decided strategy, including both hysteresis boundaries.
+func TestCrossoverTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		start Strategy
+		sig   Signals
+		want  Strategy
+	}{
+		{"rpc holds when clearly cheaper", StrategyRPC, measured(1000, 500), StrategyRPC},
+		{"rpc holds inside the band", StrategyRPC, measured(1000, 1100), StrategyRPC},
+		{"rpc holds exactly at the enter boundary", StrategyRPC, measured(1000, 1150), StrategyRPC},
+		{"rpc leaves just past the enter boundary", StrategyRPC, measured(1000, 1151), StrategyOneSided},
+		{"one-sided holds inside the band", StrategyOneSided, measured(1000, 1000), StrategyOneSided},
+		{"one-sided holds exactly at the exit boundary", StrategyOneSided, measured(1000, 900), StrategyOneSided},
+		{"one-sided leaves just past the exit boundary", StrategyOneSided, measured(1000, 899), StrategyRPC},
+		{"unestimable window holds", StrategyRPC, Signals{Ops: 100}, StrategyRPC},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Default = tc.start
+			e := NewEngine(cfg, &stubSource{sig: tc.sig, ok: true}, &fakeClock{})
+			if got := e.Strategy(0); got != tc.want {
+				t.Fatalf("Strategy(0) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestColdStartDefaults(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinOps = 32
+	src := &stubSource{}
+	e := NewEngine(cfg, src, &fakeClock{})
+
+	// No window at all: hold the default.
+	if got := e.Strategy(0); got != StrategyRPC {
+		t.Fatalf("empty window: Strategy = %v, want rpc", got)
+	}
+	// A window below the MinOps gate: still the default, even with a signal
+	// that would otherwise switch.
+	src.sig, src.ok = measured(1000, 5000), true
+	src.sig.Ops = 31
+	if got := e.Strategy(0); got != StrategyRPC {
+		t.Fatalf("below MinOps: Strategy = %v, want rpc", got)
+	}
+	if len(e.Trace()) != 0 {
+		t.Fatalf("cold start recorded %d decisions, want 0", len(e.Trace()))
+	}
+	// Crossing the gate unlocks the switch.
+	src.sig.Ops = 32
+	if got := e.Strategy(0); got != StrategyOneSided {
+		t.Fatalf("at MinOps: Strategy = %v, want one-sided", got)
+	}
+	// An out-of-range partition never panics and holds the default.
+	if got := e.Strategy(7); got != StrategyRPC {
+		t.Fatalf("out-of-range partition: Strategy = %v, want rpc", got)
+	}
+}
+
+func TestDwellSuppression(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinDwell = 100
+	clk := &fakeClock{t: 10}
+	src := &stubSource{sig: measured(1000, 5000), ok: true}
+	rec := &eventRec{}
+	e := NewEngine(cfg, src, clk)
+	e.Events = rec
+
+	// The first switch is unconstrained (no prior switch to dwell from).
+	if got := e.Strategy(0); got != StrategyOneSided {
+		t.Fatalf("first switch: Strategy = %v, want one-sided", got)
+	}
+	// Immediately reversing signal: suppressed until MinDwell has elapsed.
+	src.sig = measured(1000, 100)
+	clk.t = 10 + 99
+	if got := e.Strategy(0); got != StrategyOneSided {
+		t.Fatalf("inside dwell: Strategy = %v, want one-sided held", got)
+	}
+	clk.t = 10 + 100
+	if got := e.Strategy(0); got != StrategyRPC {
+		t.Fatalf("past dwell: Strategy = %v, want rpc", got)
+	}
+	if e.Switches() != 2 {
+		t.Fatalf("Switches = %d, want 2", e.Switches())
+	}
+	// The suppression left a dwell-hold decision in the trace but no event.
+	var dwells int
+	for _, d := range e.Trace() {
+		if d.Reason == ReasonDwell {
+			dwells++
+		}
+	}
+	if dwells != 1 {
+		t.Fatalf("trace has %d dwell-hold entries, want 1", dwells)
+	}
+	if len(rec.reasons) != 2 {
+		t.Fatalf("events: %d, want 2 (switches only)", len(rec.reasons))
+	}
+}
+
+func TestProbeRoutesAlternative(t *testing.T) {
+	cfg := testConfig()
+	cfg.EvalEvery = 0 // isolate probing
+	cfg.ProbeEvery = 4
+	e := NewEngine(cfg, &stubSource{}, &fakeClock{})
+	want := []Strategy{StrategyRPC, StrategyRPC, StrategyRPC, StrategyOneSided,
+		StrategyRPC, StrategyRPC, StrategyRPC, StrategyOneSided}
+	for i, w := range want {
+		if got := e.Strategy(0); got != w {
+			t.Fatalf("call %d: Strategy = %v, want %v", i+1, got, w)
+		}
+	}
+	if e.Switches() != 0 || len(e.Trace()) != 0 {
+		t.Fatalf("probes recorded decisions: switches=%d trace=%d", e.Switches(), len(e.Trace()))
+	}
+}
+
+func TestResetPartition(t *testing.T) {
+	cfg := testConfig()
+	src := &stubSource{sig: measured(1000, 5000), ok: true}
+	rec := &eventRec{}
+	e := NewEngine(cfg, src, &fakeClock{t: 5})
+	e.Events = rec
+	if got := e.Strategy(0); got != StrategyOneSided {
+		t.Fatalf("setup switch failed: %v", got)
+	}
+	e.ResetPartition(0)
+	if got := e.Current(0); got != StrategyRPC {
+		t.Fatalf("after reset: Current = %v, want default rpc", got)
+	}
+	if len(src.resets) != 1 || src.resets[0] != 0 {
+		t.Fatalf("window resets = %v, want [0]", src.resets)
+	}
+	if e.Resets() != 1 {
+		t.Fatalf("Resets = %d, want 1", e.Resets())
+	}
+	last := e.Trace()[len(e.Trace())-1]
+	if last.Reason != ReasonReset || last.From != StrategyOneSided || last.To != StrategyRPC {
+		t.Fatalf("reset trace entry = %+v", last)
+	}
+	if rec.reasons[len(rec.reasons)-1] != int(ReasonReset) {
+		t.Fatalf("reset event missing: %v", rec.reasons)
+	}
+	// The reset also cleared the dwell state: the very next evaluation may
+	// switch again without suppression.
+	if got := e.Strategy(0); got != StrategyOneSided {
+		t.Fatalf("post-reset re-switch: Strategy = %v, want one-sided", got)
+	}
+}
+
+// TestGoldenTraceReplay replays a scripted signal sequence under a TickClock
+// twice and pins the rendered decision trace byte-for-byte: same seed (here,
+// same script) implies byte-identical traces.
+func TestGoldenTraceReplay(t *testing.T) {
+	script := []Signals{
+		measured(1000, 2000), // switch to one-sided
+		measured(1000, 1000), // hold (inside band)
+		measured(1000, 800),  // wants rpc: dwell-held
+		measured(1000, 2000), // hold
+		measured(1000, 2000), // hold
+		measured(1000, 800),  // wants rpc: dwell-held
+		measured(1000, 800),  // dwell elapsed: switch back
+	}
+	run := func() string {
+		cfg := testConfig()
+		cfg.MinDwell = 3
+		e := NewEngine(cfg, &stubSource{script: script}, &obs.TickClock{})
+		for range script {
+			e.Strategy(0)
+		}
+		return e.RenderTrace()
+	}
+	const golden = "[t=1] part=0 rpc->one-sided reason=enter one=1000.0 rpc=2000.0\n" +
+		"[t=2] part=0 one-sided->one-sided reason=dwell-hold one=1000.0 rpc=800.0\n" +
+		"[t=3] part=0 one-sided->one-sided reason=dwell-hold one=1000.0 rpc=800.0\n" +
+		"[t=4] part=0 one-sided->rpc reason=exit one=1000.0 rpc=800.0\n"
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("trace not byte-stable:\n--- run 1\n%s--- run 2\n%s", first, second)
+	}
+	if first != golden {
+		t.Fatalf("trace diverged from golden:\n--- got\n%s--- want\n%s", first, golden)
+	}
+}
+
+// TestPolicyEventsInFlightRecorder pins the obs integration: a switch driven
+// through an Engine with an obs.Log as its Events sink appears in the
+// rendered flight-recorder dump.
+func TestPolicyEventsInFlightRecorder(t *testing.T) {
+	log := obs.NewLog(64, &obs.TickClock{})
+	cfg := testConfig()
+	e := NewEngine(cfg, &stubSource{sig: measured(1000, 5000), ok: true}, &obs.TickClock{})
+	e.Events = log
+	if got := e.Strategy(0); got != StrategyOneSided {
+		t.Fatalf("Strategy = %v, want one-sided", got)
+	}
+	e.ResetPartition(0)
+	text := log.Render(0)
+	if !strings.Contains(text, "policy part=0 to=one-sided reason=enter") {
+		t.Fatalf("dump missing switch event:\n%s", text)
+	}
+	if !strings.Contains(text, "policy part=0 to=rpc reason=reset") {
+		t.Fatalf("dump missing reset event:\n%s", text)
+	}
+}
+
+func TestTraceCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceCap = 2
+	src := &stubSource{sig: measured(1000, 5000), ok: true}
+	e := NewEngine(cfg, src, &fakeClock{})
+	for i := 0; i < 5; i++ {
+		e.Strategy(0)
+		// Flip the signal so every evaluation switches.
+		if src.sig.RPCTraverseP99 == 5000 {
+			src.sig = measured(5000, 1000)
+		} else {
+			src.sig = measured(1000, 5000)
+		}
+	}
+	if len(e.Trace()) != 2 {
+		t.Fatalf("trace length %d, want cap 2", len(e.Trace()))
+	}
+	if !strings.Contains(e.RenderTrace(), "decisions dropped (trace cap 2)") {
+		t.Fatalf("render missing truncation marker:\n%s", e.RenderTrace())
+	}
+}
+
+func TestStaticDecider(t *testing.T) {
+	if Static(StrategyOneSided).Strategy(3) != StrategyOneSided {
+		t.Fatal("Static(one-sided) did not pin one-sided")
+	}
+	if Static(StrategyRPC).Strategy(0) != StrategyRPC {
+		t.Fatal("Static(rpc) did not pin rpc")
+	}
+}

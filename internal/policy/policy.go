@@ -1,0 +1,317 @@
+// Package policy is the self-tuning traversal-policy layer of the hybrid
+// design: a per-partition engine that decides, at runtime, whether a client
+// should traverse a partition's upper levels with one-sided fused reads or
+// offload the descent to the owning server's RPC handler.
+//
+// The paper's central observation (Section 7, and Brock et al. in PAPERS.md)
+// is that neither strategy wins everywhere: RPC offload amortizes the descent
+// into a single round trip but burns server CPU, so it loses under skew when
+// the hot partition's server saturates; one-sided traversal costs one fused
+// read per level but leaves the server idle. The crossover moves with the op
+// mix, the value-size mix, and the server's load — so the engine consumes
+// exactly those signals, windowed per partition, through a pluggable
+// SignalSource, and switches strategy only when the measured (or, cold,
+// modeled) cost ratio leaves a hysteresis band and the current strategy has
+// held for a minimum dwell time. The engine never reads the wall clock: all
+// decision timestamps come from an injected Clock (a *sim.Proc on the
+// simulated fabric, an obs.TickClock in deterministic tests), so a decision
+// trace is byte-stable across seeded runs and replayable from the artifact
+// alone.
+//
+// The package follows the repository's decorator discipline: it defines its
+// producer-side hook interfaces (Decider, SignalSource, Feed, Events, Clock)
+// locally and imports nothing from the protocol layers, so the hybrid client
+// depends on policy but never the reverse.
+package policy
+
+// Strategy selects how a client traverses one partition's upper levels.
+type Strategy uint8
+
+const (
+	// StrategyRPC offloads the descent to the partition owner's traverse
+	// handler: one round trip, server CPU proportional to depth.
+	StrategyRPC Strategy = iota
+	// StrategyOneSided walks the owner's inner levels with one-sided fused
+	// reads: one round trip per level, no server CPU.
+	StrategyOneSided
+	numStrategies
+)
+
+var strategyNames = [numStrategies]string{"rpc", "one-sided"}
+
+// String returns the strategy's label ("rpc", "one-sided").
+func (s Strategy) String() string {
+	if s >= numStrategies {
+		return "strategy?"
+	}
+	return strategyNames[s]
+}
+
+// Clock supplies decision timestamps in nanoseconds or abstract ticks. It is
+// structurally identical to obs.Clock so *sim.Proc and *obs.TickClock satisfy
+// it directly; the package defines its own copy to import nothing.
+type Clock interface {
+	Now() int64
+}
+
+// Decider is the hook the hybrid client consults once per operation, before
+// posting the traversal: which strategy serves this partition right now? A
+// Decider is owned by a single client goroutine, like the client itself.
+type Decider interface {
+	Strategy(partition int) Strategy
+}
+
+// Static is the trivial Decider pinning every partition to one strategy; the
+// conformance tests use it to hold the adaptive client against both static
+// designs.
+type Static Strategy
+
+// Strategy implements Decider.
+func (s Static) Strategy(int) Strategy { return Strategy(s) }
+
+// Signals is one windowed telemetry snapshot for one partition — everything
+// the crossover estimator consumes. Costs are in the deployment's clock units
+// (virtual nanoseconds on the simulated fabric, ticks under a TickClock);
+// only ratios between them matter.
+type Signals struct {
+	// Ops counts traversals observed for this partition since the window was
+	// created or last reset (cold-start gate: below Config.MinOps the engine
+	// keeps the default strategy).
+	Ops int64
+	// RPCOps / OneSidedOps count the windowed traversal samples per strategy
+	// backing the two p99s below; a zero count marks that side unmeasured.
+	RPCOps, OneSidedOps int64
+	// RPCTraverseP99 / OneSidedTraverseP99 are windowed p99 costs of one
+	// upper-level traversal under each strategy, as observed by this client.
+	RPCTraverseP99, OneSidedTraverseP99 int64
+	// RPCTraverseMean / OneSidedTraverseMean are the windowed mean costs of
+	// the same series. The estimator scores on means when present: a closed
+	// loop's throughput is set by mean latency, and the p99 of a small window
+	// degrades to its max — too tail-noisy to compare strategies by. The p99s
+	// above stay in the snapshot for traces and telemetry.
+	RPCTraverseMean, OneSidedTraverseMean float64
+	// ReadP99 is the windowed p99 cost of one exposed round trip of the
+	// one-sided leaf protocol — the per-RTT unit the cold-start models scale.
+	ReadP99 int64
+	// ReadMean is the windowed mean of the same per-RTT series, preferred by
+	// the cold-start models for the reason above.
+	ReadMean float64
+	// RTTsPerOp is the windowed mean of exposed round trips per leaf
+	// operation (context for traces; the estimator's models work per RTT).
+	RTTsPerOp float64
+	// ServerCPU is the partition owner's utilization in [0,1] (or a proxy:
+	// queueing-induced latency inflation normalized the same way).
+	ServerCPU float64
+	// AvgValueBytes is the windowed mean payload returned per leaf lookup —
+	// the value-size mix. Fat values inflate the fused-read proxy ReadP99;
+	// the RPC model discounts them because a traverse reply carries a
+	// pointer, not a page.
+	AvgValueBytes float64
+	// Depth is the windowed mean upper-level depth observed by one-sided
+	// traversals (0 when that side is unmeasured; models fall back to
+	// Config.AssumedDepth).
+	Depth float64
+}
+
+// SignalSource supplies windowed snapshots; the engine polls it at
+// evaluation points only. Snapshot returns ok=false when the source has no
+// window for the partition yet (the cold-start case).
+type SignalSource interface {
+	Snapshot(partition int) (sig Signals, ok bool)
+}
+
+// WindowResetter is the optional reset seam of a SignalSource: a promotion
+// moves a partition to a different acting server, so its window must be
+// dropped rather than fed to the estimator as stale signals. Engine.
+// ResetPartition forwards to it when the source implements it.
+type WindowResetter interface {
+	Reset(partition int)
+}
+
+// Feed is the observation side the hybrid client drives: one call per
+// traversal and per leaf access. It is what the concrete Window implements;
+// clients hold the interface so tests can substitute recorders.
+type Feed interface {
+	// ObserveTraverse records one upper-level traversal of partition under
+	// strat costing costNS clock units and visiting depth levels (0 when the
+	// strategy does not expose a depth, i.e. RPC).
+	ObserveTraverse(partition int, strat Strategy, costNS int64, depth int)
+	// ObserveLeaf records one leaf-level access on partition: its cost, the
+	// exposed round trips it took, and the payload bytes it returned.
+	ObserveLeaf(partition int, costNS int64, rtts, valueBytes int)
+	// ObserveCPU records a server-utilization sample for partition's owner.
+	ObserveCPU(partition int, util float64)
+}
+
+// Events is the decision-event hook, defined producer-side like the
+// repository's other hook seams; *obs.Log implements it structurally (a nil
+// log is safe). The reason codes are the Reason* constants.
+type Events interface {
+	PolicyEvent(partition int, to uint8, reason uint8)
+}
+
+// Decision reason codes (the trace's and Events' reason byte).
+const (
+	// ReasonEnter: the cost ratio left the band upward — switch to one-sided.
+	ReasonEnter uint8 = 1
+	// ReasonExit: the ratio left the band downward — switch back to RPC.
+	ReasonExit uint8 = 2
+	// ReasonReset: a promotion reset the partition to the default strategy.
+	ReasonReset uint8 = 3
+	// ReasonDwell: a switch wanted by the estimator was suppressed because
+	// the current strategy has not held for MinDwell yet.
+	ReasonDwell uint8 = 4
+)
+
+var reasonNames = [...]string{"?", "enter", "exit", "reset", "dwell-hold"}
+
+// ReasonString returns the reason code's label.
+func ReasonString(r uint8) string {
+	if int(r) >= len(reasonNames) {
+		return "reason?"
+	}
+	return reasonNames[r]
+}
+
+// Config tunes the engine. The zero value is unusable; start from Defaults.
+// One global configuration serves every workload — the acceptance bar for the
+// adaptive experiment is tracking the best static design with zero per-cell
+// tuning.
+type Config struct {
+	// Partitions is the number of partitions (memory servers) decided over.
+	Partitions int
+	// Default is the strategy a cold or reset partition starts on.
+	Default Strategy
+	// MinOps is the cold-start gate: below this many observed traversals the
+	// engine holds Default and records nothing.
+	MinOps int64
+	// EvalEvery re-runs the estimator every n-th Strategy call per partition;
+	// between evaluations the hook is a field read, keeping the per-op cost
+	// negligible.
+	EvalEvery int64
+	// EnterRatio and ExitRatio bound the hysteresis band on
+	// score = rpcCost / oneSidedCost. From RPC the engine switches when
+	// score > EnterRatio (one-sided clearly cheaper); from one-sided it
+	// returns when score < ExitRatio (RPC clearly cheaper). Between the two
+	// it holds, so a score oscillating around 1.0 never flaps.
+	EnterRatio, ExitRatio float64
+	// MinDwell is the minimum time (Clock units) a strategy must hold after
+	// a switch before the engine may switch again; wanted-but-early switches
+	// are recorded as ReasonDwell trace entries instead.
+	MinDwell int64
+	// ProbeEvery routes every n-th operation per partition through the
+	// non-current strategy so the estimator keeps both sides measured (a
+	// bounded 1/n overhead); 0 disables probing. Probes are not switches:
+	// they record no decision and do not touch the dwell timer.
+	ProbeEvery int64
+	// AssumedDepth is the upper-level depth the cold-start model charges the
+	// one-sided strategy before any one-sided traversal has been observed.
+	AssumedDepth float64
+	// PageBytes, when set, lets the cold-start RPC model discount the
+	// value-payload fraction of the fused-read proxy (a traverse reply
+	// carries a pointer, not a page).
+	PageBytes int
+	// TraceCap bounds the retained decision trace; beyond it decisions are
+	// counted but not retained.
+	TraceCap int
+}
+
+// Defaults returns the engine configuration used by every harness in this
+// repository: band [0.90, 1.15], evaluation every 8 ops per partition, probe
+// every 64. The cadence is deliberately quick off the cold start — windows
+// are per client per partition, so a slow cell (few ops per client) must
+// still reach its first evaluation inside a bench warmup window; hysteresis
+// and dwell, not a slow cadence, are what prevent flapping. MinDwell is
+// expressed in the caller's clock units, so it is the one field deployments
+// override (virtual nanoseconds on the simulated fabric, event ticks under a
+// TickClock).
+func Defaults(partitions int) Config {
+	return Config{
+		Partitions:   partitions,
+		Default:      StrategyRPC,
+		MinOps:       8,
+		EvalEvery:    8,
+		EnterRatio:   1.15,
+		ExitRatio:    0.90,
+		MinDwell:     0,
+		ProbeEvery:   64,
+		AssumedDepth: 2,
+		TraceCap:     512,
+	}
+}
+
+// Estimate returns the modeled-or-measured cost of one upper-level traversal
+// under each strategy, in the window's clock units. A zero return marks that
+// side unestimable (no samples and no proxy), in which case the engine holds.
+//
+// Measured costs win when present — they already embed queueing, value-size,
+// and depth effects. Each series scores by its windowed mean when the source
+// supplies one (falling back to p99): throughput of a closed loop tracks mean
+// latency, and small-window p99s degrade to the max sample, whose ratio is
+// too noisy to steer on.
+//
+// The measured RPC cost is additionally charged its congestion externality:
+// it is multiplied by (1 + ServerCPU), up to 2x at saturation. A client's own
+// observed RPC latency prices only the queueing it suffers, not the queueing
+// its offload imposes on every other client of a saturated handler pool — so
+// a fleet of greedy clients can sit in a stable all-RPC equilibrium whose
+// per-traversal costs look even while system throughput is well below the
+// all-one-sided optimum (the classic selfish-routing gap). The one-sided side
+// carries no such charge on purpose: its resource is the NIC, which the
+// paper's central measurement (Section 6.1) shows saturates an order of
+// magnitude later than handler cores, and under low load the multiplier
+// vanishes, so RPC still wins the regimes where it is genuinely cheaper.
+//
+// Cold sides fall back to models scaled off the leaf protocol's per-RTT
+// proxy:
+//
+//   - one-sided: depth fused reads, one exposed RTT each.
+//   - RPC: one round trip inflated by M/M/1-style queueing 1/(1-cpu), with
+//     the payload fraction of the proxy discounted (the reply is a pointer,
+//     not a page): fat values push the estimate toward RPC exactly as the
+//     crossover measurements in PAPERS.md predict.
+func Estimate(cfg Config, sig Signals) (oneSided, rpc float64) {
+	cost := func(mean float64, p99 int64) float64 {
+		if mean > 0 {
+			return mean
+		}
+		return float64(p99)
+	}
+	read := cost(sig.ReadMean, sig.ReadP99)
+	if sig.OneSidedOps > 0 && cost(sig.OneSidedTraverseMean, sig.OneSidedTraverseP99) > 0 {
+		oneSided = cost(sig.OneSidedTraverseMean, sig.OneSidedTraverseP99)
+	} else if read > 0 {
+		depth := sig.Depth
+		if depth <= 0 {
+			depth = cfg.AssumedDepth
+		}
+		oneSided = depth * read
+	}
+	if sig.RPCOps > 0 && cost(sig.RPCTraverseMean, sig.RPCTraverseP99) > 0 {
+		rpc = cost(sig.RPCTraverseMean, sig.RPCTraverseP99)
+		ext := sig.ServerCPU
+		if ext > 1 {
+			ext = 1
+		}
+		if ext > 0 {
+			rpc *= 1 + ext
+		}
+	} else if read > 0 {
+		load := sig.ServerCPU
+		if load > 0.95 {
+			load = 0.95
+		}
+		if load < 0 {
+			load = 0
+		}
+		payload := 0.0
+		if cfg.PageBytes > 0 && sig.AvgValueBytes > 0 {
+			payload = sig.AvgValueBytes / float64(cfg.PageBytes)
+			if payload > 0.5 {
+				payload = 0.5
+			}
+		}
+		rpc = read * (1 - payload) / (1 - load)
+	}
+	return oneSided, rpc
+}

@@ -1,0 +1,157 @@
+package policy
+
+import "sort"
+
+// windowCap is the per-ring sample capacity: the window is the last
+// windowCap samples of each series. Snapshots sort a copy, which is fine —
+// the engine snapshots every EvalEvery operations, not per operation.
+const windowCap = 128
+
+// ring is a fixed-capacity sample ring.
+type ring struct {
+	buf [windowCap]int64
+	n   int   // live samples (<= windowCap)
+	w   int   // next write position
+	sum int64 // running sum of live samples
+}
+
+func (r *ring) add(v int64) {
+	if r.n == windowCap {
+		r.sum -= r.buf[r.w]
+	} else {
+		r.n++
+	}
+	r.buf[r.w] = v
+	r.sum += v
+	r.w = (r.w + 1) % windowCap
+}
+
+func (r *ring) mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return float64(r.sum) / float64(r.n)
+}
+
+// p99 returns the windowed 99th-percentile sample (the max for windows under
+// 100 samples — deliberately pessimistic, tail-sensitive behavior).
+func (r *ring) p99() int64 {
+	if r.n == 0 {
+		return 0
+	}
+	var tmp [windowCap]int64
+	s := tmp[:r.n]
+	copy(s, r.buf[:r.n])
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (99*r.n + 99) / 100 // ceil(0.99 n), 1-based
+	if idx > r.n {
+		idx = r.n
+	}
+	return s[idx-1]
+}
+
+// partWindow holds one partition's sample rings.
+type partWindow struct {
+	ops        int64 // traversals since creation/reset (cold-start gate)
+	rpcTrav    ring  // RPC traverse costs
+	oneTrav    ring  // one-sided traverse costs
+	oneDepth   ring  // one-sided traverse depths
+	readPerRTT ring  // leaf cost per exposed RTT (the fused-read proxy)
+	rtts       ring  // exposed RTTs per leaf op
+	valBytes   ring  // payload bytes per leaf op
+	cpu        float64
+	cpuSampled bool
+}
+
+// Window is the concrete SignalSource/Feed pair: per-partition rings over
+// the most recent samples of each signal series. Like the engine and the
+// client feeding it, a Window belongs to a single goroutine.
+type Window struct {
+	parts []partWindow
+}
+
+var (
+	_ SignalSource   = (*Window)(nil)
+	_ Feed           = (*Window)(nil)
+	_ WindowResetter = (*Window)(nil)
+)
+
+// NewWindow builds a window over partitions partitions.
+func NewWindow(partitions int) *Window {
+	return &Window{parts: make([]partWindow, partitions)}
+}
+
+// ObserveTraverse implements Feed.
+func (w *Window) ObserveTraverse(partition int, strat Strategy, costNS int64, depth int) {
+	if partition < 0 || partition >= len(w.parts) {
+		return
+	}
+	p := &w.parts[partition]
+	p.ops++
+	if strat == StrategyOneSided {
+		p.oneTrav.add(costNS)
+		if depth > 0 {
+			p.oneDepth.add(int64(depth))
+		}
+		return
+	}
+	p.rpcTrav.add(costNS)
+}
+
+// ObserveLeaf implements Feed.
+func (w *Window) ObserveLeaf(partition int, costNS int64, rtts, valueBytes int) {
+	if partition < 0 || partition >= len(w.parts) {
+		return
+	}
+	p := &w.parts[partition]
+	if rtts < 1 {
+		rtts = 1
+	}
+	p.readPerRTT.add(costNS / int64(rtts))
+	p.rtts.add(int64(rtts))
+	p.valBytes.add(int64(valueBytes))
+}
+
+// ObserveCPU implements Feed: the latest utilization sample wins.
+func (w *Window) ObserveCPU(partition int, util float64) {
+	if partition < 0 || partition >= len(w.parts) {
+		return
+	}
+	w.parts[partition].cpu = util
+	w.parts[partition].cpuSampled = true
+}
+
+// Snapshot implements SignalSource.
+func (w *Window) Snapshot(partition int) (Signals, bool) {
+	if partition < 0 || partition >= len(w.parts) {
+		return Signals{}, false
+	}
+	p := &w.parts[partition]
+	if p.ops == 0 {
+		return Signals{}, false
+	}
+	return Signals{
+		Ops:                  p.ops,
+		RPCOps:               int64(p.rpcTrav.n),
+		OneSidedOps:          int64(p.oneTrav.n),
+		RPCTraverseP99:       p.rpcTrav.p99(),
+		OneSidedTraverseP99:  p.oneTrav.p99(),
+		RPCTraverseMean:      p.rpcTrav.mean(),
+		OneSidedTraverseMean: p.oneTrav.mean(),
+		ReadP99:              p.readPerRTT.p99(),
+		ReadMean:             p.readPerRTT.mean(),
+		RTTsPerOp:            p.rtts.mean(),
+		ServerCPU:            p.cpu,
+		AvgValueBytes:        p.valBytes.mean(),
+		Depth:                p.oneDepth.mean(),
+	}, true
+}
+
+// Reset implements WindowResetter: drop every sample the partition has
+// accumulated (promotion moved it to a different acting server).
+func (w *Window) Reset(partition int) {
+	if partition < 0 || partition >= len(w.parts) {
+		return
+	}
+	w.parts[partition] = partWindow{}
+}

@@ -1,0 +1,104 @@
+package policy
+
+import "testing"
+
+func TestWindowSnapshot(t *testing.T) {
+	w := NewWindow(2)
+	if _, ok := w.Snapshot(0); ok {
+		t.Fatal("empty window returned ok")
+	}
+	if _, ok := w.Snapshot(-1); ok {
+		t.Fatal("out-of-range partition returned ok")
+	}
+
+	w.ObserveTraverse(0, StrategyRPC, 900, 0)
+	w.ObserveTraverse(0, StrategyRPC, 1100, 0)
+	w.ObserveTraverse(0, StrategyOneSided, 700, 2)
+	w.ObserveTraverse(0, StrategyOneSided, 500, 4)
+	w.ObserveLeaf(0, 600, 2, 16)
+	w.ObserveLeaf(0, 400, 0, 8) // rtts clamps to 1
+	w.ObserveCPU(0, 0.75)
+
+	sig, ok := w.Snapshot(0)
+	if !ok {
+		t.Fatal("Snapshot not ok after samples")
+	}
+	if sig.Ops != 4 {
+		t.Fatalf("Ops = %d, want 4 (traversals)", sig.Ops)
+	}
+	if sig.RPCOps != 2 || sig.OneSidedOps != 2 {
+		t.Fatalf("per-strategy counts = %d/%d, want 2/2", sig.RPCOps, sig.OneSidedOps)
+	}
+	// Small windows: p99 degrades to the max sample.
+	if sig.RPCTraverseP99 != 1100 || sig.OneSidedTraverseP99 != 700 {
+		t.Fatalf("p99s = %d/%d, want 1100/700", sig.RPCTraverseP99, sig.OneSidedTraverseP99)
+	}
+	if sig.ReadP99 != 400 { // max(600/2, 400/1)
+		t.Fatalf("ReadP99 = %d, want 400", sig.ReadP99)
+	}
+	if sig.RPCTraverseMean != 1000 || sig.OneSidedTraverseMean != 600 {
+		t.Fatalf("traverse means = %.1f/%.1f, want 1000/600", sig.RPCTraverseMean, sig.OneSidedTraverseMean)
+	}
+	if sig.ReadMean != 350 { // mean(600/2, 400/1)
+		t.Fatalf("ReadMean = %.1f, want 350", sig.ReadMean)
+	}
+	if sig.Depth != 3 {
+		t.Fatalf("Depth = %.1f, want 3", sig.Depth)
+	}
+	if sig.AvgValueBytes != 12 {
+		t.Fatalf("AvgValueBytes = %.1f, want 12", sig.AvgValueBytes)
+	}
+	if sig.RTTsPerOp != 1.5 {
+		t.Fatalf("RTTsPerOp = %.2f, want 1.5", sig.RTTsPerOp)
+	}
+	if sig.ServerCPU != 0.75 {
+		t.Fatalf("ServerCPU = %.2f, want 0.75", sig.ServerCPU)
+	}
+
+	// Partition isolation.
+	if _, ok := w.Snapshot(1); ok {
+		t.Fatal("partition 1 inherited partition 0's samples")
+	}
+
+	// Reset drops everything.
+	w.Reset(0)
+	if _, ok := w.Snapshot(0); ok {
+		t.Fatal("Snapshot ok after Reset")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(1)
+	// Fill past capacity with a high plateau, then overwrite with a low one:
+	// the window must forget the old samples entirely.
+	for i := 0; i < windowCap; i++ {
+		w.ObserveTraverse(0, StrategyRPC, 10_000, 0)
+	}
+	for i := 0; i < windowCap; i++ {
+		w.ObserveTraverse(0, StrategyRPC, 100, 0)
+	}
+	sig, _ := w.Snapshot(0)
+	if sig.RPCTraverseP99 != 100 {
+		t.Fatalf("p99 after eviction = %d, want 100", sig.RPCTraverseP99)
+	}
+	if sig.RPCOps != windowCap {
+		t.Fatalf("windowed count = %d, want %d", sig.RPCOps, windowCap)
+	}
+	if sig.Ops != 2*windowCap {
+		t.Fatalf("cumulative ops = %d, want %d", sig.Ops, 2*windowCap)
+	}
+}
+
+func TestRingP99(t *testing.T) {
+	var r ring
+	for v := int64(1); v <= 100; v++ {
+		r.add(v)
+	}
+	if got := r.p99(); got != 99 {
+		t.Fatalf("p99 of 1..100 = %d, want 99", got)
+	}
+	r.add(1000)
+	if got := r.p99(); got != 100 {
+		t.Fatalf("p99 after outlier = %d, want 100", got)
+	}
+}

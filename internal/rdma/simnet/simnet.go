@@ -847,3 +847,36 @@ func (f *Fabric) UtilizationSince(snap []sim.Time, since sim.Time) Utilization {
 	u.ClientBW = take(f.clientBW)
 	return u
 }
+
+// loadSampleNS is the minimum window ServerCoreLoad averages over before it
+// re-samples: an instantaneous busy fraction of a 20-core pool is 0/20ths or
+// k/20ths of whatever happens to run this nanosecond, while a ~50µs window
+// (thousands of handler visits under load) is a stable signal.
+const loadSampleNS = 50_000
+
+// ServerCoreLoad returns a load probe for the handler-core pool backing
+// memory server srv: each call reports the pool's utilization in [0,1],
+// averaged over a sliding window of at least loadSampleNS of virtual time.
+// The designs' servers piggyback it on RPC replies (nam.Response.Load) so
+// adaptive clients see the server-CPU signal without extra round trips. The
+// returned closure is driven only by virtual time, so runs stay
+// deterministic; it is owned by the server's handler processes, which the
+// simulator serializes like any other shared handler state.
+func (f *Fabric) ServerCoreLoad(srv int) func() float64 {
+	r := f.cores[f.Cfg.Topology.MachineOfServer(srv)]
+	var (
+		lastBusy sim.Time = r.BusyTime()
+		lastNow  sim.Time = f.S.Now()
+		util     float64
+	)
+	return func() float64 {
+		if now := f.S.Now(); now-lastNow >= loadSampleNS {
+			util = r.Utilization(lastBusy, lastNow)
+			if util > 1 {
+				util = 1 // transient over-accounting at window edges
+			}
+			lastBusy, lastNow = r.BusyTime(), now
+		}
+		return util
+	}
+}

@@ -463,3 +463,57 @@ func TestAsyncDataFidelityAndOrder(t *testing.T) {
 	})
 	s.Run()
 }
+
+// TestServerCoreLoad drives RPCs at a server whose handler charges heavy CPU
+// work and checks the load probe: idle before traffic, high (in [0,1])
+// while handlers saturate, sampled over >= loadSampleNS windows.
+func TestServerCoreLoad(t *testing.T) {
+	s := sim.New()
+	cfg := NewConfig(testTopology())
+	cfg.HandlerCoresPerMachine = 2
+	cfg.HandlersPerServer = 2
+	f := New(s, cfg)
+	probe := f.ServerCoreLoad(0)
+	var busy []float64
+	f.SetHandler(func(env rdma.Env, server int, req []byte) ([]byte, rdma.Work) {
+		env.Charge(40_000)
+		busy = append(busy, probe())
+		return req, rdma.Work{}
+	})
+	f.Start()
+	if got := probe(); got != 0 {
+		t.Fatalf("idle probe = %v, want 0", got)
+	}
+	for c := 0; c < 4; c++ {
+		c := c
+		s.Spawn("c", func(p *sim.Proc) {
+			ep := f.Endpoint(c%2, p)
+			for i := 0; i < 40; i++ {
+				if _, err := ep.Call(0, []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	s.RunUntil(50_000_000)
+	s.Shutdown()
+	if len(busy) == 0 {
+		t.Fatal("handler never ran")
+	}
+	maxU := 0.0
+	for _, u := range busy {
+		if u < 0 || u > 1 {
+			t.Fatalf("probe out of range: %v", u)
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	// Four closed-loop clients against a 2-core pool charging 40µs per
+	// request keep the pool near saturation once the first sampling window
+	// has elapsed.
+	if maxU < 0.5 {
+		t.Fatalf("saturated pool never sampled above 0.5 (max %v)", maxU)
+	}
+}
